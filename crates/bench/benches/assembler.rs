@@ -1,0 +1,28 @@
+//! Criterion bench: the two-pass R8 assembler on a realistic program
+//! (the Fig. 10 edge-detection kernel).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use multinoc::apps::edge;
+use r8::asm::assemble;
+use std::hint::black_box;
+
+fn bench_assembler(c: &mut Criterion) {
+    let source = edge::program(64);
+    let lines = source.lines().count() as u64;
+    let mut group = c.benchmark_group("assembler");
+    group.throughput(Throughput::Elements(lines));
+    group.bench_function("edge_program", |b| {
+        b.iter(|| black_box(assemble(&source).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_disassembler(c: &mut Criterion) {
+    let program = assemble(&edge::program(64)).unwrap();
+    c.bench_function("disassembler/edge_program", |b| {
+        b.iter(|| black_box(r8::disasm::disassemble(0, program.words())));
+    });
+}
+
+criterion_group!(benches, bench_assembler, bench_disassembler);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: the r8c compiler pipeline (lex → parse → fold →
+//! codegen → assemble) on a realistic program.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const SOURCE: &str = "
+var table[32];
+func is_prime(n) {
+    if (n < 2) { return 0; }
+    var d = 2;
+    while (d * d <= n) {
+        if (n % d == 0) { return 0; }
+        d = d + 1;
+    }
+    return 1;
+}
+func main() {
+    var n = 0;
+    var found = 0;
+    while (found < 32) {
+        if (is_prime(n)) {
+            table[found] = n;
+            found = found + 1;
+        }
+        n = n + 1;
+    }
+    printf(table[31]);
+}
+";
+
+fn bench_compile(c: &mut Criterion) {
+    let lines = SOURCE.lines().count() as u64;
+    let mut group = c.benchmark_group("r8c");
+    group.throughput(Throughput::Elements(lines));
+    group.bench_function("compile_primes", |b| {
+        b.iter(|| black_box(r8c::compile(SOURCE).unwrap()));
+    });
+    group.bench_function("build_primes", |b| {
+        b.iter(|| black_box(r8c::build(SOURCE).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

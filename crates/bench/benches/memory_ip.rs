@@ -1,0 +1,40 @@
+//! Criterion bench: the banked Memory IP core (§2.3).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use multinoc::memory::{MemoryCore, MemoryIp};
+use multinoc::service::{Message, Service};
+use hermes_noc::RouterAddr;
+use std::hint::black_box;
+
+fn bench_word_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_core");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("write_read_1k", |b| {
+        let mut mem = MemoryCore::new(1024);
+        b.iter(|| {
+            for addr in 0..1024u16 {
+                mem.write(addr, addr.wrapping_mul(13));
+            }
+            let mut acc = 0u16;
+            for addr in 0..1024u16 {
+                acc = acc.wrapping_add(mem.read(addr));
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_service_handling(c: &mut Criterion) {
+    c.bench_function("memory_ip/read_service_64w", |b| {
+        let mut ip = MemoryIp::new(RouterAddr::new(1, 1), 1024);
+        let msg = Message::new(
+            RouterAddr::new(0, 0),
+            Service::ReadFromMemory { addr: 0x100, count: 64 },
+        );
+        b.iter(|| black_box(ip.handle(&msg)));
+    });
+}
+
+criterion_group!(benches, bench_word_access, bench_service_handling);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: single-packet traversal of the Hermes mesh, the
+//! micro-operation behind the E1 latency experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hermes_noc::{Noc, NocConfig, Packet, RouterAddr};
+use std::hint::black_box;
+
+fn bench_single_packet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_single_packet");
+    for hops in [1u8, 3, 7] {
+        group.bench_with_input(BenchmarkId::new("hops", hops), &hops, |b, &hops| {
+            b.iter(|| {
+                let mut noc = Noc::new(NocConfig::mesh(8, 8)).unwrap();
+                let src = RouterAddr::new(0, 0);
+                let dst = RouterAddr::new(hops, 0);
+                noc.send(src, Packet::new(dst, vec![0xAB; 8])).unwrap();
+                noc.run_until_idle(100_000).unwrap();
+                black_box(noc.stats().packets_delivered)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_payload_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_payload");
+    for payload in [4usize, 64, 254] {
+        group.bench_with_input(
+            BenchmarkId::new("flits", payload),
+            &payload,
+            |b, &payload| {
+                b.iter(|| {
+                    let mut noc = Noc::new(NocConfig::mesh(4, 4)).unwrap();
+                    noc.send(
+                        RouterAddr::new(0, 0),
+                        Packet::new(RouterAddr::new(3, 3), vec![0x11; payload]),
+                    )
+                    .unwrap();
+                    noc.run_until_idle(1_000_000).unwrap();
+                    black_box(noc.cycle())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_packet, bench_payload_size);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: simulator cycle rate under saturated and random
+//! load — how fast the Hermes model itself runs (E2's engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hermes_noc::traffic::{Pattern, TrafficGen};
+use hermes_noc::{Noc, NocConfig, RouterAddr};
+use multinoc_bench::saturate;
+use std::hint::black_box;
+
+fn bench_saturated_mesh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_saturated");
+    let cycles = 5_000u64;
+    group.throughput(Throughput::Elements(cycles));
+    group.bench_function("2x2_one_flow", |b| {
+        b.iter(|| {
+            let mut noc = Noc::new(NocConfig::mesh(2, 2)).unwrap();
+            saturate(
+                &mut noc,
+                &[(RouterAddr::new(0, 0), RouterAddr::new(1, 1))],
+                32,
+                cycles,
+            )
+            .unwrap();
+            black_box(noc.stats().flits_delivered)
+        });
+    });
+    group.finish();
+}
+
+fn bench_uniform_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_uniform_traffic");
+    for side in [2u8, 4, 8] {
+        let cycles = 2_000u64;
+        group.throughput(Throughput::Elements(
+            cycles * u64::from(side) * u64::from(side),
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("mesh", format!("{side}x{side}")),
+            &side,
+            |b, &side| {
+                b.iter(|| {
+                    let mut noc = Noc::new(NocConfig::mesh(side, side)).unwrap();
+                    let mut gen = TrafficGen::new(Pattern::Uniform, 0.1, 4, 42);
+                    gen.drive(&mut noc, cycles, 100_000).unwrap();
+                    black_box(noc.stats().packets_delivered)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_saturated_mesh, bench_uniform_traffic);
+criterion_main!(benches);

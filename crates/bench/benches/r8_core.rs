@@ -1,0 +1,65 @@
+//! Criterion bench: the R8 core interpreter (E7's engine).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use r8::asm::assemble;
+use r8::core::{Cpu, RamBus};
+use std::hint::black_box;
+
+fn bench_alu_loop(c: &mut Criterion) {
+    let program = assemble(
+        "
+        LIW  R1, 1000
+        XOR  R2, R2, R2
+loop:   ADD  R2, R2, R1
+        XOR  R3, R2, R1
+        SL0  R4, R3
+        SUBI R1, 1
+        JMPZD done
+        JMPD loop
+done:   HALT
+",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("r8_core");
+    // ~6 instructions per iteration, 1000 iterations.
+    group.throughput(Throughput::Elements(6_000));
+    group.bench_function("alu_loop_1000", |b| {
+        b.iter(|| {
+            let mut bus = RamBus::new(1024);
+            bus.load(0, program.words());
+            let mut cpu = Cpu::new();
+            cpu.run(&mut bus, 10_000_000).unwrap();
+            black_box(cpu.retired())
+        });
+    });
+    group.finish();
+}
+
+fn bench_memory_loop(c: &mut Criterion) {
+    let program = assemble(
+        "
+        LIW  R1, 500
+        LIW  R5, 0x300
+        XOR  R0, R0, R0
+loop:   ST   R1, R5, R0
+        LD   R2, R5, R0
+        SUBI R1, 1
+        JMPZD done
+        JMPD loop
+done:   HALT
+",
+    )
+    .unwrap();
+    c.bench_function("r8_core/memory_loop_500", |b| {
+        b.iter(|| {
+            let mut bus = RamBus::new(1024);
+            bus.load(0, program.words());
+            let mut cpu = Cpu::new();
+            cpu.run(&mut bus, 10_000_000).unwrap();
+            black_box(cpu.cycles())
+        });
+    });
+}
+
+criterion_group!(benches, bench_alu_loop, bench_memory_loop);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: the full co-simulated system running the Fig. 10
+//! edge-detection application (E6's engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multinoc::apps::edge::{self, Image};
+use multinoc::{host::Host, NodeId, System, PROCESSOR_1, PROCESSOR_2};
+use std::hint::black_box;
+
+fn run_edge(processors: &[NodeId], image: &Image) -> u64 {
+    let mut system = System::paper_config().unwrap();
+    let mut host = Host::new().with_budget(50_000_000);
+    host.synchronize(&mut system).unwrap();
+    edge::load(&mut system, &mut host, processors, image.width() as u16).unwrap();
+    edge::run(&mut system, &mut host, processors, image)
+        .unwrap()
+        .cycles
+}
+
+fn bench_edge(c: &mut Criterion) {
+    let image = Image::synthetic(16, 6);
+    let mut group = c.benchmark_group("system_edge_detection_16x6");
+    group.sample_size(10);
+    for (name, procs) in [
+        ("1_processor", vec![PROCESSOR_1]),
+        ("2_processors", vec![PROCESSOR_1, PROCESSOR_2]),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &procs, |b, procs| {
+            b.iter(|| black_box(run_edge(procs, &image)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edge);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E9 — §2.1 arbitration ablation: "A round-robin arbitration scheme is
+//! used to avoid starvation."
+//!
+//! Four senders fight for one hotspot. Under round-robin every sender
+//! makes steady progress; under fixed priority the low-priority senders
+//! starve. The experiment reports per-sender delivered packets and the
+//! worst-case (max/min) unfairness ratio.
+//!
+//! Run with `cargo run -p multinoc-bench --bin exp_arbitration`.
+
+use std::collections::BTreeMap;
+
+use hermes_noc::traffic::{Pattern, TrafficGen};
+use hermes_noc::{Arbitration, Noc, NocConfig, RouterAddr};
+use multinoc_bench::table_row;
+
+fn run(arbitration: Arbitration) -> Result<BTreeMap<String, u64>, hermes_noc::NocError> {
+    let config = NocConfig::mesh(3, 3).with_arbitration(arbitration);
+    let mut noc = Noc::new(config)?;
+    let spot = RouterAddr::new(1, 1);
+    let mut gen = TrafficGen::new(Pattern::Hotspot(spot), 0.6, 8, 7);
+    gen.drive(&mut noc, 40_000, 2_000_000)?;
+    let mut by_src = BTreeMap::new();
+    for r in noc.stats().records() {
+        if r.is_delivered() {
+            *by_src.entry(r.src.to_string()).or_insert(0u64) += 1;
+        }
+    }
+    Ok(by_src)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("E9: hotspot fairness, 8 senders -> router 11 (3x3 mesh)\n");
+    let rr = run(Arbitration::RoundRobin)?;
+    let fixed = run(Arbitration::FixedPriority)?;
+    table_row!("sender", "round-robin", "fixed priority");
+    let mut keys: Vec<&String> = rr.keys().collect();
+    keys.sort();
+    for key in keys {
+        table_row!(key.clone(), rr[key], fixed.get(key).copied().unwrap_or(0));
+    }
+    let ratio = |m: &BTreeMap<String, u64>| {
+        let max = *m.values().max().unwrap() as f64;
+        let min = *m.values().min().unwrap() as f64;
+        max / min.max(1.0)
+    };
+    let (r_rr, r_fx) = (ratio(&rr), ratio(&fixed));
+    table_row!("max/min ratio", format!("{r_rr:.2}"), format!("{r_fx:.2}"));
+    assert!(r_rr < r_fx, "round-robin must be fairer");
+    println!(
+        "\nconclusion: round-robin keeps every sender within ~{r_rr:.1}x of the best,\n\
+         fixed priority lets favoured ports crowd out the rest ({r_fx:.1}x) —\n\
+         the starvation the paper's arbiter avoids."
+    );
+    Ok(())
+}

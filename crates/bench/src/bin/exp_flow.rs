@@ -1,0 +1,51 @@
+//! E5 — §4 Figs. 8/9: the complete system execution flow, with the cycle
+//! cost of every phase (synchronize, load, fill, activate, execute,
+//! printf, read back).
+//!
+//! Run with `cargo run -p multinoc-bench --bin exp_flow`.
+
+use multinoc::apps::vecsum;
+use multinoc::{host::Host, System, PROCESSOR_1};
+use multinoc_bench::table_row;
+use r8::asm::assemble;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("E5: Fig. 8 flow phases (cycles at 25 MHz, fast functional serial link)\n");
+    let data: Vec<u16> = (1..=64).collect();
+    let program = assemble(&vecsum::program(data.len() as u16))?;
+
+    let mut system = System::paper_config()?;
+    let mut host = Host::new();
+    let mut mark = 0u64;
+    let phase = |system: &System, name: &str, mark: &mut u64| {
+        let now = system.cycle();
+        let us = (now - *mark) as f64 / system.clock_hz() * 1e6;
+        table_row!(name, now - *mark, format!("{us:.1} us"));
+        *mark = now;
+    };
+
+    table_row!("phase", "cycles", "wall time");
+    host.synchronize(&mut system)?;
+    phase(&system, "synchronize (0x55)", &mut mark);
+    host.load_program(&mut system, PROCESSOR_1, program.words())?;
+    phase(&system, "send object code", &mut mark);
+    host.write_memory(&mut system, PROCESSOR_1, vecsum::DATA_ADDR, &data)?;
+    phase(&system, "fill memory contents", &mut mark);
+    host.activate(&mut system, PROCESSOR_1)?;
+    phase(&system, "activate processor", &mut mark);
+    host.wait_for_printf(&mut system, PROCESSOR_1, 1)?;
+    phase(&system, "execute + printf", &mut mark);
+    let result = host.read_memory(&mut system, PROCESSOR_1, vecsum::RESULT_ADDR, 1)?;
+    phase(&system, "debug memory read", &mut mark);
+
+    let expected = vecsum::expected_sum(&data);
+    println!(
+        "\nprintf: {}   read-back: {}   expected: {expected}",
+        host.printf_output(PROCESSOR_1)[0],
+        result[0]
+    );
+    assert_eq!(host.printf_output(PROCESSOR_1)[0], expected);
+    assert_eq!(result[0], expected);
+    println!("total: {} cycles — both Fig. 9 debug paths agree", system.cycle());
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! E1 — §2.1 latency model: `latency = (Σ R_i + P) × 2`.
+//!
+//! Sends lone packets across an idle mesh for every hop count and a
+//! range of packet sizes, and compares the measured delivery latency
+//! with the paper's analytic formula. They must agree exactly.
+//!
+//! Run with `cargo run -p multinoc-bench --bin exp_latency`.
+
+use hermes_noc::{latency, Noc, NocConfig, Packet, RouterAddr};
+use multinoc_bench::table_row;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("E1: minimal packet latency vs the paper's analytic model");
+    println!("    latency = (sum_i R_i + P) x 2,  R_i = 7 cycles, 2 cycles/flit\n");
+    table_row!("routers on path (n)", "payload flits", "P (wire flits)", "analytic", "measured", "match");
+
+    let config = NocConfig::mesh(8, 8);
+    let mut mismatches = 0;
+    for hops in 0..=7u8 {
+        for payload in [0usize, 1, 4, 16, 64, 128] {
+            let mut noc = Noc::new(config.clone())?;
+            let src = RouterAddr::new(0, 0);
+            let dst = RouterAddr::new(hops, 0);
+            let id = noc.send(src, Packet::new(dst, vec![0xA5; payload]))?;
+            noc.run_until_idle(1_000_000)?;
+            let record = noc.stats().record(id).expect("recorded");
+            let analytic = latency::minimal_latency(
+                src.routers_on_path(dst),
+                record.wire_flits,
+                config.routing_cycles,
+                config.cycles_per_flit,
+            );
+            let measured = record.latency();
+            if measured != analytic {
+                mismatches += 1;
+            }
+            table_row!(
+                src.routers_on_path(dst),
+                payload,
+                record.wire_flits,
+                analytic,
+                measured,
+                if measured == analytic { "yes" } else { "NO" }
+            );
+        }
+    }
+    println!(
+        "\n{} — diagonal paths (X then Y turns) for good measure:",
+        if mismatches == 0 { "all exact" } else { "MISMATCHES FOUND" }
+    );
+    table_row!("path", "n", "analytic", "measured");
+    for (x, y) in [(1u8, 1u8), (3, 2), (7, 7)] {
+        let mut noc = Noc::new(config.clone())?;
+        let src = RouterAddr::new(0, 0);
+        let dst = RouterAddr::new(x, y);
+        let id = noc.send(src, Packet::new(dst, vec![1, 2, 3, 4]))?;
+        noc.run_until_idle(1_000_000)?;
+        let record = noc.stats().record(id).unwrap();
+        let analytic = latency::minimal_latency(
+            src.routers_on_path(dst),
+            record.wire_flits,
+            config.routing_cycles,
+            config.cycles_per_flit,
+        );
+        table_row!(
+            format!("00 -> {dst}"),
+            src.routers_on_path(dst),
+            analytic,
+            record.latency()
+        );
+        assert_eq!(record.latency(), analytic);
+    }
+    println!("\nconclusion: the simulator reproduces the paper's minimal-latency model exactly.");
+    std::process::exit(i32::from(mismatches > 0));
+}

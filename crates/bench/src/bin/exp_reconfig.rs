@@ -1,0 +1,88 @@
+//! E15 (extension) — §5's partial/dynamic reconfiguration claims,
+//! measured: "the IP cores position be modified in execution at runtime,
+//! favoring the IPs communication with improved throughput.
+//! Reconfiguration can also be used to reduce system area consumption
+//! through insertion and removal of IP cores on demand."
+//!
+//! Run with `cargo run -p multinoc-bench --bin exp_reconfig`.
+
+use floorplan::estimate::Component;
+use hermes_noc::{NocConfig, RouterAddr};
+use multinoc::{System, PROCESSOR_1, PROCESSOR_2};
+use multinoc_bench::table_row;
+use r8::asm::assemble;
+
+/// Cycles for P1 to finish `count` remote reads of P2's memory.
+fn remote_read_time(system: &mut System, count: u16) -> Result<u64, Box<dyn std::error::Error>> {
+    let base = system
+        .address_map(PROCESSOR_1)?
+        .window_base(PROCESSOR_2)
+        .expect("peer window");
+    let program = assemble(&format!(
+        "XOR R0, R0, R0\nLIW R1, {base}\nLIW R3, {count}\n\
+         loop: LD R2, R1, R0\nSUBI R3, 1\nJMPZD done\nJMPD loop\ndone: HALT"
+    ))?;
+    system.memory_mut(PROCESSOR_1)?.write_block(0, program.words());
+    let start = system.cycle();
+    system.activate_directly(PROCESSOR_1)?;
+    system.run_until_halted(50_000_000)?;
+    Ok(system.cycle() - start)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("E15: dynamic reconfiguration (§5)\n");
+    println!("claim 1: relocating an IP towards its communication partner");
+    println!("         improves throughput (P1 at router 10 reads P2's memory)\n");
+    table_row!("P2 position", "hops", "50 remote reads", "per read");
+    let mut system = System::builder()
+        .noc(NocConfig::mesh(4, 4))
+        .serial_at(RouterAddr::new(0, 0))
+        .processor_at(RouterAddr::new(1, 0))
+        .processor_at(RouterAddr::new(3, 3))
+        .memory_at(RouterAddr::new(3, 0))
+        .build()?;
+    let p1 = RouterAddr::new(1, 0);
+    for position in [RouterAddr::new(3, 3), RouterAddr::new(2, 2), RouterAddr::new(2, 0)] {
+        if system.table().router_of(PROCESSOR_2) != Some(position) {
+            system.relocate_ip(PROCESSOR_2, position)?;
+        }
+        let cycles = remote_read_time(&mut system, 50)?;
+        table_row!(
+            position.to_string(),
+            p1.hops_to(position),
+            cycles,
+            format!("{:.0} cy", cycles as f64 / 50.0)
+        );
+    }
+
+    println!("\nclaim 2: removing idle IP cores reduces area consumption\n");
+    table_row!("configuration", "active slices", "of XC2S200E");
+    let slices = |processors: u32, memories: u32| {
+        4 * Component::router("r").slices
+            + Component::serial("s").slices
+            + processors * Component::processor("p").slices
+            + memories * Component::memory("m").slices
+    };
+    let device = floorplan::Device::xc2s200e().slices();
+    for (name, p, m) in [
+        ("full system (2P + 1M)", 2u32, 1u32),
+        ("P2 removed (1P + 1M)", 1, 1),
+        ("P2 + memory removed", 1, 0),
+    ] {
+        let used = slices(p, m);
+        table_row!(
+            name,
+            used,
+            format!("{:.0}%", f64::from(used) / f64::from(device) * 100.0)
+        );
+    }
+    // Demonstrate the removal actually happens in the live system.
+    let halt = assemble("HALT")?;
+    system.memory_mut(PROCESSOR_2)?.write_block(0, halt.words());
+    system.activate_directly(PROCESSOR_2)?;
+    system.run_until_idle(1_000_000)?;
+    system.remove_ip(PROCESSOR_2)?;
+    println!("\nlive removal of P2 succeeded; its node id stays reserved and");
+    println!("peers' reads of its window now return 0 — a de-configured region.");
+    Ok(())
+}

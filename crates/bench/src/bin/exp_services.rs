@@ -1,0 +1,53 @@
+//! E13 (extension) — the communication profile of the Fig. 10 edge
+//! detection application: how many messages of each of the nine NoC
+//! services one full run generates, per node. This is the quantitative
+//! view of §2.1's claim that the nine packet formats "define a set of
+//! services offered by the communication network to the IP cores".
+//!
+//! Run with `cargo run -p multinoc-bench --bin exp_services`.
+
+use multinoc::apps::edge::{self, Image};
+use multinoc::service::ServiceCode;
+use multinoc::trace::ALL_CODES;
+use multinoc::{host::Host, System, PROCESSOR_1, PROCESSOR_2};
+use multinoc_bench::table_row;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image = Image::synthetic(32, 12);
+    let mut system = System::paper_config()?;
+    let mut host = Host::new().with_budget(50_000_000);
+    host.synchronize(&mut system)?;
+    let processors = [PROCESSOR_1, PROCESSOR_2];
+    edge::load(&mut system, &mut host, &processors, image.width() as u16)?;
+    let run = edge::run(&mut system, &mut host, &processors, &image)?;
+    assert_eq!(run.output, edge::reference(&image));
+
+    println!(
+        "E13: service mix of one {}x{} edge-detection run on 2 processors\n",
+        image.width(),
+        image.height()
+    );
+    let counters = system.service_counters();
+    table_row!("service", "total sent", "by serial", "by P1", "by P2");
+    let serial = multinoc::SERIAL;
+    for code in ALL_CODES {
+        table_row!(
+            format!("{code:?}"),
+            counters.total_sent(code),
+            counters.sent(serial, code),
+            counters.sent(PROCESSOR_1, code),
+            counters.sent(PROCESSOR_2, code)
+        );
+    }
+    let writes = counters.total_sent(ServiceCode::WriteInMemory);
+    let reads = counters.total_sent(ServiceCode::ReadFromMemory);
+    println!(
+        "\n{} write and {} read transactions moved {} output lines;\n\
+         the host-side services (write/read/activate) dominate — the system is\n\
+         fill-and-drain limited, consistent with experiments E6 and E10.",
+        writes,
+        reads,
+        image.height() - 2
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! E16 (extension) — where the cycles go: per-processor utilization of
+//! the two flagship applications. Quantifies the pipelining argument of
+//! E6 (edge detection keeps both processors busy) and the serialization
+//! inherent in the histogram's token ring.
+//!
+//! Run with `cargo run -p multinoc-bench --bin exp_utilization`.
+
+use multinoc::apps::{edge, histogram};
+use multinoc::{host::Host, NodeId, System, PROCESSOR_1, PROCESSOR_2, REMOTE_MEMORY};
+use multinoc_bench::table_row;
+
+fn report(system: &System, nodes: &[NodeId]) -> Result<(), Box<dyn std::error::Error>> {
+    table_row!("processor", "running", "blocked", "halted/idle", "busy");
+    for &node in nodes {
+        let u = system.processor_utilization(node)?;
+        table_row!(
+            node.to_string(),
+            u.running,
+            u.blocked,
+            u.halted + u.idle,
+            format!("{:.0}%", u.busy_fraction() * 100.0)
+        );
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("E16: processor utilization by application\n");
+
+    println!("edge detection, 32x16 image, line-pipelined over 2 processors:");
+    let image = edge::Image::synthetic(32, 16);
+    let mut system = System::paper_config()?;
+    let mut host = Host::new().with_budget(50_000_000);
+    host.synchronize(&mut system)?;
+    let processors = [PROCESSOR_1, PROCESSOR_2];
+    edge::load(&mut system, &mut host, &processors, image.width() as u16)?;
+    let run = edge::run(&mut system, &mut host, &processors, &image)?;
+    assert_eq!(run.output, edge::reference(&image));
+    report(&system, &processors)?;
+
+    println!("\ndistributed histogram, 200 samples, 2-processor token ring:");
+    let mut system = System::paper_config()?;
+    let mut host = Host::new().with_budget(50_000_000);
+    host.synchronize(&mut system)?;
+    let data: Vec<u16> = (0..200).map(|i| ((i * 37 + 11) % 251) as u16).collect();
+    let run = histogram::run(&mut system, &mut host, &processors, REMOTE_MEMORY, &data)?;
+    assert_eq!(run.bins, histogram::reference(&data));
+    report(&system, &processors)?;
+
+    println!(
+        "\nconclusion: the pipelined edge detector splits work symmetrically,\n\
+         while the histogram's token ring makes the tail processor wait —\n\
+         blocked cycles localize exactly where the synchronization is."
+    );
+    Ok(())
+}

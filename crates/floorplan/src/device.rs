@@ -1,0 +1,133 @@
+//! FPGA device resource models.
+
+/// A target FPGA: a rectangular slice grid plus BlockRAM columns along
+/// the left and right edges (the Spartan-II family layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Device {
+    /// Device name, e.g. `"XC2S200E"`.
+    pub name: &'static str,
+    /// Slice columns.
+    pub cols: u32,
+    /// Slice rows.
+    pub rows: u32,
+    /// Look-up tables per slice (2 on Spartan-II).
+    pub luts_per_slice: u32,
+    /// Total BlockRAMs (split over the two edge columns).
+    pub brams: u32,
+    /// Bits per BlockRAM (4096 on Spartan-II).
+    pub bram_bits: u32,
+    /// Slice column index of the serial I/O pads (the paper places the
+    /// serial IP "next to the I/O pins responsible for the data
+    /// transmission/reception"); pads sit at the bottom-left corner.
+    pub serial_pad_col: u32,
+    /// Slice row index of the serial I/O pads.
+    pub serial_pad_row: u32,
+}
+
+impl Device {
+    /// The paper's target: Spartan-IIe XC2S200E. 28×42 CLBs, 2 slices per
+    /// CLB → a 56×42 slice grid (2352 slices, 4704 LUTs), 14 BlockRAMs of
+    /// 4 Kbit in two edge columns.
+    pub fn xc2s200e() -> Self {
+        Self {
+            name: "XC2S200E",
+            cols: 56,
+            rows: 42,
+            luts_per_slice: 2,
+            brams: 14,
+            bram_bits: 4096,
+            serial_pad_col: 0,
+            serial_pad_row: 0,
+        }
+    }
+
+    /// A hypothetical larger device with `factor`× the slice area of the
+    /// XC2S200E (for the scalability analysis of §5: "mapping the
+    /// MultiNoC system in a larger FPGA device").
+    pub fn scaled(factor: u32) -> Self {
+        let base = Self::xc2s200e();
+        Self {
+            name: "scaled",
+            cols: base.cols * factor,
+            rows: base.rows * factor,
+            brams: base.brams * factor * factor,
+            ..base
+        }
+    }
+
+    /// Total slices.
+    pub fn slices(&self) -> u32 {
+        self.cols * self.rows
+    }
+
+    /// Total LUTs.
+    pub fn luts(&self) -> u32 {
+        self.slices() * self.luts_per_slice
+    }
+
+    /// Position (column, row) of BlockRAM `index`: the first half sits in
+    /// the left column, the rest in the right column, spread vertically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.brams`.
+    pub fn bram_site(&self, index: u32) -> (u32, u32) {
+        assert!(index < self.brams, "BlockRAM index out of range");
+        let per_col = self.brams.div_ceil(2);
+        let (col, slot) = if index < per_col {
+            (0, index)
+        } else {
+            (self.cols - 1, index - per_col)
+        };
+        let row = (slot * self.rows) / per_col + self.rows / (2 * per_col);
+        (col, row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xc2s200e_headline_numbers() {
+        let d = Device::xc2s200e();
+        assert_eq!(d.slices(), 2352);
+        assert_eq!(d.luts(), 4704);
+        assert_eq!(d.brams, 14);
+        // One memory IP = 4 BlockRAMs of 1024x4 bits.
+        assert_eq!(d.bram_bits, 1024 * 4);
+    }
+
+    #[test]
+    fn paper_uses_12_of_14_brams() {
+        // 3 memory IPs x 4 BlockRAMs fit the device.
+        let d = Device::xc2s200e();
+        assert!(3 * 4 <= d.brams);
+    }
+
+    #[test]
+    fn bram_sites_are_on_the_edges() {
+        let d = Device::xc2s200e();
+        for i in 0..d.brams {
+            let (col, row) = d.bram_site(i);
+            assert!(col == 0 || col == d.cols - 1, "bram {i} at col {col}");
+            assert!(row < d.rows);
+        }
+        // Left and right columns both used.
+        assert_eq!(d.bram_site(0).0, 0);
+        assert_eq!(d.bram_site(d.brams - 1).0, d.cols - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bram_site_bounds() {
+        Device::xc2s200e().bram_site(14);
+    }
+
+    #[test]
+    fn scaled_device_grows_quadratically() {
+        let d = Device::scaled(3);
+        assert_eq!(d.slices(), 2352 * 9);
+        assert_eq!(d.brams, 14 * 9);
+    }
+}

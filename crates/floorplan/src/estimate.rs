@@ -1,0 +1,287 @@
+//! Per-IP resource estimates and the MultiNoC system netlist.
+//!
+//! ## Calibration
+//!
+//! The paper reports only system totals: 98% of 2352 slices and 78% of
+//! 4704 LUTs on the XC2S200E. The per-component numbers below follow the
+//! proportions of published synthesis results for the Hermes router
+//! (Moraes et al., *Integration* 2004: a few hundred LUTs for an 8-bit
+//! router with 2-flit buffers) and the R8 core (a small 16-bit datapath),
+//! scaled so the four-router / two-processor / three-memory / one-serial
+//! system reproduces the paper's totals:
+//!
+//! | Component | Slices | LUTs | BRAMs |
+//! |---|---|---|---|
+//! | Hermes router | 280 | 445 | 0 |
+//! | Processor IP (R8 core + local memory control + NoC wrapper) | 532 | 850 | 4 |
+//! | Memory IP | 56 | 90 | 4 |
+//! | Serial IP | 56 | 90 | 0 |
+//!
+//! Totals: 4 × 280 + 2 × 532 + 56 + 56 = 2296 slices (97.6%, the paper
+//! rounds to 98%) and 4 × 445 + 2 × 850 + 90 + 90 = 3660 LUTs (77.8%,
+//! reported as 78%), matching §3.
+
+use crate::device::Device;
+
+/// What a block is, deciding its placement affinities (the rationale list
+/// under Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// A Hermes router (wants to sit centrally).
+    Router,
+    /// An R8 processor core (wants its BlockRAMs).
+    Processor,
+    /// Memory IP control logic plus its 4 BlockRAMs.
+    Memory,
+    /// The serial IP (wants the I/O pads).
+    Serial,
+}
+
+/// A placeable block with its resource needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Unique name, e.g. `"router00"`.
+    pub name: String,
+    /// Kind, for placement affinities.
+    pub kind: ComponentKind,
+    /// Slices required.
+    pub slices: u32,
+    /// LUTs required.
+    pub luts: u32,
+    /// BlockRAMs required.
+    pub brams: u32,
+}
+
+impl Component {
+    /// A Hermes router instance.
+    pub fn router(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kind: ComponentKind::Router,
+            slices: 280,
+            luts: 445,
+            brams: 0,
+        }
+    }
+
+    /// An R8 processor IP: core, NoC wrapper and local-memory control
+    /// (the storage itself is the 4 `brams`).
+    pub fn processor(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kind: ComponentKind::Processor,
+            slices: 532,
+            luts: 850,
+            brams: 4,
+        }
+    }
+
+    /// The standalone remote memory IP.
+    pub fn memory(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kind: ComponentKind::Memory,
+            slices: 56,
+            luts: 90,
+            brams: 4,
+        }
+    }
+
+    /// The serial IP.
+    pub fn serial(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kind: ComponentKind::Serial,
+            slices: 56,
+            luts: 90,
+            brams: 0,
+        }
+    }
+
+    /// Footprint in slice-grid cells: a near-square rectangle covering
+    /// `slices` cells, `(width, height)`.
+    pub fn footprint(&self) -> (u32, u32) {
+        let side = (self.slices as f64).sqrt().ceil() as u32;
+        let width = side.max(1);
+        let height = self.slices.div_ceil(width).max(1);
+        (width, height)
+    }
+}
+
+/// A weighted two-pin net between components (by index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Net {
+    /// Index of the first endpoint in the component list.
+    pub a: usize,
+    /// Index of the second endpoint.
+    pub b: usize,
+    /// Relative wiring density (NoC channels are wide: flit width plus
+    /// handshake in both directions).
+    pub weight: u32,
+}
+
+/// The MultiNoC system as a placeable netlist: components in a fixed
+/// order (4 routers, serial, 2 processors, memory) and the nets of
+/// Fig. 1 — the 2×2 mesh links plus each IP's local port.
+pub fn multinoc_components() -> (Vec<Component>, Vec<Net>) {
+    let components = vec![
+        Component::router("router00"),
+        Component::router("router01"),
+        Component::router("router10"),
+        Component::router("router11"),
+        Component::serial("serial"),
+        Component::processor("processor1"),
+        Component::processor("processor2"),
+        Component::memory("memory"),
+    ];
+    // Router indices: 00=0, 01=1, 10=2, 11=3.
+    // Mesh links (x-dimension pairs, then y-dimension pairs).
+    let mesh = 20; // 2 x (8-bit data + 2 handshake) signals, roughly
+    let local = 20;
+    let nets = vec![
+        Net { a: 0, b: 2, weight: mesh }, // 00 - 10
+        Net { a: 1, b: 3, weight: mesh }, // 01 - 11
+        Net { a: 0, b: 1, weight: mesh }, // 00 - 01
+        Net { a: 2, b: 3, weight: mesh }, // 10 - 11
+        Net { a: 0, b: 4, weight: local }, // serial at 00
+        Net { a: 1, b: 5, weight: local }, // P1 at 01
+        Net { a: 2, b: 6, weight: local }, // P2 at 10
+        Net { a: 3, b: 7, weight: local }, // memory at 11
+    ];
+    (components, nets)
+}
+
+/// Device utilization of a component set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// Slices required by the design.
+    pub slices_used: u32,
+    /// Slices available on the device.
+    pub slices_total: u32,
+    /// LUTs required by the design.
+    pub luts_used: u32,
+    /// LUTs available on the device.
+    pub luts_total: u32,
+    /// BlockRAMs required by the design.
+    pub brams_used: u32,
+    /// BlockRAMs available on the device.
+    pub brams_total: u32,
+}
+
+impl Utilization {
+    /// Fraction of slices used, `0.0..`.
+    pub fn slice_fraction(&self) -> f64 {
+        f64::from(self.slices_used) / f64::from(self.slices_total)
+    }
+
+    /// Fraction of LUTs used.
+    pub fn lut_fraction(&self) -> f64 {
+        f64::from(self.luts_used) / f64::from(self.luts_total)
+    }
+
+    /// Fraction of BlockRAMs used.
+    pub fn bram_fraction(&self) -> f64 {
+        f64::from(self.brams_used) / f64::from(self.brams_total)
+    }
+
+    /// Whether the design fits the device at all.
+    pub fn fits(&self) -> bool {
+        self.slices_used <= self.slices_total
+            && self.luts_used <= self.luts_total
+            && self.brams_used <= self.brams_total
+    }
+}
+
+impl std::fmt::Display for Utilization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "slices {}/{} ({:.0}%), LUTs {}/{} ({:.0}%), BRAMs {}/{}",
+            self.slices_used,
+            self.slices_total,
+            self.slice_fraction() * 100.0,
+            self.luts_used,
+            self.luts_total,
+            self.lut_fraction() * 100.0,
+            self.brams_used,
+            self.brams_total,
+        )
+    }
+}
+
+/// Computes the utilization of `components` on `device`.
+pub fn utilization(components: &[Component], device: &Device) -> Utilization {
+    Utilization {
+        slices_used: components.iter().map(|c| c.slices).sum(),
+        slices_total: device.slices(),
+        luts_used: components.iter().map(|c| c.luts).sum(),
+        luts_total: device.luts(),
+        brams_used: components.iter().map(|c| c.brams).sum(),
+        brams_total: device.brams,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_paper_utilization() {
+        let device = Device::xc2s200e();
+        let (components, _) = multinoc_components();
+        let u = utilization(&components, &device);
+        // Paper: 98% of slices, 78% of LUTs.
+        assert!(
+            (u.slice_fraction() - 0.98).abs() < 0.02,
+            "slice fraction {:.3}",
+            u.slice_fraction()
+        );
+        assert!(
+            (u.lut_fraction() - 0.78).abs() < 0.02,
+            "LUT fraction {:.3}",
+            u.lut_fraction()
+        );
+        assert_eq!(u.brams_used, 12);
+        assert!(u.fits());
+    }
+
+    #[test]
+    fn netlist_covers_the_block_diagram() {
+        let (components, nets) = multinoc_components();
+        assert_eq!(components.len(), 8);
+        // 4 mesh links + 4 local links.
+        assert_eq!(nets.len(), 8);
+        for net in &nets {
+            assert!(net.a < components.len() && net.b < components.len());
+            assert_ne!(net.a, net.b);
+        }
+    }
+
+    #[test]
+    fn footprints_cover_the_slice_need() {
+        let (components, _) = multinoc_components();
+        for c in &components {
+            let (w, h) = c.footprint();
+            assert!(w * h >= c.slices, "{}: {w}x{h} < {}", c.name, c.slices);
+            // Near-square.
+            assert!(w.abs_diff(h) <= w / 2 + 2);
+        }
+    }
+
+    #[test]
+    fn utilization_display() {
+        let device = Device::xc2s200e();
+        let (components, _) = multinoc_components();
+        let text = utilization(&components, &device).to_string();
+        assert!(text.contains("98%"));
+        assert!(text.contains("78%"));
+    }
+
+    #[test]
+    fn overfull_design_reports_not_fitting() {
+        let device = Device::xc2s200e();
+        let components: Vec<Component> =
+            (0..10).map(|i| Component::processor(format!("p{i}"))).collect();
+        assert!(!utilization(&components, &device).fits());
+    }
+}

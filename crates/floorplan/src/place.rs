@@ -1,0 +1,501 @@
+//! Floorplanning: placing the IP blocks on the slice grid.
+//!
+//! Section 3 of the paper: "It is important to stress the value of
+//! floorplanning in designs using most of the FPGA surface. This
+//! generates a complex optimization problem that had to be solved. The
+//! use of synthesis and implementation options alone was not sufficient
+//! to make the design fit."
+//!
+//! Two placers reproduce that story:
+//!
+//! - [`paper_layout`] — the manual floorplan of Fig. 7, encoded from its
+//!   stated rationale (NoC in the middle, serial next to the pads,
+//!   processors beside their BlockRAM columns, memory in the remaining
+//!   area). At 98% utilization this is an (almost) exact partition.
+//! - [`Placer`] — simulated annealing from a random start, the
+//!   "automatic" approach. On nearly-full devices it generally fails to
+//!   legalize, which is precisely the paper's observation; on roomier
+//!   devices it works.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::device::Device;
+use crate::estimate::{Component, ComponentKind, Net};
+
+/// An axis-aligned block placement on the slice grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Left column.
+    pub x: u32,
+    /// Bottom row.
+    pub y: u32,
+    /// Width in slice columns.
+    pub w: u32,
+    /// Height in slice rows.
+    pub h: u32,
+}
+
+impl Rect {
+    /// Area in slices.
+    pub fn area(&self) -> u32 {
+        self.w * self.h
+    }
+
+    /// Center coordinates.
+    pub fn center(&self) -> (f64, f64) {
+        (
+            f64::from(self.x) + f64::from(self.w) / 2.0,
+            f64::from(self.y) + f64::from(self.h) / 2.0,
+        )
+    }
+
+    /// Overlap area with another rectangle.
+    pub fn overlap(&self, other: &Rect) -> u32 {
+        let ox = (self.x + self.w).min(other.x + other.w).saturating_sub(self.x.max(other.x));
+        let oy = (self.y + self.h).min(other.y + other.h).saturating_sub(self.y.max(other.y));
+        ox * oy
+    }
+
+    /// Whether the rectangle lies inside the device grid.
+    pub fn fits(&self, device: &Device) -> bool {
+        self.x + self.w <= device.cols && self.y + self.h <= device.rows
+    }
+}
+
+/// A complete placement of the system's components.
+#[derive(Debug, Clone)]
+pub struct Floorplan {
+    /// The target device.
+    pub device: Device,
+    /// The placed components.
+    pub components: Vec<Component>,
+    /// One rectangle per component, same order.
+    pub rects: Vec<Rect>,
+}
+
+impl Floorplan {
+    /// Total pairwise overlap area (0 for a legal plan).
+    pub fn overlap(&self) -> u32 {
+        let mut total = 0;
+        for i in 0..self.rects.len() {
+            for j in (i + 1)..self.rects.len() {
+                total += self.rects[i].overlap(&self.rects[j]);
+            }
+        }
+        total
+    }
+
+    /// Whether every block is in bounds, big enough for its component,
+    /// and no two blocks overlap.
+    pub fn is_legal(&self) -> bool {
+        self.rects.iter().zip(&self.components).all(|(r, c)| {
+            r.fits(&self.device) && r.area() >= c.slices
+        }) && self.overlap() == 0
+    }
+
+    /// Weighted half-perimeter wirelength of `nets` under this placement.
+    pub fn wirelength(&self, nets: &[Net]) -> f64 {
+        nets.iter()
+            .map(|net| {
+                let (ax, ay) = self.rects[net.a].center();
+                let (bx, by) = self.rects[net.b].center();
+                f64::from(net.weight) * ((ax - bx).abs() + (ay - by).abs())
+            })
+            .sum()
+    }
+
+    /// Distance from the serial IP (if any) to the serial pads — the
+    /// quantity the paper's second placement rule minimizes.
+    pub fn serial_pad_distance(&self) -> f64 {
+        self.components
+            .iter()
+            .zip(&self.rects)
+            .filter(|(c, _)| c.kind == ComponentKind::Serial)
+            .map(|(_, r)| {
+                let (x, y) = r.center();
+                (x - f64::from(self.device.serial_pad_col)).abs()
+                    + (y - f64::from(self.device.serial_pad_row)).abs()
+            })
+            .sum()
+    }
+
+    /// Mean distance from router centers to the device center — the
+    /// paper's first placement rule ("the NoC IP is placed in the middle
+    /// of the FPGA").
+    pub fn router_centrality(&self) -> f64 {
+        let cx = f64::from(self.device.cols) / 2.0;
+        let cy = f64::from(self.device.rows) / 2.0;
+        let routers: Vec<&Rect> = self
+            .components
+            .iter()
+            .zip(&self.rects)
+            .filter(|(c, _)| c.kind == ComponentKind::Router)
+            .map(|(_, r)| r)
+            .collect();
+        if routers.is_empty() {
+            return 0.0;
+        }
+        routers
+            .iter()
+            .map(|r| {
+                let (x, y) = r.center();
+                (x - cx).abs() + (y - cy).abs()
+            })
+            .sum::<f64>()
+            / routers.len() as f64
+    }
+
+    /// ASCII rendering of the floorplan (compare with Fig. 7): one
+    /// character per 2×2-slice tile, using each component's first letter
+    /// (`r` for routers, `P` processor, `S` serial, `M` memory).
+    pub fn ascii_art(&self) -> String {
+        let cols = self.device.cols.div_ceil(2) as usize;
+        let rows = self.device.rows.div_ceil(2) as usize;
+        let mut grid = vec![vec!['.'; cols]; rows];
+        for (component, rect) in self.components.iter().zip(&self.rects) {
+            let ch = match component.kind {
+                ComponentKind::Router => 'r',
+                ComponentKind::Processor => 'P',
+                ComponentKind::Memory => 'M',
+                ComponentKind::Serial => 'S',
+            };
+            for y in rect.y..(rect.y + rect.h).min(self.device.rows) {
+                for x in rect.x..(rect.x + rect.w).min(self.device.cols) {
+                    grid[(y / 2) as usize][(x / 2) as usize] = ch;
+                }
+            }
+        }
+        // Row 0 is the bottom of the device; print top-down.
+        let mut out = String::new();
+        for row in grid.iter().rev() {
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The manual floorplan of Fig. 7, encoded from the paper's rationale,
+/// for the standard MultiNoC netlist from
+/// [`multinoc_components`](crate::estimate::multinoc_components) on the
+/// XC2S200E:
+///
+/// - the four routers form a 28×40 block in the middle of the die;
+/// - the serial IP sits at the bottom-left corner, next to the serial
+///   pads;
+/// - the processors occupy the left and right columns, beside the
+///   BlockRAM columns holding their local memories;
+/// - the memory IP takes the remaining strip under the NoC.
+///
+/// # Errors
+///
+/// Returns `Err` with a description if `components` is not the standard
+/// 8-component MultiNoC netlist or the device is smaller than the
+/// XC2S200E.
+pub fn paper_layout(
+    device: &Device,
+    components: &[Component],
+) -> Result<Floorplan, String> {
+    if components.len() != 8 {
+        return Err(format!(
+            "paper layout expects the 8-component MultiNoC netlist, got {}",
+            components.len()
+        ));
+    }
+    if device.cols < 56 || device.rows < 42 {
+        return Err(format!(
+            "paper layout needs at least a 56x42 slice grid, device is {}x{}",
+            device.cols, device.rows
+        ));
+    }
+    let kinds: Vec<ComponentKind> = components.iter().map(|c| c.kind).collect();
+    let expected = [
+        ComponentKind::Router,
+        ComponentKind::Router,
+        ComponentKind::Router,
+        ComponentKind::Router,
+        ComponentKind::Serial,
+        ComponentKind::Processor,
+        ComponentKind::Processor,
+        ComponentKind::Memory,
+    ];
+    if kinds != expected {
+        return Err("components are not in multinoc_components() order".into());
+    }
+    let rects = vec![
+        // Routers: 2x2 block of 14x20 in the middle (x 14..42, y 0..40).
+        Rect { x: 14, y: 0, w: 14, h: 20 },  // router00
+        Rect { x: 14, y: 20, w: 14, h: 20 }, // router01
+        Rect { x: 28, y: 0, w: 14, h: 20 },  // router10
+        Rect { x: 28, y: 20, w: 14, h: 20 }, // router11
+        // Serial at the bottom-left corner, at the pads.
+        Rect { x: 0, y: 0, w: 14, h: 4 },
+        // Processors along the left and right edges (BlockRAM columns).
+        Rect { x: 0, y: 4, w: 14, h: 38 },
+        Rect { x: 42, y: 0, w: 14, h: 38 },
+        // Memory in the remaining strip above the NoC block.
+        Rect { x: 14, y: 40, w: 28, h: 2 },
+    ];
+    Ok(Floorplan {
+        device: device.clone(),
+        components: components.to_vec(),
+        rects,
+    })
+}
+
+/// Simulated-annealing placer: the "automatic approach" the paper found
+/// insufficient at 98% utilization. Works well on devices with headroom.
+#[derive(Debug)]
+pub struct Placer {
+    device: Device,
+    components: Vec<Component>,
+    nets: Vec<Net>,
+    seed: u64,
+    iterations: u32,
+}
+
+impl Placer {
+    /// A placer over `components` and `nets` targeting `device`.
+    pub fn new(device: Device, components: Vec<Component>, nets: Vec<Net>) -> Self {
+        Self {
+            device,
+            components,
+            nets,
+            seed: 1,
+            iterations: 30_000,
+        }
+    }
+
+    /// Sets the RNG seed (runs are deterministic per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the annealing move budget.
+    pub fn iterations(mut self, iterations: u32) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    fn cost(&self, plan: &Floorplan) -> f64 {
+        let overlap_penalty = 200.0 * f64::from(plan.overlap());
+        let wirelength = plan.wirelength(&self.nets);
+        let pads = 30.0 * plan.serial_pad_distance();
+        // Blocks that need BlockRAMs want to hug the BRAM edge columns.
+        let bram_pull: f64 = plan
+            .components
+            .iter()
+            .zip(&plan.rects)
+            .filter(|(c, _)| c.brams > 0)
+            .map(|(_, r)| {
+                let (x, _) = r.center();
+                let to_left = x;
+                let to_right = f64::from(self.device.cols) - x;
+                15.0 * to_left.min(to_right)
+            })
+            .sum();
+        overlap_penalty + wirelength + pads + bram_pull
+    }
+
+    /// Runs the annealer and returns the best plan found (check
+    /// [`Floorplan::is_legal`]; on nearly-full devices the result may
+    /// retain overlaps, reproducing the paper's observation that
+    /// automatic placement fails there).
+    pub fn run(self) -> Floorplan {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut plan = Floorplan {
+            rects: self
+                .components
+                .iter()
+                .map(|c| {
+                    let (w, h) = c.footprint();
+                    let w = w.min(self.device.cols);
+                    let h = h.min(self.device.rows);
+                    Rect {
+                        x: rng.random_range(0..=self.device.cols - w),
+                        y: rng.random_range(0..=self.device.rows - h),
+                        w,
+                        h,
+                    }
+                })
+                .collect(),
+            device: self.device.clone(),
+            components: self.components.clone(),
+        };
+        let mut cost = self.cost(&plan);
+        let mut best = plan.clone();
+        let mut best_cost = cost;
+        let mut temperature = (cost / 10.0).max(1.0);
+        let cooling = 0.999_f64;
+        for _ in 0..self.iterations {
+            let idx = rng.random_range(0..plan.rects.len());
+            let old = plan.rects[idx];
+            if rng.random_range(0..4) == 0 {
+                // Swap the positions of two blocks.
+                let jdx = rng.random_range(0..plan.rects.len());
+                if jdx == idx {
+                    continue;
+                }
+                let a = plan.rects[idx];
+                let b = plan.rects[jdx];
+                let mut na = Rect { x: b.x, y: b.y, ..a };
+                let mut nb = Rect { x: a.x, y: a.y, ..b };
+                clamp(&mut na, &self.device);
+                clamp(&mut nb, &self.device);
+                let (olda, oldb) = (plan.rects[idx], plan.rects[jdx]);
+                plan.rects[idx] = na;
+                plan.rects[jdx] = nb;
+                let new_cost = self.cost(&plan);
+                if accept(cost, new_cost, temperature, &mut rng) {
+                    cost = new_cost;
+                } else {
+                    plan.rects[idx] = olda;
+                    plan.rects[jdx] = oldb;
+                }
+            } else {
+                // Translate one block (locally at low temperature).
+                let span_x = ((temperature as u32).max(2)).min(self.device.cols);
+                let span_y = ((temperature as u32).max(2)).min(self.device.rows);
+                let dx = rng.random_range(0..=2 * span_x) as i64 - i64::from(span_x);
+                let dy = rng.random_range(0..=2 * span_y) as i64 - i64::from(span_y);
+                let mut moved = old;
+                moved.x = (i64::from(old.x) + dx).clamp(0, i64::from(self.device.cols - old.w)) as u32;
+                moved.y = (i64::from(old.y) + dy).clamp(0, i64::from(self.device.rows - old.h)) as u32;
+                plan.rects[idx] = moved;
+                let new_cost = self.cost(&plan);
+                if accept(cost, new_cost, temperature, &mut rng) {
+                    cost = new_cost;
+                } else {
+                    plan.rects[idx] = old;
+                }
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best = plan.clone();
+            }
+            temperature = (temperature * cooling).max(0.01);
+        }
+        best
+    }
+}
+
+fn clamp(rect: &mut Rect, device: &Device) {
+    rect.x = rect.x.min(device.cols.saturating_sub(rect.w));
+    rect.y = rect.y.min(device.rows.saturating_sub(rect.h));
+}
+
+fn accept(old: f64, new: f64, temperature: f64, rng: &mut StdRng) -> bool {
+    new <= old || rng.random::<f64>() < (-(new - old) / temperature).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::multinoc_components;
+
+    #[test]
+    fn paper_layout_is_legal_and_central() {
+        let device = Device::xc2s200e();
+        let (components, nets) = multinoc_components();
+        let plan = paper_layout(&device, &components).expect("standard netlist");
+        assert!(plan.is_legal(), "overlap: {}", plan.overlap());
+        // Every block is big enough.
+        for (c, r) in plan.components.iter().zip(&plan.rects) {
+            assert!(r.area() >= c.slices, "{} too small", c.name);
+        }
+        // Routers sit centrally: the 2x2 router block is centered, so the
+        // mean router-center distance is ~18 of a maximum ~49 (a corner
+        // placement of the same block would exceed 30).
+        assert!(plan.router_centrality() < 20.0);
+        assert!(plan.serial_pad_distance() < 25.0);
+        assert!(plan.wirelength(&nets) > 0.0);
+    }
+
+    #[test]
+    fn paper_layout_rejects_other_netlists() {
+        let device = Device::xc2s200e();
+        assert!(paper_layout(&device, &[]).is_err());
+        let (mut components, _) = multinoc_components();
+        components.swap(0, 4);
+        assert!(paper_layout(&device, &components).is_err());
+    }
+
+    #[test]
+    fn paper_layout_rejects_small_devices() {
+        let mut device = Device::xc2s200e();
+        device.cols = 40;
+        let (components, _) = multinoc_components();
+        assert!(paper_layout(&device, &components).is_err());
+    }
+
+    #[test]
+    fn ascii_art_shows_all_blocks() {
+        let device = Device::xc2s200e();
+        let (components, _) = multinoc_components();
+        let art = paper_layout(&device, &components).unwrap().ascii_art();
+        for ch in ['r', 'P', 'S', 'M'] {
+            assert!(art.contains(ch), "missing {ch} in:\n{art}");
+        }
+    }
+
+    #[test]
+    fn annealer_legalizes_on_a_roomy_device() {
+        // Twice the area: utilization ~24%, annealing must find a legal,
+        // reasonably short plan.
+        let device = Device::scaled(2);
+        let (components, nets) = multinoc_components();
+        let plan = Placer::new(device, components, nets.clone())
+            .seed(7)
+            .iterations(40_000)
+            .run();
+        assert!(plan.is_legal(), "overlap left: {}", plan.overlap());
+    }
+
+    #[test]
+    fn annealer_struggles_on_the_full_device() {
+        // The paper's point: at 98% utilization the automatic flow fails.
+        let device = Device::xc2s200e();
+        let (components, nets) = multinoc_components();
+        let plan = Placer::new(device, components, nets)
+            .seed(7)
+            .iterations(20_000)
+            .run();
+        // Either it fails to legalize (expected), or in the unlikely case
+        // it succeeds, it cannot beat the manual plan's wirelength by
+        // much. The robust assertion: overlap remains.
+        assert!(
+            !plan.is_legal(),
+            "annealer unexpectedly legalized a 98%-full device"
+        );
+    }
+
+    #[test]
+    fn rect_geometry() {
+        let a = Rect { x: 0, y: 0, w: 10, h: 10 };
+        let b = Rect { x: 5, y: 5, w: 10, h: 10 };
+        let c = Rect { x: 20, y: 20, w: 2, h: 2 };
+        assert_eq!(a.overlap(&b), 25);
+        assert_eq!(b.overlap(&a), 25);
+        assert_eq!(a.overlap(&c), 0);
+        assert_eq!(a.area(), 100);
+        assert_eq!(a.center(), (5.0, 5.0));
+        assert!(a.fits(&Device::xc2s200e()));
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let device = Device::scaled(2);
+        let (components, nets) = multinoc_components();
+        let a = Placer::new(device.clone(), components.clone(), nets.clone())
+            .seed(3)
+            .iterations(5_000)
+            .run();
+        let b = Placer::new(device, components, nets)
+            .seed(3)
+            .iterations(5_000)
+            .run();
+        assert_eq!(a.rects, b.rects);
+    }
+}

@@ -1,0 +1,104 @@
+//! NoC area-fraction scaling (§3, last paragraph).
+//!
+//! "NoCs trade increased bandwidth for increased area. However, NoCs are
+//! in principle designed for much bigger systems than this prototype
+//! [...] The router surface will remain constant and the NoC dimensions
+//! will scale less than the IPs, becoming a very small fraction of the
+//! whole system, typically less than 10 or 5%."
+//!
+//! This module evaluates that claim: for an N×N mesh with one IP per
+//! router, the NoC fraction is `N² · A_router / (N² · A_router + N² ·
+//! A_ip)` — constant in N and shrinking in the IP complexity. The paper's
+//! prototype has unusually small IPs, so its NoC fraction is large; give
+//! each router a full processor IP (let alone an application-sized
+//! accelerator) and the fraction falls exactly as predicted.
+
+use crate::estimate::Component;
+
+/// One row of the scaling analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Mesh side (the system has `n × n` routers).
+    pub n: u32,
+    /// Average slices per attached IP.
+    pub ip_slices: u32,
+    /// Total router slices.
+    pub noc_slices: u32,
+    /// Total system slices.
+    pub total_slices: u32,
+    /// NoC share of the total area, `0.0..=1.0`.
+    pub noc_fraction: f64,
+}
+
+/// Computes the NoC area fraction for an `n × n` mesh where every router
+/// hosts one IP of `ip_slices` slices.
+pub fn noc_fraction(n: u32, ip_slices: u32) -> ScalingPoint {
+    let router = Component::router("r").slices;
+    let routers = n * n;
+    let noc_slices = routers * router;
+    let total_slices = noc_slices + routers * ip_slices;
+    ScalingPoint {
+        n,
+        ip_slices,
+        noc_slices,
+        total_slices,
+        noc_fraction: f64::from(noc_slices) / f64::from(total_slices),
+    }
+}
+
+/// Sweep of mesh sizes for a fixed IP complexity.
+pub fn sweep(sizes: impl IntoIterator<Item = u32>, ip_slices: u32) -> Vec<ScalingPoint> {
+    sizes.into_iter().map(|n| noc_fraction(n, ip_slices)).collect()
+}
+
+/// The paper prototype's own NoC fraction: 4 routers over the whole
+/// system (the 2×2 case with the actual MultiNoC IP mix).
+pub fn prototype_fraction() -> f64 {
+    let (components, _) = crate::estimate::multinoc_components();
+    let noc: u32 = components
+        .iter()
+        .filter(|c| c.kind == crate::estimate::ComponentKind::Router)
+        .map(|c| c.slices)
+        .sum();
+    let total: u32 = components.iter().map(|c| c.slices).sum();
+    f64::from(noc) / f64::from(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_noc_share_is_large() {
+        // In the prototype the NoC is "an important part of the design":
+        // nearly half the logic.
+        let f = prototype_fraction();
+        assert!(f > 0.4 && f < 0.6, "prototype fraction {f}");
+    }
+
+    #[test]
+    fn fraction_is_independent_of_mesh_size() {
+        let a = noc_fraction(2, 2000);
+        let b = noc_fraction(10, 2000);
+        assert!((a.noc_fraction - b.noc_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_shrinks_with_ip_complexity() {
+        // Paper claim: below 10% (and even 5%) for real-sized IPs.
+        let small = noc_fraction(10, 532); // paper's processor IP
+        let medium = noc_fraction(10, 3000);
+        let large = noc_fraction(10, 6000);
+        assert!(small.noc_fraction > medium.noc_fraction);
+        assert!(medium.noc_fraction < 0.10, "{}", medium.noc_fraction);
+        assert!(large.noc_fraction < 0.05, "{}", large.noc_fraction);
+    }
+
+    #[test]
+    fn sweep_covers_requested_sizes() {
+        let points = sweep([2, 4, 8, 10], 1000);
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[3].n, 10);
+        assert_eq!(points[3].noc_slices, 100 * 280);
+    }
+}

@@ -1,0 +1,219 @@
+//! Router addresses and port identifiers.
+
+use std::fmt;
+
+/// Position of a router in the mesh, `(x, y)` with `x` growing East and
+/// `y` growing North. The paper's 2×2 MultiNoC uses routers `00`, `01`,
+/// `10` and `11`.
+///
+/// ```rust
+/// use hermes_noc::RouterAddr;
+/// let addr = RouterAddr::new(1, 0);
+/// assert_eq!(addr.to_string(), "10");
+/// assert_eq!(addr.to_flit(8), 0x10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RouterAddr {
+    x: u8,
+    y: u8,
+}
+
+impl RouterAddr {
+    /// Creates an address from mesh coordinates.
+    pub const fn new(x: u8, y: u8) -> Self {
+        Self { x, y }
+    }
+
+    /// Column of the router (grows towards East).
+    pub const fn x(self) -> u8 {
+        self.x
+    }
+
+    /// Row of the router (grows towards North).
+    pub const fn y(self) -> u8 {
+        self.y
+    }
+
+    /// Encodes the address as a header flit of `flit_bits` bits: X in the
+    /// high half, Y in the low half (Hermes convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate does not fit in half a flit; the
+    /// [`NocConfig`](crate::NocConfig) validation makes this unreachable
+    /// for addresses inside a configured mesh.
+    pub fn to_flit(self, flit_bits: u8) -> u16 {
+        let half = flit_bits / 2;
+        let max = 1u16 << half;
+        assert!(
+            u16::from(self.x) < max && u16::from(self.y) < max,
+            "router address {self} does not fit in a {flit_bits}-bit flit",
+        );
+        (u16::from(self.x) << half) | u16::from(self.y)
+    }
+
+    /// Decodes a header flit back into an address.
+    pub fn from_flit(flit: u16, flit_bits: u8) -> Self {
+        let half = flit_bits / 2;
+        let mask = (1u16 << half) - 1;
+        Self {
+            x: ((flit >> half) & mask) as u8,
+            y: (flit & mask) as u8,
+        }
+    }
+
+    /// Manhattan distance to `other`; the number of links a packet
+    /// traverses between the two routers under XY (or any minimal) routing.
+    pub fn hops_to(self, other: Self) -> u32 {
+        let dx = (i32::from(self.x) - i32::from(other.x)).unsigned_abs();
+        let dy = (i32::from(self.y) - i32::from(other.y)).unsigned_abs();
+        dx + dy
+    }
+
+    /// Number of routers on the path from `self` to `other`, both ends
+    /// included — the `n` of the paper's latency formula.
+    pub fn routers_on_path(self, other: Self) -> u32 {
+        self.hops_to(other) + 1
+    }
+}
+
+impl fmt::Display for RouterAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.x, self.y)
+    }
+}
+
+impl From<(u8, u8)> for RouterAddr {
+    fn from((x, y): (u8, u8)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+/// One of the five router ports (Fig. 2 of the paper). `Local` connects
+/// the router to its IP core; the others connect to neighbour routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Port {
+    /// Towards the router at `(x + 1, y)`.
+    East,
+    /// Towards the router at `(x - 1, y)`.
+    West,
+    /// Towards the router at `(x, y + 1)`.
+    North,
+    /// Towards the router at `(x, y - 1)`.
+    South,
+    /// Towards the attached IP core.
+    Local,
+}
+
+impl Port {
+    /// All five ports, in arbitration-scan order.
+    pub const ALL: [Port; 5] = [Port::East, Port::West, Port::North, Port::South, Port::Local];
+
+    /// Dense index in `0..5`, used for port arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            Port::East => 0,
+            Port::West => 1,
+            Port::North => 2,
+            Port::South => 3,
+            Port::Local => 4,
+        }
+    }
+
+    /// Inverse of [`Port::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 5`.
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL[index]
+    }
+
+    /// The port on the neighbouring router that faces this one (East pairs
+    /// with West, North with South). `Local` has no opposite.
+    pub const fn opposite(self) -> Option<Port> {
+        match self {
+            Port::East => Some(Port::West),
+            Port::West => Some(Port::East),
+            Port::North => Some(Port::South),
+            Port::South => Some(Port::North),
+            Port::Local => None,
+        }
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Port::East => "East",
+            Port::West => "West",
+            Port::North => "North",
+            Port::South => "South",
+            Port::Local => "Local",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_round_trip_8bit() {
+        for x in 0..16 {
+            for y in 0..16 {
+                let a = RouterAddr::new(x, y);
+                assert_eq!(RouterAddr::from_flit(a.to_flit(8), 8), a);
+            }
+        }
+    }
+
+    #[test]
+    fn flit_round_trip_16bit() {
+        let a = RouterAddr::new(200, 131);
+        assert_eq!(RouterAddr::from_flit(a.to_flit(16), 16), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn flit_overflow_panics() {
+        RouterAddr::new(16, 0).to_flit(8);
+    }
+
+    #[test]
+    fn hops_and_routers() {
+        let a = RouterAddr::new(0, 0);
+        let b = RouterAddr::new(1, 1);
+        assert_eq!(a.hops_to(b), 2);
+        assert_eq!(a.routers_on_path(b), 3);
+        assert_eq!(a.hops_to(a), 0);
+        assert_eq!(a.routers_on_path(a), 1);
+    }
+
+    #[test]
+    fn port_opposites_pair_up() {
+        for port in Port::ALL {
+            if let Some(opp) = port.opposite() {
+                assert_eq!(opp.opposite(), Some(port));
+                assert_ne!(opp, port);
+            } else {
+                assert_eq!(port, Port::Local);
+            }
+        }
+    }
+
+    #[test]
+    fn port_index_round_trip() {
+        for (i, port) in Port::ALL.iter().enumerate() {
+            assert_eq!(port.index(), i);
+            assert_eq!(Port::from_index(i), *port);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(RouterAddr::new(0, 1).to_string(), "01");
+        assert_eq!(Port::Local.to_string(), "Local");
+    }
+}

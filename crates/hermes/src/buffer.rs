@@ -1,0 +1,158 @@
+//! Circular-FIFO input buffers.
+//!
+//! The paper inserts a small buffer (2 flits in the prototype) at each
+//! router input port, "working as circular FIFOs", to reduce the number of
+//! routers affected by blocked flits. This module implements exactly that:
+//! a fixed-capacity ring buffer of [`Flit`]s.
+
+use crate::flit::Flit;
+
+/// Fixed-capacity circular FIFO of flits, as attached to every router
+/// input port (the `B` boxes of Fig. 2 in the paper).
+///
+/// ```rust
+/// use hermes_noc::FlitBuffer;
+/// let mut buffer = FlitBuffer::new(2);
+/// assert!(buffer.is_empty());
+/// assert_eq!(buffer.capacity(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlitBuffer {
+    slots: Vec<Option<Flit>>,
+    head: usize,
+    len: usize,
+}
+
+impl FlitBuffer {
+    /// Creates a buffer holding up to `capacity` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero; [`NocConfig`](crate::NocConfig)
+    /// validation rejects that before any buffer is built.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flit buffer capacity must be at least 1");
+        Self {
+            slots: vec![None; capacity],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Maximum number of flits the buffer can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of flits currently buffered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no flits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the buffer cannot accept another flit. A full input buffer
+    /// exerts backpressure on the upstream router — this is how wormhole
+    /// blocking spreads over the path.
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity()
+    }
+
+    /// Appends a flit at the tail.
+    ///
+    /// Returns `false` (leaving the buffer unchanged) if the buffer is
+    /// full; the upstream handshake simply does not acknowledge in that
+    /// case.
+    pub fn push(&mut self, flit: Flit) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        let tail = (self.head + self.len) % self.capacity();
+        self.slots[tail] = Some(flit);
+        self.len += 1;
+        true
+    }
+
+    /// The flit at the head, if any, without removing it.
+    pub fn peek(&self) -> Option<&Flit> {
+        if self.is_empty() {
+            None
+        } else {
+            self.slots[self.head].as_ref()
+        }
+    }
+
+    /// Removes and returns the head flit.
+    pub fn pop(&mut self) -> Option<Flit> {
+        if self.is_empty() {
+            return None;
+        }
+        let flit = self.slots[self.head].take();
+        self.head = (self.head + 1) % self.capacity();
+        self.len -= 1;
+        flit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::PacketId;
+
+    fn flit(value: u16) -> Flit {
+        Flit::new(value, PacketId(0), 0)
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut b = FlitBuffer::new(3);
+        assert!(b.push(flit(1)));
+        assert!(b.push(flit(2)));
+        assert!(b.push(flit(3)));
+        assert_eq!(b.pop().unwrap().value, 1);
+        assert_eq!(b.pop().unwrap().value, 2);
+        assert_eq!(b.pop().unwrap().value, 3);
+        assert!(b.pop().is_none());
+    }
+
+    #[test]
+    fn push_to_full_buffer_is_rejected() {
+        let mut b = FlitBuffer::new(2);
+        assert!(b.push(flit(1)));
+        assert!(b.push(flit(2)));
+        assert!(b.is_full());
+        assert!(!b.push(flit(3)));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.peek().unwrap().value, 1);
+    }
+
+    #[test]
+    fn wrap_around_keeps_order() {
+        let mut b = FlitBuffer::new(2);
+        for round in 0u16..10 {
+            assert!(b.push(flit(round * 2)));
+            assert!(b.push(flit(round * 2 + 1)));
+            assert_eq!(b.pop().unwrap().value, round * 2);
+            assert_eq!(b.pop().unwrap().value, round * 2 + 1);
+        }
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut b = FlitBuffer::new(2);
+        b.push(flit(9));
+        assert_eq!(b.peek().unwrap().value, 9);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.pop().unwrap().value, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        FlitBuffer::new(0);
+    }
+}

@@ -1,0 +1,237 @@
+//! NoC configuration.
+
+use crate::arbiter::Arbitration;
+use crate::error::ConfigError;
+use crate::routing::Routing;
+
+/// Parameters of a Hermes NoC instance.
+///
+/// The defaults reproduce the MultiNoC prototype: 8-bit flits, 2-flit
+/// circular-FIFO input buffers, a routing charge of 7 cycles per router,
+/// 2 cycles per flit per hop (asynchronous handshake), XY routing and
+/// round-robin arbitration.
+///
+/// ```rust
+/// use hermes_noc::NocConfig;
+/// let config = NocConfig::mesh(2, 2);
+/// assert_eq!(config.flit_bits, 8);
+/// assert_eq!(config.buffer_depth, 2);
+/// assert_eq!(config.routing_cycles, 7);
+/// assert_eq!(config.max_payload_flits(), 254);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Mesh columns (X dimension).
+    pub width: u8,
+    /// Mesh rows (Y dimension).
+    pub height: u8,
+    /// Flit width in bits; even, in `4..=16`. The paper uses 8.
+    pub flit_bits: u8,
+    /// Input buffer depth in flits; the paper uses 2 to fit the FPGA.
+    pub buffer_depth: usize,
+    /// Routing/arbitration charge `R_i` per router in clock cycles; the
+    /// paper states at least 7.
+    pub routing_cycles: u32,
+    /// Clock cycles a flit needs to cross one hop; the paper's handshake
+    /// protocol needs at least 2.
+    pub cycles_per_flit: u32,
+    /// Routing algorithm; the paper uses deterministic XY.
+    pub routing: Routing,
+    /// Output-port arbitration; the paper uses round-robin to avoid
+    /// starvation.
+    pub arbitration: Arbitration,
+}
+
+impl NocConfig {
+    /// Paper-default configuration for a `width`×`height` mesh.
+    pub fn mesh(width: u8, height: u8) -> Self {
+        Self {
+            width,
+            height,
+            flit_bits: 8,
+            buffer_depth: 2,
+            routing_cycles: 7,
+            cycles_per_flit: 2,
+            routing: Routing::Xy,
+            arbitration: Arbitration::RoundRobin,
+        }
+    }
+
+    /// The exact MultiNoC prototype network: a 2×2 mesh with the paper's
+    /// defaults.
+    pub fn multinoc() -> Self {
+        Self::mesh(2, 2)
+    }
+
+    /// Sets the input buffer depth (builder style).
+    pub fn with_buffer_depth(mut self, depth: usize) -> Self {
+        self.buffer_depth = depth;
+        self
+    }
+
+    /// Sets the flit width in bits (builder style).
+    pub fn with_flit_bits(mut self, bits: u8) -> Self {
+        self.flit_bits = bits;
+        self
+    }
+
+    /// Sets the per-router routing charge in cycles (builder style).
+    pub fn with_routing_cycles(mut self, cycles: u32) -> Self {
+        self.routing_cycles = cycles;
+        self
+    }
+
+    /// Sets the arbitration scheme (builder style).
+    pub fn with_arbitration(mut self, arbitration: Arbitration) -> Self {
+        self.arbitration = arbitration;
+        self
+    }
+
+    /// Sets the routing algorithm (builder style).
+    pub fn with_routing(mut self, routing: Routing) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Number of routers in the mesh.
+    pub fn router_count(&self) -> usize {
+        usize::from(self.width) * usize::from(self.height)
+    }
+
+    /// Bit mask selecting the valid bits of a flit.
+    pub fn flit_mask(&self) -> u16 {
+        if self.flit_bits >= 16 {
+            u16::MAX
+        } else {
+            (1u16 << self.flit_bits) - 1
+        }
+    }
+
+    /// Maximum number of *payload* flits in one packet. The paper fixes
+    /// the total packet length at `2^flit_bits` flits; two of those are the
+    /// header and size flits.
+    pub fn max_payload_flits(&self) -> usize {
+        let total = 1usize << self.flit_bits;
+        // The size flit itself must also be able to express the count.
+        (total - 2).min(usize::from(self.flit_mask()))
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.width == 0 || self.height == 0 {
+            return Err(ConfigError::EmptyMesh);
+        }
+        if !(4..=16).contains(&self.flit_bits) || !self.flit_bits.is_multiple_of(2) {
+            return Err(ConfigError::BadFlitBits(self.flit_bits));
+        }
+        let half = self.flit_bits / 2;
+        let max_dim = 1u16 << half;
+        if u16::from(self.width) > max_dim || u16::from(self.height) > max_dim {
+            return Err(ConfigError::MeshTooLarge {
+                width: self.width,
+                height: self.height,
+                flit_bits: self.flit_bits,
+            });
+        }
+        if self.buffer_depth == 0 {
+            return Err(ConfigError::ZeroBufferDepth);
+        }
+        if self.routing_cycles == 0 || self.cycles_per_flit == 0 {
+            return Err(ConfigError::ZeroRoutingCycles);
+        }
+        Ok(())
+    }
+
+    /// Theoretical peak throughput of one router channel in bits per
+    /// second at clock frequency `clock_hz`: one flit every
+    /// `cycles_per_flit` cycles on each of up to five simultaneous
+    /// connections. The paper quotes 1 Gbit/s per router at 50 MHz with
+    /// 8-bit flits (five connections × 50 MHz / 2 × 8 bits / connection).
+    pub fn peak_router_throughput_bps(&self, clock_hz: f64) -> f64 {
+        let per_link = clock_hz / f64::from(self.cycles_per_flit) * f64::from(self.flit_bits);
+        per_link * 5.0
+    }
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        Self::multinoc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = NocConfig::default();
+        assert_eq!((c.width, c.height), (2, 2));
+        assert_eq!(c.flit_bits, 8);
+        assert_eq!(c.buffer_depth, 2);
+        assert_eq!(c.routing_cycles, 7);
+        assert_eq!(c.cycles_per_flit, 2);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn peak_throughput_is_one_gbps_at_50mhz() {
+        let c = NocConfig::default();
+        let bps = c.peak_router_throughput_bps(50.0e6);
+        assert!((bps - 1.0e9).abs() < 1.0, "got {bps}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert_eq!(
+            NocConfig::mesh(0, 2).validate(),
+            Err(ConfigError::EmptyMesh)
+        );
+        assert_eq!(
+            NocConfig::mesh(2, 2).with_flit_bits(7).validate(),
+            Err(ConfigError::BadFlitBits(7))
+        );
+        assert_eq!(
+            NocConfig::mesh(2, 2).with_flit_bits(2).validate(),
+            Err(ConfigError::BadFlitBits(2))
+        );
+        assert!(matches!(
+            NocConfig::mesh(20, 20).with_flit_bits(8).validate(),
+            Err(ConfigError::MeshTooLarge { .. })
+        ));
+        assert_eq!(
+            NocConfig::mesh(2, 2).with_buffer_depth(0).validate(),
+            Err(ConfigError::ZeroBufferDepth)
+        );
+        assert_eq!(
+            NocConfig::mesh(2, 2).with_routing_cycles(0).validate(),
+            Err(ConfigError::ZeroRoutingCycles)
+        );
+    }
+
+    #[test]
+    fn sixteen_by_sixteen_fits_8bit_flits() {
+        assert!(NocConfig::mesh(16, 16).validate().is_ok());
+        assert!(NocConfig::mesh(17, 1).validate().is_err());
+    }
+
+    #[test]
+    fn max_payload_flits() {
+        assert_eq!(NocConfig::mesh(2, 2).max_payload_flits(), 254);
+        assert_eq!(
+            NocConfig::mesh(2, 2).with_flit_bits(4).max_payload_flits(),
+            14
+        );
+    }
+
+    #[test]
+    fn flit_mask() {
+        assert_eq!(NocConfig::mesh(2, 2).flit_mask(), 0xFF);
+        assert_eq!(NocConfig::mesh(2, 2).with_flit_bits(16).flit_mask(), 0xFFFF);
+        assert_eq!(NocConfig::mesh(2, 2).with_flit_bits(4).flit_mask(), 0xF);
+    }
+}

@@ -1,0 +1,234 @@
+//! Local network interfaces.
+//!
+//! Each router's Local port connects to an IP core through a small network
+//! interface that serializes outgoing packets into flit streams (header,
+//! size, payload) and reassembles incoming flit streams back into packets.
+//! In the FPGA prototype this logic lives inside each IP's NoC wrapper;
+//! here it is shared simulator infrastructure.
+
+use std::collections::VecDeque;
+
+use crate::addr::RouterAddr;
+use crate::flit::Flit;
+use crate::packet::Packet;
+
+/// Opaque identifier of a packet submitted to the network, used to look up
+/// its [`PacketRecord`](crate::stats::PacketRecord) afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub(crate) u64);
+
+impl PacketId {
+    /// Raw numeric value (unique per NoC instance, in submission order).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// A packet queued at a source, partially injected.
+#[derive(Debug)]
+pub(crate) struct OutgoingPacket {
+    pub id: PacketId,
+    /// Remaining wire flits, front = next to inject.
+    pub flits: VecDeque<u16>,
+}
+
+/// Reassembly state at a destination.
+#[derive(Debug)]
+enum RxState {
+    /// Waiting for a header flit.
+    Header,
+    /// Header seen; waiting for the size flit.
+    Size { id: PacketId, dest: RouterAddr },
+    /// Collecting `remaining` payload flits.
+    Payload {
+        id: PacketId,
+        dest: RouterAddr,
+        remaining: usize,
+        payload: Vec<u16>,
+    },
+}
+
+/// Events the endpoint reports back to the NoC for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RxEvent {
+    /// A header flit arrived (start of a packet).
+    HeaderArrived(PacketId),
+    /// The final flit arrived; the packet is complete.
+    Completed(PacketId),
+    /// Mid-packet flit; nothing to report.
+    Progress,
+}
+
+/// The local network interface of one router.
+#[derive(Debug)]
+pub(crate) struct LocalEndpoint {
+    /// Packets waiting to be injected, front first.
+    pub outgoing: VecDeque<OutgoingPacket>,
+    /// Earliest cycle the next flit may be injected (handshake cadence).
+    pub next_inject_ok: u64,
+    rx: RxState,
+    /// Fully reassembled packets awaiting `try_recv`.
+    pub delivered: VecDeque<(PacketId, Packet)>,
+    flit_bits: u8,
+}
+
+impl LocalEndpoint {
+    pub fn new(flit_bits: u8) -> Self {
+        Self {
+            outgoing: VecDeque::new(),
+            next_inject_ok: 0,
+            rx: RxState::Header,
+            delivered: VecDeque::new(),
+            flit_bits,
+        }
+    }
+
+    /// Queues a packet for injection.
+    pub fn enqueue(&mut self, id: PacketId, packet: &Packet) {
+        self.outgoing.push_back(OutgoingPacket {
+            id,
+            flits: packet.to_wire(self.flit_bits).into(),
+        });
+    }
+
+    /// Total flits still waiting to enter the network.
+    pub fn backlog_flits(&self) -> usize {
+        self.outgoing.iter().map(|p| p.flits.len()).sum()
+    }
+
+    /// The next flit to inject, if any, without consuming it.
+    pub fn peek_inject(&self) -> Option<(PacketId, u16)> {
+        self.outgoing
+            .front()
+            .and_then(|p| p.flits.front().map(|&f| (p.id, f)))
+    }
+
+    /// Consumes the next flit to inject.
+    pub fn pop_inject(&mut self) -> Option<(PacketId, u16)> {
+        let packet = self.outgoing.front_mut()?;
+        let flit = packet.flits.pop_front()?;
+        let id = packet.id;
+        if packet.flits.is_empty() {
+            self.outgoing.pop_front();
+        }
+        Some((id, flit))
+    }
+
+    /// Feeds one flit delivered by the router's Local output port into the
+    /// reassembly state machine.
+    pub fn receive(&mut self, flit: Flit) -> RxEvent {
+        match std::mem::replace(&mut self.rx, RxState::Header) {
+            RxState::Header => {
+                let dest = RouterAddr::from_flit(flit.value, self.flit_bits);
+                self.rx = RxState::Size {
+                    id: flit.packet,
+                    dest,
+                };
+                RxEvent::HeaderArrived(flit.packet)
+            }
+            RxState::Size { id, dest } => {
+                debug_assert_eq!(id, flit.packet, "interleaved packets at local port");
+                let remaining = usize::from(flit.value);
+                if remaining == 0 {
+                    self.delivered.push_back((id, Packet::new(dest, Vec::new())));
+                    RxEvent::Completed(id)
+                } else {
+                    self.rx = RxState::Payload {
+                        id,
+                        dest,
+                        remaining,
+                        payload: Vec::with_capacity(remaining),
+                    };
+                    RxEvent::Progress
+                }
+            }
+            RxState::Payload {
+                id,
+                dest,
+                remaining,
+                mut payload,
+            } => {
+                debug_assert_eq!(id, flit.packet, "interleaved packets at local port");
+                payload.push(flit.value);
+                if remaining == 1 {
+                    self.delivered.push_back((id, Packet::new(dest, payload)));
+                    RxEvent::Completed(id)
+                } else {
+                    self.rx = RxState::Payload {
+                        id,
+                        dest,
+                        remaining: remaining - 1,
+                        payload,
+                    };
+                    RxEvent::Progress
+                }
+            }
+        }
+    }
+
+    /// Whether the endpoint holds no outgoing, in-reassembly or delivered
+    /// traffic.
+    pub fn is_idle(&self) -> bool {
+        self.outgoing.is_empty() && matches!(self.rx, RxState::Header)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flit(value: u16, id: u64) -> Flit {
+        Flit::new(value, PacketId(id), 0)
+    }
+
+    #[test]
+    fn serializes_packets_into_wire_flits() {
+        let mut ep = LocalEndpoint::new(8);
+        ep.enqueue(PacketId(1), &Packet::new(RouterAddr::new(1, 0), vec![9, 8]));
+        assert_eq!(ep.backlog_flits(), 4);
+        assert_eq!(ep.pop_inject(), Some((PacketId(1), 0x10)));
+        assert_eq!(ep.pop_inject(), Some((PacketId(1), 2)));
+        assert_eq!(ep.pop_inject(), Some((PacketId(1), 9)));
+        assert_eq!(ep.pop_inject(), Some((PacketId(1), 8)));
+        assert_eq!(ep.pop_inject(), None);
+        assert!(ep.is_idle());
+    }
+
+    #[test]
+    fn reassembles_a_packet() {
+        let mut ep = LocalEndpoint::new(8);
+        assert_eq!(ep.receive(flit(0x11, 3)), RxEvent::HeaderArrived(PacketId(3)));
+        assert_eq!(ep.receive(flit(2, 3)), RxEvent::Progress);
+        assert_eq!(ep.receive(flit(0xAA, 3)), RxEvent::Progress);
+        assert_eq!(ep.receive(flit(0x55, 3)), RxEvent::Completed(PacketId(3)));
+        let (id, packet) = ep.delivered.pop_front().unwrap();
+        assert_eq!(id, PacketId(3));
+        assert_eq!(packet.dest(), RouterAddr::new(1, 1));
+        assert_eq!(packet.payload(), &[0xAA, 0x55]);
+        assert!(ep.is_idle());
+    }
+
+    #[test]
+    fn reassembles_zero_payload_packet() {
+        let mut ep = LocalEndpoint::new(8);
+        ep.receive(flit(0x00, 4));
+        assert_eq!(ep.receive(flit(0, 4)), RxEvent::Completed(PacketId(4)));
+        let (_, packet) = ep.delivered.pop_front().unwrap();
+        assert!(packet.payload().is_empty());
+    }
+
+    #[test]
+    fn back_to_back_packets() {
+        let mut ep = LocalEndpoint::new(8);
+        for id in 0..3u64 {
+            ep.receive(flit(0x01, id));
+            ep.receive(flit(1, id));
+            ep.receive(flit(id as u16, id));
+        }
+        assert_eq!(ep.delivered.len(), 3);
+        for (expect, (id, packet)) in ep.delivered.drain(..).enumerate() {
+            assert_eq!(id, PacketId(expect as u64));
+            assert_eq!(packet.payload(), &[expect as u16]);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Error types for NoC construction and operation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::addr::RouterAddr;
+
+/// Rejected [`NocConfig`](crate::NocConfig) at construction time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Mesh dimensions must both be at least 1.
+    EmptyMesh,
+    /// Flit width is outside the supported `4..=16` bits or is odd (the
+    /// header flit splits into two equal halves).
+    BadFlitBits(u8),
+    /// A mesh coordinate does not fit in half a header flit.
+    MeshTooLarge {
+        /// Requested mesh width (columns).
+        width: u8,
+        /// Requested mesh height (rows).
+        height: u8,
+        /// Flit width in bits that the mesh must be addressable in.
+        flit_bits: u8,
+    },
+    /// Input buffers must hold at least one flit.
+    ZeroBufferDepth,
+    /// The routing charge `R_i` must be at least one cycle.
+    ZeroRoutingCycles,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyMesh => write!(f, "mesh dimensions must be at least 1x1"),
+            ConfigError::BadFlitBits(bits) => {
+                write!(f, "flit width {bits} is not an even number in 4..=16")
+            }
+            ConfigError::MeshTooLarge {
+                width,
+                height,
+                flit_bits,
+            } => write!(
+                f,
+                "a {width}x{height} mesh is not addressable with {flit_bits}-bit header flits"
+            ),
+            ConfigError::ZeroBufferDepth => write!(f, "input buffer depth must be at least 1"),
+            ConfigError::ZeroRoutingCycles => {
+                write!(f, "routing charge must be at least 1 cycle")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Rejected packet submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The source address names a router outside the mesh.
+    UnknownSource(RouterAddr),
+    /// The destination address names a router outside the mesh.
+    UnknownDestination(RouterAddr),
+    /// The payload exceeds the maximum packet size for the configured flit
+    /// width (a packet holds at most `2^flit_bits` flits including header
+    /// and size flits).
+    PayloadTooLong {
+        /// Number of payload flits in the rejected packet.
+        len: usize,
+        /// Maximum number of payload flits the configuration allows.
+        max: usize,
+    },
+    /// A payload flit value does not fit in the configured flit width.
+    FlitOverflow {
+        /// Index of the offending payload flit.
+        index: usize,
+        /// Its value.
+        value: u16,
+    },
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::UnknownSource(addr) => write!(f, "source router {addr} is not in the mesh"),
+            SendError::UnknownDestination(addr) => {
+                write!(f, "destination router {addr} is not in the mesh")
+            }
+            SendError::PayloadTooLong { len, max } => {
+                write!(f, "payload of {len} flits exceeds the maximum of {max}")
+            }
+            SendError::FlitOverflow { index, value } => {
+                write!(f, "payload flit {index} value {value:#x} overflows the flit width")
+            }
+        }
+    }
+}
+
+impl Error for SendError {}
+
+/// Any error produced by the NoC simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NocError {
+    /// Invalid configuration.
+    Config(ConfigError),
+    /// Invalid packet submission.
+    Send(SendError),
+    /// [`Noc::run_until_idle`](crate::Noc::run_until_idle) hit its cycle
+    /// budget with traffic still in flight.
+    NotIdle {
+        /// The cycle budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::Config(e) => e.fmt(f),
+            NocError::Send(e) => e.fmt(f),
+            NocError::NotIdle { budget } => {
+                write!(f, "network not idle after {budget} cycles")
+            }
+        }
+    }
+}
+
+impl Error for NocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NocError::Config(e) => Some(e),
+            NocError::Send(e) => Some(e),
+            NocError::NotIdle { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for NocError {
+    fn from(e: ConfigError) -> Self {
+        NocError::Config(e)
+    }
+}
+
+impl From<SendError> for NocError {
+    fn from(e: SendError) -> Self {
+        NocError::Send(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ConfigError::BadFlitBits(5);
+        assert!(e.to_string().contains('5'));
+        let e = SendError::PayloadTooLong { len: 300, max: 254 };
+        assert!(e.to_string().contains("300"));
+        let e: NocError = ConfigError::EmptyMesh.into();
+        assert!(e.to_string().starts_with("mesh"));
+    }
+
+    #[test]
+    fn error_trait_source_chain() {
+        let e: NocError = SendError::UnknownSource(RouterAddr::new(9, 9)).into();
+        assert!(e.source().is_some());
+        assert!(NocError::NotIdle { budget: 5 }.source().is_none());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NocError>();
+        assert_send_sync::<ConfigError>();
+        assert_send_sync::<SendError>();
+    }
+}

@@ -1,0 +1,567 @@
+//! The network simulator: a mesh of routers stepped cycle by cycle.
+
+use crate::addr::{Port, RouterAddr};
+use crate::config::NocConfig;
+use crate::endpoint::{LocalEndpoint, PacketId, RxEvent};
+use crate::error::{NocError, SendError};
+use crate::flit::Flit;
+use crate::packet::Packet;
+use crate::router::Router;
+use crate::stats::{NocStats, PacketRecord};
+
+/// A simulated Hermes network-on-chip.
+///
+/// Construct one from a [`NocConfig`], submit packets with [`send`], step
+/// the clock with [`step`] or [`run_until_idle`], and collect delivered
+/// packets with [`try_recv`]. All behaviour is deterministic.
+///
+/// [`send`]: Noc::send
+/// [`step`]: Noc::step
+/// [`run_until_idle`]: Noc::run_until_idle
+/// [`try_recv`]: Noc::try_recv
+#[derive(Debug)]
+pub struct Noc {
+    config: NocConfig,
+    routers: Vec<Router>,
+    endpoints: Vec<LocalEndpoint>,
+    cycle: u64,
+    next_id: u64,
+    stats: NocStats,
+}
+
+impl Noc {
+    /// Builds the network described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`](crate::ConfigError) the
+    /// configuration violates.
+    pub fn new(config: NocConfig) -> Result<Self, NocError> {
+        config.validate()?;
+        let mut routers = Vec::with_capacity(config.router_count());
+        let mut endpoints = Vec::with_capacity(config.router_count());
+        for y in 0..config.height {
+            for x in 0..config.width {
+                routers.push(Router::new(RouterAddr::new(x, y), &config));
+                endpoints.push(LocalEndpoint::new(config.flit_bits));
+            }
+        }
+        let stats = NocStats::new(routers.len());
+        Ok(Self {
+            config,
+            routers,
+            endpoints,
+            cycle: 0,
+            next_id: 0,
+            stats,
+        })
+    }
+
+    /// The configuration this network was built from.
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// Clock cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    fn index(&self, addr: RouterAddr) -> Option<usize> {
+        if addr.x() < self.config.width && addr.y() < self.config.height {
+            Some(usize::from(addr.y()) * usize::from(self.config.width) + usize::from(addr.x()))
+        } else {
+            None
+        }
+    }
+
+    fn neighbour(&self, addr: RouterAddr, port: Port) -> Option<RouterAddr> {
+        let (x, y) = (addr.x(), addr.y());
+        let next = match port {
+            Port::East => RouterAddr::new(x + 1, y),
+            Port::West => RouterAddr::new(x.checked_sub(1)?, y),
+            Port::North => RouterAddr::new(x, y + 1),
+            Port::South => RouterAddr::new(x, y.checked_sub(1)?),
+            Port::Local => return None,
+        };
+        self.index(next).map(|_| next)
+    }
+
+    /// Submits a packet at the network interface of router `src`. The
+    /// packet is queued at the source and injected flit by flit at the
+    /// handshake cadence.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] if source or destination lie outside the mesh, the
+    /// payload is too long for the flit width, or a payload value
+    /// overflows a flit.
+    pub fn send(&mut self, src: RouterAddr, packet: Packet) -> Result<PacketId, NocError> {
+        let src_idx = self
+            .index(src)
+            .ok_or(SendError::UnknownSource(src))?;
+        self.index(packet.dest())
+            .ok_or(SendError::UnknownDestination(packet.dest()))?;
+        packet.validate(&self.config)?;
+        let id = PacketId(self.next_id);
+        self.next_id += 1;
+        self.stats.add_record(PacketRecord {
+            id,
+            src,
+            dest: packet.dest(),
+            sent: self.cycle,
+            injected: None,
+            header_delivered: None,
+            delivered: None,
+            wire_flits: packet.wire_flits(),
+            hops: src.hops_to(packet.dest()),
+        });
+        self.stats.packets_sent += 1;
+        let endpoint = &mut self.endpoints[src_idx];
+        if endpoint.outgoing.is_empty() {
+            // The local handshake also takes `cycles_per_flit` per flit; an
+            // idle source's first flit lands that many cycles after send.
+            endpoint.next_inject_ok = endpoint
+                .next_inject_ok
+                .max(self.cycle + u64::from(self.config.cycles_per_flit));
+        }
+        endpoint.enqueue(id, &packet);
+        Ok(id)
+    }
+
+    /// Removes and returns the oldest packet delivered at router `at`,
+    /// together with the address of its source router.
+    pub fn try_recv(&mut self, at: RouterAddr) -> Option<(RouterAddr, Packet)> {
+        let idx = self.index(at)?;
+        let (id, packet) = self.endpoints[idx].delivered.pop_front()?;
+        let src = self
+            .stats
+            .record(id)
+            .map(|r| r.src)
+            .unwrap_or_default();
+        Some((src, packet))
+    }
+
+    /// Number of packets delivered at `at` and not yet collected.
+    pub fn pending_recv(&self, at: RouterAddr) -> usize {
+        self.index(at)
+            .map(|idx| self.endpoints[idx].delivered.len())
+            .unwrap_or(0)
+    }
+
+    /// Flits still queued at the source interface of `at`, waiting to
+    /// enter the network. Useful to bound source queues in traffic
+    /// generators.
+    pub fn backlog_flits(&self, at: RouterAddr) -> usize {
+        self.index(at)
+            .map(|idx| self.endpoints[idx].backlog_flits())
+            .unwrap_or(0)
+    }
+
+    /// Whether no traffic is queued, in flight or in reassembly.
+    /// Delivered-but-uncollected packets do not count as traffic.
+    pub fn is_idle(&self) -> bool {
+        self.endpoints.iter().all(LocalEndpoint::is_idle)
+            && self.routers.iter().all(Router::is_idle)
+    }
+
+    /// Advances the simulation by one clock cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        let now = self.cycle;
+        self.inject_phase(now);
+        self.routing_phase(now);
+        self.forward_phase(now);
+        self.stats.cycles = self.cycle;
+    }
+
+    /// Runs for exactly `cycles` clock cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until the network is idle.
+    ///
+    /// # Errors
+    ///
+    /// [`NocError::NotIdle`] if traffic is still in flight after `budget`
+    /// cycles.
+    pub fn run_until_idle(&mut self, budget: u64) -> Result<u64, NocError> {
+        let start = self.cycle;
+        while !self.is_idle() {
+            if self.cycle - start >= budget {
+                return Err(NocError::NotIdle { budget });
+            }
+            self.step();
+        }
+        Ok(self.cycle - start)
+    }
+
+    /// Phase A: each source interface pushes its next flit into the local
+    /// input buffer of its router, at the handshake cadence.
+    fn inject_phase(&mut self, now: u64) {
+        for idx in 0..self.endpoints.len() {
+            let endpoint = &mut self.endpoints[idx];
+            if now < endpoint.next_inject_ok {
+                continue;
+            }
+            let Some((id, value)) = endpoint.peek_inject() else {
+                continue;
+            };
+            let local_in = &mut self.routers[idx].inputs[Port::Local.index()];
+            if local_in.buffer.is_full() {
+                continue;
+            }
+            let pushed = local_in.buffer.push(Flit::new(value, id, now));
+            debug_assert!(pushed);
+            let endpoint = &mut self.endpoints[idx];
+            endpoint.pop_inject();
+            endpoint.next_inject_ok = now + u64::from(self.config.cycles_per_flit);
+            let record = self.stats.record_mut(id).expect("record exists");
+            if record.injected.is_none() {
+                record.injected = Some(now);
+            }
+            let addr = self.routers[idx].addr;
+            *self.stats.local_ingress_flits.entry(addr).or_insert(0) += 1;
+            self.stats.flit_hops += 1;
+        }
+    }
+
+    /// Phase B: each router's control logic runs arbitration and the
+    /// routing algorithm for at most one pending header. A granted
+    /// connection becomes active after the routing charge has elapsed.
+    fn routing_phase(&mut self, now: u64) {
+        // From header arrival to header forwarded is `routing_cycles ×
+        // cycles_per_flit` (the paper's latency formula charges R_i flit
+        // periods per router). One cycle is consumed by the grant itself.
+        let decision_delay = u64::from(self.config.routing_cycles)
+            * u64::from(self.config.cycles_per_flit)
+            - 1;
+        for idx in 0..self.routers.len() {
+            let router = &mut self.routers[idx];
+            if now < router.control_busy_until {
+                continue;
+            }
+            let here = router.addr;
+            let mut granted = None;
+            let mut blocked = false;
+            for in_idx in router.arbiter.scan_order() {
+                let input = &router.inputs[in_idx];
+                if !input.has_pending_header(now) {
+                    continue;
+                }
+                let header = input.buffer.peek().expect("pending header").value;
+                let dest = RouterAddr::from_flit(header, self.config.flit_bits);
+                let out_port = self.config.routing.route(here, dest);
+                debug_assert!(
+                    router.has_port(out_port, self.config.width, self.config.height),
+                    "XY routing picked a port off the mesh edge"
+                );
+                let out = out_port.index();
+                if router.outputs[out].owner.is_none() {
+                    granted = Some((in_idx, out));
+                    break;
+                }
+                blocked = true;
+            }
+            if let Some((in_idx, out)) = granted {
+                let router = &mut self.routers[idx];
+                router.inputs[in_idx].conn = Some(out);
+                router.inputs[in_idx].conn_active_at = now + decision_delay;
+                router.outputs[out].owner = Some(in_idx);
+                router.control_busy_until = now + decision_delay;
+                router.arbiter.grant(in_idx);
+                router.counters.grants += 1;
+                self.stats.routers[idx].grants += 1;
+            } else if blocked {
+                self.routers[idx].counters.blocked_cycles += 1;
+                self.stats.routers[idx].blocked_cycles += 1;
+            }
+        }
+    }
+
+    /// Phase C: every established connection forwards one flit when the
+    /// handshake cadence allows and the downstream buffer has space.
+    fn forward_phase(&mut self, now: u64) {
+        // Collect transfers first (immutable scan), then apply them; a
+        // downstream buffer is fed by exactly one upstream output, so the
+        // decisions cannot conflict.
+        let mut transfers: Vec<(usize, usize, usize)> = Vec::new();
+        for (idx, router) in self.routers.iter().enumerate() {
+            for (in_idx, input) in router.inputs.iter().enumerate() {
+                let Some(out) = input.conn else { continue };
+                if now < input.conn_active_at {
+                    continue;
+                }
+                if now < router.outputs[out].next_free {
+                    continue;
+                }
+                let Some(flit) = input.buffer.peek() else {
+                    continue;
+                };
+                if flit.arrived >= now {
+                    continue;
+                }
+                let out_port = Port::from_index(out);
+                let has_space = match out_port {
+                    Port::Local => true,
+                    _ => {
+                        let Some(next) = self.neighbour(router.addr, out_port) else {
+                            continue;
+                        };
+                        let next_idx = self.index(next).expect("neighbour in mesh");
+                        let in_port = out_port.opposite().expect("non-local").index();
+                        !self.routers[next_idx].inputs[in_port].buffer.is_full()
+                    }
+                };
+                if has_space {
+                    transfers.push((idx, in_idx, out));
+                }
+            }
+        }
+
+        let cadence = u64::from(self.config.cycles_per_flit);
+        for (idx, in_idx, out) in transfers {
+            let here = self.routers[idx].addr;
+            let out_port = Port::from_index(out);
+            let mut flit = self.routers[idx].inputs[in_idx]
+                .buffer
+                .pop()
+                .expect("transfer decided on peeked flit");
+            self.routers[idx].outputs[out].next_free = now + cadence;
+            self.routers[idx].counters.flits_forwarded += 1;
+            self.stats.routers[idx].flits_forwarded += 1;
+            self.stats.flit_hops += 1;
+            *self.stats.link_flits.entry((here, out_port)).or_insert(0) += 1;
+
+            // Track packet boundaries on the forwarding side.
+            let input = &mut self.routers[idx].inputs[in_idx];
+            input.fwd_count += 1;
+            if input.fwd_count == 2 {
+                input.fwd_expected = Some(usize::from(flit.value) + 2);
+            }
+            let close = input.fwd_expected == Some(input.fwd_count);
+            if close {
+                input.close();
+                self.routers[idx].outputs[out].owner = None;
+            }
+
+            flit.arrived = now;
+            match out_port {
+                Port::Local => {
+                    self.stats.flits_delivered += 1;
+                    match self.endpoints[idx].receive(flit) {
+                        RxEvent::HeaderArrived(id) => {
+                            if let Some(record) = self.stats.record_mut(id) {
+                                record.header_delivered = Some(now);
+                            }
+                        }
+                        RxEvent::Completed(id) => {
+                            if let Some(record) = self.stats.record_mut(id) {
+                                record.delivered = Some(now);
+                            }
+                            self.stats.packets_delivered += 1;
+                        }
+                        RxEvent::Progress => {}
+                    }
+                }
+                _ => {
+                    let next = self
+                        .neighbour(here, out_port)
+                        .expect("transfer to existing neighbour");
+                    let next_idx = self.index(next).expect("neighbour in mesh");
+                    let in_port = out_port.opposite().expect("non-local").index();
+                    let pushed = self.routers[next_idx].inputs[in_port].buffer.push(flit);
+                    debug_assert!(pushed, "downstream buffer checked for space");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency;
+
+    fn noc_2x2() -> Noc {
+        Noc::new(NocConfig::mesh(2, 2)).expect("valid config")
+    }
+
+    #[test]
+    fn delivers_a_packet_with_payload_intact() {
+        let mut noc = noc_2x2();
+        let src = RouterAddr::new(0, 0);
+        let dst = RouterAddr::new(1, 1);
+        noc.send(src, Packet::new(dst, vec![1, 2, 3, 4, 5]))
+            .expect("send");
+        noc.run_until_idle(10_000).expect("delivered");
+        let (from, packet) = noc.try_recv(dst).expect("delivered packet");
+        assert_eq!(from, src);
+        assert_eq!(packet.payload(), &[1, 2, 3, 4, 5]);
+        assert!(noc.try_recv(dst).is_none());
+    }
+
+    #[test]
+    fn minimal_latency_matches_paper_formula() {
+        // latency = (sum Ri + P) * 2 in an idle network.
+        for (dst, payload_len) in [
+            (RouterAddr::new(0, 0), 4usize),
+            (RouterAddr::new(1, 0), 4),
+            (RouterAddr::new(1, 1), 4),
+            (RouterAddr::new(3, 3), 10),
+            (RouterAddr::new(2, 0), 0),
+        ] {
+            let mut noc = Noc::new(NocConfig::mesh(4, 4)).unwrap();
+            let src = RouterAddr::new(0, 0);
+            let id = noc
+                .send(src, Packet::new(dst, vec![7; payload_len]))
+                .unwrap();
+            noc.run_until_idle(100_000).unwrap();
+            let record = noc.stats().record(id).unwrap();
+            let expected = latency::minimal_latency(
+                src.routers_on_path(dst),
+                record.wire_flits,
+                noc.config().routing_cycles,
+                noc.config().cycles_per_flit,
+            );
+            assert_eq!(
+                record.latency(),
+                expected,
+                "dst {dst} payload {payload_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_addressed_packet_loops_through_local_port() {
+        let mut noc = noc_2x2();
+        let here = RouterAddr::new(0, 0);
+        noc.send(here, Packet::new(here, vec![42])).unwrap();
+        noc.run_until_idle(1_000).unwrap();
+        let (from, packet) = noc.try_recv(here).expect("delivered");
+        assert_eq!(from, here);
+        assert_eq!(packet.payload(), &[42]);
+    }
+
+    #[test]
+    fn rejects_out_of_mesh_addresses() {
+        let mut noc = noc_2x2();
+        let bad = RouterAddr::new(5, 5);
+        let ok = RouterAddr::new(0, 0);
+        assert!(matches!(
+            noc.send(bad, Packet::new(ok, vec![])),
+            Err(NocError::Send(SendError::UnknownSource(_)))
+        ));
+        assert!(matches!(
+            noc.send(ok, Packet::new(bad, vec![])),
+            Err(NocError::Send(SendError::UnknownDestination(_)))
+        ));
+    }
+
+    #[test]
+    fn many_packets_all_arrive() {
+        let mut noc = Noc::new(NocConfig::mesh(4, 4)).unwrap();
+        let mut expected = 0;
+        for x in 0..4u8 {
+            for y in 0..4u8 {
+                let src = RouterAddr::new(x, y);
+                let dst = RouterAddr::new(3 - x, 3 - y);
+                for k in 0..5u16 {
+                    noc.send(src, Packet::new(dst, vec![k, k + 1, k + 2])).unwrap();
+                    expected += 1;
+                }
+            }
+        }
+        noc.run_until_idle(1_000_000).unwrap();
+        assert_eq!(noc.stats().packets_delivered, expected);
+        let mut collected = 0;
+        for x in 0..4u8 {
+            for y in 0..4u8 {
+                while noc.try_recv(RouterAddr::new(x, y)).is_some() {
+                    collected += 1;
+                }
+            }
+        }
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn wormhole_preserves_per_flow_packet_order() {
+        let mut noc = noc_2x2();
+        let src = RouterAddr::new(0, 0);
+        let dst = RouterAddr::new(1, 1);
+        for k in 0..10u16 {
+            noc.send(src, Packet::new(dst, vec![k])).unwrap();
+        }
+        noc.run_until_idle(100_000).unwrap();
+        for k in 0..10u16 {
+            let (_, packet) = noc.try_recv(dst).expect("in order");
+            assert_eq!(packet.payload(), &[k]);
+        }
+    }
+
+    #[test]
+    fn run_until_idle_reports_budget_exhaustion() {
+        let mut noc = noc_2x2();
+        noc.send(
+            RouterAddr::new(0, 0),
+            Packet::new(RouterAddr::new(1, 1), vec![0; 50]),
+        )
+        .unwrap();
+        assert_eq!(
+            noc.run_until_idle(3),
+            Err(NocError::NotIdle { budget: 3 })
+        );
+        // And it can still finish afterwards.
+        noc.run_until_idle(100_000).unwrap();
+        assert_eq!(noc.stats().packets_delivered, 1);
+    }
+
+    #[test]
+    fn idle_network_stays_idle() {
+        let mut noc = noc_2x2();
+        assert!(noc.is_idle());
+        noc.run(100);
+        assert!(noc.is_idle());
+        assert_eq!(noc.stats().flit_hops, 0);
+    }
+
+    #[test]
+    fn contended_output_serializes_packets() {
+        // Two sources target the same destination; both must arrive.
+        let mut noc = noc_2x2();
+        let dst = RouterAddr::new(1, 1);
+        noc.send(RouterAddr::new(0, 0), Packet::new(dst, vec![1; 20]))
+            .unwrap();
+        noc.send(RouterAddr::new(1, 0), Packet::new(dst, vec![2; 20]))
+            .unwrap();
+        noc.run_until_idle(100_000).unwrap();
+        assert_eq!(noc.pending_recv(dst), 2);
+        let payloads: Vec<Vec<u16>> = (0..2)
+            .map(|_| noc.try_recv(dst).unwrap().1.into_payload())
+            .collect();
+        assert!(payloads.contains(&vec![1; 20]));
+        assert!(payloads.contains(&vec![2; 20]));
+    }
+
+    #[test]
+    fn link_stats_accumulate() {
+        let mut noc = noc_2x2();
+        let src = RouterAddr::new(0, 0);
+        let dst = RouterAddr::new(1, 0);
+        noc.send(src, Packet::new(dst, vec![9, 9])).unwrap();
+        noc.run_until_idle(10_000).unwrap();
+        // 4 wire flits crossed (0,0)->East and were delivered at (1,0) Local.
+        assert_eq!(noc.stats().link_flits[&(src, Port::East)], 4);
+        assert_eq!(noc.stats().link_flits[&(dst, Port::Local)], 4);
+        assert_eq!(noc.stats().flits_delivered, 4);
+    }
+}

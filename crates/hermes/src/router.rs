@@ -1,0 +1,154 @@
+//! The Hermes router: five buffered input ports, five output ports and a
+//! single centralized control logic running routing and arbitration
+//! (Fig. 2 of the paper).
+
+use crate::addr::{Port, RouterAddr};
+use crate::arbiter::Arbiter;
+use crate::buffer::FlitBuffer;
+use crate::config::NocConfig;
+
+/// One buffered input port and its wormhole connection state.
+#[derive(Debug)]
+pub(crate) struct InputPort {
+    /// Circular FIFO holding flits waiting to be forwarded.
+    pub buffer: FlitBuffer,
+    /// Output port this input is currently connected to, if any.
+    pub conn: Option<usize>,
+    /// Cycle at which the connection becomes usable (routing charge).
+    pub conn_active_at: u64,
+    /// Flits of the current packet already forwarded over `conn`.
+    pub fwd_count: usize,
+    /// Total wire flits of the current packet, known once the size flit
+    /// has been forwarded.
+    pub fwd_expected: Option<usize>,
+}
+
+impl InputPort {
+    fn new(depth: usize) -> Self {
+        Self {
+            buffer: FlitBuffer::new(depth),
+            conn: None,
+            conn_active_at: 0,
+            fwd_count: 0,
+            fwd_expected: None,
+        }
+    }
+
+    /// Whether the head flit is an unrouted packet header.
+    pub fn has_pending_header(&self, now: u64) -> bool {
+        self.conn.is_none()
+            && self.fwd_count == 0
+            && self
+                .buffer
+                .peek()
+                .is_some_and(|flit| flit.arrived < now)
+    }
+
+    /// Clears connection state after the packet trailer has left.
+    pub fn close(&mut self) {
+        self.conn = None;
+        self.fwd_count = 0;
+        self.fwd_expected = None;
+    }
+}
+
+/// One output port: the physical channel towards a neighbour (or the local
+/// IP) plus the switch state saying which input owns it.
+#[derive(Debug)]
+pub(crate) struct OutputPort {
+    /// Input port currently connected through the crossbar, if any.
+    pub owner: Option<usize>,
+    /// Earliest cycle the next flit transfer may complete (the
+    /// asynchronous handshake takes `cycles_per_flit` per flit).
+    pub next_free: u64,
+}
+
+impl OutputPort {
+    fn new() -> Self {
+        Self {
+            owner: None,
+            next_free: 0,
+        }
+    }
+}
+
+/// Per-router counters exposed through [`NocStats`](crate::stats::NocStats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterCounters {
+    /// Connections granted by the control logic.
+    pub grants: u64,
+    /// Cycle-samples in which a routing request waited on a busy output.
+    pub blocked_cycles: u64,
+    /// Flits forwarded through this router (all output ports).
+    pub flits_forwarded: u64,
+}
+
+/// A Hermes router.
+#[derive(Debug)]
+pub(crate) struct Router {
+    pub addr: RouterAddr,
+    pub inputs: [InputPort; 5],
+    pub outputs: [OutputPort; 5],
+    pub arbiter: Arbiter,
+    /// The centralized control handles one routing decision at a time;
+    /// while busy no new connection can be granted.
+    pub control_busy_until: u64,
+    pub counters: RouterCounters,
+}
+
+impl Router {
+    pub fn new(addr: RouterAddr, config: &NocConfig) -> Self {
+        Self {
+            addr,
+            inputs: std::array::from_fn(|_| InputPort::new(config.buffer_depth)),
+            outputs: std::array::from_fn(|_| OutputPort::new()),
+            arbiter: Arbiter::new(config.arbitration, 5),
+            control_busy_until: 0,
+            counters: RouterCounters::default(),
+        }
+    }
+
+    /// Whether a port exists on this router within a `width`×`height`
+    /// mesh (border routers lack the ports that would leave the mesh).
+    pub fn has_port(&self, port: Port, width: u8, height: u8) -> bool {
+        match port {
+            Port::East => self.addr.x() + 1 < width,
+            Port::West => self.addr.x() > 0,
+            Port::North => self.addr.y() + 1 < height,
+            Port::South => self.addr.y() > 0,
+            Port::Local => true,
+        }
+    }
+
+    /// All buffers empty and no connection open.
+    pub fn is_idle(&self) -> bool {
+        self.inputs
+            .iter()
+            .all(|input| input.buffer.is_empty() && input.conn.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn border_router_port_presence() {
+        let config = NocConfig::mesh(2, 2);
+        let r = Router::new(RouterAddr::new(0, 0), &config);
+        assert!(r.has_port(Port::East, 2, 2));
+        assert!(!r.has_port(Port::West, 2, 2));
+        assert!(r.has_port(Port::North, 2, 2));
+        assert!(!r.has_port(Port::South, 2, 2));
+        assert!(r.has_port(Port::Local, 2, 2));
+        let r = Router::new(RouterAddr::new(1, 1), &config);
+        assert!(!r.has_port(Port::East, 2, 2));
+        assert!(r.has_port(Port::West, 2, 2));
+    }
+
+    #[test]
+    fn fresh_router_is_idle() {
+        let r = Router::new(RouterAddr::new(0, 0), &NocConfig::default());
+        assert!(r.is_idle());
+    }
+}

@@ -1,0 +1,105 @@
+//! Routing algorithms.
+//!
+//! The paper employs the deterministic XY algorithm: a packet first moves
+//! along the X dimension until the destination column is reached, then
+//! along Y. XY is minimal and deadlock-free on a mesh (it forbids the
+//! turns that could close a cyclic channel dependency). YX is included as
+//! the mirror-image ablation.
+
+use crate::addr::{Port, RouterAddr};
+
+/// Deterministic routing algorithm run by each router's control logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Routing {
+    /// Route along X (East/West) first, then Y (North/South). Used by the
+    /// paper.
+    #[default]
+    Xy,
+    /// Route along Y first, then X. Equally deadlock-free; ablation only.
+    Yx,
+}
+
+impl Routing {
+    /// The output port a packet for `dest` takes at router `here`.
+    /// Returns [`Port::Local`] when the packet has arrived.
+    pub fn route(self, here: RouterAddr, dest: RouterAddr) -> Port {
+        match self {
+            Routing::Xy => Self::step_x(here, dest)
+                .or_else(|| Self::step_y(here, dest))
+                .unwrap_or(Port::Local),
+            Routing::Yx => Self::step_y(here, dest)
+                .or_else(|| Self::step_x(here, dest))
+                .unwrap_or(Port::Local),
+        }
+    }
+
+    fn step_x(here: RouterAddr, dest: RouterAddr) -> Option<Port> {
+        match dest.x().cmp(&here.x()) {
+            std::cmp::Ordering::Greater => Some(Port::East),
+            std::cmp::Ordering::Less => Some(Port::West),
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+
+    fn step_y(here: RouterAddr, dest: RouterAddr) -> Option<Port> {
+        match dest.y().cmp(&here.y()) {
+            std::cmp::Ordering::Greater => Some(Port::North),
+            std::cmp::Ordering::Less => Some(Port::South),
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_goes_x_first() {
+        let here = RouterAddr::new(1, 1);
+        assert_eq!(Routing::Xy.route(here, RouterAddr::new(3, 3)), Port::East);
+        assert_eq!(Routing::Xy.route(here, RouterAddr::new(0, 3)), Port::West);
+        assert_eq!(Routing::Xy.route(here, RouterAddr::new(1, 3)), Port::North);
+        assert_eq!(Routing::Xy.route(here, RouterAddr::new(1, 0)), Port::South);
+        assert_eq!(Routing::Xy.route(here, here), Port::Local);
+    }
+
+    #[test]
+    fn yx_goes_y_first() {
+        let here = RouterAddr::new(1, 1);
+        assert_eq!(Routing::Yx.route(here, RouterAddr::new(3, 3)), Port::North);
+        assert_eq!(Routing::Yx.route(here, RouterAddr::new(3, 1)), Port::East);
+    }
+
+    /// Following the routing function step by step must reach the
+    /// destination in exactly the Manhattan distance.
+    #[test]
+    fn routing_is_minimal_and_terminates() {
+        for routing in [Routing::Xy, Routing::Yx] {
+            for sx in 0..4u8 {
+                for sy in 0..4u8 {
+                    for dx in 0..4u8 {
+                        for dy in 0..4u8 {
+                            let dest = RouterAddr::new(dx, dy);
+                            let mut here = RouterAddr::new(sx, sy);
+                            let mut hops = 0;
+                            loop {
+                                match routing.route(here, dest) {
+                                    Port::Local => break,
+                                    Port::East => here = RouterAddr::new(here.x() + 1, here.y()),
+                                    Port::West => here = RouterAddr::new(here.x() - 1, here.y()),
+                                    Port::North => here = RouterAddr::new(here.x(), here.y() + 1),
+                                    Port::South => here = RouterAddr::new(here.x(), here.y() - 1),
+                                }
+                                hops += 1;
+                                assert!(hops <= 8, "routing did not terminate");
+                            }
+                            assert_eq!(here, dest);
+                            assert_eq!(hops, RouterAddr::new(sx, sy).hops_to(dest));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

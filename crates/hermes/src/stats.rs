@@ -1,0 +1,287 @@
+//! Network statistics: per-packet latency records, link utilization and
+//! router counters.
+
+use std::collections::HashMap;
+
+use crate::addr::{Port, RouterAddr};
+use crate::endpoint::PacketId;
+pub use crate::router::RouterCounters;
+
+/// Life-cycle record of one packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// Identifier returned by [`Noc::send`](crate::Noc::send).
+    pub id: PacketId,
+    /// Source router.
+    pub src: RouterAddr,
+    /// Destination router.
+    pub dest: RouterAddr,
+    /// Cycle at which the packet was submitted to the source interface.
+    pub sent: u64,
+    /// Cycle at which the header flit entered the network, if it has.
+    pub injected: Option<u64>,
+    /// Cycle at which the header flit reached the destination IP, if it has.
+    pub header_delivered: Option<u64>,
+    /// Cycle at which the last flit reached the destination IP, if it has.
+    pub delivered: Option<u64>,
+    /// Total wire flits (header + size + payload) — the `P` of the
+    /// paper's latency formula.
+    pub wire_flits: usize,
+    /// Links traversed (Manhattan distance between source and destination).
+    pub hops: u32,
+}
+
+impl PacketRecord {
+    /// Whether all flits have reached the destination.
+    pub fn is_delivered(&self) -> bool {
+        self.delivered.is_some()
+    }
+
+    /// End-to-end latency in clock cycles, from submission to delivery of
+    /// the last flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet has not been delivered yet; check
+    /// [`is_delivered`](Self::is_delivered) first.
+    pub fn latency(&self) -> u64 {
+        self.delivered.expect("packet not delivered yet") - self.sent
+    }
+
+    /// Network latency in clock cycles, from header injection to delivery
+    /// of the last flit (excludes source queueing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet has not been delivered yet.
+    pub fn network_latency(&self) -> u64 {
+        self.delivered.expect("packet not delivered yet")
+            - self.injected.expect("packet not injected yet")
+    }
+
+    /// Number of routers on the path, source and target included — the
+    /// `n` of the paper's latency formula.
+    pub fn routers_on_path(&self) -> u32 {
+        self.hops + 1
+    }
+}
+
+/// A directed inter-router link (or a local ingress/egress), identified by
+/// the upstream router and its output port.
+pub type LinkId = (RouterAddr, Port);
+
+/// Aggregate statistics of a [`Noc`](crate::Noc) run.
+#[derive(Debug, Clone, Default)]
+pub struct NocStats {
+    /// Simulated clock cycles so far.
+    pub cycles: u64,
+    /// Packets submitted via `send`.
+    pub packets_sent: u64,
+    /// Packets whose last flit reached their destination IP.
+    pub packets_delivered: u64,
+    /// Flits that completed a hop (including local ingress/egress).
+    pub flit_hops: u64,
+    /// Flits delivered to destination IPs.
+    pub flits_delivered: u64,
+    /// Per-packet records, indexed by packet id order.
+    records: Vec<PacketRecord>,
+    index: HashMap<PacketId, usize>,
+    /// Flits transferred per directed link. `(router, Local)` is the
+    /// router-to-IP egress channel; IP-to-router injections are counted
+    /// separately in [`local_ingress_flits`](Self::local_ingress_flits).
+    pub link_flits: HashMap<LinkId, u64>,
+    /// Flits injected by each IP into its router (the IP-to-router
+    /// direction of the local port).
+    pub local_ingress_flits: HashMap<RouterAddr, u64>,
+    /// Per-router control-logic counters, indexed `y * width + x`.
+    pub routers: Vec<RouterCounters>,
+}
+
+impl NocStats {
+    pub(crate) fn new(router_count: usize) -> Self {
+        Self {
+            routers: vec![RouterCounters::default(); router_count],
+            ..Self::default()
+        }
+    }
+
+    pub(crate) fn add_record(&mut self, record: PacketRecord) {
+        self.index.insert(record.id, self.records.len());
+        self.records.push(record);
+    }
+
+    pub(crate) fn record_mut(&mut self, id: PacketId) -> Option<&mut PacketRecord> {
+        self.index.get(&id).map(|&i| &mut self.records[i])
+    }
+
+    /// Record of one packet by id.
+    pub fn record(&self, id: PacketId) -> Option<&PacketRecord> {
+        self.index.get(&id).map(|&i| &self.records[i])
+    }
+
+    /// All packet records, in submission order.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Mean end-to-end latency over delivered packets, or `None` if no
+    /// packet was delivered.
+    pub fn mean_latency(&self) -> Option<f64> {
+        let delivered: Vec<u64> = self
+            .records
+            .iter()
+            .filter(|r| r.is_delivered())
+            .map(PacketRecord::latency)
+            .collect();
+        if delivered.is_empty() {
+            None
+        } else {
+            Some(delivered.iter().sum::<u64>() as f64 / delivered.len() as f64)
+        }
+    }
+
+    /// Latency at quantile `q` in `0.0..=1.0` over delivered packets.
+    pub fn latency_quantile(&self, q: f64) -> Option<u64> {
+        let mut delivered: Vec<u64> = self
+            .records
+            .iter()
+            .filter(|r| r.is_delivered())
+            .map(PacketRecord::latency)
+            .collect();
+        if delivered.is_empty() {
+            return None;
+        }
+        delivered.sort_unstable();
+        let idx = ((delivered.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(delivered[idx])
+    }
+
+    /// Accepted traffic in flits per cycle per node over the whole run.
+    pub fn accepted_flits_per_cycle_per_node(&self, nodes: usize) -> f64 {
+        if self.cycles == 0 || nodes == 0 {
+            return 0.0;
+        }
+        self.flits_delivered as f64 / self.cycles as f64 / nodes as f64
+    }
+
+    /// Utilization of the busiest directed link: flit-transfer cycles over
+    /// total cycles (a link at 1.0 moves a flit every `cycles_per_flit`).
+    pub fn peak_link_utilization(&self, cycles_per_flit: u32) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let max = self.link_flits.values().copied().max().unwrap_or(0);
+        max as f64 * f64::from(cycles_per_flit) / self.cycles as f64
+    }
+
+    /// Delivered bits per second on the busiest link at `clock_hz`.
+    pub fn peak_link_throughput_bps(&self, flit_bits: u8, clock_hz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let max = self.link_flits.values().copied().max().unwrap_or(0);
+        max as f64 * f64::from(flit_bits) * clock_hz / self.cycles as f64
+    }
+
+    /// A multi-line human-readable summary of the run.
+    ///
+    /// ```rust
+    /// # use hermes_noc::{Noc, NocConfig, Packet, RouterAddr};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let mut noc = Noc::new(NocConfig::mesh(2, 2))?;
+    /// # noc.send(RouterAddr::new(0, 0), Packet::new(RouterAddr::new(1, 1), vec![1]))?;
+    /// # noc.run_until_idle(10_000)?;
+    /// println!("{}", noc.stats().report(2));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn report(&self, cycles_per_flit: u32) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cycles: {}\npackets: {} sent, {} delivered\nflits: {} hops, {} delivered\n",
+            self.cycles,
+            self.packets_sent,
+            self.packets_delivered,
+            self.flit_hops,
+            self.flits_delivered,
+        ));
+        if let Some(mean) = self.mean_latency() {
+            out.push_str(&format!(
+                "latency: mean {:.1}, p50 {}, p99 {} cycles\n",
+                mean,
+                self.latency_quantile(0.5).unwrap_or(0),
+                self.latency_quantile(0.99).unwrap_or(0),
+            ));
+        }
+        out.push_str(&format!(
+            "peak link utilization: {:.1}%\n",
+            self.peak_link_utilization(cycles_per_flit) * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, sent: u64, delivered: Option<u64>) -> PacketRecord {
+        PacketRecord {
+            id: PacketId(id),
+            src: RouterAddr::new(0, 0),
+            dest: RouterAddr::new(1, 1),
+            sent,
+            injected: Some(sent + 2),
+            header_delivered: delivered.map(|d| d - 2),
+            delivered,
+            wire_flits: 4,
+            hops: 2,
+        }
+    }
+
+    #[test]
+    fn mean_latency_ignores_undelivered() {
+        let mut stats = NocStats::new(4);
+        stats.add_record(record(0, 0, Some(40)));
+        stats.add_record(record(1, 0, Some(60)));
+        stats.add_record(record(2, 0, None));
+        assert_eq!(stats.mean_latency(), Some(50.0));
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut stats = NocStats::new(4);
+        for i in 0..10u64 {
+            stats.add_record(record(i, 0, Some((i + 1) * 10)));
+        }
+        assert_eq!(stats.latency_quantile(0.0), Some(10));
+        assert_eq!(stats.latency_quantile(1.0), Some(100));
+        assert_eq!(stats.latency_quantile(0.5), Some(60));
+    }
+
+    #[test]
+    fn empty_stats_return_none_or_zero() {
+        let stats = NocStats::new(4);
+        assert_eq!(stats.mean_latency(), None);
+        assert_eq!(stats.latency_quantile(0.5), None);
+        assert_eq!(stats.accepted_flits_per_cycle_per_node(4), 0.0);
+        assert_eq!(stats.peak_link_utilization(2), 0.0);
+    }
+
+    #[test]
+    fn record_lookup_by_id() {
+        let mut stats = NocStats::new(4);
+        stats.add_record(record(7, 3, Some(50)));
+        assert_eq!(stats.record(PacketId(7)).unwrap().sent, 3);
+        assert!(stats.record(PacketId(8)).is_none());
+        assert_eq!(stats.record(PacketId(7)).unwrap().latency(), 47);
+        assert_eq!(stats.record(PacketId(7)).unwrap().network_latency(), 45);
+        assert_eq!(stats.record(PacketId(7)).unwrap().routers_on_path(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not delivered")]
+    fn latency_of_undelivered_packet_panics() {
+        record(0, 0, None).latency();
+    }
+}

@@ -1,0 +1,114 @@
+//! Crate-level property tests of the Hermes simulator: conservation
+//! invariants and deadlock freedom in hostile configurations.
+
+use hermes_noc::traffic::{Pattern, Rng64, TrafficGen};
+use hermes_noc::{Noc, NocConfig, Packet, Port, RouterAddr};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Single-flit buffers, every pattern, random load: XY wormhole must
+    /// still deliver everything (deadlock freedom does not depend on
+    /// buffer depth).
+    #[test]
+    fn minimum_buffers_never_deadlock(
+        seed in 0u64..500,
+        pattern_pick in 0usize..3,
+    ) {
+        let pattern = [Pattern::Uniform, Pattern::Transpose, Pattern::BitComplement][pattern_pick];
+        let config = NocConfig::mesh(4, 4).with_buffer_depth(1);
+        let mut noc = Noc::new(config).unwrap();
+        let mut gen = TrafficGen::new(pattern, 0.3, 6, seed);
+        for _ in 0..3_000 {
+            gen.pump(&mut noc).unwrap();
+            noc.step();
+        }
+        // Everything in flight must drain once injection stops.
+        noc.run_until_idle(5_000_000).expect("drained without deadlock");
+        prop_assert_eq!(
+            noc.stats().packets_delivered,
+            noc.stats().packets_sent
+        );
+    }
+
+    /// Flit conservation: every injected flit is eventually delivered,
+    /// and per-hop link counters are consistent with the totals.
+    #[test]
+    fn flit_conservation(seed in 0u64..500) {
+        let config = NocConfig::mesh(3, 3);
+        let mut noc = Noc::new(config).unwrap();
+        let mut rng = Rng64::new(seed);
+        let mut expected_flits = 0u64;
+        for _ in 0..40 {
+            let src = RouterAddr::new(rng.below(3) as u8, rng.below(3) as u8);
+            let dst = RouterAddr::new(rng.below(3) as u8, rng.below(3) as u8);
+            let len = rng.below(20) as usize;
+            noc.send(src, Packet::new(dst, vec![0x3C; len])).unwrap();
+            expected_flits += len as u64 + 2;
+        }
+        noc.run_until_idle(5_000_000).unwrap();
+        let stats = noc.stats();
+        prop_assert_eq!(stats.flits_delivered, expected_flits);
+        // Local egress flits across all routers equal delivered flits.
+        let egress: u64 = stats
+            .link_flits
+            .iter()
+            .filter(|((_, port), _)| *port == Port::Local)
+            .map(|(_, &count)| count)
+            .sum();
+        prop_assert_eq!(egress, expected_flits);
+        // Ingress equals delivered too (everything injected got out).
+        let ingress: u64 = stats.local_ingress_flits.values().sum();
+        prop_assert_eq!(ingress, expected_flits);
+        // Total hops = ingress + egress + inter-router hops; each packet
+        // takes exactly `hops` inter-router transfers per flit.
+        let inter: u64 = stats
+            .link_flits
+            .iter()
+            .filter(|((_, port), _)| *port != Port::Local)
+            .map(|(_, &count)| count)
+            .sum();
+        let expected_inter: u64 = stats
+            .records()
+            .iter()
+            .map(|r| u64::from(r.hops) * r.wire_flits as u64)
+            .sum();
+        prop_assert_eq!(inter, expected_inter);
+        prop_assert_eq!(stats.flit_hops, ingress + egress + inter);
+    }
+
+    /// Determinism: two networks fed identically step identically.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..200) {
+        let run = || {
+            let mut noc = Noc::new(NocConfig::mesh(4, 4)).unwrap();
+            let mut gen = TrafficGen::new(Pattern::Uniform, 0.2, 5, seed);
+            gen.drive(&mut noc, 2_000, 1_000_000).unwrap();
+            (
+                noc.cycle(),
+                noc.stats().packets_delivered,
+                noc.stats().flit_hops,
+                noc.stats().mean_latency(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Backlog accounting: after sending, the backlog equals the wire
+    /// flits queued; after draining it is zero.
+    #[test]
+    fn backlog_reflects_queued_flits(lens in proptest::collection::vec(0usize..30, 1..6)) {
+        let mut noc = Noc::new(NocConfig::mesh(2, 2)).unwrap();
+        let src = RouterAddr::new(0, 0);
+        let dst = RouterAddr::new(1, 1);
+        let mut total = 0;
+        for &len in &lens {
+            noc.send(src, Packet::new(dst, vec![1; len])).unwrap();
+            total += len + 2;
+        }
+        prop_assert_eq!(noc.backlog_flits(src), total);
+        noc.run_until_idle(5_000_000).unwrap();
+        prop_assert_eq!(noc.backlog_flits(src), 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! Parallel Sobel edge detection — the application of Fig. 10.
+//!
+//! "In this application the host computer sends an image line, after
+//! what each embedded processor computes one gradient (gx and gy). Next,
+//! that embedded processor adds gx and gy and notifies the host, which
+//! receives the processed line, and sends a new line to the MultiNoC
+//! system."
+//!
+//! Each output line needs a 3-line window. The host deposits the window
+//! in the processor's local memory, activates it, and the program
+//! computes `out[x] = |gx| + |gy|` for the interior pixels, prints a
+//! completion marker, and halts. Lines are distributed round-robin over
+//! the available processors so one computes while the host feeds the
+//! next — the pipeline the paper describes.
+
+use crate::error::SystemError;
+use crate::host::Host;
+use crate::node::NodeId;
+use crate::system::System;
+
+/// Local-memory address of the upper input row.
+pub const ROW0_ADDR: u16 = 0x200;
+/// Local-memory address of the middle input row.
+pub const ROW1_ADDR: u16 = 0x240;
+/// Local-memory address of the lower input row.
+pub const ROW2_ADDR: u16 = 0x280;
+/// Local-memory address of the output line.
+pub const OUT_ADDR: u16 = 0x2C0;
+/// Maximum line width the fixed row spacing supports.
+pub const MAX_WIDTH: u16 = 64;
+/// The completion marker each processor prints after a line.
+pub const DONE_MARKER: u16 = 0x00D0;
+
+/// A grayscale image with 16-bit pixels (values kept small enough that
+/// the Sobel sums never overflow 16 bits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<u16>,
+}
+
+impl Image {
+    /// An image from row-major pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height` or a pixel exceeds 255
+    /// (8-bit grayscale, as a camera would supply).
+    pub fn new(width: usize, height: usize, pixels: Vec<u16>) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel count mismatch");
+        assert!(
+            pixels.iter().all(|&p| p <= 255),
+            "pixels must be 8-bit grayscale"
+        );
+        Self {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// A deterministic synthetic test card: a bright diagonal bar and a
+    /// rectangle on a dark gradient background.
+    pub fn synthetic(width: usize, height: usize) -> Self {
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                let background = ((x + 2 * y) % 32) as u16;
+                let bar = if x.abs_diff(y) < 2 { 200 } else { 0 };
+                let rect = if (width / 4..width / 2).contains(&x)
+                    && (height / 4..height / 2).contains(&y)
+                {
+                    120
+                } else {
+                    0
+                };
+                pixels.push((background + bar + rect).min(255));
+            }
+        }
+        Self::new(width, height, pixels)
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Row `y` as a slice.
+    pub fn row(&self, y: usize) -> &[u16] {
+        &self.pixels[y * self.width..(y + 1) * self.width]
+    }
+}
+
+/// The R8 program computing one Sobel output line from the three input
+/// rows, for lines of `width` pixels.
+///
+/// # Panics
+///
+/// Panics if `width < 3` or `width > MAX_WIDTH`.
+pub fn program(width: u16) -> String {
+    assert!((3..=MAX_WIDTH).contains(&width), "width {width} unsupported");
+    let limit = width - 1;
+    format!(
+        "
+        .equ IO,   0xFFFF
+        .equ ROW0, {ROW0_ADDR}
+        .equ ROW1, {ROW1_ADDR}
+        .equ ROW2, {ROW2_ADDR}
+        .equ OUT,  {OUT_ADDR}
+        XOR  R0, R0, R0
+        XOR  R10, R10, R10
+        LIW  R3, OUT
+        ST   R10, R3, R0        ; out[0] = 0
+        LIW  R1, 1              ; x = 1
+        LIW  R2, {limit}        ; W - 1
+loop:
+        ; gx: left column sum -> R4
+        LIW  R3, ROW0
+        ADD  R5, R3, R1
+        SUBI R5, 1
+        LD   R4, R5, R0
+        LIW  R3, ROW1
+        ADD  R5, R3, R1
+        SUBI R5, 1
+        LD   R6, R5, R0
+        SL0  R6, R6
+        ADD  R4, R4, R6
+        LIW  R3, ROW2
+        ADD  R5, R3, R1
+        SUBI R5, 1
+        LD   R6, R5, R0
+        ADD  R4, R4, R6
+        ; gx: right column sum -> R7
+        LIW  R3, ROW0
+        ADD  R5, R3, R1
+        ADDI R5, 1
+        LD   R7, R5, R0
+        LIW  R3, ROW1
+        ADD  R5, R3, R1
+        ADDI R5, 1
+        LD   R6, R5, R0
+        SL0  R6, R6
+        ADD  R7, R7, R6
+        LIW  R3, ROW2
+        ADD  R5, R3, R1
+        ADDI R5, 1
+        LD   R6, R5, R0
+        ADD  R7, R7, R6
+        ; R8 = |left - right|
+        SUB  R8, R4, R7
+        JMPND negx
+        JMPD gotx
+negx:   SUB  R8, R7, R4
+gotx:
+        ; gy: top row sum -> R4
+        LIW  R3, ROW0
+        ADD  R5, R3, R1
+        LD   R4, R5, R0
+        SL0  R4, R4
+        SUBI R5, 1
+        LD   R6, R5, R0
+        ADD  R4, R4, R6
+        ADDI R5, 2
+        LD   R6, R5, R0
+        ADD  R4, R4, R6
+        ; gy: bottom row sum -> R7
+        LIW  R3, ROW2
+        ADD  R5, R3, R1
+        LD   R7, R5, R0
+        SL0  R7, R7
+        SUBI R5, 1
+        LD   R6, R5, R0
+        ADD  R7, R7, R6
+        ADDI R5, 2
+        LD   R6, R5, R0
+        ADD  R7, R7, R6
+        ; R9 = |top - bottom|
+        SUB  R9, R4, R7
+        JMPND negy
+        JMPD goty
+negy:   SUB  R9, R7, R4
+goty:
+        ; out[x] = gx + gy
+        ADD  R9, R8, R9
+        LIW  R3, OUT
+        ADD  R5, R3, R1
+        ST   R9, R5, R0
+        ADDI R1, 1
+        SUB  R11, R2, R1
+        JMPZD tail
+        JMPD loop
+tail:   LIW  R3, OUT
+        ADD  R5, R3, R2
+        XOR  R10, R10, R10
+        ST   R10, R5, R0        ; out[W-1] = 0
+        LIW  R12, {DONE_MARKER}
+        LIW  R13, IO
+        ST   R12, R13, R0       ; completion marker to the host
+        HALT
+"
+    )
+}
+
+/// Host-side reference Sobel, bit-identical to what the R8 program
+/// computes: interior pixels get `|gx| + |gy|`, borders are zero.
+pub fn reference(image: &Image) -> Vec<u16> {
+    let (w, h) = (image.width, image.height);
+    let mut out = vec![0u16; w * h];
+    let px = |x: usize, y: usize| i32::from(image.pixels[y * w + x]);
+    for y in 1..h.saturating_sub(1) {
+        for x in 1..w - 1 {
+            let left = px(x - 1, y - 1) + 2 * px(x - 1, y) + px(x - 1, y + 1);
+            let right = px(x + 1, y - 1) + 2 * px(x + 1, y) + px(x + 1, y + 1);
+            let top = px(x - 1, y - 1) + 2 * px(x, y - 1) + px(x + 1, y - 1);
+            let bottom = px(x - 1, y + 1) + 2 * px(x, y + 1) + px(x + 1, y + 1);
+            out[y * w + x] = ((left - right).unsigned_abs() + (top - bottom).unsigned_abs()) as u16;
+        }
+    }
+    out
+}
+
+/// Result of a hardware edge-detection run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeRun {
+    /// The detected edges, row-major, same dimensions as the input.
+    pub output: Vec<u16>,
+    /// Clock cycles the whole run took (loading, computing, reading).
+    pub cycles: u64,
+}
+
+/// Runs edge detection on `image`, distributing lines round-robin over
+/// `processors` exactly as the Fig. 10 application does. The processors
+/// must already hold the [`program`] for `image.width()` (use
+/// [`load`]).
+///
+/// # Errors
+///
+/// Any [`SystemError`] from the host protocol.
+///
+/// # Panics
+///
+/// Panics if `processors` is empty.
+pub fn run(
+    system: &mut System,
+    host: &mut Host,
+    processors: &[NodeId],
+    image: &Image,
+) -> Result<EdgeRun, SystemError> {
+    assert!(!processors.is_empty(), "need at least one processor");
+    let (w, h) = (image.width, image.height);
+    let start = system.cycle();
+    let mut output = vec![0u16; w * h];
+    if h >= 3 {
+        // In-flight bookkeeping: which output line a processor is
+        // working on, and how many printf words we expect from it.
+        let mut busy: Vec<Option<usize>> = vec![None; processors.len()];
+        let mut printed: Vec<usize> = processors
+            .iter()
+            .map(|&p| host.printf_output(p).len())
+            .collect();
+        let mut next_line = 1usize;
+        let mut remaining = h - 2;
+        while remaining > 0 {
+            for slot in 0..processors.len() {
+                let node = processors[slot];
+                if let Some(line) = busy[slot] {
+                    // Collect the finished line.
+                    host.wait_for_printf(system, node, printed[slot] + 1)?;
+                    printed[slot] += 1;
+                    let data = host.read_memory(system, node, OUT_ADDR, w)?;
+                    output[line * w..(line + 1) * w].copy_from_slice(&data);
+                    busy[slot] = None;
+                    remaining -= 1;
+                }
+                if next_line < h - 1 {
+                    // Feed the next window and set the processor going.
+                    let line = next_line;
+                    next_line += 1;
+                    host.write_memory(system, node, ROW0_ADDR, image.row(line - 1))?;
+                    host.write_memory(system, node, ROW1_ADDR, image.row(line))?;
+                    host.write_memory(system, node, ROW2_ADDR, image.row(line + 1))?;
+                    host.activate(system, node)?;
+                    busy[slot] = Some(line);
+                }
+            }
+        }
+    }
+    Ok(EdgeRun {
+        output,
+        cycles: system.cycle() - start,
+    })
+}
+
+/// Loads the edge program for `width`-pixel lines into every processor
+/// in `processors`.
+///
+/// # Errors
+///
+/// Any [`SystemError`] from the host protocol. Assembly of the built-in
+/// program cannot fail.
+pub fn load(
+    system: &mut System,
+    host: &mut Host,
+    processors: &[NodeId],
+    width: u16,
+) -> Result<(), SystemError> {
+    let source = program(width);
+    let image = r8::asm::assemble(&source).expect("built-in edge program assembles");
+    for &node in processors {
+        host.load_program(system, node, image.words())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PROCESSOR_1, PROCESSOR_2};
+
+    #[test]
+    fn program_assembles_for_all_supported_widths() {
+        for width in [3u16, 16, 32, 64] {
+            let p = r8::asm::assemble(&program(width)).expect("assembles");
+            assert!(p.len() < 0x200, "program must fit below ROW0");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn width_must_be_supported() {
+        program(65);
+    }
+
+    #[test]
+    fn reference_detects_a_vertical_step() {
+        // A hard vertical edge: columns 0..2 dark, 3.. bright.
+        let w = 6;
+        let pixels: Vec<u16> = (0..w * 5)
+            .map(|i| if i % w < 3 { 0 } else { 100 })
+            .collect();
+        let image = Image::new(w, 5, pixels);
+        let out = reference(&image);
+        // The edge sits between x=2 and x=3; responses peak there.
+        assert!(out[2 * w + 2] > 0);
+        assert!(out[2 * w + 3] > 0);
+        assert_eq!(out[2 * w + 1], 0); // flat area
+        assert_eq!(out[0], 0); // border
+    }
+
+    #[test]
+    fn single_processor_matches_reference() {
+        let image = Image::synthetic(16, 6);
+        let mut system = System::paper_config().unwrap();
+        let mut host = Host::new();
+        host.synchronize(&mut system).unwrap();
+        load(&mut system, &mut host, &[PROCESSOR_1], 16).unwrap();
+        let run = run(&mut system, &mut host, &[PROCESSOR_1], &image).unwrap();
+        assert_eq!(run.output, reference(&image));
+        assert!(run.cycles > 0);
+    }
+
+    #[test]
+    fn two_processors_match_reference_and_are_faster() {
+        let image = Image::synthetic(16, 10);
+
+        let mut system = System::paper_config().unwrap();
+        let mut host = Host::new();
+        host.synchronize(&mut system).unwrap();
+        load(&mut system, &mut host, &[PROCESSOR_1], 16).unwrap();
+        let serial = run(&mut system, &mut host, &[PROCESSOR_1], &image).unwrap();
+
+        let mut system = System::paper_config().unwrap();
+        let mut host = Host::new();
+        host.synchronize(&mut system).unwrap();
+        let both = [PROCESSOR_1, PROCESSOR_2];
+        load(&mut system, &mut host, &both, 16).unwrap();
+        let parallel = run(&mut system, &mut host, &both, &image).unwrap();
+
+        assert_eq!(serial.output, reference(&image));
+        assert_eq!(parallel.output, reference(&image));
+        assert!(
+            parallel.cycles < serial.cycles,
+            "parallel {} !< serial {}",
+            parallel.cycles,
+            serial.cycles
+        );
+    }
+
+    #[test]
+    fn tiny_images_yield_zero_output() {
+        let image = Image::synthetic(8, 2); // no interior line
+        let mut system = System::paper_config().unwrap();
+        let mut host = Host::new();
+        host.synchronize(&mut system).unwrap();
+        load(&mut system, &mut host, &[PROCESSOR_1], 8).unwrap();
+        let run = run(&mut system, &mut host, &[PROCESSOR_1], &image).unwrap();
+        assert!(run.output.iter().all(|&p| p == 0));
+    }
+}

@@ -1,0 +1,250 @@
+//! Distributed histogram with token-ring aggregation — a second
+//! multiprocessor application in the spirit of §4, written entirely in
+//! the compiled R8C language.
+//!
+//! The host scatters a data block over the processors' local memories.
+//! Each processor bins its chunk locally (16 bins of the low nibble),
+//! then the partial histograms are merged into a region of the remote
+//! memory IP under a **token ring**: processor *i* waits for a notify
+//! from processor *i−1*, performs its read-modify-write merge, and
+//! notifies processor *i+1* — the paper's message-passing
+//! synchronization carrying real mutual exclusion. The last processor
+//! reports completion with a printf.
+//!
+//! Before passing the token, each processor reads back the last shared
+//! bin: on the wormhole NoC this read is ordered behind the processor's
+//! own writes (same source-destination path), so its reply proves the
+//! merge has landed before the next processor may start.
+
+use crate::error::SystemError;
+use crate::host::Host;
+use crate::node::NodeId;
+use crate::system::System;
+
+/// Number of histogram bins (low nibble of each sample).
+pub const BINS: u16 = 16;
+/// Local address of the chunk the host scatters to each processor.
+pub const DATA_ADDR: u16 = 0x300;
+/// Largest chunk one processor can take.
+pub const MAX_CHUNK: usize = 0x80;
+/// Parameter block: chunk length.
+pub const PARAM_LEN: u16 = 0x380;
+/// Parameter block: predecessor node number (0 = first in the ring).
+pub const PARAM_PRED: u16 = 0x381;
+/// Parameter block: successor node number (0 = last in the ring).
+pub const PARAM_SUCC: u16 = 0x382;
+/// Parameter block: window address of the shared bins.
+pub const PARAM_SHARED: u16 = 0x383;
+/// Local scratch where each processor builds its partial histogram.
+pub const LOCAL_BINS: u16 = 0x3A0;
+/// Offset of the shared bins inside the remote memory IP.
+pub const SHARED_BINS_OFFSET: u16 = 0x40;
+/// The completion marker the last processor prints.
+pub const DONE_MARKER: u16 = 0x00D1;
+
+/// The R8C source of the per-processor worker.
+pub fn source() -> String {
+    format!(
+        "
+        // Distributed histogram worker (generated; see apps::histogram).
+        func main() {{
+            var n = peek({PARAM_LEN});
+            var pred = peek({PARAM_PRED});
+            var succ = peek({PARAM_SUCC});
+            var shared = peek({PARAM_SHARED});
+            var i = 0;
+            while (i < {BINS}) {{
+                poke({LOCAL_BINS} + i, 0);
+                i = i + 1;
+            }}
+            i = 0;
+            while (i < n) {{
+                var bin = peek({DATA_ADDR} + i) & 15;
+                poke({LOCAL_BINS} + bin, peek({LOCAL_BINS} + bin) + 1);
+                i = i + 1;
+            }}
+            if (pred) {{ wait(pred); }}
+            i = 0;
+            while (i < {BINS}) {{
+                poke(shared + i, peek(shared + i) + peek({LOCAL_BINS} + i));
+                i = i + 1;
+            }}
+            // Flush: a read on the same path drains the posted writes
+            // before the token moves on.
+            var fence = peek(shared + {BINS} - 1);
+            if (succ) {{ notify(succ); }}
+            else {{ printf({DONE_MARKER} + 0 * fence); }}
+        }}
+"
+    )
+}
+
+/// Host-side reference histogram.
+pub fn reference(data: &[u16]) -> Vec<u16> {
+    let mut bins = vec![0u16; usize::from(BINS)];
+    for &v in data {
+        bins[usize::from(v & 15)] += 1;
+    }
+    bins
+}
+
+/// Result of a distributed histogram run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramRun {
+    /// The merged 16-bin histogram.
+    pub bins: Vec<u16>,
+    /// Clock cycles from scatter to the final read-back.
+    pub cycles: u64,
+}
+
+/// Runs the distributed histogram of `data` over `processors` (ring
+/// order = slice order), merging into `memory_node`'s storage.
+///
+/// # Errors
+///
+/// Any [`SystemError`] from the host protocol; `BadLayout` if the data
+/// does not fit the processors' chunk buffers.
+///
+/// # Panics
+///
+/// Panics if `processors` is empty.
+pub fn run(
+    system: &mut System,
+    host: &mut Host,
+    processors: &[NodeId],
+    memory_node: NodeId,
+    data: &[u16],
+) -> Result<HistogramRun, SystemError> {
+    assert!(!processors.is_empty(), "need at least one processor");
+    let chunk = data.len().div_ceil(processors.len());
+    if chunk > MAX_CHUNK {
+        return Err(SystemError::BadLayout(format!(
+            "chunks of {chunk} words exceed the {MAX_CHUNK}-word buffer"
+        )));
+    }
+    let start = system.cycle();
+    let program = r8c::build(&source()).expect("histogram worker compiles");
+
+    // Zero the shared bins.
+    host.write_memory(
+        system,
+        memory_node,
+        SHARED_BINS_OFFSET,
+        &vec![0u16; usize::from(BINS)],
+    )?;
+
+    let last = processors.len() - 1;
+    for (k, &node) in processors.iter().enumerate() {
+        let chunk_data = data
+            .chunks(chunk)
+            .nth(k)
+            .unwrap_or(&[]);
+        let shared = system
+            .address_map(node)?
+            .window_base(memory_node)
+            .ok_or(SystemError::BadNode {
+                node: memory_node,
+                expected: "a memory window of every processor",
+            })?
+            + SHARED_BINS_OFFSET;
+        host.load_program(system, node, program.words())?;
+        host.write_memory(system, node, DATA_ADDR, chunk_data)?;
+        let params = [
+            chunk_data.len() as u16,
+            if k == 0 { 0 } else { processors[k - 1].as_u16() },
+            if k == last { 0 } else { processors[k + 1].as_u16() },
+            shared,
+        ];
+        host.write_memory(system, node, PARAM_LEN, &params)?;
+    }
+    for &node in processors {
+        host.activate(system, node)?;
+    }
+    // The last processor in the ring prints the completion marker.
+    let last_node = processors[last];
+    let already = host.printf_output(last_node).len();
+    host.wait_for_printf(system, last_node, already + 1)?;
+    let bins = host.read_memory(
+        system,
+        memory_node,
+        SHARED_BINS_OFFSET,
+        usize::from(BINS),
+    )?;
+    Ok(HistogramRun {
+        bins,
+        cycles: system.cycle() - start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{System, PROCESSOR_1, PROCESSOR_2, REMOTE_MEMORY};
+
+    fn data(len: usize) -> Vec<u16> {
+        (0..len).map(|i| ((i * 37 + 11) % 251) as u16).collect()
+    }
+
+    #[test]
+    fn worker_compiles() {
+        r8c::build(&source()).expect("compiles");
+    }
+
+    #[test]
+    fn single_processor_matches_reference() {
+        let mut system = System::paper_config().unwrap();
+        let mut host = Host::new().with_budget(20_000_000);
+        host.synchronize(&mut system).unwrap();
+        let data = data(100);
+        let run = run(&mut system, &mut host, &[PROCESSOR_1], REMOTE_MEMORY, &data).unwrap();
+        assert_eq!(run.bins, reference(&data));
+    }
+
+    #[test]
+    fn two_processors_merge_correctly() {
+        let mut system = System::paper_config().unwrap();
+        let mut host = Host::new().with_budget(20_000_000);
+        host.synchronize(&mut system).unwrap();
+        let data = data(200);
+        let run = run(
+            &mut system,
+            &mut host,
+            &[PROCESSOR_1, PROCESSOR_2],
+            REMOTE_MEMORY,
+            &data,
+        )
+        .unwrap();
+        assert_eq!(run.bins, reference(&data));
+        // The total count equals the input length.
+        assert_eq!(run.bins.iter().map(|&b| u32::from(b)).sum::<u32>(), 200);
+    }
+
+    #[test]
+    fn uneven_chunks_are_handled() {
+        let mut system = System::paper_config().unwrap();
+        let mut host = Host::new().with_budget(20_000_000);
+        host.synchronize(&mut system).unwrap();
+        let data = data(101); // 51 + 50
+        let run = run(
+            &mut system,
+            &mut host,
+            &[PROCESSOR_1, PROCESSOR_2],
+            REMOTE_MEMORY,
+            &data,
+        )
+        .unwrap();
+        assert_eq!(run.bins, reference(&data));
+    }
+
+    #[test]
+    fn oversized_chunks_are_rejected() {
+        let mut system = System::paper_config().unwrap();
+        let mut host = Host::new();
+        host.synchronize(&mut system).unwrap();
+        let data = data(1000);
+        assert!(matches!(
+            run(&mut system, &mut host, &[PROCESSOR_1], REMOTE_MEMORY, &data),
+            Err(SystemError::BadLayout(_))
+        ));
+    }
+}

@@ -1,0 +1,16 @@
+//! Ready-made MultiNoC applications.
+//!
+//! The paper demonstrates the platform with applications driven from the
+//! host ("More complex applications have been developed. One example is
+//! a parallel edge detection…", §4). This module packages those
+//! workloads — R8 assembly plus the host-side driver — so examples,
+//! integration tests and the benchmark harness share one implementation:
+//!
+//! - [`edge`] — the parallel Sobel edge detection of Fig. 10;
+//! - [`vecsum`] — a small vector-sum used by the quickstart flow;
+//! - [`histogram`] — a distributed histogram with token-ring
+//!   aggregation, written in the compiled R8C language.
+
+pub mod edge;
+pub mod histogram;
+pub mod vecsum;

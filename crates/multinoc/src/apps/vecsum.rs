@@ -1,0 +1,92 @@
+//! Vector sum: the "hello world" of the MultiNoC flow (Fig. 8/9).
+//!
+//! The host loads a data block and the program, activates the processor,
+//! and gets the sum back twice: as a `printf` on the interaction monitor
+//! and by reading the result address from memory — the two debug paths
+//! of Fig. 9.
+
+/// Where the host deposits the input vector.
+pub const DATA_ADDR: u16 = 0x100;
+/// Where the program leaves the sum.
+pub const RESULT_ADDR: u16 = 0x90;
+
+/// R8 assembly summing `count` words at [`DATA_ADDR`], storing the sum
+/// at [`RESULT_ADDR`] and printing it.
+///
+/// # Panics
+///
+/// Panics if `count` is 0 (the countdown loop needs at least one
+/// element) or would not fit the local memory.
+pub fn program(count: u16) -> String {
+    assert!(count > 0, "vector sum needs at least one element");
+    assert!(
+        DATA_ADDR + count <= crate::MEMORY_WORDS,
+        "vector does not fit the local memory"
+    );
+    format!(
+        "
+        .equ IO, 0xFFFF
+        XOR  R0, R0, R0
+        XOR  R2, R2, R2      ; sum
+        LIW  R1, {DATA_ADDR} ; cursor
+        LIW  R3, {count}
+loop:   LD   R4, R1, R0
+        ADD  R2, R2, R4
+        ADDI R1, 1
+        SUBI R3, 1
+        JMPZD done
+        JMPD loop
+done:   LIW  R5, {RESULT_ADDR}
+        ST   R2, R5, R0
+        LIW  R6, IO
+        ST   R2, R6, R0      ; printf the sum
+        HALT
+"
+    )
+}
+
+/// The sum the program computes (16-bit wrapping).
+pub fn expected_sum(data: &[u16]) -> u16 {
+    data.iter().fold(0u16, |acc, &v| acc.wrapping_add(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::Host;
+    use crate::{System, PROCESSOR_1};
+    use r8::asm::assemble;
+
+    #[test]
+    fn program_assembles() {
+        let p = assemble(&program(16)).expect("assembles");
+        assert!(p.len() > 10);
+    }
+
+    #[test]
+    fn sums_through_the_full_flow() {
+        let mut system = System::paper_config().unwrap();
+        let mut host = Host::new();
+        let data: Vec<u16> = (1..=10).collect();
+        let image = assemble(&program(data.len() as u16)).unwrap();
+        host.synchronize(&mut system).unwrap();
+        host.load_program(&mut system, PROCESSOR_1, image.words())
+            .unwrap();
+        host.write_memory(&mut system, PROCESSOR_1, DATA_ADDR, &data)
+            .unwrap();
+        host.activate(&mut system, PROCESSOR_1).unwrap();
+        host.wait_for_printf(&mut system, PROCESSOR_1, 1).unwrap();
+        assert_eq!(host.printf_output(PROCESSOR_1), &[55]);
+        let mem = host
+            .read_memory(&mut system, PROCESSOR_1, RESULT_ADDR, 1)
+            .unwrap();
+        assert_eq!(mem, vec![55]);
+        assert_eq!(expected_sum(&data), 55);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_count_panics() {
+        program(0);
+    }
+}

@@ -1,0 +1,108 @@
+//! System-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use hermes_noc::NocError;
+
+use crate::node::NodeId;
+
+/// Any failure building or running a [`System`](crate::System) or
+/// driving it from the [`Host`](crate::host::Host).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// Underlying network error.
+    Noc(NocError),
+    /// A node id that does not exist (or has the wrong kind for the
+    /// operation).
+    BadNode {
+        /// The offending node.
+        node: NodeId,
+        /// What was expected of it.
+        expected: &'static str,
+    },
+    /// The builder was given an invalid layout.
+    BadLayout(String),
+    /// A run method exhausted its cycle budget.
+    BudgetExhausted {
+        /// The exhausted budget in cycles.
+        budget: u64,
+        /// What the run was waiting for.
+        waiting_for: &'static str,
+    },
+    /// A processor hit an execution error (illegal instruction).
+    Cpu {
+        /// The processor that failed.
+        node: NodeId,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Malformed traffic on the serial link or the NoC services.
+    Protocol(String),
+    /// An address or length that does not fit the target memory.
+    AddressRange {
+        /// Start address of the rejected access.
+        addr: u16,
+        /// Word count of the rejected access.
+        count: usize,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Noc(e) => e.fmt(f),
+            SystemError::BadNode { node, expected } => {
+                write!(f, "{node} is not {expected}")
+            }
+            SystemError::BadLayout(msg) => write!(f, "invalid system layout: {msg}"),
+            SystemError::BudgetExhausted {
+                budget,
+                waiting_for,
+            } => write!(f, "budget of {budget} cycles exhausted waiting for {waiting_for}"),
+            SystemError::Cpu { node, message } => write!(f, "{node}: {message}"),
+            SystemError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            SystemError::AddressRange { addr, count } => {
+                write!(f, "access of {count} words at {addr:#06x} leaves the memory")
+            }
+        }
+    }
+}
+
+impl Error for SystemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SystemError::Noc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NocError> for SystemError {
+    fn from(e: NocError) -> Self {
+        SystemError::Noc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SystemError::BadNode {
+            node: NodeId(9),
+            expected: "a processor",
+        };
+        assert_eq!(e.to_string(), "node 9 is not a processor");
+        assert!(e.source().is_none());
+        let e: SystemError = NocError::NotIdle { budget: 5 }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SystemError>();
+    }
+}

@@ -1,0 +1,222 @@
+//! The Memory IP core (§2.3 of the paper).
+//!
+//! A 1K × 16-bit storage built from **four BlockRAM banks of 1024 × 4-bit
+//! words** accessed in parallel — bank 3 holds bits 15:12 down to bank 0
+//! holding bits 3:0, exactly the organization of Fig. 4. The banked
+//! structure is modelled faithfully (it matters for the FPGA area model
+//! and it keeps the read/write datapath honest), and the IP carries the
+//! paper's two interfaces: the processor port (which has priority) and
+//! the NoC port, with the `busyNoC*` mutual-exclusion flags.
+
+use hermes_noc::RouterAddr;
+
+use crate::service::{Message, Service};
+
+/// One 1024 × 4-bit BlockRAM bank.
+#[derive(Debug, Clone)]
+struct Bank {
+    nibbles: Vec<u8>,
+}
+
+impl Bank {
+    fn new(words: usize) -> Self {
+        Self {
+            nibbles: vec![0; words],
+        }
+    }
+}
+
+/// The banked storage core shared by the remote Memory IP and each
+/// processor's local memory.
+#[derive(Debug, Clone)]
+pub struct MemoryCore {
+    banks: [Bank; 4],
+    words: u16,
+}
+
+impl MemoryCore {
+    /// A memory of `words` 16-bit words (the paper uses 1024).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    pub fn new(words: u16) -> Self {
+        assert!(words > 0, "memory must hold at least one word");
+        Self {
+            banks: std::array::from_fn(|_| Bank::new(usize::from(words))),
+            words,
+        }
+    }
+
+    /// Capacity in 16-bit words.
+    pub fn words(&self) -> u16 {
+        self.words
+    }
+
+    /// Reads the word at `addr` by assembling the four 4-bit bank
+    /// outputs. Out-of-range addresses wrap (the hardware simply ignores
+    /// the upper address bits).
+    pub fn read(&self, addr: u16) -> u16 {
+        let i = usize::from(addr % self.words);
+        (0..4).fold(0u16, |acc, bank| {
+            acc | (u16::from(self.banks[bank].nibbles[i]) << (4 * bank))
+        })
+    }
+
+    /// Writes `value` at `addr`, splitting it over the four banks.
+    pub fn write(&mut self, addr: u16, value: u16) {
+        let i = usize::from(addr % self.words);
+        for bank in 0..4 {
+            self.banks[bank].nibbles[i] = ((value >> (4 * bank)) & 0xF) as u8;
+        }
+    }
+
+    /// Reads `count` consecutive words starting at `addr` (wrapping).
+    pub fn read_block(&self, addr: u16, count: u16) -> Vec<u16> {
+        (0..count)
+            .map(|i| self.read(addr.wrapping_add(i)))
+            .collect()
+    }
+
+    /// Writes `data` consecutively starting at `addr` (wrapping).
+    pub fn write_block(&mut self, addr: u16, data: &[u16]) {
+        for (i, &value) in data.iter().enumerate() {
+            self.write(addr.wrapping_add(i as u16), value);
+        }
+    }
+}
+
+/// The standalone remote Memory IP: a [`MemoryCore`] plus the NoC-facing
+/// control logic that answers read/write service messages. (In the
+/// paper's words, the remote memory IP has no processor interface.)
+#[derive(Debug)]
+pub struct MemoryIp {
+    core: MemoryCore,
+    addr: RouterAddr,
+}
+
+impl MemoryIp {
+    /// A memory IP attached to router `addr`.
+    pub fn new(addr: RouterAddr, words: u16) -> Self {
+        Self {
+            core: MemoryCore::new(words),
+            addr,
+        }
+    }
+
+    /// The router this IP is attached to.
+    pub fn router(&self) -> RouterAddr {
+        self.addr
+    }
+
+    /// Moves this IP to another router (dynamic reconfiguration).
+    pub(crate) fn set_router(&mut self, addr: RouterAddr) {
+        self.addr = addr;
+    }
+
+    /// Direct access to the storage (host-side inspection, tests).
+    pub fn core(&self) -> &MemoryCore {
+        &self.core
+    }
+
+    /// Mutable access to the storage.
+    pub fn core_mut(&mut self) -> &mut MemoryCore {
+        &mut self.core
+    }
+
+    /// Handles one incoming service message, returning the reply to send
+    /// (a read produces a `ReadReturn` addressed to the requester) or
+    /// `None`. Unsupported services are ignored, as a hardware memory
+    /// controller would.
+    pub fn handle(&mut self, msg: &Message) -> Option<(RouterAddr, Service)> {
+        match &msg.service {
+            Service::ReadFromMemory { addr, count } => {
+                let data = self.core.read_block(*addr, *count);
+                Some((msg.src, Service::ReadReturn { addr: *addr, data }))
+            }
+            Service::WriteInMemory { addr, data } => {
+                self.core.write_block(*addr, data);
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banked_read_write_round_trip() {
+        let mut m = MemoryCore::new(1024);
+        for (addr, value) in [(0u16, 0x0000u16), (1, 0xFFFF), (2, 0xA5C3), (1023, 0x1234)] {
+            m.write(addr, value);
+            assert_eq!(m.read(addr), value);
+        }
+    }
+
+    #[test]
+    fn banks_hold_their_nibbles() {
+        let mut m = MemoryCore::new(16);
+        m.write(5, 0xABCD);
+        assert_eq!(m.banks[3].nibbles[5], 0xA);
+        assert_eq!(m.banks[2].nibbles[5], 0xB);
+        assert_eq!(m.banks[1].nibbles[5], 0xC);
+        assert_eq!(m.banks[0].nibbles[5], 0xD);
+    }
+
+    #[test]
+    fn addresses_wrap_like_hardware() {
+        let mut m = MemoryCore::new(1024);
+        m.write(1024, 7); // wraps to 0
+        assert_eq!(m.read(0), 7);
+        assert_eq!(m.read(2048), 7);
+    }
+
+    #[test]
+    fn block_operations() {
+        let mut m = MemoryCore::new(64);
+        m.write_block(60, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(m.read_block(60, 6), vec![1, 2, 3, 4, 5, 6]);
+        // Wrapped across the top.
+        assert_eq!(m.read(0), 5);
+        assert_eq!(m.read(1), 6);
+    }
+
+    #[test]
+    fn memory_ip_answers_reads() {
+        let mut ip = MemoryIp::new(RouterAddr::new(1, 1), 1024);
+        ip.core_mut().write_block(0x10, &[10, 20, 30]);
+        let requester = RouterAddr::new(0, 0);
+        let msg = Message::new(
+            requester,
+            Service::ReadFromMemory { addr: 0x10, count: 3 },
+        );
+        let (to, reply) = ip.handle(&msg).expect("read gets a reply");
+        assert_eq!(to, requester);
+        assert_eq!(
+            reply,
+            Service::ReadReturn { addr: 0x10, data: vec![10, 20, 30] }
+        );
+    }
+
+    #[test]
+    fn memory_ip_applies_writes_silently() {
+        let mut ip = MemoryIp::new(RouterAddr::new(1, 1), 1024);
+        let msg = Message::new(
+            RouterAddr::new(0, 0),
+            Service::WriteInMemory { addr: 5, data: vec![42, 43] },
+        );
+        assert!(ip.handle(&msg).is_none());
+        assert_eq!(ip.core().read(5), 42);
+        assert_eq!(ip.core().read(6), 43);
+    }
+
+    #[test]
+    fn memory_ip_ignores_other_services() {
+        let mut ip = MemoryIp::new(RouterAddr::new(1, 1), 1024);
+        let msg = Message::new(RouterAddr::new(0, 0), Service::Scanf);
+        assert!(ip.handle(&msg).is_none());
+    }
+}

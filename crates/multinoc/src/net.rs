@@ -1,0 +1,112 @@
+//! The view an IP core has of the network: its local port, speaking
+//! service messages.
+
+use hermes_noc::{Noc, RouterAddr};
+
+use crate::error::SystemError;
+use crate::node::NodeId;
+use crate::service::{Message, Service};
+use crate::trace::{summarize, Direction, ServiceCounters, TraceEvent, TraceLog};
+
+/// Observation hooks the [`System`](crate::System) attaches so every
+/// service message is counted (and, when enabled, logged).
+#[derive(Debug)]
+pub(crate) struct Observer<'a> {
+    pub node: NodeId,
+    pub now: u64,
+    pub counters: &'a mut ServiceCounters,
+    pub log: Option<&'a mut TraceLog>,
+}
+
+impl Observer<'_> {
+    fn record(&mut self, direction: Direction, peer: RouterAddr, service: &Service) {
+        self.counters.count(self.node, direction, service.code());
+        if let Some(log) = self.log.as_deref_mut() {
+            log.push(TraceEvent {
+                cycle: self.now,
+                node: self.node,
+                direction,
+                peer,
+                code: service.code(),
+                summary: summarize(service),
+            });
+        }
+    }
+}
+
+/// An IP core's handle on its router's Local port. Borrowed from the
+/// [`System`](crate::System) for the duration of one IP step.
+#[derive(Debug)]
+pub struct NetPort<'a> {
+    noc: &'a mut Noc,
+    here: RouterAddr,
+    observer: Option<Observer<'a>>,
+}
+
+impl<'a> NetPort<'a> {
+    /// A bare port at router `here` (no observation).
+    pub fn new(noc: &'a mut Noc, here: RouterAddr) -> Self {
+        Self {
+            noc,
+            here,
+            observer: None,
+        }
+    }
+
+    /// A port with the system's observation hooks attached.
+    pub(crate) fn observed(noc: &'a mut Noc, here: RouterAddr, observer: Observer<'a>) -> Self {
+        Self {
+            noc,
+            here,
+            observer: Some(observer),
+        }
+    }
+
+    /// The router this port belongs to.
+    pub fn here(&self) -> RouterAddr {
+        self.here
+    }
+
+    /// Flit width of the underlying network.
+    pub fn flit_bits(&self) -> u8 {
+        self.noc.config().flit_bits
+    }
+
+    /// Sends a service message to the IP at router `dest`.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Noc`] if the destination is outside the mesh or the
+    /// message does not fit a packet.
+    pub fn send(&mut self, dest: RouterAddr, service: Service) -> Result<(), SystemError> {
+        let flit_bits = self.flit_bits();
+        let packet = Message::new(self.here, service.clone()).to_packet(dest, flit_bits);
+        self.noc.send(self.here, packet)?;
+        if let Some(observer) = self.observer.as_mut() {
+            observer.record(Direction::Sent, dest, &service);
+        }
+        Ok(())
+    }
+
+    /// Receives the next delivered service message, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Protocol`] if a delivered packet does not decode as
+    /// a service message.
+    pub fn recv(&mut self) -> Result<Option<Message>, SystemError> {
+        let flit_bits = self.flit_bits();
+        match self.noc.try_recv(self.here) {
+            None => Ok(None),
+            Some((_, packet)) => {
+                let message = Message::from_packet(&packet, flit_bits).map_err(|e| {
+                    SystemError::Protocol(format!("bad service packet at {}: {e}", self.here))
+                })?;
+                if let Some(observer) = self.observer.as_mut() {
+                    observer.record(Direction::Received, message.src, &message.service);
+                }
+                Ok(Some(message))
+            }
+        }
+    }
+}

@@ -1,0 +1,653 @@
+//! The Processor IP core (§2.4 of the paper).
+//!
+//! An R8 soft core plus a 1K-word local memory (acting as a unified
+//! cache) plus the control logic interfacing both to the Hermes NoC. The
+//! control logic "commands the execution of the R8 processor, putting it
+//! in wait state each time the processor executes a load-store
+//! instruction" that leaves the local memory:
+//!
+//! - loads/stores into a remote window become `ReadFromMemory` /
+//!   `WriteInMemory` service packets (reads stall the core until the
+//!   `ReadReturn` arrives; writes are posted);
+//! - `ST` at `0xFFFF` sends `Printf`, `LD` at `0xFFFF` sends `Scanf` and
+//!   stalls until the `ScanfReturn` arrives;
+//! - `ST` at `0xFFFE` (`wait`) stalls until a `Notify` from the named
+//!   processor arrives;
+//! - `ST` at `0xFFFD` (`notify`) sends a `Notify` packet to the named
+//!   processor.
+//!
+//! The IP also serves the network side of the NUMA model: incoming
+//! `ReadFromMemory` / `WriteInMemory` messages access the local memory
+//! with the processor having bus priority, and `ActivateProcessor`
+//! starts execution from address 0.
+
+use std::collections::HashMap;
+
+use hermes_noc::RouterAddr;
+use r8::core::{Bus, BusResponse, Cpu, StepOutcome};
+
+use crate::addrmap::{AddressMap, Target};
+use crate::error::SystemError;
+use crate::memory::MemoryCore;
+use crate::net::NetPort;
+use crate::node::{NodeId, NodeTable};
+use crate::service::Service;
+
+/// An in-flight network transaction of the control logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum NetPending {
+    /// No transaction in flight.
+    #[default]
+    Idle,
+    /// A remote read was sent; waiting for the `ReadReturn`.
+    RemoteRead,
+    /// A remote read completed with this value; the core collects it on
+    /// its retry.
+    RemoteReadDone(u16),
+    /// A `Scanf` was sent; waiting for the `ScanfReturn`.
+    Scanf,
+    /// The scanf answer arrived.
+    ScanfDone(u16),
+}
+
+/// Why (and for whom) the core is blocked in a wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum WaitState {
+    /// Not waiting.
+    #[default]
+    None,
+    /// The core executed the wait command (`ST` at `0xFFFE`); the stalled
+    /// store retries and consumes the notify itself.
+    Internal(u16),
+    /// A `Wait` service packet blocked the core; the step loop consumes
+    /// the notify when it arrives.
+    External(u16),
+}
+
+/// Why a [`ProcessorStatus::Blocked`] processor is blocked — the
+/// observable state the paper's proposed multiprocessor debugger needs
+/// "to detect distributed application errors" (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// Executing `wait`, parked until the named node notifies.
+    WaitFor(NodeId),
+    /// A remote load is in flight on the NoC.
+    RemoteRead,
+    /// A `scanf` awaits host input.
+    Scanf,
+}
+
+/// Execution status a processor can be observed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessorStatus {
+    /// Not yet activated by the host.
+    Inactive,
+    /// Fetching/executing instructions.
+    Running,
+    /// Blocked: in a `wait`, a remote read, or a `scanf`.
+    Blocked,
+    /// Executed `HALT`.
+    Halted,
+    /// Hit an illegal instruction; stopped.
+    Faulted,
+}
+
+/// Where a processor's cycles went, sampled once per clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UtilizationCounters {
+    /// Cycles spent executing (including instruction pacing).
+    pub running: u64,
+    /// Cycles blocked on the network: wait, remote reads, scanf.
+    pub blocked: u64,
+    /// Cycles halted after `HALT`.
+    pub halted: u64,
+    /// Cycles before activation (or after a fault).
+    pub idle: u64,
+}
+
+impl UtilizationCounters {
+    /// Total sampled cycles.
+    pub fn total(&self) -> u64 {
+        self.running + self.blocked + self.halted + self.idle
+    }
+
+    /// Fraction of sampled cycles spent running, `0.0..=1.0`.
+    pub fn busy_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.running as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of sampled cycles blocked on the network.
+    pub fn blocked_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.blocked as f64 / self.total() as f64
+        }
+    }
+}
+
+/// The Processor IP: R8 core, local memory and NoC control logic.
+#[derive(Debug)]
+pub struct ProcessorIp {
+    node: NodeId,
+    addr: RouterAddr,
+    cpu: Cpu,
+    local: MemoryCore,
+    map: AddressMap,
+    table: NodeTable,
+    /// Router of the serial IP, where printf/scanf go; `None` makes
+    /// printf a no-op and scanf return 0 (headless systems).
+    io_router: Option<RouterAddr>,
+    active: bool,
+    fault: Option<String>,
+    next_ready: u64,
+    /// Stall cycles already charged for the in-flight instruction.
+    stalled_cycles: u32,
+    pending: NetPending,
+    /// Wait/notify blocking state.
+    wait: WaitState,
+    /// Notifies received and not yet consumed, by sender node number.
+    notifies: HashMap<u16, u32>,
+    utilization: UtilizationCounters,
+}
+
+impl ProcessorIp {
+    /// Builds a processor IP.
+    pub fn new(
+        node: NodeId,
+        addr: RouterAddr,
+        local_words: u16,
+        map: AddressMap,
+        table: NodeTable,
+        io_router: Option<RouterAddr>,
+    ) -> Self {
+        Self {
+            node,
+            addr,
+            cpu: Cpu::new(),
+            local: MemoryCore::new(local_words),
+            map,
+            table,
+            io_router,
+            active: false,
+            fault: None,
+            next_ready: 0,
+            stalled_cycles: 0,
+            pending: NetPending::Idle,
+            wait: WaitState::None,
+            notifies: HashMap::new(),
+            utilization: UtilizationCounters::default(),
+        }
+    }
+
+    /// The router this IP is attached to.
+    pub fn router(&self) -> RouterAddr {
+        self.addr
+    }
+
+    /// This processor's node number.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The R8 core, for inspection.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// The local memory, for inspection.
+    pub fn local(&self) -> &MemoryCore {
+        &self.local
+    }
+
+    /// Mutable local memory (host-side preloading in tests; the real
+    /// system loads through the serial link).
+    pub fn local_mut(&mut self) -> &mut MemoryCore {
+        &mut self.local
+    }
+
+    /// This processor's address map.
+    pub fn map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Mutable address map (dynamic reconfiguration appends windows).
+    pub fn map_mut(&mut self) -> &mut AddressMap {
+        &mut self.map
+    }
+
+    /// Updates this IP's view of the system after a reconfiguration.
+    pub(crate) fn reconfigure(
+        &mut self,
+        addr: RouterAddr,
+        table: NodeTable,
+        io_router: Option<RouterAddr>,
+    ) {
+        self.addr = addr;
+        self.table = table;
+        self.io_router = io_router;
+    }
+
+    /// Whether the host has activated this processor.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Current status.
+    pub fn status(&self) -> ProcessorStatus {
+        if self.fault.is_some() {
+            ProcessorStatus::Faulted
+        } else if !self.active {
+            ProcessorStatus::Inactive
+        } else if self.cpu.is_halted() {
+            ProcessorStatus::Halted
+        } else if self.wait != WaitState::None || self.pending != NetPending::Idle {
+            ProcessorStatus::Blocked
+        } else {
+            ProcessorStatus::Running
+        }
+    }
+
+    /// The fault message, if the core stopped on an illegal instruction.
+    pub fn fault(&self) -> Option<&str> {
+        self.fault.as_deref()
+    }
+
+    /// Why the processor is blocked, if it is.
+    pub fn block_reason(&self) -> Option<BlockReason> {
+        match self.wait {
+            WaitState::Internal(n) | WaitState::External(n) => {
+                return Some(BlockReason::WaitFor(NodeId(n as u8)));
+            }
+            WaitState::None => {}
+        }
+        match self.pending {
+            NetPending::RemoteRead => Some(BlockReason::RemoteRead),
+            NetPending::Scanf => Some(BlockReason::Scanf),
+            _ => None,
+        }
+    }
+
+    /// Where this processor's cycles have gone so far.
+    pub fn utilization(&self) -> UtilizationCounters {
+        self.utilization
+    }
+
+    /// One clock step: service the network, then (at the pace set by
+    /// instruction timing) the core.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError`] on malformed network traffic. An illegal
+    /// instruction does not error the step; it faults the processor
+    /// (see [`status`](Self::status) and [`fault`](Self::fault)) so the
+    /// rest of the system keeps running, and is surfaced by the system's
+    /// run methods.
+    pub fn step(&mut self, now: u64, net: &mut NetPort<'_>) -> Result<(), SystemError> {
+        match self.status() {
+            ProcessorStatus::Running => self.utilization.running += 1,
+            ProcessorStatus::Blocked => self.utilization.blocked += 1,
+            ProcessorStatus::Halted => self.utilization.halted += 1,
+            ProcessorStatus::Inactive | ProcessorStatus::Faulted => self.utilization.idle += 1,
+        }
+        // Network side first: the paper gives the processor priority on
+        // the memory banks, but the NoC interface is independent logic.
+        while let Some(msg) = net.recv()? {
+            match msg.service {
+                Service::ReadFromMemory { addr, count } => {
+                    let data = self.local.read_block(addr, count);
+                    net.send(msg.src, Service::ReadReturn { addr, data })?;
+                }
+                Service::WriteInMemory { addr, data } => {
+                    self.local.write_block(addr, &data);
+                }
+                Service::ActivateProcessor => {
+                    self.cpu.reset();
+                    self.active = true;
+                    self.fault = None;
+                    self.pending = NetPending::Idle;
+                    self.wait = WaitState::None;
+                }
+                Service::ReadReturn { data, .. } => {
+                    if self.pending == NetPending::RemoteRead {
+                        let value = data.first().copied().unwrap_or(0);
+                        self.pending = NetPending::RemoteReadDone(value);
+                    }
+                }
+                Service::ScanfReturn { value } => {
+                    if self.pending == NetPending::Scanf {
+                        self.pending = NetPending::ScanfDone(value);
+                    }
+                }
+                Service::Notify { from } => {
+                    *self.notifies.entry(from).or_insert(0) += 1;
+                }
+                Service::Wait { from } => {
+                    self.wait = WaitState::External(from);
+                }
+                Service::Printf { .. } | Service::Scanf => {
+                    return Err(SystemError::Protocol(format!(
+                        "processor {} received a host-bound service",
+                        self.node
+                    )));
+                }
+            }
+        }
+
+        // Release a blocked core once the matching notify shows up. An
+        // internal wait (stalled ST at 0xFFFE) consumes the notify in its
+        // own retry; an external wait consumes it here.
+        match self.wait {
+            WaitState::None => {}
+            WaitState::Internal(expected) => {
+                if self.notifies.get(&expected).copied().unwrap_or(0) == 0 {
+                    return Ok(()); // still blocked
+                }
+                self.wait = WaitState::None;
+            }
+            WaitState::External(expected) => match self.notifies.get_mut(&expected) {
+                Some(count) if *count > 0 => {
+                    *count -= 1;
+                    self.wait = WaitState::None;
+                }
+                _ => return Ok(()), // still blocked
+            },
+        }
+
+        if !self.active || self.cpu.is_halted() || self.fault.is_some() || now < self.next_ready {
+            return Ok(());
+        }
+
+        let mut bus = CtrlBus {
+            local: &mut self.local,
+            map: &self.map,
+            table: &self.table,
+            io_router: self.io_router,
+            pending: &mut self.pending,
+            wait: &mut self.wait,
+            notifies: &mut self.notifies,
+            node: self.node,
+            net,
+        };
+        match self.cpu.step(&mut bus) {
+            Ok(StepOutcome::Retired { cycles, .. }) => {
+                // Stall cycles were already spent in real time while the
+                // bus answered Wait; only the base cost remains.
+                let remaining = cycles.saturating_sub(self.stalled_cycles);
+                self.next_ready = now + u64::from(remaining.max(1));
+                self.stalled_cycles = 0;
+            }
+            Ok(StepOutcome::Stalled) => {
+                self.stalled_cycles += 1;
+                self.next_ready = now + 1;
+            }
+            Ok(StepOutcome::Halted) => {}
+            Err(e) => {
+                self.fault = Some(e.to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The bus the control logic presents to the R8 core: decodes the NUMA
+/// address map and turns non-local accesses into service packets and
+/// wait states.
+#[derive(Debug)]
+struct CtrlBus<'a, 'n> {
+    local: &'a mut MemoryCore,
+    map: &'a AddressMap,
+    table: &'a NodeTable,
+    io_router: Option<RouterAddr>,
+    pending: &'a mut NetPending,
+    wait: &'a mut WaitState,
+    notifies: &'a mut HashMap<u16, u32>,
+    node: NodeId,
+    net: &'a mut NetPort<'n>,
+}
+
+impl CtrlBus<'_, '_> {
+    fn send(&mut self, dest: RouterAddr, service: Service) {
+        // The local injection queue is unbounded in the simulator, so a
+        // send cannot fail for an in-mesh destination; system construction
+        // guarantees the node table only holds in-mesh routers.
+        self.net
+            .send(dest, service)
+            .expect("node table routers are inside the mesh");
+    }
+}
+
+impl Bus for CtrlBus<'_, '_> {
+    fn read(&mut self, addr: u16) -> BusResponse {
+        match self.map.decode(addr) {
+            Target::Local { offset } => BusResponse::Data(self.local.read(offset)),
+            Target::Remote { node, offset } => match *self.pending {
+                NetPending::Idle => {
+                    let Some(dest) = self.table.router_of(node) else {
+                        return BusResponse::Data(0);
+                    };
+                    self.send(dest, Service::ReadFromMemory { addr: offset, count: 1 });
+                    *self.pending = NetPending::RemoteRead;
+                    BusResponse::Wait
+                }
+                NetPending::RemoteReadDone(value) => {
+                    *self.pending = NetPending::Idle;
+                    BusResponse::Data(value)
+                }
+                _ => BusResponse::Wait,
+            },
+            Target::Io => match *self.pending {
+                NetPending::Idle => {
+                    let Some(dest) = self.io_router else {
+                        // Headless system: scanf reads 0.
+                        return BusResponse::Data(0);
+                    };
+                    self.send(dest, Service::Scanf);
+                    *self.pending = NetPending::Scanf;
+                    BusResponse::Wait
+                }
+                NetPending::ScanfDone(value) => {
+                    *self.pending = NetPending::Idle;
+                    BusResponse::Data(value)
+                }
+                _ => BusResponse::Wait,
+            },
+            // Reads of the command addresses and holes are undefined in
+            // the paper; the hardware bus would float. Return 0.
+            Target::WaitCmd | Target::NotifyCmd | Target::Unmapped => BusResponse::Data(0),
+        }
+    }
+
+    fn write(&mut self, addr: u16, value: u16) -> BusResponse {
+        match self.map.decode(addr) {
+            Target::Local { offset } => {
+                self.local.write(offset, value);
+                BusResponse::Data(0)
+            }
+            Target::Remote { node, offset } => {
+                if let Some(dest) = self.table.router_of(node) {
+                    self.send(
+                        dest,
+                        Service::WriteInMemory {
+                            addr: offset,
+                            data: vec![value],
+                        },
+                    );
+                }
+                BusResponse::Data(0) // posted write
+            }
+            Target::Io => {
+                if let Some(dest) = self.io_router {
+                    self.send(dest, Service::Printf { data: vec![value] });
+                }
+                BusResponse::Data(0)
+            }
+            Target::WaitCmd => {
+                // Block until a notify from node `value` is available.
+                match self.notifies.get_mut(&value) {
+                    Some(count) if *count > 0 => {
+                        *count -= 1;
+                        *self.wait = WaitState::None;
+                        BusResponse::Data(0)
+                    }
+                    _ => {
+                        *self.wait = WaitState::Internal(value);
+                        BusResponse::Wait
+                    }
+                }
+            }
+            Target::NotifyCmd => {
+                if let Some(dest) = self.table.router_of(NodeId(value as u8)) {
+                    self.send(
+                        dest,
+                        Service::Notify {
+                            from: self.node.as_u16(),
+                        },
+                    );
+                }
+                BusResponse::Data(0)
+            }
+            Target::Unmapped => BusResponse::Data(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+    use hermes_noc::{Noc, NocConfig};
+    use r8::asm::assemble;
+
+    fn table() -> NodeTable {
+        NodeTable::new(vec![
+            (RouterAddr::new(0, 0), NodeKind::Serial),
+            (RouterAddr::new(0, 1), NodeKind::Processor),
+            (RouterAddr::new(1, 0), NodeKind::Processor),
+            (RouterAddr::new(1, 1), NodeKind::Memory),
+        ])
+    }
+
+    fn processor(node: u8, addr: RouterAddr, windows: Vec<NodeId>) -> ProcessorIp {
+        ProcessorIp::new(
+            NodeId(node),
+            addr,
+            1024,
+            AddressMap::paper(windows),
+            table(),
+            Some(RouterAddr::new(0, 0)),
+        )
+    }
+
+    #[test]
+    fn inactive_processor_does_not_execute() {
+        let mut noc = Noc::new(NocConfig::mesh(2, 2)).unwrap();
+        let mut ip = processor(1, RouterAddr::new(0, 1), vec![NodeId(2), NodeId(3)]);
+        let program = assemble("LIW R1, 7\nHALT").unwrap();
+        ip.local_mut().write_block(0, program.words());
+        for now in 1..100 {
+            noc.step();
+            let mut net = NetPort::new(&mut noc, RouterAddr::new(0, 1));
+            ip.step(now, &mut net).unwrap();
+        }
+        assert_eq!(ip.status(), ProcessorStatus::Inactive);
+        assert_eq!(ip.cpu().reg(1), 0);
+    }
+
+    #[test]
+    fn activation_starts_execution_from_zero() {
+        let mut noc = Noc::new(NocConfig::mesh(2, 2)).unwrap();
+        let mut ip = processor(1, RouterAddr::new(0, 1), vec![NodeId(2), NodeId(3)]);
+        let program = assemble("LIW R1, 7\nHALT").unwrap();
+        ip.local_mut().write_block(0, program.words());
+        // Activation arrives over the network from the serial router.
+        let msg = crate::service::Message::new(
+            RouterAddr::new(0, 0),
+            Service::ActivateProcessor,
+        );
+        noc.send(RouterAddr::new(0, 0), msg.to_packet(RouterAddr::new(0, 1), 8))
+            .unwrap();
+        for _ in 0..500 {
+            noc.step();
+            let now = noc.cycle();
+            let mut net = NetPort::new(&mut noc, RouterAddr::new(0, 1));
+            ip.step(now, &mut net).unwrap();
+        }
+        assert_eq!(ip.status(), ProcessorStatus::Halted);
+        assert_eq!(ip.cpu().reg(1), 7);
+    }
+
+    #[test]
+    fn cpi_pacing_spreads_instructions_over_cycles() {
+        let mut noc = Noc::new(NocConfig::mesh(2, 2)).unwrap();
+        let mut ip = processor(1, RouterAddr::new(0, 1), vec![NodeId(2), NodeId(3)]);
+        // 10 ALU instructions at 2 cycles each, then HALT.
+        let mut src = String::new();
+        for _ in 0..10 {
+            src.push_str("ADDI R1, 1\n");
+        }
+        src.push_str("HALT");
+        ip.local_mut().write_block(0, assemble(&src).unwrap().words());
+        ip.active = true;
+        let mut halted_at = 0;
+        for _ in 0..200 {
+            noc.step();
+            let now = noc.cycle();
+            let mut net = NetPort::new(&mut noc, RouterAddr::new(0, 1));
+            ip.step(now, &mut net).unwrap();
+            if ip.cpu().is_halted() {
+                halted_at = now;
+                break;
+            }
+        }
+        assert_eq!(ip.cpu().reg(1), 10);
+        // 11 instructions × 2 cycles ≈ 22 cycles; pacing must be visible.
+        assert!(halted_at >= 20, "halted already at {halted_at}");
+    }
+
+    #[test]
+    fn serves_remote_reads_of_its_local_memory() {
+        let mut noc = Noc::new(NocConfig::mesh(2, 2)).unwrap();
+        let mut ip = processor(1, RouterAddr::new(0, 1), vec![NodeId(2), NodeId(3)]);
+        ip.local_mut().write(0x30, 4242);
+        let requester = RouterAddr::new(1, 1);
+        let msg = crate::service::Message::new(
+            requester,
+            Service::ReadFromMemory { addr: 0x30, count: 1 },
+        );
+        noc.send(requester, msg.to_packet(RouterAddr::new(0, 1), 8))
+            .unwrap();
+        for _ in 0..500 {
+            noc.step();
+            let now = noc.cycle();
+            let mut net = NetPort::new(&mut noc, RouterAddr::new(0, 1));
+            ip.step(now, &mut net).unwrap();
+        }
+        let (_, packet) = noc.try_recv(requester).expect("reply delivered");
+        let reply = crate::service::Message::from_packet(&packet, 8).unwrap();
+        assert_eq!(
+            reply.service,
+            Service::ReadReturn { addr: 0x30, data: vec![4242] }
+        );
+    }
+
+    #[test]
+    fn fault_on_illegal_instruction_is_contained() {
+        let mut noc = Noc::new(NocConfig::mesh(2, 2)).unwrap();
+        let mut ip = processor(1, RouterAddr::new(0, 1), vec![NodeId(2), NodeId(3)]);
+        ip.local_mut().write(0, 0x00B0); // invalid word
+        ip.active = true;
+        for _ in 0..50 {
+            noc.step();
+            let now = noc.cycle();
+            let mut net = NetPort::new(&mut noc, RouterAddr::new(0, 1));
+            ip.step(now, &mut net).unwrap();
+        }
+        assert_eq!(ip.status(), ProcessorStatus::Faulted);
+        assert!(ip.fault().unwrap().contains("illegal instruction"));
+    }
+}

@@ -1,0 +1,546 @@
+//! The RS-232 serial link and the host protocol frames (§2.2, §4).
+//!
+//! The physical UART is modelled as two independent byte channels with a
+//! configurable per-byte transfer time (`cycles_per_byte` — at 25 MHz and
+//! 115 200 baud a 10-bit character takes ~2170 clock cycles; tests
+//! default to a fast link so they exercise the protocol, experiment E10
+//! sweeps realistic rates).
+//!
+//! On top of the byte stream, the Serial software speaks a small framed
+//! protocol. The paper shows its shape in the Fig. 9 walkthrough: the
+//! user types `00 01 01 00 20`, "a read operation (00) from P1 processor
+//! local memory (01), reading just one memory position (01) and starting
+//! at address 0020H" — i.e. `[command, node, count, addr_hi, addr_lo]`.
+//! Commands carrying data append two big-endian bytes per word.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Serial link timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SerialConfig {
+    /// Clock cycles one byte occupies on the wire in each direction.
+    pub cycles_per_byte: u64,
+}
+
+impl SerialConfig {
+    /// Fast link for tests and functional runs (4 cycles per byte).
+    pub fn fast() -> Self {
+        Self { cycles_per_byte: 4 }
+    }
+
+    /// Timing of a real UART: `clock_hz` system clock, `baud` line rate,
+    /// 10 bits per character (start + 8 data + stop).
+    pub fn from_baud(clock_hz: f64, baud: f64) -> Self {
+        Self {
+            cycles_per_byte: (clock_hz / baud * 10.0).ceil() as u64,
+        }
+    }
+}
+
+impl Default for SerialConfig {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
+/// One direction of the link: bytes in flight become available
+/// `cycles_per_byte` apart.
+#[derive(Debug, Default)]
+struct Channel {
+    in_flight: VecDeque<u8>,
+    ready: VecDeque<u8>,
+    next_deliver: u64,
+}
+
+impl Channel {
+    fn step(&mut self, now: u64, cycles_per_byte: u64) {
+        if now >= self.next_deliver {
+            if let Some(byte) = self.in_flight.pop_front() {
+                self.ready.push_back(byte);
+                self.next_deliver = now + cycles_per_byte;
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.in_flight.is_empty() && self.ready.is_empty()
+    }
+}
+
+/// The bidirectional RS-232 link between host computer and MultiNoC
+/// (`tx`/`rx` of Fig. 1).
+#[derive(Debug, Default)]
+pub struct SerialLink {
+    config: SerialConfig,
+    to_device: Channel,
+    to_host: Channel,
+}
+
+impl SerialLink {
+    /// A link with the given timing.
+    pub fn new(config: SerialConfig) -> Self {
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// The link timing.
+    pub fn config(&self) -> SerialConfig {
+        self.config
+    }
+
+    /// Advances the per-byte timers by one clock cycle.
+    pub fn step(&mut self, now: u64) {
+        self.to_device.step(now, self.config.cycles_per_byte);
+        self.to_host.step(now, self.config.cycles_per_byte);
+    }
+
+    /// Host transmits bytes towards the device.
+    pub fn host_send(&mut self, bytes: &[u8]) {
+        self.to_device.in_flight.extend(bytes.iter().copied());
+    }
+
+    /// Host collects one received byte, if any has arrived.
+    pub fn host_recv(&mut self) -> Option<u8> {
+        self.to_host.ready.pop_front()
+    }
+
+    /// Device transmits bytes towards the host.
+    pub fn device_send(&mut self, bytes: &[u8]) {
+        self.to_host.in_flight.extend(bytes.iter().copied());
+    }
+
+    /// Device collects one received byte, if any has arrived.
+    pub fn device_recv(&mut self) -> Option<u8> {
+        self.to_device.ready.pop_front()
+    }
+
+    /// Whether no byte is queued or in flight in either direction.
+    pub fn is_idle(&self) -> bool {
+        self.to_device.is_idle() && self.to_host.is_idle()
+    }
+}
+
+/// The synchronization byte the host sends first so the prototype can
+/// lock to its baud rate (§4: "transmitting the value 55H").
+pub const SYNC_BYTE: u8 = 0x55;
+
+/// Commands the host sends to the MultiNoC system. The serial IP accepts
+/// exactly these four (§2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostCommand {
+    /// Read `count` words starting at `addr` from `node`'s memory.
+    ReadMemory {
+        /// Target node number.
+        node: u8,
+        /// Number of words (1–255).
+        count: u8,
+        /// First word address.
+        addr: u16,
+    },
+    /// Write `data` starting at `addr` into `node`'s memory.
+    WriteMemory {
+        /// Target node number.
+        node: u8,
+        /// First word address.
+        addr: u16,
+        /// Words to write (at most 255).
+        data: Vec<u16>,
+    },
+    /// Activate `node`'s processor.
+    Activate {
+        /// Target node number.
+        node: u8,
+    },
+    /// Answer a pending scanf of `node` with `value`.
+    ScanfReturn {
+        /// Target node number.
+        node: u8,
+        /// The input word.
+        value: u16,
+    },
+}
+
+/// Command opcodes on the wire.
+mod opcode {
+    pub const READ: u8 = 0x00;
+    pub const WRITE: u8 = 0x01;
+    pub const ACTIVATE: u8 = 0x02;
+    pub const SCANF_RETURN: u8 = 0x03;
+    pub const PRINTF: u8 = 0x05;
+    pub const SCANF_REQUEST: u8 = 0x06;
+    pub const READ_RETURN: u8 = 0x07;
+}
+
+impl HostCommand {
+    /// Serializes the command into its byte frame.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            HostCommand::ReadMemory { node, count, addr } => {
+                vec![
+                    opcode::READ,
+                    *node,
+                    *count,
+                    (addr >> 8) as u8,
+                    (addr & 0xFF) as u8,
+                ]
+            }
+            HostCommand::WriteMemory { node, addr, data } => {
+                let mut bytes = vec![
+                    opcode::WRITE,
+                    *node,
+                    data.len() as u8,
+                    (addr >> 8) as u8,
+                    (addr & 0xFF) as u8,
+                ];
+                for &word in data {
+                    bytes.push((word >> 8) as u8);
+                    bytes.push((word & 0xFF) as u8);
+                }
+                bytes
+            }
+            HostCommand::Activate { node } => vec![opcode::ACTIVATE, *node],
+            HostCommand::ScanfReturn { node, value } => vec![
+                opcode::SCANF_RETURN,
+                *node,
+                (value >> 8) as u8,
+                (value & 0xFF) as u8,
+            ],
+        }
+    }
+}
+
+/// Frames the MultiNoC system sends to the host: printf output, scanf
+/// requests and read returns (§2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceFrame {
+    /// One printf word from a processor.
+    Printf {
+        /// Originating node number.
+        node: u8,
+        /// The printed word.
+        value: u16,
+    },
+    /// A processor is blocked in scanf, waiting for input.
+    ScanfRequest {
+        /// Requesting node number.
+        node: u8,
+    },
+    /// Data answering a host read command.
+    ReadReturn {
+        /// Node the data came from.
+        node: u8,
+        /// First word address.
+        addr: u16,
+        /// The words read.
+        data: Vec<u16>,
+    },
+}
+
+impl DeviceFrame {
+    /// Serializes the frame into bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            DeviceFrame::Printf { node, value } => vec![
+                opcode::PRINTF,
+                *node,
+                (value >> 8) as u8,
+                (value & 0xFF) as u8,
+            ],
+            DeviceFrame::ScanfRequest { node } => vec![opcode::SCANF_REQUEST, *node],
+            DeviceFrame::ReadReturn { node, addr, data } => {
+                let mut bytes = vec![
+                    opcode::READ_RETURN,
+                    *node,
+                    data.len() as u8,
+                    (addr >> 8) as u8,
+                    (addr & 0xFF) as u8,
+                ];
+                for &word in data {
+                    bytes.push((word >> 8) as u8);
+                    bytes.push((word & 0xFF) as u8);
+                }
+                bytes
+            }
+        }
+    }
+}
+
+/// Incremental frame parser: feed bytes, collect complete frames.
+/// Used on both ends (the serial IP parses [`HostCommand`]s, the host
+/// parses [`DeviceFrame`]s) through the two `parse_*` functions.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    bytes: Vec<u8>,
+}
+
+/// Malformed byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError {
+    /// The opcode byte that was not recognized.
+    pub opcode: u8,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown frame opcode {:#04x}", self.opcode)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one received byte.
+    pub fn push(&mut self, byte: u8) {
+        self.bytes.push(byte);
+    }
+
+    /// Bytes currently buffered (a partial frame).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn word(&self, at: usize) -> u16 {
+        (u16::from(self.bytes[at]) << 8) | u16::from(self.bytes[at + 1])
+    }
+
+    fn words(&self, at: usize, count: usize) -> Vec<u16> {
+        (0..count).map(|i| self.word(at + 2 * i)).collect()
+    }
+
+    fn consume(&mut self, len: usize) {
+        self.bytes.drain(..len);
+    }
+
+    /// Tries to parse one complete [`HostCommand`] from the buffered
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] if the first byte is not a host command opcode
+    /// (the buffer is left untouched; the caller decides how to resync).
+    pub fn parse_host_command(&mut self) -> Result<Option<HostCommand>, FrameError> {
+        let Some(&op) = self.bytes.first() else {
+            return Ok(None);
+        };
+        let need = match op {
+            opcode::READ => 5,
+            opcode::WRITE => {
+                if self.bytes.len() < 3 {
+                    return Ok(None);
+                }
+                5 + 2 * usize::from(self.bytes[2])
+            }
+            opcode::ACTIVATE => 2,
+            opcode::SCANF_RETURN => 4,
+            other => return Err(FrameError { opcode: other }),
+        };
+        if self.bytes.len() < need {
+            return Ok(None);
+        }
+        let cmd = match op {
+            opcode::READ => HostCommand::ReadMemory {
+                node: self.bytes[1],
+                count: self.bytes[2],
+                addr: self.word(3),
+            },
+            opcode::WRITE => HostCommand::WriteMemory {
+                node: self.bytes[1],
+                addr: self.word(3),
+                data: self.words(5, usize::from(self.bytes[2])),
+            },
+            opcode::ACTIVATE => HostCommand::Activate { node: self.bytes[1] },
+            opcode::SCANF_RETURN => HostCommand::ScanfReturn {
+                node: self.bytes[1],
+                value: self.word(2),
+            },
+            _ => unreachable!(),
+        };
+        self.consume(need);
+        Ok(Some(cmd))
+    }
+
+    /// Tries to parse one complete [`DeviceFrame`] from the buffered
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] if the first byte is not a device frame opcode.
+    pub fn parse_device_frame(&mut self) -> Result<Option<DeviceFrame>, FrameError> {
+        let Some(&op) = self.bytes.first() else {
+            return Ok(None);
+        };
+        let need = match op {
+            opcode::PRINTF => 4,
+            opcode::SCANF_REQUEST => 2,
+            opcode::READ_RETURN => {
+                if self.bytes.len() < 3 {
+                    return Ok(None);
+                }
+                5 + 2 * usize::from(self.bytes[2])
+            }
+            other => return Err(FrameError { opcode: other }),
+        };
+        if self.bytes.len() < need {
+            return Ok(None);
+        }
+        let frame = match op {
+            opcode::PRINTF => DeviceFrame::Printf {
+                node: self.bytes[1],
+                value: self.word(2),
+            },
+            opcode::SCANF_REQUEST => DeviceFrame::ScanfRequest { node: self.bytes[1] },
+            opcode::READ_RETURN => DeviceFrame::ReadReturn {
+                node: self.bytes[1],
+                addr: self.word(3),
+                data: self.words(5, usize::from(self.bytes[2])),
+            },
+            _ => unreachable!(),
+        };
+        self.consume(need);
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_delivers_bytes_with_timing() {
+        let mut link = SerialLink::new(SerialConfig { cycles_per_byte: 10 });
+        link.host_send(&[1, 2, 3]);
+        let mut arrivals = Vec::new();
+        for now in 0..40 {
+            link.step(now);
+            if let Some(b) = link.device_recv() {
+                arrivals.push((now, b));
+            }
+        }
+        assert_eq!(arrivals, vec![(0, 1), (10, 2), (20, 3)]);
+        assert!(link.is_idle());
+    }
+
+    #[test]
+    fn both_directions_are_independent() {
+        let mut link = SerialLink::new(SerialConfig { cycles_per_byte: 1 });
+        link.host_send(&[0xAA]);
+        link.device_send(&[0xBB]);
+        link.step(0);
+        assert_eq!(link.device_recv(), Some(0xAA));
+        assert_eq!(link.host_recv(), Some(0xBB));
+    }
+
+    #[test]
+    fn baud_timing() {
+        // 25 MHz, 115200 baud: 25e6 / 115200 * 10 ≈ 2171 cycles per byte.
+        let c = SerialConfig::from_baud(25.0e6, 115_200.0);
+        assert_eq!(c.cycles_per_byte, 2171);
+    }
+
+    #[test]
+    fn paper_read_command_byte_layout() {
+        // "00 01 01 00 20": read (00) from P1 (01), one word (01), at 0020h.
+        let cmd = HostCommand::ReadMemory { node: 1, count: 1, addr: 0x20 };
+        assert_eq!(cmd.to_bytes(), vec![0x00, 0x01, 0x01, 0x00, 0x20]);
+    }
+
+    fn round_trip_host(cmd: HostCommand) {
+        let mut buf = FrameBuffer::new();
+        for b in cmd.to_bytes() {
+            buf.push(b);
+        }
+        assert_eq!(buf.parse_host_command().unwrap(), Some(cmd));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn host_commands_round_trip() {
+        round_trip_host(HostCommand::ReadMemory { node: 3, count: 9, addr: 0x1234 });
+        round_trip_host(HostCommand::WriteMemory {
+            node: 1,
+            addr: 0x0040,
+            data: vec![0xDEAD, 0xBEEF],
+        });
+        round_trip_host(HostCommand::Activate { node: 2 });
+        round_trip_host(HostCommand::ScanfReturn { node: 1, value: 777 });
+    }
+
+    fn round_trip_device(frame: DeviceFrame) {
+        let mut buf = FrameBuffer::new();
+        for b in frame.to_bytes() {
+            buf.push(b);
+        }
+        assert_eq!(buf.parse_device_frame().unwrap(), Some(frame));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn device_frames_round_trip() {
+        round_trip_device(DeviceFrame::Printf { node: 1, value: 0xCAFE });
+        round_trip_device(DeviceFrame::ScanfRequest { node: 2 });
+        round_trip_device(DeviceFrame::ReadReturn {
+            node: 3,
+            addr: 0x20,
+            data: vec![1, 2, 3],
+        });
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let mut buf = FrameBuffer::new();
+        let bytes = HostCommand::WriteMemory {
+            node: 1,
+            addr: 0,
+            data: vec![7; 4],
+        }
+        .to_bytes();
+        for &b in &bytes[..bytes.len() - 1] {
+            buf.push(b);
+            assert_eq!(buf.parse_host_command().unwrap(), None);
+        }
+        buf.push(*bytes.last().unwrap());
+        assert!(buf.parse_host_command().unwrap().is_some());
+    }
+
+    #[test]
+    fn unknown_opcode_is_an_error() {
+        let mut buf = FrameBuffer::new();
+        buf.push(0x99);
+        assert_eq!(
+            buf.parse_host_command(),
+            Err(FrameError { opcode: 0x99 })
+        );
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_in_order() {
+        let mut buf = FrameBuffer::new();
+        for b in (HostCommand::Activate { node: 1 }).to_bytes() {
+            buf.push(b);
+        }
+        for b in (HostCommand::Activate { node: 2 }).to_bytes() {
+            buf.push(b);
+        }
+        assert_eq!(
+            buf.parse_host_command().unwrap(),
+            Some(HostCommand::Activate { node: 1 })
+        );
+        assert_eq!(
+            buf.parse_host_command().unwrap(),
+            Some(HostCommand::Activate { node: 2 })
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! The Serial IP core (§2.2 of the paper).
+//!
+//! "The basic function of the Serial IP is to assemble and disassemble
+//! packets. When information comes from the host computer, the Serial IP
+//! creates a valid NoC packet. When a packet is received from the NoC it
+//! must be disassembled, and sent serially to the host computer."
+//!
+//! Four commands arrive from the host (read from memory, write to
+//! memory, activate processor, scanf return) and three travel towards it
+//! (printf, scanf, read return). Before anything else the host must send
+//! the [`SYNC_BYTE`] `0x55` so the hardware can
+//! lock to the baud rate; bytes before it are ignored.
+
+use hermes_noc::RouterAddr;
+
+use crate::error::SystemError;
+use crate::net::NetPort;
+use crate::node::{NodeId, NodeTable};
+use crate::serial::{DeviceFrame, FrameBuffer, HostCommand, SerialLink, SYNC_BYTE};
+use crate::service::Service;
+
+/// The serial IP: the bridge between the RS-232 link and the NoC.
+#[derive(Debug)]
+pub struct SerialIp {
+    addr: RouterAddr,
+    table: NodeTable,
+    synced: bool,
+    rx: FrameBuffer,
+}
+
+impl SerialIp {
+    /// A serial IP at router `addr` knowing the system's node directory.
+    pub fn new(addr: RouterAddr, table: NodeTable) -> Self {
+        Self {
+            addr,
+            table,
+            synced: false,
+            rx: FrameBuffer::new(),
+        }
+    }
+
+    /// The router this IP is attached to.
+    pub fn router(&self) -> RouterAddr {
+        self.addr
+    }
+
+    /// Whether the 0x55 synchronization byte has been received.
+    pub fn is_synced(&self) -> bool {
+        self.synced
+    }
+
+    /// Updates this IP's view of the system after a reconfiguration.
+    pub(crate) fn reconfigure(&mut self, addr: RouterAddr, table: NodeTable) {
+        self.addr = addr;
+        self.table = table;
+    }
+
+    /// One clock step: disassemble NoC packets into host frames and
+    /// assemble complete host commands into NoC packets.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Protocol`] on an unknown host opcode, a command for
+    /// a nonexistent node, or an unexpected service arriving from the
+    /// network.
+    pub fn step(&mut self, link: &mut SerialLink, net: &mut NetPort<'_>) -> Result<(), SystemError> {
+        // NoC → host direction.
+        while let Some(msg) = net.recv()? {
+            let node = self.table.node_of(msg.src).ok_or_else(|| {
+                SystemError::Protocol(format!("service from unknown router {}", msg.src))
+            })?;
+            let node = node.0;
+            match msg.service {
+                Service::Printf { data } => {
+                    for value in data {
+                        link.device_send(&DeviceFrame::Printf { node, value }.to_bytes());
+                    }
+                }
+                Service::Scanf => {
+                    link.device_send(&DeviceFrame::ScanfRequest { node }.to_bytes());
+                }
+                Service::ReadReturn { addr, data } => {
+                    link.device_send(&DeviceFrame::ReadReturn { node, addr, data }.to_bytes());
+                }
+                other => {
+                    return Err(SystemError::Protocol(format!(
+                        "serial IP cannot handle service `{other}`"
+                    )))
+                }
+            }
+        }
+
+        // Host → NoC direction.
+        while let Some(byte) = link.device_recv() {
+            if !self.synced {
+                if byte == SYNC_BYTE {
+                    self.synced = true;
+                }
+                continue;
+            }
+            self.rx.push(byte);
+        }
+        loop {
+            match self.rx.parse_host_command() {
+                Ok(Some(cmd)) => self.execute(cmd, net)?,
+                Ok(None) => break,
+                Err(e) => return Err(SystemError::Protocol(e.to_string())),
+            }
+        }
+        Ok(())
+    }
+
+    fn target(&self, node: u8) -> Result<RouterAddr, SystemError> {
+        self.table.router_of(NodeId(node)).ok_or(SystemError::BadNode {
+            node: NodeId(node),
+            expected: "a node of this system",
+        })
+    }
+
+    fn execute(&mut self, cmd: HostCommand, net: &mut NetPort<'_>) -> Result<(), SystemError> {
+        match cmd {
+            HostCommand::ReadMemory { node, count, addr } => {
+                let dest = self.target(node)?;
+                net.send(
+                    dest,
+                    Service::ReadFromMemory {
+                        addr,
+                        count: u16::from(count),
+                    },
+                )
+            }
+            HostCommand::WriteMemory { node, addr, data } => {
+                let dest = self.target(node)?;
+                net.send(dest, Service::WriteInMemory { addr, data })
+            }
+            HostCommand::Activate { node } => {
+                let dest = self.target(node)?;
+                net.send(dest, Service::ActivateProcessor)
+            }
+            HostCommand::ScanfReturn { node, value } => {
+                let dest = self.target(node)?;
+                net.send(dest, Service::ScanfReturn { value })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+    use crate::serial::SerialConfig;
+    use crate::service::Message;
+    use hermes_noc::{Noc, NocConfig, Packet};
+
+    fn setup() -> (Noc, SerialIp, SerialLink) {
+        let noc = Noc::new(NocConfig::mesh(2, 2)).unwrap();
+        let table = NodeTable::new(vec![
+            (RouterAddr::new(0, 0), NodeKind::Serial),
+            (RouterAddr::new(0, 1), NodeKind::Processor),
+            (RouterAddr::new(1, 0), NodeKind::Processor),
+            (RouterAddr::new(1, 1), NodeKind::Memory),
+        ]);
+        let ip = SerialIp::new(RouterAddr::new(0, 0), table);
+        let link = SerialLink::new(SerialConfig { cycles_per_byte: 1 });
+        (noc, ip, link)
+    }
+
+    fn pump(noc: &mut Noc, ip: &mut SerialIp, link: &mut SerialLink, cycles: u64) {
+        for _ in 0..cycles {
+            noc.step();
+            link.step(noc.cycle());
+            let mut net = NetPort::new(noc, RouterAddr::new(0, 0));
+            ip.step(link, &mut net).unwrap();
+        }
+    }
+
+    #[test]
+    fn ignores_bytes_before_sync() {
+        let (mut noc, mut ip, mut link) = setup();
+        link.host_send(&[0x00, 0x01, SYNC_BYTE]);
+        pump(&mut noc, &mut ip, &mut link, 10);
+        assert!(ip.is_synced());
+        // The garbage before the sync byte must not have become a command.
+        assert!(ip.rx.is_empty());
+    }
+
+    #[test]
+    fn read_command_becomes_read_packet() {
+        let (mut noc, mut ip, mut link) = setup();
+        link.host_send(&[SYNC_BYTE]);
+        link.host_send(&HostCommand::ReadMemory { node: 1, count: 1, addr: 0x20 }.to_bytes());
+        pump(&mut noc, &mut ip, &mut link, 200);
+        // The packet must have been delivered at P1's router (0,1).
+        let (src, packet) = noc.try_recv(RouterAddr::new(0, 1)).expect("delivered");
+        assert_eq!(src, RouterAddr::new(0, 0));
+        let msg = Message::from_packet(&packet, 8).unwrap();
+        assert_eq!(msg.service, Service::ReadFromMemory { addr: 0x20, count: 1 });
+    }
+
+    #[test]
+    fn printf_packet_becomes_host_frame() {
+        let (mut noc, mut ip, mut link) = setup();
+        // P2 (router (1,0)) prints 0xCAFE.
+        let msg = Message::new(
+            RouterAddr::new(1, 0),
+            Service::Printf { data: vec![0xCAFE] },
+        );
+        noc.send(RouterAddr::new(1, 0), msg.to_packet(RouterAddr::new(0, 0), 8))
+            .unwrap();
+        pump(&mut noc, &mut ip, &mut link, 200);
+        let mut buf = FrameBuffer::new();
+        let mut host_bytes = Vec::new();
+        while let Some(b) = link.host_recv() {
+            host_bytes.push(b);
+            buf.push(b);
+        }
+        assert_eq!(
+            buf.parse_device_frame().unwrap(),
+            Some(DeviceFrame::Printf { node: 2, value: 0xCAFE })
+        );
+    }
+
+    #[test]
+    fn command_for_unknown_node_errors() {
+        let (mut noc, mut ip, mut link) = setup();
+        link.host_send(&[SYNC_BYTE]);
+        link.host_send(&HostCommand::Activate { node: 9 }.to_bytes());
+        let mut failed = false;
+        for _ in 0..20 {
+            noc.step();
+            link.step(noc.cycle());
+            let mut net = NetPort::new(&mut noc, RouterAddr::new(0, 0));
+            if ip.step(&mut link, &mut net).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "activating node 9 should fail");
+    }
+
+    #[test]
+    fn unexpected_service_errors() {
+        let (mut noc, mut ip, mut link) = setup();
+        let msg = Message::new(RouterAddr::new(1, 1), Service::ActivateProcessor);
+        noc.send(RouterAddr::new(1, 1), msg.to_packet(RouterAddr::new(0, 0), 8))
+            .unwrap();
+        let mut failed = false;
+        for _ in 0..500 {
+            noc.step();
+            link.step(noc.cycle());
+            let mut net = NetPort::new(&mut noc, RouterAddr::new(0, 0));
+            if ip.step(&mut link, &mut net).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed);
+    }
+
+    #[test]
+    fn garbage_packet_is_a_protocol_error() {
+        let (mut noc, mut ip, mut link) = setup();
+        noc.send(
+            RouterAddr::new(1, 1),
+            Packet::new(RouterAddr::new(0, 0), vec![0xFF, 0xFF]),
+        )
+        .unwrap();
+        let mut failed = false;
+        for _ in 0..500 {
+            noc.step();
+            link.step(noc.cycle());
+            let mut net = NetPort::new(&mut noc, RouterAddr::new(0, 0));
+            if ip.step(&mut link, &mut net).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed);
+    }
+}

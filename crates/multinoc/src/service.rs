@@ -1,0 +1,422 @@
+//! The nine NoC services (§2.1 of the paper).
+//!
+//! "The Hermes NoC in the MultiNoC system internally supports nine
+//! distinct packet formats, which define a set of services offered by the
+//! communication network to the IP cores connected to it."
+//!
+//! A service message is carried in the *payload* of a Hermes packet (the
+//! header and size flits are the network's own framing). The first
+//! payload flit is the service code, the second the source router
+//! address; 16-bit fields are then split big-endian over as many flits as
+//! the flit width requires (two flits per word with the paper's 8-bit
+//! flits).
+
+use std::fmt;
+
+use hermes_noc::{Packet, RouterAddr};
+
+/// Service codes, numbered in the order the paper lists them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ServiceCode {
+    /// Request data from a memory.
+    ReadFromMemory = 1,
+    /// Response to a read request.
+    ReadReturn = 2,
+    /// Store data into some memory of the system.
+    WriteInMemory = 3,
+    /// Start a processor executing from address 0 of its local memory.
+    ActivateProcessor = 4,
+    /// Processor sends data to the host computer.
+    Printf = 5,
+    /// Processor requests user input from the host computer.
+    Scanf = 6,
+    /// Requested input data arriving from the host computer.
+    ScanfReturn = 7,
+    /// Wake up a processor blocked by `wait`.
+    Notify = 8,
+    /// Block a processor until it is notified.
+    Wait = 9,
+}
+
+impl ServiceCode {
+    fn from_flit(flit: u16) -> Option<Self> {
+        Some(match flit {
+            1 => ServiceCode::ReadFromMemory,
+            2 => ServiceCode::ReadReturn,
+            3 => ServiceCode::WriteInMemory,
+            4 => ServiceCode::ActivateProcessor,
+            5 => ServiceCode::Printf,
+            6 => ServiceCode::Scanf,
+            7 => ServiceCode::ScanfReturn,
+            8 => ServiceCode::Notify,
+            9 => ServiceCode::Wait,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded service message (without its source address).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Service {
+    /// Request `count` words starting at `addr` from the target's memory.
+    ReadFromMemory {
+        /// First word address.
+        addr: u16,
+        /// Number of words.
+        count: u16,
+    },
+    /// Reply carrying the requested words.
+    ReadReturn {
+        /// First word address (echoed from the request).
+        addr: u16,
+        /// The words read.
+        data: Vec<u16>,
+    },
+    /// Store `data` starting at `addr` in the target's memory.
+    WriteInMemory {
+        /// First word address.
+        addr: u16,
+        /// The words to store.
+        data: Vec<u16>,
+    },
+    /// Start the target processor from address 0.
+    ActivateProcessor,
+    /// Output words for the host console.
+    Printf {
+        /// The words printed.
+        data: Vec<u16>,
+    },
+    /// Request one word of user input.
+    Scanf,
+    /// The requested input word.
+    ScanfReturn {
+        /// The input value.
+        value: u16,
+    },
+    /// Wake the target if (or when) it waits on `from`.
+    Notify {
+        /// Node number of the notifying processor.
+        from: u16,
+    },
+    /// Block the target until it is notified by node `from`.
+    Wait {
+        /// Node number whose notify releases the target.
+        from: u16,
+    },
+}
+
+impl Service {
+    /// The service code of this message.
+    pub fn code(&self) -> ServiceCode {
+        match self {
+            Service::ReadFromMemory { .. } => ServiceCode::ReadFromMemory,
+            Service::ReadReturn { .. } => ServiceCode::ReadReturn,
+            Service::WriteInMemory { .. } => ServiceCode::WriteInMemory,
+            Service::ActivateProcessor => ServiceCode::ActivateProcessor,
+            Service::Printf { .. } => ServiceCode::Printf,
+            Service::Scanf => ServiceCode::Scanf,
+            Service::ScanfReturn { .. } => ServiceCode::ScanfReturn,
+            Service::Notify { .. } => ServiceCode::Notify,
+            Service::Wait { .. } => ServiceCode::Wait,
+        }
+    }
+}
+
+impl fmt::Display for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Service::ReadFromMemory { addr, count } => {
+                write!(f, "read from memory [{addr:#06x}; {count}]")
+            }
+            Service::ReadReturn { addr, data } => {
+                write!(f, "read return [{addr:#06x}; {}]", data.len())
+            }
+            Service::WriteInMemory { addr, data } => {
+                write!(f, "write in memory [{addr:#06x}; {}]", data.len())
+            }
+            Service::ActivateProcessor => write!(f, "activate processor"),
+            Service::Printf { data } => write!(f, "printf ({} words)", data.len()),
+            Service::Scanf => write!(f, "scanf"),
+            Service::ScanfReturn { value } => write!(f, "scanf return {value:#06x}"),
+            Service::Notify { from } => write!(f, "notify from node {from}"),
+            Service::Wait { from } => write!(f, "wait for node {from}"),
+        }
+    }
+}
+
+/// A service message together with the router that sent it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Router address of the sender.
+    pub src: RouterAddr,
+    /// The service payload.
+    pub service: Service,
+}
+
+/// Malformed service payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Payload shorter than the fixed fields of its service.
+    Truncated,
+    /// Unknown service code.
+    UnknownCode(u16),
+    /// Variable-length data did not align to whole 16-bit words.
+    RaggedData,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Truncated => write!(f, "service payload truncated"),
+            ServiceError::UnknownCode(c) => write!(f, "unknown service code {c}"),
+            ServiceError::RaggedData => write!(f, "service data not word-aligned"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Flits needed to carry one 16-bit word at the given flit width.
+pub fn flits_per_word(flit_bits: u8) -> usize {
+    usize::from(16_u8.div_ceil(flit_bits))
+}
+
+/// Packs a 16-bit word into big-endian flit chunks.
+pub fn pack_u16(value: u16, flit_bits: u8, out: &mut Vec<u16>) {
+    let chunks = flits_per_word(flit_bits);
+    let mask = if flit_bits >= 16 {
+        u16::MAX
+    } else {
+        (1 << flit_bits) - 1
+    };
+    for i in (0..chunks).rev() {
+        let shift = (i as u8) * flit_bits;
+        let chunk = if shift >= 16 { 0 } else { (value >> shift) & mask };
+        out.push(chunk);
+    }
+}
+
+/// Reads one big-endian packed word from `flits` at `pos`, advancing it.
+pub fn unpack_u16(flits: &[u16], pos: &mut usize, flit_bits: u8) -> Result<u16, ServiceError> {
+    let chunks = flits_per_word(flit_bits);
+    if *pos + chunks > flits.len() {
+        return Err(ServiceError::Truncated);
+    }
+    let mut value: u32 = 0;
+    for _ in 0..chunks {
+        value = (value << flit_bits) | u32::from(flits[*pos]);
+        *pos += 1;
+    }
+    Ok(value as u16)
+}
+
+impl Message {
+    /// Creates a message.
+    pub fn new(src: RouterAddr, service: Service) -> Self {
+        Self { src, service }
+    }
+
+    /// Encodes the message into a network packet for router `dest`.
+    pub fn to_packet(&self, dest: RouterAddr, flit_bits: u8) -> Packet {
+        let mut payload = Vec::new();
+        payload.push(self.service.code() as u16);
+        payload.push(self.src.to_flit(flit_bits));
+        let mut word = |v: u16| pack_u16(v, flit_bits, &mut payload);
+        match &self.service {
+            Service::ReadFromMemory { addr, count } => {
+                word(*addr);
+                word(*count);
+            }
+            Service::ReadReturn { addr, data } | Service::WriteInMemory { addr, data } => {
+                word(*addr);
+                for &d in data {
+                    word(d);
+                }
+            }
+            Service::ActivateProcessor | Service::Scanf => {}
+            Service::Printf { data } => {
+                for &d in data {
+                    word(d);
+                }
+            }
+            Service::ScanfReturn { value } => word(*value),
+            Service::Notify { from } | Service::Wait { from } => word(*from),
+        }
+        Packet::new(dest, payload)
+    }
+
+    /// Decodes a delivered packet payload back into a message.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] if the payload is truncated, carries an unknown
+    /// code, or its variable-length data is not word-aligned.
+    pub fn from_packet(packet: &Packet, flit_bits: u8) -> Result<Self, ServiceError> {
+        let flits = packet.payload();
+        if flits.len() < 2 {
+            return Err(ServiceError::Truncated);
+        }
+        let code = ServiceCode::from_flit(flits[0]).ok_or(ServiceError::UnknownCode(flits[0]))?;
+        let src = RouterAddr::from_flit(flits[1], flit_bits);
+        let mut pos = 2;
+        let read_word = |pos: &mut usize| unpack_u16(flits, pos, flit_bits);
+        let read_rest = |pos: &mut usize| -> Result<Vec<u16>, ServiceError> {
+            let per = flits_per_word(flit_bits);
+            if !(flits.len() - *pos).is_multiple_of(per) {
+                return Err(ServiceError::RaggedData);
+            }
+            let mut data = Vec::with_capacity((flits.len() - *pos) / per);
+            while *pos < flits.len() {
+                data.push(unpack_u16(flits, pos, flit_bits)?);
+            }
+            Ok(data)
+        };
+        let service = match code {
+            ServiceCode::ReadFromMemory => Service::ReadFromMemory {
+                addr: read_word(&mut pos)?,
+                count: read_word(&mut pos)?,
+            },
+            ServiceCode::ReadReturn => Service::ReadReturn {
+                addr: read_word(&mut pos)?,
+                data: read_rest(&mut pos)?,
+            },
+            ServiceCode::WriteInMemory => Service::WriteInMemory {
+                addr: read_word(&mut pos)?,
+                data: read_rest(&mut pos)?,
+            },
+            ServiceCode::ActivateProcessor => Service::ActivateProcessor,
+            ServiceCode::Printf => Service::Printf {
+                data: read_rest(&mut pos)?,
+            },
+            ServiceCode::Scanf => Service::Scanf,
+            ServiceCode::ScanfReturn => Service::ScanfReturn {
+                value: read_word(&mut pos)?,
+            },
+            ServiceCode::Notify => Service::Notify {
+                from: read_word(&mut pos)?,
+            },
+            ServiceCode::Wait => Service::Wait {
+                from: read_word(&mut pos)?,
+            },
+        };
+        Ok(Self { src, service })
+    }
+
+    /// Maximum words per read/write/printf data block so the packet stays
+    /// within the flit-width packet size limit.
+    pub fn max_data_words(flit_bits: u8) -> usize {
+        let max_payload = (1usize << flit_bits).saturating_sub(2).min(if flit_bits >= 16 {
+            usize::from(u16::MAX)
+        } else {
+            (1 << flit_bits) - 1
+        });
+        let per = flits_per_word(flit_bits);
+        // code + src + addr leave the rest for data.
+        (max_payload - 2 - per) / per
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(service: Service) {
+        let src = RouterAddr::new(0, 1);
+        let dest = RouterAddr::new(1, 1);
+        for flit_bits in [8u8, 16] {
+            let msg = Message::new(src, service.clone());
+            let packet = msg.to_packet(dest, flit_bits);
+            assert_eq!(packet.dest(), dest);
+            let back = Message::from_packet(&packet, flit_bits).expect("decodes");
+            assert_eq!(back, msg, "flit width {flit_bits}");
+        }
+    }
+
+    #[test]
+    fn all_nine_services_round_trip() {
+        round_trip(Service::ReadFromMemory { addr: 0x20, count: 4 });
+        round_trip(Service::ReadReturn {
+            addr: 0x20,
+            data: vec![1, 0xFFFF, 42],
+        });
+        round_trip(Service::WriteInMemory {
+            addr: 0x3FF,
+            data: vec![0xABCD],
+        });
+        round_trip(Service::ActivateProcessor);
+        round_trip(Service::Printf { data: vec![72, 105] });
+        round_trip(Service::Scanf);
+        round_trip(Service::ScanfReturn { value: 0xBEEF });
+        round_trip(Service::Notify { from: 2 });
+        round_trip(Service::Wait { from: 1 });
+    }
+
+    #[test]
+    fn empty_data_blocks_round_trip() {
+        round_trip(Service::Printf { data: vec![] });
+        round_trip(Service::WriteInMemory { addr: 0, data: vec![] });
+    }
+
+    #[test]
+    fn wire_format_is_as_documented() {
+        // 8-bit flits: [code, src, addr_hi, addr_lo, count_hi, count_lo].
+        let msg = Message::new(
+            RouterAddr::new(0, 0),
+            Service::ReadFromMemory { addr: 0x0120, count: 1 },
+        );
+        let packet = msg.to_packet(RouterAddr::new(1, 1), 8);
+        assert_eq!(packet.payload(), &[1, 0x00, 0x01, 0x20, 0x00, 0x01]);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let p = Packet::new(RouterAddr::new(0, 0), vec![99, 0, 0]);
+        assert_eq!(
+            Message::from_packet(&p, 8),
+            Err(ServiceError::UnknownCode(99))
+        );
+        let p = Packet::new(RouterAddr::new(0, 0), vec![1]);
+        assert_eq!(Message::from_packet(&p, 8), Err(ServiceError::Truncated));
+        let p = Packet::new(RouterAddr::new(0, 0), vec![1, 0, 0]);
+        assert_eq!(Message::from_packet(&p, 8), Err(ServiceError::Truncated));
+        // Ragged printf data (odd flit count at 8-bit width).
+        let p = Packet::new(RouterAddr::new(0, 0), vec![5, 0, 1, 2, 3]);
+        assert_eq!(Message::from_packet(&p, 8), Err(ServiceError::RaggedData));
+    }
+
+    #[test]
+    fn pack_unpack_words() {
+        let mut flits = Vec::new();
+        pack_u16(0xABCD, 8, &mut flits);
+        assert_eq!(flits, vec![0xAB, 0xCD]);
+        let mut pos = 0;
+        assert_eq!(unpack_u16(&flits, &mut pos, 8).unwrap(), 0xABCD);
+        assert_eq!(pos, 2);
+
+        let mut flits = Vec::new();
+        pack_u16(0xABCD, 4, &mut flits);
+        assert_eq!(flits, vec![0xA, 0xB, 0xC, 0xD]);
+        let mut pos = 0;
+        assert_eq!(unpack_u16(&flits, &mut pos, 4).unwrap(), 0xABCD);
+
+        let mut flits = Vec::new();
+        pack_u16(0xABCD, 16, &mut flits);
+        assert_eq!(flits, vec![0xABCD]);
+    }
+
+    #[test]
+    fn max_data_words_fits_packets() {
+        // 8-bit flits: 254 payload max; code+src+addr(2) = 4; (254-4)/2 = 125.
+        assert_eq!(Message::max_data_words(8), 125);
+        let msg = Message::new(
+            RouterAddr::new(0, 0),
+            Service::WriteInMemory {
+                addr: 0,
+                data: vec![0; Message::max_data_words(8)],
+            },
+        );
+        let packet = msg.to_packet(RouterAddr::new(1, 1), 8);
+        assert!(packet.payload().len() <= 254);
+    }
+}

@@ -1,0 +1,977 @@
+//! The integrated MultiNoC system: Hermes NoC + IP cores + serial link,
+//! co-simulated cycle by cycle.
+
+use hermes_noc::{Noc, NocConfig, NocStats, RouterAddr};
+use r8::core::Cpu;
+
+use crate::addrmap::AddressMap;
+use crate::error::SystemError;
+use crate::memory::{MemoryCore, MemoryIp};
+use crate::net::NetPort;
+use crate::node::{NodeId, NodeKind, NodeTable};
+use crate::processor::{ProcessorIp, ProcessorStatus};
+use crate::serial::{SerialConfig, SerialLink};
+use crate::serial_ip::SerialIp;
+use crate::trace::{ServiceCounters, TraceLog};
+
+/// One IP core instance. `Vacant` marks a node removed by dynamic
+/// reconfiguration: its id is never reused and stray packets addressed
+/// to it are dropped, as a de-configured FPGA region would.
+#[derive(Debug)]
+enum Ip {
+    Processor(Box<ProcessorIp>),
+    Memory(MemoryIp),
+    Serial(SerialIp),
+    Vacant,
+}
+
+/// The whole MultiNoC system. Build one with [`System::paper_config`]
+/// (the exact 2×2 system of the paper) or [`System::builder`] (arbitrary
+/// meshes and IP mixes, "using the natural scalability of NoCs").
+///
+/// See the [crate-level example](crate) for the typical host-driven flow.
+#[derive(Debug)]
+pub struct System {
+    noc: Noc,
+    ips: Vec<Ip>,
+    table: NodeTable,
+    link: SerialLink,
+    clock_hz: f64,
+    counters: ServiceCounters,
+    trace: Option<TraceLog>,
+    /// Routers whose IP was removed; stray deliveries there are dropped.
+    vacated_routers: Vec<RouterAddr>,
+}
+
+impl System {
+    /// The paper's configuration (Fig. 1): a 2×2 Hermes NoC with the
+    /// serial IP at router 00, processors at 01 and 10, and the remote
+    /// memory at 11.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; shares the builder's validation.
+    pub fn paper_config() -> Result<Self, SystemError> {
+        Self::builder()
+            .noc(NocConfig::multinoc())
+            .serial_at(RouterAddr::new(0, 0))
+            .processor_at(RouterAddr::new(0, 1))
+            .processor_at(RouterAddr::new(1, 0))
+            .memory_at(RouterAddr::new(1, 1))
+            .build()
+    }
+
+    /// Starts building a custom system.
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+
+    /// The node directory.
+    pub fn table(&self) -> &NodeTable {
+        &self.table
+    }
+
+    /// The network, for statistics and configuration.
+    pub fn noc(&self) -> &Noc {
+        &self.noc
+    }
+
+    /// Accumulated network statistics.
+    pub fn noc_stats(&self) -> &NocStats {
+        self.noc.stats()
+    }
+
+    /// The serial link, for inspection.
+    pub fn link(&self) -> &SerialLink {
+        &self.link
+    }
+
+    /// The serial link, as the host computer sees it.
+    pub fn link_mut(&mut self) -> &mut SerialLink {
+        &mut self.link
+    }
+
+    /// Simulated clock frequency (for converting cycles to wall time;
+    /// the prototype ran at 25 MHz).
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Clock cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.noc.cycle()
+    }
+
+    fn processor(&self, node: NodeId) -> Result<&ProcessorIp, SystemError> {
+        match self.ips.get(node.index()) {
+            Some(Ip::Processor(p)) => Ok(p),
+            _ => Err(SystemError::BadNode {
+                node,
+                expected: "a processor",
+            }),
+        }
+    }
+
+    fn processor_mut(&mut self, node: NodeId) -> Result<&mut ProcessorIp, SystemError> {
+        match self.ips.get_mut(node.index()) {
+            Some(Ip::Processor(p)) => Ok(p),
+            _ => Err(SystemError::BadNode {
+                node,
+                expected: "a processor",
+            }),
+        }
+    }
+
+    /// The R8 core of processor `node`, for inspection.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::BadNode`] if `node` is not a processor.
+    pub fn cpu(&self, node: NodeId) -> Result<&Cpu, SystemError> {
+        Ok(self.processor(node)?.cpu())
+    }
+
+    /// Status of processor `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::BadNode`] if `node` is not a processor.
+    pub fn processor_status(&self, node: NodeId) -> Result<ProcessorStatus, SystemError> {
+        Ok(self.processor(node)?.status())
+    }
+
+    /// Where processor `node`'s cycles have gone.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::BadNode`] if `node` is not a processor.
+    pub fn processor_utilization(
+        &self,
+        node: NodeId,
+    ) -> Result<crate::processor::UtilizationCounters, SystemError> {
+        Ok(self.processor(node)?.utilization())
+    }
+
+    /// Why processor `node` is blocked, if it is.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::BadNode`] if `node` is not a processor.
+    pub fn block_reason(
+        &self,
+        node: NodeId,
+    ) -> Result<Option<crate::processor::BlockReason>, SystemError> {
+        Ok(self.processor(node)?.block_reason())
+    }
+
+    /// All processor nodes, in node order.
+    pub fn processors(&self) -> Vec<NodeId> {
+        self.table.nodes_of_kind(NodeKind::Processor).collect()
+    }
+
+    /// The address map of processor `node` (to compute window bases for
+    /// programs that access remote memories).
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::BadNode`] if `node` is not a processor.
+    pub fn address_map(&self, node: NodeId) -> Result<&AddressMap, SystemError> {
+        Ok(self.processor(node)?.map())
+    }
+
+    /// Direct access to the memory contents of `node` — a processor's
+    /// local memory or a memory IP. Intended for tests and experiment
+    /// harnesses; the real system goes through the serial protocol.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::BadNode`] if `node` owns no memory.
+    pub fn memory(&self, node: NodeId) -> Result<&MemoryCore, SystemError> {
+        match self.ips.get(node.index()) {
+            Some(Ip::Processor(p)) => Ok(p.local()),
+            Some(Ip::Memory(m)) => Ok(m.core()),
+            _ => Err(SystemError::BadNode {
+                node,
+                expected: "a node owning memory",
+            }),
+        }
+    }
+
+    /// Mutable access to the memory contents of `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::BadNode`] if `node` owns no memory.
+    pub fn memory_mut(&mut self, node: NodeId) -> Result<&mut MemoryCore, SystemError> {
+        match self.ips.get_mut(node.index()) {
+            Some(Ip::Processor(p)) => Ok(p.local_mut()),
+            Some(Ip::Memory(m)) => Ok(m.core_mut()),
+            _ => Err(SystemError::BadNode {
+                node,
+                expected: "a node owning memory",
+            }),
+        }
+    }
+
+    /// Directly activates processor `node`, bypassing the serial
+    /// protocol (experiment harnesses; the host normally activates over
+    /// the link).
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::BadNode`] if `node` is not a processor.
+    pub fn activate_directly(&mut self, node: NodeId) -> Result<(), SystemError> {
+        let addr = self.table.router_of(node).ok_or(SystemError::BadNode {
+            node,
+            expected: "a node of this system",
+        })?;
+        self.processor_mut(node)?; // kind check
+        let msg = crate::service::Message::new(addr, crate::service::Service::ActivateProcessor);
+        let flit_bits = self.noc.config().flit_bits;
+        self.noc.send(addr, msg.to_packet(addr, flit_bits))?;
+        Ok(())
+    }
+
+    /// Per-node, per-service message counters (always on).
+    pub fn service_counters(&self) -> &ServiceCounters {
+        &self.counters
+    }
+
+    /// Starts recording service messages into a bounded event log.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceLog::new(capacity));
+    }
+
+    /// The trace log, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceLog> {
+        self.trace.as_ref()
+    }
+
+    /// Stops tracing and returns the log.
+    pub fn take_trace(&mut self) -> Option<TraceLog> {
+        self.trace.take()
+    }
+
+    /// Advances the whole system by one clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Protocol`] if an IP received malformed traffic.
+    pub fn step(&mut self) -> Result<(), SystemError> {
+        self.noc.step();
+        let now = self.noc.cycle();
+        self.link.step(now);
+        for idx in 0..self.ips.len() {
+            let node = NodeId(idx as u8);
+            let Some(addr) = self.table.router_of(node) else {
+                continue; // vacated slot
+            };
+            let observer = crate::net::Observer {
+                node,
+                now,
+                counters: &mut self.counters,
+                log: self.trace.as_mut(),
+            };
+            let mut net = NetPort::observed(&mut self.noc, addr, observer);
+            match &mut self.ips[idx] {
+                Ip::Processor(p) => p.step(now, &mut net)?,
+                Ip::Serial(s) => s.step(&mut self.link, &mut net)?,
+                Ip::Memory(m) => {
+                    while let Some(msg) = net.recv()? {
+                        if let Some((dest, reply)) = m.handle(&msg) {
+                            net.send(dest, reply)?;
+                        }
+                    }
+                }
+                Ip::Vacant => {
+                    // Drop anything that still arrives here.
+                    while net.recv()?.is_some() {}
+                }
+            }
+        }
+        // Drain stray deliveries at routers whose IP was removed.
+        for i in 0..self.vacated_routers.len() {
+            let addr = self.vacated_routers[i];
+            while self.noc.try_recv(addr).is_some() {}
+        }
+        Ok(())
+    }
+
+    /// Runs for exactly `cycles` clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SystemError`] from [`step`](Self::step).
+    pub fn run(&mut self, cycles: u64) -> Result<(), SystemError> {
+        for _ in 0..cycles {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    fn faulted_processor(&self) -> Option<(NodeId, &str)> {
+        self.ips.iter().enumerate().find_map(|(i, ip)| match ip {
+            Ip::Processor(p) => p.fault().map(|f| (NodeId(i as u8), f)),
+            _ => None,
+        })
+    }
+
+    /// Whether every activated processor has executed `HALT`.
+    pub fn all_halted(&self) -> bool {
+        self.ips.iter().all(|ip| match ip {
+            Ip::Processor(p) => !p.is_active() || p.status() == ProcessorStatus::Halted,
+            _ => true,
+        })
+    }
+
+    /// Whether nothing can make progress any more: network and link
+    /// drained, and every processor inactive, halted or blocked.
+    pub fn is_idle(&self) -> bool {
+        self.noc.is_idle()
+            && self.link.is_idle()
+            && self.ips.iter().all(|ip| match ip {
+                Ip::Processor(p) => {
+                    matches!(
+                        p.status(),
+                        ProcessorStatus::Inactive
+                            | ProcessorStatus::Halted
+                            | ProcessorStatus::Blocked
+                            | ProcessorStatus::Faulted
+                    )
+                }
+                _ => true,
+            })
+    }
+
+    /// Runs until every activated processor halts and the network and
+    /// link drain.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::BudgetExhausted`] after `budget` cycles,
+    /// [`SystemError::Cpu`] if a processor faulted, or a protocol error.
+    pub fn run_until_halted(&mut self, budget: u64) -> Result<u64, SystemError> {
+        let start = self.cycle();
+        loop {
+            if let Some((node, fault)) = self.faulted_processor() {
+                return Err(SystemError::Cpu {
+                    node,
+                    message: fault.to_string(),
+                });
+            }
+            if self.all_halted() && self.noc.is_idle() && self.link.is_idle() {
+                return Ok(self.cycle() - start);
+            }
+            if self.cycle() - start >= budget {
+                return Err(SystemError::BudgetExhausted {
+                    budget,
+                    waiting_for: "all processors to halt",
+                });
+            }
+            self.step()?;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Partial and dynamic reconfiguration (§5 of the paper): "the IP
+    // cores position be modified in execution at runtime, favoring the
+    // IPs communication with improved throughput. Reconfiguration can
+    // also be used to reduce system area consumption through insertion
+    // and removal of IP cores on demand."
+    // ------------------------------------------------------------------
+
+    fn require_quiescent(&self) -> Result<(), SystemError> {
+        if self.noc.is_idle() && self.link.is_idle() {
+            Ok(())
+        } else {
+            Err(SystemError::Protocol(
+                "reconfiguration requires an idle network and serial link".into(),
+            ))
+        }
+    }
+
+    /// Pushes the (updated) node directory into every IP.
+    fn refresh_tables(&mut self) {
+        let io_router = self
+            .table
+            .nodes_of_kind(NodeKind::Serial)
+            .next()
+            .and_then(|n| self.table.router_of(n));
+        for idx in 0..self.ips.len() {
+            let node = NodeId(idx as u8);
+            let Some(addr) = self.table.router_of(node) else {
+                continue;
+            };
+            match &mut self.ips[idx] {
+                Ip::Processor(p) => p.reconfigure(addr, self.table.clone(), io_router),
+                Ip::Serial(s) => s.reconfigure(addr, self.table.clone()),
+                Ip::Memory(m) => m.set_router(addr),
+                Ip::Vacant => {}
+            }
+        }
+    }
+
+    fn require_free_router(&self, addr: RouterAddr) -> Result<(), SystemError> {
+        let config = self.noc.config();
+        if addr.x() >= config.width || addr.y() >= config.height {
+            return Err(SystemError::BadLayout(format!(
+                "router {addr} is outside the {}x{} mesh",
+                config.width, config.height
+            )));
+        }
+        if self.table.node_of(addr).is_some() {
+            return Err(SystemError::BadLayout(format!(
+                "router {addr} already hosts an IP"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Moves `node` (with all its state — memory contents, CPU
+    /// registers) to the free router `new_addr`. The network and serial
+    /// link must be idle, as a partial-reconfiguration controller would
+    /// quiesce the region first.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Protocol`] if traffic is in flight,
+    /// [`SystemError::BadLayout`] if the target router is occupied or
+    /// outside the mesh, [`SystemError::BadNode`] for vacant/unknown
+    /// nodes.
+    pub fn relocate_ip(&mut self, node: NodeId, new_addr: RouterAddr) -> Result<(), SystemError> {
+        self.require_quiescent()?;
+        self.require_free_router(new_addr)?;
+        if self.table.router_of(node).is_none() {
+            return Err(SystemError::BadNode {
+                node,
+                expected: "an occupied node",
+            });
+        }
+        self.table.relocate(node, new_addr);
+        self.refresh_tables();
+        Ok(())
+    }
+
+    /// Inserts a new R8 processor IP at the free router `addr`,
+    /// returning its node id. Every existing processor gains a window
+    /// onto the new processor's memory *after* its current windows, so
+    /// running software keeps its addresses.
+    ///
+    /// # Errors
+    ///
+    /// As [`relocate_ip`](Self::relocate_ip); additionally
+    /// [`SystemError::BadLayout`] if some processor's address map has no
+    /// room for another window.
+    pub fn insert_processor_at(&mut self, addr: RouterAddr) -> Result<NodeId, SystemError> {
+        self.insert_ip(addr, NodeKind::Processor)
+    }
+
+    /// Inserts a new remote memory IP at the free router `addr`.
+    ///
+    /// # Errors
+    ///
+    /// As [`insert_processor_at`](Self::insert_processor_at).
+    pub fn insert_memory_at(&mut self, addr: RouterAddr) -> Result<NodeId, SystemError> {
+        self.insert_ip(addr, NodeKind::Memory)
+    }
+
+    fn insert_ip(&mut self, addr: RouterAddr, kind: NodeKind) -> Result<NodeId, SystemError> {
+        self.require_quiescent()?;
+        self.require_free_router(addr)?;
+        if self.ips.len() >= 255 {
+            return Err(SystemError::BadLayout("node ids are exhausted".into()));
+        }
+        // Check every processor can take one more window before mutating.
+        for ip in &self.ips {
+            if let Ip::Processor(p) = ip {
+                let windows = p.map().windows().len() as u32 + 1;
+                let top = (windows + 1) * u32::from(p.map().window_words());
+                if top > u32::from(crate::NOTIFY_ADDR) {
+                    return Err(SystemError::BadLayout(format!(
+                        "{}'s address map has no room for another window",
+                        p.node()
+                    )));
+                }
+            }
+        }
+        let node = self.table.push(addr, kind);
+        for ip in &mut self.ips {
+            if let Ip::Processor(p) = ip {
+                p.map_mut()
+                    .push_window(node)
+                    .expect("capacity checked above");
+            }
+        }
+        let io_router = self
+            .table
+            .nodes_of_kind(NodeKind::Serial)
+            .next()
+            .and_then(|n| self.table.router_of(n));
+        let ip = match kind {
+            NodeKind::Memory => Ip::Memory(MemoryIp::new(addr, crate::MEMORY_WORDS)),
+            NodeKind::Processor => {
+                // The new processor sees every other memory-owning node,
+                // processors first, in node order (builder convention).
+                let mut windows: Vec<NodeId> = self
+                    .table
+                    .nodes_of_kind(NodeKind::Processor)
+                    .filter(|&n| n != node)
+                    .collect();
+                windows.extend(self.table.nodes_of_kind(NodeKind::Memory));
+                Ip::Processor(Box::new(ProcessorIp::new(
+                    node,
+                    addr,
+                    crate::MEMORY_WORDS,
+                    AddressMap::paper(windows),
+                    self.table.clone(),
+                    io_router,
+                )))
+            }
+            NodeKind::Serial => {
+                return Err(SystemError::BadLayout(
+                    "inserting a second serial IP is not supported".into(),
+                ))
+            }
+        };
+        self.ips.push(ip);
+        self.refresh_tables();
+        Ok(node)
+    }
+
+    /// Removes `node` from the system ("to reduce system area
+    /// consumption"). The node id stays reserved; peers' windows onto it
+    /// keep their addresses but reads return 0 and writes are dropped.
+    /// A processor must be inactive, halted or faulted to be removed.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Protocol`] with traffic in flight or a running
+    /// processor; [`SystemError::BadNode`] for vacant/unknown nodes.
+    pub fn remove_ip(&mut self, node: NodeId) -> Result<(), SystemError> {
+        self.require_quiescent()?;
+        let Some(addr) = self.table.router_of(node) else {
+            return Err(SystemError::BadNode {
+                node,
+                expected: "an occupied node",
+            });
+        };
+        if let Some(Ip::Processor(p)) = self.ips.get(node.index()) {
+            if matches!(p.status(), ProcessorStatus::Running | ProcessorStatus::Blocked) {
+                return Err(SystemError::Protocol(format!(
+                    "{node} is executing; halt it before removal"
+                )));
+            }
+        }
+        self.ips[node.index()] = Ip::Vacant;
+        self.table.vacate(node);
+        self.vacated_routers.push(addr);
+        self.refresh_tables();
+        Ok(())
+    }
+
+    /// Runs until the system is [idle](Self::is_idle) — including
+    /// processors parked in `wait` or `scanf`, which makes this the right
+    /// tool to detect synchronization deadlocks.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::BudgetExhausted`] after `budget` cycles, or a
+    /// propagated step error.
+    pub fn run_until_idle(&mut self, budget: u64) -> Result<u64, SystemError> {
+        let start = self.cycle();
+        // Always make at least one step so freshly queued traffic starts.
+        self.step()?;
+        loop {
+            if self.is_idle() {
+                return Ok(self.cycle() - start);
+            }
+            if self.cycle() - start >= budget {
+                return Err(SystemError::BudgetExhausted {
+                    budget,
+                    waiting_for: "system to go idle",
+                });
+            }
+            self.step()?;
+        }
+    }
+}
+
+/// Builder for custom MultiNoC systems.
+///
+/// Nodes are numbered in the order they are added (the paper numbers the
+/// serial IP 0, the processors 1 and 2, the memory 3). Each processor's
+/// address map exposes windows onto all *other* memory-owning nodes:
+/// first the other processors, then the memory IPs, in node order.
+#[derive(Debug, Default)]
+pub struct SystemBuilder {
+    noc: Option<NocConfig>,
+    serial: SerialConfig,
+    clock_hz: Option<f64>,
+    nodes: Vec<(RouterAddr, NodeKind)>,
+}
+
+impl SystemBuilder {
+    /// Sets the network configuration (defaults to the paper's 2×2).
+    pub fn noc(mut self, config: NocConfig) -> Self {
+        self.noc = Some(config);
+        self
+    }
+
+    /// Sets the serial link timing (defaults to a fast functional link).
+    pub fn serial(mut self, config: SerialConfig) -> Self {
+        self.serial = config;
+        self
+    }
+
+    /// Sets the clock frequency used for cycle↔time conversions
+    /// (defaults to the prototype's 25 MHz).
+    pub fn clock_hz(mut self, hz: f64) -> Self {
+        self.clock_hz = Some(hz);
+        self
+    }
+
+    /// Adds a serial IP at `addr` (at most one per system).
+    pub fn serial_at(mut self, addr: RouterAddr) -> Self {
+        self.nodes.push((addr, NodeKind::Serial));
+        self
+    }
+
+    /// Adds an R8 processor IP at `addr`.
+    pub fn processor_at(mut self, addr: RouterAddr) -> Self {
+        self.nodes.push((addr, NodeKind::Processor));
+        self
+    }
+
+    /// Adds a remote memory IP at `addr`.
+    pub fn memory_at(mut self, addr: RouterAddr) -> Self {
+        self.nodes.push((addr, NodeKind::Memory));
+        self
+    }
+
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::BadLayout`] if routers repeat, lie outside the
+    /// mesh, more than one serial IP was added, or a processor would have
+    /// more remote windows than the address space holds;
+    /// [`SystemError::Noc`] for an invalid network configuration.
+    pub fn build(self) -> Result<System, SystemError> {
+        let noc_config = self.noc.unwrap_or_else(NocConfig::multinoc);
+        let noc = Noc::new(noc_config.clone())?;
+        for (addr, _) in &self.nodes {
+            if addr.x() >= noc_config.width || addr.y() >= noc_config.height {
+                return Err(SystemError::BadLayout(format!(
+                    "router {addr} is outside the {}x{} mesh",
+                    noc_config.width, noc_config.height
+                )));
+            }
+        }
+        for (i, (a, _)) in self.nodes.iter().enumerate() {
+            if self.nodes[..i].iter().any(|(b, _)| a == b) {
+                return Err(SystemError::BadLayout(format!(
+                    "router {a} hosts more than one IP"
+                )));
+            }
+        }
+        let serial_count = self
+            .nodes
+            .iter()
+            .filter(|(_, k)| *k == NodeKind::Serial)
+            .count();
+        if serial_count > 1 {
+            return Err(SystemError::BadLayout(
+                "at most one serial IP is supported".into(),
+            ));
+        }
+        let table = NodeTable::new(self.nodes.clone());
+        let io_router = table
+            .nodes_of_kind(NodeKind::Serial)
+            .next()
+            .and_then(|n| table.router_of(n));
+
+        // Windows seen by each processor: other processors first, then
+        // memory IPs, in node order (matches the paper's map).
+        let mut ips = Vec::with_capacity(self.nodes.len());
+        for (i, &(addr, kind)) in self.nodes.iter().enumerate() {
+            let node = NodeId(i as u8);
+            let ip = match kind {
+                NodeKind::Serial => Ip::Serial(SerialIp::new(addr, table.clone())),
+                NodeKind::Memory => Ip::Memory(MemoryIp::new(addr, crate::MEMORY_WORDS)),
+                NodeKind::Processor => {
+                    let mut windows: Vec<NodeId> = table
+                        .nodes_of_kind(NodeKind::Processor)
+                        .filter(|&n| n != node)
+                        .collect();
+                    windows.extend(table.nodes_of_kind(NodeKind::Memory));
+                    if (windows.len() + 1) * usize::from(crate::MEMORY_WORDS)
+                        > usize::from(crate::NOTIFY_ADDR)
+                    {
+                        return Err(SystemError::BadLayout(format!(
+                            "{} remote windows do not fit the 16-bit address space",
+                            windows.len()
+                        )));
+                    }
+                    let map = AddressMap::paper(windows);
+                    Ip::Processor(Box::new(ProcessorIp::new(
+                        node,
+                        addr,
+                        crate::MEMORY_WORDS,
+                        map,
+                        table.clone(),
+                        io_router,
+                    )))
+                }
+            };
+            ips.push(ip);
+        }
+
+        Ok(System {
+            noc,
+            ips,
+            table,
+            link: SerialLink::new(self.serial),
+            clock_hz: self.clock_hz.unwrap_or(25.0e6),
+            counters: ServiceCounters::default(),
+            trace: None,
+            vacated_routers: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PROCESSOR_1, PROCESSOR_2, REMOTE_MEMORY, SERIAL};
+    use r8::asm::assemble;
+
+    #[test]
+    fn paper_config_layout() {
+        let sys = System::paper_config().unwrap();
+        assert_eq!(sys.table().len(), 4);
+        assert_eq!(sys.table().kind_of(SERIAL), Some(NodeKind::Serial));
+        assert_eq!(sys.table().kind_of(PROCESSOR_1), Some(NodeKind::Processor));
+        assert_eq!(sys.table().kind_of(PROCESSOR_2), Some(NodeKind::Processor));
+        assert_eq!(sys.table().kind_of(REMOTE_MEMORY), Some(NodeKind::Memory));
+        // P1's windows: P2 then memory.
+        let map = sys.address_map(PROCESSOR_1).unwrap();
+        assert_eq!(map.windows(), &[PROCESSOR_2, REMOTE_MEMORY]);
+        assert_eq!(map.window_base(REMOTE_MEMORY), Some(2048));
+        // P2's windows: P1 then memory.
+        let map = sys.address_map(PROCESSOR_2).unwrap();
+        assert_eq!(map.windows(), &[PROCESSOR_1, REMOTE_MEMORY]);
+    }
+
+    #[test]
+    fn builder_rejects_bad_layouts() {
+        let err = System::builder()
+            .processor_at(RouterAddr::new(5, 5))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SystemError::BadLayout(_)));
+
+        let err = System::builder()
+            .processor_at(RouterAddr::new(0, 0))
+            .memory_at(RouterAddr::new(0, 0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SystemError::BadLayout(_)));
+
+        let err = System::builder()
+            .serial_at(RouterAddr::new(0, 0))
+            .serial_at(RouterAddr::new(0, 1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SystemError::BadLayout(_)));
+    }
+
+    #[test]
+    fn direct_activation_runs_a_preloaded_program() {
+        let mut sys = System::paper_config().unwrap();
+        let program = assemble("LIW R1, 5\nLIW R2, 6\nMUL R3, R1, R2\nHALT").unwrap();
+        sys.memory_mut(PROCESSOR_1)
+            .unwrap()
+            .write_block(0, program.words());
+        sys.activate_directly(PROCESSOR_1).unwrap();
+        sys.run_until_halted(100_000).unwrap();
+        assert_eq!(sys.cpu(PROCESSOR_1).unwrap().reg(3), 30);
+    }
+
+    #[test]
+    fn remote_memory_access_via_the_network() {
+        // P1 stores to the remote memory window and reads it back.
+        let mut sys = System::paper_config().unwrap();
+        let base = sys
+            .address_map(PROCESSOR_1)
+            .unwrap()
+            .window_base(REMOTE_MEMORY)
+            .unwrap();
+        let program = assemble(&format!(
+            "LIW R1, {base}\n\
+             XOR R0, R0, R0\n\
+             LIW R2, 777\n\
+             ST  R2, R1, R0\n\
+             LD  R3, R1, R0\n\
+             LIW R4, 0x20\n\
+             ST  R3, R4, R0\n\
+             HALT"
+        ))
+        .unwrap();
+        sys.memory_mut(PROCESSOR_1)
+            .unwrap()
+            .write_block(0, program.words());
+        sys.activate_directly(PROCESSOR_1).unwrap();
+        sys.run_until_halted(1_000_000).unwrap();
+        // The value landed in the remote memory IP...
+        assert_eq!(sys.memory(REMOTE_MEMORY).unwrap().read(0), 777);
+        // ...and the read-back arrived in P1's local memory.
+        assert_eq!(sys.memory(PROCESSOR_1).unwrap().read(0x20), 777);
+    }
+
+    #[test]
+    fn processors_share_each_others_memory() {
+        // P1 writes into P2's local memory through its peer window.
+        let mut sys = System::paper_config().unwrap();
+        let base = sys
+            .address_map(PROCESSOR_1)
+            .unwrap()
+            .window_base(PROCESSOR_2)
+            .unwrap();
+        let program = assemble(&format!(
+            "LIW R1, {base}\n\
+             XOR R0, R0, R0\n\
+             LIW R2, 0x1234\n\
+             ADDI R1, 0x40\n\
+             ST  R2, R1, R0\n\
+             HALT"
+        ))
+        .unwrap();
+        sys.memory_mut(PROCESSOR_1)
+            .unwrap()
+            .write_block(0, program.words());
+        sys.activate_directly(PROCESSOR_1).unwrap();
+        sys.run_until_halted(1_000_000).unwrap();
+        assert_eq!(sys.memory(PROCESSOR_2).unwrap().read(0x40), 0x1234);
+    }
+
+    #[test]
+    fn wait_notify_synchronizes_two_processors() {
+        // P1 waits for P2; P2 writes a flag into P1's memory then
+        // notifies. P1 then copies the flag — it must see P2's value.
+        let mut sys = System::paper_config().unwrap();
+        let p1 = assemble(&format!(
+            "LIW R2, {:#x}\n\
+             XOR R0, R0, R0\n\
+             LIW R3, {}\n\
+             ST  R3, R0, R2     ; wait for P2\n\
+             LIW R4, 0x80\n\
+             LD  R5, R4, R0     ; read the flag P2 wrote\n\
+             LIW R6, 0x81\n\
+             ST  R5, R6, R0     ; copy it\n\
+             HALT",
+            crate::WAIT_ADDR,
+            PROCESSOR_2.0,
+        ))
+        .unwrap();
+        // P2: write 0xBEEF into P1's word 0x80, then notify P1.
+        let p2_window = sys
+            .address_map(PROCESSOR_2)
+            .unwrap()
+            .window_base(PROCESSOR_1)
+            .unwrap();
+        let p2 = assemble(&format!(
+            "LIW R1, {}\n\
+             XOR R0, R0, R0\n\
+             LIW R2, 0xBEEF\n\
+             ADDI R1, 0x80\n\
+             ST  R2, R1, R0     ; flag into P1 memory\n\
+             LIW R3, {:#x}\n\
+             LIW R4, {}\n\
+             ST  R4, R0, R3     ; notify P1\n\
+             HALT",
+            p2_window,
+            crate::NOTIFY_ADDR,
+            PROCESSOR_1.0,
+        ))
+        .unwrap();
+        sys.memory_mut(PROCESSOR_1).unwrap().write_block(0, p1.words());
+        sys.memory_mut(PROCESSOR_2).unwrap().write_block(0, p2.words());
+        sys.activate_directly(PROCESSOR_1).unwrap();
+        sys.activate_directly(PROCESSOR_2).unwrap();
+        sys.run_until_halted(1_000_000).unwrap();
+        assert_eq!(sys.memory(PROCESSOR_1).unwrap().read(0x81), 0xBEEF);
+    }
+
+    #[test]
+    fn deadlocked_wait_is_detected_as_idle() {
+        // P1 waits for a notify that never comes.
+        let mut sys = System::paper_config().unwrap();
+        let program = assemble(&format!(
+            "LIW R2, {:#x}\nXOR R0, R0, R0\nLIW R3, {}\nST R3, R0, R2\nHALT",
+            crate::WAIT_ADDR,
+            PROCESSOR_2.0,
+        ))
+        .unwrap();
+        sys.memory_mut(PROCESSOR_1)
+            .unwrap()
+            .write_block(0, program.words());
+        sys.activate_directly(PROCESSOR_1).unwrap();
+        sys.run_until_idle(100_000).unwrap();
+        assert_eq!(
+            sys.processor_status(PROCESSOR_1).unwrap(),
+            ProcessorStatus::Blocked
+        );
+        // run_until_halted correctly reports it never halts.
+        assert!(matches!(
+            sys.run_until_halted(10_000),
+            Err(SystemError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn notify_before_wait_is_not_lost() {
+        // P2 notifies first; P1 waits afterwards and must pass through.
+        let mut sys = System::paper_config().unwrap();
+        let p1 = assemble(&format!(
+            "LIW R1, 0x300\n\
+             XOR R0, R0, R0\n\
+             ; burn some cycles so P2's notify arrives first\n\
+             LIW R5, 50\n\
+             spin: SUBI R5, 1\n\
+             JMPZD waiting\n\
+             JMPD spin\n\
+             waiting: LIW R2, {:#x}\n\
+             LIW R3, {}\n\
+             ST  R3, R0, R2\n\
+             LIW R4, 1\n\
+             ST  R4, R1, R0\n\
+             HALT",
+            crate::WAIT_ADDR,
+            PROCESSOR_2.0,
+        ))
+        .unwrap();
+        let p2 = assemble(&format!(
+            "XOR R0, R0, R0\nLIW R3, {:#x}\nLIW R4, {}\nST R4, R0, R3\nHALT",
+            crate::NOTIFY_ADDR,
+            PROCESSOR_1.0,
+        ))
+        .unwrap();
+        sys.memory_mut(PROCESSOR_1).unwrap().write_block(0, p1.words());
+        sys.memory_mut(PROCESSOR_2).unwrap().write_block(0, p2.words());
+        sys.activate_directly(PROCESSOR_1).unwrap();
+        sys.activate_directly(PROCESSOR_2).unwrap();
+        sys.run_until_halted(1_000_000).unwrap();
+        assert_eq!(sys.memory(PROCESSOR_1).unwrap().read(0x300), 1);
+    }
+
+    #[test]
+    fn cpu_fault_surfaces_in_run_until_halted() {
+        let mut sys = System::paper_config().unwrap();
+        sys.memory_mut(PROCESSOR_1).unwrap().write(0, 0x00B0);
+        sys.activate_directly(PROCESSOR_1).unwrap();
+        match sys.run_until_halted(100_000) {
+            Err(SystemError::Cpu { node, .. }) => assert_eq!(node, PROCESSOR_1),
+            other => panic!("expected a cpu fault, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Service-level observability: per-node counters for each of the nine
+//! NoC services and an opt-in event log.
+//!
+//! The counters are always on (they cost one array increment per
+//! message); the event log must be enabled with
+//! [`System::enable_trace`](crate::System::enable_trace) and records one
+//! [`TraceEvent`] per service message sent or received at any IP — the
+//! message-level view the paper's future-work "multiprocessor simulator"
+//! needs for understanding distributed applications.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hermes_noc::RouterAddr;
+
+use crate::node::NodeId;
+use crate::service::{Service, ServiceCode};
+
+/// Direction of a traced message, from the local IP's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// The IP injected the message.
+    Sent,
+    /// The IP received the message.
+    Received,
+}
+
+/// One service message observed at an IP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Clock cycle of the observation.
+    pub cycle: u64,
+    /// The observing node.
+    pub node: NodeId,
+    /// Sent or received.
+    pub direction: Direction,
+    /// The other endpoint's router.
+    pub peer: RouterAddr,
+    /// The service code.
+    pub code: ServiceCode,
+    /// Human-readable summary of the message.
+    pub summary: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let arrow = match self.direction {
+            Direction::Sent => "->",
+            Direction::Received => "<-",
+        };
+        write!(
+            f,
+            "[{:>8}] {} {arrow} router {}: {}",
+            self.cycle, self.node, self.peer, self.summary
+        )
+    }
+}
+
+/// All nine service codes, for iteration.
+pub const ALL_CODES: [ServiceCode; 9] = [
+    ServiceCode::ReadFromMemory,
+    ServiceCode::ReadReturn,
+    ServiceCode::WriteInMemory,
+    ServiceCode::ActivateProcessor,
+    ServiceCode::Printf,
+    ServiceCode::Scanf,
+    ServiceCode::ScanfReturn,
+    ServiceCode::Notify,
+    ServiceCode::Wait,
+];
+
+fn code_index(code: ServiceCode) -> usize {
+    code as usize - 1
+}
+
+/// Per-node, per-service message counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    sent: BTreeMap<NodeId, [u64; 9]>,
+    received: BTreeMap<NodeId, [u64; 9]>,
+}
+
+impl ServiceCounters {
+    pub(crate) fn count(&mut self, node: NodeId, direction: Direction, code: ServiceCode) {
+        let table = match direction {
+            Direction::Sent => &mut self.sent,
+            Direction::Received => &mut self.received,
+        };
+        table.entry(node).or_insert([0; 9])[code_index(code)] += 1;
+    }
+
+    /// Messages of `code` sent by `node`.
+    pub fn sent(&self, node: NodeId, code: ServiceCode) -> u64 {
+        self.sent
+            .get(&node)
+            .map(|row| row[code_index(code)])
+            .unwrap_or(0)
+    }
+
+    /// Messages of `code` received by `node`.
+    pub fn received(&self, node: NodeId, code: ServiceCode) -> u64 {
+        self.received
+            .get(&node)
+            .map(|row| row[code_index(code)])
+            .unwrap_or(0)
+    }
+
+    /// Total messages of `code` sent anywhere in the system.
+    pub fn total_sent(&self, code: ServiceCode) -> u64 {
+        self.sent.values().map(|row| row[code_index(code)]).sum()
+    }
+
+    /// All nodes that sent or received anything, in node order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.sent.keys().chain(self.received.keys()).copied().collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes
+    }
+}
+
+/// The opt-in event log (bounded; oldest events drop first).
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// A log holding up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if self.events.len() >= self.capacity {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push(event);
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events dropped because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Builds the one-line summary used in trace events.
+pub(crate) fn summarize(service: &Service) -> String {
+    service.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_node_and_code() {
+        let mut c = ServiceCounters::default();
+        c.count(NodeId(1), Direction::Sent, ServiceCode::Printf);
+        c.count(NodeId(1), Direction::Sent, ServiceCode::Printf);
+        c.count(NodeId(2), Direction::Received, ServiceCode::Printf);
+        assert_eq!(c.sent(NodeId(1), ServiceCode::Printf), 2);
+        assert_eq!(c.received(NodeId(2), ServiceCode::Printf), 1);
+        assert_eq!(c.sent(NodeId(2), ServiceCode::Printf), 0);
+        assert_eq!(c.total_sent(ServiceCode::Printf), 2);
+        assert_eq!(c.nodes(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn log_is_bounded() {
+        let mut log = TraceLog::new(2);
+        for i in 0..5u64 {
+            log.push(TraceEvent {
+                cycle: i,
+                node: NodeId(0),
+                direction: Direction::Sent,
+                peer: RouterAddr::new(0, 0),
+                code: ServiceCode::Scanf,
+                summary: "scanf".into(),
+            });
+        }
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped(), 3);
+        assert_eq!(log.events()[0].cycle, 3);
+    }
+
+    #[test]
+    fn event_display() {
+        let e = TraceEvent {
+            cycle: 42,
+            node: NodeId(1),
+            direction: Direction::Received,
+            peer: RouterAddr::new(0, 0),
+            code: ServiceCode::Notify,
+            summary: "notify from node 2".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("42") && text.contains("<-") && text.contains("notify"));
+    }
+}

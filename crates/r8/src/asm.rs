@@ -1,0 +1,916 @@
+//! Two-pass R8 assembler.
+//!
+//! Replaces the paper's "R8 Simulator environment" assembly front end
+//! (§4, Fig. 8). The syntax is classic two-operand-per-line assembly:
+//!
+//! ```text
+//!         .equ  IO, 0xFFFF     ; printf / scanf address
+//!         LIW   R1, message    ; pseudo: LDL + LDH pair
+//! loop:   LD    R2, R1, R0     ; R2 = mem[R1 + R0]
+//!         ADDI  R1, 1
+//!         JMPZD done           ; PC-relative, label resolved
+//!         JMPD  loop
+//! done:   HALT
+//! message: .word 72, 105, 0
+//! ```
+//!
+//! - Comments start with `;`, `//` or `--`.
+//! - Labels end with `:` and may share a line with an instruction.
+//! - Numbers: decimal, `0x…` hex, `0b…` binary, or `'c'` character.
+//! - Expressions support `+`/`-` and the `low(…)`/`high(…)` byte
+//!   selectors.
+//! - Directives: `.org`, `.word`, `.space`, `.ascii`, `.equ`.
+//! - `LIW rt, expr` is a pseudo-instruction expanding to `LDL`/`LDH`.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{Cond, Instr, Reg};
+use crate::program::Program;
+
+/// Assembly failure, carrying the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// The ways assembly can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// Mnemonic is not one of the 36 instructions, a pseudo-instruction
+    /// or a directive.
+    UnknownMnemonic(String),
+    /// Operand list does not fit the instruction (wrong count or shape).
+    BadOperands(String),
+    /// A symbol was never defined.
+    UndefinedSymbol(String),
+    /// A label or `.equ` name was defined twice.
+    DuplicateSymbol(String),
+    /// A value does not fit its field.
+    OutOfRange {
+        /// Offending value.
+        value: i64,
+        /// Human description of the field.
+        field: &'static str,
+    },
+    /// Malformed expression or statement.
+    Syntax(String),
+    /// `.org` moved backwards or the image grew past 64K words.
+    ImageOverflow,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::BadOperands(m) => write!(f, "bad operands: {m}"),
+            AsmErrorKind::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            AsmErrorKind::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
+            AsmErrorKind::OutOfRange { value, field } => {
+                write!(f, "value {value} does not fit {field}")
+            }
+            AsmErrorKind::Syntax(m) => write!(f, "syntax error: {m}"),
+            AsmErrorKind::ImageOverflow => write!(f, "image overflow or backwards .org"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// Assembles R8 source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, with its source line.
+///
+/// ```rust
+/// use r8::asm::assemble;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = assemble("NOP\nHALT")?;
+/// assert_eq!(program.words(), &[0x0000, 0x0010]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    Assembler::new().assemble(source)
+}
+
+/// A parsed operand expression (resolved in pass 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Expr {
+    Literal(i64),
+    Symbol(String),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Low(Box<Expr>),
+    High(Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, symbols: &BTreeMap<String, u16>, line: usize) -> Result<i64, AsmError> {
+        Ok(match self {
+            Expr::Literal(v) => *v,
+            Expr::Symbol(name) => i64::from(*symbols.get(name).ok_or_else(|| AsmError {
+                line,
+                kind: AsmErrorKind::UndefinedSymbol(name.clone()),
+            })?),
+            Expr::Add(a, b) => a.eval(symbols, line)? + b.eval(symbols, line)?,
+            Expr::Sub(a, b) => a.eval(symbols, line)? - b.eval(symbols, line)?,
+            Expr::Low(e) => e.eval(symbols, line)? & 0xFF,
+            Expr::High(e) => (e.eval(symbols, line)? >> 8) & 0xFF,
+        })
+    }
+}
+
+/// One statement occupying words in the image.
+#[derive(Debug)]
+enum Stmt {
+    Instr { line: usize, op: Op },
+    Word { line: usize, exprs: Vec<Expr> },
+    Space,
+}
+
+/// Instruction with unresolved operands.
+#[derive(Debug)]
+enum Op {
+    Fixed(Instr),
+    Imm8 {
+        make: fn(Reg, u8) -> Instr,
+        rt: Reg,
+        expr: Expr,
+    },
+    /// `LIW rt, expr` — expands to LDL low + LDH high.
+    Liw { rt: Reg, expr: Expr },
+    /// Relative jump towards an absolute target address.
+    Rel {
+        cond: Option<Cond>, // None = JSRD
+        target: Expr,
+    },
+}
+
+impl Op {
+    fn size(&self) -> u16 {
+        match self {
+            Op::Liw { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Assembler {
+    symbols: BTreeMap<String, u16>,
+}
+
+impl Assembler {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn assemble(mut self, source: &str) -> Result<Program, AsmError> {
+        // Pass 1: parse statements, lay out addresses, collect symbols.
+        let mut stmts: Vec<(u16, Stmt)> = Vec::new();
+        let mut pc: u16 = 0;
+        for (idx, raw) in source.lines().enumerate() {
+            let line = idx + 1;
+            let text = strip_comment(raw).trim();
+            if text.is_empty() {
+                continue;
+            }
+            let mut rest = text;
+            // Labels (possibly several) before the statement.
+            while let Some(colon) = find_label(rest) {
+                let (label, tail) = rest.split_at(colon);
+                let label = label.trim();
+                if !is_ident(label) {
+                    return Err(AsmError {
+                        line,
+                        kind: AsmErrorKind::Syntax(format!("invalid label `{label}`")),
+                    });
+                }
+                self.define(label, pc, line)?;
+                rest = tail[1..].trim();
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            let (mnemonic, operands) = split_mnemonic(rest);
+            let upper = mnemonic.to_ascii_uppercase();
+            match upper.as_str() {
+                ".ORG" => {
+                    let value = parse_expr(operands, line)?.eval(&self.symbols, line)?;
+                    let target = to_u16(value, "an address", line)?;
+                    if target < pc {
+                        return Err(AsmError {
+                            line,
+                            kind: AsmErrorKind::ImageOverflow,
+                        });
+                    }
+                    let gap = target - pc;
+                    if gap > 0 {
+                        stmts.push((pc, Stmt::Space));
+                    }
+                    pc = target;
+                }
+                ".EQU" => {
+                    let (name, expr) = split_once_comma(operands, line)?;
+                    if !is_ident(name) {
+                        return Err(AsmError {
+                            line,
+                            kind: AsmErrorKind::Syntax(format!("invalid .equ name `{name}`")),
+                        });
+                    }
+                    let value = parse_expr(expr, line)?.eval(&self.symbols, line)?;
+                    let value = to_u16(value, "a .equ value", line)?;
+                    self.define(name, value, line)?;
+                }
+                ".WORD" => {
+                    let exprs = split_commas(operands)
+                        .map(|o| parse_expr(o, line))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if exprs.is_empty() {
+                        return Err(AsmError {
+                            line,
+                            kind: AsmErrorKind::Syntax(".word needs at least one value".into()),
+                        });
+                    }
+                    pc = advance(pc, exprs.len() as u16, line)?;
+                    stmts.push((pc - exprs.len() as u16, Stmt::Word { line, exprs }));
+                }
+                ".SPACE" => {
+                    let value = parse_expr(operands, line)?.eval(&self.symbols, line)?;
+                    let count = to_u16(value, "a .space count", line)?;
+                    pc = advance(pc, count, line)?;
+                    stmts.push((pc - count, Stmt::Space));
+                }
+                ".ASCII" => {
+                    let text = parse_string(operands, line)?;
+                    let exprs: Vec<Expr> = text
+                        .chars()
+                        .map(|c| Expr::Literal(i64::from(c as u32)))
+                        .collect();
+                    pc = advance(pc, exprs.len() as u16, line)?;
+                    stmts.push((pc - exprs.len() as u16, Stmt::Word { line, exprs }));
+                }
+                _ => {
+                    let op = parse_instruction(&upper, operands, line)?;
+                    let size = op.size();
+                    pc = advance(pc, size, line)?;
+                    stmts.push((pc - size, Stmt::Instr { line, op }));
+                }
+            }
+        }
+
+        // Pass 2: resolve expressions and emit words.
+        let mut words = vec![0u16; usize::from(pc)];
+        for (addr, stmt) in &stmts {
+            let addr = usize::from(*addr);
+            match stmt {
+                Stmt::Space => {}
+                Stmt::Word { line, exprs } => {
+                    for (i, expr) in exprs.iter().enumerate() {
+                        let value = expr.eval(&self.symbols, *line)?;
+                        words[addr + i] = to_word(value, "a 16-bit word", *line)?;
+                    }
+                }
+                Stmt::Instr { line, op } => match op {
+                    Op::Fixed(instr) => words[addr] = instr.encode(),
+                    Op::Imm8 { make, rt, expr } => {
+                        let value = expr.eval(&self.symbols, *line)?;
+                        if !(0..=0xFF).contains(&value) {
+                            return Err(AsmError {
+                                line: *line,
+                                kind: AsmErrorKind::OutOfRange {
+                                    value,
+                                    field: "an 8-bit immediate",
+                                },
+                            });
+                        }
+                        words[addr] = make(*rt, value as u8).encode();
+                    }
+                    Op::Liw { rt, expr } => {
+                        let value = expr.eval(&self.symbols, *line)?;
+                        let value = to_word(value, "a 16-bit immediate", *line)?;
+                        words[addr] = Instr::Ldl { rt: *rt, imm: (value & 0xFF) as u8 }.encode();
+                        words[addr + 1] = Instr::Ldh { rt: *rt, imm: (value >> 8) as u8 }.encode();
+                    }
+                    Op::Rel { cond, target } => {
+                        let value = target.eval(&self.symbols, *line)?;
+                        let target = to_word(value, "a jump target", *line)?;
+                        let disp = i64::from(target) - (addr as i64 + 1);
+                        if !(-128..=127).contains(&disp) {
+                            return Err(AsmError {
+                                line: *line,
+                                kind: AsmErrorKind::OutOfRange {
+                                    value: disp,
+                                    field: "a signed 8-bit displacement",
+                                },
+                            });
+                        }
+                        let disp = disp as i8;
+                        words[addr] = match cond {
+                            Some(cond) => Instr::JmpD { cond: *cond, disp }.encode(),
+                            None => Instr::JsrD { disp }.encode(),
+                        };
+                    }
+                },
+            }
+        }
+        Ok(Program::new(words, self.symbols))
+    }
+
+    fn define(&mut self, name: &str, value: u16, line: usize) -> Result<(), AsmError> {
+        if self.symbols.insert(name.to_string(), value).is_some() {
+            return Err(AsmError {
+                line,
+                kind: AsmErrorKind::DuplicateSymbol(name.to_string()),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn advance(pc: u16, by: u16, line: usize) -> Result<u16, AsmError> {
+    pc.checked_add(by).ok_or(AsmError {
+        line,
+        kind: AsmErrorKind::ImageOverflow,
+    })
+}
+
+fn to_u16(value: i64, field: &'static str, line: usize) -> Result<u16, AsmError> {
+    u16::try_from(value).map_err(|_| AsmError {
+        line,
+        kind: AsmErrorKind::OutOfRange { value, field },
+    })
+}
+
+/// Like [`to_u16`] but accepting negative values two's-complement wrapped
+/// into 16 bits (so `.word -1` works).
+fn to_word(value: i64, field: &'static str, line: usize) -> Result<u16, AsmError> {
+    if (-(1 << 15)..(1 << 16)).contains(&value) {
+        Ok((value as i32 as u32 & 0xFFFF) as u16)
+    } else {
+        Err(AsmError {
+            line,
+            kind: AsmErrorKind::OutOfRange { value, field },
+        })
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_char = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\'' {
+            in_char = !in_char;
+        }
+        if !in_char {
+            if b == b';' {
+                return &line[..i];
+            }
+            if (b == b'/' && bytes.get(i + 1) == Some(&b'/'))
+                || (b == b'-' && bytes.get(i + 1) == Some(&b'-'))
+            {
+                return &line[..i];
+            }
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Finds the byte offset of a label-terminating `:` in the leading token,
+/// or `None`.
+fn find_label(text: &str) -> Option<usize> {
+    let colon = text.find(':')?;
+    // Only treat it as a label if everything before it is an identifier.
+    is_ident(text[..colon].trim()).then_some(colon)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn split_mnemonic(text: &str) -> (&str, &str) {
+    match text.find(char::is_whitespace) {
+        Some(pos) => (&text[..pos], text[pos..].trim()),
+        None => (text, ""),
+    }
+}
+
+fn split_commas(text: &str) -> impl Iterator<Item = &str> {
+    text.split(',').map(str::trim).filter(|s| !s.is_empty())
+}
+
+fn split_once_comma(text: &str, line: usize) -> Result<(&str, &str), AsmError> {
+    text.split_once(',')
+        .map(|(a, b)| (a.trim(), b.trim()))
+        .ok_or_else(|| AsmError {
+            line,
+            kind: AsmErrorKind::Syntax("expected two comma-separated operands".into()),
+        })
+}
+
+fn parse_string(text: &str, line: usize) -> Result<String, AsmError> {
+    let text = text.trim();
+    if text.len() >= 2 && text.starts_with('"') && text.ends_with('"') {
+        Ok(text[1..text.len() - 1].to_string())
+    } else {
+        Err(AsmError {
+            line,
+            kind: AsmErrorKind::Syntax("expected a double-quoted string".into()),
+        })
+    }
+}
+
+fn parse_reg(text: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = text.trim();
+    let rest = t
+        .strip_prefix('R')
+        .or_else(|| t.strip_prefix('r'))
+        .ok_or_else(|| AsmError {
+            line,
+            kind: AsmErrorKind::BadOperands(format!("expected a register, got `{t}`")),
+        })?;
+    let index: u8 = rest.parse().map_err(|_| AsmError {
+        line,
+        kind: AsmErrorKind::BadOperands(format!("expected a register, got `{t}`")),
+    })?;
+    Reg::new(index).ok_or_else(|| AsmError {
+        line,
+        kind: AsmErrorKind::BadOperands(format!("register index {index} out of range")),
+    })
+}
+
+fn parse_expr(text: &str, line: usize) -> Result<Expr, AsmError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(AsmError {
+            line,
+            kind: AsmErrorKind::Syntax("expected an expression".into()),
+        });
+    }
+    // Scan for a top-level + or - (right-to-left so evaluation is
+    // left-associative), skipping parenthesized groups and char literals.
+    let bytes = text.as_bytes();
+    let mut depth = 0i32;
+    let mut in_char = false;
+    for i in (1..bytes.len()).rev() {
+        match bytes[i] {
+            b'\'' => in_char = !in_char,
+            b')' if !in_char => depth += 1,
+            b'(' if !in_char => depth -= 1,
+            b'+' | b'-' if depth == 0 && !in_char => {
+                let (lhs, rhs) = (text[..i].trim(), text[i + 1..].trim());
+                if lhs.is_empty() {
+                    continue; // unary sign, handled below
+                }
+                // Don't split `0x10-...`? `-` after `x`/digit boundary is a
+                // legitimate operator; only hex digits could precede.
+                let left = parse_expr(lhs, line)?;
+                let right = parse_expr(rhs, line)?;
+                return Ok(if bytes[i] == b'+' {
+                    Expr::Add(Box::new(left), Box::new(right))
+                } else {
+                    Expr::Sub(Box::new(left), Box::new(right))
+                });
+            }
+            _ => {}
+        }
+    }
+    // Unary minus.
+    if let Some(rest) = text.strip_prefix('-') {
+        let inner = parse_expr(rest, line)?;
+        return Ok(Expr::Sub(Box::new(Expr::Literal(0)), Box::new(inner)));
+    }
+    // low(...) / high(...) / parenthesized.
+    for (name, wrap) in [
+        ("low", Expr::Low as fn(Box<Expr>) -> Expr),
+        ("high", Expr::High as fn(Box<Expr>) -> Expr),
+    ] {
+        if let Some(rest) = strip_prefix_ci(text, name) {
+            let rest = rest.trim();
+            if rest.starts_with('(') && rest.ends_with(')') {
+                let inner = parse_expr(&rest[1..rest.len() - 1], line)?;
+                return Ok(wrap(Box::new(inner)));
+            }
+        }
+    }
+    if text.starts_with('(') && text.ends_with(')') {
+        return parse_expr(&text[1..text.len() - 1], line);
+    }
+    // Character literal.
+    if text.len() >= 3 && text.starts_with('\'') && text.ends_with('\'') {
+        let inner: Vec<char> = text[1..text.len() - 1].chars().collect();
+        if inner.len() == 1 {
+            return Ok(Expr::Literal(i64::from(inner[0] as u32)));
+        }
+    }
+    // Numbers.
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16)
+            .map(Expr::Literal)
+            .map_err(|_| syntax(line, text));
+    }
+    if let Some(bin) = text.strip_prefix("0b").or_else(|| text.strip_prefix("0B")) {
+        return i64::from_str_radix(bin, 2)
+            .map(Expr::Literal)
+            .map_err(|_| syntax(line, text));
+    }
+    if text.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        // Trailing-h hex (FFFEh) used in the paper's own listings.
+        if let Some(hex) = text
+            .strip_suffix('h')
+            .or_else(|| text.strip_suffix('H'))
+        {
+            if hex.chars().all(|c| c.is_ascii_hexdigit()) {
+                return i64::from_str_radix(hex, 16)
+                    .map(Expr::Literal)
+                    .map_err(|_| syntax(line, text));
+            }
+        }
+        return text.parse().map(Expr::Literal).map_err(|_| syntax(line, text));
+    }
+    if is_ident(text) {
+        return Ok(Expr::Symbol(text.to_string()));
+    }
+    Err(syntax(line, text))
+}
+
+fn strip_prefix_ci<'a>(text: &'a str, prefix: &str) -> Option<&'a str> {
+    if text.len() >= prefix.len() && text[..prefix.len()].eq_ignore_ascii_case(prefix) {
+        Some(&text[prefix.len()..])
+    } else {
+        None
+    }
+}
+
+fn syntax(line: usize, text: &str) -> AsmError {
+    AsmError {
+        line,
+        kind: AsmErrorKind::Syntax(format!("cannot parse expression `{text}`")),
+    }
+}
+
+fn parse_instruction(mnemonic: &str, operands: &str, line: usize) -> Result<Op, AsmError> {
+    let ops: Vec<&str> = split_commas(operands).collect();
+    let need = |count: usize| -> Result<(), AsmError> {
+        if ops.len() == count {
+            Ok(())
+        } else {
+            Err(AsmError {
+                line,
+                kind: AsmErrorKind::BadOperands(format!(
+                    "{mnemonic} expects {count} operand(s), got {}",
+                    ops.len()
+                )),
+            })
+        }
+    };
+    let triple = |make: fn(Reg, Reg, Reg) -> Instr| -> Result<Op, AsmError> {
+        need(3)?;
+        Ok(Op::Fixed(make(
+            parse_reg(ops[0], line)?,
+            parse_reg(ops[1], line)?,
+            parse_reg(ops[2], line)?,
+        )))
+    };
+    let two_reg = |make: fn(Reg, Reg) -> Instr| -> Result<Op, AsmError> {
+        need(2)?;
+        Ok(Op::Fixed(make(
+            parse_reg(ops[0], line)?,
+            parse_reg(ops[1], line)?,
+        )))
+    };
+    let imm8 = |make: fn(Reg, u8) -> Instr| -> Result<Op, AsmError> {
+        need(2)?;
+        Ok(Op::Imm8 {
+            make,
+            rt: parse_reg(ops[0], line)?,
+            expr: parse_expr(ops[1], line)?,
+        })
+    };
+    let jmp_r = |cond: Cond| -> Result<Op, AsmError> {
+        need(1)?;
+        Ok(Op::Fixed(Instr::JmpR {
+            cond,
+            rs1: parse_reg(ops[0], line)?,
+        }))
+    };
+    let jmp_d = |cond: Cond| -> Result<Op, AsmError> {
+        need(1)?;
+        Ok(Op::Rel {
+            cond: Some(cond),
+            target: parse_expr(ops[0], line)?,
+        })
+    };
+
+    match mnemonic {
+        "NOP" => {
+            need(0)?;
+            Ok(Op::Fixed(Instr::Nop))
+        }
+        "HALT" => {
+            need(0)?;
+            Ok(Op::Fixed(Instr::Halt))
+        }
+        "RTS" => {
+            need(0)?;
+            Ok(Op::Fixed(Instr::Rts))
+        }
+        "NOT" => two_reg(|rt, rs1| Instr::Not { rt, rs1 }),
+        "SL0" => two_reg(|rt, rs1| Instr::Sl0 { rt, rs1 }),
+        "SL1" => two_reg(|rt, rs1| Instr::Sl1 { rt, rs1 }),
+        "SR0" => two_reg(|rt, rs1| Instr::Sr0 { rt, rs1 }),
+        "SR1" => two_reg(|rt, rs1| Instr::Sr1 { rt, rs1 }),
+        "LDSP" => {
+            need(1)?;
+            Ok(Op::Fixed(Instr::Ldsp {
+                rs1: parse_reg(ops[0], line)?,
+            }))
+        }
+        "PUSH" => {
+            need(1)?;
+            Ok(Op::Fixed(Instr::Push {
+                rs1: parse_reg(ops[0], line)?,
+            }))
+        }
+        "POP" => {
+            need(1)?;
+            Ok(Op::Fixed(Instr::Pop {
+                rt: parse_reg(ops[0], line)?,
+            }))
+        }
+        "ADD" => triple(|rt, rs1, rs2| Instr::Add { rt, rs1, rs2 }),
+        "SUB" => triple(|rt, rs1, rs2| Instr::Sub { rt, rs1, rs2 }),
+        "AND" => triple(|rt, rs1, rs2| Instr::And { rt, rs1, rs2 }),
+        "OR" => triple(|rt, rs1, rs2| Instr::Or { rt, rs1, rs2 }),
+        "XOR" => triple(|rt, rs1, rs2| Instr::Xor { rt, rs1, rs2 }),
+        "MUL" => triple(|rt, rs1, rs2| Instr::Mul { rt, rs1, rs2 }),
+        "DIV" => triple(|rt, rs1, rs2| Instr::Div { rt, rs1, rs2 }),
+        "LD" => triple(|rt, rs1, rs2| Instr::Ld { rt, rs1, rs2 }),
+        "ST" => triple(|rt, rs1, rs2| Instr::St { rt, rs1, rs2 }),
+        "ADDI" => imm8(|rt, imm| Instr::Addi { rt, imm }),
+        "SUBI" => imm8(|rt, imm| Instr::Subi { rt, imm }),
+        "LDL" => imm8(|rt, imm| Instr::Ldl { rt, imm }),
+        "LDH" => imm8(|rt, imm| Instr::Ldh { rt, imm }),
+        "LIW" => {
+            need(2)?;
+            Ok(Op::Liw {
+                rt: parse_reg(ops[0], line)?,
+                expr: parse_expr(ops[1], line)?,
+            })
+        }
+        "JMPR" => jmp_r(Cond::Always),
+        "JMPNR" => jmp_r(Cond::Negative),
+        "JMPZR" => jmp_r(Cond::Zero),
+        "JMPCR" => jmp_r(Cond::Carry),
+        "JMPVR" => jmp_r(Cond::Overflow),
+        "JSRR" => {
+            need(1)?;
+            Ok(Op::Fixed(Instr::JsrR {
+                rs1: parse_reg(ops[0], line)?,
+            }))
+        }
+        "JMPD" => jmp_d(Cond::Always),
+        "JMPND" => jmp_d(Cond::Negative),
+        "JMPZD" => jmp_d(Cond::Zero),
+        "JMPCD" => jmp_d(Cond::Carry),
+        "JMPVD" => jmp_d(Cond::Overflow),
+        "JSRD" => {
+            need(1)?;
+            Ok(Op::Rel {
+                cond: None,
+                target: parse_expr(ops[0], line)?,
+            })
+        }
+        other => Err(AsmError {
+            line,
+            kind: AsmErrorKind::UnknownMnemonic(other.to_string()),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Instr;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    #[test]
+    fn assembles_basic_instructions() {
+        let p = assemble("ADD R1, R2, R3\nST R3, R1, R2\nHALT").unwrap();
+        assert_eq!(
+            p.words(),
+            &[
+                Instr::Add { rt: r(1), rs1: r(2), rs2: r(3) }.encode(),
+                Instr::St { rt: r(3), rs1: r(1), rs2: r(2) }.encode(),
+                Instr::Halt.encode(),
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_and_relative_jumps() {
+        let p = assemble(
+            "loop: ADDI R1, 1\n\
+             JMPD loop\n\
+             HALT",
+        )
+        .unwrap();
+        assert_eq!(p.symbol("loop"), Some(0));
+        // JMPD at address 1, target 0: disp = 0 - 2 = -2.
+        assert_eq!(
+            p.words()[1],
+            Instr::JmpD { cond: Cond::Always, disp: -2 }.encode()
+        );
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let p = assemble(
+            "JMPZD done\n\
+             NOP\n\
+             done: HALT",
+        )
+        .unwrap();
+        // disp = 2 - 1 = 1.
+        assert_eq!(
+            p.words()[0],
+            Instr::JmpD { cond: Cond::Zero, disp: 1 }.encode()
+        );
+    }
+
+    #[test]
+    fn liw_expands_to_ldl_ldh() {
+        let p = assemble("LIW R4, 0xBEEF").unwrap();
+        assert_eq!(
+            p.words(),
+            &[
+                Instr::Ldl { rt: r(4), imm: 0xEF }.encode(),
+                Instr::Ldh { rt: r(4), imm: 0xBE }.encode(),
+            ]
+        );
+    }
+
+    #[test]
+    fn equ_org_word_space_ascii() {
+        let p = assemble(
+            ".equ BASE, 0x10\n\
+             .org BASE\n\
+             data: .word 1, 2, BASE+2\n\
+             .space 2\n\
+             .ascii \"Hi\"",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 0x10 + 3 + 2 + 2);
+        assert_eq!(&p.words()[0x10..0x13], &[1, 2, 0x12]);
+        assert_eq!(&p.words()[0x13..0x15], &[0, 0]);
+        assert_eq!(&p.words()[0x15..], &[u16::from(b'H'), u16::from(b'i')]);
+        assert_eq!(p.symbol("data"), Some(0x10));
+    }
+
+    #[test]
+    fn number_formats() {
+        let p = assemble(".word 10, 0x10, 0b110, 'A', 0FFFEh, -1").unwrap();
+        assert_eq!(p.words(), &[10, 16, 6, 65, 0xFFFE, 0xFFFF]);
+    }
+
+    #[test]
+    fn low_high_selectors() {
+        let p = assemble(
+            ".equ ADDR, 0x1234\n\
+             LDL R1, low(ADDR)\n\
+             LDH R1, high(ADDR)",
+        )
+        .unwrap();
+        assert_eq!(
+            p.words(),
+            &[
+                Instr::Ldl { rt: r(1), imm: 0x34 }.encode(),
+                Instr::Ldh { rt: r(1), imm: 0x12 }.encode(),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_in_all_styles() {
+        let p = assemble(
+            "NOP ; semicolon\n\
+             NOP // slashes\n\
+             NOP -- dashes\n\
+             ; full line\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn error_unknown_mnemonic() {
+        let e = assemble("FROB R1").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(matches!(e.kind, AsmErrorKind::UnknownMnemonic(_)));
+    }
+
+    #[test]
+    fn error_undefined_symbol() {
+        let e = assemble("JMPD nowhere").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::UndefinedSymbol(_)));
+    }
+
+    #[test]
+    fn error_duplicate_label() {
+        let e = assemble("a: NOP\na: NOP").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(matches!(e.kind, AsmErrorKind::DuplicateSymbol(_)));
+    }
+
+    #[test]
+    fn error_immediate_out_of_range() {
+        let e = assemble("ADDI R1, 300").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::OutOfRange { value: 300, .. }));
+    }
+
+    #[test]
+    fn error_displacement_out_of_range() {
+        let mut src = String::from("JMPD far\n");
+        for _ in 0..200 {
+            src.push_str("NOP\n");
+        }
+        src.push_str("far: HALT\n");
+        let e = assemble(&src).unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn error_backwards_org() {
+        let e = assemble("NOP\nNOP\n.org 1").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::ImageOverflow));
+    }
+
+    #[test]
+    fn error_wrong_operand_count() {
+        let e = assemble("ADD R1, R2").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadOperands(_)));
+        let e = assemble("NOP R1").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadOperands(_)));
+    }
+
+    #[test]
+    fn error_bad_register() {
+        let e = assemble("ADD R1, R2, R16").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadOperands(_)));
+        let e = assemble("ADD R1, R2, 7").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadOperands(_)));
+    }
+
+    #[test]
+    fn paper_style_wait_example_assembles() {
+        // "ST R3, R1, R2" with R2 = FFFEh — the paper's wait command.
+        let p = assemble(
+            ".equ WAIT_ADDR, 0FFFEh\n\
+             LIW R2, WAIT_ADDR\n\
+             LIW R3, 2\n\
+             XOR R1, R1, R1\n\
+             ST  R3, R1, R2\n\
+             HALT",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn label_sharing_line_with_instruction() {
+        let p = assemble("start: NOP\nJMPD start").unwrap();
+        assert_eq!(p.symbol("start"), Some(0));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn expression_arithmetic() {
+        let p = assemble(".equ A, 10\n.word A+5-2, A-20").unwrap();
+        assert_eq!(p.words()[0], 13);
+        assert_eq!(p.words()[1], (-10i16) as u16);
+    }
+
+    #[test]
+    fn case_insensitive_mnemonics_and_registers() {
+        let p = assemble("add r1, r2, r3\nhalt").unwrap();
+        assert_eq!(
+            p.words()[0],
+            Instr::Add { rt: r(1), rs1: r(2), rs2: r(3) }.encode()
+        );
+    }
+}

@@ -1,0 +1,900 @@
+//! The R8 processor core.
+//!
+//! A cycle-counting interpreter of the [`Instr`] set. Memory accesses go
+//! through the [`Bus`] trait; a bus may answer [`BusResponse::Wait`] to
+//! stall the processor, which is exactly how the MultiNoC Processor IP
+//! control logic "puts it in wait state each time the processor executes
+//! a load-store instruction" that needs the NoC (§2.4 of the paper) —
+//! remote loads, printf/scanf and the wait synchronization command all
+//! stall the core until the network answers.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{Cond, DecodeError, Instr, Reg};
+
+/// Answer of a bus to a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusResponse {
+    /// The access completed; for reads, carries the data (writes carry 0).
+    Data(u16),
+    /// The device is busy; the processor must retry next cycle (a wait
+    /// state, the `waitR8` line of Fig. 5).
+    Wait,
+}
+
+/// Memory system seen by the processor: 64K × 16-bit address space.
+///
+/// Implementations decide what lives where (the MultiNoC address map of
+/// Fig. 6 is one such implementation). A `&mut B` also implements `Bus`
+/// so buses can be passed by reference.
+pub trait Bus {
+    /// Reads the word at `addr`.
+    fn read(&mut self, addr: u16) -> BusResponse;
+    /// Writes `value` at `addr`.
+    fn write(&mut self, addr: u16, value: u16) -> BusResponse;
+}
+
+impl<B: Bus + ?Sized> Bus for &mut B {
+    fn read(&mut self, addr: u16) -> BusResponse {
+        (**self).read(addr)
+    }
+    fn write(&mut self, addr: u16, value: u16) -> BusResponse {
+        (**self).write(addr, value)
+    }
+}
+
+/// Simple RAM-only bus for standalone use and tests.
+#[derive(Debug, Clone)]
+pub struct RamBus {
+    mem: Vec<u16>,
+}
+
+impl RamBus {
+    /// A RAM of `words` 16-bit words; accesses beyond it wrap.
+    pub fn new(words: usize) -> Self {
+        assert!(words > 0, "RAM must hold at least one word");
+        Self {
+            mem: vec![0; words],
+        }
+    }
+
+    /// Copies `data` into memory starting at `base`.
+    pub fn load(&mut self, base: u16, data: &[u16]) {
+        for (i, &word) in data.iter().enumerate() {
+            let addr = (usize::from(base) + i) % self.mem.len();
+            self.mem[addr] = word;
+        }
+    }
+
+    /// Direct read for inspection.
+    pub fn peek(&self, addr: u16) -> u16 {
+        self.mem[usize::from(addr) % self.mem.len()]
+    }
+}
+
+impl Bus for RamBus {
+    fn read(&mut self, addr: u16) -> BusResponse {
+        BusResponse::Data(self.mem[usize::from(addr) % self.mem.len()])
+    }
+    fn write(&mut self, addr: u16, value: u16) -> BusResponse {
+        let len = self.mem.len();
+        self.mem[usize::from(addr) % len] = value;
+        BusResponse::Data(0)
+    }
+}
+
+/// The four R8 status flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// Result was negative (bit 15 set).
+    pub n: bool,
+    /// Result was zero.
+    pub z: bool,
+    /// Carry / no-borrow / shifted-out bit.
+    pub c: bool,
+    /// Signed overflow.
+    pub v: bool,
+}
+
+impl Flags {
+    fn holds(self, cond: Cond) -> bool {
+        match cond {
+            Cond::Always => true,
+            Cond::Negative => self.n,
+            Cond::Zero => self.z,
+            Cond::Carry => self.c,
+            Cond::Overflow => self.v,
+        }
+    }
+}
+
+/// Execution state of the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CpuState {
+    /// Fetching and executing instructions.
+    #[default]
+    Running,
+    /// Stopped by `HALT`; only [`Cpu::reset`] restarts it.
+    Halted,
+}
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuError {
+    /// The word fetched at `pc` is not a valid instruction.
+    IllegalInstruction {
+        /// Address of the bad word.
+        pc: u16,
+        /// The decode failure.
+        source: DecodeError,
+    },
+    /// [`Cpu::run`] exhausted its cycle budget before `HALT`.
+    CycleBudgetExhausted {
+        /// The exhausted budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::IllegalInstruction { pc, source } => {
+                write!(f, "illegal instruction at {pc:#06x}: {source}")
+            }
+            CpuError::CycleBudgetExhausted { budget } => {
+                write!(f, "cycle budget of {budget} exhausted before HALT")
+            }
+        }
+    }
+}
+
+impl Error for CpuError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CpuError::IllegalInstruction { source, .. } => Some(source),
+            CpuError::CycleBudgetExhausted { .. } => None,
+        }
+    }
+}
+
+/// What one [`Cpu::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An instruction retired, costing the given cycles.
+    Retired {
+        /// Cycles consumed, including wait states.
+        cycles: u32,
+        /// The retired instruction.
+        instr: Instr,
+    },
+    /// The bus answered [`BusResponse::Wait`]; one cycle passed, the
+    /// instruction will be retried.
+    Stalled,
+    /// The core is halted; nothing happened.
+    Halted,
+}
+
+/// Pending memory operation being retried across wait states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    /// Instruction fetch at PC.
+    Fetch,
+    /// Data read for the decoded instruction.
+    Read { addr: u16 },
+    /// Data write for the decoded instruction.
+    Write { addr: u16, value: u16 },
+}
+
+/// The R8 core: 16 registers, PC, SP, flags and a cycle counter. The
+/// instruction register of the hardware corresponds to the internal
+/// decoded-instruction slot.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u16; 16],
+    pc: u16,
+    sp: u16,
+    flags: Flags,
+    state: CpuState,
+    cycles: u64,
+    retired: u64,
+    /// Memory operation awaiting a non-Wait bus answer.
+    pending: Pending,
+    /// Instruction fetched and decoded, awaiting its data access.
+    decoded: Option<Instr>,
+    /// Cycles accumulated for the in-flight instruction (wait states).
+    inflight_cycles: u32,
+}
+
+impl Cpu {
+    /// A core in reset state: PC = 0, SP = 0, flags clear.
+    pub fn new() -> Self {
+        Self {
+            regs: [0; 16],
+            pc: 0,
+            sp: 0,
+            flags: Flags::default(),
+            state: CpuState::Running,
+            cycles: 0,
+            retired: 0,
+            pending: Pending::Fetch,
+            decoded: None,
+            inflight_cycles: 0,
+        }
+    }
+
+    /// Returns the core to reset state (registers cleared, PC = 0),
+    /// keeping nothing but the cycle statistics at zero.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+
+    /// Register `index` (0–15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    pub fn reg(&self, index: u8) -> u16 {
+        self.regs[usize::from(index)]
+    }
+
+    /// Sets register `index` (0–15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    pub fn set_reg(&mut self, index: u8, value: u16) {
+        self.regs[usize::from(index)] = value;
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u16 {
+        self.pc
+    }
+
+    /// Sets the program counter (e.g. to an entry point).
+    pub fn set_pc(&mut self, pc: u16) {
+        self.pc = pc;
+    }
+
+    /// Current stack pointer.
+    pub fn sp(&self) -> u16 {
+        self.sp
+    }
+
+    /// Current status flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Total clock cycles consumed, including wait states.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions retired.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Cycles per instruction so far (the paper quotes 2–4 without wait
+    /// states).
+    pub fn cpi(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.retired as f64
+        }
+    }
+
+    /// Execution state.
+    pub fn state(&self) -> CpuState {
+        self.state
+    }
+
+    /// Whether the core has executed `HALT`.
+    pub fn is_halted(&self) -> bool {
+        self.state == CpuState::Halted
+    }
+
+    /// Executes (or retries) one instruction against `bus`.
+    ///
+    /// On [`BusResponse::Wait`] the core consumes one cycle and returns
+    /// [`StepOutcome::Stalled`]; calling `step` again retries the same
+    /// memory operation, so a bus can stall the core for as long as the
+    /// network needs (the paper's `waitR8` behaviour).
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::IllegalInstruction`] if the fetched word does not
+    /// decode.
+    pub fn step<B: Bus>(&mut self, bus: &mut B) -> Result<StepOutcome, CpuError> {
+        if self.state == CpuState::Halted {
+            return Ok(StepOutcome::Halted);
+        }
+        loop {
+            match self.pending {
+                Pending::Fetch => {
+                    let word = match bus.read(self.pc) {
+                        BusResponse::Data(w) => w,
+                        BusResponse::Wait => return Ok(self.stall()),
+                    };
+                    let instr =
+                        Instr::decode(word).map_err(|source| CpuError::IllegalInstruction {
+                            pc: self.pc,
+                            source,
+                        })?;
+                    self.pc = self.pc.wrapping_add(1);
+                    self.decoded = Some(instr);
+                    self.inflight_cycles += instr.base_cycles();
+                    // Decide the data access, if the instruction has one.
+                    self.pending = match instr {
+                        Instr::Ld { rs1, rs2, .. } => Pending::Read {
+                            addr: self.r(rs1).wrapping_add(self.r(rs2)),
+                        },
+                        Instr::St { rt, rs1, rs2 } => Pending::Write {
+                            addr: self.r(rs1).wrapping_add(self.r(rs2)),
+                            value: self.r(rt),
+                        },
+                        Instr::Push { rs1 } => Pending::Write {
+                            addr: self.sp,
+                            value: self.r(rs1),
+                        },
+                        Instr::JsrR { .. } | Instr::JsrD { .. } => Pending::Write {
+                            addr: self.sp,
+                            value: self.pc,
+                        },
+                        Instr::Pop { .. } | Instr::Rts => Pending::Read {
+                            addr: self.sp.wrapping_add(1),
+                        },
+                        _ => {
+                            // Pure register instruction: retire now.
+                            return Ok(self.retire(instr, None));
+                        }
+                    };
+                }
+                Pending::Read { addr } => {
+                    let data = match bus.read(addr) {
+                        BusResponse::Data(d) => d,
+                        BusResponse::Wait => return Ok(self.stall()),
+                    };
+                    let instr = self.decoded.take().expect("read belongs to an instruction");
+                    return Ok(self.retire(instr, Some(data)));
+                }
+                Pending::Write { addr, value } => {
+                    match bus.write(addr, value) {
+                        BusResponse::Data(_) => {}
+                        BusResponse::Wait => return Ok(self.stall()),
+                    }
+                    let instr = self.decoded.take().expect("write belongs to an instruction");
+                    return Ok(self.retire(instr, None));
+                }
+            }
+        }
+    }
+
+    /// Runs until `HALT`, an error, or `budget` cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::IllegalInstruction`] on a bad fetch, or
+    /// [`CpuError::CycleBudgetExhausted`] if the budget runs out first
+    /// (including a bus that stalls forever).
+    pub fn run<B: Bus>(&mut self, bus: &mut B, budget: u64) -> Result<(), CpuError> {
+        let limit = self.cycles.saturating_add(budget);
+        while self.state == CpuState::Running {
+            if self.cycles >= limit {
+                return Err(CpuError::CycleBudgetExhausted { budget });
+            }
+            self.step(bus)?;
+        }
+        Ok(())
+    }
+
+    fn r(&self, reg: Reg) -> u16 {
+        self.regs[usize::from(reg.index())]
+    }
+
+    fn set(&mut self, reg: Reg, value: u16) {
+        self.regs[usize::from(reg.index())] = value;
+    }
+
+    fn stall(&mut self) -> StepOutcome {
+        self.cycles += 1;
+        self.inflight_cycles += 1;
+        StepOutcome::Stalled
+    }
+
+    fn nz(&mut self, result: u16) {
+        self.flags.n = result & 0x8000 != 0;
+        self.flags.z = result == 0;
+    }
+
+    fn alu_add(&mut self, a: u16, b: u16) -> u16 {
+        let wide = u32::from(a) + u32::from(b);
+        let result = wide as u16;
+        self.nz(result);
+        self.flags.c = wide > 0xFFFF;
+        self.flags.v = ((a ^ result) & (b ^ result) & 0x8000) != 0;
+        result
+    }
+
+    fn alu_sub(&mut self, a: u16, b: u16) -> u16 {
+        let result = a.wrapping_sub(b);
+        self.nz(result);
+        self.flags.c = a >= b; // no borrow
+        self.flags.v = ((a ^ b) & (a ^ result) & 0x8000) != 0;
+        result
+    }
+
+    fn logic(&mut self, result: u16) -> u16 {
+        self.nz(result);
+        self.flags.c = false;
+        self.flags.v = false;
+        result
+    }
+
+    /// Applies the architectural effects of `instr` (memory already done;
+    /// `data` is the value a read returned) and accounts its cycles.
+    fn retire(&mut self, instr: Instr, data: Option<u16>) -> StepOutcome {
+        let mut taken = false;
+        match instr {
+            Instr::Nop => {}
+            Instr::Halt => self.state = CpuState::Halted,
+            Instr::Not { rt, rs1 } => {
+                let v = !self.r(rs1);
+                self.logic(v);
+                self.set(rt, v);
+            }
+            Instr::Sl0 { rt, rs1 } | Instr::Sl1 { rt, rs1 } => {
+                let a = self.r(rs1);
+                let fill = u16::from(matches!(instr, Instr::Sl1 { .. }));
+                let v = (a << 1) | fill;
+                self.nz(v);
+                self.flags.c = a & 0x8000 != 0;
+                self.flags.v = false;
+                self.set(rt, v);
+            }
+            Instr::Sr0 { rt, rs1 } | Instr::Sr1 { rt, rs1 } => {
+                let a = self.r(rs1);
+                let fill = if matches!(instr, Instr::Sr1 { .. }) {
+                    0x8000
+                } else {
+                    0
+                };
+                let v = (a >> 1) | fill;
+                self.nz(v);
+                self.flags.c = a & 1 != 0;
+                self.flags.v = false;
+                self.set(rt, v);
+            }
+            Instr::Ldsp { rs1 } => self.sp = self.r(rs1),
+            Instr::Push { .. } => self.sp = self.sp.wrapping_sub(1),
+            Instr::Pop { rt } => {
+                self.sp = self.sp.wrapping_add(1);
+                self.set(rt, data.expect("pop read data"));
+            }
+            Instr::Rts => {
+                self.sp = self.sp.wrapping_add(1);
+                self.pc = data.expect("rts read data");
+            }
+            Instr::Add { rt, rs1, rs2 } => {
+                let v = self.alu_add(self.r(rs1), self.r(rs2));
+                self.set(rt, v);
+            }
+            Instr::Sub { rt, rs1, rs2 } => {
+                let v = self.alu_sub(self.r(rs1), self.r(rs2));
+                self.set(rt, v);
+            }
+            Instr::And { rt, rs1, rs2 } => {
+                let v = self.logic(self.r(rs1) & self.r(rs2));
+                self.set(rt, v);
+            }
+            Instr::Or { rt, rs1, rs2 } => {
+                let v = self.logic(self.r(rs1) | self.r(rs2));
+                self.set(rt, v);
+            }
+            Instr::Xor { rt, rs1, rs2 } => {
+                let v = self.logic(self.r(rs1) ^ self.r(rs2));
+                self.set(rt, v);
+            }
+            Instr::Addi { rt, imm } => {
+                let v = self.alu_add(self.r(rt), u16::from(imm));
+                self.set(rt, v);
+            }
+            Instr::Subi { rt, imm } => {
+                let v = self.alu_sub(self.r(rt), u16::from(imm));
+                self.set(rt, v);
+            }
+            Instr::Ldl { rt, imm } => {
+                let v = (self.r(rt) & 0xFF00) | u16::from(imm);
+                self.set(rt, v);
+            }
+            Instr::Ldh { rt, imm } => {
+                let v = (u16::from(imm) << 8) | (self.r(rt) & 0x00FF);
+                self.set(rt, v);
+            }
+            Instr::Ld { rt, .. } => {
+                self.set(rt, data.expect("load read data"));
+            }
+            Instr::St { .. } => {}
+            Instr::JmpR { cond, rs1 } => {
+                if self.flags.holds(cond) {
+                    self.pc = self.r(rs1);
+                    taken = true;
+                }
+            }
+            Instr::JmpD { cond, disp } => {
+                if self.flags.holds(cond) {
+                    self.pc = self.pc.wrapping_add(disp as u16);
+                    taken = true;
+                }
+            }
+            Instr::JsrR { rs1 } => {
+                self.sp = self.sp.wrapping_sub(1);
+                self.pc = self.r(rs1);
+            }
+            Instr::JsrD { disp } => {
+                self.sp = self.sp.wrapping_sub(1);
+                self.pc = self.pc.wrapping_add(disp as u16);
+            }
+            Instr::Mul { rt, rs1, rs2 } => {
+                let wide = u32::from(self.r(rs1)) * u32::from(self.r(rs2));
+                let v = wide as u16;
+                self.nz(v);
+                self.flags.c = false;
+                self.flags.v = wide > 0xFFFF;
+                self.set(rt, v);
+            }
+            Instr::Div { rt, rs1, rs2 } => {
+                let divisor = self.r(rs2);
+                let v = match self.r(rs1).checked_div(divisor) {
+                    Some(q) => {
+                        self.flags.v = false;
+                        q
+                    }
+                    None => {
+                        self.flags.v = true;
+                        0xFFFF
+                    }
+                };
+                self.nz(v);
+                self.flags.c = false;
+                self.set(rt, v);
+            }
+        }
+        let mut cycles = self.inflight_cycles;
+        if taken {
+            cycles += 1; // taken branches refill the fetch stage
+        }
+        self.cycles += u64::from(cycles);
+        self.retired += 1;
+        self.inflight_cycles = 0;
+        self.pending = Pending::Fetch;
+        StepOutcome::Retired { cycles, instr }
+    }
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_asm(src: &str) -> (Cpu, RamBus) {
+        let program = assemble(src).expect("test program assembles");
+        let mut bus = RamBus::new(4096);
+        bus.load(0, program.words());
+        let mut cpu = Cpu::new();
+        cpu.run(&mut bus, 100_000).expect("program halts");
+        (cpu, bus)
+    }
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let (cpu, _) = run_asm(
+            "LIW R1, 0xFFFF\n\
+             LIW R2, 1\n\
+             ADD R3, R1, R2\n\
+             HALT",
+        );
+        assert_eq!(cpu.reg(3), 0);
+        assert!(cpu.flags().z);
+        assert!(cpu.flags().c);
+        assert!(!cpu.flags().n);
+        assert!(!cpu.flags().v);
+    }
+
+    #[test]
+    fn signed_overflow_detection() {
+        let (cpu, _) = run_asm(
+            "LIW R1, 0x7FFF\n\
+             LIW R2, 1\n\
+             ADD R3, R1, R2\n\
+             HALT",
+        );
+        assert_eq!(cpu.reg(3), 0x8000);
+        assert!(cpu.flags().v);
+        assert!(cpu.flags().n);
+    }
+
+    #[test]
+    fn sub_sets_no_borrow_carry() {
+        let (cpu, _) = run_asm(
+            "LIW R1, 5\nLIW R2, 7\nSUB R3, R1, R2\nHALT",
+        );
+        assert_eq!(cpu.reg(3), (5u16).wrapping_sub(7));
+        assert!(!cpu.flags().c, "borrow occurred");
+        assert!(cpu.flags().n);
+    }
+
+    #[test]
+    fn logic_ops() {
+        let (cpu, _) = run_asm(
+            "LIW R1, 0x0F0F\n\
+             LIW R2, 0x00FF\n\
+             AND R3, R1, R2\n\
+             OR  R4, R1, R2\n\
+             XOR R5, R1, R2\n\
+             NOT R6, R1\n\
+             HALT",
+        );
+        assert_eq!(cpu.reg(3), 0x000F);
+        assert_eq!(cpu.reg(4), 0x0FFF);
+        assert_eq!(cpu.reg(5), 0x0FF0);
+        assert_eq!(cpu.reg(6), 0xF0F0);
+    }
+
+    #[test]
+    fn shifts() {
+        let (cpu, _) = run_asm(
+            "LIW R1, 0x8001\n\
+             SL0 R2, R1\n\
+             SL1 R3, R1\n\
+             SR0 R4, R1\n\
+             SR1 R5, R1\n\
+             HALT",
+        );
+        assert_eq!(cpu.reg(2), 0x0002);
+        assert_eq!(cpu.reg(3), 0x0003);
+        assert_eq!(cpu.reg(4), 0x4000);
+        assert_eq!(cpu.reg(5), 0xC000);
+        // Last shift was SR1 on 0x8001: shifted-out bit = 1.
+        assert!(cpu.flags().c);
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let (cpu, bus) = run_asm(
+            "LIW R1, 0x100\n\
+             XOR R0, R0, R0\n\
+             LIW R2, 1234\n\
+             ST  R2, R1, R0\n\
+             LD  R3, R1, R0\n\
+             HALT",
+        );
+        assert_eq!(bus.peek(0x100), 1234);
+        assert_eq!(cpu.reg(3), 1234);
+    }
+
+    #[test]
+    fn loop_with_conditional_branch() {
+        // Sum 1..=10 with a countdown loop.
+        let (cpu, _) = run_asm(
+            "        LIW  R1, 10       ; counter\n\
+                     XOR  R2, R2, R2   ; sum\n\
+             loop:   ADD  R2, R2, R1\n\
+                     SUBI R1, 1\n\
+                     JMPZD done\n\
+                     JMPD loop\n\
+             done:   HALT",
+        );
+        assert_eq!(cpu.reg(2), 55);
+    }
+
+    #[test]
+    fn stack_push_pop() {
+        let (cpu, _) = run_asm(
+            "LIW  R15, 0x3FF\n\
+             LDSP R15\n\
+             LIW  R1, 111\n\
+             LIW  R2, 222\n\
+             PUSH R1\n\
+             PUSH R2\n\
+             POP  R3\n\
+             POP  R4\n\
+             HALT",
+        );
+        assert_eq!(cpu.reg(3), 222);
+        assert_eq!(cpu.reg(4), 111);
+        assert_eq!(cpu.sp(), 0x3FF);
+    }
+
+    #[test]
+    fn subroutine_call_and_return() {
+        let (cpu, _) = run_asm(
+            "        LIW  R15, 0x3FF\n\
+                     LDSP R15\n\
+                     JSRD sub\n\
+                     HALT\n\
+             sub:    LIW  R5, 77\n\
+                     RTS",
+        );
+        assert_eq!(cpu.reg(5), 77);
+        assert!(cpu.is_halted());
+        assert_eq!(cpu.sp(), 0x3FF);
+    }
+
+    #[test]
+    fn register_indirect_call() {
+        let (cpu, _) = run_asm(
+            "        LIW  R15, 0x3FF\n\
+                     LDSP R15\n\
+                     LIW  R1, sub\n\
+                     JSRR R1\n\
+                     HALT\n\
+             sub:    LIW  R5, 88\n\
+                     RTS",
+        );
+        assert_eq!(cpu.reg(5), 88);
+    }
+
+    #[test]
+    fn mul_div() {
+        let (cpu, _) = run_asm(
+            "LIW R1, 300\n\
+             LIW R2, 7\n\
+             MUL R3, R1, R2\n\
+             DIV R4, R1, R2\n\
+             HALT",
+        );
+        assert_eq!(cpu.reg(3), 2100);
+        assert_eq!(cpu.reg(4), 42);
+    }
+
+    #[test]
+    fn mul_overflow_sets_v() {
+        let (cpu, _) = run_asm(
+            "LIW R1, 0x1000\nLIW R2, 0x1000\nMUL R3, R1, R2\nHALT",
+        );
+        assert_eq!(cpu.reg(3), 0);
+        assert!(cpu.flags().v);
+    }
+
+    #[test]
+    fn div_by_zero() {
+        let (cpu, _) = run_asm(
+            "LIW R1, 5\nXOR R2, R2, R2\nDIV R3, R1, R2\nHALT",
+        );
+        assert_eq!(cpu.reg(3), 0xFFFF);
+        assert!(cpu.flags().v);
+    }
+
+    #[test]
+    fn cpi_stays_in_paper_band() {
+        let (cpu, _) = run_asm(
+            "        LIW  R1, 100\n\
+                     XOR  R2, R2, R2\n\
+                     LIW  R3, 0x200\n\
+                     XOR  R0, R0, R0\n\
+             loop:   ADD  R2, R2, R1\n\
+                     ST   R2, R3, R0\n\
+                     LD   R4, R3, R0\n\
+                     SUBI R1, 1\n\
+                     JMPZD done\n\
+                     JMPD loop\n\
+             done:   HALT",
+        );
+        let cpi = cpu.cpi();
+        assert!(
+            (2.0..=4.0).contains(&cpi),
+            "CPI {cpi} outside the paper's 2..4 band"
+        );
+    }
+
+    #[test]
+    fn wait_states_stall_without_losing_the_instruction() {
+        /// A bus that answers Wait `stalls` times before every access.
+        #[derive(Debug)]
+        struct SlowBus {
+            ram: RamBus,
+            stalls: u32,
+            left: u32,
+        }
+        impl Bus for SlowBus {
+            fn read(&mut self, addr: u16) -> BusResponse {
+                if self.left > 0 {
+                    self.left -= 1;
+                    return BusResponse::Wait;
+                }
+                self.left = self.stalls;
+                self.ram.read(addr)
+            }
+            fn write(&mut self, addr: u16, value: u16) -> BusResponse {
+                if self.left > 0 {
+                    self.left -= 1;
+                    return BusResponse::Wait;
+                }
+                self.left = self.stalls;
+                self.ram.write(addr, value)
+            }
+        }
+        let program = assemble(
+            "LIW R1, 0x80\nXOR R0, R0, R0\nLIW R2, 99\nST R2, R1, R0\nLD R3, R1, R0\nHALT",
+        )
+        .unwrap();
+        let mut ram = RamBus::new(256);
+        ram.load(0, program.words());
+        let mut bus = SlowBus {
+            ram,
+            stalls: 3,
+            left: 0,
+        };
+        let mut cpu = Cpu::new();
+        cpu.run(&mut bus, 100_000).unwrap();
+        assert_eq!(cpu.reg(3), 99);
+        assert_eq!(bus.ram.peek(0x80), 99);
+        // Wait states must have raised the effective CPI above the base.
+        assert!(cpu.cpi() > 4.0);
+    }
+
+    #[test]
+    fn halt_is_sticky() {
+        let (mut cpu, mut bus) = run_asm("HALT");
+        assert_eq!(cpu.step(&mut bus).unwrap(), StepOutcome::Halted);
+        assert!(cpu.is_halted());
+    }
+
+    #[test]
+    fn illegal_instruction_reports_pc() {
+        let mut bus = RamBus::new(16);
+        bus.load(0, &[0x00B0]); // invalid group-0 sub-op
+        let mut cpu = Cpu::new();
+        match cpu.step(&mut bus) {
+            Err(CpuError::IllegalInstruction { pc, .. }) => assert_eq!(pc, 0),
+            other => panic!("expected illegal instruction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_on_infinite_loop() {
+        let program = assemble("loop: JMPD loop").unwrap();
+        let mut bus = RamBus::new(16);
+        bus.load(0, program.words());
+        let mut cpu = Cpu::new();
+        assert!(matches!(
+            cpu.run(&mut bus, 1000),
+            Err(CpuError::CycleBudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let (mut cpu, _) = run_asm("LIW R1, 42\nHALT");
+        assert!(cpu.is_halted());
+        cpu.reset();
+        assert_eq!(cpu.state(), CpuState::Running);
+        assert_eq!(cpu.pc(), 0);
+        assert_eq!(cpu.reg(1), 0);
+        assert_eq!(cpu.cycles(), 0);
+    }
+
+    #[test]
+    fn conditional_jump_not_taken_costs_less() {
+        let program = assemble("XOR R1, R1, R1\nADDI R1, 1\nJMPZD 0\nHALT").unwrap();
+        let mut bus = RamBus::new(16);
+        bus.load(0, program.words());
+        let mut cpu = Cpu::new();
+        // XOR sets Z; ADDI clears it; JMPZD not taken.
+        cpu.run(&mut bus, 1000).unwrap();
+        assert!(cpu.is_halted());
+        assert_eq!(cpu.pc(), 4);
+    }
+}

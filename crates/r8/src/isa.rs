@@ -1,0 +1,638 @@
+//! The R8 instruction set: 36 instructions in a 16-bit fixed-width
+//! encoding.
+//!
+//! ## Encoding
+//!
+//! Every instruction is one 16-bit word, `[15:12]` being the major
+//! opcode. `rt` sits in `[11:8]`, `rs1` in `[7:4]`, `rs2` in `[3:0]`,
+//! 8-bit immediates in `[7:0]`.
+//!
+//! | Major | Format | Instructions |
+//! |-------|--------|--------------|
+//! | `0x0` | sub-op in `[7:4]` | `NOP, HALT, NOT, SL0, SL1, SR0, SR1, LDSP, PUSH, POP, RTS` |
+//! | `0x1`–`0x5` | `op rt, rs1, rs2` | `ADD, SUB, AND, OR, XOR` |
+//! | `0x6`–`0x9` | `op rt, imm8` | `ADDI, SUBI, LDL, LDH` |
+//! | `0xA`,`0xB` | `op rt, rs1, rs2` | `LD` (rt ← mem[rs1+rs2]), `ST` (mem[rs1+rs2] ← rt) |
+//! | `0xC` | cond in `[11:8]`, rs1 in `[3:0]` | register jumps `JMPR, JMPNR, JMPZR, JMPCR, JMPVR, JSRR` |
+//! | `0xD` | cond in `[11:8]`, disp8 in `[7:0]` | relative jumps `JMPD, JMPND, JMPZD, JMPCD, JMPVD, JSRD` |
+//! | `0xE`,`0xF` | `op rt, rs1, rs2` | `MUL, DIV` |
+//!
+//! ## Semantics summary
+//!
+//! - Arithmetic updates all four flags (N, Z, C, V); logic and shifts
+//!   update N and Z and clear C and V (shifts set C to the shifted-out
+//!   bit).
+//! - `LDL rt, i` replaces the low byte of `rt`; `LDH rt, i` the high
+//!   byte. The `LIW` assembler pseudo-instruction expands to the pair.
+//! - `LD rt, rs1, rs2` / `ST rt, rs1, rs2` address memory at
+//!   `rs1 + rs2` (wrapping), exactly the form the paper's wait/notify
+//!   examples use.
+//! - `PUSH`/`JSR` store at `SP` then decrement; `POP`/`RTS` increment
+//!   then load (empty descending stack).
+//! - `DIV` by zero sets `rt` to `0xFFFF` and raises V.
+
+use std::fmt;
+
+/// One of the sixteen general-purpose registers, `R0`–`R15`.
+///
+/// ```rust
+/// use r8::Reg;
+/// let r = Reg::new(3).unwrap();
+/// assert_eq!(r.to_string(), "R3");
+/// assert!(Reg::new(16).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Register `index`, or `None` if `index >= 16`.
+    pub const fn new(index: u8) -> Option<Self> {
+        if index < 16 {
+            Some(Self(index))
+        } else {
+            None
+        }
+    }
+
+    /// Register index in `0..16`.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    const fn from_nibble(n: u16) -> Self {
+        Self((n & 0xF) as u8)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Branch condition, matching the four R8 status flags plus
+/// unconditional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Always taken.
+    Always,
+    /// Taken when the negative flag is set.
+    Negative,
+    /// Taken when the zero flag is set.
+    Zero,
+    /// Taken when the carry flag is set.
+    Carry,
+    /// Taken when the overflow flag is set.
+    Overflow,
+}
+
+impl Cond {
+    const ALL: [Cond; 5] = [
+        Cond::Always,
+        Cond::Negative,
+        Cond::Zero,
+        Cond::Carry,
+        Cond::Overflow,
+    ];
+
+    fn code(self) -> u16 {
+        match self {
+            Cond::Always => 0,
+            Cond::Negative => 1,
+            Cond::Zero => 2,
+            Cond::Carry => 3,
+            Cond::Overflow => 4,
+        }
+    }
+
+    /// Mnemonic infix: `""`, `"N"`, `"Z"`, `"C"` or `"V"`.
+    pub fn infix(self) -> &'static str {
+        match self {
+            Cond::Always => "",
+            Cond::Negative => "N",
+            Cond::Zero => "Z",
+            Cond::Carry => "C",
+            Cond::Overflow => "V",
+        }
+    }
+}
+
+/// A decoded R8 instruction. The 36 variants are exactly the "36 distinct
+/// instructions" the paper attributes to the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// No operation.
+    Nop,
+    /// Stop the processor until reset.
+    Halt,
+    /// `rt = !rs1` (bitwise complement).
+    Not {
+        /// Destination register.
+        rt: Reg,
+        /// Source register.
+        rs1: Reg,
+    },
+    /// `rt = rs1 << 1`, inserting 0; C = shifted-out bit.
+    Sl0 {
+        /// Destination register.
+        rt: Reg,
+        /// Source register.
+        rs1: Reg,
+    },
+    /// `rt = rs1 << 1`, inserting 1; C = shifted-out bit.
+    Sl1 {
+        /// Destination register.
+        rt: Reg,
+        /// Source register.
+        rs1: Reg,
+    },
+    /// `rt = rs1 >> 1`, inserting 0; C = shifted-out bit.
+    Sr0 {
+        /// Destination register.
+        rt: Reg,
+        /// Source register.
+        rs1: Reg,
+    },
+    /// `rt = rs1 >> 1`, inserting 1; C = shifted-out bit.
+    Sr1 {
+        /// Destination register.
+        rt: Reg,
+        /// Source register.
+        rs1: Reg,
+    },
+    /// `SP = rs1`.
+    Ldsp {
+        /// New stack pointer value.
+        rs1: Reg,
+    },
+    /// `mem[SP] = rs1; SP -= 1`.
+    Push {
+        /// Register to push.
+        rs1: Reg,
+    },
+    /// `SP += 1; rt = mem[SP]`.
+    Pop {
+        /// Destination register.
+        rt: Reg,
+    },
+    /// Return from subroutine: `SP += 1; PC = mem[SP]`.
+    Rts,
+    /// `rt = rs1 + rs2`, updating N, Z, C, V.
+    Add {
+        /// Destination register.
+        rt: Reg,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+    },
+    /// `rt = rs1 - rs2`, updating N, Z, C (set when no borrow), V.
+    Sub {
+        /// Destination register.
+        rt: Reg,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+    },
+    /// `rt = rs1 & rs2`.
+    And {
+        /// Destination register.
+        rt: Reg,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+    },
+    /// `rt = rs1 | rs2`.
+    Or {
+        /// Destination register.
+        rt: Reg,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+    },
+    /// `rt = rs1 ^ rs2`.
+    Xor {
+        /// Destination register.
+        rt: Reg,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+    },
+    /// `rt = rt + imm` (zero-extended), updating N, Z, C, V.
+    Addi {
+        /// Destination (and first operand) register.
+        rt: Reg,
+        /// 8-bit immediate.
+        imm: u8,
+    },
+    /// `rt = rt - imm` (zero-extended), updating N, Z, C, V.
+    Subi {
+        /// Destination (and first operand) register.
+        rt: Reg,
+        /// 8-bit immediate.
+        imm: u8,
+    },
+    /// `rt[7:0] = imm`, high byte preserved.
+    Ldl {
+        /// Destination register.
+        rt: Reg,
+        /// 8-bit immediate.
+        imm: u8,
+    },
+    /// `rt[15:8] = imm`, low byte preserved.
+    Ldh {
+        /// Destination register.
+        rt: Reg,
+        /// 8-bit immediate.
+        imm: u8,
+    },
+    /// `rt = mem[rs1 + rs2]`.
+    Ld {
+        /// Destination register.
+        rt: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Offset register.
+        rs2: Reg,
+    },
+    /// `mem[rs1 + rs2] = rt`.
+    St {
+        /// Register holding the value to store.
+        rt: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Offset register.
+        rs2: Reg,
+    },
+    /// Conditional register-indirect jump: `PC = rs1` when `cond` holds.
+    JmpR {
+        /// Branch condition.
+        cond: Cond,
+        /// Register holding the target address.
+        rs1: Reg,
+    },
+    /// Subroutine call through a register: save return address on the
+    /// stack, then `PC = rs1`.
+    JsrR {
+        /// Register holding the target address.
+        rs1: Reg,
+    },
+    /// Conditional PC-relative jump: `PC = PC + disp` when `cond` holds
+    /// (`PC` already advanced past this instruction).
+    JmpD {
+        /// Branch condition.
+        cond: Cond,
+        /// Signed 8-bit displacement in words.
+        disp: i8,
+    },
+    /// PC-relative subroutine call.
+    JsrD {
+        /// Signed 8-bit displacement in words.
+        disp: i8,
+    },
+    /// `rt = (rs1 * rs2) & 0xFFFF`, updating N, Z; V set when the product
+    /// overflows 16 bits.
+    Mul {
+        /// Destination register.
+        rt: Reg,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+    },
+    /// `rt = rs1 / rs2` (unsigned), updating N, Z; division by zero sets
+    /// `rt = 0xFFFF` and raises V.
+    Div {
+        /// Destination register.
+        rt: Reg,
+        /// Dividend.
+        rs1: Reg,
+        /// Divisor.
+        rs2: Reg,
+    },
+}
+
+/// An instruction word that does not decode to any R8 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending word.
+    pub word: u16,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "word {:#06x} is not a valid R8 instruction", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Instr {
+    /// Encodes the instruction into its 16-bit word.
+    pub fn encode(self) -> u16 {
+        fn triple(op: u16, rt: Reg, rs1: Reg, rs2: Reg) -> u16 {
+            op << 12 | u16::from(rt.index()) << 8 | u16::from(rs1.index()) << 4 | u16::from(rs2.index())
+        }
+        fn imm8(op: u16, rt: Reg, imm: u8) -> u16 {
+            op << 12 | u16::from(rt.index()) << 8 | u16::from(imm)
+        }
+        fn group0(sub: u16, rt: u16, rs1: u16) -> u16 {
+            rt << 8 | sub << 4 | rs1
+        }
+        match self {
+            Instr::Nop => group0(0x0, 0, 0),
+            Instr::Halt => group0(0x1, 0, 0),
+            Instr::Not { rt, rs1 } => group0(0x2, rt.index().into(), rs1.index().into()),
+            Instr::Sl0 { rt, rs1 } => group0(0x3, rt.index().into(), rs1.index().into()),
+            Instr::Sl1 { rt, rs1 } => group0(0x4, rt.index().into(), rs1.index().into()),
+            Instr::Sr0 { rt, rs1 } => group0(0x5, rt.index().into(), rs1.index().into()),
+            Instr::Sr1 { rt, rs1 } => group0(0x6, rt.index().into(), rs1.index().into()),
+            Instr::Ldsp { rs1 } => group0(0x7, 0, rs1.index().into()),
+            Instr::Push { rs1 } => group0(0x8, 0, rs1.index().into()),
+            Instr::Pop { rt } => group0(0x9, rt.index().into(), 0),
+            Instr::Rts => group0(0xA, 0, 0),
+            Instr::Add { rt, rs1, rs2 } => triple(0x1, rt, rs1, rs2),
+            Instr::Sub { rt, rs1, rs2 } => triple(0x2, rt, rs1, rs2),
+            Instr::And { rt, rs1, rs2 } => triple(0x3, rt, rs1, rs2),
+            Instr::Or { rt, rs1, rs2 } => triple(0x4, rt, rs1, rs2),
+            Instr::Xor { rt, rs1, rs2 } => triple(0x5, rt, rs1, rs2),
+            Instr::Addi { rt, imm } => imm8(0x6, rt, imm),
+            Instr::Subi { rt, imm } => imm8(0x7, rt, imm),
+            Instr::Ldl { rt, imm } => imm8(0x8, rt, imm),
+            Instr::Ldh { rt, imm } => imm8(0x9, rt, imm),
+            Instr::Ld { rt, rs1, rs2 } => triple(0xA, rt, rs1, rs2),
+            Instr::St { rt, rs1, rs2 } => triple(0xB, rt, rs1, rs2),
+            Instr::JmpR { cond, rs1 } => 0xC << 12 | cond.code() << 8 | u16::from(rs1.index()),
+            Instr::JsrR { rs1 } => 0xC << 12 | 5 << 8 | u16::from(rs1.index()),
+            Instr::JmpD { cond, disp } => 0xD << 12 | cond.code() << 8 | u16::from(disp as u8),
+            Instr::JsrD { disp } => 0xD << 12 | 5 << 8 | u16::from(disp as u8),
+            Instr::Mul { rt, rs1, rs2 } => triple(0xE, rt, rs1, rs2),
+            Instr::Div { rt, rs1, rs2 } => triple(0xF, rt, rs1, rs2),
+        }
+    }
+
+    /// Decodes a 16-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] if the word does not correspond to any of the 36
+    /// instructions.
+    pub fn decode(word: u16) -> Result<Self, DecodeError> {
+        let op = word >> 12;
+        let rt = Reg::from_nibble(word >> 8);
+        let rs1 = Reg::from_nibble(word >> 4);
+        let rs2 = Reg::from_nibble(word);
+        let imm = (word & 0xFF) as u8;
+        let err = DecodeError { word };
+        Ok(match op {
+            0x0 => {
+                let sub = (word >> 4) & 0xF;
+                let low = Reg::from_nibble(word);
+                match sub {
+                    0x0 if word == 0 => Instr::Nop,
+                    0x1 if word & 0x0F0F == 0 && rt.index() == 0 => Instr::Halt,
+                    0x2 => Instr::Not { rt, rs1: low },
+                    0x3 => Instr::Sl0 { rt, rs1: low },
+                    0x4 => Instr::Sl1 { rt, rs1: low },
+                    0x5 => Instr::Sr0 { rt, rs1: low },
+                    0x6 => Instr::Sr1 { rt, rs1: low },
+                    0x7 if rt.index() == 0 => Instr::Ldsp { rs1: low },
+                    0x8 if rt.index() == 0 => Instr::Push { rs1: low },
+                    0x9 if low.index() == 0 => Instr::Pop { rt },
+                    0xA if word == 0x00A0 => Instr::Rts,
+                    _ => return Err(err),
+                }
+            }
+            0x1 => Instr::Add { rt, rs1, rs2 },
+            0x2 => Instr::Sub { rt, rs1, rs2 },
+            0x3 => Instr::And { rt, rs1, rs2 },
+            0x4 => Instr::Or { rt, rs1, rs2 },
+            0x5 => Instr::Xor { rt, rs1, rs2 },
+            0x6 => Instr::Addi { rt, imm },
+            0x7 => Instr::Subi { rt, imm },
+            0x8 => Instr::Ldl { rt, imm },
+            0x9 => Instr::Ldh { rt, imm },
+            0xA => Instr::Ld { rt, rs1, rs2 },
+            0xB => Instr::St { rt, rs1, rs2 },
+            0xC => {
+                let sel = (word >> 8) & 0xF;
+                if (word >> 4) & 0xF != 0 {
+                    return Err(err);
+                }
+                match sel {
+                    0..=4 => Instr::JmpR {
+                        cond: Cond::ALL[sel as usize],
+                        rs1: rs2,
+                    },
+                    5 => Instr::JsrR { rs1: rs2 },
+                    _ => return Err(err),
+                }
+            }
+            0xD => {
+                let sel = (word >> 8) & 0xF;
+                match sel {
+                    0..=4 => Instr::JmpD {
+                        cond: Cond::ALL[sel as usize],
+                        disp: imm as i8,
+                    },
+                    5 => Instr::JsrD { disp: imm as i8 },
+                    _ => return Err(err),
+                }
+            }
+            0xE => Instr::Mul { rt, rs1, rs2 },
+            0xF => Instr::Div { rt, rs1, rs2 },
+            _ => unreachable!("op is a nibble"),
+        })
+    }
+
+    /// Clock cycles this instruction takes (the paper quotes a CPI
+    /// between 2 and 4). Conditional jumps take the not-taken cost here;
+    /// the core adds one cycle when the branch is taken. Memory and stack
+    /// instructions may additionally stall on bus wait states.
+    pub fn base_cycles(self) -> u32 {
+        match self {
+            Instr::Nop | Instr::Halt => 2,
+            Instr::Not { .. }
+            | Instr::Sl0 { .. }
+            | Instr::Sl1 { .. }
+            | Instr::Sr0 { .. }
+            | Instr::Sr1 { .. }
+            | Instr::Ldsp { .. }
+            | Instr::Add { .. }
+            | Instr::Sub { .. }
+            | Instr::And { .. }
+            | Instr::Or { .. }
+            | Instr::Xor { .. }
+            | Instr::Addi { .. }
+            | Instr::Subi { .. }
+            | Instr::Ldl { .. }
+            | Instr::Ldh { .. } => 2,
+            Instr::JmpR { .. } | Instr::JmpD { .. } => 2,
+            Instr::Ld { .. } | Instr::St { .. } => 4,
+            Instr::Push { .. } | Instr::Pop { .. } => 4,
+            Instr::Rts | Instr::JsrR { .. } | Instr::JsrD { .. } => 4,
+            Instr::Mul { .. } | Instr::Div { .. } => 4,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Nop => write!(f, "NOP"),
+            Instr::Halt => write!(f, "HALT"),
+            Instr::Not { rt, rs1 } => write!(f, "NOT  {rt}, {rs1}"),
+            Instr::Sl0 { rt, rs1 } => write!(f, "SL0  {rt}, {rs1}"),
+            Instr::Sl1 { rt, rs1 } => write!(f, "SL1  {rt}, {rs1}"),
+            Instr::Sr0 { rt, rs1 } => write!(f, "SR0  {rt}, {rs1}"),
+            Instr::Sr1 { rt, rs1 } => write!(f, "SR1  {rt}, {rs1}"),
+            Instr::Ldsp { rs1 } => write!(f, "LDSP {rs1}"),
+            Instr::Push { rs1 } => write!(f, "PUSH {rs1}"),
+            Instr::Pop { rt } => write!(f, "POP  {rt}"),
+            Instr::Rts => write!(f, "RTS"),
+            Instr::Add { rt, rs1, rs2 } => write!(f, "ADD  {rt}, {rs1}, {rs2}"),
+            Instr::Sub { rt, rs1, rs2 } => write!(f, "SUB  {rt}, {rs1}, {rs2}"),
+            Instr::And { rt, rs1, rs2 } => write!(f, "AND  {rt}, {rs1}, {rs2}"),
+            Instr::Or { rt, rs1, rs2 } => write!(f, "OR   {rt}, {rs1}, {rs2}"),
+            Instr::Xor { rt, rs1, rs2 } => write!(f, "XOR  {rt}, {rs1}, {rs2}"),
+            Instr::Addi { rt, imm } => write!(f, "ADDI {rt}, {imm}"),
+            Instr::Subi { rt, imm } => write!(f, "SUBI {rt}, {imm}"),
+            Instr::Ldl { rt, imm } => write!(f, "LDL  {rt}, {imm}"),
+            Instr::Ldh { rt, imm } => write!(f, "LDH  {rt}, {imm}"),
+            Instr::Ld { rt, rs1, rs2 } => write!(f, "LD   {rt}, {rs1}, {rs2}"),
+            Instr::St { rt, rs1, rs2 } => write!(f, "ST   {rt}, {rs1}, {rs2}"),
+            Instr::JmpR { cond, rs1 } => write!(f, "JMP{}R {rs1}", cond.infix()),
+            Instr::JsrR { rs1 } => write!(f, "JSRR {rs1}"),
+            Instr::JmpD { cond, disp } => write!(f, "JMP{}D {disp}", cond.infix()),
+            Instr::JsrD { disp } => write!(f, "JSRD {disp}"),
+            Instr::Mul { rt, rs1, rs2 } => write!(f, "MUL  {rt}, {rs1}, {rs2}"),
+            Instr::Div { rt, rs1, rs2 } => write!(f, "DIV  {rt}, {rs1}, {rs2}"),
+        }
+    }
+}
+
+/// All 36 instructions with representative operands, mostly for tests and
+/// documentation.
+pub fn all_instructions() -> Vec<Instr> {
+    let r = |i: u8| Reg::new(i).expect("register index < 16");
+    let mut list = vec![
+        Instr::Nop,
+        Instr::Halt,
+        Instr::Not { rt: r(1), rs1: r(2) },
+        Instr::Sl0 { rt: r(1), rs1: r(2) },
+        Instr::Sl1 { rt: r(1), rs1: r(2) },
+        Instr::Sr0 { rt: r(1), rs1: r(2) },
+        Instr::Sr1 { rt: r(1), rs1: r(2) },
+        Instr::Ldsp { rs1: r(2) },
+        Instr::Push { rs1: r(2) },
+        Instr::Pop { rt: r(1) },
+        Instr::Rts,
+        Instr::Add { rt: r(1), rs1: r(2), rs2: r(3) },
+        Instr::Sub { rt: r(1), rs1: r(2), rs2: r(3) },
+        Instr::And { rt: r(1), rs1: r(2), rs2: r(3) },
+        Instr::Or { rt: r(1), rs1: r(2), rs2: r(3) },
+        Instr::Xor { rt: r(1), rs1: r(2), rs2: r(3) },
+        Instr::Addi { rt: r(1), imm: 0x42 },
+        Instr::Subi { rt: r(1), imm: 0x42 },
+        Instr::Ldl { rt: r(1), imm: 0x42 },
+        Instr::Ldh { rt: r(1), imm: 0x42 },
+        Instr::Ld { rt: r(1), rs1: r(2), rs2: r(3) },
+        Instr::St { rt: r(1), rs1: r(2), rs2: r(3) },
+        Instr::JsrR { rs1: r(2) },
+        Instr::JsrD { disp: -3 },
+        Instr::Mul { rt: r(1), rs1: r(2), rs2: r(3) },
+        Instr::Div { rt: r(1), rs1: r(2), rs2: r(3) },
+    ];
+    for cond in Cond::ALL {
+        list.push(Instr::JmpR { cond, rs1: r(2) });
+        list.push(Instr::JmpD { cond, disp: 5 });
+    }
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_36_instructions() {
+        assert_eq!(all_instructions().len(), 36);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for instr in all_instructions() {
+            let word = instr.encode();
+            let back = Instr::decode(word)
+                .unwrap_or_else(|e| panic!("{instr} encoded to undecodable {e}"));
+            assert_eq!(back, instr, "word {word:#06x}");
+        }
+    }
+
+    #[test]
+    fn encodings_are_unique() {
+        let mut words: Vec<u16> = all_instructions().iter().map(|i| i.encode()).collect();
+        words.sort_unstable();
+        words.dedup();
+        assert_eq!(words.len(), 36);
+    }
+
+    #[test]
+    fn nop_is_zero_word() {
+        assert_eq!(Instr::Nop.encode(), 0x0000);
+        assert_eq!(Instr::decode(0x0000).unwrap(), Instr::Nop);
+    }
+
+    #[test]
+    fn invalid_words_are_rejected() {
+        for word in [0x00B0u16, 0x0CFF, 0xC610, 0xC700, 0xD700, 0x0001, 0x0100] {
+            match Instr::decode(word) {
+                Err(DecodeError { word: w }) => assert_eq!(w, word),
+                Ok(i) => panic!("{word:#06x} unexpectedly decoded to {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_counts_are_within_paper_band() {
+        for instr in all_instructions() {
+            let cycles = instr.base_cycles();
+            assert!((2..=4).contains(&cycles), "{instr} takes {cycles}");
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = |i: u8| Reg::new(i).unwrap();
+        assert_eq!(
+            Instr::St { rt: r(3), rs1: r(1), rs2: r(2) }.to_string(),
+            "ST   R3, R1, R2"
+        );
+        assert_eq!(
+            Instr::JmpD { cond: Cond::Zero, disp: -2 }.to_string(),
+            "JMPZD -2"
+        );
+        assert_eq!(Instr::JmpR { cond: Cond::Always, rs1: r(4) }.to_string(), "JMPR R4");
+    }
+
+    #[test]
+    fn decode_is_total_over_encodings_of_arbitrary_fields() {
+        // Every encodable instruction with any register/immediate operands
+        // must round-trip.
+        for rt in 0..16u8 {
+            let r = Reg::new(rt).unwrap();
+            let i = Instr::Addi { rt: r, imm: rt.wrapping_mul(17) };
+            assert_eq!(Instr::decode(i.encode()).unwrap(), i);
+            let i = Instr::Ld {
+                rt: r,
+                rs1: Reg::new(15 - rt).unwrap(),
+                rs2: Reg::new(rt / 2).unwrap(),
+            };
+            assert_eq!(Instr::decode(i.encode()).unwrap(), i);
+        }
+    }
+}

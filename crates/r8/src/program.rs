@@ -1,0 +1,61 @@
+//! Assembled object code.
+
+use std::collections::BTreeMap;
+
+/// The output of the assembler: a flat memory image starting at address 0
+/// plus the symbol table. This is what the host sends to a processor's
+/// local memory over the serial link (Fig. 8 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    words: Vec<u16>,
+    symbols: BTreeMap<String, u16>,
+}
+
+impl Program {
+    pub(crate) fn new(words: Vec<u16>, symbols: BTreeMap<String, u16>) -> Self {
+        Self { words, symbols }
+    }
+
+    /// The memory image, word 0 loading at address 0.
+    pub fn words(&self) -> &[u16] {
+        &self.words
+    }
+
+    /// Number of words in the image.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Address of a label or `.equ` symbol.
+    pub fn symbol(&self, name: &str) -> Option<u16> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u16)> {
+        self.symbols.iter().map(|(name, &addr)| (name.as_str(), addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let mut symbols = BTreeMap::new();
+        symbols.insert("loop".to_string(), 4u16);
+        let p = Program::new(vec![1, 2, 3], symbols);
+        assert_eq!(p.words(), &[1, 2, 3]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.symbol("loop"), Some(4));
+        assert_eq!(p.symbol("nope"), None);
+        assert_eq!(p.symbols().collect::<Vec<_>>(), vec![("loop", 4)]);
+    }
+}

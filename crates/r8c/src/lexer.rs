@@ -1,0 +1,403 @@
+//! Lexical analysis.
+
+use crate::error::{CompileError, ErrorKind};
+
+/// A token with its source line (for error reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds of the R8C language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier.
+    Ident(String),
+    /// A 16-bit number literal.
+    Number(u16),
+    /// `var`
+    Var,
+    /// `func`
+    Func,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Number(n) => write!(f, "{n}"),
+            TokenKind::Eof => write!(f, "end of input"),
+            other => {
+                let text = match other {
+                    TokenKind::Var => "var",
+                    TokenKind::Func => "func",
+                    TokenKind::If => "if",
+                    TokenKind::Else => "else",
+                    TokenKind::While => "while",
+                    TokenKind::Return => "return",
+                    TokenKind::LParen => "(",
+                    TokenKind::RParen => ")",
+                    TokenKind::LBrace => "{",
+                    TokenKind::RBrace => "}",
+                    TokenKind::LBracket => "[",
+                    TokenKind::RBracket => "]",
+                    TokenKind::Comma => ",",
+                    TokenKind::Semicolon => ";",
+                    TokenKind::Assign => "=",
+                    TokenKind::Plus => "+",
+                    TokenKind::Minus => "-",
+                    TokenKind::Star => "*",
+                    TokenKind::Slash => "/",
+                    TokenKind::Percent => "%",
+                    TokenKind::Amp => "&",
+                    TokenKind::Pipe => "|",
+                    TokenKind::Caret => "^",
+                    TokenKind::Tilde => "~",
+                    TokenKind::Bang => "!",
+                    TokenKind::Shl => "<<",
+                    TokenKind::Shr => ">>",
+                    TokenKind::Eq => "==",
+                    TokenKind::Ne => "!=",
+                    TokenKind::Lt => "<",
+                    TokenKind::Gt => ">",
+                    TokenKind::Le => "<=",
+                    TokenKind::Ge => ">=",
+                    TokenKind::AndAnd => "&&",
+                    TokenKind::OrOr => "||",
+                    _ => unreachable!(),
+                };
+                f.write_str(text)
+            }
+        }
+    }
+}
+
+/// Tokenizes R8C source. Comments run from `//` to end of line.
+///
+/// # Errors
+///
+/// [`CompileError`] on characters outside the language or number
+/// literals that overflow 16 bits.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Slash,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        text.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let value = parse_number(&text).ok_or(CompileError {
+                    line,
+                    kind: ErrorKind::BadNumber(text.clone()),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        text.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match text.as_str() {
+                    "var" => TokenKind::Var,
+                    "func" => TokenKind::Func,
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "while" => TokenKind::While,
+                    "return" => TokenKind::Return,
+                    _ => TokenKind::Ident(text),
+                };
+                tokens.push(Token { kind, line });
+            }
+            _ => {
+                chars.next();
+                let two = |chars: &mut std::iter::Peekable<std::str::Chars>, next: char| {
+                    if chars.peek() == Some(&next) {
+                        chars.next();
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let kind = match c {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    ',' => TokenKind::Comma,
+                    ';' => TokenKind::Semicolon,
+                    '+' => TokenKind::Plus,
+                    '-' => TokenKind::Minus,
+                    '*' => TokenKind::Star,
+                    '%' => TokenKind::Percent,
+                    '^' => TokenKind::Caret,
+                    '~' => TokenKind::Tilde,
+                    '=' => {
+                        if two(&mut chars, '=') {
+                            TokenKind::Eq
+                        } else {
+                            TokenKind::Assign
+                        }
+                    }
+                    '!' => {
+                        if two(&mut chars, '=') {
+                            TokenKind::Ne
+                        } else {
+                            TokenKind::Bang
+                        }
+                    }
+                    '<' => {
+                        if two(&mut chars, '<') {
+                            TokenKind::Shl
+                        } else if two(&mut chars, '=') {
+                            TokenKind::Le
+                        } else {
+                            TokenKind::Lt
+                        }
+                    }
+                    '>' => {
+                        if two(&mut chars, '>') {
+                            TokenKind::Shr
+                        } else if two(&mut chars, '=') {
+                            TokenKind::Ge
+                        } else {
+                            TokenKind::Gt
+                        }
+                    }
+                    '&' => {
+                        if two(&mut chars, '&') {
+                            TokenKind::AndAnd
+                        } else {
+                            TokenKind::Amp
+                        }
+                    }
+                    '|' => {
+                        if two(&mut chars, '|') {
+                            TokenKind::OrOr
+                        } else {
+                            TokenKind::Pipe
+                        }
+                    }
+                    other => {
+                        return Err(CompileError {
+                            line,
+                            kind: ErrorKind::UnexpectedChar(other),
+                        })
+                    }
+                };
+                tokens.push(Token { kind, line });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+fn parse_number(text: &str) -> Option<u16> {
+    let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else if let Some(bin) = text.strip_prefix("0b").or_else(|| text.strip_prefix("0B")) {
+        u32::from_str_radix(bin, 2).ok()?
+    } else {
+        text.parse::<u32>().ok()?
+    };
+    u16::try_from(value).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_function() {
+        assert_eq!(
+            kinds("func f(x) { return x + 1; }"),
+            vec![
+                TokenKind::Func,
+                TokenKind::Ident("f".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::LBrace,
+                TokenKind::Return,
+                TokenKind::Ident("x".into()),
+                TokenKind::Plus,
+                TokenKind::Number(1),
+                TokenKind::Semicolon,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= << >> && || = < >"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Assign,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn number_bases() {
+        assert_eq!(
+            kinds("10 0x1F 0b101"),
+            vec![
+                TokenKind::Number(10),
+                TokenKind::Number(0x1F),
+                TokenKind::Number(5),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let tokens = lex("1 // comment\n2").unwrap();
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+    }
+
+    #[test]
+    fn overflowing_number_is_an_error() {
+        let e = lex("70000").unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::BadNumber(_)));
+    }
+
+    #[test]
+    fn stray_character_is_an_error() {
+        let e = lex("a @ b").unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::UnexpectedChar('@')));
+    }
+}

@@ -1,0 +1,175 @@
+//! Differential testing of the compiler: random expression trees are
+//! compiled (at both optimization levels), executed on the R8 core, and
+//! compared against a host-side reference interpreter with the exact
+//! 16-bit semantics.
+
+use proptest::prelude::*;
+use r8::core::{Cpu, RamBus};
+use r8c::ast::{BinOp, UnOp};
+use r8c::fold::{eval_bin, eval_un};
+use r8c::OptLevel;
+
+/// A generated expression over two variables `a` and `b`.
+#[derive(Debug, Clone)]
+enum T {
+    Num(u16),
+    VarA,
+    VarB,
+    Un(UnOp, Box<T>),
+    Bin(BinOp, Box<T>, Box<T>),
+}
+
+impl T {
+    fn source(&self) -> String {
+        match self {
+            T::Num(n) => n.to_string(),
+            T::VarA => "a".into(),
+            T::VarB => "b".into(),
+            T::Un(op, e) => {
+                let symbol = match op {
+                    UnOp::Neg => "-",
+                    UnOp::Not => "!",
+                    UnOp::BitNot => "~",
+                };
+                format!("({symbol}{})", e.source())
+            }
+            T::Bin(op, l, r) => {
+                let symbol = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Rem => "%",
+                    BinOp::And => "&",
+                    BinOp::Or => "|",
+                    BinOp::Xor => "^",
+                    BinOp::Shl => "<<",
+                    BinOp::Shr => ">>",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::LogicAnd => "&&",
+                    BinOp::LogicOr => "||",
+                };
+                format!("({} {symbol} {})", l.source(), r.source())
+            }
+        }
+    }
+
+    fn eval(&self, a: u16, b: u16) -> u16 {
+        match self {
+            T::Num(n) => *n,
+            T::VarA => a,
+            T::VarB => b,
+            T::Un(op, e) => eval_un(*op, e.eval(a, b)),
+            T::Bin(op, l, r) => eval_bin(*op, l.eval(a, b), r.eval(a, b)),
+        }
+    }
+}
+
+fn bin_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::LogicAnd),
+        Just(BinOp::LogicOr),
+    ]
+}
+
+fn un_op() -> impl Strategy<Value = UnOp> {
+    prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)]
+}
+
+fn tree() -> impl Strategy<Value = T> {
+    // Small literals keep runtime shift loops fast; the variables still
+    // inject full-range values.
+    let leaf = prop_oneof![
+        (0u16..300).prop_map(T::Num),
+        Just(T::VarA),
+        Just(T::VarB),
+    ];
+    leaf.prop_recursive(5, 24, 3, |inner| {
+        prop_oneof![
+            (un_op(), inner.clone()).prop_map(|(op, e)| T::Un(op, Box::new(e))),
+            (bin_op(), inner.clone(), inner)
+                .prop_map(|(op, l, r)| T::Bin(op, Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+fn run_compiled(source: &str, opt: OptLevel) -> u16 {
+    let assembly = r8c::compile_with(source, opt).expect("compiles");
+    let program = r8::asm::assemble(&assembly).expect("assembles");
+    let mut bus = RamBus::new(8192);
+    bus.load(0, program.words());
+    let mut cpu = Cpu::new();
+    cpu.run(&mut bus, 50_000_000).expect("halts");
+    bus.peek(0x700)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn compiled_expressions_match_the_reference(
+        expr in tree(),
+        a in any::<u16>(),
+        b in any::<u16>(),
+    ) {
+        let source = format!(
+            "func main() {{
+                 var a = {a};
+                 var b = {b};
+                 poke(0x700, {});
+             }}",
+            expr.source()
+        );
+        let expected = expr.eval(a, b);
+        for opt in [OptLevel::None, OptLevel::Basic] {
+            let got = run_compiled(&source, opt);
+            prop_assert_eq!(
+                got,
+                expected,
+                "opt {:?}, expr {} with a={} b={}",
+                opt,
+                expr.source(),
+                a,
+                b
+            );
+        }
+    }
+
+    /// Folding never changes the observable result of a pure program.
+    #[test]
+    fn opt_levels_agree(expr in tree()) {
+        let source = format!(
+            "func main() {{
+                 var a = 7;
+                 var b = 40000;
+                 poke(0x700, {});
+             }}",
+            expr.source()
+        );
+        prop_assert_eq!(
+            run_compiled(&source, OptLevel::None),
+            run_compiled(&source, OptLevel::Basic)
+        );
+    }
+}

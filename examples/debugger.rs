@@ -1,0 +1,79 @@
+//! The multiprocessor debugger — §5 future work, realized.
+//!
+//! Run with `cargo run --example debugger`.
+//!
+//! A deliberately buggy distributed application: P1 and P2 exchange
+//! values through wait/notify, but a misordered handshake makes both
+//! processors wait at the same time. The debugger single-steps, sets a
+//! watchpoint on the mailbox, and the deadlock analyzer names the cycle.
+
+use multinoc::debug::{analyze_deadlock, Debugger, StopReason};
+use multinoc::{System, PROCESSOR_1, PROCESSOR_2};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut system = System::paper_config()?;
+
+    // The bug: both sides wait before either notifies.
+    let p1 = r8c::build(&format!(
+        "func main() {{
+             poke(0x380, 111);                 // write my value
+             poke({wait}, {peer});             // BUG: wait before notify
+             poke({notify}, {peer});
+             printf(peek(0x381));
+         }}",
+        wait = multinoc::WAIT_ADDR,
+        notify = multinoc::NOTIFY_ADDR,
+        peer = PROCESSOR_2.0,
+    ))?;
+    let p2 = r8c::build(&format!(
+        "func main() {{
+             poke(0x381, 222);
+             poke({wait}, {peer});             // BUG: symmetric wait
+             poke({notify}, {peer});
+             printf(peek(0x380));
+         }}",
+        wait = multinoc::WAIT_ADDR,
+        notify = multinoc::NOTIFY_ADDR,
+        peer = PROCESSOR_1.0,
+    ))?;
+    system.memory_mut(PROCESSOR_1)?.write_block(0, p1.words());
+    system.memory_mut(PROCESSOR_2)?.write_block(0, p2.words());
+    system.activate_directly(PROCESSOR_1)?;
+    system.activate_directly(PROCESSOR_2)?;
+
+    let mut debugger = Debugger::new();
+    debugger.add_watchpoint(PROCESSOR_1, 0x380);
+    println!("running under the debugger with a watchpoint on P1[0x380]…\n");
+    loop {
+        match debugger.run(&mut system, 1_000_000)? {
+            StopReason::Watchpoint { node, addr, old, new } => {
+                println!(
+                    "watchpoint: {node} memory[{addr:#06x}] changed {old} -> {new} at cycle {}",
+                    system.cycle()
+                );
+            }
+            StopReason::Breakpoint { node, pc } => {
+                println!("breakpoint: {node} at pc {pc:#06x}");
+            }
+            StopReason::IdleBlocked => {
+                println!("\nsystem went idle with blocked processors — analyzing:");
+                let report = analyze_deadlock(&system);
+                print!("{report}");
+                assert!(report.has_deadlock(), "the bug must be detected");
+                println!("\nthe wait-for cycle pinpoints the misordered handshake —");
+                println!("exactly the distributed-application error the paper's");
+                println!("future-work simulator was meant to detect.");
+                break;
+            }
+            StopReason::AllHalted => {
+                println!("all halted (unexpected for this buggy app)");
+                break;
+            }
+            StopReason::Budget => {
+                println!("budget exhausted");
+                break;
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: the complete system flow of Fig. 8 and the two debug
+//! paths of Fig. 9.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! The host assembles a vector-sum program, synchronizes the serial link
+//! (0x55), loads program and data into processor P1's local memory,
+//! activates it, and then verifies the result both ways the paper shows:
+//! through the printf interaction monitor and by reading the memory back
+//! over the serial link.
+
+use multinoc::apps::vecsum;
+use multinoc::{host::Host, System, PROCESSOR_1};
+use r8::asm::assemble;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("MultiNoC quickstart — the Fig. 8 flow\n");
+
+    // 1. "Simulate the Assembly Code": assemble the program.
+    let data: Vec<u16> = (1..=100).collect();
+    let source = vecsum::program(data.len() as u16);
+    let program = assemble(&source)?;
+    println!(
+        "assembled vector-sum program: {} words, symbols: {:?}",
+        program.len(),
+        program.symbols().map(|(n, a)| format!("{n}={a}")).collect::<Vec<_>>(),
+    );
+
+    // 2. "Start the Serial Software" + 3. "Synchronize SW/HW".
+    let mut system = System::paper_config()?;
+    let mut host = Host::new();
+    host.synchronize(&mut system)?;
+    println!("serial link synchronized (0x55 sent)");
+
+    // 4. "Send Generated Object Code" + 5. "Fill Memory Contents".
+    host.load_program(&mut system, PROCESSOR_1, program.words())?;
+    host.write_memory(&mut system, PROCESSOR_1, vecsum::DATA_ADDR, &data)?;
+    println!(
+        "object code and {} data words loaded into P1 at cycle {}",
+        data.len(),
+        system.cycle()
+    );
+
+    // 6. "Activate Processors".
+    host.activate(&mut system, PROCESSOR_1)?;
+    println!("P1 activated at cycle {}", system.cycle());
+
+    // 7. "I/O Operations": the program prints its result.
+    host.wait_for_printf(&mut system, PROCESSOR_1, 1)?;
+    let printed = host.printf_output(PROCESSOR_1)[0];
+    println!(
+        "printf from P1: {printed} (expected {})",
+        vecsum::expected_sum(&data)
+    );
+
+    // 8. "Debug": read the result address back, like typing
+    //    "00 01 01 00 90" into the Serial software.
+    let readback = host.read_memory(&mut system, PROCESSOR_1, vecsum::RESULT_ADDR, 1)?;
+    println!("memory read-back of RESULT: {}", readback[0]);
+
+    assert_eq!(printed, vecsum::expected_sum(&data));
+    assert_eq!(readback[0], printed);
+
+    let cycles = system.cycle();
+    let us = cycles as f64 / system.clock_hz() * 1e6;
+    println!("\ntotal: {cycles} cycles = {us:.1} us at 25 MHz — flow complete");
+    Ok(())
+}

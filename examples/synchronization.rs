@@ -1,0 +1,103 @@
+//! Message-passing synchronization with wait/notify (§2.4).
+//!
+//! Run with `cargo run --example synchronization`.
+//!
+//! A producer/consumer ping-pong: P1 produces a sequence of values into
+//! P2's local memory through its peer window, notifying P2 after each
+//! value; P2 waits for each notify, accumulates, and notifies back so P1
+//! may overwrite the mailbox. Exactly the paper's
+//! `ST R3, R1, R2 (R2 = FFFEh / FFFDh)` protocol.
+
+use multinoc::{host::Host, System, NOTIFY_ADDR, PROCESSOR_1, PROCESSOR_2, WAIT_ADDR};
+use r8::asm::assemble;
+
+const ROUNDS: u16 = 8;
+const MAILBOX: u16 = 0x300; // in P2's local memory
+const RESULT: u16 = 0x301; // in P2's local memory
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut system = System::paper_config()?;
+
+    // P1: the producer.
+    let window = system
+        .address_map(PROCESSOR_1)?
+        .window_base(PROCESSOR_2)
+        .expect("P2 window");
+    let producer = assemble(&format!(
+        "
+        .equ WAIT,   {WAIT_ADDR}
+        .equ NOTIFY, {NOTIFY_ADDR}
+        XOR  R0, R0, R0
+        LIW  R1, {mailbox}     ; &P2.mailbox through the peer window
+        LIW  R2, 1             ; value
+        LIW  R3, {ROUNDS}      ; rounds left
+        LIW  R8, WAIT
+        LIW  R9, NOTIFY
+        LIW  R10, {p2}         ; peer node number
+produce:
+        ST   R2, R1, R0        ; mailbox = value (remote write)
+        ST   R10, R0, R9       ; notify P2
+        ST   R10, R0, R8       ; wait for P2's ack
+        ADDI R2, 1
+        SUBI R3, 1
+        JMPZD done
+        JMPD produce
+done:   HALT
+",
+        mailbox = window + MAILBOX,
+        p2 = PROCESSOR_2.0,
+    ))?;
+
+    // P2: the consumer.
+    let consumer = assemble(&format!(
+        "
+        .equ WAIT,   {WAIT_ADDR}
+        .equ NOTIFY, {NOTIFY_ADDR}
+        XOR  R0, R0, R0
+        XOR  R2, R2, R2        ; sum
+        LIW  R1, {MAILBOX}
+        LIW  R3, {ROUNDS}
+        LIW  R8, WAIT
+        LIW  R9, NOTIFY
+        LIW  R10, {p1}
+consume:
+        ST   R10, R0, R8       ; wait for P1's notify
+        LD   R4, R1, R0        ; read mailbox
+        ADD  R2, R2, R4
+        ST   R10, R0, R9       ; ack P1
+        SUBI R3, 1
+        JMPZD finish
+        JMPD consume
+finish: LIW  R5, {RESULT}
+        ST   R2, R5, R0
+        LIW  R6, 0xFFFF
+        ST   R2, R6, R0        ; printf the sum
+        HALT
+",
+        p1 = PROCESSOR_1.0,
+    ))?;
+
+    let mut host = Host::new();
+    host.synchronize(&mut system)?;
+    host.load_program(&mut system, PROCESSOR_1, producer.words())?;
+    host.load_program(&mut system, PROCESSOR_2, consumer.words())?;
+    // Start the consumer first: notify-before-wait is also handled, but
+    // this exercises the blocking path.
+    host.activate(&mut system, PROCESSOR_2)?;
+    host.activate(&mut system, PROCESSOR_1)?;
+
+    host.wait_for_printf(&mut system, PROCESSOR_2, 1)?;
+    let sum = host.printf_output(PROCESSOR_2)[0];
+    let expected: u16 = (1..=ROUNDS).sum();
+    println!("consumer accumulated {sum} over {ROUNDS} rounds (expected {expected})");
+    assert_eq!(sum, expected);
+
+    let readback = host.read_memory(&mut system, PROCESSOR_2, RESULT, 1)?;
+    assert_eq!(readback[0], expected);
+    println!(
+        "ping-pong of {} wait/notify pairs completed in {} cycles",
+        2 * ROUNDS,
+        system.cycle()
+    );
+    Ok(())
+}

@@ -1,0 +1,202 @@
+//! Compiled (r8c) programs running on the full MultiNoC system:
+//! the compiler reaches every platform service through its intrinsics.
+
+use multinoc::{
+    host::Host, System, NOTIFY_ADDR, PROCESSOR_1, PROCESSOR_2, REMOTE_MEMORY, WAIT_ADDR,
+};
+
+#[test]
+fn compiled_program_reaches_remote_memory() {
+    let mut system = System::paper_config().unwrap();
+    let window = system
+        .address_map(PROCESSOR_1)
+        .unwrap()
+        .window_base(REMOTE_MEMORY)
+        .unwrap();
+    let program = r8c::build(&format!(
+        "func main() {{
+             var i = 0;
+             while (i < 8) {{
+                 poke({window} + i, i * 3 + 1);
+                 i = i + 1;
+             }}
+         }}"
+    ))
+    .unwrap();
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    host.load_program(&mut system, PROCESSOR_1, program.words())
+        .unwrap();
+    host.activate(&mut system, PROCESSOR_1).unwrap();
+    system.run_until_halted(5_000_000).unwrap();
+    let data = system.memory(REMOTE_MEMORY).unwrap().read_block(0, 8);
+    assert_eq!(data, vec![1, 4, 7, 10, 13, 16, 19, 22]);
+}
+
+#[test]
+fn compiled_wait_notify_pipeline() {
+    // P1 (compiled) produces squares into P2's memory and notifies; P2
+    // (compiled) waits, accumulates and acks. Pure R8C on both sides.
+    let mut system = System::paper_config().unwrap();
+    let p2_window = system
+        .address_map(PROCESSOR_1)
+        .unwrap()
+        .window_base(PROCESSOR_2)
+        .unwrap();
+
+    let producer = r8c::build(&format!(
+        "func main() {{
+             var i = 1;
+             while (i <= 5) {{
+                 poke({p2_window} + 0x380, i * i);   // mailbox in P2
+                 poke({NOTIFY_ADDR}, {p2});          // notify P2
+                 poke({WAIT_ADDR}, {p2});            // wait for the ack
+                 i = i + 1;
+             }}
+         }}",
+        p2 = PROCESSOR_2.0,
+    ))
+    .unwrap();
+
+    let consumer = r8c::build(&format!(
+        "func main() {{
+             var sum = 0;
+             var i = 0;
+             while (i < 5) {{
+                 poke({WAIT_ADDR}, {p1});            // wait for data
+                 sum = sum + peek(0x380);            // read the mailbox
+                 poke({NOTIFY_ADDR}, {p1});          // ack
+                 i = i + 1;
+             }}
+             printf(sum);
+         }}",
+        p1 = PROCESSOR_1.0,
+    ))
+    .unwrap();
+
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    host.load_program(&mut system, PROCESSOR_1, producer.words())
+        .unwrap();
+    host.load_program(&mut system, PROCESSOR_2, consumer.words())
+        .unwrap();
+    host.activate(&mut system, PROCESSOR_2).unwrap();
+    host.activate(&mut system, PROCESSOR_1).unwrap();
+    host.wait_for_printf(&mut system, PROCESSOR_2, 1).unwrap();
+    // 1 + 4 + 9 + 16 + 25 = 55.
+    assert_eq!(host.printf_output(PROCESSOR_2), &[55]);
+    system.run_until_halted(5_000_000).unwrap();
+}
+
+#[test]
+fn wait_notify_intrinsic_sugar_synchronizes() {
+    // Same ping-pong as above, written with the wait()/notify() sugar.
+    let mut system = System::paper_config().unwrap();
+    let p2_window = system
+        .address_map(PROCESSOR_1)
+        .unwrap()
+        .window_base(PROCESSOR_2)
+        .unwrap();
+    let producer = r8c::build(&format!(
+        "func main() {{
+             poke({p2_window} + 0x390, 4242);
+             notify({p2});
+             wait({p2});
+         }}",
+        p2 = PROCESSOR_2.0,
+    ))
+    .unwrap();
+    let consumer = r8c::build(&format!(
+        "func main() {{
+             wait({p1});
+             printf(peek(0x390));
+             notify({p1});
+         }}",
+        p1 = PROCESSOR_1.0,
+    ))
+    .unwrap();
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    host.load_program(&mut system, PROCESSOR_1, producer.words())
+        .unwrap();
+    host.load_program(&mut system, PROCESSOR_2, consumer.words())
+        .unwrap();
+    host.activate(&mut system, PROCESSOR_2).unwrap();
+    host.activate(&mut system, PROCESSOR_1).unwrap();
+    host.wait_for_printf(&mut system, PROCESSOR_2, 1).unwrap();
+    assert_eq!(host.printf_output(PROCESSOR_2), &[4242]);
+    system.run_until_halted(5_000_000).unwrap();
+}
+
+#[test]
+fn compiled_scanf_printf_dialogue() {
+    let program = r8c::build(
+        "func main() {
+             var a = scanf();
+             var b = scanf();
+             if (a > b) { printf(a - b); }
+             else { printf(b - a); }
+         }",
+    )
+    .unwrap();
+    let mut system = System::paper_config().unwrap();
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    host.load_program(&mut system, PROCESSOR_1, program.words())
+        .unwrap();
+    host.activate(&mut system, PROCESSOR_1).unwrap();
+    host.wait_for_scanf(&mut system).unwrap();
+    host.answer_scanf(&mut system, PROCESSOR_1, 30).unwrap();
+    host.wait_for_scanf(&mut system).unwrap();
+    host.answer_scanf(&mut system, PROCESSOR_1, 100).unwrap();
+    host.wait_for_printf(&mut system, PROCESSOR_1, 1).unwrap();
+    assert_eq!(host.printf_output(PROCESSOR_1), &[70]);
+}
+
+#[test]
+fn compiled_code_matches_interpreted_reference() {
+    // The same checksum computed by compiled code on the platform and by
+    // Rust on the host.
+    fn reference(seed: u16) -> u16 {
+        let mut h: u16 = seed;
+        let mut i: u16 = 0;
+        while i < 50 {
+            h = h.wrapping_mul(31) ^ (i << 3);
+            h = h.rotate_left(1);
+            i += 1;
+        }
+        h
+    }
+    let program = r8c::build(
+        "func rotl1(x) {
+             return (x << 1) | (x >> 15);
+         }
+         func main() {
+             var h = scanf();
+             var i = 0;
+             while (i < 50) {
+                 h = (h * 31) ^ (i << 3);
+                 h = rotl1(h);
+                 i = i + 1;
+             }
+             printf(h);
+         }",
+    )
+    .unwrap();
+    for seed in [0u16, 1, 0xABCD, 0xFFFF] {
+        let mut system = System::paper_config().unwrap();
+        let mut host = Host::new().with_budget(20_000_000);
+        host.synchronize(&mut system).unwrap();
+        host.load_program(&mut system, PROCESSOR_1, program.words())
+            .unwrap();
+        host.activate(&mut system, PROCESSOR_1).unwrap();
+        host.wait_for_scanf(&mut system).unwrap();
+        host.answer_scanf(&mut system, PROCESSOR_1, seed).unwrap();
+        host.wait_for_printf(&mut system, PROCESSOR_1, 1).unwrap();
+        assert_eq!(
+            host.take_printf(PROCESSOR_1),
+            vec![reference(seed)],
+            "seed {seed:#06x}"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Corner cases across the stack: degenerate meshes, address-space
+//! edges, and wrap-around behaviour.
+
+use hermes_noc::{Noc, NocConfig, Packet, RouterAddr};
+use multinoc::{host::Host, System, NodeId};
+use r8::asm::assemble;
+use r8::core::{Cpu, RamBus};
+use r8::isa::Instr;
+
+#[test]
+fn one_by_one_mesh_self_delivery() {
+    // A single router: packets can only go IP -> router -> same IP.
+    let mut noc = Noc::new(NocConfig::mesh(1, 1)).unwrap();
+    let here = RouterAddr::new(0, 0);
+    noc.send(here, Packet::new(here, vec![1, 2, 3])).unwrap();
+    noc.run_until_idle(10_000).unwrap();
+    let (from, packet) = noc.try_recv(here).expect("delivered");
+    assert_eq!(from, here);
+    assert_eq!(packet.payload(), &[1, 2, 3]);
+}
+
+#[test]
+fn line_topologies_route_straight() {
+    // 8x1 and 1x8 degenerate meshes: XY routing must still work.
+    for (w, h, dst) in [(8u8, 1u8, RouterAddr::new(7, 0)), (1, 8, RouterAddr::new(0, 7))] {
+        let mut noc = Noc::new(NocConfig::mesh(w, h)).unwrap();
+        let src = RouterAddr::new(0, 0);
+        noc.send(src, Packet::new(dst, vec![0xAA; 5])).unwrap();
+        noc.run_until_idle(100_000).unwrap();
+        let (_, packet) = noc.try_recv(dst).expect("delivered");
+        assert_eq!(packet.payload(), &[0xAA; 5]);
+        // And back.
+        noc.send(dst, Packet::new(src, vec![0x55])).unwrap();
+        noc.run_until_idle(100_000).unwrap();
+        assert!(noc.try_recv(src).is_some());
+    }
+}
+
+#[test]
+fn maximum_size_packet_traverses_the_full_diagonal() {
+    let mut noc = Noc::new(NocConfig::mesh(16, 16)).unwrap();
+    let src = RouterAddr::new(0, 0);
+    let dst = RouterAddr::new(15, 15);
+    let max = noc.config().max_payload_flits();
+    let payload: Vec<u16> = (0..max).map(|i| (i & 0xFF) as u16).collect();
+    noc.send(src, Packet::new(dst, payload.clone())).unwrap();
+    noc.run_until_idle(1_000_000).unwrap();
+    let (_, packet) = noc.try_recv(dst).expect("delivered");
+    assert_eq!(packet.payload(), payload.as_slice());
+}
+
+#[test]
+fn pc_wraps_around_the_address_space() {
+    // Execution off the top of memory wraps to address 0 (the bus
+    // ignores upper address bits, like the hardware).
+    let mut bus = RamBus::new(65536);
+    bus.load(0xFFFF, &[Instr::Nop.encode()]);
+    bus.load(0, &[Instr::Halt.encode()]);
+    let mut cpu = Cpu::new();
+    cpu.set_pc(0xFFFF);
+    cpu.run(&mut bus, 1_000).unwrap();
+    assert!(cpu.is_halted());
+    assert_eq!(cpu.pc(), 1);
+}
+
+#[test]
+fn stack_wraps_at_the_address_space_edge() {
+    let program = assemble(
+        "XOR R1, R1, R1\nLDSP R1\nLIW R2, 77\nPUSH R2\nPOP R3\nHALT",
+    )
+    .unwrap();
+    let mut bus = RamBus::new(65536);
+    bus.load(0x100, program.words());
+    let mut cpu = Cpu::new();
+    cpu.set_pc(0x100);
+    cpu.run(&mut bus, 10_000).unwrap();
+    // PUSH at SP=0 wrote to 0x0000 and wrapped SP to 0xFFFF.
+    assert_eq!(cpu.reg(3), 77);
+    assert_eq!(cpu.sp(), 0);
+}
+
+#[test]
+fn minimal_two_node_system_works() {
+    // Smallest useful MultiNoC: serial + one processor on a 1x2 mesh.
+    let mut system = System::builder()
+        .noc(NocConfig::mesh(1, 2))
+        .serial_at(RouterAddr::new(0, 0))
+        .processor_at(RouterAddr::new(0, 1))
+        .build()
+        .unwrap();
+    let p = NodeId(1);
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    let program = assemble(
+        ".equ IO, 0xFFFF\nXOR R0, R0, R0\nLIW R1, IO\nLIW R2, 321\nST R2, R1, R0\nHALT",
+    )
+    .unwrap();
+    host.load_program(&mut system, p, program.words()).unwrap();
+    host.activate(&mut system, p).unwrap();
+    host.wait_for_printf(&mut system, p, 1).unwrap();
+    assert_eq!(host.printf_output(p), &[321]);
+    // No peers and no memory IP: the map has no windows at all.
+    assert!(system.address_map(p).unwrap().windows().is_empty());
+}
+
+#[test]
+fn headless_processor_io_degrades_gracefully() {
+    // A system without a serial IP: printf is dropped, scanf reads 0.
+    let mut system = System::builder()
+        .noc(NocConfig::mesh(1, 2))
+        .processor_at(RouterAddr::new(0, 0))
+        .memory_at(RouterAddr::new(0, 1))
+        .build()
+        .unwrap();
+    let p = NodeId(0);
+    let program = assemble(
+        ".equ IO, 0xFFFF
+         XOR R0, R0, R0
+         LIW R1, IO
+         LIW R2, 9
+         ST  R2, R1, R0      ; printf into the void
+         LD  R3, R1, R0      ; scanf -> 0
+         LIW R4, 0x80
+         ST  R3, R4, R0
+         HALT",
+    )
+    .unwrap();
+    system.memory_mut(p).unwrap().write_block(0, program.words());
+    system.activate_directly(p).unwrap();
+    system.run_until_halted(100_000).unwrap();
+    assert_eq!(system.memory(p).unwrap().read(0x80), 0);
+}
+
+#[test]
+fn write_to_the_very_top_of_a_memory_window() {
+    // Offset 1023 of the remote window: the last word of the memory IP.
+    let mut system = System::paper_config().unwrap();
+    let base = system
+        .address_map(multinoc::PROCESSOR_1)
+        .unwrap()
+        .window_base(multinoc::REMOTE_MEMORY)
+        .unwrap();
+    let program = assemble(&format!(
+        "XOR R0, R0, R0\nLIW R1, {}\nLIW R2, 0xFACE\nST R2, R1, R0\nHALT",
+        base + 1023
+    ))
+    .unwrap();
+    system
+        .memory_mut(multinoc::PROCESSOR_1)
+        .unwrap()
+        .write_block(0, program.words());
+    system.activate_directly(multinoc::PROCESSOR_1).unwrap();
+    system.run_until_halted(1_000_000).unwrap();
+    assert_eq!(
+        system.memory(multinoc::REMOTE_MEMORY).unwrap().read(1023),
+        0xFACE
+    );
+}

@@ -1,0 +1,90 @@
+//! Service counters and trace log, observed across a full application.
+
+use multinoc::apps::vecsum;
+use multinoc::host::Host;
+use multinoc::service::ServiceCode;
+use multinoc::trace::Direction;
+use multinoc::{System, PROCESSOR_1, REMOTE_MEMORY, SERIAL};
+use r8::asm::assemble;
+
+#[test]
+fn counters_capture_the_quickstart_flow() {
+    let mut system = System::paper_config().unwrap();
+    let mut host = Host::new();
+    let data: Vec<u16> = (1..=16).collect();
+    let program = assemble(&vecsum::program(16)).unwrap();
+    host.synchronize(&mut system).unwrap();
+    host.load_program(&mut system, PROCESSOR_1, program.words())
+        .unwrap();
+    host.write_memory(&mut system, PROCESSOR_1, vecsum::DATA_ADDR, &data)
+        .unwrap();
+    host.activate(&mut system, PROCESSOR_1).unwrap();
+    host.wait_for_printf(&mut system, PROCESSOR_1, 1).unwrap();
+    let _ = host
+        .read_memory(&mut system, PROCESSOR_1, vecsum::RESULT_ADDR, 1)
+        .unwrap();
+
+    let c = system.service_counters();
+    // The serial IP forwarded writes (program + data, chunked), one
+    // activation and one read request.
+    assert!(c.sent(SERIAL, ServiceCode::WriteInMemory) >= 2);
+    assert_eq!(c.sent(SERIAL, ServiceCode::ActivateProcessor), 1);
+    assert_eq!(c.sent(SERIAL, ServiceCode::ReadFromMemory), 1);
+    // P1 received them and answered: one printf, one read return.
+    assert_eq!(c.received(PROCESSOR_1, ServiceCode::ActivateProcessor), 1);
+    assert_eq!(c.sent(PROCESSOR_1, ServiceCode::Printf), 1);
+    assert_eq!(c.sent(PROCESSOR_1, ServiceCode::ReadReturn), 1);
+    assert_eq!(c.received(SERIAL, ServiceCode::Printf), 1);
+    // Sent and received totals balance for every service.
+    for code in multinoc::trace::ALL_CODES {
+        let sent: u64 = c.nodes().iter().map(|&n| c.sent(n, code)).sum();
+        let received: u64 = c.nodes().iter().map(|&n| c.received(n, code)).sum();
+        assert_eq!(sent, received, "{code:?} unbalanced");
+    }
+}
+
+#[test]
+fn trace_log_records_message_sequence() {
+    let mut system = System::paper_config().unwrap();
+    system.enable_trace(10_000);
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    // A remote write from P1 to the memory IP.
+    let base = system
+        .address_map(PROCESSOR_1)
+        .unwrap()
+        .window_base(REMOTE_MEMORY)
+        .unwrap();
+    let program = assemble(&format!(
+        "XOR R0, R0, R0\nLIW R1, {base}\nLIW R2, 9\nST R2, R1, R0\nHALT"
+    ))
+    .unwrap();
+    host.load_program(&mut system, PROCESSOR_1, program.words())
+        .unwrap();
+    host.activate(&mut system, PROCESSOR_1).unwrap();
+    system.run_until_halted(1_000_000).unwrap();
+
+    let log = system.trace().expect("tracing enabled");
+    assert!(log.dropped() == 0);
+    // Find P1 sending the remote write and the memory IP receiving it.
+    let sent = log.events().iter().find(|e| {
+        e.node == PROCESSOR_1
+            && e.direction == Direction::Sent
+            && e.code == ServiceCode::WriteInMemory
+    });
+    let received = log.events().iter().find(|e| {
+        e.node == REMOTE_MEMORY
+            && e.direction == Direction::Received
+            && e.code == ServiceCode::WriteInMemory
+    });
+    let (sent, received) = (sent.expect("send traced"), received.expect("recv traced"));
+    assert!(sent.cycle < received.cycle, "causality in timestamps");
+    assert!(sent.summary.contains("write in memory"));
+    // The log can be rendered.
+    assert!(!sent.to_string().is_empty());
+
+    // take_trace stops recording.
+    let taken = system.take_trace().unwrap();
+    assert!(!taken.events().is_empty());
+    assert!(system.trace().is_none());
+}

@@ -1,0 +1,211 @@
+//! Property-based tests of the R8 ISA, assembler and core.
+
+use proptest::prelude::*;
+use r8::asm::assemble;
+use r8::core::{Cpu, RamBus};
+use r8::disasm::disassemble;
+use r8::isa::{Cond, Instr, Reg};
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|i| Reg::new(i).unwrap())
+}
+
+fn cond_strategy() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Always),
+        Just(Cond::Negative),
+        Just(Cond::Zero),
+        Just(Cond::Carry),
+        Just(Cond::Overflow),
+    ]
+}
+
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    let r = reg_strategy;
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        Just(Instr::Rts),
+        (r(), r()).prop_map(|(rt, rs1)| Instr::Not { rt, rs1 }),
+        (r(), r()).prop_map(|(rt, rs1)| Instr::Sl0 { rt, rs1 }),
+        (r(), r()).prop_map(|(rt, rs1)| Instr::Sl1 { rt, rs1 }),
+        (r(), r()).prop_map(|(rt, rs1)| Instr::Sr0 { rt, rs1 }),
+        (r(), r()).prop_map(|(rt, rs1)| Instr::Sr1 { rt, rs1 }),
+        r().prop_map(|rs1| Instr::Ldsp { rs1 }),
+        r().prop_map(|rs1| Instr::Push { rs1 }),
+        r().prop_map(|rt| Instr::Pop { rt }),
+        (r(), r(), r()).prop_map(|(rt, rs1, rs2)| Instr::Add { rt, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rt, rs1, rs2)| Instr::Sub { rt, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rt, rs1, rs2)| Instr::And { rt, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rt, rs1, rs2)| Instr::Or { rt, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rt, rs1, rs2)| Instr::Xor { rt, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rt, rs1, rs2)| Instr::Mul { rt, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rt, rs1, rs2)| Instr::Div { rt, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rt, rs1, rs2)| Instr::Ld { rt, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rt, rs1, rs2)| Instr::St { rt, rs1, rs2 }),
+        (r(), any::<u8>()).prop_map(|(rt, imm)| Instr::Addi { rt, imm }),
+        (r(), any::<u8>()).prop_map(|(rt, imm)| Instr::Subi { rt, imm }),
+        (r(), any::<u8>()).prop_map(|(rt, imm)| Instr::Ldl { rt, imm }),
+        (r(), any::<u8>()).prop_map(|(rt, imm)| Instr::Ldh { rt, imm }),
+        (cond_strategy(), r()).prop_map(|(cond, rs1)| Instr::JmpR { cond, rs1 }),
+        r().prop_map(|rs1| Instr::JsrR { rs1 }),
+        (cond_strategy(), any::<i8>()).prop_map(|(cond, disp)| Instr::JmpD { cond, disp }),
+        any::<i8>().prop_map(|disp| Instr::JsrD { disp }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every instruction encodes to a word that decodes back to itself.
+    #[test]
+    fn encode_decode_round_trip(instr in instr_strategy()) {
+        prop_assert_eq!(Instr::decode(instr.encode()).unwrap(), instr);
+    }
+
+    /// The disassembler's text reassembles to the same word (for
+    /// non-relative instructions, whose text is position-independent).
+    #[test]
+    fn disassembly_reassembles(instr in instr_strategy()) {
+        let is_relative = matches!(instr, Instr::JmpD { .. } | Instr::JsrD { .. });
+        prop_assume!(!is_relative);
+        let word = instr.encode();
+        let lines = disassemble(0, &[word]);
+        let text = lines[0].instr.unwrap().to_string();
+        let program = assemble(&text).unwrap();
+        prop_assert_eq!(program.words(), &[word]);
+    }
+
+    /// ADD/SUB semantics match a wide-integer reference, flags included.
+    #[test]
+    fn add_sub_match_reference(a in any::<u16>(), b in any::<u16>()) {
+        let mut bus = RamBus::new(16);
+        // ADD R3, R1, R2 then HALT.
+        bus.load(0, &[
+            Instr::Add {
+                rt: Reg::new(3).unwrap(),
+                rs1: Reg::new(1).unwrap(),
+                rs2: Reg::new(2).unwrap(),
+            }.encode(),
+            Instr::Halt.encode(),
+        ]);
+        let mut cpu = Cpu::new();
+        cpu.set_reg(1, a);
+        cpu.set_reg(2, b);
+        cpu.run(&mut bus, 1000).unwrap();
+        let wide = u32::from(a) + u32::from(b);
+        prop_assert_eq!(cpu.reg(3), wide as u16);
+        prop_assert_eq!(cpu.flags().c, wide > 0xFFFF);
+        prop_assert_eq!(cpu.flags().z, wide as u16 == 0);
+        prop_assert_eq!(cpu.flags().n, wide as u16 & 0x8000 != 0);
+        let sa = a as i16 as i32;
+        let sb = b as i16 as i32;
+        prop_assert_eq!(cpu.flags().v, !(-(1 << 15)..(1 << 15)).contains(&(sa + sb)));
+
+        // SUB.
+        let mut bus = RamBus::new(16);
+        bus.load(0, &[
+            Instr::Sub {
+                rt: Reg::new(3).unwrap(),
+                rs1: Reg::new(1).unwrap(),
+                rs2: Reg::new(2).unwrap(),
+            }.encode(),
+            Instr::Halt.encode(),
+        ]);
+        let mut cpu = Cpu::new();
+        cpu.set_reg(1, a);
+        cpu.set_reg(2, b);
+        cpu.run(&mut bus, 1000).unwrap();
+        prop_assert_eq!(cpu.reg(3), a.wrapping_sub(b));
+        prop_assert_eq!(cpu.flags().c, a >= b);
+        prop_assert_eq!(cpu.flags().v, !(-(1 << 15)..(1 << 15)).contains(&(sa - sb)));
+    }
+
+    /// Shifts match the reference bit operations.
+    #[test]
+    fn shifts_match_reference(a in any::<u16>()) {
+        let cases: [(Instr, u16, bool); 4] = [
+            (Instr::Sl0 { rt: Reg::new(2).unwrap(), rs1: Reg::new(1).unwrap() },
+             a << 1, a & 0x8000 != 0),
+            (Instr::Sl1 { rt: Reg::new(2).unwrap(), rs1: Reg::new(1).unwrap() },
+             (a << 1) | 1, a & 0x8000 != 0),
+            (Instr::Sr0 { rt: Reg::new(2).unwrap(), rs1: Reg::new(1).unwrap() },
+             a >> 1, a & 1 != 0),
+            (Instr::Sr1 { rt: Reg::new(2).unwrap(), rs1: Reg::new(1).unwrap() },
+             (a >> 1) | 0x8000, a & 1 != 0),
+        ];
+        for (instr, expected, carry) in cases {
+            let mut bus = RamBus::new(16);
+            bus.load(0, &[instr.encode(), Instr::Halt.encode()]);
+            let mut cpu = Cpu::new();
+            cpu.set_reg(1, a);
+            cpu.run(&mut bus, 1000).unwrap();
+            prop_assert_eq!(cpu.reg(2), expected);
+            prop_assert_eq!(cpu.flags().c, carry);
+        }
+    }
+
+    /// A pushed value pops back; the stack pointer returns to its start.
+    #[test]
+    fn push_pop_round_trip(values in proptest::collection::vec(any::<u16>(), 1..8)) {
+        let mut source = String::from("LIW R15, 0x3FF\nLDSP R15\n");
+        for (i, v) in values.iter().enumerate() {
+            source.push_str(&format!("LIW R{}, {v}\nPUSH R{}\n", i + 1, i + 1));
+        }
+        for i in (0..values.len()).rev() {
+            source.push_str(&format!("POP R{}\n", i + 8));
+            let _ = i;
+        }
+        source.push_str("HALT\n");
+        let program = assemble(&source).unwrap();
+        let mut bus = RamBus::new(2048);
+        bus.load(0, program.words());
+        let mut cpu = Cpu::new();
+        cpu.run(&mut bus, 100_000).unwrap();
+        prop_assert_eq!(cpu.sp(), 0x3FF);
+        // Pops arrive in reverse order into R8.. (top of stack first).
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(cpu.reg((i + 8) as u8), *v, "value {}", i);
+        }
+    }
+
+    /// Assembled `.word` data survives the program image untouched.
+    #[test]
+    fn word_directives_are_verbatim(values in proptest::collection::vec(any::<u16>(), 1..20)) {
+        let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        let source = format!("HALT\ndata: .word {}", items.join(", "));
+        let program = assemble(&source).unwrap();
+        prop_assert_eq!(&program.words()[1..], values.as_slice());
+    }
+
+    /// CPI stays in the paper's 2..=4 band for any straight-line program
+    /// of register instructions.
+    #[test]
+    fn cpi_band_holds_for_random_programs(
+        instrs in proptest::collection::vec(instr_strategy(), 1..50)
+    ) {
+        // Keep only instructions that cannot jump, touch memory at
+        // random addresses, or halt early — straight-line arithmetic.
+        let straight: Vec<Instr> = instrs
+            .into_iter()
+            .filter(|i| matches!(
+                i,
+                Instr::Nop | Instr::Not { .. } | Instr::Sl0 { .. } | Instr::Sl1 { .. }
+                | Instr::Sr0 { .. } | Instr::Sr1 { .. } | Instr::Add { .. }
+                | Instr::Sub { .. } | Instr::And { .. } | Instr::Or { .. }
+                | Instr::Xor { .. } | Instr::Addi { .. } | Instr::Subi { .. }
+                | Instr::Ldl { .. } | Instr::Ldh { .. } | Instr::Mul { .. }
+                | Instr::Div { .. }
+            ))
+            .collect();
+        prop_assume!(!straight.is_empty());
+        let mut words: Vec<u16> = straight.iter().map(|i| i.encode()).collect();
+        words.push(Instr::Halt.encode());
+        let mut bus = RamBus::new(words.len().max(16));
+        bus.load(0, &words);
+        let mut cpu = Cpu::new();
+        cpu.run(&mut bus, 1_000_000).unwrap();
+        let cpi = cpu.cpi();
+        prop_assert!((2.0..=4.0).contains(&cpi), "CPI {cpi}");
+    }
+}

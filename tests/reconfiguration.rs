@@ -1,0 +1,208 @@
+//! Partial and dynamic reconfiguration (§5): relocating, inserting and
+//! removing IP cores at runtime.
+
+use hermes_noc::{NocConfig, RouterAddr};
+use multinoc::host::Host;
+use multinoc::{NodeId, System, PROCESSOR_1, PROCESSOR_2, REMOTE_MEMORY};
+use r8::asm::assemble;
+
+/// A 4x4 system with room to move: serial at 00, P1 at 10, P2 at 33,
+/// memory at 30.
+fn roomy_system() -> System {
+    System::builder()
+        .noc(NocConfig::mesh(4, 4))
+        .serial_at(RouterAddr::new(0, 0))
+        .processor_at(RouterAddr::new(1, 0))
+        .processor_at(RouterAddr::new(3, 3))
+        .memory_at(RouterAddr::new(3, 0))
+        .build()
+        .unwrap()
+}
+
+/// Cycles P1 takes to complete `count` remote reads from P2's memory.
+fn remote_read_time(system: &mut System, count: u16) -> u64 {
+    let base = system
+        .address_map(PROCESSOR_1)
+        .unwrap()
+        .window_base(PROCESSOR_2)
+        .unwrap();
+    let program = assemble(&format!(
+        "XOR R0, R0, R0\nLIW R1, {base}\nLIW R3, {count}\n\
+         loop: LD R2, R1, R0\nSUBI R3, 1\nJMPZD done\nJMPD loop\ndone: HALT"
+    ))
+    .unwrap();
+    system
+        .memory_mut(PROCESSOR_1)
+        .unwrap()
+        .write_block(0, program.words());
+    let start = system.cycle();
+    system.activate_directly(PROCESSOR_1).unwrap();
+    system.run_until_halted(10_000_000).unwrap();
+    system.cycle() - start
+}
+
+#[test]
+fn relocation_improves_communication_latency() {
+    // The exact §5 claim: moving an IP closer to its communication
+    // partner improves throughput. P1 at (1,0) reads P2's memory; P2
+    // starts 5 hops away at (3,3) and is moved next door to (2,0).
+    let mut system = roomy_system();
+    let far = remote_read_time(&mut system, 50);
+    system.relocate_ip(PROCESSOR_2, RouterAddr::new(2, 0)).unwrap();
+    let near = remote_read_time(&mut system, 50);
+    assert!(
+        near < far,
+        "relocation did not help: near {near} >= far {far}"
+    );
+    // Each read saves 4 hops in both directions x ~14 cycles per hop.
+    assert!(far - near > 50 * 8 * 14 / 2, "saving too small: {}", far - near);
+}
+
+#[test]
+fn relocated_memory_keeps_its_contents() {
+    let mut system = roomy_system();
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    host.write_memory(&mut system, REMOTE_MEMORY, 0x10, &[1, 2, 3])
+        .unwrap();
+    system.relocate_ip(REMOTE_MEMORY, RouterAddr::new(2, 2)).unwrap();
+    let back = host.read_memory(&mut system, REMOTE_MEMORY, 0x10, 3).unwrap();
+    assert_eq!(back, vec![1, 2, 3]);
+}
+
+#[test]
+fn relocation_requires_quiescence_and_free_router() {
+    let mut system = roomy_system();
+    // Occupied target.
+    assert!(system
+        .relocate_ip(PROCESSOR_2, RouterAddr::new(1, 0))
+        .is_err());
+    // Outside the mesh.
+    assert!(system
+        .relocate_ip(PROCESSOR_2, RouterAddr::new(7, 7))
+        .is_err());
+    // Traffic in flight.
+    system.activate_directly(PROCESSOR_1).unwrap(); // packet now in the NoC
+    assert!(system
+        .relocate_ip(PROCESSOR_2, RouterAddr::new(2, 0))
+        .is_err());
+}
+
+#[test]
+fn inserted_processor_joins_the_system() {
+    let mut system = roomy_system();
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    let new_node = system.insert_processor_at(RouterAddr::new(1, 1)).unwrap();
+    assert_eq!(new_node, NodeId(4));
+    // The host can load and run it like any other processor.
+    let program = assemble("LIW R1, 77\nHALT").unwrap();
+    host.load_program(&mut system, new_node, program.words()).unwrap();
+    host.activate(&mut system, new_node).unwrap();
+    system.run_until_halted(1_000_000).unwrap();
+    assert_eq!(system.cpu(new_node).unwrap().reg(1), 77);
+    // Existing processors see it through a NEW window appended after
+    // their old ones (old bases unchanged).
+    let map = system.address_map(PROCESSOR_1).unwrap();
+    assert_eq!(map.window_base(PROCESSOR_2), Some(1024)); // unchanged
+    assert_eq!(map.window_base(REMOTE_MEMORY), Some(2048)); // unchanged
+    assert_eq!(map.window_base(new_node), Some(3072)); // appended
+    // And the new window actually works: P1 writes into the new node.
+    let program = assemble(
+        "XOR R0, R0, R0\nLIW R1, 3072\nADDI R1, 0x40\nLIW R2, 0xEE\nST R2, R1, R0\nHALT",
+    )
+    .unwrap();
+    host.load_program(&mut system, PROCESSOR_1, program.words()).unwrap();
+    host.activate(&mut system, PROCESSOR_1).unwrap();
+    system.run_until_halted(1_000_000).unwrap();
+    assert_eq!(system.memory(new_node).unwrap().read(0x40), 0xEE);
+}
+
+#[test]
+fn inserted_memory_is_reachable() {
+    let mut system = roomy_system();
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    let new_mem = system.insert_memory_at(RouterAddr::new(0, 3)).unwrap();
+    host.write_memory(&mut system, new_mem, 0, &[9, 8, 7]).unwrap();
+    assert_eq!(
+        host.read_memory(&mut system, new_mem, 0, 3).unwrap(),
+        vec![9, 8, 7]
+    );
+}
+
+#[test]
+fn removed_ip_leaves_a_graceful_hole() {
+    let mut system = roomy_system();
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    system.remove_ip(REMOTE_MEMORY).unwrap();
+    // Host activation of the removed node fails cleanly.
+    assert!(host.activate(&mut system, REMOTE_MEMORY).is_err());
+    // A processor's reads of the vacated window return 0, writes vanish.
+    let base = system
+        .address_map(PROCESSOR_1)
+        .unwrap()
+        .window_base(REMOTE_MEMORY)
+        .unwrap();
+    let program = assemble(&format!(
+        "XOR R0, R0, R0\nLIW R1, {base}\nLIW R2, 5\nST R2, R1, R0\nLD R3, R1, R0\n\
+         LIW R4, 0x80\nST R3, R4, R0\nHALT"
+    ))
+    .unwrap();
+    system
+        .memory_mut(PROCESSOR_1)
+        .unwrap()
+        .write_block(0, program.words());
+    system.activate_directly(PROCESSOR_1).unwrap();
+    system.run_until_halted(1_000_000).unwrap();
+    assert_eq!(system.memory(PROCESSOR_1).unwrap().read(0x80), 0);
+    // The freed router can host a new IP.
+    system.insert_memory_at(RouterAddr::new(3, 0)).unwrap();
+}
+
+#[test]
+fn running_processor_cannot_be_removed() {
+    let mut system = roomy_system();
+    let spin = assemble("loop: JMPD loop").unwrap();
+    system
+        .memory_mut(PROCESSOR_1)
+        .unwrap()
+        .write_block(0, spin.words());
+    system.activate_directly(PROCESSOR_1).unwrap();
+    system.run(200).unwrap(); // activation arrived, core spinning
+    assert!(system.remove_ip(PROCESSOR_1).is_err());
+    // A halted one can (P1 keeps spinning, so wait for P2 specifically).
+    let halt = assemble("HALT").unwrap();
+    system
+        .memory_mut(PROCESSOR_2)
+        .unwrap()
+        .write_block(0, halt.words());
+    system.activate_directly(PROCESSOR_2).unwrap();
+    for _ in 0..10_000 {
+        system.step().unwrap();
+        if system.processor_status(PROCESSOR_2).unwrap()
+            == multinoc::processor::ProcessorStatus::Halted
+            && system.noc().is_idle()
+        {
+            break;
+        }
+    }
+    system.remove_ip(PROCESSOR_2).unwrap();
+}
+
+#[test]
+fn reconfigured_serial_keeps_hosting() {
+    // Even the serial IP can move; the host keeps working afterwards.
+    let mut system = roomy_system();
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    host.write_memory(&mut system, REMOTE_MEMORY, 0, &[42]).unwrap();
+    system
+        .relocate_ip(multinoc::SERIAL, RouterAddr::new(0, 1))
+        .unwrap();
+    assert_eq!(
+        host.read_memory(&mut system, REMOTE_MEMORY, 0, 1).unwrap(),
+        vec![42]
+    );
+}

@@ -1,0 +1,245 @@
+//! Systems beyond the paper's 2×2 prototype — "the approach can be
+//! extended to any number of processor IPs and/or memory IPs, using the
+//! natural scalability of NoCs" (§1).
+
+use hermes_noc::{NocConfig, RouterAddr};
+use multinoc::host::Host;
+use multinoc::processor::ProcessorStatus;
+use multinoc::{NodeId, System, NOTIFY_ADDR, WAIT_ADDR};
+use r8::asm::assemble;
+
+/// A 3×3 system: serial + 4 processors + 2 memories (3 routers unused).
+fn system_3x3() -> System {
+    System::builder()
+        .noc(NocConfig::mesh(3, 3))
+        .serial_at(RouterAddr::new(0, 0))
+        .processor_at(RouterAddr::new(1, 0))
+        .processor_at(RouterAddr::new(2, 0))
+        .processor_at(RouterAddr::new(0, 1))
+        .processor_at(RouterAddr::new(1, 1))
+        .memory_at(RouterAddr::new(2, 1))
+        .memory_at(RouterAddr::new(0, 2))
+        .build()
+        .expect("valid 3x3 layout")
+}
+
+const P: [NodeId; 4] = [NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+const MEMS: [NodeId; 2] = [NodeId(5), NodeId(6)];
+
+#[test]
+fn four_processors_have_disjoint_windows() {
+    let sys = system_3x3();
+    for &p in &P {
+        let map = sys.address_map(p).unwrap();
+        // 3 peers + 2 memories = 5 windows.
+        assert_eq!(map.windows().len(), 5);
+        assert!(!map.windows().contains(&p), "{p} sees itself");
+        for &m in &MEMS {
+            assert!(map.window_base(m).is_some());
+        }
+    }
+}
+
+#[test]
+fn all_four_processors_compute_concurrently() {
+    let mut sys = system_3x3();
+    let mut host = Host::new();
+    host.synchronize(&mut sys).unwrap();
+    for (k, &p) in P.iter().enumerate() {
+        let program = assemble(&format!(
+            "
+            .equ IO, 0xFFFF
+            XOR R0, R0, R0
+            LIW R1, {}
+            LIW R2, IO
+            MUL R3, R1, R1
+            ST  R3, R2, R0
+            HALT
+",
+            k + 2
+        ))
+        .unwrap();
+        host.load_program(&mut sys, p, program.words()).unwrap();
+    }
+    for &p in &P {
+        host.activate(&mut sys, p).unwrap();
+    }
+    for (k, &p) in P.iter().enumerate() {
+        host.wait_for_printf(&mut sys, p, 1).unwrap();
+        let n = (k + 2) as u16;
+        assert_eq!(host.printf_output(p), &[n * n]);
+    }
+    sys.run_until_halted(1_000_000).unwrap();
+}
+
+#[test]
+fn notify_ring_across_four_processors() {
+    // A token circulates P1 -> P2 -> P3 -> P4: each waits for its
+    // predecessor, increments a counter in the first memory IP, then
+    // notifies its successor. P1 starts the token.
+    let mut sys = system_3x3();
+    let mut host = Host::new();
+    host.synchronize(&mut sys).unwrap();
+
+    for (k, &p) in P.iter().enumerate() {
+        let pred = P[(k + P.len() - 1) % P.len()];
+        let succ = P[(k + 1) % P.len()];
+        let mem_base = sys.address_map(p).unwrap().window_base(MEMS[0]).unwrap();
+        let first = k == 0;
+        let wait_part = if first {
+            String::new() // P1 starts the token without waiting
+        } else {
+            format!(
+                "        LIW R8, {WAIT_ADDR}\n        LIW R9, {}\n        ST  R9, R0, R8\n",
+                pred.0
+            )
+        };
+        let notify_part = if first {
+            // P1 notifies its successor, then waits for the token to
+            // return from P4 and bumps the counter once more.
+            format!(
+                "        LIW R10, {NOTIFY_ADDR}
+        LIW R11, {succ}
+        ST  R11, R0, R10
+        LIW R8, {WAIT_ADDR}
+        LIW R9, {pred}
+        ST  R9, R0, R8
+        LD  R4, R1, R0
+        ADDI R4, 1
+        ST  R4, R1, R0
+",
+                succ = succ.0,
+                pred = pred.0
+            )
+        } else {
+            format!(
+                "        LD  R4, R1, R0
+        ADDI R4, 1
+        ST  R4, R1, R0
+        LIW R10, {NOTIFY_ADDR}
+        LIW R11, {}
+        ST  R11, R0, R10
+",
+                succ.0
+            )
+        };
+        let program = assemble(&format!(
+            "
+        XOR R0, R0, R0
+        LIW R1, {counter}
+{wait_part}{notify_part}        HALT
+",
+            counter = mem_base + 0x10,
+        ))
+        .unwrap();
+        host.load_program(&mut sys, p, program.words()).unwrap();
+    }
+    // Zero the counter, start everyone (P1 last so the others wait).
+    host.write_memory(&mut sys, MEMS[0], 0x10, &[0]).unwrap();
+    for &p in P.iter().rev() {
+        host.activate(&mut sys, p).unwrap();
+    }
+    sys.run_until_halted(5_000_000).unwrap();
+    let count = host.read_memory(&mut sys, MEMS[0], 0x10, 1).unwrap();
+    // P2, P3, P4 bump once each; P1 bumps after the token returns.
+    assert_eq!(count, vec![4]);
+}
+
+#[test]
+fn shared_memory_contention_is_serialized_correctly() {
+    // All four processors write to disjoint addresses of the same
+    // memory IP simultaneously; every value must land.
+    let mut sys = system_3x3();
+    let mut host = Host::new();
+    host.synchronize(&mut sys).unwrap();
+    for (k, &p) in P.iter().enumerate() {
+        let base = sys.address_map(p).unwrap().window_base(MEMS[1]).unwrap();
+        let program = assemble(&format!(
+            "
+        XOR R0, R0, R0
+        LIW R1, {}
+        LIW R2, {}
+        LIW R3, 16
+loop:   ST  R2, R1, R0
+        ADDI R1, 1
+        ADDI R2, 1
+        SUBI R3, 1
+        JMPZD done
+        JMPD loop
+done:   HALT
+",
+            base + (k as u16) * 16,
+            100 * (k as u16 + 1),
+        ))
+        .unwrap();
+        host.load_program(&mut sys, p, program.words()).unwrap();
+    }
+    for &p in &P {
+        host.activate(&mut sys, p).unwrap();
+    }
+    sys.run_until_halted(5_000_000).unwrap();
+    let data = host.read_memory(&mut sys, MEMS[1], 0, 64).unwrap();
+    for (k, chunk) in data.chunks(16).enumerate() {
+        let base = 100 * (k as u16 + 1);
+        let expected: Vec<u16> = (0..16).map(|i| base + i).collect();
+        assert_eq!(chunk, expected.as_slice(), "processor {k} block");
+    }
+}
+
+#[test]
+fn deadlock_in_a_larger_system_is_observable() {
+    // Two processors wait on each other without anyone notifying:
+    // run_until_idle detects the blocked state.
+    let mut sys = system_3x3();
+    let mut host = Host::new();
+    host.synchronize(&mut sys).unwrap();
+    for (p, other) in [(P[0], P[1]), (P[1], P[0])] {
+        let program = assemble(&format!(
+            "XOR R0, R0, R0\nLIW R8, {WAIT_ADDR}\nLIW R9, {}\nST R9, R0, R8\nHALT",
+            other.0
+        ))
+        .unwrap();
+        host.load_program(&mut sys, p, program.words()).unwrap();
+    }
+    host.activate(&mut sys, P[0]).unwrap();
+    host.activate(&mut sys, P[1]).unwrap();
+    sys.run_until_idle(1_000_000).unwrap();
+    assert_eq!(sys.processor_status(P[0]).unwrap(), ProcessorStatus::Blocked);
+    assert_eq!(sys.processor_status(P[1]).unwrap(), ProcessorStatus::Blocked);
+}
+
+#[test]
+fn sixteen_node_mesh_builds_and_runs() {
+    // A 4x4 "sea of processors": 1 serial + 14 processors + 1 memory.
+    let mut builder = System::builder()
+        .noc(NocConfig::mesh(4, 4))
+        .serial_at(RouterAddr::new(0, 0));
+    for y in 0..4u8 {
+        for x in 0..4u8 {
+            if (x, y) == (0, 0) {
+                continue;
+            }
+            if (x, y) == (3, 3) {
+                builder = builder.memory_at(RouterAddr::new(x, y));
+            } else {
+                builder = builder.processor_at(RouterAddr::new(x, y));
+            }
+        }
+    }
+    let mut sys = builder.build().unwrap();
+    let mut host = Host::new();
+    host.synchronize(&mut sys).unwrap();
+    let program = assemble("LIW R1, 0xAB\nHALT").unwrap();
+    // Activate every processor; all must halt.
+    let processors: Vec<NodeId> = (1..15).map(NodeId).collect();
+    for &p in &processors {
+        host.load_program(&mut sys, p, program.words()).unwrap();
+    }
+    for &p in &processors {
+        host.activate(&mut sys, p).unwrap();
+    }
+    sys.run_until_halted(5_000_000).unwrap();
+    for &p in &processors {
+        assert_eq!(sys.cpu(p).unwrap().reg(1), 0xAB);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests of the serial framing layer: frames survive arbitrary
+//! chunking of the byte stream, and the link preserves order.
+
+use multinoc::serial::{DeviceFrame, FrameBuffer, HostCommand, SerialConfig, SerialLink};
+use proptest::prelude::*;
+
+fn host_command() -> impl Strategy<Value = HostCommand> {
+    prop_oneof![
+        (any::<u8>(), 1u8..=64, any::<u16>())
+            .prop_map(|(node, count, addr)| HostCommand::ReadMemory { node, count, addr }),
+        (
+            any::<u8>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u16>(), 0..32)
+        )
+            .prop_map(|(node, addr, data)| HostCommand::WriteMemory { node, addr, data }),
+        any::<u8>().prop_map(|node| HostCommand::Activate { node }),
+        (any::<u8>(), any::<u16>())
+            .prop_map(|(node, value)| HostCommand::ScanfReturn { node, value }),
+    ]
+}
+
+fn device_frame() -> impl Strategy<Value = DeviceFrame> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>()).prop_map(|(node, value)| DeviceFrame::Printf { node, value }),
+        any::<u8>().prop_map(|node| DeviceFrame::ScanfRequest { node }),
+        (
+            any::<u8>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u16>(), 0..32)
+        )
+            .prop_map(|(node, addr, data)| DeviceFrame::ReadReturn { node, addr, data }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any sequence of host commands, fed byte by byte, parses back to
+    /// exactly the same sequence — regardless of frame boundaries.
+    #[test]
+    fn host_commands_survive_byte_stream(commands in proptest::collection::vec(host_command(), 1..8)) {
+        let mut stream = Vec::new();
+        for command in &commands {
+            stream.extend(command.to_bytes());
+        }
+        let mut buf = FrameBuffer::new();
+        let mut parsed = Vec::new();
+        for byte in stream {
+            buf.push(byte);
+            while let Some(command) = buf.parse_host_command().unwrap() {
+                parsed.push(command);
+            }
+        }
+        prop_assert_eq!(parsed, commands);
+        prop_assert!(buf.is_empty());
+    }
+
+    /// Same for device frames.
+    #[test]
+    fn device_frames_survive_byte_stream(frames in proptest::collection::vec(device_frame(), 1..8)) {
+        let mut stream = Vec::new();
+        for frame in &frames {
+            stream.extend(frame.to_bytes());
+        }
+        let mut buf = FrameBuffer::new();
+        let mut parsed = Vec::new();
+        for byte in stream {
+            buf.push(byte);
+            while let Some(frame) = buf.parse_device_frame().unwrap() {
+                parsed.push(frame);
+            }
+        }
+        prop_assert_eq!(parsed, frames);
+    }
+
+    /// The link delivers every byte exactly once, in order, never before
+    /// its per-byte transfer time.
+    #[test]
+    fn link_preserves_order_and_timing(
+        bytes in proptest::collection::vec(any::<u8>(), 1..64),
+        cycles_per_byte in 1u64..16,
+    ) {
+        let mut link = SerialLink::new(SerialConfig { cycles_per_byte });
+        link.host_send(&bytes);
+        let mut received = Vec::new();
+        let mut last_arrival = 0u64;
+        for now in 0..(bytes.len() as u64 + 2) * cycles_per_byte + 4 {
+            link.step(now);
+            while let Some(b) = link.device_recv() {
+                if !received.is_empty() {
+                    prop_assert!(
+                        now >= last_arrival + cycles_per_byte,
+                        "byte arrived too early: {now} after {last_arrival}"
+                    );
+                }
+                last_arrival = now;
+                received.push(b);
+            }
+        }
+        prop_assert_eq!(received, bytes);
+        prop_assert!(link.is_idle());
+    }
+}

@@ -1,0 +1,216 @@
+//! End-to-end tests of the host-driven system flow (Figs. 8 and 9),
+//! spanning the `multinoc`, `r8` and `hermes` crates.
+
+use multinoc::apps::vecsum;
+use multinoc::host::Host;
+use multinoc::serial::{DeviceFrame, HostCommand, SerialConfig};
+use multinoc::{System, PROCESSOR_1, PROCESSOR_2, REMOTE_MEMORY, SERIAL};
+use r8::asm::assemble;
+
+#[test]
+fn paper_fig9_read_command_walkthrough() {
+    // The paper's Fig. 9 example: the user types "00 01 01 00 20" — read
+    // one word from P1's local memory at address 0020h. Drive the raw
+    // bytes through the link and decode the raw reply frame.
+    let mut system = System::paper_config().unwrap();
+    system.memory_mut(PROCESSOR_1).unwrap().write(0x20, 0xBEAD);
+
+    system.link_mut().host_send(&[0x55]); // sync
+    system.link_mut().host_send(&[0x00, 0x01, 0x01, 0x00, 0x20]);
+    let mut buf = multinoc::serial::FrameBuffer::new();
+    let mut frame = None;
+    for _ in 0..20_000 {
+        system.step().unwrap();
+        while let Some(b) = system.link_mut().host_recv() {
+            buf.push(b);
+        }
+        if let Some(f) = buf.parse_device_frame().unwrap() {
+            frame = Some(f);
+            break;
+        }
+    }
+    assert_eq!(
+        frame,
+        Some(DeviceFrame::ReadReturn {
+            node: 1,
+            addr: 0x20,
+            data: vec![0xBEAD],
+        })
+    );
+}
+
+#[test]
+fn scanf_roundtrip_through_the_host() {
+    // A program that reads two values with scanf, adds them, prints the
+    // result — the Fig. 9 interaction monitor scenario.
+    let program = assemble(
+        "
+        .equ IO, 0xFFFF
+        XOR  R0, R0, R0
+        LIW  R1, IO
+        LD   R2, R1, R0     ; scanf -> R2
+        LD   R3, R1, R0     ; scanf -> R3
+        ADD  R4, R2, R3
+        ST   R4, R1, R0     ; printf result
+        HALT
+",
+    )
+    .unwrap();
+    let mut system = System::paper_config().unwrap();
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    host.load_program(&mut system, PROCESSOR_1, program.words())
+        .unwrap();
+    host.activate(&mut system, PROCESSOR_1).unwrap();
+
+    let node = host.wait_for_scanf(&mut system).unwrap();
+    assert_eq!(node, PROCESSOR_1);
+    host.answer_scanf(&mut system, PROCESSOR_1, 1200).unwrap();
+    host.wait_for_scanf(&mut system).unwrap();
+    host.answer_scanf(&mut system, PROCESSOR_1, 34).unwrap();
+    host.wait_for_printf(&mut system, PROCESSOR_1, 1).unwrap();
+    assert_eq!(host.printf_output(PROCESSOR_1), &[1234]);
+    system.run_until_halted(100_000).unwrap();
+}
+
+#[test]
+fn multi_chunk_memory_transfers() {
+    // 600 words force the host to chunk both writes and reads.
+    let mut system = System::paper_config().unwrap();
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    let data: Vec<u16> = (0..600).map(|i| (i * 7 + 3) as u16).collect();
+    host.write_memory(&mut system, REMOTE_MEMORY, 0x100, &data)
+        .unwrap();
+    let back = host
+        .read_memory(&mut system, REMOTE_MEMORY, 0x100, data.len())
+        .unwrap();
+    assert_eq!(back, data);
+}
+
+#[test]
+fn reactivation_reruns_the_program() {
+    let program = assemble(
+        "
+        XOR  R0, R0, R0
+        LIW  R1, 0x80
+        LD   R2, R1, R0
+        ADDI R2, 1
+        ST   R2, R1, R0     ; mem[0x80] += 1 on every activation
+        HALT
+",
+    )
+    .unwrap();
+    let mut system = System::paper_config().unwrap();
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    host.load_program(&mut system, PROCESSOR_1, program.words())
+        .unwrap();
+    for expected in 1..=3u16 {
+        host.activate(&mut system, PROCESSOR_1).unwrap();
+        system.run_until_halted(100_000).unwrap();
+        let value = host
+            .read_memory(&mut system, PROCESSOR_1, 0x80, 1)
+            .unwrap();
+        assert_eq!(value, vec![expected]);
+    }
+}
+
+#[test]
+fn activating_a_memory_node_is_rejected() {
+    let mut system = System::paper_config().unwrap();
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    assert!(host.activate(&mut system, REMOTE_MEMORY).is_err());
+    assert!(host.activate(&mut system, SERIAL).is_err());
+}
+
+#[test]
+fn both_processors_run_concurrently() {
+    let mut system = System::paper_config().unwrap();
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    for (node, count) in [(PROCESSOR_1, 10u16), (PROCESSOR_2, 20u16)] {
+        let data: Vec<u16> = (1..=count).collect();
+        let program = assemble(&vecsum::program(count)).unwrap();
+        host.load_program(&mut system, node, program.words()).unwrap();
+        host.write_memory(&mut system, node, vecsum::DATA_ADDR, &data)
+            .unwrap();
+    }
+    host.activate(&mut system, PROCESSOR_1).unwrap();
+    host.activate(&mut system, PROCESSOR_2).unwrap();
+    host.wait_for_printf(&mut system, PROCESSOR_1, 1).unwrap();
+    host.wait_for_printf(&mut system, PROCESSOR_2, 1).unwrap();
+    assert_eq!(host.printf_output(PROCESSOR_1), &[55]);
+    assert_eq!(host.printf_output(PROCESSOR_2), &[210]);
+}
+
+#[test]
+fn slow_baud_rate_still_works() {
+    // A realistic UART timing (25 MHz / 115200 baud) — slow but correct.
+    let mut system = System::builder()
+        .serial(SerialConfig::from_baud(25.0e6, 115_200.0))
+        .serial_at(hermes_noc::RouterAddr::new(0, 0))
+        .processor_at(hermes_noc::RouterAddr::new(0, 1))
+        .processor_at(hermes_noc::RouterAddr::new(1, 0))
+        .memory_at(hermes_noc::RouterAddr::new(1, 1))
+        .build()
+        .unwrap();
+    let mut host = Host::new().with_budget(50_000_000);
+    host.synchronize(&mut system).unwrap();
+    let program = assemble("LIW R1, 9\nHALT").unwrap();
+    host.load_program(&mut system, PROCESSOR_1, program.words())
+        .unwrap();
+    host.activate(&mut system, PROCESSOR_1).unwrap();
+    system.run_until_halted(10_000_000).unwrap();
+    assert_eq!(system.cpu(PROCESSOR_1).unwrap().reg(1), 9);
+}
+
+#[test]
+fn raw_write_command_bytes_match_the_protocol() {
+    // Byte-level check of the write command framing.
+    let cmd = HostCommand::WriteMemory {
+        node: 3,
+        addr: 0x0102,
+        data: vec![0xA1B2],
+    };
+    assert_eq!(cmd.to_bytes(), vec![0x01, 0x03, 0x01, 0x01, 0x02, 0xA1, 0xB2]);
+}
+
+#[test]
+fn host_printf_log_separates_nodes() {
+    let mut system = System::paper_config().unwrap();
+    let mut host = Host::new();
+    host.synchronize(&mut system).unwrap();
+    let p = assemble(
+        "
+        .equ IO, 0xFFFF
+        XOR R0, R0, R0
+        LIW R1, IO
+        LIW R2, 7
+        ST  R2, R1, R0
+        HALT
+",
+    )
+    .unwrap();
+    let q = assemble(
+        "
+        .equ IO, 0xFFFF
+        XOR R0, R0, R0
+        LIW R1, IO
+        LIW R2, 9
+        ST  R2, R1, R0
+        HALT
+",
+    )
+    .unwrap();
+    host.load_program(&mut system, PROCESSOR_1, p.words()).unwrap();
+    host.load_program(&mut system, PROCESSOR_2, q.words()).unwrap();
+    host.activate(&mut system, PROCESSOR_1).unwrap();
+    host.activate(&mut system, PROCESSOR_2).unwrap();
+    host.wait_for_printf(&mut system, PROCESSOR_1, 1).unwrap();
+    host.wait_for_printf(&mut system, PROCESSOR_2, 1).unwrap();
+    assert_eq!(host.take_printf(PROCESSOR_1), vec![7]);
+    assert_eq!(host.take_printf(PROCESSOR_2), vec![9]);
+    assert!(host.printf_output(PROCESSOR_1).is_empty());
+}
