@@ -1,9 +1,9 @@
 //! Criterion bench: the banked Memory IP core (§2.3).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hermes_noc::RouterAddr;
 use multinoc::memory::{MemoryCore, MemoryIp};
 use multinoc::service::{Message, Service};
-use hermes_noc::RouterAddr;
 use std::hint::black_box;
 
 fn bench_word_access(c: &mut Criterion) {
@@ -30,7 +30,10 @@ fn bench_service_handling(c: &mut Criterion) {
         let mut ip = MemoryIp::new(RouterAddr::new(1, 1), 1024);
         let msg = Message::new(
             RouterAddr::new(0, 0),
-            Service::ReadFromMemory { addr: 0x100, count: 64 },
+            Service::ReadFromMemory {
+                addr: 0x100,
+                count: 64,
+            },
         );
         b.iter(|| black_box(ip.handle(&msg)));
     });

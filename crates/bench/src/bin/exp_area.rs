@@ -31,7 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Fig. 7 floorplan (r router, P processor, S serial, M memory):\n");
     print!("{}", plan.ascii_art());
     println!();
-    table_row!("placement", "legal", "wirelength", "router centr.", "serial->pads");
+    table_row!(
+        "placement",
+        "legal",
+        "wirelength",
+        "router centr.",
+        "serial->pads"
+    );
     table_row!(
         "manual (Fig. 7)",
         plan.is_legal(),

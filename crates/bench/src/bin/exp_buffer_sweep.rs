@@ -18,7 +18,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("E8: input buffer depth under contention (4x4 mesh, transpose traffic)\n");
     for rate in [0.10f64, 0.20, 0.30] {
         println!("offered load {rate:.2} flits/cycle/node:");
-        table_row!("buffer depth", "mean latency", "p99 latency", "delivered", "accepted f/c/n");
+        table_row!(
+            "buffer depth",
+            "mean latency",
+            "p99 latency",
+            "delivered",
+            "accepted f/c/n"
+        );
         let mut latencies = Vec::new();
         for depth in [1usize, 2, 4, 8, 16] {
             let config = NocConfig::mesh(4, 4).with_buffer_depth(depth);

@@ -24,7 +24,14 @@ fn build_with(source: &str, opt: r8c::OptLevel) -> r8::Program {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("E12: hand assembly vs r8c-compiled code (cycles to completion)\n");
-    table_row!("kernel", "hand asm", "r8c -O0", "r8c -O1", "O1 overhead", "agree");
+    table_row!(
+        "kernel",
+        "hand asm",
+        "r8c -O0",
+        "r8c -O1",
+        "O1 overhead",
+        "agree"
+    );
 
     // Kernel 1: sum 1..=200.
     let hand_sum = assemble(

@@ -34,8 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("pure ALU", "ADD R1, R2, R3\nXOR R4, R1, R2"),
         ("ALU + immediates", "ADDI R1, 3\nLDL R2, 7\nSUBI R1, 1"),
         ("shifts", "SL0 R1, R2\nSR1 R2, R1"),
-        ("local loads/stores", "XOR R0, R0, R0\nLIW R5, 0x300\nST R1, R5, R0\nLD R2, R5, R0"),
-        ("mul/div", "LIW R1, 77\nLIW R2, 5\nMUL R3, R1, R2\nDIV R4, R3, R2"),
+        (
+            "local loads/stores",
+            "XOR R0, R0, R0\nLIW R5, 0x300\nST R1, R5, R0\nLD R2, R5, R0",
+        ),
+        (
+            "mul/div",
+            "LIW R1, 77\nLIW R2, 5\nMUL R3, R1, R2\nDIV R4, R3, R2",
+        ),
         ("stack traffic", "LIW R15, 0x3F0\nLDSP R15\nPUSH R1\nPOP R2"),
     ];
     for (name, body) in mixes {

@@ -23,7 +23,13 @@ fn detect(processors: &[NodeId], image: &Image) -> Result<u64, Box<dyn std::erro
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("E6: parallel edge detection (Fig. 10), verified against the reference\n");
-    table_row!("image", "1 proc cycles", "2 proc cycles", "speedup", "2-proc wall time");
+    table_row!(
+        "image",
+        "1 proc cycles",
+        "2 proc cycles",
+        "speedup",
+        "2-proc wall time"
+    );
     for (w, h) in [(16usize, 8usize), (32, 16), (48, 24), (64, 32)] {
         let image = Image::synthetic(w, h);
         let serial = detect(&[PROCESSOR_1], &image)?;

@@ -1,0 +1,151 @@
+//! E18 (extension) — fault-injection sweep: delivered-operation rate of
+//! host write/read round trips against the remote memory IP as the
+//! network's per-flit corruption rate and per-hop packet-drop rate grow.
+//!
+//! The experiment exercises the whole robustness stack end to end: the
+//! deterministic fault injector in the Hermes model (`hermes_noc::fault`),
+//! checksum detection of corrupted packets, acknowledgement/timeout
+//! retransmission at the serial IP, duplicate suppression at the memory
+//! IP, and the typed failure surface (`DeliveryFailed`) past the
+//! recoverable regime.
+//!
+//! Everything is seeded: the sweep runs **twice** with the same seed and
+//! asserts byte-identical reports before printing.
+//!
+//! Run with `cargo run -p multinoc-bench --bin exp_fault_sweep`.
+
+use std::fmt::Write as _;
+
+use hermes_noc::FaultPlan;
+use multinoc::{host::Host, System, SystemError, REMOTE_MEMORY};
+
+/// Seed shared by every configuration of the sweep.
+const SEED: u64 = 0x4D0C_FA17;
+/// Write+read round trips attempted per configuration.
+const OPS: usize = 12;
+/// Words moved per operation.
+const WORDS: u16 = 8;
+
+/// `(label, per-flit corrupt rate, per-hop drop rate)`.
+const POINTS: &[(&str, f64, f64)] = &[
+    ("fault-free", 0.0, 0.0),
+    ("corrupt 0.5%", 0.005, 0.0),
+    ("drop 2%", 0.0, 0.02),
+    ("drop 10%", 0.0, 0.10),
+    ("corrupt 1% + drop 5%", 0.01, 0.05),
+    // Per flit per hop, 2% corruption hits ~60% of the packets of an
+    // 8-word transaction on every attempt — past the default retry
+    // budget, like the half-dead network below.
+    ("corrupt 2% (beyond budget)", 0.02, 0.0),
+    ("drop 50% (beyond budget)", 0.0, 0.50),
+];
+
+struct Outcome {
+    delivered: usize,
+    error: Option<SystemError>,
+    retransmissions: u64,
+    acked: u64,
+    corrupt_dropped: u64,
+    packets_dropped: u64,
+    flits_corrupted: u64,
+}
+
+/// Runs `OPS` write-then-read-back operations under one fault plan.
+/// Every operation that reads back exactly what was written counts as
+/// delivered; the first typed error aborts the batch (the remaining
+/// operations count as undelivered).
+fn run_point(corrupt: f64, drop: f64) -> Result<Outcome, SystemError> {
+    let mut system = System::paper_config()?;
+    system.set_fault_plan(
+        FaultPlan::new(SEED)
+            .with_corrupt_rate(corrupt)
+            .with_drop_rate(drop),
+    );
+    let mut host = Host::new().with_budget(2_000_000);
+    host.synchronize(&mut system)?;
+
+    let mut delivered = 0;
+    let mut error = None;
+    for op in 0..OPS {
+        let addr = 0x100 + (op as u16) * WORDS;
+        let data: Vec<u16> = (0..WORDS)
+            .map(|i| (op as u16) << 8 | u16::from(i as u8) | 0x4000)
+            .collect();
+        let attempt = host
+            .write_memory(&mut system, REMOTE_MEMORY, addr, &data)
+            .and_then(|()| host.read_memory(&mut system, REMOTE_MEMORY, addr, WORDS as usize));
+        match attempt {
+            Ok(read_back) if read_back == data => delivered += 1,
+            Ok(_) => {} // silently wrong data would be a checksum escape
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        }
+    }
+
+    let retries = system.retry_counters();
+    let faults = &system.noc_stats().faults;
+    Ok(Outcome {
+        delivered,
+        error,
+        retransmissions: retries.retransmissions,
+        acked: retries.acked,
+        corrupt_dropped: system.service_counters().corrupt_dropped(),
+        packets_dropped: faults.packets_dropped,
+        flits_corrupted: faults.flits_corrupted,
+    })
+}
+
+fn run_sweep() -> Result<String, SystemError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "E18: {OPS} host write+read round trips ({WORDS} words each) to the remote\n\
+         memory IP per fault configuration, seed {SEED:#x}\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "configuration", "delivered", "retx", "acked", "ckdrop", "pktdrop", "corrupt"
+    );
+    for &(label, corrupt, drop) in POINTS {
+        let o = run_point(corrupt, drop)?;
+        let _ = writeln!(
+            out,
+            "{:<28} {:>5}/{:<3} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            label,
+            o.delivered,
+            OPS,
+            o.retransmissions,
+            o.acked,
+            o.corrupt_dropped,
+            o.packets_dropped,
+            o.flits_corrupted
+        );
+        if let Some(e) = o.error {
+            let _ = writeln!(out, "{:<28} ^ aborted with typed error: {e}", "");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nAt rate zero every operation lands with zero retransmissions; at\n\
+         moderate rates the checksum/ack/retry layer recovers every lost or\n\
+         corrupted packet (delivered stays {OPS}/{OPS} while retx > 0); past the\n\
+         retry budget the failure surfaces as a typed error — never a hang\n\
+         and never a silent wrong answer."
+    );
+    Ok(out)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let first = run_sweep()?;
+    let second = run_sweep()?;
+    assert_eq!(
+        first, second,
+        "same seed must reproduce the identical sweep"
+    );
+    print!("{first}");
+    println!("Determinism check: two same-seed sweeps produced identical reports.");
+    Ok(())
+}

@@ -46,6 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(host.printf_output(PROCESSOR_1)[0], expected);
     assert_eq!(result[0], expected);
-    println!("total: {} cycles — both Fig. 9 debug paths agree", system.cycle());
+    println!(
+        "total: {} cycles — both Fig. 9 debug paths agree",
+        system.cycle()
+    );
     Ok(())
 }

@@ -12,7 +12,14 @@ use multinoc_bench::table_row;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("E1: minimal packet latency vs the paper's analytic model");
     println!("    latency = (sum_i R_i + P) x 2,  R_i = 7 cycles, 2 cycles/flit\n");
-    table_row!("routers on path (n)", "payload flits", "P (wire flits)", "analytic", "measured", "match");
+    table_row!(
+        "routers on path (n)",
+        "payload flits",
+        "P (wire flits)",
+        "analytic",
+        "measured",
+        "match"
+    );
 
     let config = NocConfig::mesh(8, 8);
     let mut mismatches = 0;
@@ -46,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "\n{} — diagonal paths (X then Y turns) for good measure:",
-        if mismatches == 0 { "all exact" } else { "MISMATCHES FOUND" }
+        if mismatches == 0 {
+            "all exact"
+        } else {
+            "MISMATCHES FOUND"
+        }
     );
     table_row!("path", "n", "analytic", "measured");
     for (x, y) in [(1u8, 1u8), (3, 2), (7, 7)] {

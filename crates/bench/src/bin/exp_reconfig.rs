@@ -22,7 +22,9 @@ fn remote_read_time(system: &mut System, count: u16) -> Result<u64, Box<dyn std:
         "XOR R0, R0, R0\nLIW R1, {base}\nLIW R3, {count}\n\
          loop: LD R2, R1, R0\nSUBI R3, 1\nJMPZD done\nJMPD loop\ndone: HALT"
     ))?;
-    system.memory_mut(PROCESSOR_1)?.write_block(0, program.words());
+    system
+        .memory_mut(PROCESSOR_1)?
+        .write_block(0, program.words());
     let start = system.cycle();
     system.activate_directly(PROCESSOR_1)?;
     system.run_until_halted(50_000_000)?;
@@ -42,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .memory_at(RouterAddr::new(3, 0))
         .build()?;
     let p1 = RouterAddr::new(1, 0);
-    for position in [RouterAddr::new(3, 3), RouterAddr::new(2, 2), RouterAddr::new(2, 0)] {
+    for position in [
+        RouterAddr::new(3, 3),
+        RouterAddr::new(2, 2),
+        RouterAddr::new(2, 0),
+    ] {
         if system.table().router_of(PROCESSOR_2) != Some(position) {
             system.relocate_ip(PROCESSOR_2, position)?;
         }

@@ -11,7 +11,7 @@
 //! Run with `cargo run -p multinoc-bench --bin exp_routing`.
 
 use hermes_noc::traffic::{Pattern, TrafficGen};
-use hermes_noc::{Noc, NocConfig, Port, Routing, RouterAddr};
+use hermes_noc::{Noc, NocConfig, Port, RouterAddr, Routing};
 use multinoc_bench::table_row;
 
 fn run(routing: Routing, pattern: Pattern, rate: f64) -> Result<Noc, hermes_noc::NocError> {
@@ -24,11 +24,21 @@ fn run(routing: Routing, pattern: Pattern, rate: f64) -> Result<Noc, hermes_noc:
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("E17: XY vs YX routing (4x4 mesh)\n");
-    table_row!("pattern", "routing", "delivered", "mean latency", "peak link util");
+    table_row!(
+        "pattern",
+        "routing",
+        "delivered",
+        "mean latency",
+        "peak link util"
+    );
     for (name, pattern, rate) in [
         ("uniform", Pattern::Uniform, 0.05),
         ("transpose", Pattern::Transpose, 0.10),
-        ("hotspot(3,3)", Pattern::Hotspot(RouterAddr::new(3, 3)), 0.20),
+        (
+            "hotspot(3,3)",
+            Pattern::Hotspot(RouterAddr::new(3, 3)),
+            0.20,
+        ),
     ] {
         for routing in [Routing::Xy, Routing::Yx] {
             let noc = run(routing, pattern, rate)?;

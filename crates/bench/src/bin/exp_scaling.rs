@@ -13,7 +13,13 @@ fn main() {
         "prototype itself (2x2, small IPs): {:.0}% of the logic is NoC\n",
         scaling::prototype_fraction() * 100.0
     );
-    table_row!("mesh", "IP slices", "NoC slices", "total slices", "NoC fraction");
+    table_row!(
+        "mesh",
+        "IP slices",
+        "NoC slices",
+        "total slices",
+        "NoC fraction"
+    );
     for n in [2u32, 4, 6, 8, 10] {
         for ip_slices in [532u32, 1500, 3000, 6000] {
             let p = scaling::noc_fraction(n, ip_slices);

@@ -42,7 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("9600 baud", SerialConfig::from_baud(CLOCK_HZ, 9600.0)),
         ("115200 baud", SerialConfig::from_baud(CLOCK_HZ, 115_200.0)),
         ("921600 baud", SerialConfig::from_baud(CLOCK_HZ, 921_600.0)),
-        ("USB-class (1 MB/s)", SerialConfig { cycles_per_byte: 25 }),
+        (
+            "USB-class (1 MB/s)",
+            SerialConfig {
+                cycles_per_byte: 25,
+            },
+        ),
         ("ideal byte/cycle", SerialConfig { cycles_per_byte: 1 }),
     ];
     let mut times = Vec::new();

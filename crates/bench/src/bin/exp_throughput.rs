@@ -42,11 +42,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         saturate(&mut noc, &center_flows(), 200, cycles)?;
         // Aggregate flits leaving the centre router over its 5 outputs.
         let centre = RouterAddr::new(1, 1);
-        let flits: u64 = [Port::East, Port::West, Port::North, Port::South, Port::Local]
-            .into_iter()
-            .filter_map(|p| noc.stats().link_flits.get(&(centre, p)))
-            .copied()
-            .sum();
+        let flits: u64 = [
+            Port::East,
+            Port::West,
+            Port::North,
+            Port::South,
+            Port::Local,
+        ]
+        .into_iter()
+        .filter_map(|p| noc.stats().link_flits.get(&(centre, p)))
+        .copied()
+        .sum();
         let measured = flits as f64 * f64::from(flit_bits) * CLOCK_HZ / cycles as f64;
         table_row!(
             flit_bits,

@@ -139,14 +139,46 @@ pub fn multinoc_components() -> (Vec<Component>, Vec<Net>) {
     let mesh = 20; // 2 x (8-bit data + 2 handshake) signals, roughly
     let local = 20;
     let nets = vec![
-        Net { a: 0, b: 2, weight: mesh }, // 00 - 10
-        Net { a: 1, b: 3, weight: mesh }, // 01 - 11
-        Net { a: 0, b: 1, weight: mesh }, // 00 - 01
-        Net { a: 2, b: 3, weight: mesh }, // 10 - 11
-        Net { a: 0, b: 4, weight: local }, // serial at 00
-        Net { a: 1, b: 5, weight: local }, // P1 at 01
-        Net { a: 2, b: 6, weight: local }, // P2 at 10
-        Net { a: 3, b: 7, weight: local }, // memory at 11
+        Net {
+            a: 0,
+            b: 2,
+            weight: mesh,
+        }, // 00 - 10
+        Net {
+            a: 1,
+            b: 3,
+            weight: mesh,
+        }, // 01 - 11
+        Net {
+            a: 0,
+            b: 1,
+            weight: mesh,
+        }, // 00 - 01
+        Net {
+            a: 2,
+            b: 3,
+            weight: mesh,
+        }, // 10 - 11
+        Net {
+            a: 0,
+            b: 4,
+            weight: local,
+        }, // serial at 00
+        Net {
+            a: 1,
+            b: 5,
+            weight: local,
+        }, // P1 at 01
+        Net {
+            a: 2,
+            b: 6,
+            weight: local,
+        }, // P2 at 10
+        Net {
+            a: 3,
+            b: 7,
+            weight: local,
+        }, // memory at 11
     ];
     (components, nets)
 }
@@ -280,8 +312,9 @@ mod tests {
     #[test]
     fn overfull_design_reports_not_fitting() {
         let device = Device::xc2s200e();
-        let components: Vec<Component> =
-            (0..10).map(|i| Component::processor(format!("p{i}"))).collect();
+        let components: Vec<Component> = (0..10)
+            .map(|i| Component::processor(format!("p{i}")))
+            .collect();
         assert!(!utilization(&components, &device).fits());
     }
 }

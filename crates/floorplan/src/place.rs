@@ -17,8 +17,7 @@
 //!   legalize, which is precisely the paper's observation; on roomier
 //!   devices it works.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::Rng64;
 
 use crate::device::Device;
 use crate::estimate::{Component, ComponentKind, Net};
@@ -52,8 +51,12 @@ impl Rect {
 
     /// Overlap area with another rectangle.
     pub fn overlap(&self, other: &Rect) -> u32 {
-        let ox = (self.x + self.w).min(other.x + other.w).saturating_sub(self.x.max(other.x));
-        let oy = (self.y + self.h).min(other.y + other.h).saturating_sub(self.y.max(other.y));
+        let ox = (self.x + self.w)
+            .min(other.x + other.w)
+            .saturating_sub(self.x.max(other.x));
+        let oy = (self.y + self.h)
+            .min(other.y + other.h)
+            .saturating_sub(self.y.max(other.y));
         ox * oy
     }
 
@@ -89,9 +92,11 @@ impl Floorplan {
     /// Whether every block is in bounds, big enough for its component,
     /// and no two blocks overlap.
     pub fn is_legal(&self) -> bool {
-        self.rects.iter().zip(&self.components).all(|(r, c)| {
-            r.fits(&self.device) && r.area() >= c.slices
-        }) && self.overlap() == 0
+        self.rects
+            .iter()
+            .zip(&self.components)
+            .all(|(r, c)| r.fits(&self.device) && r.area() >= c.slices)
+            && self.overlap() == 0
     }
 
     /// Weighted half-perimeter wirelength of `nets` under this placement.
@@ -193,10 +198,7 @@ impl Floorplan {
 /// Returns `Err` with a description if `components` is not the standard
 /// 8-component MultiNoC netlist or the device is smaller than the
 /// XC2S200E.
-pub fn paper_layout(
-    device: &Device,
-    components: &[Component],
-) -> Result<Floorplan, String> {
+pub fn paper_layout(device: &Device, components: &[Component]) -> Result<Floorplan, String> {
     if components.len() != 8 {
         return Err(format!(
             "paper layout expects the 8-component MultiNoC netlist, got {}",
@@ -225,17 +227,57 @@ pub fn paper_layout(
     }
     let rects = vec![
         // Routers: 2x2 block of 14x20 in the middle (x 14..42, y 0..40).
-        Rect { x: 14, y: 0, w: 14, h: 20 },  // router00
-        Rect { x: 14, y: 20, w: 14, h: 20 }, // router01
-        Rect { x: 28, y: 0, w: 14, h: 20 },  // router10
-        Rect { x: 28, y: 20, w: 14, h: 20 }, // router11
+        Rect {
+            x: 14,
+            y: 0,
+            w: 14,
+            h: 20,
+        }, // router00
+        Rect {
+            x: 14,
+            y: 20,
+            w: 14,
+            h: 20,
+        }, // router01
+        Rect {
+            x: 28,
+            y: 0,
+            w: 14,
+            h: 20,
+        }, // router10
+        Rect {
+            x: 28,
+            y: 20,
+            w: 14,
+            h: 20,
+        }, // router11
         // Serial at the bottom-left corner, at the pads.
-        Rect { x: 0, y: 0, w: 14, h: 4 },
+        Rect {
+            x: 0,
+            y: 0,
+            w: 14,
+            h: 4,
+        },
         // Processors along the left and right edges (BlockRAM columns).
-        Rect { x: 0, y: 4, w: 14, h: 38 },
-        Rect { x: 42, y: 0, w: 14, h: 38 },
+        Rect {
+            x: 0,
+            y: 4,
+            w: 14,
+            h: 38,
+        },
+        Rect {
+            x: 42,
+            y: 0,
+            w: 14,
+            h: 38,
+        },
         // Memory in the remaining strip above the NoC block.
-        Rect { x: 14, y: 40, w: 28, h: 2 },
+        Rect {
+            x: 14,
+            y: 40,
+            w: 28,
+            h: 2,
+        },
     ];
     Ok(Floorplan {
         device: device.clone(),
@@ -304,7 +346,7 @@ impl Placer {
     /// retain overlaps, reproducing the paper's observation that
     /// automatic placement fails there).
     pub fn run(self) -> Floorplan {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::new(self.seed);
         let mut plan = Floorplan {
             rects: self
                 .components
@@ -314,8 +356,8 @@ impl Placer {
                     let w = w.min(self.device.cols);
                     let h = h.min(self.device.rows);
                     Rect {
-                        x: rng.random_range(0..=self.device.cols - w),
-                        y: rng.random_range(0..=self.device.rows - h),
+                        x: rng.range_u64(0, u64::from(self.device.cols - w)) as u32,
+                        y: rng.range_u64(0, u64::from(self.device.rows - h)) as u32,
                         w,
                         h,
                     }
@@ -330,18 +372,26 @@ impl Placer {
         let mut temperature = (cost / 10.0).max(1.0);
         let cooling = 0.999_f64;
         for _ in 0..self.iterations {
-            let idx = rng.random_range(0..plan.rects.len());
+            let idx = rng.below_usize(plan.rects.len());
             let old = plan.rects[idx];
-            if rng.random_range(0..4) == 0 {
+            if rng.below(4) == 0 {
                 // Swap the positions of two blocks.
-                let jdx = rng.random_range(0..plan.rects.len());
+                let jdx = rng.below_usize(plan.rects.len());
                 if jdx == idx {
                     continue;
                 }
                 let a = plan.rects[idx];
                 let b = plan.rects[jdx];
-                let mut na = Rect { x: b.x, y: b.y, ..a };
-                let mut nb = Rect { x: a.x, y: a.y, ..b };
+                let mut na = Rect {
+                    x: b.x,
+                    y: b.y,
+                    ..a
+                };
+                let mut nb = Rect {
+                    x: a.x,
+                    y: a.y,
+                    ..b
+                };
                 clamp(&mut na, &self.device);
                 clamp(&mut nb, &self.device);
                 let (olda, oldb) = (plan.rects[idx], plan.rects[jdx]);
@@ -358,11 +408,13 @@ impl Placer {
                 // Translate one block (locally at low temperature).
                 let span_x = ((temperature as u32).max(2)).min(self.device.cols);
                 let span_y = ((temperature as u32).max(2)).min(self.device.rows);
-                let dx = rng.random_range(0..=2 * span_x) as i64 - i64::from(span_x);
-                let dy = rng.random_range(0..=2 * span_y) as i64 - i64::from(span_y);
+                let dx = rng.range_u64(0, u64::from(2 * span_x)) as i64 - i64::from(span_x);
+                let dy = rng.range_u64(0, u64::from(2 * span_y)) as i64 - i64::from(span_y);
                 let mut moved = old;
-                moved.x = (i64::from(old.x) + dx).clamp(0, i64::from(self.device.cols - old.w)) as u32;
-                moved.y = (i64::from(old.y) + dy).clamp(0, i64::from(self.device.rows - old.h)) as u32;
+                moved.x =
+                    (i64::from(old.x) + dx).clamp(0, i64::from(self.device.cols - old.w)) as u32;
+                moved.y =
+                    (i64::from(old.y) + dy).clamp(0, i64::from(self.device.rows - old.h)) as u32;
                 plan.rects[idx] = moved;
                 let new_cost = self.cost(&plan);
                 if accept(cost, new_cost, temperature, &mut rng) {
@@ -386,8 +438,8 @@ fn clamp(rect: &mut Rect, device: &Device) {
     rect.y = rect.y.min(device.rows.saturating_sub(rect.h));
 }
 
-fn accept(old: f64, new: f64, temperature: f64, rng: &mut StdRng) -> bool {
-    new <= old || rng.random::<f64>() < (-(new - old) / temperature).exp()
+fn accept(old: f64, new: f64, temperature: f64, rng: &mut Rng64) -> bool {
+    new <= old || rng.unit() < (-(new - old) / temperature).exp()
 }
 
 #[cfg(test)]
@@ -473,9 +525,24 @@ mod tests {
 
     #[test]
     fn rect_geometry() {
-        let a = Rect { x: 0, y: 0, w: 10, h: 10 };
-        let b = Rect { x: 5, y: 5, w: 10, h: 10 };
-        let c = Rect { x: 20, y: 20, w: 2, h: 2 };
+        let a = Rect {
+            x: 0,
+            y: 0,
+            w: 10,
+            h: 10,
+        };
+        let b = Rect {
+            x: 5,
+            y: 5,
+            w: 10,
+            h: 10,
+        };
+        let c = Rect {
+            x: 20,
+            y: 20,
+            w: 2,
+            h: 2,
+        };
         assert_eq!(a.overlap(&b), 25);
         assert_eq!(b.overlap(&a), 25);
         assert_eq!(a.overlap(&c), 0);

@@ -48,7 +48,10 @@ pub fn noc_fraction(n: u32, ip_slices: u32) -> ScalingPoint {
 
 /// Sweep of mesh sizes for a fixed IP complexity.
 pub fn sweep(sizes: impl IntoIterator<Item = u32>, ip_slices: u32) -> Vec<ScalingPoint> {
-    sizes.into_iter().map(|n| noc_fraction(n, ip_slices)).collect()
+    sizes
+        .into_iter()
+        .map(|n| noc_fraction(n, ip_slices))
+        .collect()
 }
 
 /// The paper prototype's own NoC fraction: 4 routers over the whole

@@ -107,7 +107,13 @@ pub enum Port {
 
 impl Port {
     /// All five ports, in arbitration-scan order.
-    pub const ALL: [Port; 5] = [Port::East, Port::West, Port::North, Port::South, Port::Local];
+    pub const ALL: [Port; 5] = [
+        Port::East,
+        Port::West,
+        Port::North,
+        Port::South,
+        Port::Local,
+    ];
 
     /// Dense index in `0..5`, used for port arrays.
     pub const fn index(self) -> usize {

@@ -130,7 +130,8 @@ impl LocalEndpoint {
                 debug_assert_eq!(id, flit.packet, "interleaved packets at local port");
                 let remaining = usize::from(flit.value);
                 if remaining == 0 {
-                    self.delivered.push_back((id, Packet::new(dest, Vec::new())));
+                    self.delivered
+                        .push_back((id, Packet::new(dest, Vec::new())));
                     RxEvent::Completed(id)
                 } else {
                     self.rx = RxState::Payload {
@@ -197,7 +198,10 @@ mod tests {
     #[test]
     fn reassembles_a_packet() {
         let mut ep = LocalEndpoint::new(8);
-        assert_eq!(ep.receive(flit(0x11, 3)), RxEvent::HeaderArrived(PacketId(3)));
+        assert_eq!(
+            ep.receive(flit(0x11, 3)),
+            RxEvent::HeaderArrived(PacketId(3))
+        );
         assert_eq!(ep.receive(flit(2, 3)), RxEvent::Progress);
         assert_eq!(ep.receive(flit(0xAA, 3)), RxEvent::Progress);
         assert_eq!(ep.receive(flit(0x55, 3)), RxEvent::Completed(PacketId(3)));

@@ -89,7 +89,10 @@ impl fmt::Display for SendError {
                 write!(f, "payload of {len} flits exceeds the maximum of {max}")
             }
             SendError::FlitOverflow { index, value } => {
-                write!(f, "payload flit {index} value {value:#x} overflows the flit width")
+                write!(
+                    f,
+                    "payload flit {index} value {value:#x} overflows the flit width"
+                )
             }
         }
     }

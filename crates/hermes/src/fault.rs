@@ -1,0 +1,341 @@
+//! Deterministic, seed-reproducible fault injection for the NoC.
+//!
+//! EmuNoC-style emulation frameworks treat injectable link errors as a
+//! first-class prototyping feature; this module brings the same idea to
+//! the simulator. A [`FaultPlan`] describes *what can go wrong*:
+//!
+//! - **flit corruption** — a payload flit crossing a link gets one bit
+//!   flipped (header and size flits are exempt, modelling the hop-level
+//!   control-flit protection real routers implement in hardware; it is
+//!   the *end-to-end* payload that the MultiNoC service layer must
+//!   protect with its checksum);
+//! - **packet drops** — a router's control logic discards an entire
+//!   packet instead of granting it a connection, consuming its flits as
+//!   they arrive (the wormhole unwinds, nothing wedges);
+//! - **link outages** — a directed inter-router link stops transferring
+//!   flits for a cycle window (possibly forever); upstream traffic
+//!   experiences backpressure, and a permanent outage wedges the path
+//!   until a system-level watchdog notices;
+//! - **router stalls** — a router's control logic grants no new
+//!   connections for a cycle window (established connections keep
+//!   forwarding, as in a control-path-only fault).
+//!
+//! All randomness comes from the in-tree SplitMix64 generator seeded by
+//! the plan, so two runs with the same plan and workload are identical,
+//! flit for flit. Outcomes are counted in
+//! [`FaultCounters`](crate::stats::FaultCounters).
+
+use prng::Rng64;
+
+use crate::addr::{Port, RouterAddr};
+
+/// A half-open cycle interval `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleWindow {
+    /// First cycle (inclusive) at which the fault is active.
+    pub from: u64,
+    /// First cycle at which the fault is no longer active.
+    pub until: u64,
+}
+
+impl CycleWindow {
+    /// The window `[from, until)`.
+    pub fn new(from: u64, until: u64) -> Self {
+        Self { from, until }
+    }
+
+    /// A permanent fault starting at `from`.
+    pub fn open_ended(from: u64) -> Self {
+        Self {
+            from,
+            until: u64::MAX,
+        }
+    }
+
+    /// Whether `cycle` falls inside the window.
+    pub fn contains(&self, cycle: u64) -> bool {
+        self.from <= cycle && cycle < self.until
+    }
+
+    /// Whether the window never closes.
+    pub fn is_permanent(&self) -> bool {
+        self.until == u64::MAX
+    }
+}
+
+/// A directed inter-router link taken down for a window. The link is
+/// identified by its upstream router and output port, matching
+/// [`LinkId`](crate::stats::LinkId).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkOutage {
+    /// Upstream router of the affected link.
+    pub router: RouterAddr,
+    /// Output port of the affected link (`Local` affects final delivery).
+    pub port: Port,
+    /// When the outage is active.
+    pub window: CycleWindow,
+}
+
+/// A router whose control logic grants no new connections for a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterStall {
+    /// The stalled router.
+    pub router: RouterAddr,
+    /// When the stall is active.
+    pub window: CycleWindow,
+}
+
+/// A reproducible description of the faults to inject into a
+/// [`Noc`](crate::Noc); install it with
+/// [`Noc::set_fault_plan`](crate::Noc::set_fault_plan).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the injector's private random stream.
+    pub seed: u64,
+    /// Probability that a payload flit is corrupted while crossing a
+    /// link (per transfer, in `0.0..=1.0`).
+    pub corrupt_rate: f64,
+    /// When set, `corrupt_rate` only applies inside this window.
+    pub corrupt_window: Option<CycleWindow>,
+    /// Probability that a router drops a whole packet instead of
+    /// routing it (per packet per hop, in `0.0..=1.0`).
+    pub drop_rate: f64,
+    /// When set, `drop_rate` only applies inside this window.
+    pub drop_window: Option<CycleWindow>,
+    /// Scheduled link outages.
+    pub outages: Vec<LinkOutage>,
+    /// Scheduled router control stalls.
+    pub stalls: Vec<RouterStall>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            corrupt_rate: 0.0,
+            corrupt_window: None,
+            drop_rate: 0.0,
+            drop_window: None,
+            outages: Vec::new(),
+            stalls: Vec::new(),
+        }
+    }
+
+    /// Sets the per-transfer payload-flit corruption probability.
+    pub fn with_corrupt_rate(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Restricts flit corruption to `window` (useful for reproducible
+    /// recovery tests: corrupt everything early, then let retries pass).
+    pub fn with_corrupt_window(mut self, window: CycleWindow) -> Self {
+        self.corrupt_window = Some(window);
+        self
+    }
+
+    /// Sets the per-hop packet drop probability.
+    pub fn with_drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Restricts packet drops to `window`.
+    pub fn with_drop_window(mut self, window: CycleWindow) -> Self {
+        self.drop_window = Some(window);
+        self
+    }
+
+    /// Takes the directed link out of `router` through `port` down for
+    /// `window`.
+    pub fn with_link_down(mut self, router: RouterAddr, port: Port, window: CycleWindow) -> Self {
+        self.outages.push(LinkOutage {
+            router,
+            port,
+            window,
+        });
+        self
+    }
+
+    /// Stalls `router`'s control logic for `window`.
+    pub fn with_router_stall(mut self, router: RouterAddr, window: CycleWindow) -> Self {
+        self.stalls.push(RouterStall { router, window });
+        self
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.corrupt_rate == 0.0
+            && self.drop_rate == 0.0
+            && self.outages.is_empty()
+            && self.stalls.is_empty()
+    }
+
+    /// Whether any scheduled outage never ends (a *dead link*): traffic
+    /// routed across it after `window.from` can never make progress.
+    pub fn has_permanent_outage(&self) -> bool {
+        self.outages.iter().any(|o| o.window.is_permanent())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// The runtime state evaluating a [`FaultPlan`] inside the simulator.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    rng: Rng64,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> Self {
+        // A private substream keeps fault decisions decorrelated from
+        // any traffic generator sharing the same seed.
+        let rng = Rng64::new(plan.seed).fork(prng::hash_str("hermes-fault-injector"));
+        Self { plan, rng }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether the directed link `(router, port)` is down at `now`.
+    pub fn link_down(&self, router: RouterAddr, port: Port, now: u64) -> bool {
+        self.plan
+            .outages
+            .iter()
+            .any(|o| o.router == router && o.port == port && o.window.contains(now))
+    }
+
+    /// Whether `router`'s control logic is stalled at `now`.
+    pub fn router_stalled(&self, router: RouterAddr, now: u64) -> bool {
+        self.plan
+            .stalls
+            .iter()
+            .any(|s| s.router == router && s.window.contains(now))
+    }
+
+    /// Rolls the per-packet-per-hop drop decision at cycle `now`.
+    pub fn roll_drop(&mut self, now: u64) -> bool {
+        self.plan.drop_rate > 0.0
+            && self.plan.drop_window.is_none_or(|w| w.contains(now))
+            && self.rng.chance(self.plan.drop_rate)
+    }
+
+    /// Rolls the per-transfer corruption decision at cycle `now`.
+    pub fn roll_corrupt(&mut self, now: u64) -> bool {
+        self.plan.corrupt_rate > 0.0
+            && self.plan.corrupt_window.is_none_or(|w| w.contains(now))
+            && self.rng.chance(self.plan.corrupt_rate)
+    }
+
+    /// Returns `value` with one random bit (within `flit_bits`) flipped;
+    /// the result always differs from the input.
+    pub fn corrupt_value(&mut self, value: u16, flit_bits: u8) -> u16 {
+        let bit = self.rng.below(u64::from(flit_bits.clamp(1, 16))) as u16;
+        value ^ (1 << bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows() {
+        let w = CycleWindow::new(10, 20);
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+        assert!(!w.is_permanent());
+        let p = CycleWindow::open_ended(5);
+        assert!(p.contains(u64::MAX - 1));
+        assert!(p.is_permanent());
+    }
+
+    #[test]
+    fn plan_builders_accumulate() {
+        let plan = FaultPlan::new(7)
+            .with_corrupt_rate(0.25)
+            .with_drop_rate(2.0)
+            .with_link_down(RouterAddr::new(0, 0), Port::East, CycleWindow::new(0, 10))
+            .with_router_stall(RouterAddr::new(1, 1), CycleWindow::open_ended(50));
+        assert_eq!(plan.corrupt_rate, 0.25);
+        assert_eq!(plan.drop_rate, 1.0, "rates clamp to [0, 1]");
+        assert_eq!(plan.outages.len(), 1);
+        assert_eq!(plan.stalls.len(), 1);
+        assert!(!plan.is_empty());
+        assert!(!plan.has_permanent_outage());
+        assert!(FaultPlan::new(1).is_empty());
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let plan = FaultPlan::new(99)
+            .with_corrupt_rate(0.5)
+            .with_drop_rate(0.5);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for now in 0..200 {
+            assert_eq!(a.roll_drop(now), b.roll_drop(now));
+            assert_eq!(a.roll_corrupt(now), b.roll_corrupt(now));
+            assert_eq!(a.corrupt_value(0xAB, 8), b.corrupt_value(0xAB, 8));
+        }
+    }
+
+    #[test]
+    fn corruption_always_changes_the_value_within_the_flit() {
+        let mut inj = FaultInjector::new(FaultPlan::new(3).with_corrupt_rate(1.0));
+        for v in 0..=255u16 {
+            let c = inj.corrupt_value(v, 8);
+            assert_ne!(c, v);
+            assert!(c <= 0xFF, "corruption left the 8-bit flit domain: {c:#x}");
+        }
+    }
+
+    #[test]
+    fn outage_and_stall_lookup() {
+        let plan = FaultPlan::new(0)
+            .with_link_down(RouterAddr::new(0, 0), Port::East, CycleWindow::new(5, 10))
+            .with_router_stall(RouterAddr::new(1, 0), CycleWindow::new(5, 10));
+        let inj = FaultInjector::new(plan);
+        assert!(inj.link_down(RouterAddr::new(0, 0), Port::East, 5));
+        assert!(!inj.link_down(RouterAddr::new(0, 0), Port::East, 10));
+        assert!(!inj.link_down(RouterAddr::new(0, 0), Port::West, 5));
+        assert!(!inj.link_down(RouterAddr::new(0, 1), Port::East, 5));
+        assert!(inj.router_stalled(RouterAddr::new(1, 0), 9));
+        assert!(!inj.router_stalled(RouterAddr::new(1, 0), 4));
+        assert!(!inj.router_stalled(RouterAddr::new(0, 0), 9));
+    }
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let mut inj = FaultInjector::new(FaultPlan::new(1));
+        for now in 0..1000 {
+            assert!(!inj.roll_drop(now));
+            assert!(!inj.roll_corrupt(now));
+        }
+    }
+
+    #[test]
+    fn rate_windows_gate_the_rolls() {
+        let plan = FaultPlan::new(4)
+            .with_drop_rate(1.0)
+            .with_drop_window(CycleWindow::new(10, 20))
+            .with_corrupt_rate(1.0)
+            .with_corrupt_window(CycleWindow::new(10, 20));
+        let mut inj = FaultInjector::new(plan);
+        assert!(!inj.roll_drop(9));
+        assert!(inj.roll_drop(10));
+        assert!(!inj.roll_drop(20));
+        assert!(!inj.roll_corrupt(9));
+        assert!(inj.roll_corrupt(19));
+        assert!(!inj.roll_corrupt(20));
+    }
+}

@@ -63,6 +63,7 @@ mod packet;
 mod router;
 mod routing;
 
+pub mod fault;
 pub mod latency;
 pub mod stats;
 pub mod traffic;
@@ -73,8 +74,9 @@ pub use buffer::FlitBuffer;
 pub use config::NocConfig;
 pub use endpoint::PacketId;
 pub use error::{ConfigError, NocError, SendError};
+pub use fault::{CycleWindow, FaultPlan};
 pub use flit::Flit;
 pub use noc::Noc;
 pub use packet::Packet;
 pub use routing::Routing;
-pub use stats::{NocStats, PacketRecord};
+pub use stats::{FaultCounters, NocStats, PacketRecord};

@@ -4,6 +4,7 @@ use crate::addr::{Port, RouterAddr};
 use crate::config::NocConfig;
 use crate::endpoint::{LocalEndpoint, PacketId, RxEvent};
 use crate::error::{NocError, SendError};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::flit::Flit;
 use crate::packet::Packet;
 use crate::router::Router;
@@ -27,6 +28,7 @@ pub struct Noc {
     cycle: u64,
     next_id: u64,
     stats: NocStats,
+    injector: Option<FaultInjector>,
 }
 
 impl Noc {
@@ -54,7 +56,25 @@ impl Noc {
             cycle: 0,
             next_id: 0,
             stats,
+            injector: None,
         })
+    }
+
+    /// Installs a [`FaultPlan`]; its decisions apply from the next cycle
+    /// on. Replacing a plan restarts the injector's random stream.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.injector.as_ref().map(FaultInjector::plan)
+    }
+
+    /// Removes the fault plan. Damage already injected (corrupted or
+    /// dropped flits) is not undone.
+    pub fn clear_fault_plan(&mut self) {
+        self.injector = None;
     }
 
     /// The configuration this network was built from.
@@ -102,9 +122,7 @@ impl Noc {
     /// payload is too long for the flit width, or a payload value
     /// overflows a flit.
     pub fn send(&mut self, src: RouterAddr, packet: Packet) -> Result<PacketId, NocError> {
-        let src_idx = self
-            .index(src)
-            .ok_or(SendError::UnknownSource(src))?;
+        let src_idx = self.index(src).ok_or(SendError::UnknownSource(src))?;
         self.index(packet.dest())
             .ok_or(SendError::UnknownDestination(packet.dest()))?;
         packet.validate(&self.config)?;
@@ -139,11 +157,7 @@ impl Noc {
     pub fn try_recv(&mut self, at: RouterAddr) -> Option<(RouterAddr, Packet)> {
         let idx = self.index(at)?;
         let (id, packet) = self.endpoints[idx].delivered.pop_front()?;
-        let src = self
-            .stats
-            .record(id)
-            .map(|r| r.src)
-            .unwrap_or_default();
+        let src = self.stats.record(id).map(|r| r.src).unwrap_or_default();
         Some((src, packet))
     }
 
@@ -176,6 +190,7 @@ impl Noc {
         let now = self.cycle;
         self.inject_phase(now);
         self.routing_phase(now);
+        self.sink_phase(now);
         self.forward_phase(now);
         self.stats.cycles = self.cycle;
     }
@@ -224,9 +239,10 @@ impl Noc {
             let endpoint = &mut self.endpoints[idx];
             endpoint.pop_inject();
             endpoint.next_inject_ok = now + u64::from(self.config.cycles_per_flit);
-            let record = self.stats.record_mut(id).expect("record exists");
-            if record.injected.is_none() {
-                record.injected = Some(now);
+            if let Some(record) = self.stats.record_mut(id) {
+                if record.injected.is_none() {
+                    record.injected = Some(now);
+                }
             }
             let addr = self.routers[idx].addr;
             *self.stats.local_ingress_flits.entry(addr).or_insert(0) += 1;
@@ -241,24 +257,34 @@ impl Noc {
         // From header arrival to header forwarded is `routing_cycles ×
         // cycles_per_flit` (the paper's latency formula charges R_i flit
         // periods per router). One cycle is consumed by the grant itself.
-        let decision_delay = u64::from(self.config.routing_cycles)
-            * u64::from(self.config.cycles_per_flit)
-            - 1;
+        let decision_delay =
+            u64::from(self.config.routing_cycles) * u64::from(self.config.cycles_per_flit) - 1;
         for idx in 0..self.routers.len() {
             let router = &mut self.routers[idx];
             if now < router.control_busy_until {
                 continue;
             }
             let here = router.addr;
+            if self
+                .injector
+                .as_ref()
+                .is_some_and(|inj| inj.router_stalled(here, now))
+            {
+                self.stats.faults.router_stall_cycles += 1;
+                continue;
+            }
             let mut granted = None;
+            let mut dropped = None;
             let mut blocked = false;
             for in_idx in router.arbiter.scan_order() {
                 let input = &router.inputs[in_idx];
                 if !input.has_pending_header(now) {
                     continue;
                 }
-                let header = input.buffer.peek().expect("pending header").value;
-                let dest = RouterAddr::from_flit(header, self.config.flit_bits);
+                let Some(head) = input.buffer.peek() else {
+                    continue;
+                };
+                let dest = RouterAddr::from_flit(head.value, self.config.flit_bits);
                 let out_port = self.config.routing.route(here, dest);
                 debug_assert!(
                     router.has_port(out_port, self.config.width, self.config.height),
@@ -266,7 +292,11 @@ impl Noc {
                 );
                 let out = out_port.index();
                 if router.outputs[out].owner.is_none() {
-                    granted = Some((in_idx, out));
+                    if self.injector.as_mut().is_some_and(|inj| inj.roll_drop(now)) {
+                        dropped = Some(in_idx);
+                    } else {
+                        granted = Some((in_idx, out));
+                    }
                     break;
                 }
                 blocked = true;
@@ -280,9 +310,54 @@ impl Noc {
                 router.arbiter.grant(in_idx);
                 router.counters.grants += 1;
                 self.stats.routers[idx].grants += 1;
+            } else if let Some(in_idx) = dropped {
+                // The control logic discards the packet instead of routing
+                // it: it occupies the control for the same charge and
+                // advances the arbiter, but opens no connection.
+                let router = &mut self.routers[idx];
+                router.inputs[in_idx].start_sink(now);
+                router.control_busy_until = now + decision_delay;
+                router.arbiter.grant(in_idx);
+                self.stats.faults.packets_dropped += 1;
             } else if blocked {
                 self.routers[idx].counters.blocked_cycles += 1;
                 self.stats.routers[idx].blocked_cycles += 1;
+            }
+        }
+    }
+
+    /// Phase B′: input ports discarding a dropped packet consume one flit
+    /// per handshake period, so the upstream wormhole keeps moving and
+    /// the drop never wedges the path.
+    fn sink_phase(&mut self, now: u64) {
+        if self.injector.is_none() && self.stats.faults.packets_dropped == 0 {
+            return;
+        }
+        let cadence = u64::from(self.config.cycles_per_flit);
+        for idx in 0..self.routers.len() {
+            for in_idx in 0..self.routers[idx].inputs.len() {
+                let input = &mut self.routers[idx].inputs[in_idx];
+                if !input.sinking || now < input.sink_ready_at {
+                    continue;
+                }
+                let Some(head) = input.buffer.peek() else {
+                    continue;
+                };
+                if head.arrived >= now {
+                    continue;
+                }
+                let Some(flit) = input.buffer.pop() else {
+                    continue;
+                };
+                input.sink_ready_at = now + cadence;
+                input.fwd_count += 1;
+                if input.fwd_count == 2 {
+                    input.fwd_expected = Some(usize::from(flit.value) + 2);
+                }
+                if input.fwd_expected == Some(input.fwd_count) {
+                    input.close();
+                }
+                self.stats.faults.flits_dropped += 1;
             }
         }
     }
@@ -294,6 +369,7 @@ impl Noc {
         // downstream buffer is fed by exactly one upstream output, so the
         // decisions cannot conflict.
         let mut transfers: Vec<(usize, usize, usize)> = Vec::new();
+        let mut outage_blocks = 0u64;
         for (idx, router) in self.routers.iter().enumerate() {
             for (in_idx, input) in router.inputs.iter().enumerate() {
                 let Some(out) = input.conn else { continue };
@@ -310,15 +386,29 @@ impl Noc {
                     continue;
                 }
                 let out_port = Port::from_index(out);
+                if self
+                    .injector
+                    .as_ref()
+                    .is_some_and(|inj| inj.link_down(router.addr, out_port, now))
+                {
+                    outage_blocks += 1;
+                    continue;
+                }
                 let has_space = match out_port {
                     Port::Local => true,
                     _ => {
                         let Some(next) = self.neighbour(router.addr, out_port) else {
                             continue;
                         };
-                        let next_idx = self.index(next).expect("neighbour in mesh");
-                        let in_port = out_port.opposite().expect("non-local").index();
-                        !self.routers[next_idx].inputs[in_port].buffer.is_full()
+                        let Some(next_idx) = self.index(next) else {
+                            continue;
+                        };
+                        let Some(in_port) = out_port.opposite() else {
+                            continue;
+                        };
+                        !self.routers[next_idx].inputs[in_port.index()]
+                            .buffer
+                            .is_full()
                     }
                 };
                 if has_space {
@@ -326,15 +416,18 @@ impl Noc {
                 }
             }
         }
+        self.stats.faults.link_down_blocks += outage_blocks;
 
         let cadence = u64::from(self.config.cycles_per_flit);
         for (idx, in_idx, out) in transfers {
             let here = self.routers[idx].addr;
             let out_port = Port::from_index(out);
-            let mut flit = self.routers[idx].inputs[in_idx]
-                .buffer
-                .pop()
-                .expect("transfer decided on peeked flit");
+            // The transfer was decided on a peeked flit this same cycle,
+            // so the pop cannot miss; skipping keeps the phase total even
+            // if that invariant were ever broken.
+            let Some(mut flit) = self.routers[idx].inputs[in_idx].buffer.pop() else {
+                continue;
+            };
             self.routers[idx].outputs[out].next_free = now + cadence;
             self.routers[idx].counters.flits_forwarded += 1;
             self.stats.routers[idx].flits_forwarded += 1;
@@ -347,10 +440,23 @@ impl Noc {
             if input.fwd_count == 2 {
                 input.fwd_expected = Some(usize::from(flit.value) + 2);
             }
+            let flit_index = input.fwd_count;
             let close = input.fwd_expected == Some(input.fwd_count);
             if close {
                 input.close();
                 self.routers[idx].outputs[out].owner = None;
+            }
+
+            // Payload flits (3rd wire flit onward) may be corrupted while
+            // crossing the link; header and size flits are exempt so the
+            // wormhole bookkeeping itself stays sound (see `fault`).
+            if flit_index >= 3 {
+                if let Some(inj) = self.injector.as_mut() {
+                    if inj.roll_corrupt(now) {
+                        flit.value = inj.corrupt_value(flit.value, self.config.flit_bits);
+                        self.stats.faults.flits_corrupted += 1;
+                    }
+                }
             }
 
             flit.arrived = now;
@@ -373,12 +479,20 @@ impl Noc {
                     }
                 }
                 _ => {
-                    let next = self
-                        .neighbour(here, out_port)
-                        .expect("transfer to existing neighbour");
-                    let next_idx = self.index(next).expect("neighbour in mesh");
-                    let in_port = out_port.opposite().expect("non-local").index();
-                    let pushed = self.routers[next_idx].inputs[in_port].buffer.push(flit);
+                    // Collection already resolved these lookups; a miss
+                    // here cannot happen for a transfer it emitted.
+                    let Some(next) = self.neighbour(here, out_port) else {
+                        continue;
+                    };
+                    let Some(next_idx) = self.index(next) else {
+                        continue;
+                    };
+                    let Some(in_port) = out_port.opposite() else {
+                        continue;
+                    };
+                    let pushed = self.routers[next_idx].inputs[in_port.index()]
+                        .buffer
+                        .push(flit);
                     debug_assert!(pushed, "downstream buffer checked for space");
                 }
             }
@@ -475,7 +589,8 @@ mod tests {
                 let src = RouterAddr::new(x, y);
                 let dst = RouterAddr::new(3 - x, 3 - y);
                 for k in 0..5u16 {
-                    noc.send(src, Packet::new(dst, vec![k, k + 1, k + 2])).unwrap();
+                    noc.send(src, Packet::new(dst, vec![k, k + 1, k + 2]))
+                        .unwrap();
                     expected += 1;
                 }
             }
@@ -516,10 +631,7 @@ mod tests {
             Packet::new(RouterAddr::new(1, 1), vec![0; 50]),
         )
         .unwrap();
-        assert_eq!(
-            noc.run_until_idle(3),
-            Err(NocError::NotIdle { budget: 3 })
-        );
+        assert_eq!(noc.run_until_idle(3), Err(NocError::NotIdle { budget: 3 }));
         // And it can still finish afterwards.
         noc.run_until_idle(100_000).unwrap();
         assert_eq!(noc.stats().packets_delivered, 1);
@@ -550,6 +662,140 @@ mod tests {
             .collect();
         assert!(payloads.contains(&vec![1; 20]));
         assert!(payloads.contains(&vec![2; 20]));
+    }
+
+    #[test]
+    fn dropped_packet_unwinds_and_network_goes_idle() {
+        use crate::fault::FaultPlan;
+        let mut noc = noc_2x2();
+        noc.set_fault_plan(FaultPlan::new(1).with_drop_rate(1.0));
+        noc.send(
+            RouterAddr::new(0, 0),
+            Packet::new(RouterAddr::new(1, 1), vec![5; 6]),
+        )
+        .unwrap();
+        noc.run_until_idle(10_000)
+            .expect("a dropped packet must drain, not wedge");
+        assert_eq!(noc.stats().packets_delivered, 0);
+        assert_eq!(noc.stats().faults.packets_dropped, 1);
+        assert_eq!(
+            noc.stats().faults.flits_dropped,
+            8,
+            "header + size + 6 payload"
+        );
+        assert!(noc.try_recv(RouterAddr::new(1, 1)).is_none());
+    }
+
+    #[test]
+    fn corruption_mangles_payload_but_still_delivers() {
+        use crate::fault::FaultPlan;
+        let mut noc = noc_2x2();
+        noc.set_fault_plan(FaultPlan::new(2).with_corrupt_rate(1.0));
+        let src = RouterAddr::new(0, 0);
+        let dst = RouterAddr::new(1, 1);
+        noc.send(src, Packet::new(dst, vec![0; 8])).unwrap();
+        noc.run_until_idle(10_000).unwrap();
+        let (from, packet) = noc.try_recv(dst).expect("corruption must not lose packets");
+        assert_eq!(from, src, "header flits are never corrupted");
+        assert_eq!(packet.payload().len(), 8, "size flit is never corrupted");
+        assert!(
+            packet.payload().iter().any(|&v| v != 0),
+            "at rate 1.0 every payload flit is flipped at least once"
+        );
+        assert!(noc.stats().faults.flits_corrupted > 0);
+    }
+
+    #[test]
+    fn link_down_window_delays_delivery_until_it_lifts() {
+        use crate::fault::{CycleWindow, FaultPlan};
+        let src = RouterAddr::new(0, 0);
+        let dst = RouterAddr::new(1, 0);
+        let mut clean = noc_2x2();
+        let baseline = clean.send(src, Packet::new(dst, vec![1, 2])).unwrap();
+        clean.run_until_idle(10_000).unwrap();
+        let clean_latency = clean.stats().record(baseline).unwrap().latency();
+
+        let mut noc = noc_2x2();
+        noc.set_fault_plan(FaultPlan::new(3).with_link_down(
+            src,
+            Port::East,
+            CycleWindow::new(0, 200),
+        ));
+        let id = noc.send(src, Packet::new(dst, vec![1, 2])).unwrap();
+        noc.run_until_idle(10_000).unwrap();
+        let record = noc.stats().record(id).unwrap();
+        assert!(record.is_delivered());
+        assert!(
+            record.delivered.unwrap() > 200,
+            "nothing crosses the link before the outage lifts"
+        );
+        assert!(record.latency() > clean_latency);
+        assert!(noc.stats().faults.link_down_blocks > 0);
+    }
+
+    #[test]
+    fn permanent_link_down_wedges_the_path() {
+        use crate::fault::{CycleWindow, FaultPlan};
+        let mut noc = noc_2x2();
+        noc.set_fault_plan(FaultPlan::new(4).with_link_down(
+            RouterAddr::new(0, 0),
+            Port::East,
+            CycleWindow::open_ended(0),
+        ));
+        assert!(noc.fault_plan().unwrap().has_permanent_outage());
+        noc.send(
+            RouterAddr::new(0, 0),
+            Packet::new(RouterAddr::new(1, 0), vec![9]),
+        )
+        .unwrap();
+        assert_eq!(
+            noc.run_until_idle(5_000),
+            Err(NocError::NotIdle { budget: 5_000 }),
+            "a dead link is a typed error, not a hang or panic"
+        );
+        assert_eq!(noc.stats().packets_delivered, 0);
+    }
+
+    #[test]
+    fn stalled_router_grants_nothing_during_the_window() {
+        use crate::fault::{CycleWindow, FaultPlan};
+        let src = RouterAddr::new(0, 0);
+        let dst = RouterAddr::new(1, 0);
+        let mut noc = noc_2x2();
+        noc.set_fault_plan(FaultPlan::new(5).with_router_stall(src, CycleWindow::new(0, 100)));
+        let id = noc.send(src, Packet::new(dst, vec![7])).unwrap();
+        noc.run_until_idle(10_000).unwrap();
+        let record = noc.stats().record(id).unwrap();
+        assert!(
+            record.delivered.unwrap() > 100,
+            "no grant before the stall lifts"
+        );
+        assert!(noc.stats().faults.router_stall_cycles > 0);
+    }
+
+    #[test]
+    fn same_plan_and_workload_reproduce_identical_outcomes() {
+        use crate::fault::FaultPlan;
+        let run = || {
+            let mut noc = Noc::new(NocConfig::mesh(3, 3)).unwrap();
+            noc.set_fault_plan(
+                FaultPlan::new(42)
+                    .with_drop_rate(0.2)
+                    .with_corrupt_rate(0.1),
+            );
+            for k in 0..20u16 {
+                let src = RouterAddr::new((k % 3) as u8, (k / 7) as u8);
+                let dst = RouterAddr::new(2 - (k % 3) as u8, 2 - (k / 7) as u8);
+                noc.send(src, Packet::new(dst, vec![k; 5])).unwrap();
+            }
+            noc.run_until_idle(100_000).unwrap();
+            (
+                noc.stats().packets_delivered,
+                noc.stats().faults,
+                noc.stats().flit_hops,
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -119,7 +119,10 @@ mod tests {
         let p = Packet::new(RouterAddr::new(0, 0), vec![0x100]);
         assert!(matches!(
             p.validate(&config),
-            Err(SendError::FlitOverflow { index: 0, value: 0x100 })
+            Err(SendError::FlitOverflow {
+                index: 0,
+                value: 0x100
+            })
         ));
     }
 

@@ -21,6 +21,13 @@ pub(crate) struct InputPort {
     /// Total wire flits of the current packet, known once the size flit
     /// has been forwarded.
     pub fwd_expected: Option<usize>,
+    /// Fault injection decided to drop the current packet: instead of a
+    /// crossbar connection, the port consumes and discards its flits
+    /// until the trailer, so the wormhole unwinds cleanly.
+    pub sinking: bool,
+    /// Earliest cycle the sink may consume its next flit (discarding
+    /// paces at the same handshake cadence as a real transfer).
+    pub sink_ready_at: u64,
 }
 
 impl InputPort {
@@ -31,17 +38,23 @@ impl InputPort {
             conn_active_at: 0,
             fwd_count: 0,
             fwd_expected: None,
+            sinking: false,
+            sink_ready_at: 0,
         }
     }
 
     /// Whether the head flit is an unrouted packet header.
     pub fn has_pending_header(&self, now: u64) -> bool {
         self.conn.is_none()
+            && !self.sinking
             && self.fwd_count == 0
-            && self
-                .buffer
-                .peek()
-                .is_some_and(|flit| flit.arrived < now)
+            && self.buffer.peek().is_some_and(|flit| flit.arrived < now)
+    }
+
+    /// Starts discarding the packet whose header is at the buffer head.
+    pub fn start_sink(&mut self, now: u64) {
+        self.sinking = true;
+        self.sink_ready_at = now;
     }
 
     /// Clears connection state after the packet trailer has left.
@@ -49,6 +62,7 @@ impl InputPort {
         self.conn = None;
         self.fwd_count = 0;
         self.fwd_expected = None;
+        self.sinking = false;
     }
 }
 
@@ -120,11 +134,11 @@ impl Router {
         }
     }
 
-    /// All buffers empty and no connection open.
+    /// All buffers empty, no connection open and no packet mid-discard.
     pub fn is_idle(&self) -> bool {
         self.inputs
             .iter()
-            .all(|input| input.buffer.is_empty() && input.conn.is_none())
+            .all(|input| input.buffer.is_empty() && input.conn.is_none() && !input.sinking)
     }
 }
 

@@ -70,6 +70,22 @@ impl PacketRecord {
 /// the upstream router and its output port.
 pub type LinkId = (RouterAddr, Port);
 
+/// Counters of injected-fault outcomes; all zero unless a
+/// [`FaultPlan`](crate::fault::FaultPlan) is installed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Flits whose value was bit-flipped while crossing a link.
+    pub flits_corrupted: u64,
+    /// Packets a router's control logic decided to discard.
+    pub packets_dropped: u64,
+    /// Flits consumed and discarded while unwinding dropped packets.
+    pub flits_dropped: u64,
+    /// Transfer opportunities blocked because the link was down.
+    pub link_down_blocks: u64,
+    /// Router-cycles in which a stalled control logic granted nothing.
+    pub router_stall_cycles: u64,
+}
+
 /// Aggregate statistics of a [`Noc`](crate::Noc) run.
 #[derive(Debug, Clone, Default)]
 pub struct NocStats {
@@ -95,6 +111,8 @@ pub struct NocStats {
     pub local_ingress_flits: HashMap<RouterAddr, u64>,
     /// Per-router control-logic counters, indexed `y * width + x`.
     pub routers: Vec<RouterCounters>,
+    /// Outcomes of injected faults (see [`FaultCounters`]).
+    pub faults: FaultCounters,
 }
 
 impl NocStats {
@@ -217,6 +235,17 @@ impl NocStats {
             "peak link utilization: {:.1}%\n",
             self.peak_link_utilization(cycles_per_flit) * 100.0
         ));
+        if self.faults != FaultCounters::default() {
+            out.push_str(&format!(
+                "faults: {} flits corrupted, {} packets dropped ({} flits), \
+                 {} link-down blocks, {} router stall cycles\n",
+                self.faults.flits_corrupted,
+                self.faults.packets_dropped,
+                self.faults.flits_dropped,
+                self.faults.link_down_blocks,
+                self.faults.router_stall_cycles,
+            ));
+        }
         out
     }
 }

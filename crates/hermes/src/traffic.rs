@@ -11,38 +11,10 @@ use crate::error::NocError;
 use crate::noc::Noc;
 use crate::packet::Packet;
 
-/// Small deterministic pseudo-random generator (SplitMix64). Good enough
-/// for traffic generation and fully reproducible from its seed.
-#[derive(Debug, Clone)]
-pub struct Rng64 {
-    state: u64,
-}
-
-impl Rng64 {
-    /// Creates a generator from a seed.
-    pub fn new(seed: u64) -> Self {
-        Self { state: seed }
-    }
-
-    /// Next raw 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform value in `0..bound` (`bound > 0`).
-    pub fn below(&mut self, bound: u64) -> u64 {
-        self.next_u64() % bound
-    }
-
-    /// Uniform float in `[0, 1)`.
-    pub fn unit(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
+/// The deterministic SplitMix64 generator shared across the workspace
+/// (re-exported from the in-tree [`prng`] crate); also seeds the
+/// [fault injector](crate::fault).
+pub use prng::Rng64;
 
 /// Destination-selection pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,7 +49,10 @@ impl Pattern {
                 }
                 loop {
                     let pick = rng.below(nodes);
-                    let dest = RouterAddr::new((pick % u64::from(width)) as u8, (pick / u64::from(width)) as u8);
+                    let dest = RouterAddr::new(
+                        (pick % u64::from(width)) as u8,
+                        (pick / u64::from(width)) as u8,
+                    );
                     if dest != src {
                         return Some(dest);
                     }
@@ -171,12 +146,7 @@ impl TrafficGen {
     /// drain phase ignores a non-idle outcome (a saturated network may
     /// legitimately hold undeliverable backlog; statistics still count
     /// only what was delivered).
-    pub fn drive(
-        &mut self,
-        noc: &mut Noc,
-        cycles: u64,
-        drain_budget: u64,
-    ) -> Result<(), NocError> {
+    pub fn drive(&mut self, noc: &mut Noc, cycles: u64, drain_budget: u64) -> Result<(), NocError> {
         for _ in 0..cycles {
             self.pump(noc)?;
             noc.step();
@@ -254,10 +224,7 @@ mod tests {
         let mut gen = TrafficGen::new(Pattern::Uniform, 0.1, 4, 123);
         gen.drive(&mut noc, 2_000, 100_000).unwrap();
         assert!(noc.stats().packets_sent > 0);
-        assert_eq!(
-            noc.stats().packets_delivered,
-            noc.stats().packets_sent
-        );
+        assert_eq!(noc.stats().packets_delivered, noc.stats().packets_sent);
     }
 
     #[test]
@@ -266,8 +233,7 @@ mod tests {
         let rate = 0.05; // well below saturation
         let mut gen = TrafficGen::new(Pattern::Uniform, rate, 4, 9);
         gen.drive(&mut noc, 20_000, 200_000).unwrap();
-        let delivered =
-            noc.stats().flits_delivered as f64 / 20_000.0 / 16.0;
+        let delivered = noc.stats().flits_delivered as f64 / 20_000.0 / 16.0;
         assert!(
             (delivered - rate).abs() / rate < 0.25,
             "delivered {delivered} vs offered {rate}"

@@ -144,19 +144,31 @@ mod tests {
         assert_eq!(map.decode(1023), Target::Local { offset: 1023 });
         assert_eq!(
             map.decode(1024),
-            Target::Remote { node: NodeId(2), offset: 0 }
+            Target::Remote {
+                node: NodeId(2),
+                offset: 0
+            }
         );
         assert_eq!(
             map.decode(2047),
-            Target::Remote { node: NodeId(2), offset: 1023 }
+            Target::Remote {
+                node: NodeId(2),
+                offset: 1023
+            }
         );
         assert_eq!(
             map.decode(2048),
-            Target::Remote { node: NodeId(3), offset: 0 }
+            Target::Remote {
+                node: NodeId(3),
+                offset: 0
+            }
         );
         assert_eq!(
             map.decode(3071),
-            Target::Remote { node: NodeId(3), offset: 1023 }
+            Target::Remote {
+                node: NodeId(3),
+                offset: 1023
+            }
         );
         assert_eq!(map.decode(3072), Target::Unmapped);
     }
@@ -185,7 +197,10 @@ mod tests {
         let map = AddressMap::new(1024, windows);
         assert_eq!(
             map.decode(8 * 1024 + 5),
-            Target::Remote { node: NodeId(8), offset: 5 }
+            Target::Remote {
+                node: NodeId(8),
+                offset: 5
+            }
         );
         assert_eq!(map.decode(9 * 1024), Target::Unmapped);
     }

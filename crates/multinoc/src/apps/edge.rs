@@ -104,7 +104,10 @@ impl Image {
 ///
 /// Panics if `width < 3` or `width > MAX_WIDTH`.
 pub fn program(width: u16) -> String {
-    assert!((3..=MAX_WIDTH).contains(&width), "width {width} unsupported");
+    assert!(
+        (3..=MAX_WIDTH).contains(&width),
+        "width {width} unsupported"
+    );
     let limit = width - 1;
     format!(
         "
@@ -302,8 +305,7 @@ pub fn run(
 ///
 /// # Errors
 ///
-/// Any [`SystemError`] from the host protocol. Assembly of the built-in
-/// program cannot fail.
+/// Any [`SystemError`] from the host protocol.
 pub fn load(
     system: &mut System,
     host: &mut Host,
@@ -311,7 +313,8 @@ pub fn load(
     width: u16,
 ) -> Result<(), SystemError> {
     let source = program(width);
-    let image = r8::asm::assemble(&source).expect("built-in edge program assembles");
+    let image = r8::asm::assemble(&source)
+        .map_err(|e| SystemError::Protocol(format!("built-in edge program: {e}")))?;
     for &node in processors {
         host.load_program(system, node, image.words())?;
     }

@@ -123,7 +123,8 @@ pub fn run(
         )));
     }
     let start = system.cycle();
-    let program = r8c::build(&source()).expect("histogram worker compiles");
+    let program = r8c::build(&source())
+        .map_err(|e| SystemError::Protocol(format!("built-in histogram worker: {e}")))?;
 
     // Zero the shared bins.
     host.write_memory(
@@ -135,24 +136,30 @@ pub fn run(
 
     let last = processors.len() - 1;
     for (k, &node) in processors.iter().enumerate() {
-        let chunk_data = data
-            .chunks(chunk)
-            .nth(k)
-            .unwrap_or(&[]);
-        let shared = system
-            .address_map(node)?
-            .window_base(memory_node)
-            .ok_or(SystemError::BadNode {
-                node: memory_node,
-                expected: "a memory window of every processor",
-            })?
-            + SHARED_BINS_OFFSET;
+        let chunk_data = data.chunks(chunk).nth(k).unwrap_or(&[]);
+        let shared =
+            system
+                .address_map(node)?
+                .window_base(memory_node)
+                .ok_or(SystemError::BadNode {
+                    node: memory_node,
+                    expected: "a memory window of every processor",
+                })?
+                + SHARED_BINS_OFFSET;
         host.load_program(system, node, program.words())?;
         host.write_memory(system, node, DATA_ADDR, chunk_data)?;
         let params = [
             chunk_data.len() as u16,
-            if k == 0 { 0 } else { processors[k - 1].as_u16() },
-            if k == last { 0 } else { processors[k + 1].as_u16() },
+            if k == 0 {
+                0
+            } else {
+                processors[k - 1].as_u16()
+            },
+            if k == last {
+                0
+            } else {
+                processors[k + 1].as_u16()
+            },
             shared,
         ];
         host.write_memory(system, node, PARAM_LEN, &params)?;
@@ -164,12 +171,7 @@ pub fn run(
     let last_node = processors[last];
     let already = host.printf_output(last_node).len();
     host.wait_for_printf(system, last_node, already + 1)?;
-    let bins = host.read_memory(
-        system,
-        memory_node,
-        SHARED_BINS_OFFSET,
-        usize::from(BINS),
-    )?;
+    let bins = host.read_memory(system, memory_node, SHARED_BINS_OFFSET, usize::from(BINS))?;
     Ok(HistogramRun {
         bins,
         cycles: system.cycle() - start,

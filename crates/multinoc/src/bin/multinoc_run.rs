@@ -84,7 +84,8 @@ fn run() -> Result<(), String> {
         eprintln!("loaded {} words into {node} from {path}", words.len());
     }
     for (_, &node) in images.iter().zip(&nodes) {
-        host.activate(&mut system, node).map_err(|e| e.to_string())?;
+        host.activate(&mut system, node)
+            .map_err(|e| e.to_string())?;
     }
     eprintln!("processors activated; running…");
 

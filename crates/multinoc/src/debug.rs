@@ -258,7 +258,9 @@ pub fn analyze_deadlock(system: &System) -> DeadlockReport {
                 Err(_) => true, // not a processor (or not a node)
             };
             if dead {
-                report.waiting_on_dead.push(BlockedProcessor { node, reason });
+                report
+                    .waiting_on_dead
+                    .push(BlockedProcessor { node, reason });
             }
         }
     }
@@ -319,7 +321,10 @@ mod tests {
         let stop = debugger.run(&mut system, 10_000).unwrap();
         assert_eq!(
             stop,
-            StopReason::Breakpoint { node: PROCESSOR_1, pc: 2 }
+            StopReason::Breakpoint {
+                node: PROCESSOR_1,
+                pc: 2
+            }
         );
         assert_eq!(system.cpu(PROCESSOR_1).unwrap().reg(1), 5);
         assert_eq!(system.cpu(PROCESSOR_1).unwrap().reg(2), 0);
@@ -332,10 +337,8 @@ mod tests {
     #[test]
     fn watchpoint_reports_the_change() {
         let mut system = System::paper_config().unwrap();
-        let program = assemble(
-            "XOR R0, R0, R0\nLIW R1, 0x80\nLIW R2, 42\nST R2, R1, R0\nHALT",
-        )
-        .unwrap();
+        let program =
+            assemble("XOR R0, R0, R0\nLIW R1, 0x80\nLIW R2, 42\nST R2, R1, R0\nHALT").unwrap();
         system
             .memory_mut(PROCESSOR_1)
             .unwrap()

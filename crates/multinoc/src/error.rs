@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use hermes_noc::NocError;
+use hermes_noc::{NocError, RouterAddr};
 
 use crate::node::NodeId;
 
@@ -46,6 +46,30 @@ pub enum SystemError {
         /// Word count of the rejected access.
         count: usize,
     },
+    /// A sequenced message exhausted its retransmission budget without
+    /// ever being acknowledged (see [`crate::reliable`]).
+    DeliveryFailed {
+        /// The sending IP.
+        node: NodeId,
+        /// The unreachable destination router.
+        dest: RouterAddr,
+        /// Sequence number of the undeliverable message.
+        seq: u16,
+        /// Transmissions attempted, initial send included.
+        attempts: u32,
+    },
+    /// The watchdog found every active processor blocked in `wait` with
+    /// the network drained: nobody is left to send the missing notifies.
+    Deadlock {
+        /// `(waiter, waited-for)` node pairs, in node order.
+        waiting: Vec<(NodeId, NodeId)>,
+    },
+    /// The watchdog found traffic wedged in the network with no forward
+    /// progress — the signature of a permanently dead link.
+    DeadLink {
+        /// Cycles without a single flit moving, with flits in flight.
+        stalled_for: u64,
+    },
 }
 
 impl fmt::Display for SystemError {
@@ -59,12 +83,41 @@ impl fmt::Display for SystemError {
             SystemError::BudgetExhausted {
                 budget,
                 waiting_for,
-            } => write!(f, "budget of {budget} cycles exhausted waiting for {waiting_for}"),
+            } => write!(
+                f,
+                "budget of {budget} cycles exhausted waiting for {waiting_for}"
+            ),
             SystemError::Cpu { node, message } => write!(f, "{node}: {message}"),
             SystemError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             SystemError::AddressRange { addr, count } => {
-                write!(f, "access of {count} words at {addr:#06x} leaves the memory")
+                write!(
+                    f,
+                    "access of {count} words at {addr:#06x} leaves the memory"
+                )
             }
+            SystemError::DeliveryFailed {
+                node,
+                dest,
+                seq,
+                attempts,
+            } => write!(
+                f,
+                "{node}: message seq {seq} to router {dest} undelivered after {attempts} attempts"
+            ),
+            SystemError::Deadlock { waiting } => {
+                write!(f, "deadlock: ")?;
+                for (i, (waiter, target)) in waiting.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{waiter} waits for {target}")?;
+                }
+                write!(f, "; network idle")
+            }
+            SystemError::DeadLink { stalled_for } => write!(
+                f,
+                "dead link: flits in flight made no progress for {stalled_for} cycles"
+            ),
         }
     }
 }

@@ -76,7 +76,12 @@ impl Host {
     }
 
     /// Steps the system until `done` holds, polling frames along the way.
-    fn pump<F>(&mut self, system: &mut System, what: &'static str, mut done: F) -> Result<Vec<DeviceFrame>, SystemError>
+    fn pump<F>(
+        &mut self,
+        system: &mut System,
+        what: &'static str,
+        mut done: F,
+    ) -> Result<Vec<DeviceFrame>, SystemError>
     where
         F: FnMut(&System, &[DeviceFrame]) -> bool,
     {
@@ -153,10 +158,12 @@ impl Host {
             system.link_mut().host_send(&cmd.to_bytes());
             offset += chunk.len();
         }
-        // Drain: once the link and network are empty the writes have been
-        // applied (memory writes are immediate on delivery).
+        // Drain: the writes have landed once the link and network are
+        // empty AND the serial IP holds no unacknowledged writes — under
+        // fault injection a quiet network may just mean a retransmission
+        // timer is pending.
         self.pump(system, "memory write to drain", |sys, _| {
-            sys.link().is_idle() && sys.noc().is_idle()
+            sys.link().is_idle() && sys.noc().is_idle() && sys.net_quiet()
         })?;
         Ok(())
     }
@@ -212,7 +219,12 @@ impl Host {
                 })
             })?;
             for frame in frames {
-                if let DeviceFrame::ReadReturn { node: n, addr: a, data } = frame {
+                if let DeviceFrame::ReadReturn {
+                    node: n,
+                    addr: a,
+                    data,
+                } = frame
+                {
                     if n == node.0 && a == chunk_addr {
                         result.extend(data);
                     }
@@ -278,9 +290,7 @@ impl Host {
             .scanf_requests
             .iter()
             .position(|&n| n == node.0)
-            .ok_or_else(|| {
-                SystemError::Protocol(format!("{node} has no pending scanf"))
-            })?;
+            .ok_or_else(|| SystemError::Protocol(format!("{node} has no pending scanf")))?;
         self.scanf_requests.remove(pos);
         let cmd = HostCommand::ScanfReturn {
             node: node.0,
@@ -339,10 +349,9 @@ impl Host {
                 .iter()
                 .any(|f| matches!(f, DeviceFrame::ScanfRequest { .. }))
         })?;
-        let n = *self
-            .scanf_requests
-            .front()
-            .expect("pump returned on a scanf frame");
+        let n = *self.scanf_requests.front().ok_or_else(|| {
+            SystemError::Protocol("pump returned on a scanf frame but none was queued".into())
+        })?;
         Ok(NodeId(n))
     }
 }

@@ -57,6 +57,7 @@ pub mod host;
 pub mod memory;
 pub mod net;
 pub mod processor;
+pub mod reliable;
 pub mod serial;
 pub mod serial_ip;
 pub mod service;

@@ -10,6 +10,7 @@
 
 use hermes_noc::RouterAddr;
 
+use crate::reliable::DedupReceiver;
 use crate::service::{Message, Service};
 
 /// One 1024 × 4-bit BlockRAM bank.
@@ -93,6 +94,7 @@ impl MemoryCore {
 pub struct MemoryIp {
     core: MemoryCore,
     addr: RouterAddr,
+    dedup: DedupReceiver,
 }
 
 impl MemoryIp {
@@ -101,6 +103,7 @@ impl MemoryIp {
         Self {
             core: MemoryCore::new(words),
             addr,
+            dedup: DedupReceiver::new(),
         }
     }
 
@@ -125,21 +128,33 @@ impl MemoryIp {
     }
 
     /// Handles one incoming service message, returning the reply to send
-    /// (a read produces a `ReadReturn` addressed to the requester) or
-    /// `None`. Unsupported services are ignored, as a hardware memory
-    /// controller would.
-    pub fn handle(&mut self, msg: &Message) -> Option<(RouterAddr, Service)> {
+    /// — `(destination, service, sequence number)` — or `None`.
+    ///
+    /// A read produces a `ReadReturn` echoing the request's sequence
+    /// number (so the requester can match it as the implicit ack). A
+    /// *sequenced* write is applied once — duplicates from retransmission
+    /// are suppressed — and always acknowledged, since a duplicate means
+    /// the previous ack was lost. Unsupported services are ignored, as a
+    /// hardware memory controller would.
+    pub fn handle(&mut self, msg: &Message) -> Option<(RouterAddr, Service, u16)> {
         match &msg.service {
             Service::ReadFromMemory { addr, count } => {
                 let data = self.core.read_block(*addr, *count);
-                Some((msg.src, Service::ReadReturn { addr: *addr, data }))
+                Some((msg.src, Service::ReadReturn { addr: *addr, data }, msg.seq))
             }
             Service::WriteInMemory { addr, data } => {
-                self.core.write_block(*addr, data);
-                None
+                if self.dedup.accept(msg.src, msg.seq) {
+                    self.core.write_block(*addr, data);
+                }
+                (msg.seq != 0).then_some((msg.src, Service::Ack, msg.seq))
             }
             _ => None,
         }
+    }
+
+    /// Duplicate writes suppressed by the reliability layer.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.dedup.duplicates()
     }
 }
 
@@ -191,26 +206,72 @@ mod tests {
         let requester = RouterAddr::new(0, 0);
         let msg = Message::new(
             requester,
-            Service::ReadFromMemory { addr: 0x10, count: 3 },
+            Service::ReadFromMemory {
+                addr: 0x10,
+                count: 3,
+            },
         );
-        let (to, reply) = ip.handle(&msg).expect("read gets a reply");
+        let (to, reply, seq) = ip.handle(&msg).expect("read gets a reply");
         assert_eq!(to, requester);
+        assert_eq!(seq, 0);
         assert_eq!(
             reply,
-            Service::ReadReturn { addr: 0x10, data: vec![10, 20, 30] }
+            Service::ReadReturn {
+                addr: 0x10,
+                data: vec![10, 20, 30]
+            }
         );
     }
 
     #[test]
-    fn memory_ip_applies_writes_silently() {
+    fn memory_ip_applies_unsequenced_writes_silently() {
         let mut ip = MemoryIp::new(RouterAddr::new(1, 1), 1024);
         let msg = Message::new(
             RouterAddr::new(0, 0),
-            Service::WriteInMemory { addr: 5, data: vec![42, 43] },
+            Service::WriteInMemory {
+                addr: 5,
+                data: vec![42, 43],
+            },
         );
         assert!(ip.handle(&msg).is_none());
         assert_eq!(ip.core().read(5), 42);
         assert_eq!(ip.core().read(6), 43);
+    }
+
+    #[test]
+    fn memory_ip_acks_sequenced_writes_and_drops_duplicates() {
+        let mut ip = MemoryIp::new(RouterAddr::new(1, 1), 1024);
+        let writer = RouterAddr::new(0, 0);
+        let msg = Message::new(
+            writer,
+            Service::WriteInMemory {
+                addr: 5,
+                data: vec![42],
+            },
+        )
+        .with_seq(7);
+        let (to, reply, seq) = ip.handle(&msg).expect("sequenced write is acked");
+        assert_eq!((to, reply, seq), (writer, Service::Ack, 7));
+        assert_eq!(ip.core().read(5), 42);
+        // The ack was lost; a retransmitted duplicate arrives after an
+        // unrelated overwrite. It must be re-acked but NOT re-applied.
+        ip.core_mut().write(5, 99);
+        let (to, reply, seq) = ip.handle(&msg).expect("duplicate still acked");
+        assert_eq!((to, reply, seq), (writer, Service::Ack, 7));
+        assert_eq!(ip.core().read(5), 99, "duplicate write not re-applied");
+        assert_eq!(ip.duplicates_dropped(), 1);
+    }
+
+    #[test]
+    fn read_return_echoes_the_request_sequence() {
+        let mut ip = MemoryIp::new(RouterAddr::new(1, 1), 1024);
+        let msg = Message::new(
+            RouterAddr::new(0, 1),
+            Service::ReadFromMemory { addr: 0, count: 1 },
+        )
+        .with_seq(33);
+        let (_, _, seq) = ip.handle(&msg).expect("reply");
+        assert_eq!(seq, 33);
     }
 
     #[test]

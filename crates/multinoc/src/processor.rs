@@ -31,21 +31,23 @@ use crate::error::SystemError;
 use crate::memory::MemoryCore;
 use crate::net::NetPort;
 use crate::node::{NodeId, NodeTable};
+use crate::reliable::{DedupReceiver, PendingRequest, ReliableSender, RetryCounters};
 use crate::service::Service;
 
 /// An in-flight network transaction of the control logic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 enum NetPending {
     /// No transaction in flight.
     #[default]
     Idle,
-    /// A remote read was sent; waiting for the `ReadReturn`.
-    RemoteRead,
+    /// A remote read was sent; waiting for the `ReadReturn` that echoes
+    /// its sequence number (retransmitted on timeout).
+    RemoteRead(PendingRequest),
     /// A remote read completed with this value; the core collects it on
     /// its retry.
     RemoteReadDone(u16),
     /// A `Scanf` was sent; waiting for the `ScanfReturn`.
-    Scanf,
+    Scanf(PendingRequest),
     /// The scanf answer arrived.
     ScanfDone(u16),
 }
@@ -153,6 +155,10 @@ pub struct ProcessorIp {
     /// Notifies received and not yet consumed, by sender node number.
     notifies: HashMap<u16, u32>,
     utilization: UtilizationCounters,
+    /// Retransmitting sender for writes and notifies (explicit ack).
+    reliable: ReliableSender,
+    /// Duplicate suppression for sequenced messages this IP receives.
+    dedup: DedupReceiver,
 }
 
 impl ProcessorIp {
@@ -181,6 +187,8 @@ impl ProcessorIp {
             wait: WaitState::None,
             notifies: HashMap::new(),
             utilization: UtilizationCounters::default(),
+            reliable: ReliableSender::new(node),
+            dedup: DedupReceiver::new(),
         }
     }
 
@@ -266,8 +274,8 @@ impl ProcessorIp {
             WaitState::None => {}
         }
         match self.pending {
-            NetPending::RemoteRead => Some(BlockReason::RemoteRead),
-            NetPending::Scanf => Some(BlockReason::Scanf),
+            NetPending::RemoteRead(_) => Some(BlockReason::RemoteRead),
+            NetPending::Scanf(_) => Some(BlockReason::Scanf),
             _ => None,
         }
     }
@@ -275,6 +283,22 @@ impl ProcessorIp {
     /// Where this processor's cycles have gone so far.
     pub fn utilization(&self) -> UtilizationCounters {
         self.utilization
+    }
+
+    /// Whether this IP has no reliable traffic in flight or queued (its
+    /// writes and notifies have all been acknowledged).
+    pub fn net_quiet(&self) -> bool {
+        self.reliable.is_idle()
+    }
+
+    /// Work done by this IP's reliability layer.
+    pub fn retry_counters(&self) -> RetryCounters {
+        self.reliable.counters()
+    }
+
+    /// Duplicate sequenced messages this IP refused.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.dedup.duplicates()
     }
 
     /// One clock step: service the network, then (at the pace set by
@@ -300,34 +324,59 @@ impl ProcessorIp {
             match msg.service {
                 Service::ReadFromMemory { addr, count } => {
                     let data = self.local.read_block(addr, count);
-                    net.send(msg.src, Service::ReadReturn { addr, data })?;
+                    net.send_seq(msg.src, Service::ReadReturn { addr, data }, msg.seq)?;
                 }
                 Service::WriteInMemory { addr, data } => {
-                    self.local.write_block(addr, &data);
+                    if self.dedup.accept(msg.src, msg.seq) {
+                        self.local.write_block(addr, &data);
+                    }
+                    if msg.seq != 0 {
+                        net.send_seq(msg.src, Service::Ack, msg.seq)?;
+                    }
                 }
                 Service::ActivateProcessor => {
-                    self.cpu.reset();
-                    self.active = true;
-                    self.fault = None;
-                    self.pending = NetPending::Idle;
-                    self.wait = WaitState::None;
+                    // A retransmitted duplicate must not reset a running
+                    // core: the first activation was delivered, only its
+                    // ack was lost.
+                    if self.dedup.accept(msg.src, msg.seq) {
+                        self.cpu.reset();
+                        self.active = true;
+                        self.fault = None;
+                        self.pending = NetPending::Idle;
+                        self.wait = WaitState::None;
+                    }
+                    if msg.seq != 0 {
+                        net.send_seq(msg.src, Service::Ack, msg.seq)?;
+                    }
                 }
                 Service::ReadReturn { data, .. } => {
-                    if self.pending == NetPending::RemoteRead {
-                        let value = data.first().copied().unwrap_or(0);
-                        self.pending = NetPending::RemoteReadDone(value);
+                    if let NetPending::RemoteRead(req) = &self.pending {
+                        if req.matches(msg.src, msg.seq) {
+                            let value = data.first().copied().unwrap_or(0);
+                            self.pending = NetPending::RemoteReadDone(value);
+                        }
                     }
                 }
                 Service::ScanfReturn { value } => {
-                    if self.pending == NetPending::Scanf {
-                        self.pending = NetPending::ScanfDone(value);
+                    if let NetPending::Scanf(req) = &self.pending {
+                        if req.matches(msg.src, msg.seq) {
+                            self.pending = NetPending::ScanfDone(value);
+                        }
                     }
                 }
                 Service::Notify { from } => {
-                    *self.notifies.entry(from).or_insert(0) += 1;
+                    if self.dedup.accept(msg.src, msg.seq) {
+                        *self.notifies.entry(from).or_insert(0) += 1;
+                    }
+                    if msg.seq != 0 {
+                        net.send_seq(msg.src, Service::Ack, msg.seq)?;
+                    }
                 }
                 Service::Wait { from } => {
                     self.wait = WaitState::External(from);
+                }
+                Service::Ack => {
+                    self.reliable.on_ack(net, msg.src, msg.seq, now)?;
                 }
                 Service::Printf { .. } | Service::Scanf => {
                     return Err(SystemError::Protocol(format!(
@@ -336,6 +385,17 @@ impl ProcessorIp {
                     )));
                 }
             }
+        }
+
+        // Reliability timers: retransmit unacknowledged writes/notifies
+        // and the pending remote read or scanf, if any timed out. The
+        // scanf is answered by the host, which may legitimately take
+        // arbitrarily long — it retries patiently instead of exhausting.
+        self.reliable.poll(net, now)?;
+        match &mut self.pending {
+            NetPending::RemoteRead(req) => self.reliable.poll_request(net, req, now)?,
+            NetPending::Scanf(req) => self.reliable.poll_request_patient(net, req, now)?,
+            _ => {}
         }
 
         // Release a blocked core once the matching notify shows up. An
@@ -371,9 +431,16 @@ impl ProcessorIp {
             wait: &mut self.wait,
             notifies: &mut self.notifies,
             node: self.node,
+            reliable: &mut self.reliable,
+            now,
+            error: None,
             net,
         };
-        match self.cpu.step(&mut bus) {
+        let outcome = self.cpu.step(&mut bus);
+        if let Some(e) = bus.error.take() {
+            return Err(e);
+        }
+        match outcome {
             Ok(StepOutcome::Retired { cycles, .. }) => {
                 // Stall cycles were already spent in real time while the
                 // bus answered Wait; only the base cost remains.
@@ -407,17 +474,40 @@ struct CtrlBus<'a, 'n> {
     wait: &'a mut WaitState,
     notifies: &'a mut HashMap<u16, u32>,
     node: NodeId,
+    reliable: &'a mut ReliableSender,
+    now: u64,
+    /// The `Bus` trait cannot return errors; a failed send is parked
+    /// here and surfaced by `ProcessorIp::step` right after the core
+    /// step, instead of panicking inside the bus.
+    error: Option<SystemError>,
     net: &'a mut NetPort<'n>,
 }
 
 impl CtrlBus<'_, '_> {
-    fn send(&mut self, dest: RouterAddr, service: Service) {
-        // The local injection queue is unbounded in the simulator, so a
-        // send cannot fail for an in-mesh destination; system construction
-        // guarantees the node table only holds in-mesh routers.
-        self.net
-            .send(dest, service)
-            .expect("node table routers are inside the mesh");
+    /// Best-effort send (printf): loss is acceptable, corruption is
+    /// caught by the checksum at the receiver.
+    fn send_unreliable(&mut self, dest: RouterAddr, service: Service) {
+        if let Err(e) = self.net.send(dest, service) {
+            self.error.get_or_insert(e);
+        }
+    }
+
+    /// Acknowledged send (writes, notifies): queued with the reliable
+    /// sender, retransmitted until acked.
+    fn send_reliable(&mut self, dest: RouterAddr, service: Service) {
+        if let Err(e) = self.reliable.send(self.net, dest, service, self.now) {
+            self.error.get_or_insert(e);
+        }
+    }
+
+    /// Transmits a request whose response is its implicit ack, returning
+    /// the pending-request state to park in `NetPending`.
+    fn start_request(&mut self, dest: RouterAddr, request: Service) -> PendingRequest {
+        let seq = self.reliable.alloc_seq();
+        if let Err(e) = self.net.send_seq(dest, request.clone(), seq) {
+            self.error.get_or_insert(e);
+        }
+        PendingRequest::new(dest, seq, request, self.now)
     }
 }
 
@@ -430,8 +520,14 @@ impl Bus for CtrlBus<'_, '_> {
                     let Some(dest) = self.table.router_of(node) else {
                         return BusResponse::Data(0);
                     };
-                    self.send(dest, Service::ReadFromMemory { addr: offset, count: 1 });
-                    *self.pending = NetPending::RemoteRead;
+                    let req = self.start_request(
+                        dest,
+                        Service::ReadFromMemory {
+                            addr: offset,
+                            count: 1,
+                        },
+                    );
+                    *self.pending = NetPending::RemoteRead(req);
                     BusResponse::Wait
                 }
                 NetPending::RemoteReadDone(value) => {
@@ -446,8 +542,8 @@ impl Bus for CtrlBus<'_, '_> {
                         // Headless system: scanf reads 0.
                         return BusResponse::Data(0);
                     };
-                    self.send(dest, Service::Scanf);
-                    *self.pending = NetPending::Scanf;
+                    let req = self.start_request(dest, Service::Scanf);
+                    *self.pending = NetPending::Scanf(req);
                     BusResponse::Wait
                 }
                 NetPending::ScanfDone(value) => {
@@ -470,7 +566,7 @@ impl Bus for CtrlBus<'_, '_> {
             }
             Target::Remote { node, offset } => {
                 if let Some(dest) = self.table.router_of(node) {
-                    self.send(
+                    self.send_reliable(
                         dest,
                         Service::WriteInMemory {
                             addr: offset,
@@ -478,11 +574,11 @@ impl Bus for CtrlBus<'_, '_> {
                         },
                     );
                 }
-                BusResponse::Data(0) // posted write
+                BusResponse::Data(0) // posted write (acked asynchronously)
             }
             Target::Io => {
                 if let Some(dest) = self.io_router {
-                    self.send(dest, Service::Printf { data: vec![value] });
+                    self.send_unreliable(dest, Service::Printf { data: vec![value] });
                 }
                 BusResponse::Data(0)
             }
@@ -502,7 +598,7 @@ impl Bus for CtrlBus<'_, '_> {
             }
             Target::NotifyCmd => {
                 if let Some(dest) = self.table.router_of(NodeId(value as u8)) {
-                    self.send(
+                    self.send_reliable(
                         dest,
                         Service::Notify {
                             from: self.node.as_u16(),
@@ -565,12 +661,12 @@ mod tests {
         let program = assemble("LIW R1, 7\nHALT").unwrap();
         ip.local_mut().write_block(0, program.words());
         // Activation arrives over the network from the serial router.
-        let msg = crate::service::Message::new(
+        let msg = crate::service::Message::new(RouterAddr::new(0, 0), Service::ActivateProcessor);
+        noc.send(
             RouterAddr::new(0, 0),
-            Service::ActivateProcessor,
-        );
-        noc.send(RouterAddr::new(0, 0), msg.to_packet(RouterAddr::new(0, 1), 8))
-            .unwrap();
+            msg.to_packet(RouterAddr::new(0, 1), 8),
+        )
+        .unwrap();
         for _ in 0..500 {
             noc.step();
             let now = noc.cycle();
@@ -591,7 +687,8 @@ mod tests {
             src.push_str("ADDI R1, 1\n");
         }
         src.push_str("HALT");
-        ip.local_mut().write_block(0, assemble(&src).unwrap().words());
+        ip.local_mut()
+            .write_block(0, assemble(&src).unwrap().words());
         ip.active = true;
         let mut halted_at = 0;
         for _ in 0..200 {
@@ -617,7 +714,10 @@ mod tests {
         let requester = RouterAddr::new(1, 1);
         let msg = crate::service::Message::new(
             requester,
-            Service::ReadFromMemory { addr: 0x30, count: 1 },
+            Service::ReadFromMemory {
+                addr: 0x30,
+                count: 1,
+            },
         );
         noc.send(requester, msg.to_packet(RouterAddr::new(0, 1), 8))
             .unwrap();
@@ -631,7 +731,10 @@ mod tests {
         let reply = crate::service::Message::from_packet(&packet, 8).unwrap();
         assert_eq!(
             reply.service,
-            Service::ReadReturn { addr: 0x30, data: vec![4242] }
+            Service::ReadReturn {
+                addr: 0x30,
+                data: vec![4242]
+            }
         );
     }
 

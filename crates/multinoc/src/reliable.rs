@@ -1,0 +1,542 @@
+//! End-to-end reliable delivery over an unreliable NoC.
+//!
+//! The Hermes network may corrupt flits, drop packets or lose whole
+//! links (see `hermes_noc::fault`). The service layer recovers with a
+//! classic end-to-end protocol:
+//!
+//! - every message carries a checksum flit, so corruption is *detected*
+//!   at the receiver and the packet discarded (handled transparently in
+//!   [`Message`](crate::service::Message) and
+//!   [`NetPort::recv`](crate::net::NetPort::recv));
+//! - fire-and-forget services that must not be lost (`WriteInMemory`,
+//!   `Notify`, `ActivateProcessor`) are *sequenced* and retransmitted by
+//!   a [`ReliableSender`] until the receiver's
+//!   [`Ack`](crate::service::Service::Ack) arrives, with bounded
+//!   exponential backoff; the receiver suppresses duplicates with a
+//!   [`DedupReceiver`] (stop-and-wait per destination, so duplicates can
+//!   only ever repeat the most recent sequence number);
+//! - request/response services (`ReadFromMemory`, `Scanf`) treat the
+//!   response as an implicit acknowledgement: the requester keeps a
+//!   [`PendingRequest`] and retransmits the request itself on timeout.
+//!
+//! When the retry budget is exhausted the failure surfaces as the typed
+//! [`SystemError::DeliveryFailed`] — never a hang, never a panic.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use hermes_noc::RouterAddr;
+
+use crate::error::SystemError;
+use crate::net::NetPort;
+use crate::node::NodeId;
+use crate::service::Service;
+
+/// Timeout and retry budget for reliable sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Cycles to wait for an acknowledgement before the first
+    /// retransmission; later attempts back off exponentially.
+    pub base_timeout: u64,
+    /// Retransmissions allowed before the delivery is declared failed.
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// The timeout after `attempt` transmissions (bounded exponential
+    /// backoff: doubles per attempt, capped at 64× the base).
+    pub fn timeout_for(&self, attempt: u32) -> u64 {
+        self.base_timeout.saturating_mul(1 << attempt.min(6))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // A 2×2-mesh round trip is a few hundred cycles with the paper's
+        // parameters; 512 leaves headroom without dragging out recovery.
+        Self {
+            base_timeout: 512,
+            max_retries: 6,
+        }
+    }
+}
+
+/// Counters describing the work the reliability layer has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryCounters {
+    /// Sequenced messages handed to the sender.
+    pub sent: u64,
+    /// Timed-out (re)transmissions, explicit-ack and implicit-ack alike.
+    pub retransmissions: u64,
+    /// Deliveries confirmed by an acknowledgement.
+    pub acked: u64,
+}
+
+/// One unacknowledged message on the wire.
+#[derive(Debug, Clone)]
+struct Inflight {
+    seq: u16,
+    service: Service,
+    sent_at: u64,
+    /// Transmissions so far (1 after the initial send).
+    attempt: u32,
+}
+
+/// Stop-and-wait state towards one destination: at most one sequenced
+/// message in flight; later sends queue behind it so retransmissions can
+/// never reorder writes.
+#[derive(Debug)]
+struct DestQueue {
+    dest: RouterAddr,
+    inflight: Option<Inflight>,
+    backlog: VecDeque<(u16, Service)>,
+}
+
+/// Retransmitting sender for sequenced (explicit-ack) services.
+#[derive(Debug)]
+pub struct ReliableSender {
+    node: NodeId,
+    policy: RetryPolicy,
+    next_seq: u16,
+    /// `Vec`, not a map: iteration order must be deterministic.
+    queues: Vec<DestQueue>,
+    counters: RetryCounters,
+}
+
+impl ReliableSender {
+    /// A sender for the IP at `node` with the default [`RetryPolicy`].
+    pub fn new(node: NodeId) -> Self {
+        Self {
+            node,
+            policy: RetryPolicy::default(),
+            next_seq: 1,
+            queues: Vec::new(),
+            counters: RetryCounters::default(),
+        }
+    }
+
+    /// Overrides the retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active retry policy.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Work counters.
+    pub fn counters(&self) -> RetryCounters {
+        self.counters
+    }
+
+    /// Allocates the next non-zero sequence number.
+    pub fn alloc_seq(&mut self) -> u16 {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.checked_add(1).unwrap_or(1);
+        seq
+    }
+
+    /// No sequenced message is in flight or queued.
+    pub fn is_idle(&self) -> bool {
+        self.queues
+            .iter()
+            .all(|q| q.inflight.is_none() && q.backlog.is_empty())
+    }
+
+    fn queue_idx(&mut self, dest: RouterAddr) -> usize {
+        if let Some(i) = self.queues.iter().position(|q| q.dest == dest) {
+            return i;
+        }
+        self.queues.push(DestQueue {
+            dest,
+            inflight: None,
+            backlog: VecDeque::new(),
+        });
+        self.queues.len() - 1
+    }
+
+    /// Queues `service` for reliable delivery to `dest`, transmitting
+    /// immediately if the destination has nothing in flight. Returns the
+    /// assigned sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from [`NetPort::send_seq`].
+    pub fn send(
+        &mut self,
+        net: &mut NetPort<'_>,
+        dest: RouterAddr,
+        service: Service,
+        now: u64,
+    ) -> Result<u16, SystemError> {
+        let seq = self.alloc_seq();
+        self.counters.sent += 1;
+        let i = self.queue_idx(dest);
+        if self.queues[i].inflight.is_none() {
+            net.send_seq(dest, service.clone(), seq)?;
+            self.queues[i].inflight = Some(Inflight {
+                seq,
+                service,
+                sent_at: now,
+                attempt: 1,
+            });
+        } else {
+            self.queues[i].backlog.push_back((seq, service));
+        }
+        Ok(seq)
+    }
+
+    /// Processes an [`Ack`](Service::Ack) received from `from` for `seq`:
+    /// completes the matching in-flight message and launches the next one
+    /// queued for that destination, if any.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from transmitting the next queued message.
+    pub fn on_ack(
+        &mut self,
+        net: &mut NetPort<'_>,
+        from: RouterAddr,
+        seq: u16,
+        now: u64,
+    ) -> Result<(), SystemError> {
+        let Some(q) = self.queues.iter_mut().find(|q| q.dest == from) else {
+            return Ok(()); // stray ack
+        };
+        if q.inflight.as_ref().is_none_or(|inf| inf.seq != seq) {
+            return Ok(()); // duplicate or stale ack
+        }
+        q.inflight = None;
+        self.counters.acked += 1;
+        if let Some((next_seq, service)) = q.backlog.pop_front() {
+            net.send_seq(q.dest, service.clone(), next_seq)?;
+            q.inflight = Some(Inflight {
+                seq: next_seq,
+                service,
+                sent_at: now,
+                attempt: 1,
+            });
+        }
+        Ok(())
+    }
+
+    /// Retransmits timed-out messages; call once per cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::DeliveryFailed`] once a message has exhausted its
+    /// retry budget; transport errors from retransmitting.
+    pub fn poll(&mut self, net: &mut NetPort<'_>, now: u64) -> Result<(), SystemError> {
+        for q in &mut self.queues {
+            let Some(inf) = q.inflight.as_mut() else {
+                continue;
+            };
+            if now.saturating_sub(inf.sent_at) < self.policy.timeout_for(inf.attempt - 1) {
+                continue;
+            }
+            if inf.attempt > self.policy.max_retries {
+                return Err(SystemError::DeliveryFailed {
+                    node: self.node,
+                    dest: q.dest,
+                    seq: inf.seq,
+                    attempts: inf.attempt,
+                });
+            }
+            net.send_seq(q.dest, inf.service.clone(), inf.seq)?;
+            inf.sent_at = now;
+            inf.attempt += 1;
+            self.counters.retransmissions += 1;
+        }
+        Ok(())
+    }
+
+    /// Retransmits a timed-out implicit-ack request using this sender's
+    /// policy, counting the work here.
+    ///
+    /// # Errors
+    ///
+    /// As [`poll`](Self::poll).
+    pub fn poll_request(
+        &mut self,
+        net: &mut NetPort<'_>,
+        pending: &mut PendingRequest,
+        now: u64,
+    ) -> Result<(), SystemError> {
+        if now.saturating_sub(pending.sent_at) < self.policy.timeout_for(pending.attempt - 1) {
+            return Ok(());
+        }
+        if pending.attempt > self.policy.max_retries {
+            return Err(SystemError::DeliveryFailed {
+                node: self.node,
+                dest: pending.dest,
+                seq: pending.seq,
+                attempts: pending.attempt,
+            });
+        }
+        net.send_seq(pending.dest, pending.request.clone(), pending.seq)?;
+        pending.sent_at = now;
+        pending.attempt += 1;
+        self.counters.retransmissions += 1;
+        Ok(())
+    }
+
+    /// Like [`poll_request`](Self::poll_request), but without a retry
+    /// budget: the request keeps retransmitting at the widest backoff
+    /// forever. For requests answered by the *host* (`Scanf`), where a
+    /// long silence means a slow human, not a lost packet.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from retransmitting.
+    pub fn poll_request_patient(
+        &mut self,
+        net: &mut NetPort<'_>,
+        pending: &mut PendingRequest,
+        now: u64,
+    ) -> Result<(), SystemError> {
+        if now.saturating_sub(pending.sent_at) < self.policy.timeout_for(pending.attempt - 1) {
+            return Ok(());
+        }
+        net.send_seq(pending.dest, pending.request.clone(), pending.seq)?;
+        pending.sent_at = now;
+        pending.attempt = pending.attempt.saturating_add(1);
+        self.counters.retransmissions += 1;
+        Ok(())
+    }
+}
+
+/// A request whose response acts as its acknowledgement
+/// (`ReadFromMemory` → `ReadReturn`, `Scanf` → `ScanfReturn`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingRequest {
+    /// Where the request went.
+    pub dest: RouterAddr,
+    /// Its sequence number; the response must echo it.
+    pub seq: u16,
+    /// The request itself, kept for retransmission.
+    pub request: Service,
+    /// Cycle of the most recent transmission.
+    pub sent_at: u64,
+    /// Transmissions so far.
+    pub attempt: u32,
+}
+
+impl PendingRequest {
+    /// Records a request just transmitted at `now`.
+    pub fn new(dest: RouterAddr, seq: u16, request: Service, now: u64) -> Self {
+        Self {
+            dest,
+            seq,
+            request,
+            sent_at: now,
+            attempt: 1,
+        }
+    }
+
+    /// Whether a response carrying `seq` from `src` answers this request.
+    pub fn matches(&self, src: RouterAddr, seq: u16) -> bool {
+        self.dest == src && self.seq == seq
+    }
+}
+
+/// Receiver-side duplicate suppression for sequenced messages.
+///
+/// Stop-and-wait sending means a duplicate can only repeat the *latest*
+/// sequence number from a peer, so remembering one number per peer is
+/// exact, not heuristic.
+#[derive(Debug, Default)]
+pub struct DedupReceiver {
+    seen: Vec<(RouterAddr, u16)>,
+    duplicates: u64,
+}
+
+impl DedupReceiver {
+    /// A receiver with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the message `(src, seq)` is fresh and should be applied.
+    /// Duplicates are counted and refused (the caller still acknowledges
+    /// them, since the first ack evidently went missing). Unsequenced
+    /// messages (`seq == 0`) are always fresh.
+    pub fn accept(&mut self, src: RouterAddr, seq: u16) -> bool {
+        if seq == 0 {
+            return true;
+        }
+        match self.seen.iter_mut().find(|(peer, _)| *peer == src) {
+            Some((_, last)) if *last == seq => {
+                self.duplicates += 1;
+                false
+            }
+            Some((_, last)) => {
+                *last = seq;
+                true
+            }
+            None => {
+                self.seen.push((src, seq));
+                true
+            }
+        }
+    }
+
+    /// Duplicates refused so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+impl fmt::Display for RetryCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sent, {} retransmitted, {} acked",
+            self.sent, self.retransmissions, self.acked
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_noc::{Noc, NocConfig};
+
+    fn mesh() -> Noc {
+        Noc::new(NocConfig::mesh(2, 2)).expect("2x2 mesh")
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            base_timeout: 100,
+            max_retries: 20,
+        };
+        assert_eq!(p.timeout_for(0), 100);
+        assert_eq!(p.timeout_for(1), 200);
+        assert_eq!(p.timeout_for(3), 800);
+        assert_eq!(p.timeout_for(6), 6_400);
+        assert_eq!(p.timeout_for(19), 6_400, "backoff is bounded");
+    }
+
+    #[test]
+    fn seq_allocation_skips_zero() {
+        let mut s = ReliableSender::new(NodeId(1));
+        s.next_seq = u16::MAX;
+        assert_eq!(s.alloc_seq(), u16::MAX);
+        assert_eq!(s.alloc_seq(), 1, "wraps past the reserved 0");
+    }
+
+    #[test]
+    fn stop_and_wait_queues_behind_the_inflight_message() {
+        let mut noc = mesh();
+        let here = RouterAddr::new(0, 0);
+        let dest = RouterAddr::new(1, 1);
+        let mut sender = ReliableSender::new(NodeId(0));
+        let mut net = NetPort::new(&mut noc, here);
+        let s1 = sender
+            .send(&mut net, dest, Service::Notify { from: 0 }, 0)
+            .expect("send");
+        let s2 = sender
+            .send(&mut net, dest, Service::Notify { from: 0 }, 0)
+            .expect("send");
+        assert_ne!(s1, s2);
+        assert!(!sender.is_idle());
+        // Only the first is on the wire until its ack arrives.
+        noc.run_until_idle(10_000).expect("delivers");
+        let mut net = NetPort::new(&mut noc, dest);
+        let got = net.recv().expect("recv").expect("one message");
+        assert_eq!(got.seq, s1);
+        assert!(net.recv().expect("recv").is_none());
+        // Ack the first: the second launches.
+        let mut net = NetPort::new(&mut noc, here);
+        sender.on_ack(&mut net, dest, s1, 100).expect("ack");
+        noc.run_until_idle(10_000).expect("delivers");
+        let mut net = NetPort::new(&mut noc, dest);
+        assert_eq!(net.recv().expect("recv").expect("second").seq, s2);
+        sender
+            .on_ack(&mut NetPort::new(&mut noc, here), dest, s2, 200)
+            .expect("ack");
+        assert!(sender.is_idle());
+        assert_eq!(sender.counters().acked, 2);
+    }
+
+    #[test]
+    fn timeouts_retransmit_then_fail_typed() {
+        let mut noc = mesh();
+        let here = RouterAddr::new(0, 0);
+        let dest = RouterAddr::new(1, 1);
+        let mut sender = ReliableSender::new(NodeId(3)).with_policy(RetryPolicy {
+            base_timeout: 10,
+            max_retries: 2,
+        });
+        let mut net = NetPort::new(&mut noc, here);
+        sender
+            .send(&mut net, dest, Service::ActivateProcessor, 0)
+            .expect("send");
+        // No ack ever arrives: two retransmissions, then a typed failure.
+        let mut t = 0;
+        let err = loop {
+            t += 1_000;
+            let mut net = NetPort::new(&mut noc, here);
+            match sender.poll(&mut net, t) {
+                Ok(()) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(sender.counters().retransmissions, 2);
+        match err {
+            SystemError::DeliveryFailed {
+                node,
+                dest: d,
+                attempts,
+                ..
+            } => {
+                assert_eq!(node, NodeId(3));
+                assert_eq!(d, dest);
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected DeliveryFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dedup_refuses_repeats_but_accepts_progress() {
+        let mut d = DedupReceiver::new();
+        let a = RouterAddr::new(0, 0);
+        let b = RouterAddr::new(1, 0);
+        assert!(d.accept(a, 1));
+        assert!(!d.accept(a, 1), "duplicate refused");
+        assert!(d.accept(a, 2));
+        assert!(d.accept(b, 1), "peers are independent");
+        assert!(d.accept(a, 0), "unsequenced always fresh");
+        assert!(d.accept(a, 0));
+        assert_eq!(d.duplicates(), 1);
+    }
+
+    #[test]
+    fn stray_and_stale_acks_are_ignored() {
+        let mut noc = mesh();
+        let here = RouterAddr::new(0, 0);
+        let dest = RouterAddr::new(1, 1);
+        let mut sender = ReliableSender::new(NodeId(0));
+        let mut net = NetPort::new(&mut noc, here);
+        let seq = sender
+            .send(&mut net, dest, Service::Notify { from: 0 }, 0)
+            .expect("send");
+        sender
+            .on_ack(&mut net, RouterAddr::new(0, 1), seq, 1)
+            .expect("stray peer");
+        sender
+            .on_ack(&mut net, dest, seq.wrapping_add(9), 1)
+            .expect("wrong seq");
+        assert!(!sender.is_idle());
+        sender.on_ack(&mut net, dest, seq, 1).expect("real ack");
+        assert!(sender.is_idle());
+        sender
+            .on_ack(&mut net, dest, seq, 2)
+            .expect("duplicate ack");
+        assert_eq!(sender.counters().acked, 1);
+    }
+}

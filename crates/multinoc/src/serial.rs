@@ -361,7 +361,9 @@ impl FrameBuffer {
                 addr: self.word(3),
                 data: self.words(5, usize::from(self.bytes[2])),
             },
-            opcode::ACTIVATE => HostCommand::Activate { node: self.bytes[1] },
+            opcode::ACTIVATE => HostCommand::Activate {
+                node: self.bytes[1],
+            },
             opcode::SCANF_RETURN => HostCommand::ScanfReturn {
                 node: self.bytes[1],
                 value: self.word(2),
@@ -401,7 +403,9 @@ impl FrameBuffer {
                 node: self.bytes[1],
                 value: self.word(2),
             },
-            opcode::SCANF_REQUEST => DeviceFrame::ScanfRequest { node: self.bytes[1] },
+            opcode::SCANF_REQUEST => DeviceFrame::ScanfRequest {
+                node: self.bytes[1],
+            },
             opcode::READ_RETURN => DeviceFrame::ReadReturn {
                 node: self.bytes[1],
                 addr: self.word(3),
@@ -420,7 +424,9 @@ mod tests {
 
     #[test]
     fn link_delivers_bytes_with_timing() {
-        let mut link = SerialLink::new(SerialConfig { cycles_per_byte: 10 });
+        let mut link = SerialLink::new(SerialConfig {
+            cycles_per_byte: 10,
+        });
         link.host_send(&[1, 2, 3]);
         let mut arrivals = Vec::new();
         for now in 0..40 {
@@ -453,7 +459,11 @@ mod tests {
     #[test]
     fn paper_read_command_byte_layout() {
         // "00 01 01 00 20": read (00) from P1 (01), one word (01), at 0020h.
-        let cmd = HostCommand::ReadMemory { node: 1, count: 1, addr: 0x20 };
+        let cmd = HostCommand::ReadMemory {
+            node: 1,
+            count: 1,
+            addr: 0x20,
+        };
         assert_eq!(cmd.to_bytes(), vec![0x00, 0x01, 0x01, 0x00, 0x20]);
     }
 
@@ -468,14 +478,21 @@ mod tests {
 
     #[test]
     fn host_commands_round_trip() {
-        round_trip_host(HostCommand::ReadMemory { node: 3, count: 9, addr: 0x1234 });
+        round_trip_host(HostCommand::ReadMemory {
+            node: 3,
+            count: 9,
+            addr: 0x1234,
+        });
         round_trip_host(HostCommand::WriteMemory {
             node: 1,
             addr: 0x0040,
             data: vec![0xDEAD, 0xBEEF],
         });
         round_trip_host(HostCommand::Activate { node: 2 });
-        round_trip_host(HostCommand::ScanfReturn { node: 1, value: 777 });
+        round_trip_host(HostCommand::ScanfReturn {
+            node: 1,
+            value: 777,
+        });
     }
 
     fn round_trip_device(frame: DeviceFrame) {
@@ -489,7 +506,10 @@ mod tests {
 
     #[test]
     fn device_frames_round_trip() {
-        round_trip_device(DeviceFrame::Printf { node: 1, value: 0xCAFE });
+        round_trip_device(DeviceFrame::Printf {
+            node: 1,
+            value: 0xCAFE,
+        });
         round_trip_device(DeviceFrame::ScanfRequest { node: 2 });
         round_trip_device(DeviceFrame::ReadReturn {
             node: 3,
@@ -519,10 +539,7 @@ mod tests {
     fn unknown_opcode_is_an_error() {
         let mut buf = FrameBuffer::new();
         buf.push(0x99);
-        assert_eq!(
-            buf.parse_host_command(),
-            Err(FrameError { opcode: 0x99 })
-        );
+        assert_eq!(buf.parse_host_command(), Err(FrameError { opcode: 0x99 }));
     }
 
     #[test]

@@ -7,9 +7,27 @@
 //! A service message is carried in the *payload* of a Hermes packet (the
 //! header and size flits are the network's own framing). The first
 //! payload flit is the service code, the second the source router
-//! address; 16-bit fields are then split big-endian over as many flits as
-//! the flit width requires (two flits per word with the paper's 8-bit
-//! flits).
+//! address, followed by a 16-bit sequence number; 16-bit fields are then
+//! split big-endian over as many flits as the flit width requires (two
+//! flits per word with the paper's 8-bit flits).
+//!
+//! ## Reliability extension
+//!
+//! Two fields extend the paper's wire format so the system survives an
+//! unreliable network (see `DESIGN.md`, "Fault model and recovery"):
+//!
+//! - every message ends in **two check flits**, a Fletcher-style
+//!   [`checksum`] of all preceding payload flits. Any bit flip in one
+//!   flit — and any pair of single-bit flips in two flits, for every
+//!   packet length the network can carry — changes at least one check
+//!   flit, so [`Message::from_packet`] detects it and returns
+//!   [`ServiceError::Checksum`] instead of a mangled message;
+//! - every message carries a **sequence number** right after the source
+//!   address. `0` means "unsequenced" (fire-and-forget, the paper's
+//!   original semantics); a non-zero value identifies the message for
+//!   acknowledgement, retransmission and duplicate suppression. The
+//!   tenth service code, [`Service::Ack`], acknowledges the sequence
+//!   number it carries in its own `seq` field.
 
 use std::fmt;
 
@@ -37,6 +55,9 @@ pub enum ServiceCode {
     Notify = 8,
     /// Block a processor until it is notified.
     Wait = 9,
+    /// Acknowledge a sequenced message (reliability extension; not one
+    /// of the paper's nine services).
+    Ack = 10,
 }
 
 impl ServiceCode {
@@ -51,6 +72,7 @@ impl ServiceCode {
             7 => ServiceCode::ScanfReturn,
             8 => ServiceCode::Notify,
             9 => ServiceCode::Wait,
+            10 => ServiceCode::Ack,
             _ => return None,
         })
     }
@@ -104,6 +126,9 @@ pub enum Service {
         /// Node number whose notify releases the target.
         from: u16,
     },
+    /// Acknowledge the sequenced message whose sequence number this
+    /// message carries in [`Message::seq`].
+    Ack,
 }
 
 impl Service {
@@ -119,6 +144,7 @@ impl Service {
             Service::ScanfReturn { .. } => ServiceCode::ScanfReturn,
             Service::Notify { .. } => ServiceCode::Notify,
             Service::Wait { .. } => ServiceCode::Wait,
+            Service::Ack => ServiceCode::Ack,
         }
     }
 }
@@ -141,6 +167,7 @@ impl fmt::Display for Service {
             Service::ScanfReturn { value } => write!(f, "scanf return {value:#06x}"),
             Service::Notify { from } => write!(f, "notify from node {from}"),
             Service::Wait { from } => write!(f, "wait for node {from}"),
+            Service::Ack => write!(f, "ack"),
         }
     }
 }
@@ -150,6 +177,11 @@ impl fmt::Display for Service {
 pub struct Message {
     /// Router address of the sender.
     pub src: RouterAddr,
+    /// Sequence number; `0` means unsequenced (fire-and-forget). For
+    /// [`Service::Ack`] this is the sequence number being acknowledged,
+    /// for responses ([`Service::ReadReturn`], [`Service::ScanfReturn`])
+    /// it echoes the request's sequence number.
+    pub seq: u16,
     /// The service payload.
     pub service: Service,
 }
@@ -163,6 +195,9 @@ pub enum ServiceError {
     UnknownCode(u16),
     /// Variable-length data did not align to whole 16-bit words.
     RaggedData,
+    /// The trailing check flits did not match the payload: at least one
+    /// flit was corrupted in flight.
+    Checksum,
 }
 
 impl fmt::Display for ServiceError {
@@ -171,6 +206,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Truncated => write!(f, "service payload truncated"),
             ServiceError::UnknownCode(c) => write!(f, "unknown service code {c}"),
             ServiceError::RaggedData => write!(f, "service data not word-aligned"),
+            ServiceError::Checksum => write!(f, "service checksum mismatch"),
         }
     }
 }
@@ -192,7 +228,11 @@ pub fn pack_u16(value: u16, flit_bits: u8, out: &mut Vec<u16>) {
     };
     for i in (0..chunks).rev() {
         let shift = (i as u8) * flit_bits;
-        let chunk = if shift >= 16 { 0 } else { (value >> shift) & mask };
+        let chunk = if shift >= 16 {
+            0
+        } else {
+            (value >> shift) & mask
+        };
         out.push(chunk);
     }
 }
@@ -211,10 +251,43 @@ pub fn unpack_u16(flits: &[u16], pos: &mut usize, flit_bits: u8) -> Result<u16, 
     Ok(value as u16)
 }
 
+/// Fletcher-style checksum of a flit sequence at the given flit width:
+/// `c0` is the sum of the flits and `c1` the sum of the running sums,
+/// both modulo `2^flit_bits − 1`. The two values travel as the last two
+/// payload flits.
+///
+/// A single-bit flip changes a flit by ±2^b with `b < flit_bits`, never
+/// a multiple of the modulus, so `c0` always catches it. Two single-bit
+/// flips that cancel in `c0` must be exact negations, and then cancel in
+/// the position-weighted `c1` only when the flits lie a full modulus
+/// apart — longer than any packet the network accepts. (A plain XOR
+/// parity, by contrast, silently passes any two flips of the same bit
+/// position.)
+pub fn checksum(flits: &[u16], flit_bits: u8) -> (u16, u16) {
+    let m = (1u64 << flit_bits) - 1;
+    let mut c0: u64 = 0;
+    let mut c1: u64 = 0;
+    for &f in flits {
+        c0 = (c0 + u64::from(f)) % m;
+        c1 = (c1 + c0) % m;
+    }
+    (c0 as u16, c1 as u16)
+}
+
 impl Message {
-    /// Creates a message.
+    /// Creates an unsequenced message (`seq == 0`).
     pub fn new(src: RouterAddr, service: Service) -> Self {
-        Self { src, service }
+        Self {
+            src,
+            seq: 0,
+            service,
+        }
+    }
+
+    /// Sets the sequence number.
+    pub fn with_seq(mut self, seq: u16) -> Self {
+        self.seq = seq;
+        self
     }
 
     /// Encodes the message into a network packet for router `dest`.
@@ -222,6 +295,7 @@ impl Message {
         let mut payload = Vec::new();
         payload.push(self.service.code() as u16);
         payload.push(self.src.to_flit(flit_bits));
+        pack_u16(self.seq, flit_bits, &mut payload);
         let mut word = |v: u16| pack_u16(v, flit_bits, &mut payload);
         match &self.service {
             Service::ReadFromMemory { addr, count } => {
@@ -242,24 +316,36 @@ impl Message {
             }
             Service::ScanfReturn { value } => word(*value),
             Service::Notify { from } | Service::Wait { from } => word(*from),
+            Service::Ack => {}
         }
+        let (c0, c1) = checksum(&payload, flit_bits);
+        payload.push(c0);
+        payload.push(c1);
         Packet::new(dest, payload)
     }
 
-    /// Decodes a delivered packet payload back into a message.
+    /// Decodes a delivered packet payload back into a message, verifying
+    /// and stripping the two trailing check flits.
     ///
     /// # Errors
     ///
-    /// [`ServiceError`] if the payload is truncated, carries an unknown
-    /// code, or its variable-length data is not word-aligned.
+    /// [`ServiceError`] if the payload is truncated, fails its checksum,
+    /// carries an unknown code, or its variable-length data is not
+    /// word-aligned.
     pub fn from_packet(packet: &Packet, flit_bits: u8) -> Result<Self, ServiceError> {
-        let flits = packet.payload();
-        if flits.len() < 2 {
+        let all = packet.payload();
+        // Minimum: code + src + seq word + two check flits.
+        if all.len() < 4 + flits_per_word(flit_bits) {
             return Err(ServiceError::Truncated);
+        }
+        let (flits, check) = all.split_at(all.len() - 2);
+        if checksum(flits, flit_bits) != (check[0], check[1]) {
+            return Err(ServiceError::Checksum);
         }
         let code = ServiceCode::from_flit(flits[0]).ok_or(ServiceError::UnknownCode(flits[0]))?;
         let src = RouterAddr::from_flit(flits[1], flit_bits);
         let mut pos = 2;
+        let seq = unpack_u16(flits, &mut pos, flit_bits)?;
         let read_word = |pos: &mut usize| unpack_u16(flits, pos, flit_bits);
         let read_rest = |pos: &mut usize| -> Result<Vec<u16>, ServiceError> {
             let per = flits_per_word(flit_bits);
@@ -299,21 +385,24 @@ impl Message {
             ServiceCode::Wait => Service::Wait {
                 from: read_word(&mut pos)?,
             },
+            ServiceCode::Ack => Service::Ack,
         };
-        Ok(Self { src, service })
+        Ok(Self { src, seq, service })
     }
 
     /// Maximum words per read/write/printf data block so the packet stays
     /// within the flit-width packet size limit.
     pub fn max_data_words(flit_bits: u8) -> usize {
-        let max_payload = (1usize << flit_bits).saturating_sub(2).min(if flit_bits >= 16 {
-            usize::from(u16::MAX)
-        } else {
-            (1 << flit_bits) - 1
-        });
+        let max_payload = (1usize << flit_bits)
+            .saturating_sub(2)
+            .min(if flit_bits >= 16 {
+                usize::from(u16::MAX)
+            } else {
+                (1 << flit_bits) - 1
+            });
         let per = flits_per_word(flit_bits);
-        // code + src + addr leave the rest for data.
-        (max_payload - 2 - per) / per
+        // code + src + seq + addr + two check flits leave the rest.
+        (max_payload - 4 - 2 * per) / per
     }
 }
 
@@ -335,7 +424,10 @@ mod tests {
 
     #[test]
     fn all_nine_services_round_trip() {
-        round_trip(Service::ReadFromMemory { addr: 0x20, count: 4 });
+        round_trip(Service::ReadFromMemory {
+            addr: 0x20,
+            count: 4,
+        });
         round_trip(Service::ReadReturn {
             addr: 0x20,
             data: vec![1, 0xFFFF, 42],
@@ -345,7 +437,9 @@ mod tests {
             data: vec![0xABCD],
         });
         round_trip(Service::ActivateProcessor);
-        round_trip(Service::Printf { data: vec![72, 105] });
+        round_trip(Service::Printf {
+            data: vec![72, 105],
+        });
         round_trip(Service::Scanf);
         round_trip(Service::ScanfReturn { value: 0xBEEF });
         round_trip(Service::Notify { from: 2 });
@@ -353,36 +447,127 @@ mod tests {
     }
 
     #[test]
+    fn ack_and_sequence_numbers_round_trip() {
+        let src = RouterAddr::new(1, 0);
+        for flit_bits in [8u8, 16] {
+            let msg = Message::new(src, Service::Ack).with_seq(0xBEEF);
+            let packet = msg.to_packet(RouterAddr::new(0, 0), flit_bits);
+            let back = Message::from_packet(&packet, flit_bits).expect("decodes");
+            assert_eq!(back.seq, 0xBEEF);
+            assert_eq!(back.service, Service::Ack);
+        }
+    }
+
+    #[test]
     fn empty_data_blocks_round_trip() {
         round_trip(Service::Printf { data: vec![] });
-        round_trip(Service::WriteInMemory { addr: 0, data: vec![] });
+        round_trip(Service::WriteInMemory {
+            addr: 0,
+            data: vec![],
+        });
+    }
+
+    /// Appends the two check flits to a hand-built 8-bit payload.
+    fn with_ck(mut flits: Vec<u16>) -> Vec<u16> {
+        let (c0, c1) = checksum(&flits, 8);
+        flits.extend([c0, c1]);
+        flits
     }
 
     #[test]
     fn wire_format_is_as_documented() {
-        // 8-bit flits: [code, src, addr_hi, addr_lo, count_hi, count_lo].
+        // 8-bit flits: [code, src, seq_hi, seq_lo, addr_hi, addr_lo,
+        // count_hi, count_lo, c0, c1].
         let msg = Message::new(
             RouterAddr::new(0, 0),
-            Service::ReadFromMemory { addr: 0x0120, count: 1 },
-        );
+            Service::ReadFromMemory {
+                addr: 0x0120,
+                count: 1,
+            },
+        )
+        .with_seq(0x0007);
         let packet = msg.to_packet(RouterAddr::new(1, 1), 8);
-        assert_eq!(packet.payload(), &[1, 0x00, 0x01, 0x20, 0x00, 0x01]);
+        assert_eq!(
+            packet.payload(),
+            &[1, 0x00, 0x00, 0x07, 0x01, 0x20, 0x00, 0x01, 0x2A, 0x90]
+        );
+        // c0 = sum of the fields mod 255, c1 = sum of running sums.
+        assert_eq!(checksum(&packet.payload()[..8], 8), (0x2A, 0x90));
     }
 
     #[test]
     fn decode_rejects_garbage() {
-        let p = Packet::new(RouterAddr::new(0, 0), vec![99, 0, 0]);
+        // Unknown code with *valid* check flits still fails.
+        let p = Packet::new(RouterAddr::new(0, 0), with_ck(vec![99, 0, 0, 0]));
         assert_eq!(
             Message::from_packet(&p, 8),
             Err(ServiceError::UnknownCode(99))
         );
         let p = Packet::new(RouterAddr::new(0, 0), vec![1]);
         assert_eq!(Message::from_packet(&p, 8), Err(ServiceError::Truncated));
-        let p = Packet::new(RouterAddr::new(0, 0), vec![1, 0, 0]);
+        let p = Packet::new(RouterAddr::new(0, 0), vec![1, 0, 0, 0, 0]);
         assert_eq!(Message::from_packet(&p, 8), Err(ServiceError::Truncated));
-        // Ragged printf data (odd flit count at 8-bit width).
-        let p = Packet::new(RouterAddr::new(0, 0), vec![5, 0, 1, 2, 3]);
+        // Ragged printf data (odd flit count at 8-bit width), check ok.
+        let p = Packet::new(RouterAddr::new(0, 0), with_ck(vec![5, 0, 0, 0, 1, 2, 3]));
         assert_eq!(Message::from_packet(&p, 8), Err(ServiceError::RaggedData));
+    }
+
+    #[test]
+    fn checksum_catches_any_single_flit_corruption() {
+        let msg = Message::new(
+            RouterAddr::new(0, 1),
+            Service::ReadReturn {
+                addr: 0x40,
+                data: vec![0x1234, 0x00FF],
+            },
+        )
+        .with_seq(3);
+        let good = msg.to_packet(RouterAddr::new(1, 1), 8);
+        assert!(Message::from_packet(&good, 8).is_ok());
+        for i in 0..good.payload().len() {
+            for bit in 0..8 {
+                let mut flits = good.payload().to_vec();
+                flits[i] ^= 1 << bit;
+                let bad = Packet::new(good.dest(), flits);
+                match Message::from_packet(&bad, 8) {
+                    Err(ServiceError::Checksum) => {}
+                    other => panic!("corruption of flit {i} bit {bit} gave {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_catches_same_bit_double_corruption() {
+        // The failure mode that breaks a plain XOR parity: the same bit
+        // flipped in two different flits. The position-weighted second
+        // check flit must still catch every such pair.
+        let msg = Message::new(
+            RouterAddr::new(0, 1),
+            Service::WriteInMemory {
+                addr: 0x10,
+                data: vec![0x5555, 0xAAAA, 0x0F0F],
+            },
+        )
+        .with_seq(9);
+        let good = msg.to_packet(RouterAddr::new(1, 1), 8);
+        let n = good.payload().len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for bit in 0..8 {
+                    let mut flits = good.payload().to_vec();
+                    flits[i] ^= 1 << bit;
+                    flits[j] ^= 1 << bit;
+                    let bad = Packet::new(good.dest(), flits);
+                    match Message::from_packet(&bad, 8) {
+                        Err(ServiceError::Checksum) => {}
+                        other => {
+                            panic!("flits {i},{j} bit {bit} corrupted, got {other:?}")
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -407,8 +592,9 @@ mod tests {
 
     #[test]
     fn max_data_words_fits_packets() {
-        // 8-bit flits: 254 payload max; code+src+addr(2) = 4; (254-4)/2 = 125.
-        assert_eq!(Message::max_data_words(8), 125);
+        // 8-bit flits: 254 payload max; code+src+check(4) + seq(2) +
+        // addr(2) = 8; (254-8)/2 = 123.
+        assert_eq!(Message::max_data_words(8), 123);
         let msg = Message::new(
             RouterAddr::new(0, 0),
             Service::WriteInMemory {

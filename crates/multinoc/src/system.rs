@@ -1,7 +1,7 @@
 //! The integrated MultiNoC system: Hermes NoC + IP cores + serial link,
 //! co-simulated cycle by cycle.
 
-use hermes_noc::{Noc, NocConfig, NocStats, RouterAddr};
+use hermes_noc::{FaultPlan, Noc, NocConfig, NocStats, RouterAddr};
 use r8::core::Cpu;
 
 use crate::addrmap::AddressMap;
@@ -9,10 +9,31 @@ use crate::error::SystemError;
 use crate::memory::{MemoryCore, MemoryIp};
 use crate::net::NetPort;
 use crate::node::{NodeId, NodeKind, NodeTable};
-use crate::processor::{ProcessorIp, ProcessorStatus};
+use crate::processor::{BlockReason, ProcessorIp, ProcessorStatus};
+use crate::reliable::RetryCounters;
 use crate::serial::{SerialConfig, SerialLink};
 use crate::serial_ip::SerialIp;
 use crate::trace::{ServiceCounters, TraceLog};
+
+/// Cycles without a single flit hop (with flits in flight) before the
+/// watchdog declares a dead link. Comfortably above the worst-case
+/// wormhole service time on the paper's mesh.
+const WATCHDOG_WINDOW: u64 = 4096;
+
+/// Progress monitor armed alongside fault injection. Healthy systems
+/// either move flits or go quiet with nothing owed; the watchdog
+/// recognises the two ways a faulty system can hang instead — every
+/// active processor parked in `wait` with the network drained, or
+/// traffic wedged in the mesh making no forward progress.
+#[derive(Debug)]
+struct Watchdog {
+    /// Cycles of zero flit movement tolerated while flits are in flight.
+    window: u64,
+    /// `flit_hops` at the last observed movement.
+    last_hops: u64,
+    /// Cycle of the last observed movement.
+    last_change: u64,
+}
 
 /// One IP core instance. `Vacant` marks a node removed by dynamic
 /// reconfiguration: its id is never reused and stray packets addressed
@@ -41,6 +62,9 @@ pub struct System {
     trace: Option<TraceLog>,
     /// Routers whose IP was removed; stray deliveries there are dropped.
     vacated_routers: Vec<RouterAddr>,
+    /// Armed by [`set_fault_plan`](Self::set_fault_plan) or
+    /// [`enable_watchdog`](Self::enable_watchdog); off by default.
+    watchdog: Option<Watchdog>,
 }
 
 impl System {
@@ -237,6 +261,73 @@ impl System {
         &self.counters
     }
 
+    /// Injects faults into the network according to `plan` and arms the
+    /// [watchdog](Self::enable_watchdog): a faulty network can hang in
+    /// ways a healthy one cannot, and hangs should become typed errors,
+    /// not exhausted budgets.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.noc.set_fault_plan(plan);
+        self.enable_watchdog();
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.noc.fault_plan()
+    }
+
+    /// Arms the progress watchdog. The run methods then return
+    /// [`SystemError::Deadlock`] when every active processor is parked
+    /// in `wait` with the network drained and nothing owed, and
+    /// [`SystemError::DeadLink`] when flits in flight make no forward
+    /// progress for a whole window — instead of burning their budget.
+    pub fn enable_watchdog(&mut self) {
+        let (hops, cycle) = (self.noc.stats().flit_hops, self.noc.cycle());
+        self.watchdog.get_or_insert(Watchdog {
+            window: WATCHDOG_WINDOW,
+            last_hops: hops,
+            last_change: cycle,
+        });
+    }
+
+    /// Whether every IP's reliability layer is quiet: no unacknowledged
+    /// messages, queued retransmissions or outstanding requests.
+    pub fn net_quiet(&self) -> bool {
+        self.ips.iter().all(|ip| match ip {
+            Ip::Processor(p) => p.net_quiet(),
+            Ip::Serial(s) => s.net_quiet(),
+            _ => true,
+        })
+    }
+
+    /// Aggregate reliability-layer work across every IP.
+    pub fn retry_counters(&self) -> RetryCounters {
+        let mut total = RetryCounters::default();
+        for ip in &self.ips {
+            let c = match ip {
+                Ip::Processor(p) => p.retry_counters(),
+                Ip::Serial(s) => s.retry_counters(),
+                _ => continue,
+            };
+            total.sent += c.sent;
+            total.retransmissions += c.retransmissions;
+            total.acked += c.acked;
+        }
+        total
+    }
+
+    /// Duplicate sequenced messages suppressed by receivers, summed over
+    /// every IP.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.ips
+            .iter()
+            .map(|ip| match ip {
+                Ip::Processor(p) => p.duplicates_dropped(),
+                Ip::Memory(m) => m.duplicates_dropped(),
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// Starts recording service messages into a bounded event log.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(TraceLog::new(capacity));
@@ -275,11 +366,11 @@ impl System {
             let mut net = NetPort::observed(&mut self.noc, addr, observer);
             match &mut self.ips[idx] {
                 Ip::Processor(p) => p.step(now, &mut net)?,
-                Ip::Serial(s) => s.step(&mut self.link, &mut net)?,
+                Ip::Serial(s) => s.step(now, &mut self.link, &mut net)?,
                 Ip::Memory(m) => {
                     while let Some(msg) = net.recv()? {
-                        if let Some((dest, reply)) = m.handle(&msg) {
-                            net.send(dest, reply)?;
+                        if let Some((dest, reply, seq)) = m.handle(&msg) {
+                            net.send_seq(dest, reply, seq)?;
                         }
                     }
                 }
@@ -325,10 +416,12 @@ impl System {
     }
 
     /// Whether nothing can make progress any more: network and link
-    /// drained, and every processor inactive, halted or blocked.
+    /// drained, no retransmission owed, and every processor inactive,
+    /// halted or blocked.
     pub fn is_idle(&self) -> bool {
         self.noc.is_idle()
             && self.link.is_idle()
+            && self.net_quiet()
             && self.ips.iter().all(|ip| match ip {
                 Ip::Processor(p) => {
                     matches!(
@@ -343,13 +436,73 @@ impl System {
             })
     }
 
-    /// Runs until every activated processor halts and the network and
-    /// link drain.
+    /// The watchdog's verdict on the current cycle, if it is armed.
+    /// Distinguishes the two ways a faulty system hangs: everyone parked
+    /// in `wait` with the network drained (deadlock — the missing
+    /// notifies can never arrive) and flits in flight that stopped
+    /// moving (a wedged wormhole on a dead link).
+    fn watchdog_check(&mut self) -> Result<(), SystemError> {
+        let now = self.noc.cycle();
+        let hops = self.noc.stats().flit_hops;
+        let (window, last_change) = match &mut self.watchdog {
+            None => return Ok(()),
+            Some(w) => {
+                if hops != w.last_hops {
+                    w.last_hops = hops;
+                    w.last_change = now;
+                    return Ok(());
+                }
+                (w.window, w.last_change)
+            }
+        };
+        if !self.noc.is_idle() {
+            let stalled_for = now - last_change;
+            if stalled_for >= window {
+                return Err(SystemError::DeadLink { stalled_for });
+            }
+            return Ok(());
+        }
+        // Network drained. If nothing is owed and every active,
+        // non-halted processor sits in `wait`, nobody can notify anyone:
+        // that is a deadlock, and waiting longer will not change it.
+        if !self.link.is_idle() || !self.net_quiet() {
+            return Ok(());
+        }
+        let mut waiting = Vec::new();
+        let mut any_active = false;
+        for (i, ip) in self.ips.iter().enumerate() {
+            let Ip::Processor(p) = ip else { continue };
+            if !p.is_active()
+                || matches!(
+                    p.status(),
+                    ProcessorStatus::Halted | ProcessorStatus::Faulted
+                )
+            {
+                continue;
+            }
+            any_active = true;
+            match p.block_reason() {
+                Some(BlockReason::WaitFor(target)) => waiting.push((NodeId(i as u8), target)),
+                // Running, or blocked on something the host or a reply
+                // can still unblock: not a deadlock.
+                _ => return Ok(()),
+            }
+        }
+        if any_active && !waiting.is_empty() {
+            return Err(SystemError::Deadlock { waiting });
+        }
+        Ok(())
+    }
+
+    /// Runs until every activated processor halts and the network, link
+    /// and reliability layer drain.
     ///
     /// # Errors
     ///
     /// [`SystemError::BudgetExhausted`] after `budget` cycles,
-    /// [`SystemError::Cpu`] if a processor faulted, or a protocol error.
+    /// [`SystemError::Cpu`] if a processor faulted, a watchdog verdict
+    /// ([`SystemError::Deadlock`] / [`SystemError::DeadLink`]) if one is
+    /// armed, or a protocol error.
     pub fn run_until_halted(&mut self, budget: u64) -> Result<u64, SystemError> {
         let start = self.cycle();
         loop {
@@ -359,9 +512,10 @@ impl System {
                     message: fault.to_string(),
                 });
             }
-            if self.all_halted() && self.noc.is_idle() && self.link.is_idle() {
+            if self.all_halted() && self.noc.is_idle() && self.link.is_idle() && self.net_quiet() {
                 return Ok(self.cycle() - start);
             }
+            self.watchdog_check()?;
             if self.cycle() - start >= budget {
                 return Err(SystemError::BudgetExhausted {
                     budget,
@@ -497,9 +651,12 @@ impl System {
         let node = self.table.push(addr, kind);
         for ip in &mut self.ips {
             if let Ip::Processor(p) = ip {
-                p.map_mut()
-                    .push_window(node)
-                    .expect("capacity checked above");
+                if p.map_mut().push_window(node).is_none() {
+                    return Err(SystemError::BadLayout(format!(
+                        "{}'s address map has no room for another window",
+                        p.node()
+                    )));
+                }
             }
         }
         let io_router = self
@@ -556,7 +713,10 @@ impl System {
             });
         };
         if let Some(Ip::Processor(p)) = self.ips.get(node.index()) {
-            if matches!(p.status(), ProcessorStatus::Running | ProcessorStatus::Blocked) {
+            if matches!(
+                p.status(),
+                ProcessorStatus::Running | ProcessorStatus::Blocked
+            ) {
                 return Err(SystemError::Protocol(format!(
                     "{node} is executing; halt it before removal"
                 )));
@@ -585,6 +745,7 @@ impl System {
             if self.is_idle() {
                 return Ok(self.cycle() - start);
             }
+            self.watchdog_check()?;
             if self.cycle() - start >= budget {
                 return Err(SystemError::BudgetExhausted {
                     budget,
@@ -735,6 +896,7 @@ impl SystemBuilder {
             counters: ServiceCounters::default(),
             trace: None,
             vacated_routers: Vec::new(),
+            watchdog: None,
         })
     }
 }
@@ -894,8 +1056,12 @@ mod tests {
             PROCESSOR_1.0,
         ))
         .unwrap();
-        sys.memory_mut(PROCESSOR_1).unwrap().write_block(0, p1.words());
-        sys.memory_mut(PROCESSOR_2).unwrap().write_block(0, p2.words());
+        sys.memory_mut(PROCESSOR_1)
+            .unwrap()
+            .write_block(0, p1.words());
+        sys.memory_mut(PROCESSOR_2)
+            .unwrap()
+            .write_block(0, p2.words());
         sys.activate_directly(PROCESSOR_1).unwrap();
         sys.activate_directly(PROCESSOR_2).unwrap();
         sys.run_until_halted(1_000_000).unwrap();
@@ -956,8 +1122,12 @@ mod tests {
             PROCESSOR_1.0,
         ))
         .unwrap();
-        sys.memory_mut(PROCESSOR_1).unwrap().write_block(0, p1.words());
-        sys.memory_mut(PROCESSOR_2).unwrap().write_block(0, p2.words());
+        sys.memory_mut(PROCESSOR_1)
+            .unwrap()
+            .write_block(0, p1.words());
+        sys.memory_mut(PROCESSOR_2)
+            .unwrap()
+            .write_block(0, p2.words());
         sys.activate_directly(PROCESSOR_1).unwrap();
         sys.activate_directly(PROCESSOR_2).unwrap();
         sys.run_until_halted(1_000_000).unwrap();

@@ -56,8 +56,11 @@ impl fmt::Display for TraceEvent {
     }
 }
 
-/// All nine service codes, for iteration.
-pub const ALL_CODES: [ServiceCode; 9] = [
+/// All service codes (the paper's nine plus the reliability [`Ack`]
+/// extension), for iteration.
+///
+/// [`Ack`]: ServiceCode::Ack
+pub const ALL_CODES: [ServiceCode; 10] = [
     ServiceCode::ReadFromMemory,
     ServiceCode::ReadReturn,
     ServiceCode::WriteInMemory,
@@ -67,17 +70,20 @@ pub const ALL_CODES: [ServiceCode; 9] = [
     ServiceCode::ScanfReturn,
     ServiceCode::Notify,
     ServiceCode::Wait,
+    ServiceCode::Ack,
 ];
 
 fn code_index(code: ServiceCode) -> usize {
     code as usize - 1
 }
 
-/// Per-node, per-service message counters.
+/// Per-node, per-service message counters, plus a system-wide tally of
+/// packets the reliability layer rejected (checksum failures, garbage).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServiceCounters {
-    sent: BTreeMap<NodeId, [u64; 9]>,
-    received: BTreeMap<NodeId, [u64; 9]>,
+    sent: BTreeMap<NodeId, [u64; 10]>,
+    received: BTreeMap<NodeId, [u64; 10]>,
+    corrupt_dropped: u64,
 }
 
 impl ServiceCounters {
@@ -86,7 +92,17 @@ impl ServiceCounters {
             Direction::Sent => &mut self.sent,
             Direction::Received => &mut self.received,
         };
-        table.entry(node).or_insert([0; 9])[code_index(code)] += 1;
+        table.entry(node).or_insert([0; 10])[code_index(code)] += 1;
+    }
+
+    pub(crate) fn count_corrupt_drop(&mut self) {
+        self.corrupt_dropped += 1;
+    }
+
+    /// Undecodable service packets (failed checksum, unknown code,
+    /// truncated) dropped at any IP instead of being delivered.
+    pub fn corrupt_dropped(&self) -> u64 {
+        self.corrupt_dropped
     }
 
     /// Messages of `code` sent by `node`.
@@ -112,7 +128,12 @@ impl ServiceCounters {
 
     /// All nodes that sent or received anything, in node order.
     pub fn nodes(&self) -> Vec<NodeId> {
-        let mut nodes: Vec<NodeId> = self.sent.keys().chain(self.received.keys()).copied().collect();
+        let mut nodes: Vec<NodeId> = self
+            .sent
+            .keys()
+            .chain(self.received.keys())
+            .copied()
+            .collect();
         nodes.sort();
         nodes.dedup();
         nodes

@@ -1,0 +1,109 @@
+//! `any::<T>()` — default strategies for primitive types.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use prng::Rng64;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical full-range strategy, selected via [`any`].
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary_value(rng: &mut Rng64) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut Rng64) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut Rng64) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut Rng64) -> Self {
+        // Mostly ASCII, occasionally any scalar value.
+        if rng.below(4) > 0 {
+            (0x20 + rng.below(0x5F)) as u8 as char
+        } else {
+            char::from_u32(rng.next_u32() % 0xD800).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Any<T> {}
+
+impl<T> fmt::Debug for Any<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("any")
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut Rng64) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// A full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_small_domains() {
+        let mut rng = Rng64::new(1);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[usize::from(any::<bool>().sample(&mut rng))] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn any_ints_are_full_range() {
+        let mut rng = Rng64::new(2);
+        let mut high = false;
+        for _ in 0..1000 {
+            if any::<u16>().sample(&mut rng) > 0x7FFF {
+                high = true;
+            }
+        }
+        assert!(high, "upper half of u16 never sampled");
+    }
+
+    #[test]
+    fn chars_are_valid() {
+        let mut rng = Rng64::new(3);
+        for _ in 0..1000 {
+            let c = any::<char>().sample(&mut rng);
+            assert!(char::from_u32(c as u32).is_some());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The case runner behind the `proptest!` macro.
+
+use prng::{hash_str, Rng64};
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required before the test passes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why one generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject(String),
+    /// `prop_assert!`-style failure; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection (see [`TestCaseError::Reject`]).
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+
+    /// A failure (see [`TestCaseError::Fail`]).
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self::Fail(reason.into())
+    }
+}
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs `config.cases` successful cases of `case`, panicking (with the
+/// generated inputs) on the first failure.
+///
+/// The RNG seed derives from the test name, so runs are reproducible;
+/// set `PROPTEST_SEED` to explore a different deterministic stream.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut Rng64) -> (String, TestCaseResult),
+{
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x4D75_6C74_694E_6F43); // "MultiNoC"
+    let mut rng = Rng64::new(base ^ hash_str(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let reject_budget = config.cases.saturating_mul(16).max(1024);
+    while passed < config.cases {
+        let (inputs, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "proptest `{name}`: too many prop_assume! rejections \
+                     ({rejected} while seeking {} cases); last: {reason}",
+                    config.cases,
+                );
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "proptest `{name}` failed after {passed} passing case(s): \
+                     {reason}\n  inputs: {inputs}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_the_requested_number_of_cases() {
+        let mut calls = 0;
+        run_proptest(&ProptestConfig::with_cases(17), "count", |_rng| {
+            calls += 1;
+            (String::new(), Ok(()))
+        });
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_passes() {
+        let mut calls = 0u32;
+        run_proptest(&ProptestConfig::with_cases(4), "rejects", |_rng| {
+            calls += 1;
+            if calls.is_multiple_of(2) {
+                (String::new(), Err(TestCaseError::reject("odd ones only")))
+            } else {
+                (String::new(), Ok(()))
+            }
+        });
+        // Passes land on odd calls 1, 3, 5, 7; the rejects in between
+        // are re-drawn without counting.
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic_with_the_reason() {
+        run_proptest(&ProptestConfig::default(), "fails", |_rng| {
+            ("x = 1".into(), Err(TestCaseError::fail("boom")))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume!")]
+    fn endless_rejection_is_reported() {
+        run_proptest(&ProptestConfig::with_cases(1), "starves", |_rng| {
+            (String::new(), Err(TestCaseError::reject("never")))
+        });
+    }
+
+    #[test]
+    fn same_name_gives_same_stream() {
+        let mut first = Vec::new();
+        run_proptest(&ProptestConfig::with_cases(5), "stream", |rng| {
+            first.push(rng.next_u64());
+            (String::new(), Ok(()))
+        });
+        let mut second = Vec::new();
+        run_proptest(&ProptestConfig::with_cases(5), "stream", |rng| {
+            second.push(rng.next_u64());
+            (String::new(), Ok(()))
+        });
+        assert_eq!(first, second);
+    }
+}

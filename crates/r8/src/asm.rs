@@ -145,7 +145,10 @@ enum Op {
         expr: Expr,
     },
     /// `LIW rt, expr` — expands to LDL low + LDH high.
-    Liw { rt: Reg, expr: Expr },
+    Liw {
+        rt: Reg,
+        expr: Expr,
+    },
     /// Relative jump towards an absolute target address.
     Rel {
         cond: Option<Cond>, // None = JSRD
@@ -296,8 +299,16 @@ impl Assembler {
                     Op::Liw { rt, expr } => {
                         let value = expr.eval(&self.symbols, *line)?;
                         let value = to_word(value, "a 16-bit immediate", *line)?;
-                        words[addr] = Instr::Ldl { rt: *rt, imm: (value & 0xFF) as u8 }.encode();
-                        words[addr + 1] = Instr::Ldh { rt: *rt, imm: (value >> 8) as u8 }.encode();
+                        words[addr] = Instr::Ldl {
+                            rt: *rt,
+                            imm: (value & 0xFF) as u8,
+                        }
+                        .encode();
+                        words[addr + 1] = Instr::Ldh {
+                            rt: *rt,
+                            imm: (value >> 8) as u8,
+                        }
+                        .encode();
                     }
                     Op::Rel { cond, target } => {
                         let value = target.eval(&self.symbols, *line)?;
@@ -396,7 +407,9 @@ fn find_label(text: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -528,17 +541,17 @@ fn parse_expr(text: &str, line: usize) -> Result<Expr, AsmError> {
     }
     if text.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         // Trailing-h hex (FFFEh) used in the paper's own listings.
-        if let Some(hex) = text
-            .strip_suffix('h')
-            .or_else(|| text.strip_suffix('H'))
-        {
+        if let Some(hex) = text.strip_suffix('h').or_else(|| text.strip_suffix('H')) {
             if hex.chars().all(|c| c.is_ascii_hexdigit()) {
                 return i64::from_str_radix(hex, 16)
                     .map(Expr::Literal)
                     .map_err(|_| syntax(line, text));
             }
         }
-        return text.parse().map(Expr::Literal).map_err(|_| syntax(line, text));
+        return text
+            .parse()
+            .map(Expr::Literal)
+            .map_err(|_| syntax(line, text));
     }
     if is_ident(text) {
         return Ok(Expr::Symbol(text.to_string()));
@@ -715,8 +728,18 @@ mod tests {
         assert_eq!(
             p.words(),
             &[
-                Instr::Add { rt: r(1), rs1: r(2), rs2: r(3) }.encode(),
-                Instr::St { rt: r(3), rs1: r(1), rs2: r(2) }.encode(),
+                Instr::Add {
+                    rt: r(1),
+                    rs1: r(2),
+                    rs2: r(3)
+                }
+                .encode(),
+                Instr::St {
+                    rt: r(3),
+                    rs1: r(1),
+                    rs2: r(2)
+                }
+                .encode(),
                 Instr::Halt.encode(),
             ]
         );
@@ -734,7 +757,11 @@ mod tests {
         // JMPD at address 1, target 0: disp = 0 - 2 = -2.
         assert_eq!(
             p.words()[1],
-            Instr::JmpD { cond: Cond::Always, disp: -2 }.encode()
+            Instr::JmpD {
+                cond: Cond::Always,
+                disp: -2
+            }
+            .encode()
         );
     }
 
@@ -749,7 +776,11 @@ mod tests {
         // disp = 2 - 1 = 1.
         assert_eq!(
             p.words()[0],
-            Instr::JmpD { cond: Cond::Zero, disp: 1 }.encode()
+            Instr::JmpD {
+                cond: Cond::Zero,
+                disp: 1
+            }
+            .encode()
         );
     }
 
@@ -759,8 +790,16 @@ mod tests {
         assert_eq!(
             p.words(),
             &[
-                Instr::Ldl { rt: r(4), imm: 0xEF }.encode(),
-                Instr::Ldh { rt: r(4), imm: 0xBE }.encode(),
+                Instr::Ldl {
+                    rt: r(4),
+                    imm: 0xEF
+                }
+                .encode(),
+                Instr::Ldh {
+                    rt: r(4),
+                    imm: 0xBE
+                }
+                .encode(),
             ]
         );
     }
@@ -799,8 +838,16 @@ mod tests {
         assert_eq!(
             p.words(),
             &[
-                Instr::Ldl { rt: r(1), imm: 0x34 }.encode(),
-                Instr::Ldh { rt: r(1), imm: 0x12 }.encode(),
+                Instr::Ldl {
+                    rt: r(1),
+                    imm: 0x34
+                }
+                .encode(),
+                Instr::Ldh {
+                    rt: r(1),
+                    imm: 0x12
+                }
+                .encode(),
             ]
         );
     }
@@ -840,7 +887,10 @@ mod tests {
     #[test]
     fn error_immediate_out_of_range() {
         let e = assemble("ADDI R1, 300").unwrap_err();
-        assert!(matches!(e.kind, AsmErrorKind::OutOfRange { value: 300, .. }));
+        assert!(matches!(
+            e.kind,
+            AsmErrorKind::OutOfRange { value: 300, .. }
+        ));
     }
 
     #[test]
@@ -910,7 +960,12 @@ mod tests {
         let p = assemble("add r1, r2, r3\nhalt").unwrap();
         assert_eq!(
             p.words()[0],
-            Instr::Add { rt: r(1), rs1: r(2), rs2: r(3) }.encode()
+            Instr::Add {
+                rt: r(1),
+                rs1: r(2),
+                rs2: r(3)
+            }
+            .encode()
         );
     }
 }

@@ -368,7 +368,10 @@ impl Cpu {
                         BusResponse::Data(_) => {}
                         BusResponse::Wait => return Ok(self.stall()),
                     }
-                    let instr = self.decoded.take().expect("write belongs to an instruction");
+                    let instr = self
+                        .decoded
+                        .take()
+                        .expect("write belongs to an instruction");
                     return Ok(self.retire(instr, None));
                 }
             }
@@ -627,9 +630,7 @@ mod tests {
 
     #[test]
     fn sub_sets_no_borrow_carry() {
-        let (cpu, _) = run_asm(
-            "LIW R1, 5\nLIW R2, 7\nSUB R3, R1, R2\nHALT",
-        );
+        let (cpu, _) = run_asm("LIW R1, 5\nLIW R2, 7\nSUB R3, R1, R2\nHALT");
         assert_eq!(cpu.reg(3), (5u16).wrapping_sub(7));
         assert!(!cpu.flags().c, "borrow occurred");
         assert!(cpu.flags().n);
@@ -761,18 +762,14 @@ mod tests {
 
     #[test]
     fn mul_overflow_sets_v() {
-        let (cpu, _) = run_asm(
-            "LIW R1, 0x1000\nLIW R2, 0x1000\nMUL R3, R1, R2\nHALT",
-        );
+        let (cpu, _) = run_asm("LIW R1, 0x1000\nLIW R2, 0x1000\nMUL R3, R1, R2\nHALT");
         assert_eq!(cpu.reg(3), 0);
         assert!(cpu.flags().v);
     }
 
     #[test]
     fn div_by_zero() {
-        let (cpu, _) = run_asm(
-            "LIW R1, 5\nXOR R2, R2, R2\nDIV R3, R1, R2\nHALT",
-        );
+        let (cpu, _) = run_asm("LIW R1, 5\nXOR R2, R2, R2\nDIV R3, R1, R2\nHALT");
         assert_eq!(cpu.reg(3), 0xFFFF);
         assert!(cpu.flags().v);
     }

@@ -19,7 +19,11 @@ impl std::fmt::Display for Line {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.instr {
             Some(instr) => write!(f, "{:04X}  {:04X}  {}", self.addr, self.word, instr),
-            None => write!(f, "{:04X}  {:04X}  .word {}", self.addr, self.word, self.word),
+            None => write!(
+                f,
+                "{:04X}  {:04X}  .word {}",
+                self.addr, self.word, self.word
+            ),
         }
     }
 }

@@ -335,7 +335,10 @@ impl Instr {
     /// Encodes the instruction into its 16-bit word.
     pub fn encode(self) -> u16 {
         fn triple(op: u16, rt: Reg, rs1: Reg, rs2: Reg) -> u16 {
-            op << 12 | u16::from(rt.index()) << 8 | u16::from(rs1.index()) << 4 | u16::from(rs2.index())
+            op << 12
+                | u16::from(rt.index()) << 8
+                | u16::from(rs1.index()) << 4
+                | u16::from(rs2.index())
         }
         fn imm8(op: u16, rt: Reg, imm: u8) -> u16 {
             op << 12 | u16::from(rt.index()) << 8 | u16::from(imm)
@@ -522,30 +525,93 @@ pub fn all_instructions() -> Vec<Instr> {
     let mut list = vec![
         Instr::Nop,
         Instr::Halt,
-        Instr::Not { rt: r(1), rs1: r(2) },
-        Instr::Sl0 { rt: r(1), rs1: r(2) },
-        Instr::Sl1 { rt: r(1), rs1: r(2) },
-        Instr::Sr0 { rt: r(1), rs1: r(2) },
-        Instr::Sr1 { rt: r(1), rs1: r(2) },
+        Instr::Not {
+            rt: r(1),
+            rs1: r(2),
+        },
+        Instr::Sl0 {
+            rt: r(1),
+            rs1: r(2),
+        },
+        Instr::Sl1 {
+            rt: r(1),
+            rs1: r(2),
+        },
+        Instr::Sr0 {
+            rt: r(1),
+            rs1: r(2),
+        },
+        Instr::Sr1 {
+            rt: r(1),
+            rs1: r(2),
+        },
         Instr::Ldsp { rs1: r(2) },
         Instr::Push { rs1: r(2) },
         Instr::Pop { rt: r(1) },
         Instr::Rts,
-        Instr::Add { rt: r(1), rs1: r(2), rs2: r(3) },
-        Instr::Sub { rt: r(1), rs1: r(2), rs2: r(3) },
-        Instr::And { rt: r(1), rs1: r(2), rs2: r(3) },
-        Instr::Or { rt: r(1), rs1: r(2), rs2: r(3) },
-        Instr::Xor { rt: r(1), rs1: r(2), rs2: r(3) },
-        Instr::Addi { rt: r(1), imm: 0x42 },
-        Instr::Subi { rt: r(1), imm: 0x42 },
-        Instr::Ldl { rt: r(1), imm: 0x42 },
-        Instr::Ldh { rt: r(1), imm: 0x42 },
-        Instr::Ld { rt: r(1), rs1: r(2), rs2: r(3) },
-        Instr::St { rt: r(1), rs1: r(2), rs2: r(3) },
+        Instr::Add {
+            rt: r(1),
+            rs1: r(2),
+            rs2: r(3),
+        },
+        Instr::Sub {
+            rt: r(1),
+            rs1: r(2),
+            rs2: r(3),
+        },
+        Instr::And {
+            rt: r(1),
+            rs1: r(2),
+            rs2: r(3),
+        },
+        Instr::Or {
+            rt: r(1),
+            rs1: r(2),
+            rs2: r(3),
+        },
+        Instr::Xor {
+            rt: r(1),
+            rs1: r(2),
+            rs2: r(3),
+        },
+        Instr::Addi {
+            rt: r(1),
+            imm: 0x42,
+        },
+        Instr::Subi {
+            rt: r(1),
+            imm: 0x42,
+        },
+        Instr::Ldl {
+            rt: r(1),
+            imm: 0x42,
+        },
+        Instr::Ldh {
+            rt: r(1),
+            imm: 0x42,
+        },
+        Instr::Ld {
+            rt: r(1),
+            rs1: r(2),
+            rs2: r(3),
+        },
+        Instr::St {
+            rt: r(1),
+            rs1: r(2),
+            rs2: r(3),
+        },
         Instr::JsrR { rs1: r(2) },
         Instr::JsrD { disp: -3 },
-        Instr::Mul { rt: r(1), rs1: r(2), rs2: r(3) },
-        Instr::Div { rt: r(1), rs1: r(2), rs2: r(3) },
+        Instr::Mul {
+            rt: r(1),
+            rs1: r(2),
+            rs2: r(3),
+        },
+        Instr::Div {
+            rt: r(1),
+            rs1: r(2),
+            rs2: r(3),
+        },
     ];
     for cond in Cond::ALL {
         list.push(Instr::JmpR { cond, rs1: r(2) });
@@ -609,14 +675,30 @@ mod tests {
     fn display_forms() {
         let r = |i: u8| Reg::new(i).unwrap();
         assert_eq!(
-            Instr::St { rt: r(3), rs1: r(1), rs2: r(2) }.to_string(),
+            Instr::St {
+                rt: r(3),
+                rs1: r(1),
+                rs2: r(2)
+            }
+            .to_string(),
             "ST   R3, R1, R2"
         );
         assert_eq!(
-            Instr::JmpD { cond: Cond::Zero, disp: -2 }.to_string(),
+            Instr::JmpD {
+                cond: Cond::Zero,
+                disp: -2
+            }
+            .to_string(),
             "JMPZD -2"
         );
-        assert_eq!(Instr::JmpR { cond: Cond::Always, rs1: r(4) }.to_string(), "JMPR R4");
+        assert_eq!(
+            Instr::JmpR {
+                cond: Cond::Always,
+                rs1: r(4)
+            }
+            .to_string(),
+            "JMPR R4"
+        );
     }
 
     #[test]
@@ -625,7 +707,10 @@ mod tests {
         // must round-trip.
         for rt in 0..16u8 {
             let r = Reg::new(rt).unwrap();
-            let i = Instr::Addi { rt: r, imm: rt.wrapping_mul(17) };
+            let i = Instr::Addi {
+                rt: r,
+                imm: rt.wrapping_mul(17),
+            };
             assert_eq!(Instr::decode(i.encode()).unwrap(), i);
             let i = Instr::Ld {
                 rt: r,

@@ -30,7 +30,11 @@ pub struct ParseObjError {
 
 impl fmt::Display for ParseObjError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: `{}` is not a hex word or @addr", self.line, self.text)
+        write!(
+            f,
+            "line {}: `{}` is not a hex word or @addr",
+            self.line, self.text
+        )
     }
 }
 

@@ -38,7 +38,9 @@ impl Program {
 
     /// All symbols in name order.
     pub fn symbols(&self) -> impl Iterator<Item = (&str, u16)> {
-        self.symbols.iter().map(|(name, &addr)| (name.as_str(), addr))
+        self.symbols
+            .iter()
+            .map(|(name, &addr)| (name.as_str(), addr))
     }
 }
 

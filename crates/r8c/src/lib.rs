@@ -122,9 +122,8 @@ pub fn compile_with(source: &str, opt: OptLevel) -> Result<String, CompileError>
 /// failing is a compiler bug and panics with the offending assembly.
 pub fn build(source: &str) -> Result<r8::Program, CompileError> {
     let assembly = compile(source)?;
-    Ok(r8::asm::assemble(&assembly).unwrap_or_else(|e| {
-        panic!("compiler emitted invalid assembly ({e}):\n{assembly}")
-    }))
+    Ok(r8::asm::assemble(&assembly)
+        .unwrap_or_else(|e| panic!("compiler emitted invalid assembly ({e}):\n{assembly}")))
 }
 
 #[cfg(test)]

@@ -396,7 +396,10 @@ impl Parser<'_> {
     fn additive(&mut self) -> Result<Expr, CompileError> {
         self.binary_level(
             Self::multiplicative,
-            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            &[
+                (TokenKind::Plus, BinOp::Add),
+                (TokenKind::Minus, BinOp::Sub),
+            ],
         )
     }
 
@@ -510,7 +513,10 @@ mod tests {
             panic!("expected local");
         };
         // ((1 + (2 * 3)) == 7)
-        let Expr::Binary { op: BinOp::Eq, lhs, .. } = e else {
+        let Expr::Binary {
+            op: BinOp::Eq, lhs, ..
+        } = e
+        else {
             panic!("expected ==, got {e:?}");
         };
         assert!(matches!(**lhs, Expr::Binary { op: BinOp::Add, .. }));
@@ -518,9 +524,7 @@ mod tests {
 
     #[test]
     fn else_if_chains() {
-        let p = parse_src(
-            "func main() { if (1) { } else if (2) { } else { } }",
-        );
+        let p = parse_src("func main() { if (1) { } else if (2) { } else { } }");
         let Stmt::If { else_body, .. } = &p.funcs[0].body[0] else {
             panic!();
         };
@@ -529,9 +533,7 @@ mod tests {
 
     #[test]
     fn intrinsics() {
-        let p = parse_src(
-            "func main() { printf(scanf() + peek(0xFFFD)); poke(1, 2); }",
-        );
+        let p = parse_src("func main() { printf(scanf() + peek(0xFFFD)); poke(1, 2); }");
         assert!(matches!(p.funcs[0].body[0], Stmt::Printf(_)));
         assert!(matches!(p.funcs[0].body[1], Stmt::Poke { .. }));
     }
@@ -539,10 +541,18 @@ mod tests {
     #[test]
     fn wait_notify_sugar() {
         let p = parse_src("func main() { wait(2); notify(1 + 1); }");
-        let Stmt::Poke { addr: Expr::Number(0xFFFE), .. } = &p.funcs[0].body[0] else {
+        let Stmt::Poke {
+            addr: Expr::Number(0xFFFE),
+            ..
+        } = &p.funcs[0].body[0]
+        else {
             panic!("wait should target 0xFFFE: {:?}", p.funcs[0].body[0]);
         };
-        let Stmt::Poke { addr: Expr::Number(0xFFFD), value } = &p.funcs[0].body[1] else {
+        let Stmt::Poke {
+            addr: Expr::Number(0xFFFD),
+            value,
+        } = &p.funcs[0].body[1]
+        else {
             panic!("notify should target 0xFFFD");
         };
         assert!(matches!(value, Expr::Binary { .. }));

@@ -100,16 +100,15 @@ fn un_op() -> impl Strategy<Value = UnOp> {
 fn tree() -> impl Strategy<Value = T> {
     // Small literals keep runtime shift loops fast; the variables still
     // inject full-range values.
-    let leaf = prop_oneof![
-        (0u16..300).prop_map(T::Num),
-        Just(T::VarA),
-        Just(T::VarB),
-    ];
+    let leaf = prop_oneof![(0u16..300).prop_map(T::Num), Just(T::VarA), Just(T::VarB),];
     leaf.prop_recursive(5, 24, 3, |inner| {
         prop_oneof![
             (un_op(), inner.clone()).prop_map(|(op, e)| T::Un(op, Box::new(e))),
-            (bin_op(), inner.clone(), inner)
-                .prop_map(|(op, l, r)| T::Bin(op, Box::new(l), Box::new(r))),
+            (bin_op(), inner.clone(), inner).prop_map(|(op, l, r)| T::Bin(
+                op,
+                Box::new(l),
+                Box::new(r)
+            )),
         ]
     })
 }

@@ -85,7 +85,11 @@ impl S {
                 env.insert(*i, v);
             }
             S::If(cond, then_body, else_body) => {
-                let body = if cond.eval(env) != 0 { then_body } else { else_body };
+                let body = if cond.eval(env) != 0 {
+                    then_body
+                } else {
+                    else_body
+                };
                 for s in body {
                     s.eval(env);
                 }
@@ -106,7 +110,8 @@ fn expr() -> impl Strategy<Value = E> {
     ];
     let leaf = prop_oneof![(0u16..1000).prop_map(E::Num), (0usize..3).prop_map(E::Var)];
     leaf.prop_recursive(3, 12, 2, move |inner| {
-        (op.clone(), inner.clone(), inner).prop_map(|(op, l, r)| E::Bin(op, Box::new(l), Box::new(r)))
+        (op.clone(), inner.clone(), inner)
+            .prop_map(|(op, l, r)| E::Bin(op, Box::new(l), Box::new(r)))
     })
 }
 

@@ -15,7 +15,11 @@ use multinoc::{host::Host, System, PROCESSOR_1, REMOTE_MEMORY};
 fn host_primes(limit: u16) -> Vec<u16> {
     let mut primes = Vec::new();
     for n in 2..limit {
-        if !primes.iter().take_while(|&&p| p * p <= n).any(|&p| n % p == 0) {
+        if !primes
+            .iter()
+            .take_while(|&&p| p * p <= n)
+            .any(|&p| n % p == 0)
+        {
             primes.push(n);
         }
     }

@@ -46,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("running under the debugger with a watchpoint on P1[0x380]…\n");
     loop {
         match debugger.run(&mut system, 1_000_000)? {
-            StopReason::Watchpoint { node, addr, old, new } => {
+            StopReason::Watchpoint {
+                node,
+                addr,
+                old,
+                new,
+            } => {
                 println!(
                     "watchpoint: {node} memory[{addr:#06x}] changed {old} -> {new} at cycle {}",
                     system.cycle()

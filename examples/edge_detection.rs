@@ -25,7 +25,10 @@ fn render(output: &[u16], width: usize) -> String {
         .join("\n")
 }
 
-fn detect(processors: &[multinoc::NodeId], image: &Image) -> Result<edge::EdgeRun, Box<dyn std::error::Error>> {
+fn detect(
+    processors: &[multinoc::NodeId],
+    image: &Image,
+) -> Result<edge::EdgeRun, Box<dyn std::error::Error>> {
     let mut system = System::paper_config()?;
     let mut host = Host::new();
     host.synchronize(&mut system)?;

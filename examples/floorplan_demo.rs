@@ -16,7 +16,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = Device::xc2s200e();
     let (components, nets) = multinoc_components();
 
-    println!("target device: {} ({} slices, {} LUTs, {} BlockRAMs)", device.name, device.slices(), device.luts(), device.brams);
+    println!(
+        "target device: {} ({} slices, {} LUTs, {} BlockRAMs)",
+        device.name,
+        device.slices(),
+        device.luts(),
+        device.brams
+    );
     println!("utilization:   {}\n", utilization(&components, &device));
 
     let plan = paper_layout(&device, &components).map_err(std::io::Error::other)?;
@@ -24,8 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", plan.ascii_art());
     println!("legal: {}", plan.is_legal());
     println!("weighted wirelength: {:.0}", plan.wirelength(&nets));
-    println!("router centrality (lower = more central): {:.1}", plan.router_centrality());
-    println!("serial-to-pads distance: {:.1}\n", plan.serial_pad_distance());
+    println!(
+        "router centrality (lower = more central): {:.1}",
+        plan.router_centrality()
+    );
+    println!(
+        "serial-to-pads distance: {:.1}\n",
+        plan.serial_pad_distance()
+    );
 
     println!("automatic placement (simulated annealing) on the same device:");
     let auto = Placer::new(device.clone(), components.clone(), nets.clone())
@@ -38,14 +50,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         auto.overlap()
     );
     let roomy = Device::scaled(2);
-    let auto2 = Placer::new(roomy, components, nets).seed(42).iterations(40_000).run();
+    let auto2 = Placer::new(roomy, components, nets)
+        .seed(42)
+        .iterations(40_000)
+        .run();
     println!(
         "  on a device with 4x the area the annealer legalizes: {}\n",
         auto2.is_legal()
     );
 
     println!("NoC area fraction (§3 scaling claim):");
-    println!("  MultiNoC prototype itself: {:.0}%", scaling::prototype_fraction() * 100.0);
+    println!(
+        "  MultiNoC prototype itself: {:.0}%",
+        scaling::prototype_fraction() * 100.0
+    );
     for ip_slices in [532u32, 1500, 3000, 6000] {
         let point = scaling::noc_fraction(10, ip_slices);
         println!(

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "assembled vector-sum program: {} words, symbols: {:?}",
         program.len(),
-        program.symbols().map(|(n, a)| format!("{n}={a}")).collect::<Vec<_>>(),
+        program
+            .symbols()
+            .map(|(n, a)| format!("{n}={a}"))
+            .collect::<Vec<_>>(),
     );
 
     // 2. "Start the Serial Software" + 3. "Synchronize SW/HW".

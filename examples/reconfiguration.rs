@@ -20,7 +20,9 @@ fn read_loop_cycles(system: &mut System, reads: u16) -> Result<u64, Box<dyn std:
         "XOR R0, R0, R0\nLIW R1, {base}\nLIW R3, {reads}\n\
          loop: LD R2, R1, R0\nSUBI R3, 1\nJMPZD done\nJMPD loop\ndone: HALT"
     ))?;
-    system.memory_mut(PROCESSOR_1)?.write_block(0, program.words());
+    system
+        .memory_mut(PROCESSOR_1)?
+        .write_block(0, program.words());
     let start = system.cycle();
     system.activate_directly(PROCESSOR_1)?;
     system.run_until_halted(10_000_000)?;

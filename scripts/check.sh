@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full pre-merge gate: formatting, lints and the whole test suite.
+# Everything runs offline — the workspace has no network dependencies.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "=== cargo fmt --check ==="
+cargo fmt --all -- --check
+
+echo "=== cargo clippy (deny warnings) ==="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "=== cargo test ==="
+cargo test -q --offline --workspace
+
+echo "all checks passed"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates every evaluation artifact of the paper (DESIGN.md, E1-E16).
+# Regenerates every evaluation artifact of the paper (DESIGN.md, E1-E18).
 # Usage: scripts/run_experiments.sh [output-directory]
 set -euo pipefail
 
@@ -25,6 +25,7 @@ experiments=(
     exp_reconfig
     exp_utilization
     exp_routing
+    exp_fault_sweep
 )
 
 cargo build --release -p multinoc-bench --bins

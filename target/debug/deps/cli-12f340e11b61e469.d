@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-12f340e11b61e469.d: crates/r8c/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-12f340e11b61e469.rmeta: crates/r8c/tests/cli.rs Cargo.toml
+
+crates/r8c/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_r8cc=placeholder:r8cc
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cli-141810b870075995.d: crates/r8/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-141810b870075995.rmeta: crates/r8/tests/cli.rs Cargo.toml
+
+crates/r8/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_r8asm=placeholder:r8asm
+# env-dep:CARGO_BIN_EXE_r8dis=placeholder:r8dis
+# env-dep:CARGO_BIN_EXE_r8sim=placeholder:r8sim
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

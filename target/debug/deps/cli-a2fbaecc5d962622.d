@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-a2fbaecc5d962622.d: crates/r8c/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-a2fbaecc5d962622: crates/r8c/tests/cli.rs
+
+crates/r8c/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_r8cc=/root/repo/target/debug/r8cc

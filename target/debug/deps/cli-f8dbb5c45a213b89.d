@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cli-f8dbb5c45a213b89.d: crates/r8/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-f8dbb5c45a213b89: crates/r8/tests/cli.rs
+
+crates/r8/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_r8asm=/root/repo/target/debug/r8asm
+# env-dep:CARGO_BIN_EXE_r8dis=/root/repo/target/debug/r8dis
+# env-dep:CARGO_BIN_EXE_r8sim=/root/repo/target/debug/r8sim

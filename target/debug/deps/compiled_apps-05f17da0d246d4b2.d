@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compiled_apps-05f17da0d246d4b2.d: tests/compiled_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompiled_apps-05f17da0d246d4b2.rmeta: tests/compiled_apps.rs Cargo.toml
+
+tests/compiled_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

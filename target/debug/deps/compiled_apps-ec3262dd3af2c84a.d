@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compiled_apps-ec3262dd3af2c84a.d: tests/compiled_apps.rs
+
+/root/repo/target/debug/deps/compiled_apps-ec3262dd3af2c84a: tests/compiled_apps.rs
+
+tests/compiled_apps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compiler-1d12bad8543971c1.d: crates/bench/benches/compiler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompiler-1d12bad8543971c1.rmeta: crates/bench/benches/compiler.rs Cargo.toml
+
+crates/bench/benches/compiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

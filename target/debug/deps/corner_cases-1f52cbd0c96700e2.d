@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corner_cases-1f52cbd0c96700e2.d: tests/corner_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorner_cases-1f52cbd0c96700e2.rmeta: tests/corner_cases.rs Cargo.toml
+
+tests/corner_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corner_cases-92f2de10cd36d483.d: tests/corner_cases.rs
+
+/root/repo/target/debug/deps/corner_cases-92f2de10cd36d483: tests/corner_cases.rs
+
+tests/corner_cases.rs:

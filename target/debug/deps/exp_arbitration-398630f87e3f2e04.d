@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_arbitration-398630f87e3f2e04.d: crates/bench/src/bin/exp_arbitration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_arbitration-398630f87e3f2e04.rmeta: crates/bench/src/bin/exp_arbitration.rs Cargo.toml
+
+crates/bench/src/bin/exp_arbitration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_arbitration-a82a12666b79bef8.d: crates/bench/src/bin/exp_arbitration.rs
+
+/root/repo/target/debug/deps/exp_arbitration-a82a12666b79bef8: crates/bench/src/bin/exp_arbitration.rs
+
+crates/bench/src/bin/exp_arbitration.rs:

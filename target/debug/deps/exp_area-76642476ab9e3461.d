@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_area-76642476ab9e3461.d: crates/bench/src/bin/exp_area.rs
+
+/root/repo/target/debug/deps/exp_area-76642476ab9e3461: crates/bench/src/bin/exp_area.rs
+
+crates/bench/src/bin/exp_area.rs:

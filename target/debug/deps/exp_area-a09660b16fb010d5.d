@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_area-a09660b16fb010d5.d: crates/bench/src/bin/exp_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_area-a09660b16fb010d5.rmeta: crates/bench/src/bin/exp_area.rs Cargo.toml
+
+crates/bench/src/bin/exp_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

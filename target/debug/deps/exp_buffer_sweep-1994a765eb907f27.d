@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_buffer_sweep-1994a765eb907f27.d: crates/bench/src/bin/exp_buffer_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_buffer_sweep-1994a765eb907f27.rmeta: crates/bench/src/bin/exp_buffer_sweep.rs Cargo.toml
+
+crates/bench/src/bin/exp_buffer_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

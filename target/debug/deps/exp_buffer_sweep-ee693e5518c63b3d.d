@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_buffer_sweep-ee693e5518c63b3d.d: crates/bench/src/bin/exp_buffer_sweep.rs
+
+/root/repo/target/debug/deps/exp_buffer_sweep-ee693e5518c63b3d: crates/bench/src/bin/exp_buffer_sweep.rs
+
+crates/bench/src/bin/exp_buffer_sweep.rs:

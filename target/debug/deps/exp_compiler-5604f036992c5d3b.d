@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_compiler-5604f036992c5d3b.d: crates/bench/src/bin/exp_compiler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_compiler-5604f036992c5d3b.rmeta: crates/bench/src/bin/exp_compiler.rs Cargo.toml
+
+crates/bench/src/bin/exp_compiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

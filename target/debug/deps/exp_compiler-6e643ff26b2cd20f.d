@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_compiler-6e643ff26b2cd20f.d: crates/bench/src/bin/exp_compiler.rs
+
+/root/repo/target/debug/deps/exp_compiler-6e643ff26b2cd20f: crates/bench/src/bin/exp_compiler.rs
+
+crates/bench/src/bin/exp_compiler.rs:

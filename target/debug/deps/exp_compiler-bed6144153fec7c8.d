@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_compiler-bed6144153fec7c8.d: crates/bench/src/bin/exp_compiler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_compiler-bed6144153fec7c8.rmeta: crates/bench/src/bin/exp_compiler.rs Cargo.toml
+
+crates/bench/src/bin/exp_compiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_cpi-7f04affd4a6de2e3.d: crates/bench/src/bin/exp_cpi.rs
+
+/root/repo/target/debug/deps/exp_cpi-7f04affd4a6de2e3: crates/bench/src/bin/exp_cpi.rs
+
+crates/bench/src/bin/exp_cpi.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_cpi-f01d223c5fa9eee7.d: crates/bench/src/bin/exp_cpi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_cpi-f01d223c5fa9eee7.rmeta: crates/bench/src/bin/exp_cpi.rs Cargo.toml
+
+crates/bench/src/bin/exp_cpi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

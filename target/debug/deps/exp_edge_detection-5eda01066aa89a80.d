@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_edge_detection-5eda01066aa89a80.d: crates/bench/src/bin/exp_edge_detection.rs
+
+/root/repo/target/debug/deps/exp_edge_detection-5eda01066aa89a80: crates/bench/src/bin/exp_edge_detection.rs
+
+crates/bench/src/bin/exp_edge_detection.rs:

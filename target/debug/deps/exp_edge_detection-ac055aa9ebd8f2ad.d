@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_edge_detection-ac055aa9ebd8f2ad.d: crates/bench/src/bin/exp_edge_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_edge_detection-ac055aa9ebd8f2ad.rmeta: crates/bench/src/bin/exp_edge_detection.rs Cargo.toml
+
+crates/bench/src/bin/exp_edge_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

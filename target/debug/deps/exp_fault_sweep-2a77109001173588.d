@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fault_sweep-2a77109001173588.d: crates/bench/src/bin/exp_fault_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fault_sweep-2a77109001173588.rmeta: crates/bench/src/bin/exp_fault_sweep.rs Cargo.toml
+
+crates/bench/src/bin/exp_fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fault_sweep-43bd9ef8f5e9d74f.d: crates/bench/src/bin/exp_fault_sweep.rs
+
+/root/repo/target/debug/deps/exp_fault_sweep-43bd9ef8f5e9d74f: crates/bench/src/bin/exp_fault_sweep.rs
+
+crates/bench/src/bin/exp_fault_sweep.rs:

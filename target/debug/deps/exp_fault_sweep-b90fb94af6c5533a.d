@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fault_sweep-b90fb94af6c5533a.d: crates/bench/src/bin/exp_fault_sweep.rs
+
+/root/repo/target/debug/deps/exp_fault_sweep-b90fb94af6c5533a: crates/bench/src/bin/exp_fault_sweep.rs
+
+crates/bench/src/bin/exp_fault_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_flow-109ed3b88c21aed1.d: crates/bench/src/bin/exp_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_flow-109ed3b88c21aed1.rmeta: crates/bench/src/bin/exp_flow.rs Cargo.toml
+
+crates/bench/src/bin/exp_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_flow-2d0aa971f1a2cf54.d: crates/bench/src/bin/exp_flow.rs
+
+/root/repo/target/debug/deps/exp_flow-2d0aa971f1a2cf54: crates/bench/src/bin/exp_flow.rs
+
+crates/bench/src/bin/exp_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_latency-7d4534c523d8977c.d: crates/bench/src/bin/exp_latency.rs
+
+/root/repo/target/debug/deps/exp_latency-7d4534c523d8977c: crates/bench/src/bin/exp_latency.rs
+
+crates/bench/src/bin/exp_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_latency-c54d102225bdd573.d: crates/bench/src/bin/exp_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_latency-c54d102225bdd573.rmeta: crates/bench/src/bin/exp_latency.rs Cargo.toml
+
+crates/bench/src/bin/exp_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

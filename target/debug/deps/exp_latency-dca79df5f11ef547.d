@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_latency-dca79df5f11ef547.d: crates/bench/src/bin/exp_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_latency-dca79df5f11ef547.rmeta: crates/bench/src/bin/exp_latency.rs Cargo.toml
+
+crates/bench/src/bin/exp_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_load_sweep-30db8b72a44658af.d: crates/bench/src/bin/exp_load_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_load_sweep-30db8b72a44658af.rmeta: crates/bench/src/bin/exp_load_sweep.rs Cargo.toml
+
+crates/bench/src/bin/exp_load_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_load_sweep-9bb18048c96aae9c.d: crates/bench/src/bin/exp_load_sweep.rs
+
+/root/repo/target/debug/deps/exp_load_sweep-9bb18048c96aae9c: crates/bench/src/bin/exp_load_sweep.rs
+
+crates/bench/src/bin/exp_load_sweep.rs:

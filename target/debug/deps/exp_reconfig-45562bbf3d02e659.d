@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_reconfig-45562bbf3d02e659.d: crates/bench/src/bin/exp_reconfig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_reconfig-45562bbf3d02e659.rmeta: crates/bench/src/bin/exp_reconfig.rs Cargo.toml
+
+crates/bench/src/bin/exp_reconfig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

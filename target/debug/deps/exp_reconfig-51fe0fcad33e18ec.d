@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_reconfig-51fe0fcad33e18ec.d: crates/bench/src/bin/exp_reconfig.rs
+
+/root/repo/target/debug/deps/exp_reconfig-51fe0fcad33e18ec: crates/bench/src/bin/exp_reconfig.rs
+
+crates/bench/src/bin/exp_reconfig.rs:

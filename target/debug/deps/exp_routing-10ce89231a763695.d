@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_routing-10ce89231a763695.d: crates/bench/src/bin/exp_routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_routing-10ce89231a763695.rmeta: crates/bench/src/bin/exp_routing.rs Cargo.toml
+
+crates/bench/src/bin/exp_routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_routing-12c7598924de4a65.d: crates/bench/src/bin/exp_routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_routing-12c7598924de4a65.rmeta: crates/bench/src/bin/exp_routing.rs Cargo.toml
+
+crates/bench/src/bin/exp_routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_routing-fb51b043c2b535c6.d: crates/bench/src/bin/exp_routing.rs
+
+/root/repo/target/debug/deps/exp_routing-fb51b043c2b535c6: crates/bench/src/bin/exp_routing.rs
+
+crates/bench/src/bin/exp_routing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_scaling-564c05ac0b200cff.d: crates/bench/src/bin/exp_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_scaling-564c05ac0b200cff.rmeta: crates/bench/src/bin/exp_scaling.rs Cargo.toml
+
+crates/bench/src/bin/exp_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scaling-93e647ce8c906e96.d: crates/bench/src/bin/exp_scaling.rs
+
+/root/repo/target/debug/deps/exp_scaling-93e647ce8c906e96: crates/bench/src/bin/exp_scaling.rs
+
+crates/bench/src/bin/exp_scaling.rs:

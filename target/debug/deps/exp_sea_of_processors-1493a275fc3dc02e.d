@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sea_of_processors-1493a275fc3dc02e.d: crates/bench/src/bin/exp_sea_of_processors.rs
+
+/root/repo/target/debug/deps/exp_sea_of_processors-1493a275fc3dc02e: crates/bench/src/bin/exp_sea_of_processors.rs
+
+crates/bench/src/bin/exp_sea_of_processors.rs:

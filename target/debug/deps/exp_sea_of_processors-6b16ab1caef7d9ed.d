@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_sea_of_processors-6b16ab1caef7d9ed.d: crates/bench/src/bin/exp_sea_of_processors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_sea_of_processors-6b16ab1caef7d9ed.rmeta: crates/bench/src/bin/exp_sea_of_processors.rs Cargo.toml
+
+crates/bench/src/bin/exp_sea_of_processors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

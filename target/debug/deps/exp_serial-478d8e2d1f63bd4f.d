@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_serial-478d8e2d1f63bd4f.d: crates/bench/src/bin/exp_serial.rs
+
+/root/repo/target/debug/deps/exp_serial-478d8e2d1f63bd4f: crates/bench/src/bin/exp_serial.rs
+
+crates/bench/src/bin/exp_serial.rs:

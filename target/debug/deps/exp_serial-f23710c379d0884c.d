@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_serial-f23710c379d0884c.d: crates/bench/src/bin/exp_serial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_serial-f23710c379d0884c.rmeta: crates/bench/src/bin/exp_serial.rs Cargo.toml
+
+crates/bench/src/bin/exp_serial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

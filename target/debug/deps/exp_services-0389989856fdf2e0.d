@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_services-0389989856fdf2e0.d: crates/bench/src/bin/exp_services.rs
+
+/root/repo/target/debug/deps/exp_services-0389989856fdf2e0: crates/bench/src/bin/exp_services.rs
+
+crates/bench/src/bin/exp_services.rs:

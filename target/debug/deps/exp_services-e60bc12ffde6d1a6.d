@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_services-e60bc12ffde6d1a6.d: crates/bench/src/bin/exp_services.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_services-e60bc12ffde6d1a6.rmeta: crates/bench/src/bin/exp_services.rs Cargo.toml
+
+crates/bench/src/bin/exp_services.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_throughput-1b2a2a73bef1c02f.d: crates/bench/src/bin/exp_throughput.rs
+
+/root/repo/target/debug/deps/exp_throughput-1b2a2a73bef1c02f: crates/bench/src/bin/exp_throughput.rs
+
+crates/bench/src/bin/exp_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_utilization-502d028cc5e6db82.d: crates/bench/src/bin/exp_utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_utilization-502d028cc5e6db82.rmeta: crates/bench/src/bin/exp_utilization.rs Cargo.toml
+
+crates/bench/src/bin/exp_utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_utilization-68ee3c1106ed9aa7.d: crates/bench/src/bin/exp_utilization.rs
+
+/root/repo/target/debug/deps/exp_utilization-68ee3c1106ed9aa7: crates/bench/src/bin/exp_utilization.rs
+
+crates/bench/src/bin/exp_utilization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expr_properties-509b4704e5807840.d: crates/r8c/tests/expr_properties.rs
+
+/root/repo/target/debug/deps/expr_properties-509b4704e5807840: crates/r8c/tests/expr_properties.rs
+
+crates/r8c/tests/expr_properties.rs:

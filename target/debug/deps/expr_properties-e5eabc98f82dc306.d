@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/expr_properties-e5eabc98f82dc306.d: crates/r8c/tests/expr_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexpr_properties-e5eabc98f82dc306.rmeta: crates/r8c/tests/expr_properties.rs Cargo.toml
+
+crates/r8c/tests/expr_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_recovery-55921b568f7c6ce1.d: tests/fault_recovery.rs
+
+/root/repo/target/debug/deps/fault_recovery-55921b568f7c6ce1: tests/fault_recovery.rs
+
+tests/fault_recovery.rs:

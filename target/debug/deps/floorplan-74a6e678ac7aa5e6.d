@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/floorplan-74a6e678ac7aa5e6.d: crates/floorplan/src/lib.rs crates/floorplan/src/device.rs crates/floorplan/src/estimate.rs crates/floorplan/src/place.rs crates/floorplan/src/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfloorplan-74a6e678ac7aa5e6.rmeta: crates/floorplan/src/lib.rs crates/floorplan/src/device.rs crates/floorplan/src/estimate.rs crates/floorplan/src/place.rs crates/floorplan/src/scaling.rs Cargo.toml
+
+crates/floorplan/src/lib.rs:
+crates/floorplan/src/device.rs:
+crates/floorplan/src/estimate.rs:
+crates/floorplan/src/place.rs:
+crates/floorplan/src/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/floorplan-cadf6b42b29fa485.d: crates/floorplan/src/lib.rs crates/floorplan/src/device.rs crates/floorplan/src/estimate.rs crates/floorplan/src/place.rs crates/floorplan/src/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfloorplan-cadf6b42b29fa485.rmeta: crates/floorplan/src/lib.rs crates/floorplan/src/device.rs crates/floorplan/src/estimate.rs crates/floorplan/src/place.rs crates/floorplan/src/scaling.rs Cargo.toml
+
+crates/floorplan/src/lib.rs:
+crates/floorplan/src/device.rs:
+crates/floorplan/src/estimate.rs:
+crates/floorplan/src/place.rs:
+crates/floorplan/src/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

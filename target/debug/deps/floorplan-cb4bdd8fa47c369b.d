@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/floorplan-cb4bdd8fa47c369b.d: crates/floorplan/src/lib.rs crates/floorplan/src/device.rs crates/floorplan/src/estimate.rs crates/floorplan/src/place.rs crates/floorplan/src/scaling.rs
+
+/root/repo/target/debug/deps/floorplan-cb4bdd8fa47c369b: crates/floorplan/src/lib.rs crates/floorplan/src/device.rs crates/floorplan/src/estimate.rs crates/floorplan/src/place.rs crates/floorplan/src/scaling.rs
+
+crates/floorplan/src/lib.rs:
+crates/floorplan/src/device.rs:
+crates/floorplan/src/estimate.rs:
+crates/floorplan/src/place.rs:
+crates/floorplan/src/scaling.rs:

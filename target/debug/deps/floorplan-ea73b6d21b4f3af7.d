@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/floorplan-ea73b6d21b4f3af7.d: crates/floorplan/src/lib.rs crates/floorplan/src/device.rs crates/floorplan/src/estimate.rs crates/floorplan/src/place.rs crates/floorplan/src/scaling.rs
+
+/root/repo/target/debug/deps/libfloorplan-ea73b6d21b4f3af7.rlib: crates/floorplan/src/lib.rs crates/floorplan/src/device.rs crates/floorplan/src/estimate.rs crates/floorplan/src/place.rs crates/floorplan/src/scaling.rs
+
+/root/repo/target/debug/deps/libfloorplan-ea73b6d21b4f3af7.rmeta: crates/floorplan/src/lib.rs crates/floorplan/src/device.rs crates/floorplan/src/estimate.rs crates/floorplan/src/place.rs crates/floorplan/src/scaling.rs
+
+crates/floorplan/src/lib.rs:
+crates/floorplan/src/device.rs:
+crates/floorplan/src/estimate.rs:
+crates/floorplan/src/place.rs:
+crates/floorplan/src/scaling.rs:

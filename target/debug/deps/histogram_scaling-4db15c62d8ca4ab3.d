@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/histogram_scaling-4db15c62d8ca4ab3.d: tests/histogram_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhistogram_scaling-4db15c62d8ca4ab3.rmeta: tests/histogram_scaling.rs Cargo.toml
+
+tests/histogram_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

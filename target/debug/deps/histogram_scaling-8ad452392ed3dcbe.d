@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/histogram_scaling-8ad452392ed3dcbe.d: tests/histogram_scaling.rs
+
+/root/repo/target/debug/deps/histogram_scaling-8ad452392ed3dcbe: tests/histogram_scaling.rs
+
+tests/histogram_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memory_ip-b6d294930ccae18f.d: crates/bench/benches/memory_ip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory_ip-b6d294930ccae18f.rmeta: crates/bench/benches/memory_ip.rs Cargo.toml
+
+crates/bench/benches/memory_ip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/multinoc-327026495103d928.d: crates/multinoc/src/lib.rs crates/multinoc/src/addrmap.rs crates/multinoc/src/apps/mod.rs crates/multinoc/src/apps/edge.rs crates/multinoc/src/apps/histogram.rs crates/multinoc/src/apps/vecsum.rs crates/multinoc/src/debug.rs crates/multinoc/src/host.rs crates/multinoc/src/memory.rs crates/multinoc/src/net.rs crates/multinoc/src/processor.rs crates/multinoc/src/reliable.rs crates/multinoc/src/serial.rs crates/multinoc/src/serial_ip.rs crates/multinoc/src/service.rs crates/multinoc/src/system.rs crates/multinoc/src/trace.rs crates/multinoc/src/error.rs crates/multinoc/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultinoc-327026495103d928.rmeta: crates/multinoc/src/lib.rs crates/multinoc/src/addrmap.rs crates/multinoc/src/apps/mod.rs crates/multinoc/src/apps/edge.rs crates/multinoc/src/apps/histogram.rs crates/multinoc/src/apps/vecsum.rs crates/multinoc/src/debug.rs crates/multinoc/src/host.rs crates/multinoc/src/memory.rs crates/multinoc/src/net.rs crates/multinoc/src/processor.rs crates/multinoc/src/reliable.rs crates/multinoc/src/serial.rs crates/multinoc/src/serial_ip.rs crates/multinoc/src/service.rs crates/multinoc/src/system.rs crates/multinoc/src/trace.rs crates/multinoc/src/error.rs crates/multinoc/src/node.rs Cargo.toml
+
+crates/multinoc/src/lib.rs:
+crates/multinoc/src/addrmap.rs:
+crates/multinoc/src/apps/mod.rs:
+crates/multinoc/src/apps/edge.rs:
+crates/multinoc/src/apps/histogram.rs:
+crates/multinoc/src/apps/vecsum.rs:
+crates/multinoc/src/debug.rs:
+crates/multinoc/src/host.rs:
+crates/multinoc/src/memory.rs:
+crates/multinoc/src/net.rs:
+crates/multinoc/src/processor.rs:
+crates/multinoc/src/reliable.rs:
+crates/multinoc/src/serial.rs:
+crates/multinoc/src/serial_ip.rs:
+crates/multinoc/src/service.rs:
+crates/multinoc/src/system.rs:
+crates/multinoc/src/trace.rs:
+crates/multinoc/src/error.rs:
+crates/multinoc/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

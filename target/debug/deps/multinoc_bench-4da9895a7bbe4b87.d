@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multinoc_bench-4da9895a7bbe4b87.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultinoc_bench-4da9895a7bbe4b87.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

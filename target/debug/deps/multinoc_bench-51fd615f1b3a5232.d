@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/multinoc_bench-51fd615f1b3a5232.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmultinoc_bench-51fd615f1b3a5232.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmultinoc_bench-51fd615f1b3a5232.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multinoc_bench-7fb831682d779e61.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/multinoc_bench-7fb831682d779e61: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

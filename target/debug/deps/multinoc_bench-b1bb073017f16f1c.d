@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multinoc_bench-b1bb073017f16f1c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultinoc_bench-b1bb073017f16f1c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

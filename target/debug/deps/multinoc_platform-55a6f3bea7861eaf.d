@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/multinoc_platform-55a6f3bea7861eaf.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmultinoc_platform-55a6f3bea7861eaf.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmultinoc_platform-55a6f3bea7861eaf.rmeta: src/lib.rs
+
+src/lib.rs:

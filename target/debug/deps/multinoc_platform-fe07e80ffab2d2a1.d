@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multinoc_platform-fe07e80ffab2d2a1.d: src/lib.rs
+
+/root/repo/target/debug/deps/multinoc_platform-fe07e80ffab2d2a1: src/lib.rs
+
+src/lib.rs:

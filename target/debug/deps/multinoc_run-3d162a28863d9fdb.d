@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multinoc_run-3d162a28863d9fdb.d: crates/multinoc/src/bin/multinoc_run.rs
+
+/root/repo/target/debug/deps/multinoc_run-3d162a28863d9fdb: crates/multinoc/src/bin/multinoc_run.rs
+
+crates/multinoc/src/bin/multinoc_run.rs:

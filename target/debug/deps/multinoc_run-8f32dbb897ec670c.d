@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multinoc_run-8f32dbb897ec670c.d: crates/multinoc/src/bin/multinoc_run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultinoc_run-8f32dbb897ec670c.rmeta: crates/multinoc/src/bin/multinoc_run.rs Cargo.toml
+
+crates/multinoc/src/bin/multinoc_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multinoc_run-da62b4b9abf31f51.d: crates/multinoc/src/bin/multinoc_run.rs
+
+/root/repo/target/debug/deps/multinoc_run-da62b4b9abf31f51: crates/multinoc/src/bin/multinoc_run.rs
+
+crates/multinoc/src/bin/multinoc_run.rs:

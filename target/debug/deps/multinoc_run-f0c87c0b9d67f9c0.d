@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multinoc_run-f0c87c0b9d67f9c0.d: crates/multinoc/src/bin/multinoc_run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultinoc_run-f0c87c0b9d67f9c0.rmeta: crates/multinoc/src/bin/multinoc_run.rs Cargo.toml
+
+crates/multinoc/src/bin/multinoc_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

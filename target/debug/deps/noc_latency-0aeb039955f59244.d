@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noc_latency-0aeb039955f59244.d: crates/bench/benches/noc_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_latency-0aeb039955f59244.rmeta: crates/bench/benches/noc_latency.rs Cargo.toml
+
+crates/bench/benches/noc_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

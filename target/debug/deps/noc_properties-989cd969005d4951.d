@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/noc_properties-989cd969005d4951.d: tests/noc_properties.rs
+
+/root/repo/target/debug/deps/noc_properties-989cd969005d4951: tests/noc_properties.rs
+
+tests/noc_properties.rs:

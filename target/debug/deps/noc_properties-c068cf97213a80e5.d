@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noc_properties-c068cf97213a80e5.d: tests/noc_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_properties-c068cf97213a80e5.rmeta: tests/noc_properties.rs Cargo.toml
+
+tests/noc_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

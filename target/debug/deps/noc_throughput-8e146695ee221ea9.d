@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noc_throughput-8e146695ee221ea9.d: crates/bench/benches/noc_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_throughput-8e146695ee221ea9.rmeta: crates/bench/benches/noc_throughput.rs Cargo.toml
+
+crates/bench/benches/noc_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

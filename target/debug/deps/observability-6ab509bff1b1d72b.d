@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-6ab509bff1b1d72b.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-6ab509bff1b1d72b: tests/observability.rs
+
+tests/observability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prng-b82ac0da4efbccbd.d: crates/prng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprng-b82ac0da4efbccbd.rmeta: crates/prng/src/lib.rs Cargo.toml
+
+crates/prng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

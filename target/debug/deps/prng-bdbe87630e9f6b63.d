@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prng-bdbe87630e9f6b63.d: crates/prng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprng-bdbe87630e9f6b63.rmeta: crates/prng/src/lib.rs Cargo.toml
+
+crates/prng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

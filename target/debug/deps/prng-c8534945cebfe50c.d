@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prng-c8534945cebfe50c.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/prng-c8534945cebfe50c: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

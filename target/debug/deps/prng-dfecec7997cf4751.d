@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prng-dfecec7997cf4751.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libprng-dfecec7997cf4751.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libprng-dfecec7997cf4751.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-01743b3402110faa.d: crates/proptest/src/lib.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-01743b3402110faa: crates/proptest/src/lib.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/arbitrary.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/test_runner.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/r8-5b561461a1a196cc.d: crates/r8/src/lib.rs crates/r8/src/asm.rs crates/r8/src/core.rs crates/r8/src/disasm.rs crates/r8/src/isa.rs crates/r8/src/objfile.rs crates/r8/src/program.rs
+
+/root/repo/target/debug/deps/libr8-5b561461a1a196cc.rlib: crates/r8/src/lib.rs crates/r8/src/asm.rs crates/r8/src/core.rs crates/r8/src/disasm.rs crates/r8/src/isa.rs crates/r8/src/objfile.rs crates/r8/src/program.rs
+
+/root/repo/target/debug/deps/libr8-5b561461a1a196cc.rmeta: crates/r8/src/lib.rs crates/r8/src/asm.rs crates/r8/src/core.rs crates/r8/src/disasm.rs crates/r8/src/isa.rs crates/r8/src/objfile.rs crates/r8/src/program.rs
+
+crates/r8/src/lib.rs:
+crates/r8/src/asm.rs:
+crates/r8/src/core.rs:
+crates/r8/src/disasm.rs:
+crates/r8/src/isa.rs:
+crates/r8/src/objfile.rs:
+crates/r8/src/program.rs:

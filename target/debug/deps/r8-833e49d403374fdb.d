@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/r8-833e49d403374fdb.d: crates/r8/src/lib.rs crates/r8/src/asm.rs crates/r8/src/core.rs crates/r8/src/disasm.rs crates/r8/src/isa.rs crates/r8/src/objfile.rs crates/r8/src/program.rs
+
+/root/repo/target/debug/deps/r8-833e49d403374fdb: crates/r8/src/lib.rs crates/r8/src/asm.rs crates/r8/src/core.rs crates/r8/src/disasm.rs crates/r8/src/isa.rs crates/r8/src/objfile.rs crates/r8/src/program.rs
+
+crates/r8/src/lib.rs:
+crates/r8/src/asm.rs:
+crates/r8/src/core.rs:
+crates/r8/src/disasm.rs:
+crates/r8/src/isa.rs:
+crates/r8/src/objfile.rs:
+crates/r8/src/program.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/r8-ef22b4c0e64deff1.d: crates/r8/src/lib.rs crates/r8/src/asm.rs crates/r8/src/core.rs crates/r8/src/disasm.rs crates/r8/src/isa.rs crates/r8/src/objfile.rs crates/r8/src/program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libr8-ef22b4c0e64deff1.rmeta: crates/r8/src/lib.rs crates/r8/src/asm.rs crates/r8/src/core.rs crates/r8/src/disasm.rs crates/r8/src/isa.rs crates/r8/src/objfile.rs crates/r8/src/program.rs Cargo.toml
+
+crates/r8/src/lib.rs:
+crates/r8/src/asm.rs:
+crates/r8/src/core.rs:
+crates/r8/src/disasm.rs:
+crates/r8/src/isa.rs:
+crates/r8/src/objfile.rs:
+crates/r8/src/program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

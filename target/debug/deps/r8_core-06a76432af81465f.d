@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/r8_core-06a76432af81465f.d: crates/bench/benches/r8_core.rs Cargo.toml
+
+/root/repo/target/debug/deps/libr8_core-06a76432af81465f.rmeta: crates/bench/benches/r8_core.rs Cargo.toml
+
+crates/bench/benches/r8_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

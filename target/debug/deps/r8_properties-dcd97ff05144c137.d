@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/r8_properties-dcd97ff05144c137.d: tests/r8_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libr8_properties-dcd97ff05144c137.rmeta: tests/r8_properties.rs Cargo.toml
+
+tests/r8_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

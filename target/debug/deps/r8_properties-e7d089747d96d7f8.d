@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/r8_properties-e7d089747d96d7f8.d: tests/r8_properties.rs
+
+/root/repo/target/debug/deps/r8_properties-e7d089747d96d7f8: tests/r8_properties.rs
+
+tests/r8_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/r8asm-803c756bd10f724b.d: crates/r8/src/bin/r8asm.rs
+
+/root/repo/target/debug/deps/r8asm-803c756bd10f724b: crates/r8/src/bin/r8asm.rs
+
+crates/r8/src/bin/r8asm.rs:

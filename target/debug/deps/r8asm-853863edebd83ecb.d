@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/r8asm-853863edebd83ecb.d: crates/r8/src/bin/r8asm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libr8asm-853863edebd83ecb.rmeta: crates/r8/src/bin/r8asm.rs Cargo.toml
+
+crates/r8/src/bin/r8asm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/r8asm-e0c2b660cfb8bb5c.d: crates/r8/src/bin/r8asm.rs
+
+/root/repo/target/debug/deps/r8asm-e0c2b660cfb8bb5c: crates/r8/src/bin/r8asm.rs
+
+crates/r8/src/bin/r8asm.rs:

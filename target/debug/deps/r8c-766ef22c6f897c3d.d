@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/r8c-766ef22c6f897c3d.d: crates/r8c/src/lib.rs crates/r8c/src/ast.rs crates/r8c/src/codegen.rs crates/r8c/src/error.rs crates/r8c/src/fold.rs crates/r8c/src/lexer.rs crates/r8c/src/parser.rs
+
+/root/repo/target/debug/deps/libr8c-766ef22c6f897c3d.rlib: crates/r8c/src/lib.rs crates/r8c/src/ast.rs crates/r8c/src/codegen.rs crates/r8c/src/error.rs crates/r8c/src/fold.rs crates/r8c/src/lexer.rs crates/r8c/src/parser.rs
+
+/root/repo/target/debug/deps/libr8c-766ef22c6f897c3d.rmeta: crates/r8c/src/lib.rs crates/r8c/src/ast.rs crates/r8c/src/codegen.rs crates/r8c/src/error.rs crates/r8c/src/fold.rs crates/r8c/src/lexer.rs crates/r8c/src/parser.rs
+
+crates/r8c/src/lib.rs:
+crates/r8c/src/ast.rs:
+crates/r8c/src/codegen.rs:
+crates/r8c/src/error.rs:
+crates/r8c/src/fold.rs:
+crates/r8c/src/lexer.rs:
+crates/r8c/src/parser.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/r8c-f8f4b3a82ce75602.d: crates/r8c/src/lib.rs crates/r8c/src/ast.rs crates/r8c/src/codegen.rs crates/r8c/src/error.rs crates/r8c/src/fold.rs crates/r8c/src/lexer.rs crates/r8c/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libr8c-f8f4b3a82ce75602.rmeta: crates/r8c/src/lib.rs crates/r8c/src/ast.rs crates/r8c/src/codegen.rs crates/r8c/src/error.rs crates/r8c/src/fold.rs crates/r8c/src/lexer.rs crates/r8c/src/parser.rs Cargo.toml
+
+crates/r8c/src/lib.rs:
+crates/r8c/src/ast.rs:
+crates/r8c/src/codegen.rs:
+crates/r8c/src/error.rs:
+crates/r8c/src/fold.rs:
+crates/r8c/src/lexer.rs:
+crates/r8c/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

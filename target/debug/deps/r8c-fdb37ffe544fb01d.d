@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/r8c-fdb37ffe544fb01d.d: crates/r8c/src/lib.rs crates/r8c/src/ast.rs crates/r8c/src/codegen.rs crates/r8c/src/error.rs crates/r8c/src/fold.rs crates/r8c/src/lexer.rs crates/r8c/src/parser.rs
+
+/root/repo/target/debug/deps/r8c-fdb37ffe544fb01d: crates/r8c/src/lib.rs crates/r8c/src/ast.rs crates/r8c/src/codegen.rs crates/r8c/src/error.rs crates/r8c/src/fold.rs crates/r8c/src/lexer.rs crates/r8c/src/parser.rs
+
+crates/r8c/src/lib.rs:
+crates/r8c/src/ast.rs:
+crates/r8c/src/codegen.rs:
+crates/r8c/src/error.rs:
+crates/r8c/src/fold.rs:
+crates/r8c/src/lexer.rs:
+crates/r8c/src/parser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/r8cc-13e06fc8bc9cbfb4.d: crates/r8c/src/bin/r8cc.rs
+
+/root/repo/target/debug/deps/r8cc-13e06fc8bc9cbfb4: crates/r8c/src/bin/r8cc.rs
+
+crates/r8c/src/bin/r8cc.rs:

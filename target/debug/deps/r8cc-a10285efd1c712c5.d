@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/r8cc-a10285efd1c712c5.d: crates/r8c/src/bin/r8cc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libr8cc-a10285efd1c712c5.rmeta: crates/r8c/src/bin/r8cc.rs Cargo.toml
+
+crates/r8c/src/bin/r8cc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/r8cc-f75f3cc43ee5770c.d: crates/r8c/src/bin/r8cc.rs
+
+/root/repo/target/debug/deps/r8cc-f75f3cc43ee5770c: crates/r8c/src/bin/r8cc.rs
+
+crates/r8c/src/bin/r8cc.rs:

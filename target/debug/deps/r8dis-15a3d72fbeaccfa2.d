@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/r8dis-15a3d72fbeaccfa2.d: crates/r8/src/bin/r8dis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libr8dis-15a3d72fbeaccfa2.rmeta: crates/r8/src/bin/r8dis.rs Cargo.toml
+
+crates/r8/src/bin/r8dis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

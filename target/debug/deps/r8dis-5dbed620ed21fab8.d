@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/r8dis-5dbed620ed21fab8.d: crates/r8/src/bin/r8dis.rs
+
+/root/repo/target/debug/deps/r8dis-5dbed620ed21fab8: crates/r8/src/bin/r8dis.rs
+
+crates/r8/src/bin/r8dis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/r8dis-74627a26d14ee55b.d: crates/r8/src/bin/r8dis.rs
+
+/root/repo/target/debug/deps/r8dis-74627a26d14ee55b: crates/r8/src/bin/r8dis.rs
+
+crates/r8/src/bin/r8dis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/r8dis-f954508304b98a8e.d: crates/r8/src/bin/r8dis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libr8dis-f954508304b98a8e.rmeta: crates/r8/src/bin/r8dis.rs Cargo.toml
+
+crates/r8/src/bin/r8dis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

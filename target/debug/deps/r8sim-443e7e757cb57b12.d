@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/r8sim-443e7e757cb57b12.d: crates/r8/src/bin/r8sim.rs
+
+/root/repo/target/debug/deps/r8sim-443e7e757cb57b12: crates/r8/src/bin/r8sim.rs
+
+crates/r8/src/bin/r8sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/r8sim-5963048bdb10b34d.d: crates/r8/src/bin/r8sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libr8sim-5963048bdb10b34d.rmeta: crates/r8/src/bin/r8sim.rs Cargo.toml
+
+crates/r8/src/bin/r8sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

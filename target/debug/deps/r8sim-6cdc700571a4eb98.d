@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/r8sim-6cdc700571a4eb98.d: crates/r8/src/bin/r8sim.rs
+
+/root/repo/target/debug/deps/r8sim-6cdc700571a4eb98: crates/r8/src/bin/r8sim.rs
+
+crates/r8/src/bin/r8sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/r8sim-ce1b9875a28ed383.d: crates/r8/src/bin/r8sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libr8sim-ce1b9875a28ed383.rmeta: crates/r8/src/bin/r8sim.rs Cargo.toml
+
+crates/r8/src/bin/r8sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

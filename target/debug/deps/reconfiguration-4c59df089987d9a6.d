@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reconfiguration-4c59df089987d9a6.d: tests/reconfiguration.rs
+
+/root/repo/target/debug/deps/reconfiguration-4c59df089987d9a6: tests/reconfiguration.rs
+
+tests/reconfiguration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalable_systems-5f9319d06e4db9eb.d: tests/scalable_systems.rs
+
+/root/repo/target/debug/deps/scalable_systems-5f9319d06e4db9eb: tests/scalable_systems.rs
+
+tests/scalable_systems.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalable_systems-9c2db2d743881aa2.d: tests/scalable_systems.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalable_systems-9c2db2d743881aa2.rmeta: tests/scalable_systems.rs Cargo.toml
+
+tests/scalable_systems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

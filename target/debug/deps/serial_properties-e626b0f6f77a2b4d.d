@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serial_properties-e626b0f6f77a2b4d.d: tests/serial_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserial_properties-e626b0f6f77a2b4d.rmeta: tests/serial_properties.rs Cargo.toml
+
+tests/serial_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serial_properties-ebdce373ba6d9cab.d: tests/serial_properties.rs
+
+/root/repo/target/debug/deps/serial_properties-ebdce373ba6d9cab: tests/serial_properties.rs
+
+tests/serial_properties.rs:

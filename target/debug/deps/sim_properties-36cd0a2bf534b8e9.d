@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_properties-36cd0a2bf534b8e9.d: crates/hermes/tests/sim_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_properties-36cd0a2bf534b8e9.rmeta: crates/hermes/tests/sim_properties.rs Cargo.toml
+
+crates/hermes/tests/sim_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

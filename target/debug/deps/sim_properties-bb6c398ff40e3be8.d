@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_properties-bb6c398ff40e3be8.d: crates/hermes/tests/sim_properties.rs
+
+/root/repo/target/debug/deps/sim_properties-bb6c398ff40e3be8: crates/hermes/tests/sim_properties.rs
+
+crates/hermes/tests/sim_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stmt_properties-8b0aa9014cbfdb37.d: crates/r8c/tests/stmt_properties.rs
+
+/root/repo/target/debug/deps/stmt_properties-8b0aa9014cbfdb37: crates/r8c/tests/stmt_properties.rs
+
+crates/r8c/tests/stmt_properties.rs:

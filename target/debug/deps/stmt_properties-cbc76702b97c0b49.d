@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stmt_properties-cbc76702b97c0b49.d: crates/r8c/tests/stmt_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstmt_properties-cbc76702b97c0b49.rmeta: crates/r8c/tests/stmt_properties.rs Cargo.toml
+
+crates/r8c/tests/stmt_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

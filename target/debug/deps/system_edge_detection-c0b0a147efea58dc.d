@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/system_edge_detection-c0b0a147efea58dc.d: crates/bench/benches/system_edge_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsystem_edge_detection-c0b0a147efea58dc.rmeta: crates/bench/benches/system_edge_detection.rs Cargo.toml
+
+crates/bench/benches/system_edge_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_flow-7e3b945e3d6c1748.d: tests/system_flow.rs
+
+/root/repo/target/debug/deps/system_flow-7e3b945e3d6c1748: tests/system_flow.rs
+
+tests/system_flow.rs:

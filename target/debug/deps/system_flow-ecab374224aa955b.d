@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/system_flow-ecab374224aa955b.d: tests/system_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsystem_flow-ecab374224aa955b.rmeta: tests/system_flow.rs Cargo.toml
+
+tests/system_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

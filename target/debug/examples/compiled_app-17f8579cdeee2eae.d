@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compiled_app-17f8579cdeee2eae.d: examples/compiled_app.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompiled_app-17f8579cdeee2eae.rmeta: examples/compiled_app.rs Cargo.toml
+
+examples/compiled_app.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compiled_app-9707b1d43ad97750.d: examples/compiled_app.rs
+
+/root/repo/target/debug/examples/compiled_app-9707b1d43ad97750: examples/compiled_app.rs
+
+examples/compiled_app.rs:

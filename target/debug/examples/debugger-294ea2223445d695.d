@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/debugger-294ea2223445d695.d: examples/debugger.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdebugger-294ea2223445d695.rmeta: examples/debugger.rs Cargo.toml
+
+examples/debugger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

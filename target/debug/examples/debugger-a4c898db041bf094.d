@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/debugger-a4c898db041bf094.d: examples/debugger.rs
+
+/root/repo/target/debug/examples/debugger-a4c898db041bf094: examples/debugger.rs
+
+examples/debugger.rs:

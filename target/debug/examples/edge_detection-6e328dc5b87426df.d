@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_detection-6e328dc5b87426df.d: examples/edge_detection.rs
+
+/root/repo/target/debug/examples/edge_detection-6e328dc5b87426df: examples/edge_detection.rs
+
+examples/edge_detection.rs:

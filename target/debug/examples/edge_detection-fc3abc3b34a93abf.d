@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/edge_detection-fc3abc3b34a93abf.d: examples/edge_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libedge_detection-fc3abc3b34a93abf.rmeta: examples/edge_detection.rs Cargo.toml
+
+examples/edge_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/floorplan_demo-07aeb9743124c5da.d: examples/floorplan_demo.rs
+
+/root/repo/target/debug/examples/floorplan_demo-07aeb9743124c5da: examples/floorplan_demo.rs
+
+examples/floorplan_demo.rs:

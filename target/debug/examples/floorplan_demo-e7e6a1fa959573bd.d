@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/floorplan_demo-e7e6a1fa959573bd.d: examples/floorplan_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfloorplan_demo-e7e6a1fa959573bd.rmeta: examples/floorplan_demo.rs Cargo.toml
+
+examples/floorplan_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

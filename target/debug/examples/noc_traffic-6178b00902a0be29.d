@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/noc_traffic-6178b00902a0be29.d: examples/noc_traffic.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnoc_traffic-6178b00902a0be29.rmeta: examples/noc_traffic.rs Cargo.toml
+
+examples/noc_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

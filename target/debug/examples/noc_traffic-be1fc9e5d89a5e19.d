@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noc_traffic-be1fc9e5d89a5e19.d: examples/noc_traffic.rs
+
+/root/repo/target/debug/examples/noc_traffic-be1fc9e5d89a5e19: examples/noc_traffic.rs
+
+examples/noc_traffic.rs:

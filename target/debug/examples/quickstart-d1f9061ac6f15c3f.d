@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d1f9061ac6f15c3f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d1f9061ac6f15c3f: examples/quickstart.rs
+
+examples/quickstart.rs:

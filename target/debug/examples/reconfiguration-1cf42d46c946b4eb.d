@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reconfiguration-1cf42d46c946b4eb.d: examples/reconfiguration.rs
+
+/root/repo/target/debug/examples/reconfiguration-1cf42d46c946b4eb: examples/reconfiguration.rs
+
+examples/reconfiguration.rs:

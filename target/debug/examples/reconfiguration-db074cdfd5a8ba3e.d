@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reconfiguration-db074cdfd5a8ba3e.d: examples/reconfiguration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreconfiguration-db074cdfd5a8ba3e.rmeta: examples/reconfiguration.rs Cargo.toml
+
+examples/reconfiguration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

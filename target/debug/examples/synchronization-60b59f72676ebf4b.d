@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/synchronization-60b59f72676ebf4b.d: examples/synchronization.rs
+
+/root/repo/target/debug/examples/synchronization-60b59f72676ebf4b: examples/synchronization.rs
+
+examples/synchronization.rs:

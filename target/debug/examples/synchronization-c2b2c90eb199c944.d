@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/synchronization-c2b2c90eb199c944.d: examples/synchronization.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsynchronization-c2b2c90eb199c944.rmeta: examples/synchronization.rs Cargo.toml
+
+examples/synchronization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fault_sweep-0a7a739fa3085f6e.d: crates/bench/src/bin/exp_fault_sweep.rs
+
+/root/repo/target/release/deps/exp_fault_sweep-0a7a739fa3085f6e: crates/bench/src/bin/exp_fault_sweep.rs
+
+crates/bench/src/bin/exp_fault_sweep.rs:

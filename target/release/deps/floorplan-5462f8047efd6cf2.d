@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/floorplan-5462f8047efd6cf2.d: crates/floorplan/src/lib.rs crates/floorplan/src/device.rs crates/floorplan/src/estimate.rs crates/floorplan/src/place.rs crates/floorplan/src/scaling.rs
+
+/root/repo/target/release/deps/libfloorplan-5462f8047efd6cf2.rlib: crates/floorplan/src/lib.rs crates/floorplan/src/device.rs crates/floorplan/src/estimate.rs crates/floorplan/src/place.rs crates/floorplan/src/scaling.rs
+
+/root/repo/target/release/deps/libfloorplan-5462f8047efd6cf2.rmeta: crates/floorplan/src/lib.rs crates/floorplan/src/device.rs crates/floorplan/src/estimate.rs crates/floorplan/src/place.rs crates/floorplan/src/scaling.rs
+
+crates/floorplan/src/lib.rs:
+crates/floorplan/src/device.rs:
+crates/floorplan/src/estimate.rs:
+crates/floorplan/src/place.rs:
+crates/floorplan/src/scaling.rs:

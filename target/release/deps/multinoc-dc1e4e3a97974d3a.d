@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/multinoc-dc1e4e3a97974d3a.d: crates/multinoc/src/lib.rs crates/multinoc/src/addrmap.rs crates/multinoc/src/apps/mod.rs crates/multinoc/src/apps/edge.rs crates/multinoc/src/apps/histogram.rs crates/multinoc/src/apps/vecsum.rs crates/multinoc/src/debug.rs crates/multinoc/src/host.rs crates/multinoc/src/memory.rs crates/multinoc/src/net.rs crates/multinoc/src/processor.rs crates/multinoc/src/reliable.rs crates/multinoc/src/serial.rs crates/multinoc/src/serial_ip.rs crates/multinoc/src/service.rs crates/multinoc/src/system.rs crates/multinoc/src/trace.rs crates/multinoc/src/error.rs crates/multinoc/src/node.rs
+
+/root/repo/target/release/deps/libmultinoc-dc1e4e3a97974d3a.rlib: crates/multinoc/src/lib.rs crates/multinoc/src/addrmap.rs crates/multinoc/src/apps/mod.rs crates/multinoc/src/apps/edge.rs crates/multinoc/src/apps/histogram.rs crates/multinoc/src/apps/vecsum.rs crates/multinoc/src/debug.rs crates/multinoc/src/host.rs crates/multinoc/src/memory.rs crates/multinoc/src/net.rs crates/multinoc/src/processor.rs crates/multinoc/src/reliable.rs crates/multinoc/src/serial.rs crates/multinoc/src/serial_ip.rs crates/multinoc/src/service.rs crates/multinoc/src/system.rs crates/multinoc/src/trace.rs crates/multinoc/src/error.rs crates/multinoc/src/node.rs
+
+/root/repo/target/release/deps/libmultinoc-dc1e4e3a97974d3a.rmeta: crates/multinoc/src/lib.rs crates/multinoc/src/addrmap.rs crates/multinoc/src/apps/mod.rs crates/multinoc/src/apps/edge.rs crates/multinoc/src/apps/histogram.rs crates/multinoc/src/apps/vecsum.rs crates/multinoc/src/debug.rs crates/multinoc/src/host.rs crates/multinoc/src/memory.rs crates/multinoc/src/net.rs crates/multinoc/src/processor.rs crates/multinoc/src/reliable.rs crates/multinoc/src/serial.rs crates/multinoc/src/serial_ip.rs crates/multinoc/src/service.rs crates/multinoc/src/system.rs crates/multinoc/src/trace.rs crates/multinoc/src/error.rs crates/multinoc/src/node.rs
+
+crates/multinoc/src/lib.rs:
+crates/multinoc/src/addrmap.rs:
+crates/multinoc/src/apps/mod.rs:
+crates/multinoc/src/apps/edge.rs:
+crates/multinoc/src/apps/histogram.rs:
+crates/multinoc/src/apps/vecsum.rs:
+crates/multinoc/src/debug.rs:
+crates/multinoc/src/host.rs:
+crates/multinoc/src/memory.rs:
+crates/multinoc/src/net.rs:
+crates/multinoc/src/processor.rs:
+crates/multinoc/src/reliable.rs:
+crates/multinoc/src/serial.rs:
+crates/multinoc/src/serial_ip.rs:
+crates/multinoc/src/service.rs:
+crates/multinoc/src/system.rs:
+crates/multinoc/src/trace.rs:
+crates/multinoc/src/error.rs:
+crates/multinoc/src/node.rs:

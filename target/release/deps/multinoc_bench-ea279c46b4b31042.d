@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/multinoc_bench-ea279c46b4b31042.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmultinoc_bench-ea279c46b4b31042.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmultinoc_bench-ea279c46b4b31042.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

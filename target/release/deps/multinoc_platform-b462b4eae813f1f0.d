@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/multinoc_platform-b462b4eae813f1f0.d: src/lib.rs
+
+/root/repo/target/release/deps/libmultinoc_platform-b462b4eae813f1f0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmultinoc_platform-b462b4eae813f1f0.rmeta: src/lib.rs
+
+src/lib.rs:

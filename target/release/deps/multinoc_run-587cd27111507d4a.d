@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multinoc_run-587cd27111507d4a.d: crates/multinoc/src/bin/multinoc_run.rs
+
+/root/repo/target/release/deps/multinoc_run-587cd27111507d4a: crates/multinoc/src/bin/multinoc_run.rs
+
+crates/multinoc/src/bin/multinoc_run.rs:

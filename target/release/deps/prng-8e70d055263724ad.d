@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/prng-8e70d055263724ad.d: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libprng-8e70d055263724ad.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libprng-8e70d055263724ad.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

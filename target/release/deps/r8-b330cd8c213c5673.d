@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/r8-b330cd8c213c5673.d: crates/r8/src/lib.rs crates/r8/src/asm.rs crates/r8/src/core.rs crates/r8/src/disasm.rs crates/r8/src/isa.rs crates/r8/src/objfile.rs crates/r8/src/program.rs
+
+/root/repo/target/release/deps/libr8-b330cd8c213c5673.rlib: crates/r8/src/lib.rs crates/r8/src/asm.rs crates/r8/src/core.rs crates/r8/src/disasm.rs crates/r8/src/isa.rs crates/r8/src/objfile.rs crates/r8/src/program.rs
+
+/root/repo/target/release/deps/libr8-b330cd8c213c5673.rmeta: crates/r8/src/lib.rs crates/r8/src/asm.rs crates/r8/src/core.rs crates/r8/src/disasm.rs crates/r8/src/isa.rs crates/r8/src/objfile.rs crates/r8/src/program.rs
+
+crates/r8/src/lib.rs:
+crates/r8/src/asm.rs:
+crates/r8/src/core.rs:
+crates/r8/src/disasm.rs:
+crates/r8/src/isa.rs:
+crates/r8/src/objfile.rs:
+crates/r8/src/program.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/r8c-d02d3fdc7c84a682.d: crates/r8c/src/lib.rs crates/r8c/src/ast.rs crates/r8c/src/codegen.rs crates/r8c/src/error.rs crates/r8c/src/fold.rs crates/r8c/src/lexer.rs crates/r8c/src/parser.rs
+
+/root/repo/target/release/deps/libr8c-d02d3fdc7c84a682.rlib: crates/r8c/src/lib.rs crates/r8c/src/ast.rs crates/r8c/src/codegen.rs crates/r8c/src/error.rs crates/r8c/src/fold.rs crates/r8c/src/lexer.rs crates/r8c/src/parser.rs
+
+/root/repo/target/release/deps/libr8c-d02d3fdc7c84a682.rmeta: crates/r8c/src/lib.rs crates/r8c/src/ast.rs crates/r8c/src/codegen.rs crates/r8c/src/error.rs crates/r8c/src/fold.rs crates/r8c/src/lexer.rs crates/r8c/src/parser.rs
+
+crates/r8c/src/lib.rs:
+crates/r8c/src/ast.rs:
+crates/r8c/src/codegen.rs:
+crates/r8c/src/error.rs:
+crates/r8c/src/fold.rs:
+crates/r8c/src/lexer.rs:
+crates/r8c/src/parser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/debugger-bcf62067214ac9f2.d: examples/debugger.rs
+
+/root/repo/target/release/examples/debugger-bcf62067214ac9f2: examples/debugger.rs
+
+examples/debugger.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-e65872357145555b.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-e65872357145555b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/synchronization-1ea16ec1e10a33e2.d: examples/synchronization.rs
+
+/root/repo/target/release/examples/synchronization-1ea16ec1e10a33e2: examples/synchronization.rs
+
+examples/synchronization.rs:

@@ -2,7 +2,7 @@
 //! edges, and wrap-around behaviour.
 
 use hermes_noc::{Noc, NocConfig, Packet, RouterAddr};
-use multinoc::{host::Host, System, NodeId};
+use multinoc::{host::Host, NodeId, System};
 use r8::asm::assemble;
 use r8::core::{Cpu, RamBus};
 use r8::isa::Instr;
@@ -22,7 +22,10 @@ fn one_by_one_mesh_self_delivery() {
 #[test]
 fn line_topologies_route_straight() {
     // 8x1 and 1x8 degenerate meshes: XY routing must still work.
-    for (w, h, dst) in [(8u8, 1u8, RouterAddr::new(7, 0)), (1, 8, RouterAddr::new(0, 7))] {
+    for (w, h, dst) in [
+        (8u8, 1u8, RouterAddr::new(7, 0)),
+        (1, 8, RouterAddr::new(0, 7)),
+    ] {
         let mut noc = Noc::new(NocConfig::mesh(w, h)).unwrap();
         let src = RouterAddr::new(0, 0);
         noc.send(src, Packet::new(dst, vec![0xAA; 5])).unwrap();
@@ -65,10 +68,7 @@ fn pc_wraps_around_the_address_space() {
 
 #[test]
 fn stack_wraps_at_the_address_space_edge() {
-    let program = assemble(
-        "XOR R1, R1, R1\nLDSP R1\nLIW R2, 77\nPUSH R2\nPOP R3\nHALT",
-    )
-    .unwrap();
+    let program = assemble("XOR R1, R1, R1\nLDSP R1\nLIW R2, 77\nPUSH R2\nPOP R3\nHALT").unwrap();
     let mut bus = RamBus::new(65536);
     bus.load(0x100, program.words());
     let mut cpu = Cpu::new();
@@ -91,10 +91,9 @@ fn minimal_two_node_system_works() {
     let p = NodeId(1);
     let mut host = Host::new();
     host.synchronize(&mut system).unwrap();
-    let program = assemble(
-        ".equ IO, 0xFFFF\nXOR R0, R0, R0\nLIW R1, IO\nLIW R2, 321\nST R2, R1, R0\nHALT",
-    )
-    .unwrap();
+    let program =
+        assemble(".equ IO, 0xFFFF\nXOR R0, R0, R0\nLIW R1, IO\nLIW R2, 321\nST R2, R1, R0\nHALT")
+            .unwrap();
     host.load_program(&mut system, p, program.words()).unwrap();
     host.activate(&mut system, p).unwrap();
     host.wait_for_printf(&mut system, p, 1).unwrap();
@@ -125,7 +124,10 @@ fn headless_processor_io_degrades_gracefully() {
          HALT",
     )
     .unwrap();
-    system.memory_mut(p).unwrap().write_block(0, program.words());
+    system
+        .memory_mut(p)
+        .unwrap()
+        .write_block(0, program.words());
     system.activate_directly(p).unwrap();
     system.run_until_halted(100_000).unwrap();
     assert_eq!(system.memory(p).unwrap().read(0x80), 0);

@@ -1,0 +1,308 @@
+//! End-to-end fault injection and recovery: the ack/retry layer must
+//! recover lost and corrupted packets, and unrecoverable situations must
+//! surface as typed [`SystemError`] variants — never a hang, a panic or
+//! a silent wrong answer.
+
+use hermes_noc::{CycleWindow, FaultPlan, Port, RouterAddr};
+use multinoc::host::Host;
+use multinoc::processor::ProcessorStatus;
+use multinoc::service::{checksum, Message, Service, ServiceError};
+use multinoc::{System, SystemError, PROCESSOR_1, PROCESSOR_2, REMOTE_MEMORY};
+use proptest::prelude::*;
+use r8::asm::assemble;
+
+use hermes_noc::Packet;
+
+/// Loads the wait/notify program pair from the paper's synchronization
+/// demo: P1 waits for P2, P2 writes a flag into P1's memory and then
+/// notifies.
+fn load_wait_notify(sys: &mut System) {
+    let p1 = assemble(&format!(
+        "LIW R2, {:#x}\n\
+         XOR R0, R0, R0\n\
+         LIW R3, {}\n\
+         ST  R3, R0, R2     ; wait for P2\n\
+         LIW R4, 0x80\n\
+         LD  R5, R4, R0     ; read the flag P2 wrote\n\
+         LIW R6, 0x81\n\
+         ST  R5, R6, R0     ; copy it\n\
+         HALT",
+        multinoc::WAIT_ADDR,
+        PROCESSOR_2.0,
+    ))
+    .unwrap();
+    let p2_window = sys
+        .address_map(PROCESSOR_2)
+        .unwrap()
+        .window_base(PROCESSOR_1)
+        .unwrap();
+    let p2 = assemble(&format!(
+        "LIW R1, {}\n\
+         XOR R0, R0, R0\n\
+         LIW R2, 0xBEEF\n\
+         ADDI R1, 0x80\n\
+         ST  R2, R1, R0     ; flag into P1 memory\n\
+         LIW R3, {:#x}\n\
+         LIW R4, {}\n\
+         ST  R4, R0, R3     ; notify P1\n\
+         HALT",
+        p2_window,
+        multinoc::NOTIFY_ADDR,
+        PROCESSOR_1.0,
+    ))
+    .unwrap();
+    sys.memory_mut(PROCESSOR_1)
+        .unwrap()
+        .write_block(0, p1.words());
+    sys.memory_mut(PROCESSOR_2)
+        .unwrap()
+        .write_block(0, p2.words());
+}
+
+/// A total packet-drop outage opens just as the processors start talking
+/// and closes 1500 cycles later: the flag write and the notify are lost
+/// (possibly repeatedly), and the ack/timeout retransmission layer must
+/// deliver them once the outage lifts.
+#[test]
+fn lost_notify_is_recovered_by_retransmission() {
+    let mut sys = System::paper_config().unwrap();
+    load_wait_notify(&mut sys);
+    sys.activate_directly(PROCESSOR_1).unwrap();
+    sys.activate_directly(PROCESSOR_2).unwrap();
+    // Let the (unsequenced, unretried) activation packets land first.
+    for _ in 0..200 {
+        let p1 = sys.processor_status(PROCESSOR_1).unwrap();
+        let p2 = sys.processor_status(PROCESSOR_2).unwrap();
+        if p1 != ProcessorStatus::Inactive && p2 != ProcessorStatus::Inactive {
+            break;
+        }
+        sys.step().unwrap();
+    }
+    let now = sys.cycle();
+    sys.set_fault_plan(
+        FaultPlan::new(7)
+            .with_drop_rate(1.0)
+            .with_drop_window(CycleWindow::new(now, now + 1500)),
+    );
+    sys.run_until_halted(200_000).unwrap();
+    // P1 saw the flag and copied it, despite the outage...
+    assert_eq!(sys.memory(PROCESSOR_1).unwrap().read(0x81), 0xBEEF);
+    // ...which required at least one retransmission.
+    let retries = sys.retry_counters();
+    assert!(
+        retries.retransmissions > 0,
+        "the outage must have forced retransmissions, got {retries}"
+    );
+    assert!(sys.noc_stats().faults.packets_dropped > 0);
+}
+
+/// Every flit is corrupted for a while: the receivers must detect the
+/// damage by checksum, drop the packets and let the sender's timeout
+/// recover the read — the host still gets exactly the data it wrote.
+#[test]
+fn corrupted_read_return_is_detected_and_retried() {
+    let mut sys = System::paper_config().unwrap();
+    let mut host = Host::new();
+    host.synchronize(&mut sys).unwrap();
+    let data: Vec<u16> = (0..8).map(|i| 0xA000 | i).collect();
+    // The write goes in clean; only the read phase is corrupted.
+    host.write_memory(&mut sys, REMOTE_MEMORY, 0x40, &data)
+        .unwrap();
+    let now = sys.cycle();
+    sys.set_fault_plan(
+        FaultPlan::new(11)
+            .with_corrupt_rate(1.0)
+            .with_corrupt_window(CycleWindow::new(now, now + 2500)),
+    );
+    let read_back = host.read_memory(&mut sys, REMOTE_MEMORY, 0x40, 8).unwrap();
+    assert_eq!(read_back, data);
+    assert!(
+        sys.service_counters().corrupt_dropped() > 0,
+        "some packet must have been caught by the checksum"
+    );
+    assert!(sys.retry_counters().retransmissions > 0);
+    assert!(sys.noc_stats().faults.flits_corrupted > 0);
+}
+
+/// A processor waiting for a notify that can never come is a deadlock:
+/// with the watchdog armed, `run_until_halted` reports the typed
+/// [`SystemError::Deadlock`] naming waiter and target — not a budget
+/// timeout, and certainly not an infinite loop.
+#[test]
+fn deadlock_watchdog_names_the_waiting_processor() {
+    let mut sys = System::paper_config().unwrap();
+    let program = assemble(&format!(
+        "LIW R2, {:#x}\nXOR R0, R0, R0\nLIW R3, {}\nST R3, R0, R2\nHALT",
+        multinoc::WAIT_ADDR,
+        PROCESSOR_2.0,
+    ))
+    .unwrap();
+    sys.memory_mut(PROCESSOR_1)
+        .unwrap()
+        .write_block(0, program.words());
+    sys.activate_directly(PROCESSOR_1).unwrap();
+    sys.enable_watchdog();
+    match sys.run_until_halted(100_000) {
+        Err(SystemError::Deadlock { waiting }) => {
+            assert_eq!(waiting, vec![(PROCESSOR_1, PROCESSOR_2)]);
+        }
+        other => panic!("expected a Deadlock error, got {other:?}"),
+    }
+}
+
+/// A permanently dead link wedges an (unsequenced, hence unretried)
+/// printf in the network: the watchdog notices that flits have stopped
+/// moving and reports [`SystemError::DeadLink`].
+#[test]
+fn dead_link_is_reported_as_typed_error() {
+    let mut sys = System::paper_config().unwrap();
+    // P1 sits at router (0,1); its printf to the serial IP at (0,0)
+    // must leave through the South port — which is down forever.
+    sys.set_fault_plan(FaultPlan::new(3).with_link_down(
+        RouterAddr::new(0, 1),
+        Port::South,
+        CycleWindow::open_ended(0),
+    ));
+    let program = assemble(&format!(
+        "LIW R1, 0x42\nLIW R2, {:#x}\nXOR R0, R0, R0\nST R1, R2, R0\nHALT",
+        multinoc::IO_ADDR,
+    ))
+    .unwrap();
+    sys.memory_mut(PROCESSOR_1)
+        .unwrap()
+        .write_block(0, program.words());
+    sys.activate_directly(PROCESSOR_1).unwrap();
+    match sys.run_until_halted(100_000) {
+        Err(SystemError::DeadLink { stalled_for }) => {
+            assert!(stalled_for >= 1000, "stall window too short: {stalled_for}");
+        }
+        other => panic!("expected a DeadLink error, got {other:?}"),
+    }
+}
+
+/// Sequenced traffic into a dead link exhausts its retry budget and
+/// surfaces the typed [`SystemError::DeliveryFailed`] — the host API
+/// returns an error instead of hanging.
+#[test]
+fn exhausted_retries_surface_as_delivery_failed() {
+    let mut sys = System::paper_config().unwrap();
+    // The serial IP at (0,0) reaches the memory IP at (1,1) eastwards
+    // first (XY routing); that first hop is down forever.
+    sys.set_fault_plan(FaultPlan::new(5).with_link_down(
+        RouterAddr::new(0, 0),
+        Port::East,
+        CycleWindow::open_ended(0),
+    ));
+    let mut host = Host::new();
+    host.synchronize(&mut sys).unwrap();
+    match host.write_memory(&mut sys, REMOTE_MEMORY, 0x10, &[1, 2, 3]) {
+        Err(SystemError::DeliveryFailed { dest, .. }) => {
+            assert_eq!(dest, RouterAddr::new(1, 1));
+        }
+        other => panic!("expected a DeliveryFailed error, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property: the checksum never lets a mutated packet through.
+
+fn word() -> impl Strategy<Value = u16> {
+    any::<u16>()
+}
+
+fn data(max: usize) -> impl Strategy<Value = Vec<u16>> {
+    proptest::collection::vec(any::<u16>(), 0..max)
+}
+
+fn service_strategy() -> BoxedStrategy<Service> {
+    prop_oneof![
+        (word(), word()).prop_map(|(addr, count)| Service::ReadFromMemory {
+            addr,
+            count: count % 64,
+        }),
+        (word(), data(8)).prop_map(|(addr, data)| Service::ReadReturn { addr, data }),
+        (word(), data(8)).prop_map(|(addr, data)| Service::WriteInMemory { addr, data }),
+        Just(Service::ActivateProcessor),
+        data(8).prop_map(|data| Service::Printf { data }),
+        Just(Service::Scanf),
+        word().prop_map(|value| Service::ScanfReturn { value }),
+        word().prop_map(|from| Service::Notify { from: from % 16 }),
+        word().prop_map(|from| Service::Wait { from: from % 16 }),
+        Just(Service::Ack),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode → flip one random bit of one random flit → decode: the
+    /// result is either the identical message (no corruption applied —
+    /// impossible here, every case flips a bit) or a checksum error.
+    /// A mutation is never silently accepted.
+    #[test]
+    fn single_flit_corruption_never_decodes_silently(
+        service in service_strategy(),
+        seq in any::<u16>(),
+        flit_pick in any::<u32>(),
+        bit in 0u8..8,
+    ) {
+        let msg = Message::new(RouterAddr::new(1, 1), service).with_seq(seq);
+        let packet = msg.to_packet(RouterAddr::new(0, 0), 8);
+
+        // The untouched packet round-trips identically.
+        prop_assert_eq!(Message::from_packet(&packet, 8), Ok::<Message, ServiceError>(msg.clone()));
+
+        // One bit of one flit (any flit: code, src, seq, payload or
+        // either check flit) is corrupted in flight.
+        let mut payload = packet.payload().to_vec();
+        let idx = (flit_pick as usize) % payload.len();
+        payload[idx] ^= 1 << bit;
+        let corrupted = Packet::new(RouterAddr::new(0, 0), payload);
+        prop_assert_eq!(
+            Message::from_packet(&corrupted, 8),
+            Err::<Message, ServiceError>(ServiceError::Checksum)
+        );
+    }
+
+    /// The Fletcher-style check flits are order-sensitive: swapping two
+    /// distinct flits is detected too (a plain sum would miss it).
+    #[test]
+    fn flit_transposition_is_detected(
+        a in any::<u16>(),
+        b in any::<u16>(),
+        i in 0usize..6,
+        j in 0usize..6,
+    ) {
+        let msg = Message::new(
+            RouterAddr::new(1, 0),
+            Service::WriteInMemory { addr: a, data: vec![b, !b, b ^ 0x5555] },
+        )
+        .with_seq(1);
+        let packet = msg.to_packet(RouterAddr::new(0, 0), 8);
+        let flits = packet.payload().len() - 2;
+        let (i, j) = (i % flits, j % flits);
+        let mut payload = packet.payload().to_vec();
+        payload.swap(i, j);
+        let swapped = Packet::new(RouterAddr::new(0, 0), payload);
+        if packet.payload()[i] == packet.payload()[j] {
+            // Swapping equal flits is not a mutation at all.
+            prop_assert_eq!(Message::from_packet(&swapped, 8), Ok::<Message, ServiceError>(msg.clone()));
+        } else {
+            prop_assert_eq!(
+                Message::from_packet(&swapped, 8),
+                Err::<Message, ServiceError>(ServiceError::Checksum)
+            );
+        }
+    }
+}
+
+/// The checksum helper itself is deterministic and bounded by the
+/// modulus (sanity for the property tests above).
+#[test]
+fn checksum_is_deterministic_and_bounded() {
+    let flits = [1u16, 2, 3, 250, 254, 0];
+    let (c0, c1) = checksum(&flits, 8);
+    assert_eq!((c0, c1), checksum(&flits, 8));
+    assert!(c0 < 255 && c1 < 255);
+}

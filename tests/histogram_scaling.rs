@@ -40,10 +40,7 @@ fn four_processor_ring_merges_correctly() {
 fn ring_order_does_not_change_the_result() {
     let data: Vec<u16> = (0..200).map(|i| (i * 31 % 512) as u16).collect();
     let mut results = Vec::new();
-    for order in [
-        [P[0], P[1], P[2], P[3]],
-        [P[3], P[1], P[0], P[2]],
-    ] {
+    for order in [[P[0], P[1], P[2], P[3]], [P[3], P[1], P[0], P[2]]] {
         let mut system = system_3x3();
         let mut host = Host::new().with_budget(50_000_000);
         host.synchronize(&mut system).unwrap();

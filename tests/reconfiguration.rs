@@ -48,14 +48,20 @@ fn relocation_improves_communication_latency() {
     // starts 5 hops away at (3,3) and is moved next door to (2,0).
     let mut system = roomy_system();
     let far = remote_read_time(&mut system, 50);
-    system.relocate_ip(PROCESSOR_2, RouterAddr::new(2, 0)).unwrap();
+    system
+        .relocate_ip(PROCESSOR_2, RouterAddr::new(2, 0))
+        .unwrap();
     let near = remote_read_time(&mut system, 50);
     assert!(
         near < far,
         "relocation did not help: near {near} >= far {far}"
     );
     // Each read saves 4 hops in both directions x ~14 cycles per hop.
-    assert!(far - near > 50 * 8 * 14 / 2, "saving too small: {}", far - near);
+    assert!(
+        far - near > 50 * 8 * 14 / 2,
+        "saving too small: {}",
+        far - near
+    );
 }
 
 #[test]
@@ -65,8 +71,12 @@ fn relocated_memory_keeps_its_contents() {
     host.synchronize(&mut system).unwrap();
     host.write_memory(&mut system, REMOTE_MEMORY, 0x10, &[1, 2, 3])
         .unwrap();
-    system.relocate_ip(REMOTE_MEMORY, RouterAddr::new(2, 2)).unwrap();
-    let back = host.read_memory(&mut system, REMOTE_MEMORY, 0x10, 3).unwrap();
+    system
+        .relocate_ip(REMOTE_MEMORY, RouterAddr::new(2, 2))
+        .unwrap();
+    let back = host
+        .read_memory(&mut system, REMOTE_MEMORY, 0x10, 3)
+        .unwrap();
     assert_eq!(back, vec![1, 2, 3]);
 }
 
@@ -97,7 +107,8 @@ fn inserted_processor_joins_the_system() {
     assert_eq!(new_node, NodeId(4));
     // The host can load and run it like any other processor.
     let program = assemble("LIW R1, 77\nHALT").unwrap();
-    host.load_program(&mut system, new_node, program.words()).unwrap();
+    host.load_program(&mut system, new_node, program.words())
+        .unwrap();
     host.activate(&mut system, new_node).unwrap();
     system.run_until_halted(1_000_000).unwrap();
     assert_eq!(system.cpu(new_node).unwrap().reg(1), 77);
@@ -107,12 +118,12 @@ fn inserted_processor_joins_the_system() {
     assert_eq!(map.window_base(PROCESSOR_2), Some(1024)); // unchanged
     assert_eq!(map.window_base(REMOTE_MEMORY), Some(2048)); // unchanged
     assert_eq!(map.window_base(new_node), Some(3072)); // appended
-    // And the new window actually works: P1 writes into the new node.
-    let program = assemble(
-        "XOR R0, R0, R0\nLIW R1, 3072\nADDI R1, 0x40\nLIW R2, 0xEE\nST R2, R1, R0\nHALT",
-    )
-    .unwrap();
-    host.load_program(&mut system, PROCESSOR_1, program.words()).unwrap();
+                                                       // And the new window actually works: P1 writes into the new node.
+    let program =
+        assemble("XOR R0, R0, R0\nLIW R1, 3072\nADDI R1, 0x40\nLIW R2, 0xEE\nST R2, R1, R0\nHALT")
+            .unwrap();
+    host.load_program(&mut system, PROCESSOR_1, program.words())
+        .unwrap();
     host.activate(&mut system, PROCESSOR_1).unwrap();
     system.run_until_halted(1_000_000).unwrap();
     assert_eq!(system.memory(new_node).unwrap().read(0x40), 0xEE);
@@ -124,7 +135,8 @@ fn inserted_memory_is_reachable() {
     let mut host = Host::new();
     host.synchronize(&mut system).unwrap();
     let new_mem = system.insert_memory_at(RouterAddr::new(0, 3)).unwrap();
-    host.write_memory(&mut system, new_mem, 0, &[9, 8, 7]).unwrap();
+    host.write_memory(&mut system, new_mem, 0, &[9, 8, 7])
+        .unwrap();
     assert_eq!(
         host.read_memory(&mut system, new_mem, 0, 3).unwrap(),
         vec![9, 8, 7]
@@ -197,7 +209,8 @@ fn reconfigured_serial_keeps_hosting() {
     let mut system = roomy_system();
     let mut host = Host::new();
     host.synchronize(&mut system).unwrap();
-    host.write_memory(&mut system, REMOTE_MEMORY, 0, &[42]).unwrap();
+    host.write_memory(&mut system, REMOTE_MEMORY, 0, &[42])
+        .unwrap();
     system
         .relocate_ip(multinoc::SERIAL, RouterAddr::new(0, 1))
         .unwrap();

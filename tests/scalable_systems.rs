@@ -204,8 +204,14 @@ fn deadlock_in_a_larger_system_is_observable() {
     host.activate(&mut sys, P[0]).unwrap();
     host.activate(&mut sys, P[1]).unwrap();
     sys.run_until_idle(1_000_000).unwrap();
-    assert_eq!(sys.processor_status(P[0]).unwrap(), ProcessorStatus::Blocked);
-    assert_eq!(sys.processor_status(P[1]).unwrap(), ProcessorStatus::Blocked);
+    assert_eq!(
+        sys.processor_status(P[0]).unwrap(),
+        ProcessorStatus::Blocked
+    );
+    assert_eq!(
+        sys.processor_status(P[1]).unwrap(),
+        ProcessorStatus::Blocked
+    );
 }
 
 #[test]

@@ -109,9 +109,7 @@ fn reactivation_reruns_the_program() {
     for expected in 1..=3u16 {
         host.activate(&mut system, PROCESSOR_1).unwrap();
         system.run_until_halted(100_000).unwrap();
-        let value = host
-            .read_memory(&mut system, PROCESSOR_1, 0x80, 1)
-            .unwrap();
+        let value = host.read_memory(&mut system, PROCESSOR_1, 0x80, 1).unwrap();
         assert_eq!(value, vec![expected]);
     }
 }
@@ -133,7 +131,8 @@ fn both_processors_run_concurrently() {
     for (node, count) in [(PROCESSOR_1, 10u16), (PROCESSOR_2, 20u16)] {
         let data: Vec<u16> = (1..=count).collect();
         let program = assemble(&vecsum::program(count)).unwrap();
-        host.load_program(&mut system, node, program.words()).unwrap();
+        host.load_program(&mut system, node, program.words())
+            .unwrap();
         host.write_memory(&mut system, node, vecsum::DATA_ADDR, &data)
             .unwrap();
     }
@@ -174,7 +173,10 @@ fn raw_write_command_bytes_match_the_protocol() {
         addr: 0x0102,
         data: vec![0xA1B2],
     };
-    assert_eq!(cmd.to_bytes(), vec![0x01, 0x03, 0x01, 0x01, 0x02, 0xA1, 0xB2]);
+    assert_eq!(
+        cmd.to_bytes(),
+        vec![0x01, 0x03, 0x01, 0x01, 0x02, 0xA1, 0xB2]
+    );
 }
 
 #[test]
@@ -204,8 +206,10 @@ fn host_printf_log_separates_nodes() {
 ",
     )
     .unwrap();
-    host.load_program(&mut system, PROCESSOR_1, p.words()).unwrap();
-    host.load_program(&mut system, PROCESSOR_2, q.words()).unwrap();
+    host.load_program(&mut system, PROCESSOR_1, p.words())
+        .unwrap();
+    host.load_program(&mut system, PROCESSOR_2, q.words())
+        .unwrap();
     host.activate(&mut system, PROCESSOR_1).unwrap();
     host.activate(&mut system, PROCESSOR_2).unwrap();
     host.wait_for_printf(&mut system, PROCESSOR_1, 1).unwrap();
