@@ -95,6 +95,26 @@ impl FlitBuffer {
         self.len -= 1;
         flit
     }
+
+    /// Removes every flit of `packet`, preserving the order of the rest.
+    /// Used when a dead link strands a partial wormhole: its flits can
+    /// never see their trailer and must be flushed.
+    pub(crate) fn remove_packet(&mut self, packet: crate::endpoint::PacketId) -> u64 {
+        let mut kept = Vec::with_capacity(self.len);
+        let mut removed = 0;
+        while let Some(flit) = self.pop() {
+            if flit.packet == packet {
+                removed += 1;
+            } else {
+                kept.push(flit);
+            }
+        }
+        for flit in kept {
+            let pushed = self.push(flit);
+            debug_assert!(pushed, "kept flits fit back in the buffer");
+        }
+        removed
+    }
 }
 
 #[cfg(test)]

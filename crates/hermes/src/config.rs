@@ -40,6 +40,10 @@ pub struct NocConfig {
     /// Output-port arbitration; the paper uses round-robin to avoid
     /// starvation.
     pub arbitration: Arbitration,
+    /// Consecutive failed (timed-out or garbled) hop handshakes after
+    /// which the health monitor declares a link dead; must be at least 1.
+    /// Only [`Routing::FaultTolerantXy`] reacts by reconfiguring.
+    pub fault_threshold: u32,
 }
 
 impl NocConfig {
@@ -54,6 +58,7 @@ impl NocConfig {
             cycles_per_flit: 2,
             routing: Routing::Xy,
             arbitration: Arbitration::RoundRobin,
+            fault_threshold: 8,
         }
     }
 
@@ -90,6 +95,13 @@ impl NocConfig {
     /// Sets the routing algorithm (builder style).
     pub fn with_routing(mut self, routing: Routing) -> Self {
         self.routing = routing;
+        self
+    }
+
+    /// Sets the consecutive-handshake-failure count after which a link is
+    /// declared dead (builder style).
+    pub fn with_fault_threshold(mut self, threshold: u32) -> Self {
+        self.fault_threshold = threshold;
         self
     }
 
@@ -142,6 +154,9 @@ impl NocConfig {
         }
         if self.routing_cycles == 0 || self.cycles_per_flit == 0 {
             return Err(ConfigError::ZeroRoutingCycles);
+        }
+        if self.fault_threshold == 0 {
+            return Err(ConfigError::ZeroFaultThreshold);
         }
         Ok(())
     }
@@ -210,6 +225,10 @@ mod tests {
         assert_eq!(
             NocConfig::mesh(2, 2).with_routing_cycles(0).validate(),
             Err(ConfigError::ZeroRoutingCycles)
+        );
+        assert_eq!(
+            NocConfig::mesh(2, 2).with_fault_threshold(0).validate(),
+            Err(ConfigError::ZeroFaultThreshold)
         );
     }
 

@@ -167,6 +167,16 @@ impl LocalEndpoint {
         }
     }
 
+    /// Abandons a partial reassembly (the rest of the packet was flushed
+    /// at a dead link and will never arrive). Returns the id of the
+    /// aborted packet, if one was mid-reassembly.
+    pub fn abort_rx(&mut self) -> Option<PacketId> {
+        match std::mem::replace(&mut self.rx, RxState::Header) {
+            RxState::Header => None,
+            RxState::Size { id, .. } | RxState::Payload { id, .. } => Some(id),
+        }
+    }
+
     /// Whether the endpoint holds no outgoing, in-reassembly or delivered
     /// traffic.
     pub fn is_idle(&self) -> bool {

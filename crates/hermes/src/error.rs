@@ -26,6 +26,8 @@ pub enum ConfigError {
     ZeroBufferDepth,
     /// The routing charge `R_i` must be at least one cycle.
     ZeroRoutingCycles,
+    /// A link must fail at least one handshake before being declared dead.
+    ZeroFaultThreshold,
 }
 
 impl fmt::Display for ConfigError {
@@ -46,6 +48,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroBufferDepth => write!(f, "input buffer depth must be at least 1"),
             ConfigError::ZeroRoutingCycles => {
                 write!(f, "routing charge must be at least 1 cycle")
+            }
+            ConfigError::ZeroFaultThreshold => {
+                write!(f, "fault threshold must be at least 1 failed handshake")
             }
         }
     }
@@ -100,6 +105,48 @@ impl fmt::Display for SendError {
 
 impl Error for SendError {}
 
+/// A routing decision that cannot be made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// An address handed to the routing function lies outside the
+    /// configured mesh; forwarding it would misdeliver the packet to
+    /// whichever border router decoded it.
+    OutOfMesh {
+        /// The offending address.
+        addr: RouterAddr,
+        /// Mesh columns the address was validated against.
+        width: u8,
+        /// Mesh rows the address was validated against.
+        height: u8,
+    },
+    /// The current dead-link set partitions the mesh: no fault-tolerant
+    /// path from `src` to `dest` exists.
+    Unreachable {
+        /// Source router of the doomed packet.
+        src: RouterAddr,
+        /// Destination router no path reaches.
+        dest: RouterAddr,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::OutOfMesh {
+                addr,
+                width,
+                height,
+            } => write!(f, "address {addr} lies outside the {width}x{height} mesh"),
+            RouteError::Unreachable { src, dest } => write!(
+                f,
+                "dead links partition the mesh: no route from {src} to {dest}"
+            ),
+        }
+    }
+}
+
+impl Error for RouteError {}
+
 /// Any error produced by the NoC simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NocError {
@@ -107,6 +154,9 @@ pub enum NocError {
     Config(ConfigError),
     /// Invalid packet submission.
     Send(SendError),
+    /// No route exists for a packet (out-of-mesh address, or the dead-link
+    /// set partitions the mesh under fault-tolerant routing).
+    Route(RouteError),
     /// [`Noc::run_until_idle`](crate::Noc::run_until_idle) hit its cycle
     /// budget with traffic still in flight.
     NotIdle {
@@ -120,6 +170,7 @@ impl fmt::Display for NocError {
         match self {
             NocError::Config(e) => e.fmt(f),
             NocError::Send(e) => e.fmt(f),
+            NocError::Route(e) => e.fmt(f),
             NocError::NotIdle { budget } => {
                 write!(f, "network not idle after {budget} cycles")
             }
@@ -132,6 +183,7 @@ impl Error for NocError {
         match self {
             NocError::Config(e) => Some(e),
             NocError::Send(e) => Some(e),
+            NocError::Route(e) => Some(e),
             NocError::NotIdle { .. } => None,
         }
     }
@@ -146,6 +198,12 @@ impl From<ConfigError> for NocError {
 impl From<SendError> for NocError {
     fn from(e: SendError) -> Self {
         NocError::Send(e)
+    }
+}
+
+impl From<RouteError> for NocError {
+    fn from(e: RouteError) -> Self {
+        NocError::Route(e)
     }
 }
 
@@ -176,5 +234,23 @@ mod tests {
         assert_send_sync::<NocError>();
         assert_send_sync::<ConfigError>();
         assert_send_sync::<SendError>();
+        assert_send_sync::<RouteError>();
+    }
+
+    #[test]
+    fn route_errors_display_and_chain() {
+        let e = RouteError::OutOfMesh {
+            addr: RouterAddr::new(7, 7),
+            width: 2,
+            height: 2,
+        };
+        assert!(e.to_string().contains("2x2"));
+        let e: NocError = RouteError::Unreachable {
+            src: RouterAddr::new(0, 0),
+            dest: RouterAddr::new(1, 1),
+        }
+        .into();
+        assert!(e.to_string().contains("partition"));
+        assert!(e.source().is_some());
     }
 }

@@ -58,6 +58,7 @@ mod config;
 mod endpoint;
 mod error;
 mod flit;
+mod health;
 mod noc;
 mod packet;
 mod router;
@@ -73,10 +74,11 @@ pub use arbiter::Arbitration;
 pub use buffer::FlitBuffer;
 pub use config::NocConfig;
 pub use endpoint::PacketId;
-pub use error::{ConfigError, NocError, SendError};
+pub use error::{ConfigError, NocError, RouteError, SendError};
 pub use fault::{CycleWindow, FaultPlan};
 pub use flit::Flit;
+pub use health::LinkHealth;
 pub use noc::Noc;
 pub use packet::Packet;
-pub use routing::Routing;
-pub use stats::{FaultCounters, NocStats, PacketRecord};
+pub use routing::{RouteTable, Routing};
+pub use stats::{FaultCounters, HealthCounters, NocStats, PacketRecord};

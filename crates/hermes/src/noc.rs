@@ -3,12 +3,88 @@
 use crate::addr::{Port, RouterAddr};
 use crate::config::NocConfig;
 use crate::endpoint::{LocalEndpoint, PacketId, RxEvent};
-use crate::error::{NocError, SendError};
+use crate::error::{NocError, RouteError, SendError};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::flit::Flit;
+use crate::health::{HealthMonitor, LinkHealth};
 use crate::packet::Packet;
 use crate::router::Router;
-use crate::stats::{NocStats, PacketRecord};
+use crate::routing::{RouteTable, Routing};
+use crate::stats::{LinkId, NocStats, PacketRecord};
+
+/// One reconfiguration round: a new detour table announced by the router
+/// that detected a dead link. Router `r` adopts the epoch once the control
+/// wave has had time to reach it — `hops(r, origin) × cycles_per_flit`
+/// cycles after the announcement; the origin itself switches immediately.
+#[derive(Debug)]
+struct Epoch {
+    announced: u64,
+    origin: RouterAddr,
+    table: RouteTable,
+}
+
+/// The newest epoch whose control wave has reached `here` by `now`, if
+/// any; `None` means the router still routes with healthy minimal XY.
+fn table_for(epochs: &[Epoch], cycles_per_flit: u32, here: RouterAddr, now: u64) -> Option<&Epoch> {
+    epochs.iter().rev().find(|e| {
+        now >= e.announced + u64::from(e.origin.hops_to(here)) * u64::from(cycles_per_flit)
+    })
+}
+
+/// Outcome of one routing decision at a router's control logic.
+enum RouteDecision {
+    /// Forward through this port; the flag records whether the choice
+    /// diverged from minimal XY (a detour grant).
+    Forward(Port, bool),
+    /// Header names an address outside the mesh (corrupted header);
+    /// discard instead of misdelivering.
+    Misaddressed,
+    /// The detour table has no path to this destination; discard and let
+    /// the end-to-end layer surface the partition.
+    Unreachable,
+}
+
+/// Why the control logic decided to discard a packet instead of routing
+/// it; each cause feeds its own counter.
+#[derive(Debug, Clone, Copy)]
+enum DropKind {
+    /// Fault injection rolled a drop.
+    Fault,
+    /// No surviving path to the destination.
+    Unreachable,
+    /// Header names an address outside the mesh.
+    Misaddressed,
+}
+
+fn decide_route(
+    config: &NocConfig,
+    epochs: &[Epoch],
+    here: RouterAddr,
+    in_port: Port,
+    dest: RouterAddr,
+    now: u64,
+) -> RouteDecision {
+    if dest.x() >= config.width || dest.y() >= config.height {
+        return RouteDecision::Misaddressed;
+    }
+    let minimal = config
+        .routing
+        .route(here, dest, config.width, config.height)
+        .expect("router and destination addresses were validated");
+    if config.routing == Routing::FaultTolerantXy {
+        if let Some(epoch) = table_for(epochs, config.cycles_per_flit, here, now) {
+            return match epoch
+                .table
+                .next_hop(here, in_port, dest)
+                .expect("addresses were validated")
+            {
+                Some(port) => RouteDecision::Forward(port, port != minimal),
+                None => RouteDecision::Unreachable,
+            };
+        }
+    }
+    RouteDecision::Forward(minimal, false)
+}
 
 /// A simulated Hermes network-on-chip.
 ///
@@ -29,6 +105,8 @@ pub struct Noc {
     next_id: u64,
     stats: NocStats,
     injector: Option<FaultInjector>,
+    health: HealthMonitor,
+    epochs: Vec<Epoch>,
 }
 
 impl Noc {
@@ -49,6 +127,7 @@ impl Noc {
             }
         }
         let stats = NocStats::new(routers.len());
+        let health = HealthMonitor::new(config.fault_threshold);
         Ok(Self {
             config,
             routers,
@@ -57,6 +136,8 @@ impl Noc {
             next_id: 0,
             stats,
             injector: None,
+            health,
+            epochs: Vec::new(),
         })
     }
 
@@ -90,6 +171,53 @@ impl Noc {
     /// Accumulated statistics.
     pub fn stats(&self) -> &NocStats {
         &self.stats
+    }
+
+    /// Reconfiguration epochs announced so far; `0` means every router
+    /// still routes with the healthy minimal algorithm. The count only
+    /// ever grows, so the reliable-delivery layer can treat a change as a
+    /// reroute notification.
+    pub fn current_epoch(&self) -> u64 {
+        self.epochs.len() as u64
+    }
+
+    /// Links the online health monitor has declared dead, in address
+    /// order.
+    pub fn dead_links(&self) -> Vec<LinkId> {
+        self.health.dead_links().iter().copied().collect()
+    }
+
+    /// Health of every link that has ever failed a hop handshake.
+    pub fn link_health(&self) -> Vec<LinkHealth> {
+        self.health.snapshot()
+    }
+
+    /// Whether the online monitor has declared `link` dead.
+    pub fn is_link_dead(&self, link: LinkId) -> bool {
+        self.health.is_dead(link)
+    }
+
+    /// Whether the mesh is running degraded (at least one link declared
+    /// dead).
+    pub fn is_degraded(&self) -> bool {
+        !self.health.dead_links().is_empty()
+    }
+
+    /// Whether the latest reconfiguration epoch has had time to reach
+    /// every router. While `false`, in-flight packets may still bounce
+    /// between routers holding different epoch views, so a quiet network
+    /// is not yet evidence of deadlock.
+    pub fn reconfiguration_settled(&self) -> bool {
+        self.epochs.last().is_none_or(|e| {
+            let radius = u64::from(self.config.width) + u64::from(self.config.height);
+            self.cycle >= e.announced + radius * u64::from(self.config.cycles_per_flit)
+        })
+    }
+
+    /// The detour table of the latest epoch, if any link has died under
+    /// [`Routing::FaultTolerantXy`].
+    pub fn route_table(&self) -> Option<&RouteTable> {
+        self.epochs.last().map(|e| &e.table)
     }
 
     fn index(&self, addr: RouterAddr) -> Option<usize> {
@@ -126,6 +254,20 @@ impl Noc {
         self.index(packet.dest())
             .ok_or(SendError::UnknownDestination(packet.dest()))?;
         packet.validate(&self.config)?;
+        if self.config.routing == Routing::FaultTolerantXy {
+            // The source router's current epoch view knows whether the
+            // dead-link set has cut the destination off entirely.
+            if let Some(epoch) =
+                table_for(&self.epochs, self.config.cycles_per_flit, src, self.cycle)
+            {
+                if !epoch.table.reachable(src, packet.dest()) {
+                    return Err(NocError::Route(RouteError::Unreachable {
+                        src,
+                        dest: packet.dest(),
+                    }));
+                }
+            }
+        }
         let id = PacketId(self.next_id);
         self.next_id += 1;
         self.stats.add_record(PacketRecord {
@@ -285,40 +427,68 @@ impl Noc {
                     continue;
                 };
                 let dest = RouterAddr::from_flit(head.value, self.config.flit_bits);
-                let out_port = self.config.routing.route(here, dest);
-                debug_assert!(
-                    router.has_port(out_port, self.config.width, self.config.height),
-                    "XY routing picked a port off the mesh edge"
-                );
-                let out = out_port.index();
-                if router.outputs[out].owner.is_none() {
-                    if self.injector.as_mut().is_some_and(|inj| inj.roll_drop(now)) {
-                        dropped = Some(in_idx);
-                    } else {
-                        granted = Some((in_idx, out));
+                let wid = head.packet;
+                match decide_route(
+                    &self.config,
+                    &self.epochs,
+                    here,
+                    Port::from_index(in_idx),
+                    dest,
+                    now,
+                ) {
+                    RouteDecision::Forward(out_port, rerouted) => {
+                        debug_assert!(
+                            router.has_port(out_port, self.config.width, self.config.height),
+                            "routing picked a port off the mesh edge"
+                        );
+                        let out = out_port.index();
+                        if router.outputs[out].owner.is_none() {
+                            if self.injector.as_mut().is_some_and(|inj| inj.roll_drop(now)) {
+                                dropped = Some((in_idx, DropKind::Fault, wid));
+                            } else {
+                                granted = Some((in_idx, out, rerouted, wid));
+                            }
+                            break;
+                        }
+                        blocked = true;
                     }
-                    break;
+                    RouteDecision::Misaddressed => {
+                        dropped = Some((in_idx, DropKind::Misaddressed, wid));
+                        break;
+                    }
+                    RouteDecision::Unreachable => {
+                        dropped = Some((in_idx, DropKind::Unreachable, wid));
+                        break;
+                    }
                 }
-                blocked = true;
             }
-            if let Some((in_idx, out)) = granted {
+            if let Some((in_idx, out, rerouted, wid)) = granted {
                 let router = &mut self.routers[idx];
                 router.inputs[in_idx].conn = Some(out);
                 router.inputs[in_idx].conn_active_at = now + decision_delay;
+                router.inputs[in_idx].cur_packet = Some(wid);
                 router.outputs[out].owner = Some(in_idx);
                 router.control_busy_until = now + decision_delay;
                 router.arbiter.grant(in_idx);
                 router.counters.grants += 1;
                 self.stats.routers[idx].grants += 1;
-            } else if let Some(in_idx) = dropped {
+                if rerouted {
+                    self.stats.health.rerouted_grants += 1;
+                }
+            } else if let Some((in_idx, kind, wid)) = dropped {
                 // The control logic discards the packet instead of routing
                 // it: it occupies the control for the same charge and
                 // advances the arbiter, but opens no connection.
                 let router = &mut self.routers[idx];
+                router.inputs[in_idx].cur_packet = Some(wid);
                 router.inputs[in_idx].start_sink(now);
                 router.control_busy_until = now + decision_delay;
                 router.arbiter.grant(in_idx);
-                self.stats.faults.packets_dropped += 1;
+                match kind {
+                    DropKind::Fault => self.stats.faults.packets_dropped += 1,
+                    DropKind::Unreachable => self.stats.health.unreachable_drops += 1,
+                    DropKind::Misaddressed => self.stats.health.misaddressed_drops += 1,
+                }
             } else if blocked {
                 self.routers[idx].counters.blocked_cycles += 1;
                 self.stats.routers[idx].blocked_cycles += 1;
@@ -330,7 +500,13 @@ impl Noc {
     /// per handshake period, so the upstream wormhole keeps moving and
     /// the drop never wedges the path.
     fn sink_phase(&mut self, now: u64) {
-        if self.injector.is_none() && self.stats.faults.packets_dropped == 0 {
+        let health = &self.stats.health;
+        if self.injector.is_none()
+            && self.stats.faults.packets_dropped == 0
+            && health.unreachable_drops == 0
+            && health.misaddressed_drops == 0
+            && health.wedged_packets_dropped == 0
+        {
             return;
         }
         let cadence = u64::from(self.config.cycles_per_flit);
@@ -369,6 +545,11 @@ impl Noc {
         // downstream buffer is fed by exactly one upstream output, so the
         // decisions cannot conflict.
         let mut transfers: Vec<(usize, usize, usize)> = Vec::new();
+        // Links crossing the fault threshold this cycle: `(router, out,
+        // wedged)`. A link killed by an outage has a worm wedged on it; a
+        // link killed by garbling is still transferring, so its current
+        // worm completes normally and only future decisions avoid it.
+        let mut newly_dead: Vec<(usize, usize, bool)> = Vec::new();
         let mut outage_blocks = 0u64;
         for (idx, router) in self.routers.iter().enumerate() {
             for (in_idx, input) in router.inputs.iter().enumerate() {
@@ -392,6 +573,12 @@ impl Noc {
                     .is_some_and(|inj| inj.link_down(router.addr, out_port, now))
                 {
                     outage_blocks += 1;
+                    // A ready transfer blocked by the outage is one failed
+                    // hop handshake; each link sees at most one per cycle
+                    // (a single input owns each output).
+                    if self.health.observe_failure((router.addr, out_port), now) {
+                        newly_dead.push((idx, out, true));
+                    }
                     continue;
                 }
                 let has_space = match out_port {
@@ -450,13 +637,22 @@ impl Noc {
             // Payload flits (3rd wire flit onward) may be corrupted while
             // crossing the link; header and size flits are exempt so the
             // wormhole bookkeeping itself stays sound (see `fault`).
+            let mut garbled = false;
             if flit_index >= 3 {
                 if let Some(inj) = self.injector.as_mut() {
                     if inj.roll_corrupt(now) {
                         flit.value = inj.corrupt_value(flit.value, self.config.flit_bits);
                         self.stats.faults.flits_corrupted += 1;
+                        garbled = true;
                     }
                 }
+            }
+            if garbled {
+                if self.health.observe_failure((here, out_port), now) {
+                    newly_dead.push((idx, out, false));
+                }
+            } else if !self.health.is_pristine() {
+                self.health.observe_success((here, out_port));
             }
 
             flit.arrived = now;
@@ -496,6 +692,87 @@ impl Noc {
                     debug_assert!(pushed, "downstream buffer checked for space");
                 }
             }
+        }
+
+        // React to links that crossed the failure threshold this cycle:
+        // flush wormholes wedged on them and announce a fresh detour
+        // table. Diagnosis always runs; the reaction is reserved for
+        // [`Routing::FaultTolerantXy`] so the plain XY modes keep their
+        // documented wedge-on-dead-link behaviour.
+        for (idx, out, wedged) in newly_dead {
+            self.stats.health.links_declared_dead += 1;
+            if self.config.routing != Routing::FaultTolerantXy {
+                continue;
+            }
+            if wedged {
+                self.flush_dead_link(idx, out, now);
+            }
+            self.epochs.push(Epoch {
+                announced: now,
+                origin: self.routers[idx].addr,
+                table: RouteTable::build(
+                    self.config.width,
+                    self.config.height,
+                    self.health.dead_links(),
+                ),
+            });
+            self.stats.health.epochs += 1;
+        }
+    }
+
+    /// Severs the wormhole wedged on a dead link. Upstream of the break
+    /// the owning input switches to the paced sink, so the rest of the
+    /// worm — including whatever the source interface has yet to inject —
+    /// unwinds at handshake cadence exactly like a fault-dropped packet.
+    /// Downstream of the break the worm's flits are purged buffer by
+    /// buffer (only its own flits: an innocent complete packet queued
+    /// ahead of them is left untouched) and a partial reassembly at the
+    /// destination is abandoned.
+    fn flush_dead_link(&mut self, idx: usize, out: usize, now: u64) {
+        let Some(in_idx) = self.routers[idx].outputs[out].owner else {
+            return;
+        };
+        let wid = self.routers[idx].inputs[in_idx].cur_packet;
+        let input = &mut self.routers[idx].inputs[in_idx];
+        // Keep fwd_count/fwd_expected: the sink continues the packet
+        // bookkeeping exactly where forwarding stopped.
+        input.conn = None;
+        input.start_sink(now);
+        self.routers[idx].outputs[out].owner = None;
+        self.stats.health.wedged_packets_dropped += 1;
+
+        let Some(wid) = wid else { return };
+        let mut cur_idx = idx;
+        let mut cur_out = Port::from_index(out);
+        loop {
+            if cur_out == Port::Local {
+                let aborted = self.endpoints[cur_idx].abort_rx();
+                debug_assert!(
+                    aborted.is_none() || aborted == Some(wid),
+                    "local output serializes packets, so any partial reassembly is the worm's"
+                );
+                break;
+            }
+            let Some(next) = self.neighbour(self.routers[cur_idx].addr, cur_out) else {
+                break;
+            };
+            let Some(next_idx) = self.index(next) else {
+                break;
+            };
+            let Some(in_port) = cur_out.opposite() else {
+                break;
+            };
+            let input = &mut self.routers[next_idx].inputs[in_port.index()];
+            self.stats.health.wedged_flits_flushed += input.buffer.remove_packet(wid);
+            if input.cur_packet != Some(wid) {
+                break;
+            }
+            let next_conn = input.conn;
+            input.close();
+            let Some(o) = next_conn else { break };
+            self.routers[next_idx].outputs[o].owner = None;
+            cur_idx = next_idx;
+            cur_out = Port::from_index(o);
         }
     }
 }
@@ -796,6 +1073,113 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    fn noc_ft(width: u8, height: u8) -> Noc {
+        let mut config = NocConfig::mesh(width, height);
+        config.routing = Routing::FaultTolerantXy;
+        Noc::new(config).expect("valid config")
+    }
+
+    #[test]
+    fn fault_tolerant_mode_survives_a_permanent_dead_link() {
+        use crate::fault::{CycleWindow, FaultPlan};
+        let mut noc = noc_ft(2, 2);
+        noc.set_fault_plan(FaultPlan::new(4).with_link_down(
+            RouterAddr::new(0, 0),
+            Port::East,
+            CycleWindow::open_ended(0),
+        ));
+        let src = RouterAddr::new(0, 0);
+        let dst = RouterAddr::new(1, 0);
+        // The first packet wedges on the dying link; diagnosis flushes it
+        // instead of leaving the network wedged forever.
+        noc.send(src, Packet::new(dst, vec![9])).unwrap();
+        noc.run_until_idle(50_000)
+            .expect("the wedged worm is flushed, not stuck");
+        assert_eq!(noc.stats().health.links_declared_dead, 1);
+        assert_eq!(noc.stats().health.wedged_packets_dropped, 1);
+        assert_eq!(noc.stats().health.epochs, 1);
+        assert_eq!(noc.current_epoch(), 1);
+        assert!(noc.is_degraded());
+        assert!(noc.is_link_dead((src, Port::East)));
+        // After reconfiguration traffic detours N-E-S and is delivered.
+        let id = noc.send(src, Packet::new(dst, vec![1, 2, 3])).unwrap();
+        noc.run_until_idle(50_000).unwrap();
+        let record = noc.stats().record(id).unwrap();
+        assert!(record.is_delivered());
+        let (from, packet) = noc.try_recv(dst).expect("delivered via detour");
+        assert_eq!(from, src);
+        assert_eq!(packet.payload(), &[1, 2, 3]);
+        assert!(noc.stats().health.rerouted_grants > 0);
+    }
+
+    #[test]
+    fn partitioned_destination_is_a_typed_send_error() {
+        use crate::fault::{CycleWindow, FaultPlan};
+        let mut noc = noc_ft(2, 2);
+        let corner = RouterAddr::new(0, 0);
+        noc.set_fault_plan(
+            FaultPlan::new(4)
+                .with_link_down(corner, Port::East, CycleWindow::open_ended(0))
+                .with_link_down(corner, Port::North, CycleWindow::open_ended(0)),
+        );
+        // Two probes kill the corner's two links one after the other.
+        noc.send(corner, Packet::new(RouterAddr::new(1, 1), vec![1]))
+            .unwrap();
+        noc.run_until_idle(50_000).unwrap();
+        noc.send(corner, Packet::new(RouterAddr::new(1, 1), vec![2]))
+            .unwrap();
+        noc.run_until_idle(50_000).unwrap();
+        assert_eq!(noc.stats().health.links_declared_dead, 2);
+        // The corner is now cut off: sending to or from it fails with the
+        // typed partition error rather than wedging the network.
+        assert!(matches!(
+            noc.send(corner, Packet::new(RouterAddr::new(1, 1), vec![3])),
+            Err(NocError::Route(RouteError::Unreachable { .. }))
+        ));
+        assert!(matches!(
+            noc.send(RouterAddr::new(1, 1), Packet::new(corner, vec![4])),
+            Err(NocError::Route(RouteError::Unreachable { .. }))
+        ));
+        // The surviving component still carries traffic.
+        let id = noc
+            .send(
+                RouterAddr::new(1, 0),
+                Packet::new(RouterAddr::new(0, 1), vec![5]),
+            )
+            .unwrap();
+        noc.run_until_idle(50_000).unwrap();
+        assert!(noc.stats().record(id).unwrap().is_delivered());
+    }
+
+    #[test]
+    fn degraded_runs_are_deterministic() {
+        use crate::fault::{CycleWindow, FaultPlan};
+        let run = || {
+            let mut noc = noc_ft(3, 3);
+            noc.set_fault_plan(FaultPlan::new(7).with_link_down(
+                RouterAddr::new(1, 1),
+                Port::East,
+                CycleWindow::open_ended(0),
+            ));
+            for k in 0..30u16 {
+                let src = RouterAddr::new((k % 3) as u8, ((k / 3) % 3) as u8);
+                let dst = RouterAddr::new(2 - (k % 3) as u8, 2 - ((k / 3) % 3) as u8);
+                noc.send(src, Packet::new(dst, vec![k; 4])).unwrap();
+            }
+            noc.run_until_idle(1_000_000).unwrap();
+            (
+                noc.stats().packets_delivered,
+                noc.stats().health,
+                noc.stats().faults,
+                noc.stats().flit_hops,
+            )
+        };
+        let (delivered, health, _, _) = run();
+        assert_eq!(run(), run());
+        assert!(health.links_declared_dead >= 1);
+        assert!(delivered >= 29, "at most the wedged worm is lost");
     }
 
     #[test]

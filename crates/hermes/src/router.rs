@@ -28,6 +28,10 @@ pub(crate) struct InputPort {
     /// Earliest cycle the sink may consume its next flit (discarding
     /// paces at the same handshake cadence as a real transfer).
     pub sink_ready_at: u64,
+    /// The packet currently being forwarded (or sunk) through this input,
+    /// recorded at grant time so a wedged wormhole can be identified and
+    /// flushed when a link dies mid-packet.
+    pub cur_packet: Option<crate::endpoint::PacketId>,
 }
 
 impl InputPort {
@@ -40,6 +44,7 @@ impl InputPort {
             fwd_expected: None,
             sinking: false,
             sink_ready_at: 0,
+            cur_packet: None,
         }
     }
 
@@ -63,6 +68,7 @@ impl InputPort {
         self.fwd_count = 0;
         self.fwd_expected = None;
         self.sinking = false;
+        self.cur_packet = None;
     }
 }
 

@@ -86,6 +86,31 @@ pub struct FaultCounters {
     pub router_stall_cycles: u64,
 }
 
+/// Counters of the online fault-diagnosis and reconfiguration subsystem;
+/// all zero while every link is healthy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthCounters {
+    /// Links the health monitor declared dead.
+    pub links_declared_dead: u64,
+    /// Reconfiguration epochs announced (one per declared-dead link under
+    /// fault-tolerant routing).
+    pub epochs: u64,
+    /// Packets discarded because they were wedged across a link at the
+    /// moment it was declared dead.
+    pub wedged_packets_dropped: u64,
+    /// Flits force-flushed from buffers downstream of a dead link.
+    pub wedged_flits_flushed: u64,
+    /// Routing grants that diverged from the minimal XY choice because a
+    /// detour table was in effect.
+    pub rerouted_grants: u64,
+    /// Packets discarded because the detour table had no path to their
+    /// destination (the dead-link set partitions the mesh).
+    pub unreachable_drops: u64,
+    /// Packets discarded because their header named an address outside
+    /// the mesh (only possible with a corrupted header).
+    pub misaddressed_drops: u64,
+}
+
 /// Aggregate statistics of a [`Noc`](crate::Noc) run.
 #[derive(Debug, Clone, Default)]
 pub struct NocStats {
@@ -113,6 +138,9 @@ pub struct NocStats {
     pub routers: Vec<RouterCounters>,
     /// Outcomes of injected faults (see [`FaultCounters`]).
     pub faults: FaultCounters,
+    /// Outcomes of online fault diagnosis and reconfiguration (see
+    /// [`HealthCounters`]).
+    pub health: HealthCounters,
 }
 
 impl NocStats {
@@ -244,6 +272,20 @@ impl NocStats {
                 self.faults.flits_dropped,
                 self.faults.link_down_blocks,
                 self.faults.router_stall_cycles,
+            ));
+        }
+        if self.health != HealthCounters::default() {
+            out.push_str(&format!(
+                "degraded: {} links declared dead, {} epochs, \
+                 {} wedged packets dropped ({} flits flushed), \
+                 {} rerouted grants, {} unreachable drops, {} misaddressed drops\n",
+                self.health.links_declared_dead,
+                self.health.epochs,
+                self.health.wedged_packets_dropped,
+                self.health.wedged_flits_flushed,
+                self.health.rerouted_grants,
+                self.health.unreachable_drops,
+                self.health.misaddressed_drops,
             ));
         }
         out

@@ -207,6 +207,10 @@ pub struct DeadlockReport {
     /// Processors waiting on a node that can never notify them: an
     /// inactive or halted processor, or a non-processor node.
     pub waiting_on_dead: Vec<BlockedProcessor>,
+    /// Links the network's online diagnosis has declared dead — context
+    /// for telling a software deadlock from network degradation (a
+    /// blocked processor may simply be on the far side of a reroute).
+    pub dead_links: Vec<(hermes_noc::RouterAddr, hermes_noc::Port)>,
 }
 
 impl DeadlockReport {
@@ -232,6 +236,14 @@ impl std::fmt::Display for DeadlockReport {
         for b in &self.waiting_on_dead {
             writeln!(f, "{} waits on a node that cannot notify", b.node)?;
         }
+        if !self.dead_links.is_empty() {
+            let links: Vec<String> = self
+                .dead_links
+                .iter()
+                .map(|(addr, port)| format!("{addr}:{port:?}"))
+                .collect();
+            writeln!(f, "network degraded, dead links: {}", links.join(", "))?;
+        }
         Ok(())
     }
 }
@@ -239,7 +251,10 @@ impl std::fmt::Display for DeadlockReport {
 /// Builds the wait-for graph of the blocked processors and reports
 /// synchronization cycles and waits on dead nodes.
 pub fn analyze_deadlock(system: &System) -> DeadlockReport {
-    let mut report = DeadlockReport::default();
+    let mut report = DeadlockReport {
+        dead_links: system.dead_links(),
+        ..DeadlockReport::default()
+    };
     let processors = system.processors();
     let mut wait_edge: BTreeMap<NodeId, NodeId> = BTreeMap::new();
     for &node in &processors {

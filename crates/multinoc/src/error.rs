@@ -58,6 +58,16 @@ pub enum SystemError {
         /// Transmissions attempted, initial send included.
         attempts: u32,
     },
+    /// The network's online fault diagnosis declared enough links dead to
+    /// cut the destination router off entirely. Unlike
+    /// [`DeliveryFailed`](SystemError::DeliveryFailed) this is definitive:
+    /// no retransmission can ever succeed until the mesh is repaired.
+    Unreachable {
+        /// The sending IP.
+        node: NodeId,
+        /// The partitioned-off destination router.
+        dest: RouterAddr,
+    },
     /// The watchdog found every active processor blocked in `wait` with
     /// the network drained: nobody is left to send the missing notifies.
     Deadlock {
@@ -103,6 +113,10 @@ impl fmt::Display for SystemError {
             } => write!(
                 f,
                 "{node}: message seq {seq} to router {dest} undelivered after {attempts} attempts"
+            ),
+            SystemError::Unreachable { node, dest } => write!(
+                f,
+                "{node}: router {dest} is unreachable — dead links partition the mesh"
             ),
             SystemError::Deadlock { waiting } => {
                 write!(f, "deadlock: ")?;

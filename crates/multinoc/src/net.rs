@@ -77,6 +77,20 @@ impl<'a> NetPort<'a> {
         self.noc.config().flit_bits
     }
 
+    /// The network's reconfiguration epoch: bumped every time the online
+    /// fault diagnosis declares a link dead and recomputes routes. A
+    /// change between two observations tells the reliability layer that
+    /// earlier timeouts may have been the reconfiguration, not loss.
+    pub fn epoch(&self) -> u64 {
+        self.noc.current_epoch()
+    }
+
+    /// Whether the latest reconfiguration epoch has had time to reach
+    /// every router (always `true` on a healthy mesh).
+    pub fn reconfiguration_settled(&self) -> bool {
+        self.noc.reconfiguration_settled()
+    }
+
     /// Sends a service message to the IP at router `dest`.
     ///
     /// # Errors

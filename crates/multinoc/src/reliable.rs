@@ -21,6 +21,18 @@
 //!
 //! When the retry budget is exhausted the failure surfaces as the typed
 //! [`SystemError::DeliveryFailed`] — never a hang, never a panic.
+//!
+//! The sender is *reconfiguration-aware*: when the network's online
+//! fault diagnosis declares a link dead it bumps a reconfiguration
+//! epoch (visible through [`NetPort::epoch`]). Messages that were
+//! already on the wire may have been flushed with the wedged wormhole
+//! or delayed by the reroute, so their accumulated backoff says nothing
+//! about the *new* topology. On an epoch change the sender resets the
+//! retry clock of everything in flight instead of burning retries —
+//! a message only fails after exhausting its full budget against the
+//! reconfigured network. If the diagnosis has cut the destination off
+//! entirely, sends surface the definitive [`SystemError::Unreachable`]
+//! instead of timing out pointlessly.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -70,6 +82,21 @@ pub struct RetryCounters {
     pub retransmissions: u64,
     /// Deliveries confirmed by an acknowledgement.
     pub acked: u64,
+    /// Retry clocks reset because a network reconfiguration epoch
+    /// invalidated the backoff accumulated against the old topology.
+    pub reroute_resets: u64,
+}
+
+/// Maps the transport's typed partition error onto the system-level
+/// [`SystemError::Unreachable`], attributing it to the sending IP. Any
+/// other transport error passes through unchanged.
+fn promote_unreachable(node: NodeId, dest: RouterAddr, err: SystemError) -> SystemError {
+    match err {
+        SystemError::Noc(hermes_noc::NocError::Route(hermes_noc::RouteError::Unreachable {
+            ..
+        })) => SystemError::Unreachable { node, dest },
+        other => other,
+    }
 }
 
 /// One unacknowledged message on the wire.
@@ -101,6 +128,11 @@ pub struct ReliableSender {
     /// `Vec`, not a map: iteration order must be deterministic.
     queues: Vec<DestQueue>,
     counters: RetryCounters,
+    /// Last reconfiguration epoch observed on the network.
+    last_epoch: u64,
+    /// Cycle of the most recent epoch change; transmissions older than
+    /// this get their retry clock reset instead of burning retries.
+    epoch_reset_at: Option<u64>,
 }
 
 impl ReliableSender {
@@ -112,6 +144,8 @@ impl ReliableSender {
             next_seq: 1,
             queues: Vec::new(),
             counters: RetryCounters::default(),
+            last_epoch: 0,
+            epoch_reset_at: None,
         }
     }
 
@@ -171,11 +205,14 @@ impl ReliableSender {
         service: Service,
         now: u64,
     ) -> Result<u16, SystemError> {
+        self.note_epoch(net, now);
+        let node = self.node;
         let seq = self.alloc_seq();
         self.counters.sent += 1;
         let i = self.queue_idx(dest);
         if self.queues[i].inflight.is_none() {
-            net.send_seq(dest, service.clone(), seq)?;
+            net.send_seq(dest, service.clone(), seq)
+                .map_err(|e| promote_unreachable(node, dest, e))?;
             self.queues[i].inflight = Some(Inflight {
                 seq,
                 service,
@@ -202,6 +239,7 @@ impl ReliableSender {
         seq: u16,
         now: u64,
     ) -> Result<(), SystemError> {
+        let node = self.node;
         let Some(q) = self.queues.iter_mut().find(|q| q.dest == from) else {
             return Ok(()); // stray ack
         };
@@ -211,7 +249,9 @@ impl ReliableSender {
         q.inflight = None;
         self.counters.acked += 1;
         if let Some((next_seq, service)) = q.backlog.pop_front() {
-            net.send_seq(q.dest, service.clone(), next_seq)?;
+            let dest = q.dest;
+            net.send_seq(dest, service.clone(), next_seq)
+                .map_err(|e| promote_unreachable(node, dest, e))?;
             q.inflight = Some(Inflight {
                 seq: next_seq,
                 service,
@@ -229,6 +269,8 @@ impl ReliableSender {
     /// [`SystemError::DeliveryFailed`] once a message has exhausted its
     /// retry budget; transport errors from retransmitting.
     pub fn poll(&mut self, net: &mut NetPort<'_>, now: u64) -> Result<(), SystemError> {
+        self.note_epoch(net, now);
+        let node = self.node;
         for q in &mut self.queues {
             let Some(inf) = q.inflight.as_mut() else {
                 continue;
@@ -238,18 +280,41 @@ impl ReliableSender {
             }
             if inf.attempt > self.policy.max_retries {
                 return Err(SystemError::DeliveryFailed {
-                    node: self.node,
+                    node,
                     dest: q.dest,
                     seq: inf.seq,
                     attempts: inf.attempt,
                 });
             }
-            net.send_seq(q.dest, inf.service.clone(), inf.seq)?;
+            let dest = q.dest;
+            net.send_seq(dest, inf.service.clone(), inf.seq)
+                .map_err(|e| promote_unreachable(node, dest, e))?;
             inf.sent_at = now;
             inf.attempt += 1;
             self.counters.retransmissions += 1;
         }
         Ok(())
+    }
+
+    /// Observes the network's reconfiguration epoch. On a change, every
+    /// in-flight message's retry clock restarts from `now`: the backoff
+    /// it accumulated measured the dead topology, not the reconfigured
+    /// one, and the message itself may have been flushed with a wedged
+    /// wormhole through no fault of the destination.
+    fn note_epoch(&mut self, net: &NetPort<'_>, now: u64) {
+        let epoch = net.epoch();
+        if epoch == self.last_epoch {
+            return;
+        }
+        self.last_epoch = epoch;
+        self.epoch_reset_at = Some(now);
+        for q in &mut self.queues {
+            if let Some(inf) = q.inflight.as_mut() {
+                inf.sent_at = now;
+                inf.attempt = 1;
+                self.counters.reroute_resets += 1;
+            }
+        }
     }
 
     /// Retransmits a timed-out implicit-ack request using this sender's
@@ -264,6 +329,10 @@ impl ReliableSender {
         pending: &mut PendingRequest,
         now: u64,
     ) -> Result<(), SystemError> {
+        self.note_epoch(net, now);
+        if self.reset_for_reroute(pending, now) {
+            return Ok(());
+        }
         if now.saturating_sub(pending.sent_at) < self.policy.timeout_for(pending.attempt - 1) {
             return Ok(());
         }
@@ -275,11 +344,28 @@ impl ReliableSender {
                 attempts: pending.attempt,
             });
         }
-        net.send_seq(pending.dest, pending.request.clone(), pending.seq)?;
+        net.send_seq(pending.dest, pending.request.clone(), pending.seq)
+            .map_err(|e| promote_unreachable(self.node, pending.dest, e))?;
         pending.sent_at = now;
         pending.attempt += 1;
         self.counters.retransmissions += 1;
         Ok(())
+    }
+
+    /// Restarts a pending request's retry clock if it was last
+    /// transmitted before the most recent reconfiguration epoch change.
+    /// Self-disarming: the reset stamps `sent_at` at or past the change.
+    fn reset_for_reroute(&mut self, pending: &mut PendingRequest, now: u64) -> bool {
+        let Some(reset_at) = self.epoch_reset_at else {
+            return false;
+        };
+        if pending.sent_at >= reset_at {
+            return false;
+        }
+        pending.sent_at = now;
+        pending.attempt = 1;
+        self.counters.reroute_resets += 1;
+        true
     }
 
     /// Like [`poll_request`](Self::poll_request), but without a retry
@@ -296,10 +382,15 @@ impl ReliableSender {
         pending: &mut PendingRequest,
         now: u64,
     ) -> Result<(), SystemError> {
+        self.note_epoch(net, now);
+        if self.reset_for_reroute(pending, now) {
+            return Ok(());
+        }
         if now.saturating_sub(pending.sent_at) < self.policy.timeout_for(pending.attempt - 1) {
             return Ok(());
         }
-        net.send_seq(pending.dest, pending.request.clone(), pending.seq)?;
+        net.send_seq(pending.dest, pending.request.clone(), pending.seq)
+            .map_err(|e| promote_unreachable(self.node, pending.dest, e))?;
         pending.sent_at = now;
         pending.attempt = pending.attempt.saturating_add(1);
         self.counters.retransmissions += 1;
@@ -394,7 +485,11 @@ impl fmt::Display for RetryCounters {
             f,
             "{} sent, {} retransmitted, {} acked",
             self.sent, self.retransmissions, self.acked
-        )
+        )?;
+        if self.reroute_resets > 0 {
+            write!(f, ", {} reroute resets", self.reroute_resets)?;
+        }
+        Ok(())
     }
 }
 
@@ -513,6 +608,98 @@ mod tests {
         assert!(d.accept(a, 0), "unsequenced always fresh");
         assert!(d.accept(a, 0));
         assert_eq!(d.duplicates(), 1);
+    }
+
+    #[test]
+    fn epoch_change_resets_backoff_and_delivery_survives_a_dead_link() {
+        use hermes_noc::{CycleWindow, FaultPlan, Port, Routing};
+        let mut config = NocConfig::mesh(2, 2);
+        config.routing = Routing::FaultTolerantXy;
+        let mut noc = Noc::new(config).expect("mesh");
+        noc.set_fault_plan(FaultPlan::new(7).with_link_down(
+            RouterAddr::new(0, 0),
+            Port::East,
+            CycleWindow::open_ended(0),
+        ));
+        let here = RouterAddr::new(0, 0);
+        let dest = RouterAddr::new(1, 0);
+        let mut sender = ReliableSender::new(NodeId(0)).with_policy(RetryPolicy {
+            base_timeout: 64,
+            max_retries: 3,
+        });
+        sender
+            .send(
+                &mut NetPort::new(&mut noc, here),
+                dest,
+                Service::Notify { from: 0 },
+                0,
+            )
+            .expect("send");
+        // The first copy wedges on the dying link and is flushed by the
+        // diagnosis; the epoch bump resets the sender's retry clock, and
+        // the retransmission detours around the dead link.
+        let mut delivered = false;
+        for _ in 0..40 {
+            // Step a fixed slice so the retry clock advances even while
+            // the (flushed) network sits idle.
+            for _ in 0..200 {
+                noc.step();
+            }
+            let now = noc.cycle();
+            sender
+                .poll(&mut NetPort::new(&mut noc, here), now)
+                .expect("budget never exhausted");
+            if NetPort::new(&mut noc, dest).recv().expect("recv").is_some() {
+                delivered = true;
+                break;
+            }
+        }
+        assert!(delivered, "delivery survives the dead link");
+        assert_eq!(noc.current_epoch(), 1, "the link death reconfigured");
+        assert!(
+            sender.counters().reroute_resets >= 1,
+            "the reconfiguration reset the retry clock: {}",
+            sender.counters()
+        );
+    }
+
+    #[test]
+    fn partition_surfaces_typed_unreachable() {
+        use hermes_noc::{CycleWindow, FaultPlan, Packet, Port, Routing};
+        let mut config = NocConfig::mesh(2, 2);
+        config.routing = Routing::FaultTolerantXy;
+        let mut noc = Noc::new(config).expect("mesh");
+        let corner = RouterAddr::new(0, 0);
+        noc.set_fault_plan(
+            FaultPlan::new(4)
+                .with_link_down(corner, Port::East, CycleWindow::open_ended(0))
+                .with_link_down(corner, Port::North, CycleWindow::open_ended(0)),
+        );
+        // Two probes kill the corner's links; the corner is then cut off.
+        noc.send(corner, Packet::new(RouterAddr::new(1, 1), vec![1]))
+            .unwrap();
+        noc.run_until_idle(50_000).unwrap();
+        noc.send(corner, Packet::new(RouterAddr::new(1, 1), vec![2]))
+            .unwrap();
+        noc.run_until_idle(50_000).unwrap();
+        assert_eq!(noc.current_epoch(), 2);
+        let now = noc.cycle();
+        let mut sender = ReliableSender::new(NodeId(2));
+        let err = sender
+            .send(
+                &mut NetPort::new(&mut noc, RouterAddr::new(1, 1)),
+                corner,
+                Service::Notify { from: 2 },
+                now,
+            )
+            .expect_err("the corner is partitioned off");
+        match err {
+            SystemError::Unreachable { node, dest } => {
+                assert_eq!(node, NodeId(2));
+                assert_eq!(dest, corner);
+            }
+            other => panic!("expected Unreachable, got {other}"),
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The integrated MultiNoC system: Hermes NoC + IP cores + serial link,
 //! co-simulated cycle by cycle.
 
-use hermes_noc::{FaultPlan, Noc, NocConfig, NocStats, RouterAddr};
+use hermes_noc::{FaultPlan, Noc, NocConfig, NocStats, Port, RouterAddr};
 use r8::core::Cpu;
 
 use crate::addrmap::AddressMap;
@@ -33,6 +33,9 @@ struct Watchdog {
     last_hops: u64,
     /// Cycle of the last observed movement.
     last_change: u64,
+    /// Reconfiguration epoch at the last check; a bump is progress (the
+    /// diagnosis just flushed a wedge and rerouted, not a hang).
+    last_epoch: u64,
 }
 
 /// One IP core instance. `Vacant` marks a node removed by dynamic
@@ -282,10 +285,12 @@ impl System {
     /// progress for a whole window — instead of burning their budget.
     pub fn enable_watchdog(&mut self) {
         let (hops, cycle) = (self.noc.stats().flit_hops, self.noc.cycle());
+        let epoch = self.noc.current_epoch();
         self.watchdog.get_or_insert(Watchdog {
             window: WATCHDOG_WINDOW,
             last_hops: hops,
             last_change: cycle,
+            last_epoch: epoch,
         });
     }
 
@@ -311,8 +316,44 @@ impl System {
             total.sent += c.sent;
             total.retransmissions += c.retransmissions;
             total.acked += c.acked;
+            total.reroute_resets += c.reroute_resets;
         }
         total
+    }
+
+    /// Whether the network's online diagnosis has declared any link dead
+    /// and the system is running in degraded mode.
+    pub fn degraded(&self) -> bool {
+        self.noc.is_degraded()
+    }
+
+    /// The links the online diagnosis has declared dead, in address
+    /// order (empty on a healthy mesh).
+    pub fn dead_links(&self) -> Vec<(RouterAddr, Port)> {
+        self.noc.dead_links()
+    }
+
+    /// Human-readable summary of degraded-mode state: dead links,
+    /// reconfiguration epochs and reroute work. Empty when healthy.
+    pub fn degradation_report(&self) -> String {
+        if !self.noc.is_degraded() {
+            return String::new();
+        }
+        let h = self.noc.stats().health;
+        let links: Vec<String> = self
+            .noc
+            .dead_links()
+            .iter()
+            .map(|(addr, port)| format!("{addr}:{port:?}"))
+            .collect();
+        format!(
+            "degraded: dead links [{}], {} epochs, {} rerouted grants, \
+             {} wedged packets flushed",
+            links.join(", "),
+            h.epochs,
+            h.rerouted_grants,
+            h.wedged_packets_dropped
+        )
     }
 
     /// Duplicate sequenced messages suppressed by receivers, summed over
@@ -444,17 +485,27 @@ impl System {
     fn watchdog_check(&mut self) -> Result<(), SystemError> {
         let now = self.noc.cycle();
         let hops = self.noc.stats().flit_hops;
+        let epoch = self.noc.current_epoch();
+        let settled = self.noc.reconfiguration_settled();
         let (window, last_change) = match &mut self.watchdog {
             None => return Ok(()),
             Some(w) => {
-                if hops != w.last_hops {
+                if hops != w.last_hops || epoch != w.last_epoch {
                     w.last_hops = hops;
+                    w.last_epoch = epoch;
                     w.last_change = now;
                     return Ok(());
                 }
                 (w.window, w.last_change)
             }
         };
+        // While a reconfiguration epoch propagates across the mesh a
+        // quiet network is expected, not evidence of a hang: routers are
+        // adopting new tables and the reliability layer is about to
+        // retransmit what the flush discarded.
+        if !settled {
+            return Ok(());
+        }
         if !self.noc.is_idle() {
             let stalled_for = now - last_change;
             if stalled_for >= window {
@@ -1132,6 +1183,66 @@ mod tests {
         sys.activate_directly(PROCESSOR_2).unwrap();
         sys.run_until_halted(1_000_000).unwrap();
         assert_eq!(sys.memory(PROCESSOR_1).unwrap().read(0x300), 1);
+    }
+
+    #[test]
+    fn link_death_mid_flight_is_survived_under_the_watchdog() {
+        use hermes_noc::{CycleWindow, Routing};
+        let mut config = NocConfig::multinoc();
+        config.routing = Routing::FaultTolerantXy;
+        let mut sys = System::builder()
+            .noc(config)
+            .serial_at(RouterAddr::new(0, 0))
+            .processor_at(RouterAddr::new(0, 1))
+            .processor_at(RouterAddr::new(1, 0))
+            .memory_at(RouterAddr::new(1, 1))
+            .build()
+            .unwrap();
+        let base = sys
+            .address_map(PROCESSOR_1)
+            .unwrap()
+            .window_base(REMOTE_MEMORY)
+            .unwrap();
+        // Remote reads stall the core until the reply; remote writes are
+        // posted and acknowledged asynchronously. Pre-seed the remote
+        // word so the read does not race the (retransmitted) write.
+        sys.memory_mut(REMOTE_MEMORY).unwrap().write(0, 777);
+        let program = assemble(&format!(
+            "LIW R1, {base}\n\
+             XOR R0, R0, R0\n\
+             LD  R3, R1, R0\n\
+             LIW R4, 0x20\n\
+             ST  R3, R4, R0\n\
+             LIW R2, 888\n\
+             ADDI R1, 1\n\
+             ST  R2, R1, R0\n\
+             HALT"
+        ))
+        .unwrap();
+        sys.memory_mut(PROCESSOR_1)
+            .unwrap()
+            .write_block(0, program.words());
+        // The direct route P1 → memory dies under the first message. The
+        // fault plan arms the watchdog, which must not mistake the quiet
+        // flush-and-reroute interval for a deadlock or a wedged link.
+        sys.set_fault_plan(FaultPlan::new(11).with_link_down(
+            RouterAddr::new(0, 1),
+            Port::East,
+            CycleWindow::open_ended(0),
+        ));
+        sys.activate_directly(PROCESSOR_1).unwrap();
+        sys.run_until_halted(2_000_000)
+            .expect("the workload completes despite the dead link");
+        assert_eq!(sys.memory(PROCESSOR_1).unwrap().read(0x20), 777);
+        assert_eq!(sys.memory(REMOTE_MEMORY).unwrap().read(1), 888);
+        assert!(sys.degraded());
+        assert_eq!(sys.dead_links(), vec![(RouterAddr::new(0, 1), Port::East)]);
+        let counters = sys.retry_counters();
+        assert!(
+            counters.reroute_resets >= 1,
+            "the epoch change reset the retry clock: {counters}"
+        );
+        assert!(sys.degradation_report().starts_with("degraded: dead links"));
     }
 
     #[test]

@@ -16,4 +16,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "=== cargo test ==="
 cargo test -q --offline --workspace
 
+echo "=== fault-injection smoke checks (fixed seed) ==="
+cargo run --release -q --offline -p multinoc-bench --bin exp_fault_sweep > /dev/null
+cargo run --release -q --offline -p multinoc-bench --bin exp_degradation > /dev/null
+echo "exp_fault_sweep and exp_degradation deterministic and green"
+
 echo "all checks passed"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates every evaluation artifact of the paper (DESIGN.md, E1-E18).
+# Regenerates every evaluation artifact of the paper (DESIGN.md, E1-E19).
 # Usage: scripts/run_experiments.sh [output-directory]
 set -euo pipefail
 
@@ -26,6 +26,7 @@ experiments=(
     exp_utilization
     exp_routing
     exp_fault_sweep
+    exp_degradation
 )
 
 cargo build --release -p multinoc-bench --bins

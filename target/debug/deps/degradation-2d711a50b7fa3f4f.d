@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degradation-2d711a50b7fa3f4f.d: tests/degradation.rs
+
+/root/repo/target/debug/deps/degradation-2d711a50b7fa3f4f: tests/degradation.rs
+
+tests/degradation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/degradation-3cd1743e9b75b142.d: tests/degradation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdegradation-3cd1743e9b75b142.rmeta: tests/degradation.rs Cargo.toml
+
+tests/degradation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

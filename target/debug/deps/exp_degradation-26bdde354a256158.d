@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_degradation-26bdde354a256158.d: crates/bench/src/bin/exp_degradation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_degradation-26bdde354a256158.rmeta: crates/bench/src/bin/exp_degradation.rs Cargo.toml
+
+crates/bench/src/bin/exp_degradation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_degradation-754a43cfb78cbc28.d: crates/bench/src/bin/exp_degradation.rs
+
+/root/repo/target/debug/deps/exp_degradation-754a43cfb78cbc28: crates/bench/src/bin/exp_degradation.rs
+
+crates/bench/src/bin/exp_degradation.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/hermes_noc-6a3f7fa3dd1595b1.d: crates/hermes/src/lib.rs crates/hermes/src/addr.rs crates/hermes/src/arbiter.rs crates/hermes/src/buffer.rs crates/hermes/src/config.rs crates/hermes/src/endpoint.rs crates/hermes/src/error.rs crates/hermes/src/flit.rs crates/hermes/src/noc.rs crates/hermes/src/packet.rs crates/hermes/src/router.rs crates/hermes/src/routing.rs crates/hermes/src/fault.rs crates/hermes/src/latency.rs crates/hermes/src/stats.rs crates/hermes/src/traffic.rs Cargo.toml
+/root/repo/target/debug/deps/hermes_noc-6a3f7fa3dd1595b1.d: crates/hermes/src/lib.rs crates/hermes/src/addr.rs crates/hermes/src/arbiter.rs crates/hermes/src/buffer.rs crates/hermes/src/config.rs crates/hermes/src/endpoint.rs crates/hermes/src/error.rs crates/hermes/src/flit.rs crates/hermes/src/health.rs crates/hermes/src/noc.rs crates/hermes/src/packet.rs crates/hermes/src/router.rs crates/hermes/src/routing.rs crates/hermes/src/fault.rs crates/hermes/src/latency.rs crates/hermes/src/stats.rs crates/hermes/src/traffic.rs Cargo.toml
 
-/root/repo/target/debug/deps/libhermes_noc-6a3f7fa3dd1595b1.rmeta: crates/hermes/src/lib.rs crates/hermes/src/addr.rs crates/hermes/src/arbiter.rs crates/hermes/src/buffer.rs crates/hermes/src/config.rs crates/hermes/src/endpoint.rs crates/hermes/src/error.rs crates/hermes/src/flit.rs crates/hermes/src/noc.rs crates/hermes/src/packet.rs crates/hermes/src/router.rs crates/hermes/src/routing.rs crates/hermes/src/fault.rs crates/hermes/src/latency.rs crates/hermes/src/stats.rs crates/hermes/src/traffic.rs Cargo.toml
+/root/repo/target/debug/deps/libhermes_noc-6a3f7fa3dd1595b1.rmeta: crates/hermes/src/lib.rs crates/hermes/src/addr.rs crates/hermes/src/arbiter.rs crates/hermes/src/buffer.rs crates/hermes/src/config.rs crates/hermes/src/endpoint.rs crates/hermes/src/error.rs crates/hermes/src/flit.rs crates/hermes/src/health.rs crates/hermes/src/noc.rs crates/hermes/src/packet.rs crates/hermes/src/router.rs crates/hermes/src/routing.rs crates/hermes/src/fault.rs crates/hermes/src/latency.rs crates/hermes/src/stats.rs crates/hermes/src/traffic.rs Cargo.toml
 
 crates/hermes/src/lib.rs:
 crates/hermes/src/addr.rs:
@@ -10,6 +10,7 @@ crates/hermes/src/config.rs:
 crates/hermes/src/endpoint.rs:
 crates/hermes/src/error.rs:
 crates/hermes/src/flit.rs:
+crates/hermes/src/health.rs:
 crates/hermes/src/noc.rs:
 crates/hermes/src/packet.rs:
 crates/hermes/src/router.rs:

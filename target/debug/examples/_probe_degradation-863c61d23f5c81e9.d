@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_probe_degradation-863c61d23f5c81e9.d: examples/_probe_degradation.rs
+
+/root/repo/target/debug/examples/_probe_degradation-863c61d23f5c81e9: examples/_probe_degradation.rs
+
+examples/_probe_degradation.rs:

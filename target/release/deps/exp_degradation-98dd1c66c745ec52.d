@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_degradation-98dd1c66c745ec52.d: crates/bench/src/bin/exp_degradation.rs
+
+/root/repo/target/release/deps/exp_degradation-98dd1c66c745ec52: crates/bench/src/bin/exp_degradation.rs
+
+crates/bench/src/bin/exp_degradation.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/hermes_noc-235009273c07ffe1.d: crates/hermes/src/lib.rs crates/hermes/src/addr.rs crates/hermes/src/arbiter.rs crates/hermes/src/buffer.rs crates/hermes/src/config.rs crates/hermes/src/endpoint.rs crates/hermes/src/error.rs crates/hermes/src/flit.rs crates/hermes/src/noc.rs crates/hermes/src/packet.rs crates/hermes/src/router.rs crates/hermes/src/routing.rs crates/hermes/src/fault.rs crates/hermes/src/latency.rs crates/hermes/src/stats.rs crates/hermes/src/traffic.rs
+/root/repo/target/release/deps/hermes_noc-235009273c07ffe1.d: crates/hermes/src/lib.rs crates/hermes/src/addr.rs crates/hermes/src/arbiter.rs crates/hermes/src/buffer.rs crates/hermes/src/config.rs crates/hermes/src/endpoint.rs crates/hermes/src/error.rs crates/hermes/src/flit.rs crates/hermes/src/health.rs crates/hermes/src/noc.rs crates/hermes/src/packet.rs crates/hermes/src/router.rs crates/hermes/src/routing.rs crates/hermes/src/fault.rs crates/hermes/src/latency.rs crates/hermes/src/stats.rs crates/hermes/src/traffic.rs
 
-/root/repo/target/release/deps/libhermes_noc-235009273c07ffe1.rlib: crates/hermes/src/lib.rs crates/hermes/src/addr.rs crates/hermes/src/arbiter.rs crates/hermes/src/buffer.rs crates/hermes/src/config.rs crates/hermes/src/endpoint.rs crates/hermes/src/error.rs crates/hermes/src/flit.rs crates/hermes/src/noc.rs crates/hermes/src/packet.rs crates/hermes/src/router.rs crates/hermes/src/routing.rs crates/hermes/src/fault.rs crates/hermes/src/latency.rs crates/hermes/src/stats.rs crates/hermes/src/traffic.rs
+/root/repo/target/release/deps/libhermes_noc-235009273c07ffe1.rlib: crates/hermes/src/lib.rs crates/hermes/src/addr.rs crates/hermes/src/arbiter.rs crates/hermes/src/buffer.rs crates/hermes/src/config.rs crates/hermes/src/endpoint.rs crates/hermes/src/error.rs crates/hermes/src/flit.rs crates/hermes/src/health.rs crates/hermes/src/noc.rs crates/hermes/src/packet.rs crates/hermes/src/router.rs crates/hermes/src/routing.rs crates/hermes/src/fault.rs crates/hermes/src/latency.rs crates/hermes/src/stats.rs crates/hermes/src/traffic.rs
 
-/root/repo/target/release/deps/libhermes_noc-235009273c07ffe1.rmeta: crates/hermes/src/lib.rs crates/hermes/src/addr.rs crates/hermes/src/arbiter.rs crates/hermes/src/buffer.rs crates/hermes/src/config.rs crates/hermes/src/endpoint.rs crates/hermes/src/error.rs crates/hermes/src/flit.rs crates/hermes/src/noc.rs crates/hermes/src/packet.rs crates/hermes/src/router.rs crates/hermes/src/routing.rs crates/hermes/src/fault.rs crates/hermes/src/latency.rs crates/hermes/src/stats.rs crates/hermes/src/traffic.rs
+/root/repo/target/release/deps/libhermes_noc-235009273c07ffe1.rmeta: crates/hermes/src/lib.rs crates/hermes/src/addr.rs crates/hermes/src/arbiter.rs crates/hermes/src/buffer.rs crates/hermes/src/config.rs crates/hermes/src/endpoint.rs crates/hermes/src/error.rs crates/hermes/src/flit.rs crates/hermes/src/health.rs crates/hermes/src/noc.rs crates/hermes/src/packet.rs crates/hermes/src/router.rs crates/hermes/src/routing.rs crates/hermes/src/fault.rs crates/hermes/src/latency.rs crates/hermes/src/stats.rs crates/hermes/src/traffic.rs
 
 crates/hermes/src/lib.rs:
 crates/hermes/src/addr.rs:
@@ -12,6 +12,7 @@ crates/hermes/src/config.rs:
 crates/hermes/src/endpoint.rs:
 crates/hermes/src/error.rs:
 crates/hermes/src/flit.rs:
+crates/hermes/src/health.rs:
 crates/hermes/src/noc.rs:
 crates/hermes/src/packet.rs:
 crates/hermes/src/router.rs:
