@@ -1,0 +1,404 @@
+//! E20 (extension) — simulation-kernel performance: host cycles/second
+//! of the quiescence-aware active-set kernel (`KernelMode::Active`, the
+//! default) against the reference full-scan kernel on idle-heavy,
+//! saturated and degraded-mesh workloads, plus the system-level idle
+//! fast-forward, with a peak-RSS proxy and the bounded-statistics
+//! memory evidence.
+//!
+//! Every workload is seeded and runs under *both* kernels; the harness
+//! asserts the simulated observables (packets, hops, fault and health
+//! counters) are identical before reporting any speed number, so a
+//! reported speedup can never come from simulating something else.
+//! Wall-clock rates vary with the machine; the simulated outcomes do
+//! not. The machine-readable summary lands in `BENCH_perf.json`.
+//!
+//! Run with `cargo run --release -p multinoc-bench --bin exp_perf`
+//! (set `EXP_PERF_SMOKE=1` for the fast CI variant).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hermes_noc::traffic::{Pattern, TrafficGen};
+use hermes_noc::{
+    CycleWindow, FaultPlan, KernelMode, Noc, NocConfig, Packet, Port, RouterAddr, Routing,
+};
+use multinoc::serial::{HostCommand, SerialConfig, SYNC_BYTE};
+use multinoc::{NodeId, System};
+use r8::asm::assemble;
+
+/// Seed shared by every workload.
+const SEED: u64 = 0xE20_BEEF;
+
+/// Workload scale: 1 for the CI smoke run, 10 for the full measurement.
+fn scale() -> u64 {
+    if std::env::var_os("EXP_PERF_SMOKE").is_some() {
+        1
+    } else {
+        10
+    }
+}
+
+/// Simulated observables that must be identical across kernels for the
+/// same workload — the differential guard on every speed number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Fingerprint {
+    cycles: u64,
+    packets_sent: u64,
+    packets_delivered: u64,
+    flit_hops: u64,
+    faults: hermes_noc::stats::FaultCounters,
+    health: hermes_noc::stats::HealthCounters,
+}
+
+impl Fingerprint {
+    fn of(noc: &Noc) -> Self {
+        let s = noc.stats();
+        Self {
+            cycles: s.cycles,
+            packets_sent: s.packets_sent,
+            packets_delivered: s.packets_delivered,
+            flit_hops: s.flit_hops,
+            faults: s.faults,
+            health: s.health,
+        }
+    }
+}
+
+struct Measured {
+    fingerprint: Fingerprint,
+    seconds: f64,
+}
+
+/// Sparse bursts on a 16×16 mesh: a handful of packets every few
+/// thousand cycles, then silence — the regime where the reference
+/// kernel scans 256 idle routers per cycle for nothing.
+fn idle_heavy(kernel: KernelMode, cycles: u64) -> Measured {
+    let mut noc = Noc::new(NocConfig::mesh(16, 16).with_kernel_mode(kernel)).expect("valid mesh");
+    let start = Instant::now();
+    for now in 0..cycles {
+        if now % 4_000 == 0 {
+            let k = now / 4_000;
+            for j in 0..4u64 {
+                let s = (k * 31 + j * 7) % 256;
+                let d = (k * 17 + j * 13 + 5) % 256;
+                if s == d {
+                    continue;
+                }
+                let src = RouterAddr::new((s % 16) as u8, (s / 16) as u8);
+                let dst = RouterAddr::new((d % 16) as u8, (d / 16) as u8);
+                noc.send(src, Packet::new(dst, vec![j as u16; 3]))
+                    .expect("send");
+            }
+        }
+        noc.step();
+    }
+    Measured {
+        fingerprint: Fingerprint::of(&noc),
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Uniform random traffic at a high injection rate on an 8×8 mesh: the
+/// regime where (almost) every router is busy and the active set buys
+/// nothing — the overhead guard.
+fn saturated(kernel: KernelMode, cycles: u64) -> Measured {
+    let mut noc = Noc::new(NocConfig::mesh(8, 8).with_kernel_mode(kernel)).expect("valid mesh");
+    let mut gen = TrafficGen::new(Pattern::Uniform, 0.25, 4, SEED);
+    let start = Instant::now();
+    gen.drive(&mut noc, cycles, 1_000_000).expect("drive");
+    Measured {
+        fingerprint: Fingerprint::of(&noc),
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Moderate traffic on an 8×8 fault-tolerant mesh with two permanent
+/// dead links: online diagnosis, wedged-worm flushes, epoch wavefronts
+/// and detoured routing all run under both kernels.
+fn degraded(kernel: KernelMode, cycles: u64) -> Measured {
+    let config = NocConfig::mesh(8, 8)
+        .with_kernel_mode(kernel)
+        .with_routing(Routing::FaultTolerantXy);
+    let mut noc = Noc::new(config).expect("valid mesh");
+    noc.set_fault_plan(
+        FaultPlan::new(SEED)
+            .with_link_down(
+                RouterAddr::new(3, 3),
+                Port::East,
+                CycleWindow::open_ended(0),
+            )
+            .with_link_down(
+                RouterAddr::new(5, 2),
+                Port::North,
+                CycleWindow::open_ended(0),
+            ),
+    );
+    let mut gen = TrafficGen::new(Pattern::Uniform, 0.05, 4, SEED ^ 0xD15EA5E);
+    let start = Instant::now();
+    gen.drive(&mut noc, cycles, 1_000_000).expect("drive");
+    Measured {
+        fingerprint: Fingerprint::of(&noc),
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// One full host-driven MultiNoC run over a real-baud serial link with
+/// lossy delivery: sync, activate P1 over the wire, run a small program
+/// to halt. Nearly all cycles sit in baud-tick and retransmission-
+/// backoff gaps — the system-level fast-forward's home turf.
+fn multinoc_run(fast_forward: bool) -> (u64, f64) {
+    let mut sys = System::builder()
+        // Fault-tolerant routing so a drop-wedged worm is diagnosed and
+        // flushed rather than hanging the mesh (plain Xy has no flush).
+        .noc(NocConfig::multinoc().with_routing(Routing::FaultTolerantXy))
+        .serial(SerialConfig::from_baud(25.0e6, 115_200.0))
+        .serial_at(RouterAddr::new(0, 0))
+        .processor_at(RouterAddr::new(0, 1))
+        .processor_at(RouterAddr::new(1, 0))
+        .memory_at(RouterAddr::new(1, 1))
+        .build()
+        .expect("paper layout");
+    // Mild loss: enough to push the reliability layer through its
+    // backoff timers (more idle-gap cycles to jump) without wedging a
+    // worm badly enough for the progress watchdog to call DeadLink.
+    sys.set_fault_plan(FaultPlan::new(SEED).with_drop_rate(0.08));
+    let program = assemble(
+        "LIW R1, 40\n\
+         loop: SUBI R1, 1\n\
+         JMPZD done\n\
+         JMPD loop\n\
+         done: HALT",
+    )
+    .expect("assembles");
+    sys.memory_mut(NodeId(1))
+        .expect("p1 memory")
+        .write_block(0, program.words());
+    sys.link_mut().host_send(&[SYNC_BYTE]);
+    sys.link_mut()
+        .host_send(&HostCommand::Activate { node: 1 }.to_bytes());
+    let budget = 10_000_000;
+    let start = Instant::now();
+    let elapsed = if fast_forward {
+        sys.run_until_halted(budget).expect("halts")
+    } else {
+        // Identical exit condition, stepped one cycle at a time.
+        let from = sys.cycle();
+        loop {
+            if sys.all_halted() && sys.noc().is_idle() && sys.link().is_idle() && sys.net_quiet() {
+                break sys.cycle() - from;
+            }
+            assert!(sys.cycle() - from < budget, "budget exhausted");
+            sys.step().expect("step");
+        }
+    };
+    (elapsed, start.elapsed().as_secs_f64())
+}
+
+/// Long bounded-window run: many more packets than the window retains,
+/// proving the statistics stay O(window), not O(packets).
+fn bounded_stats(packets: u64) -> (u64, usize, u64, usize) {
+    let window = 4_096;
+    let mut noc = Noc::new(NocConfig::mesh(4, 4).with_stats_window(window)).expect("valid mesh");
+    let mut gen = TrafficGen::new(Pattern::Uniform, 0.2, 2, SEED ^ 0xB0);
+    while noc.stats().packets_sent < packets {
+        gen.drive(&mut noc, 2_000, 1_000_000).expect("drive");
+    }
+    let s = noc.stats();
+    (
+        s.packets_sent,
+        s.records().len(),
+        s.evicted_records(),
+        window,
+    )
+}
+
+/// Peak resident set (VmHWM) in KiB from `/proc/self/status`; `None`
+/// where the proc filesystem is unavailable.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+struct Row {
+    name: &'static str,
+    detail: String,
+    cycles: u64,
+    reference_cps: f64,
+    active_cps: f64,
+    rss_kib: Option<u64>,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.active_cps / self.reference_cps
+    }
+}
+
+fn measure(
+    name: &'static str,
+    detail: String,
+    cycles: u64,
+    run: impl Fn(KernelMode, u64) -> Measured,
+) -> Row {
+    let reference = run(KernelMode::Reference, cycles);
+    let active = run(KernelMode::Active, cycles);
+    assert_eq!(
+        reference.fingerprint, active.fingerprint,
+        "{name}: kernels disagree on the simulated outcome"
+    );
+    Row {
+        name,
+        detail,
+        cycles: reference.fingerprint.cycles,
+        reference_cps: reference.fingerprint.cycles as f64 / reference.seconds,
+        active_cps: active.fingerprint.cycles as f64 / active.seconds,
+        rss_kib: peak_rss_kib(),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "E20: simulation-kernel performance (seed {SEED:#x}, scale {scale}x)\n\
+         cycles/second, host wall clock; every workload runs under both\n\
+         kernels and must produce identical simulated observables\n"
+    );
+
+    let rows = vec![
+        measure(
+            "idle_heavy",
+            "16x16 mesh, 4-packet burst every 4k cycles".into(),
+            20_000 * scale,
+            idle_heavy,
+        ),
+        measure(
+            "saturated",
+            "8x8 mesh, uniform traffic at 0.25 flits/node/cycle".into(),
+            4_000 * scale,
+            saturated,
+        ),
+        measure(
+            "degraded",
+            "8x8 fault-tolerant mesh, 2 permanent dead links".into(),
+            4_000 * scale,
+            degraded,
+        ),
+    ];
+
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>12} {:>15} {:>15} {:>9}",
+        "workload", "cycles", "reference c/s", "active c/s", "speedup"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>12} {:>15.0} {:>15.0} {:>8.1}x",
+            r.name,
+            r.cycles,
+            r.reference_cps,
+            r.active_cps,
+            r.speedup()
+        );
+        let _ = writeln!(out, "               ({})", r.detail);
+    }
+
+    // System-level idle fast-forward: same workload, stepped vs jumped.
+    let runs = 4 * scale;
+    let (mut ff_cycles, mut ff_secs) = (0u64, 0.0f64);
+    let (mut st_cycles, mut st_secs) = (0u64, 0.0f64);
+    for _ in 0..runs {
+        let (c, s) = multinoc_run(true);
+        ff_cycles += c;
+        ff_secs += s;
+        let (c2, s2) = multinoc_run(false);
+        st_cycles += c2;
+        st_secs += s2;
+        assert_eq!(
+            c, c2,
+            "fast-forward and single-stepping disagree on elapsed cycles"
+        );
+    }
+    let ff_cps = ff_cycles as f64 / ff_secs;
+    let st_cps = st_cycles as f64 / st_secs;
+    let _ = writeln!(
+        out,
+        "\n  multinoc idle fast-forward ({runs} host-driven runs over a\n\
+         115200-baud link with 8% packet drops, {} cycles each):\n\
+         stepped {st_cps:.0} c/s, fast-forwarded {ff_cps:.0} c/s \
+         ({:.1}x)",
+        ff_cycles / runs,
+        ff_cps / st_cps
+    );
+
+    let (sent, retained, evicted, window) = bounded_stats(20_000 * scale);
+    let _ = writeln!(
+        out,
+        "\n  bounded statistics: {sent} packets sent, {retained} records\n\
+         retained (window {window}), {evicted} evicted into streaming\n\
+         aggregates — per-packet memory is O(window), not O(traffic)"
+    );
+    let rss = peak_rss_kib();
+    match rss {
+        Some(kib) => {
+            let _ = writeln!(out, "  peak RSS proxy (VmHWM): {kib} KiB");
+        }
+        None => {
+            let _ = writeln!(out, "  peak RSS proxy unavailable (no /proc/self/status)");
+        }
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"experiment\": \"E20 simulation-kernel performance\","
+    );
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"workloads\": [");
+    for r in &rows {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"cycles\": {}, \"reference_cycles_per_sec\": {:.0}, \
+             \"active_cycles_per_sec\": {:.0}, \"speedup\": {:.2}, \"peak_rss_kib\": {}}},",
+            r.name,
+            r.cycles,
+            r.reference_cps,
+            r.active_cps,
+            r.speedup(),
+            r.rss_kib.map_or("null".into(), |k| k.to_string()),
+        );
+    }
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"multinoc_idle\", \"cycles\": {ff_cycles}, \
+         \"reference_cycles_per_sec\": {st_cps:.0}, \
+         \"active_cycles_per_sec\": {ff_cps:.0}, \"speedup\": {:.2}, \
+         \"peak_rss_kib\": {}}}",
+        ff_cps / st_cps,
+        rss.map_or("null".into(), |k| k.to_string()),
+    );
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"bounded_stats\": {{\"packets_sent\": {sent}, \"records_retained\": {retained}, \
+         \"records_evicted\": {evicted}, \"stats_window\": {window}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"peak_rss_kib\": {}",
+        rss.map_or("null".into(), |k| k.to_string())
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_perf.json", &json)?;
+    print!("{out}");
+    println!("\nMachine-readable summary written to BENCH_perf.json");
+    Ok(())
+}

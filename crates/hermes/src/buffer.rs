@@ -123,7 +123,7 @@ mod tests {
     use crate::endpoint::PacketId;
 
     fn flit(value: u16) -> Flit {
-        Flit::new(value, PacketId(0), 0)
+        Flit::new(value, PacketId(0), crate::addr::RouterAddr::new(0, 0), 0)
     }
 
     #[test]

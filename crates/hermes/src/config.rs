@@ -4,6 +4,24 @@ use crate::arbiter::Arbitration;
 use crate::error::ConfigError;
 use crate::routing::Routing;
 
+/// Which stepping kernel [`Noc::step`](crate::Noc::step) uses. Both
+/// kernels are cycle-for-cycle identical in every observable outcome
+/// (delivery cycles, statistics, fault counters, random fault decisions);
+/// they differ only in how much work an idle region of the mesh costs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Quiescence-aware kernel (the default): routers and endpoints with
+    /// no buffered flits, no open connection and no pending control work
+    /// are skipped entirely; they are woken by a flit arrival, a local
+    /// injection, or a scheduled control-logic stall window.
+    #[default]
+    Active,
+    /// The original full-scan kernel: every router and endpoint is
+    /// visited in all four phases on every cycle. Kept as the reference
+    /// for differential testing of the active-set kernel.
+    Reference,
+}
+
 /// Parameters of a Hermes NoC instance.
 ///
 /// The defaults reproduce the MultiNoC prototype: 8-bit flits, 2-flit
@@ -44,6 +62,14 @@ pub struct NocConfig {
     /// which the health monitor declares a link dead; must be at least 1.
     /// Only [`Routing::FaultTolerantXy`] reacts by reconfiguring.
     pub fault_threshold: u32,
+    /// Stepping kernel (see [`KernelMode`]); both modes are observably
+    /// identical, `Reference` exists for differential testing.
+    pub kernel: KernelMode,
+    /// Number of recent per-packet records the statistics retain; must be
+    /// at least 1. Older records are folded into the online aggregates
+    /// (count/sum/min/max and the latency histogram) and evicted, so
+    /// memory stays bounded on arbitrarily long runs.
+    pub stats_window: usize,
 }
 
 impl NocConfig {
@@ -59,6 +85,8 @@ impl NocConfig {
             routing: Routing::Xy,
             arbitration: Arbitration::RoundRobin,
             fault_threshold: 8,
+            kernel: KernelMode::Active,
+            stats_window: 4096,
         }
     }
 
@@ -102,6 +130,19 @@ impl NocConfig {
     /// declared dead (builder style).
     pub fn with_fault_threshold(mut self, threshold: u32) -> Self {
         self.fault_threshold = threshold;
+        self
+    }
+
+    /// Sets the stepping kernel (builder style).
+    pub fn with_kernel_mode(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the number of recent per-packet records retained by the
+    /// statistics (builder style).
+    pub fn with_stats_window(mut self, window: usize) -> Self {
+        self.stats_window = window;
         self
     }
 
@@ -157,6 +198,9 @@ impl NocConfig {
         }
         if self.fault_threshold == 0 {
             return Err(ConfigError::ZeroFaultThreshold);
+        }
+        if self.stats_window == 0 {
+            return Err(ConfigError::ZeroStatsWindow);
         }
         Ok(())
     }
@@ -230,6 +274,23 @@ mod tests {
             NocConfig::mesh(2, 2).with_fault_threshold(0).validate(),
             Err(ConfigError::ZeroFaultThreshold)
         );
+        assert_eq!(
+            NocConfig::mesh(2, 2).with_stats_window(0).validate(),
+            Err(ConfigError::ZeroStatsWindow)
+        );
+    }
+
+    #[test]
+    fn kernel_defaults_to_active_and_is_switchable() {
+        let c = NocConfig::default();
+        assert_eq!(c.kernel, KernelMode::Active);
+        assert!(c.stats_window >= 1);
+        let c = c
+            .with_kernel_mode(KernelMode::Reference)
+            .with_stats_window(7);
+        assert_eq!(c.kernel, KernelMode::Reference);
+        assert_eq!(c.stats_window, 7);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

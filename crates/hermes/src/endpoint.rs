@@ -38,10 +38,15 @@ enum RxState {
     /// Waiting for a header flit.
     Header,
     /// Header seen; waiting for the size flit.
-    Size { id: PacketId, dest: RouterAddr },
+    Size {
+        id: PacketId,
+        src: RouterAddr,
+        dest: RouterAddr,
+    },
     /// Collecting `remaining` payload flits.
     Payload {
         id: PacketId,
+        src: RouterAddr,
         dest: RouterAddr,
         remaining: usize,
         payload: Vec<u16>,
@@ -67,8 +72,10 @@ pub(crate) struct LocalEndpoint {
     /// Earliest cycle the next flit may be injected (handshake cadence).
     pub next_inject_ok: u64,
     rx: RxState,
-    /// Fully reassembled packets awaiting `try_recv`.
-    pub delivered: VecDeque<(PacketId, Packet)>,
+    /// Fully reassembled packets awaiting `try_recv`, each tagged with
+    /// the router that injected it (carried on every flit, so the source
+    /// stays correct even after the packet's stats record is evicted).
+    pub delivered: VecDeque<(PacketId, RouterAddr, Packet)>,
     flit_bits: u8,
 }
 
@@ -122,20 +129,22 @@ impl LocalEndpoint {
                 let dest = RouterAddr::from_flit(flit.value, self.flit_bits);
                 self.rx = RxState::Size {
                     id: flit.packet,
+                    src: flit.src,
                     dest,
                 };
                 RxEvent::HeaderArrived(flit.packet)
             }
-            RxState::Size { id, dest } => {
+            RxState::Size { id, src, dest } => {
                 debug_assert_eq!(id, flit.packet, "interleaved packets at local port");
                 let remaining = usize::from(flit.value);
                 if remaining == 0 {
                     self.delivered
-                        .push_back((id, Packet::new(dest, Vec::new())));
+                        .push_back((id, src, Packet::new(dest, Vec::new())));
                     RxEvent::Completed(id)
                 } else {
                     self.rx = RxState::Payload {
                         id,
+                        src,
                         dest,
                         remaining,
                         payload: Vec::with_capacity(remaining),
@@ -145,6 +154,7 @@ impl LocalEndpoint {
             }
             RxState::Payload {
                 id,
+                src,
                 dest,
                 remaining,
                 mut payload,
@@ -152,11 +162,13 @@ impl LocalEndpoint {
                 debug_assert_eq!(id, flit.packet, "interleaved packets at local port");
                 payload.push(flit.value);
                 if remaining == 1 {
-                    self.delivered.push_back((id, Packet::new(dest, payload)));
+                    self.delivered
+                        .push_back((id, src, Packet::new(dest, payload)));
                     RxEvent::Completed(id)
                 } else {
                     self.rx = RxState::Payload {
                         id,
+                        src,
                         dest,
                         remaining: remaining - 1,
                         payload,
@@ -189,7 +201,7 @@ mod tests {
     use super::*;
 
     fn flit(value: u16, id: u64) -> Flit {
-        Flit::new(value, PacketId(id), 0)
+        Flit::new(value, PacketId(id), RouterAddr::new(0, 1), 0)
     }
 
     #[test]
@@ -215,8 +227,9 @@ mod tests {
         assert_eq!(ep.receive(flit(2, 3)), RxEvent::Progress);
         assert_eq!(ep.receive(flit(0xAA, 3)), RxEvent::Progress);
         assert_eq!(ep.receive(flit(0x55, 3)), RxEvent::Completed(PacketId(3)));
-        let (id, packet) = ep.delivered.pop_front().unwrap();
+        let (id, src, packet) = ep.delivered.pop_front().unwrap();
         assert_eq!(id, PacketId(3));
+        assert_eq!(src, RouterAddr::new(0, 1), "source carried on the flits");
         assert_eq!(packet.dest(), RouterAddr::new(1, 1));
         assert_eq!(packet.payload(), &[0xAA, 0x55]);
         assert!(ep.is_idle());
@@ -227,7 +240,7 @@ mod tests {
         let mut ep = LocalEndpoint::new(8);
         ep.receive(flit(0x00, 4));
         assert_eq!(ep.receive(flit(0, 4)), RxEvent::Completed(PacketId(4)));
-        let (_, packet) = ep.delivered.pop_front().unwrap();
+        let (_, _, packet) = ep.delivered.pop_front().unwrap();
         assert!(packet.payload().is_empty());
     }
 
@@ -240,7 +253,7 @@ mod tests {
             ep.receive(flit(id as u16, id));
         }
         assert_eq!(ep.delivered.len(), 3);
-        for (expect, (id, packet)) in ep.delivered.drain(..).enumerate() {
+        for (expect, (id, _, packet)) in ep.delivered.drain(..).enumerate() {
             assert_eq!(id, PacketId(expect as u64));
             assert_eq!(packet.payload(), &[expect as u16]);
         }

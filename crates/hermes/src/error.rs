@@ -28,6 +28,8 @@ pub enum ConfigError {
     ZeroRoutingCycles,
     /// A link must fail at least one handshake before being declared dead.
     ZeroFaultThreshold,
+    /// The statistics must retain at least one recent packet record.
+    ZeroStatsWindow,
 }
 
 impl fmt::Display for ConfigError {
@@ -51,6 +53,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroFaultThreshold => {
                 write!(f, "fault threshold must be at least 1 failed handshake")
+            }
+            ConfigError::ZeroStatsWindow => {
+                write!(f, "statistics window must retain at least 1 record")
             }
         }
     }

@@ -177,6 +177,14 @@ impl FaultPlan {
     pub fn has_permanent_outage(&self) -> bool {
         self.outages.iter().any(|o| o.window.is_permanent())
     }
+
+    /// Whether the plan schedules any router control stall. A stalled
+    /// router accrues its stall counter on every stepped cycle even when
+    /// idle, so idle-gap fast-forwarding must be disabled while such a
+    /// plan is installed (see [`Noc::advance_idle`](crate::Noc::advance_idle)).
+    pub fn has_router_stalls(&self) -> bool {
+        !self.stalls.is_empty()
+    }
 }
 
 impl Default for FaultPlan {

@@ -72,7 +72,7 @@ pub mod traffic;
 pub use addr::{Port, RouterAddr};
 pub use arbiter::Arbitration;
 pub use buffer::FlitBuffer;
-pub use config::NocConfig;
+pub use config::{KernelMode, NocConfig};
 pub use endpoint::PacketId;
 pub use error::{ConfigError, NocError, RouteError, SendError};
 pub use fault::{CycleWindow, FaultPlan};

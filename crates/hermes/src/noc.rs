@@ -1,7 +1,7 @@
 //! The network simulator: a mesh of routers stepped cycle by cycle.
 
 use crate::addr::{Port, RouterAddr};
-use crate::config::NocConfig;
+use crate::config::{KernelMode, NocConfig};
 use crate::endpoint::{LocalEndpoint, PacketId, RxEvent};
 use crate::error::{NocError, RouteError, SendError};
 use crate::fault::{FaultInjector, FaultPlan};
@@ -107,6 +107,14 @@ pub struct Noc {
     injector: Option<FaultInjector>,
     health: HealthMonitor,
     epochs: Vec<Epoch>,
+    /// Per-node activity flag of the quiescence-aware kernel: `true`
+    /// means router `i` or its endpoint may have work this cycle. Nodes
+    /// are woken by injection, flit arrival or a scheduled control
+    /// stall, and retired once router and endpoint are both quiescent.
+    active: Vec<bool>,
+    /// Scratch list of node indices visited this step (kept across steps
+    /// to avoid re-allocating every cycle).
+    step_list: Vec<usize>,
 }
 
 impl Noc {
@@ -126,8 +134,9 @@ impl Noc {
                 endpoints.push(LocalEndpoint::new(config.flit_bits));
             }
         }
-        let stats = NocStats::new(routers.len());
+        let stats = NocStats::new(routers.len(), config.stats_window);
         let health = HealthMonitor::new(config.fault_threshold);
+        let active = vec![false; routers.len()];
         Ok(Self {
             config,
             routers,
@@ -138,6 +147,8 @@ impl Noc {
             injector: None,
             health,
             epochs: Vec::new(),
+            active,
+            step_list: Vec::new(),
         })
     }
 
@@ -291,15 +302,18 @@ impl Noc {
                 .max(self.cycle + u64::from(self.config.cycles_per_flit));
         }
         endpoint.enqueue(id, &packet);
+        self.active[src_idx] = true;
         Ok(id)
     }
 
     /// Removes and returns the oldest packet delivered at router `at`,
-    /// together with the address of its source router.
+    /// together with the address of its source router. The source rides
+    /// on the flits themselves, so it is reported correctly even after
+    /// the packet's statistics record has been evicted from the bounded
+    /// window.
     pub fn try_recv(&mut self, at: RouterAddr) -> Option<(RouterAddr, Packet)> {
         let idx = self.index(at)?;
-        let (id, packet) = self.endpoints[idx].delivered.pop_front()?;
-        let src = self.stats.record(id).map(|r| r.src).unwrap_or_default();
+        let (_, src, packet) = self.endpoints[idx].delivered.pop_front()?;
         Some((src, packet))
     }
 
@@ -308,6 +322,16 @@ impl Noc {
         self.index(at)
             .map(|idx| self.endpoints[idx].delivered.len())
             .unwrap_or(0)
+    }
+
+    /// Whether every router's delivery queue is empty — no reassembled
+    /// packet anywhere awaits [`try_recv`](Self::try_recv). ([`is_idle`]
+    /// deliberately ignores delivered packets, which need no simulation
+    /// cycles; consumers that must not sleep past one check this too.)
+    ///
+    /// [`is_idle`]: Self::is_idle
+    pub fn delivered_empty(&self) -> bool {
+        self.endpoints.iter().all(|e| e.delivered.is_empty())
     }
 
     /// Flits still queued at the source interface of `at`, waiting to
@@ -322,18 +346,81 @@ impl Noc {
     /// Whether no traffic is queued, in flight or in reassembly.
     /// Delivered-but-uncollected packets do not count as traffic.
     pub fn is_idle(&self) -> bool {
+        // With no node flagged active there can be no queued, buffered or
+        // in-reassembly traffic anywhere (every flit lives in some active
+        // node, and a truncated reassembly is aborted when its worm is
+        // flushed), so the scan can be skipped.
+        if self.config.kernel == KernelMode::Active && !self.active.iter().any(|&a| a) {
+            return true;
+        }
         self.endpoints.iter().all(LocalEndpoint::is_idle)
             && self.routers.iter().all(Router::is_idle)
+    }
+
+    /// Wakes routers inside a scheduled control-stall window: a stalled
+    /// router accrues [`FaultCounters::router_stall_cycles`] every cycle
+    /// of the window even with nothing buffered, so the active-set kernel
+    /// must visit it to count identically to the reference kernel.
+    ///
+    /// [`FaultCounters::router_stall_cycles`]: crate::stats::FaultCounters::router_stall_cycles
+    fn wake_scheduled_stalls(&mut self, now: u64) {
+        let mut s = 0;
+        while let Some(stall) = self
+            .injector
+            .as_ref()
+            .and_then(|inj| inj.plan().stalls.get(s))
+            .copied()
+        {
+            s += 1;
+            if stall.window.contains(now) {
+                if let Some(idx) = self.index(stall.router) {
+                    self.active[idx] = true;
+                }
+            }
+        }
     }
 
     /// Advances the simulation by one clock cycle.
     pub fn step(&mut self) {
         self.cycle += 1;
         let now = self.cycle;
-        self.inject_phase(now);
-        self.routing_phase(now);
-        self.sink_phase(now);
-        self.forward_phase(now);
+        let mut nodes = std::mem::take(&mut self.step_list);
+        nodes.clear();
+        match self.config.kernel {
+            KernelMode::Reference => nodes.extend(0..self.routers.len()),
+            KernelMode::Active => {
+                self.wake_scheduled_stalls(now);
+                // Ascending index order is load-bearing: the fault
+                // injector's random stream is consumed in visit order, so
+                // the active subset must be walked exactly like the
+                // reference kernel walks the full set.
+                nodes.extend((0..self.active.len()).filter(|&i| self.active[i]));
+            }
+        }
+        self.inject_phase(now, &nodes);
+        self.routing_phase(now, &nodes);
+        self.sink_phase(now, &nodes);
+        self.forward_phase(now, &nodes);
+        if self.config.kernel == KernelMode::Active {
+            for &idx in &nodes {
+                if self.routers[idx].is_idle() && self.endpoints[idx].outgoing.is_empty() {
+                    self.active[idx] = false;
+                }
+            }
+        }
+        self.step_list = nodes;
+        self.stats.cycles = self.cycle;
+    }
+
+    /// Advances the clock by `cycles` at once without stepping any router
+    /// — valid only while the network is idle, where a step is a pure
+    /// clock tick. The caller must also ensure no scheduled router-stall
+    /// window overlaps the gap (a stalled idle router still accrues its
+    /// stall counter every stepped cycle, which a jump would skip); see
+    /// [`FaultPlan::has_router_stalls`](crate::fault::FaultPlan::has_router_stalls).
+    pub fn advance_idle(&mut self, cycles: u64) {
+        debug_assert!(self.is_idle(), "advance_idle requires an idle network");
+        self.cycle += cycles;
         self.stats.cycles = self.cycle;
     }
 
@@ -363,8 +450,8 @@ impl Noc {
 
     /// Phase A: each source interface pushes its next flit into the local
     /// input buffer of its router, at the handshake cadence.
-    fn inject_phase(&mut self, now: u64) {
-        for idx in 0..self.endpoints.len() {
+    fn inject_phase(&mut self, now: u64, nodes: &[usize]) {
+        for &idx in nodes {
             let endpoint = &mut self.endpoints[idx];
             if now < endpoint.next_inject_ok {
                 continue;
@@ -372,11 +459,12 @@ impl Noc {
             let Some((id, value)) = endpoint.peek_inject() else {
                 continue;
             };
+            let addr = self.routers[idx].addr;
             let local_in = &mut self.routers[idx].inputs[Port::Local.index()];
             if local_in.buffer.is_full() {
                 continue;
             }
-            let pushed = local_in.buffer.push(Flit::new(value, id, now));
+            let pushed = local_in.buffer.push(Flit::new(value, id, addr, now));
             debug_assert!(pushed);
             let endpoint = &mut self.endpoints[idx];
             endpoint.pop_inject();
@@ -386,7 +474,6 @@ impl Noc {
                     record.injected = Some(now);
                 }
             }
-            let addr = self.routers[idx].addr;
             *self.stats.local_ingress_flits.entry(addr).or_insert(0) += 1;
             self.stats.flit_hops += 1;
         }
@@ -395,13 +482,13 @@ impl Noc {
     /// Phase B: each router's control logic runs arbitration and the
     /// routing algorithm for at most one pending header. A granted
     /// connection becomes active after the routing charge has elapsed.
-    fn routing_phase(&mut self, now: u64) {
+    fn routing_phase(&mut self, now: u64, nodes: &[usize]) {
         // From header arrival to header forwarded is `routing_cycles ×
         // cycles_per_flit` (the paper's latency formula charges R_i flit
         // periods per router). One cycle is consumed by the grant itself.
         let decision_delay =
             u64::from(self.config.routing_cycles) * u64::from(self.config.cycles_per_flit) - 1;
-        for idx in 0..self.routers.len() {
+        for &idx in nodes {
             let router = &mut self.routers[idx];
             if now < router.control_busy_until {
                 continue;
@@ -499,7 +586,7 @@ impl Noc {
     /// Phase B′: input ports discarding a dropped packet consume one flit
     /// per handshake period, so the upstream wormhole keeps moving and
     /// the drop never wedges the path.
-    fn sink_phase(&mut self, now: u64) {
+    fn sink_phase(&mut self, now: u64, nodes: &[usize]) {
         let health = &self.stats.health;
         if self.injector.is_none()
             && self.stats.faults.packets_dropped == 0
@@ -510,7 +597,7 @@ impl Noc {
             return;
         }
         let cadence = u64::from(self.config.cycles_per_flit);
-        for idx in 0..self.routers.len() {
+        for &idx in nodes {
             for in_idx in 0..self.routers[idx].inputs.len() {
                 let input = &mut self.routers[idx].inputs[in_idx];
                 if !input.sinking || now < input.sink_ready_at {
@@ -540,7 +627,7 @@ impl Noc {
 
     /// Phase C: every established connection forwards one flit when the
     /// handshake cadence allows and the downstream buffer has space.
-    fn forward_phase(&mut self, now: u64) {
+    fn forward_phase(&mut self, now: u64, nodes: &[usize]) {
         // Collect transfers first (immutable scan), then apply them; a
         // downstream buffer is fed by exactly one upstream output, so the
         // decisions cannot conflict.
@@ -551,7 +638,8 @@ impl Noc {
         // worm completes normally and only future decisions avoid it.
         let mut newly_dead: Vec<(usize, usize, bool)> = Vec::new();
         let mut outage_blocks = 0u64;
-        for (idx, router) in self.routers.iter().enumerate() {
+        for &idx in nodes {
+            let router = &self.routers[idx];
             for (in_idx, input) in router.inputs.iter().enumerate() {
                 let Some(out) = input.conn else { continue };
                 if now < input.conn_active_at {
@@ -666,8 +754,13 @@ impl Noc {
                             }
                         }
                         RxEvent::Completed(id) => {
+                            let mut latency = None;
                             if let Some(record) = self.stats.record_mut(id) {
                                 record.delivered = Some(now);
+                                latency = Some(now - record.sent);
+                            }
+                            if let Some(latency) = latency {
+                                self.stats.observe_latency(latency);
                             }
                             self.stats.packets_delivered += 1;
                         }
@@ -690,6 +783,9 @@ impl Noc {
                         .buffer
                         .push(flit);
                     debug_assert!(pushed, "downstream buffer checked for space");
+                    // The flit arrival wakes the downstream node for the
+                    // next cycle's active-set walk.
+                    self.active[next_idx] = true;
                 }
             }
         }

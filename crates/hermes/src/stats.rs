@@ -1,11 +1,110 @@
 //! Network statistics: per-packet latency records, link utilization and
 //! router counters.
+//!
+//! Per-packet records are kept in a **bounded window** of the most recent
+//! packets (see [`NocConfig::stats_window`](crate::NocConfig::stats_window));
+//! older records are folded into online aggregates — a count/sum/min/max
+//! and a fixed-bucket latency histogram — before being evicted, so memory
+//! stays constant on arbitrarily long runs while [`mean_latency`] stays
+//! exact and [`latency_quantile`] stays exact for latencies below the
+//! histogram range.
+//!
+//! [`mean_latency`]: NocStats::mean_latency
+//! [`latency_quantile`]: NocStats::latency_quantile
 
 use std::collections::HashMap;
 
 use crate::addr::{Port, RouterAddr};
 use crate::endpoint::PacketId;
 pub use crate::router::RouterCounters;
+
+/// Latencies up to this many cycles land in their own one-cycle-wide
+/// histogram bucket (quantiles are exact for them); anything larger is
+/// counted in a single overflow bucket represented by the observed
+/// maximum.
+const LATENCY_BUCKETS: usize = 16_384;
+
+/// Streaming aggregate of end-to-end latencies of delivered packets:
+/// count, sum, min, max and a fixed-bucket histogram. Constant memory,
+/// O(1) updates; quantiles are exact for latencies below
+/// `LATENCY_BUCKETS` cycles and clamp to the observed maximum beyond.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// One-cycle-wide buckets, allocated on first observation.
+    buckets: Vec<u32>,
+    overflow: u64,
+}
+
+impl LatencyHistogram {
+    /// Folds one latency observation into the aggregate.
+    pub(crate) fn observe(&mut self, latency: u64) {
+        if self.count == 0 {
+            self.min = latency;
+            self.max = latency;
+        } else {
+            self.min = self.min.min(latency);
+            self.max = self.max.max(latency);
+        }
+        self.count += 1;
+        self.sum += latency;
+        match usize::try_from(latency) {
+            Ok(idx) if idx < LATENCY_BUCKETS => {
+                if self.buckets.is_empty() {
+                    self.buckets = vec![0; LATENCY_BUCKETS];
+                }
+                self.buckets[idx] = self.buckets[idx].saturating_add(1);
+            }
+            _ => self.overflow += 1,
+        }
+    }
+
+    /// Number of latencies observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed latencies in cycles.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observed latency, or `None` if nothing was observed.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observed latency, or `None` if nothing was observed.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean latency, or `None` if nothing was observed.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Latency at quantile `q` in `0.0..=1.0`. Exact for latencies below
+    /// the histogram range; quantiles falling into the overflow region
+    /// report the observed maximum.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += u64::from(n);
+            if seen > rank {
+                return Some(idx as u64);
+            }
+        }
+        Some(self.max)
+    }
+}
 
 /// Life-cycle record of one packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,7 +211,7 @@ pub struct HealthCounters {
 }
 
 /// Aggregate statistics of a [`Noc`](crate::Noc) run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct NocStats {
     /// Simulated clock cycles so far.
     pub cycles: u64,
@@ -124,9 +223,21 @@ pub struct NocStats {
     pub flit_hops: u64,
     /// Flits delivered to destination IPs.
     pub flits_delivered: u64,
-    /// Per-packet records, indexed by packet id order.
+    /// Recent per-packet records in packet-id order. Ids are assigned
+    /// sequentially, so a record is found by offsetting its id against
+    /// the id of the oldest retained record — no index map needed.
     records: Vec<PacketRecord>,
-    index: HashMap<PacketId, usize>,
+    /// Most records to expose through [`records`](Self::records); the
+    /// backing vector is drained whenever it reaches twice this size, so
+    /// eviction is amortized O(1) per packet.
+    window: usize,
+    /// Packet id of `records[0]`.
+    base_id: u64,
+    /// Records evicted from the window so far.
+    evicted: u64,
+    /// Streaming latency aggregate over every delivered packet whose
+    /// record was still retained at delivery time.
+    latency: LatencyHistogram,
     /// Flits transferred per directed link. `(router, Local)` is the
     /// router-to-IP egress channel; IP-to-router injections are counted
     /// separately in [`local_ingress_flits`](Self::local_ingress_flits).
@@ -143,63 +254,108 @@ pub struct NocStats {
     pub health: HealthCounters,
 }
 
+impl Default for NocStats {
+    /// An empty statistics object with an effectively unbounded record
+    /// window; [`Noc::new`](crate::Noc::new) always replaces the window
+    /// with the configured one.
+    fn default() -> Self {
+        Self {
+            cycles: 0,
+            packets_sent: 0,
+            packets_delivered: 0,
+            flit_hops: 0,
+            flits_delivered: 0,
+            records: Vec::new(),
+            window: usize::MAX,
+            base_id: 0,
+            evicted: 0,
+            latency: LatencyHistogram::default(),
+            link_flits: HashMap::new(),
+            local_ingress_flits: HashMap::new(),
+            routers: Vec::new(),
+            faults: FaultCounters::default(),
+            health: HealthCounters::default(),
+        }
+    }
+}
+
 impl NocStats {
-    pub(crate) fn new(router_count: usize) -> Self {
+    pub(crate) fn new(router_count: usize, window: usize) -> Self {
         Self {
             routers: vec![RouterCounters::default(); router_count],
+            window: window.max(1),
             ..Self::default()
         }
     }
 
     pub(crate) fn add_record(&mut self, record: PacketRecord) {
-        self.index.insert(record.id, self.records.len());
+        if self.records.is_empty() {
+            self.base_id = record.id.0;
+        }
+        debug_assert_eq!(
+            record.id.0,
+            self.base_id + self.records.len() as u64,
+            "packet ids must be assigned sequentially"
+        );
+        if self.records.len() >= self.window.saturating_mul(2) {
+            let excess = self.records.len() - self.window;
+            self.records.drain(..excess);
+            self.base_id += excess as u64;
+            self.evicted += excess as u64;
+        }
         self.records.push(record);
     }
 
     pub(crate) fn record_mut(&mut self, id: PacketId) -> Option<&mut PacketRecord> {
-        self.index.get(&id).map(|&i| &mut self.records[i])
+        let offset = usize::try_from(id.0.checked_sub(self.base_id)?).ok()?;
+        self.records.get_mut(offset)
     }
 
-    /// Record of one packet by id.
+    /// Folds a delivered packet's end-to-end latency into the streaming
+    /// aggregate.
+    pub(crate) fn observe_latency(&mut self, latency: u64) {
+        self.latency.observe(latency);
+    }
+
+    /// Record of one recent packet by id; `None` once the record has been
+    /// evicted from the bounded window (its latency, if it was delivered
+    /// in time, lives on in [`latency_histogram`](Self::latency_histogram)).
     pub fn record(&self, id: PacketId) -> Option<&PacketRecord> {
-        self.index.get(&id).map(|&i| &self.records[i])
+        let offset = usize::try_from(id.0.checked_sub(self.base_id)?).ok()?;
+        self.records.get(offset)
     }
 
-    /// All packet records, in submission order.
+    /// The most recent packet records (at most the configured window), in
+    /// submission order.
     pub fn records(&self) -> &[PacketRecord] {
-        &self.records
+        let start = self.records.len().saturating_sub(self.window);
+        &self.records[start..]
+    }
+
+    /// Records evicted from the bounded window so far.
+    pub fn evicted_records(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The streaming latency aggregate (count/sum/min/max + histogram)
+    /// over all delivered packets, including those whose record has been
+    /// evicted.
+    pub fn latency_histogram(&self) -> &LatencyHistogram {
+        &self.latency
     }
 
     /// Mean end-to-end latency over delivered packets, or `None` if no
-    /// packet was delivered.
+    /// packet was delivered. Computed from the streaming sum, so it
+    /// covers the whole run, not just the record window.
     pub fn mean_latency(&self) -> Option<f64> {
-        let delivered: Vec<u64> = self
-            .records
-            .iter()
-            .filter(|r| r.is_delivered())
-            .map(PacketRecord::latency)
-            .collect();
-        if delivered.is_empty() {
-            None
-        } else {
-            Some(delivered.iter().sum::<u64>() as f64 / delivered.len() as f64)
-        }
+        self.latency.mean()
     }
 
-    /// Latency at quantile `q` in `0.0..=1.0` over delivered packets.
+    /// Latency at quantile `q` in `0.0..=1.0` over delivered packets,
+    /// answered from the fixed-bucket histogram: exact below the
+    /// histogram range, clamped to the observed maximum beyond it.
     pub fn latency_quantile(&self, q: f64) -> Option<u64> {
-        let mut delivered: Vec<u64> = self
-            .records
-            .iter()
-            .filter(|r| r.is_delivered())
-            .map(PacketRecord::latency)
-            .collect();
-        if delivered.is_empty() {
-            return None;
-        }
-        delivered.sort_unstable();
-        let idx = ((delivered.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        Some(delivered[idx])
+        self.latency.quantile(q)
     }
 
     /// Accepted traffic in flits per cycle per node over the whole run.
@@ -310,44 +466,94 @@ mod tests {
         }
     }
 
+    /// Adds the record and, if it is delivered, folds its latency into
+    /// the streaming aggregate the way the simulator does at delivery.
+    fn add(stats: &mut NocStats, r: PacketRecord) {
+        if r.is_delivered() {
+            stats.observe_latency(r.latency());
+        }
+        stats.add_record(r);
+    }
+
     #[test]
     fn mean_latency_ignores_undelivered() {
-        let mut stats = NocStats::new(4);
-        stats.add_record(record(0, 0, Some(40)));
-        stats.add_record(record(1, 0, Some(60)));
-        stats.add_record(record(2, 0, None));
+        let mut stats = NocStats::new(4, 1024);
+        add(&mut stats, record(0, 0, Some(40)));
+        add(&mut stats, record(1, 0, Some(60)));
+        add(&mut stats, record(2, 0, None));
         assert_eq!(stats.mean_latency(), Some(50.0));
     }
 
     #[test]
     fn quantiles() {
-        let mut stats = NocStats::new(4);
+        let mut stats = NocStats::new(4, 1024);
         for i in 0..10u64 {
-            stats.add_record(record(i, 0, Some((i + 1) * 10)));
+            add(&mut stats, record(i, 0, Some((i + 1) * 10)));
         }
         assert_eq!(stats.latency_quantile(0.0), Some(10));
         assert_eq!(stats.latency_quantile(1.0), Some(100));
         assert_eq!(stats.latency_quantile(0.5), Some(60));
+        let h = stats.latency_histogram();
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(100));
+        assert_eq!(h.sum(), 550);
     }
 
     #[test]
     fn empty_stats_return_none_or_zero() {
-        let stats = NocStats::new(4);
+        let stats = NocStats::new(4, 1024);
         assert_eq!(stats.mean_latency(), None);
         assert_eq!(stats.latency_quantile(0.5), None);
         assert_eq!(stats.accepted_flits_per_cycle_per_node(4), 0.0);
         assert_eq!(stats.peak_link_utilization(2), 0.0);
+        assert_eq!(stats.latency_histogram().min(), None);
+        assert_eq!(stats.latency_histogram().max(), None);
     }
 
     #[test]
     fn record_lookup_by_id() {
-        let mut stats = NocStats::new(4);
+        let mut stats = NocStats::new(4, 1024);
         stats.add_record(record(7, 3, Some(50)));
         assert_eq!(stats.record(PacketId(7)).unwrap().sent, 3);
         assert!(stats.record(PacketId(8)).is_none());
+        assert!(stats.record(PacketId(6)).is_none());
         assert_eq!(stats.record(PacketId(7)).unwrap().latency(), 47);
         assert_eq!(stats.record(PacketId(7)).unwrap().network_latency(), 45);
         assert_eq!(stats.record(PacketId(7)).unwrap().routers_on_path(), 3);
+    }
+
+    #[test]
+    fn window_bounds_retained_records_but_keeps_aggregates() {
+        let window = 8;
+        let mut stats = NocStats::new(4, window);
+        for i in 0..1000u64 {
+            add(&mut stats, record(i, 0, Some(i + 10)));
+        }
+        assert!(stats.records().len() <= window);
+        // The window holds the most recent packets in submission order.
+        let ids: Vec<u64> = stats.records().iter().map(|r| r.id.0).collect();
+        assert_eq!(ids.last(), Some(&999));
+        assert!(ids.windows(2).all(|w| w[1] == w[0] + 1));
+        // Old ids are gone, recent ones resolve.
+        assert!(stats.record(PacketId(0)).is_none());
+        assert!(stats.record(PacketId(999)).is_some());
+        assert!(stats.evicted_records() >= 1000 - 2 * window as u64);
+        // Aggregates still cover the whole run.
+        assert_eq!(stats.latency_histogram().count(), 1000);
+        assert_eq!(stats.latency_quantile(0.0), Some(10));
+        assert_eq!(stats.latency_quantile(1.0), Some(1009));
+    }
+
+    #[test]
+    fn quantiles_beyond_histogram_range_clamp_to_max() {
+        let mut h = LatencyHistogram::default();
+        h.observe(5);
+        h.observe(1_000_000);
+        assert_eq!(h.quantile(0.0), Some(5));
+        assert_eq!(h.quantile(1.0), Some(1_000_000));
+        assert_eq!(h.max(), Some(1_000_000));
+        assert_eq!(h.count(), 2);
     }
 
     #[test]

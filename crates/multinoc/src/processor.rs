@@ -301,6 +301,64 @@ impl ProcessorIp {
         self.dedup.duplicates()
     }
 
+    /// The earliest future cycle at which this IP has work to do without
+    /// receiving anything — the soonest retransmission deadline of its
+    /// reliability layer or pending request. `Some(now)` means it is
+    /// busy right now; `None` means only external input (a delivered
+    /// packet) can wake it. Drives the system's idle fast-forward.
+    pub(crate) fn next_deadline(&self, now: u64) -> Option<u64> {
+        if self.status() == ProcessorStatus::Running {
+            return Some(now);
+        }
+        // A satisfied wait releases the core on its very next step.
+        match self.wait {
+            WaitState::Internal(n) | WaitState::External(n) => {
+                if self.notifies.get(&n).copied().unwrap_or(0) > 0 {
+                    return Some(now);
+                }
+            }
+            WaitState::None => {}
+        }
+        let mut deadline = self.reliable.next_deadline();
+        match &self.pending {
+            NetPending::RemoteRead(req) | NetPending::Scanf(req) => {
+                let d = self.reliable.request_deadline(req);
+                deadline = Some(deadline.map_or(d, |cur| cur.min(d)));
+            }
+            // A completed read or scanf is collected by the core on its
+            // next retry: work right now.
+            NetPending::RemoteReadDone(_) | NetPending::ScanfDone(_) => return Some(now),
+            NetPending::Idle => {}
+        }
+        deadline
+    }
+
+    /// Whether stepping this IP this cycle can have any effect: only
+    /// false for cores that cannot execute (inactive, halted, faulted)
+    /// with a quiet reliability layer. The caller must separately ensure
+    /// no packet is waiting at this IP's router.
+    pub(crate) fn can_skip_cycle(&self, now: u64) -> bool {
+        matches!(
+            self.status(),
+            ProcessorStatus::Inactive | ProcessorStatus::Halted | ProcessorStatus::Faulted
+        ) && self.next_deadline(now).is_none()
+    }
+
+    /// Books `cycles` the kernel skipped over into the utilization
+    /// category the processor currently occupies — exactly what per-cycle
+    /// sampling would have recorded, since a skipped processor cannot
+    /// change state.
+    pub(crate) fn credit_skipped(&mut self, cycles: u64) {
+        match self.status() {
+            ProcessorStatus::Running => self.utilization.running += cycles,
+            ProcessorStatus::Blocked => self.utilization.blocked += cycles,
+            ProcessorStatus::Halted => self.utilization.halted += cycles,
+            ProcessorStatus::Inactive | ProcessorStatus::Faulted => {
+                self.utilization.idle += cycles;
+            }
+        }
+    }
+
     /// One clock step: service the network, then (at the pace set by
     /// instruction timing) the core.
     ///
@@ -503,7 +561,7 @@ impl CtrlBus<'_, '_> {
     /// Transmits a request whose response is its implicit ack, returning
     /// the pending-request state to park in `NetPending`.
     fn start_request(&mut self, dest: RouterAddr, request: Service) -> PendingRequest {
-        let seq = self.reliable.alloc_seq();
+        let seq = self.reliable.alloc_seq(dest);
         if let Err(e) = self.net.send_seq(dest, request.clone(), seq) {
             self.error.get_or_insert(e);
         }

@@ -115,6 +115,8 @@ struct Inflight {
 #[derive(Debug)]
 struct DestQueue {
     dest: RouterAddr,
+    /// Next sequence number for this destination (never 0).
+    next_seq: u16,
     inflight: Option<Inflight>,
     backlog: VecDeque<(u16, Service)>,
 }
@@ -124,7 +126,6 @@ struct DestQueue {
 pub struct ReliableSender {
     node: NodeId,
     policy: RetryPolicy,
-    next_seq: u16,
     /// `Vec`, not a map: iteration order must be deterministic.
     queues: Vec<DestQueue>,
     counters: RetryCounters,
@@ -141,7 +142,6 @@ impl ReliableSender {
         Self {
             node,
             policy: RetryPolicy::default(),
-            next_seq: 1,
             queues: Vec::new(),
             counters: RetryCounters::default(),
             last_epoch: 0,
@@ -165,10 +165,24 @@ impl ReliableSender {
         self.counters
     }
 
-    /// Allocates the next non-zero sequence number.
-    pub fn alloc_seq(&mut self) -> u16 {
-        let seq = self.next_seq;
-        self.next_seq = self.next_seq.checked_add(1).unwrap_or(1);
+    /// Allocates the next non-zero sequence number for messages to
+    /// `dest`.
+    ///
+    /// Sequence numbers count *per destination*, not globally. The
+    /// receiving [`DedupReceiver`] remembers only the latest number per
+    /// peer, and a per-destination counter steps by exactly one between
+    /// a peer's consecutive messages, so a fresh message can never
+    /// collide with the remembered one — not even after the counter
+    /// wraps. (A single shared counter had exactly that bug: traffic to
+    /// other destinations could wrap it back onto a peer's remembered
+    /// number, and the next fresh message to that peer was then refused
+    /// as a duplicate forever while still being acknowledged — silent
+    /// message loss.)
+    pub fn alloc_seq(&mut self, dest: RouterAddr) -> u16 {
+        let i = self.queue_idx(dest);
+        let q = &mut self.queues[i];
+        let seq = q.next_seq;
+        q.next_seq = q.next_seq.checked_add(1).unwrap_or(1);
         seq
     }
 
@@ -185,6 +199,7 @@ impl ReliableSender {
         }
         self.queues.push(DestQueue {
             dest,
+            next_seq: 1,
             inflight: None,
             backlog: VecDeque::new(),
         });
@@ -207,7 +222,7 @@ impl ReliableSender {
     ) -> Result<u16, SystemError> {
         self.note_epoch(net, now);
         let node = self.node;
-        let seq = self.alloc_seq();
+        let seq = self.alloc_seq(dest);
         self.counters.sent += 1;
         let i = self.queue_idx(dest);
         if self.queues[i].inflight.is_none() {
@@ -294,6 +309,31 @@ impl ReliableSender {
             self.counters.retransmissions += 1;
         }
         Ok(())
+    }
+
+    /// The earliest cycle at which [`poll`](Self::poll) has work to do —
+    /// the soonest retransmission deadline among in-flight messages.
+    /// `None` when nothing is in flight, so the sender can sleep until
+    /// something external wakes it. Drives the system's idle
+    /// fast-forward.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.queues
+            .iter()
+            .filter_map(|q| q.inflight.as_ref())
+            .map(|inf| {
+                inf.sent_at
+                    .saturating_add(self.policy.timeout_for(inf.attempt - 1))
+            })
+            .min()
+    }
+
+    /// The cycle at which `pending` times out and will be retransmitted
+    /// by [`poll_request`](Self::poll_request) under this sender's
+    /// policy.
+    pub fn request_deadline(&self, pending: &PendingRequest) -> u64 {
+        pending
+            .sent_at
+            .saturating_add(self.policy.timeout_for(pending.attempt.saturating_sub(1)))
     }
 
     /// Observes the network's reconfiguration epoch. On a change, every
@@ -516,11 +556,68 @@ mod tests {
     }
 
     #[test]
-    fn seq_allocation_skips_zero() {
+    fn seq_allocation_is_per_destination_and_skips_zero() {
         let mut s = ReliableSender::new(NodeId(1));
-        s.next_seq = u16::MAX;
-        assert_eq!(s.alloc_seq(), u16::MAX);
-        assert_eq!(s.alloc_seq(), 1, "wraps past the reserved 0");
+        let a = RouterAddr::new(0, 0);
+        let b = RouterAddr::new(1, 1);
+        assert_eq!(s.alloc_seq(a), 1);
+        assert_eq!(s.alloc_seq(a), 2);
+        assert_eq!(s.alloc_seq(b), 1, "destinations count independently");
+        let i = s.queue_idx(a);
+        s.queues[i].next_seq = u16::MAX;
+        assert_eq!(s.alloc_seq(a), u16::MAX);
+        assert_eq!(s.alloc_seq(a), 1, "wraps past the reserved 0");
+        assert_eq!(s.alloc_seq(b), 2, "the wrap did not disturb b");
+    }
+
+    #[test]
+    fn wraparound_cannot_collide_with_a_peers_remembered_seq() {
+        // Regression: with one counter shared across destinations,
+        // traffic to other peers could wrap it back onto the last number
+        // some peer had seen; the next fresh message to that peer then
+        // reused the remembered number and the receiver refused it as a
+        // duplicate forever — while still acknowledging it, so the loss
+        // was silent. Per-destination counters step by exactly one
+        // between a peer's consecutive messages, so fresh never equals
+        // remembered, all the way around the sequence space.
+        let mut s = ReliableSender::new(NodeId(1));
+        let mut d = DedupReceiver::new();
+        let peer = RouterAddr::new(1, 1);
+        let elsewhere = RouterAddr::new(0, 1);
+        let mut last = s.alloc_seq(peer);
+        assert!(d.accept(peer, last));
+        for _ in 0..(usize::from(u16::MAX) + 10) {
+            // The old counter's poison: interleaved traffic elsewhere.
+            let _ = s.alloc_seq(elsewhere);
+            let seq = s.alloc_seq(peer);
+            assert_ne!(seq, 0, "0 stays reserved for unsequenced traffic");
+            assert_ne!(seq, last, "consecutive seqs to one peer repeated");
+            assert!(d.accept(peer, seq), "fresh message refused as duplicate");
+            last = seq;
+        }
+    }
+
+    #[test]
+    fn deadlines_follow_the_backoff_schedule() {
+        let mut noc = mesh();
+        let here = RouterAddr::new(0, 0);
+        let dest = RouterAddr::new(1, 1);
+        let mut sender = ReliableSender::new(NodeId(0)).with_policy(RetryPolicy {
+            base_timeout: 100,
+            max_retries: 5,
+        });
+        assert_eq!(sender.next_deadline(), None, "idle sender never wakes");
+        let mut net = NetPort::new(&mut noc, here);
+        sender
+            .send(&mut net, dest, Service::Notify { from: 0 }, 40)
+            .expect("send");
+        assert_eq!(sender.next_deadline(), Some(140));
+        // After the first retransmission the backoff doubles.
+        sender.poll(&mut net, 140).expect("poll");
+        assert_eq!(sender.counters().retransmissions, 1);
+        assert_eq!(sender.next_deadline(), Some(140 + 200));
+        let req = PendingRequest::new(dest, 9, Service::Scanf, 1_000);
+        assert_eq!(sender.request_deadline(&req), 1_100);
     }
 
     #[test]

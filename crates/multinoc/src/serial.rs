@@ -121,6 +121,27 @@ impl SerialLink {
     pub fn is_idle(&self) -> bool {
         self.to_device.is_idle() && self.to_host.is_idle()
     }
+
+    /// The earliest cycle at which this link does clocked work: `now`
+    /// when received bytes already await the serial IP, otherwise the
+    /// soonest baud tick that moves a byte in flight. `None` when the
+    /// link needs no simulation cycles — bytes already delivered to the
+    /// host side wait on the host program, not on the clock. Drives the
+    /// system's idle fast-forward.
+    pub(crate) fn next_deadline(&self, now: u64) -> Option<u64> {
+        let mut deadline = None;
+        let mut note = |c: u64| deadline = Some(deadline.map_or(c, |cur: u64| cur.min(c)));
+        if !self.to_device.ready.is_empty() {
+            note(now); // the serial IP drains these on its next step
+        }
+        if !self.to_device.in_flight.is_empty() {
+            note(self.to_device.next_deliver);
+        }
+        if !self.to_host.in_flight.is_empty() {
+            note(self.to_host.next_deliver);
+        }
+        deadline
+    }
 }
 
 /// The synchronization byte the host sends first so the prototype can

@@ -83,6 +83,20 @@ impl SerialIp {
         self.reliable.counters()
     }
 
+    /// The earliest future cycle this IP's reliability timers fire, or
+    /// `None` when nothing is in flight. Scanfs pending at the host have
+    /// no deadline — only host bytes can answer them, and those wake the
+    /// system through the serial link. Drives the system's idle
+    /// fast-forward.
+    pub(crate) fn next_deadline(&self) -> Option<u64> {
+        let mut deadline = self.reliable.next_deadline();
+        for req in &self.pending_reads {
+            let d = self.reliable.request_deadline(req);
+            deadline = Some(deadline.map_or(d, |cur| cur.min(d)));
+        }
+        deadline
+    }
+
     /// One clock step: disassemble NoC packets into host frames and
     /// assemble complete host commands into NoC packets.
     ///
@@ -209,7 +223,7 @@ impl SerialIp {
                     addr,
                     count: u16::from(count),
                 };
-                let seq = self.reliable.alloc_seq();
+                let seq = self.reliable.alloc_seq(dest);
                 net.send_seq(dest, request.clone(), seq)?;
                 self.pending_reads
                     .push(PendingRequest::new(dest, seq, request, now));

@@ -398,6 +398,15 @@ impl System {
             let Some(addr) = self.table.router_of(node) else {
                 continue; // vacated slot
             };
+            // A core that cannot execute (inactive, halted, faulted) with
+            // a quiet reliability layer and nothing delivered at its
+            // router has nothing to do: book the cycle and move on.
+            if let Ip::Processor(p) = &mut self.ips[idx] {
+                if p.can_skip_cycle(now) && self.noc.pending_recv(addr) == 0 {
+                    p.credit_skipped(1);
+                    continue;
+                }
+            }
             let observer = crate::net::Observer {
                 node,
                 now,
@@ -429,13 +438,90 @@ impl System {
         Ok(())
     }
 
-    /// Runs for exactly `cycles` clock cycles.
+    /// Cycles the whole system can provably sleep through: the network
+    /// holds no traffic, the serial link no due byte, and every IP is
+    /// parked on a timer (retransmission backoff, a pending request, a
+    /// baud tick) or waiting for input that cannot arrive on its own.
+    /// Returns the length of the gap up to (but excluding) the earliest
+    /// deadline, or `None` when something has work right now — or when
+    /// no deadline exists at all, in which case only the run loops'
+    /// exit conditions can end the wait.
+    fn skippable_gap(&self) -> Option<u64> {
+        if !self.noc.is_idle() || !self.noc.delivered_empty() {
+            return None;
+        }
+        // A plan-stalled router is charged stall cycles every cycle of
+        // its window; jumping over them would miss that accounting.
+        if self
+            .noc
+            .fault_plan()
+            .is_some_and(hermes_noc::FaultPlan::has_router_stalls)
+        {
+            return None;
+        }
+        let now = self.noc.cycle();
+        let mut deadline: Option<u64> = None;
+        let mut note = |d: u64| deadline = Some(deadline.map_or(d, |cur: u64| cur.min(d)));
+        if let Some(d) = self.link.next_deadline(now) {
+            note(d);
+        }
+        for ip in &self.ips {
+            match ip {
+                Ip::Processor(p) => {
+                    if let Some(d) = p.next_deadline(now) {
+                        note(d);
+                    }
+                }
+                Ip::Serial(s) => {
+                    if let Some(d) = s.next_deadline() {
+                        note(d);
+                    }
+                }
+                Ip::Memory(_) | Ip::Vacant => {} // purely reactive
+            }
+        }
+        // The step that observes cycle `d` begins by advancing the NoC
+        // clock, so the clock parks at `d - 1`.
+        deadline?
+            .saturating_sub(1)
+            .checked_sub(now)
+            .filter(|&g| g > 0)
+    }
+
+    /// When nothing observable can happen before the next timer deadline,
+    /// jumps the clock to just before it instead of burning the cycles
+    /// one by one, crediting every processor's utilization as per-cycle
+    /// sampling would have. Bounded by `limit` so cycle budgets keep
+    /// their meaning. The observable simulation is unchanged — only the
+    /// wall-clock cost of crossing the gap.
+    fn fast_forward_idle_gap(&mut self, limit: u64) {
+        if limit <= 1 {
+            return;
+        }
+        let Some(gap) = self.skippable_gap() else {
+            return;
+        };
+        let gap = gap.min(limit - 1);
+        self.noc.advance_idle(gap);
+        for ip in &mut self.ips {
+            if let Ip::Processor(p) = ip {
+                p.credit_skipped(gap);
+            }
+        }
+    }
+
+    /// Runs for exactly `cycles` clock cycles, [fast-forwarding]
+    /// timer-bound idle gaps.
+    ///
+    /// [fast-forwarding]: Self::fast_forward_idle_gap
     ///
     /// # Errors
     ///
     /// Propagates the first [`SystemError`] from [`step`](Self::step).
     pub fn run(&mut self, cycles: u64) -> Result<(), SystemError> {
-        for _ in 0..cycles {
+        let start = self.cycle();
+        while self.cycle() - start < cycles {
+            self.fast_forward_idle_gap(cycles - (self.cycle() - start));
             self.step()?;
         }
         Ok(())
@@ -487,14 +573,24 @@ impl System {
         let hops = self.noc.stats().flit_hops;
         let epoch = self.noc.current_epoch();
         let settled = self.noc.reconfiguration_settled();
+        let idle = self.noc.is_idle();
         let (window, last_change) = match &mut self.watchdog {
             None => return Ok(()),
             Some(w) => {
-                if hops != w.last_hops || epoch != w.last_epoch {
+                // An idle network is not a stalled one: the dead-link
+                // window measures contiguous cycles of flits in flight
+                // making no progress. Without this reset, a long quiet
+                // stretch (e.g. a command trickling in over a slow
+                // serial link) counts toward the window, and the first
+                // packet injected afterwards draws an instant DeadLink
+                // verdict before it has moved a single hop.
+                if hops != w.last_hops || epoch != w.last_epoch || idle {
                     w.last_hops = hops;
                     w.last_epoch = epoch;
                     w.last_change = now;
-                    return Ok(());
+                    if !idle {
+                        return Ok(());
+                    }
                 }
                 (w.window, w.last_change)
             }
@@ -506,7 +602,7 @@ impl System {
         if !settled {
             return Ok(());
         }
-        if !self.noc.is_idle() {
+        if !idle {
             let stalled_for = now - last_change;
             if stalled_for >= window {
                 return Err(SystemError::DeadLink { stalled_for });
@@ -573,6 +669,7 @@ impl System {
                     waiting_for: "all processors to halt",
                 });
             }
+            self.fast_forward_idle_gap(budget - (self.cycle() - start));
             self.step()?;
         }
     }
@@ -803,6 +900,7 @@ impl System {
                     waiting_for: "system to go idle",
                 });
             }
+            self.fast_forward_idle_gap(budget - (self.cycle() - start));
             self.step()?;
         }
     }
@@ -1243,6 +1341,37 @@ mod tests {
             "the epoch change reset the retry clock: {counters}"
         );
         assert!(sys.degradation_report().starts_with("degraded: dead links"));
+    }
+
+    #[test]
+    fn long_quiet_startup_does_not_trip_the_watchdog() {
+        // Regression: the dead-link window must measure contiguous
+        // non-idle stall, not wall-clock since the last hop. At real
+        // baud rates the Activate command takes > WATCHDOG_WINDOW
+        // cycles to trickle over the serial link; the first packet the
+        // serial IP then injects used to draw an instant DeadLink
+        // verdict before moving a single hop.
+        use crate::serial::{HostCommand, SerialConfig, SYNC_BYTE};
+        let mut sys = System::builder()
+            .noc(NocConfig::multinoc())
+            .serial(SerialConfig::from_baud(25.0e6, 115_200.0))
+            .serial_at(RouterAddr::new(0, 0))
+            .processor_at(RouterAddr::new(0, 1))
+            .processor_at(RouterAddr::new(1, 0))
+            .memory_at(RouterAddr::new(1, 1))
+            .build()
+            .unwrap();
+        // Any fault plan arms the watchdog; inject nothing.
+        sys.set_fault_plan(FaultPlan::new(1));
+        let program = assemble("LIW R1, 1\nHALT").unwrap();
+        sys.memory_mut(PROCESSOR_1)
+            .unwrap()
+            .write_block(0, program.words());
+        sys.link_mut().host_send(&[SYNC_BYTE]);
+        sys.link_mut()
+            .host_send(&HostCommand::Activate { node: 1 }.to_bytes());
+        sys.run_until_halted(1_000_000)
+            .expect("a slow serial link is idle time, not a dead link");
     }
 
     #[test]

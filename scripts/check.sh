@@ -14,11 +14,19 @@ echo "=== cargo clippy (deny warnings) ==="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "=== cargo test ==="
+# Includes the differential kernel suites: hermes/tests/kernel_equivalence.rs
+# (active-set kernel vs reference full scan, cycle-identical) and
+# multinoc/tests/fast_forward_equivalence.rs (idle fast-forward vs
+# single-stepping).
 cargo test -q --offline --workspace
 
 echo "=== fault-injection smoke checks (fixed seed) ==="
 cargo run --release -q --offline -p multinoc-bench --bin exp_fault_sweep > /dev/null
 cargo run --release -q --offline -p multinoc-bench --bin exp_degradation > /dev/null
 echo "exp_fault_sweep and exp_degradation deterministic and green"
+
+echo "=== kernel-performance smoke check (differential, fixed seed) ==="
+EXP_PERF_SMOKE=1 cargo run --release -q --offline -p multinoc-bench --bin exp_perf > /dev/null
+echo "exp_perf kernels agree on all workloads"
 
 echo "all checks passed"

@@ -27,6 +27,7 @@ experiments=(
     exp_routing
     exp_fault_sweep
     exp_degradation
+    exp_perf
 )
 
 cargo build --release -p multinoc-bench --bins
