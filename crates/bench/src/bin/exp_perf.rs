@@ -12,6 +12,14 @@
 //! Wall-clock rates vary with the machine; the simulated outcomes do
 //! not. The machine-readable summary lands in `BENCH_perf.json`.
 //!
+//! A second section sweeps `KernelMode::Parallel` over 1/2/4/8 worker
+//! threads on an idle-heavy 16×16 mesh and a saturated 32×32
+//! sea-of-processors mesh, again asserting bit-identical observables
+//! against the sequential kernel before recording any rate. Thread
+//! speedups are *observations* of this host (recorded with its CPU
+//! count in `BENCH_parallel.json`), never assertions — a single-core CI
+//! runner legitimately reports ≤1×.
+//!
 //! Run with `cargo run --release -p multinoc-bench --bin exp_perf`
 //! (set `EXP_PERF_SMOKE=1` for the fast CI variant).
 
@@ -139,6 +147,70 @@ fn degraded(kernel: KernelMode, cycles: u64) -> Measured {
     Measured {
         fingerprint: Fingerprint::of(&noc),
         seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Uniform random traffic on a 32×32 sea-of-processors mesh (10-bit
+/// flits so 32 rows and columns stay addressable): every row has work
+/// almost every cycle — the regime the row-sharded parallel kernel is
+/// built for.
+fn sea_saturated(kernel: KernelMode, cycles: u64) -> Measured {
+    let config = NocConfig::mesh(32, 32)
+        .with_flit_bits(10)
+        .with_kernel_mode(kernel);
+    let mut noc = Noc::new(config).expect("valid mesh");
+    let mut gen = TrafficGen::new(Pattern::Uniform, 0.2, 4, SEED ^ 0x5EA);
+    let start = Instant::now();
+    gen.drive(&mut noc, cycles, 1_000_000).expect("drive");
+    Measured {
+        fingerprint: Fingerprint::of(&noc),
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Thread counts the parallel sweep covers.
+const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct ParallelRow {
+    name: &'static str,
+    detail: String,
+    cycles: u64,
+    /// Sequential active-set kernel, the speedup baseline.
+    active_cps: f64,
+    /// `(threads, cycles_per_sec)` for each sweep point.
+    per_threads: Vec<(usize, f64)>,
+}
+
+/// Runs `run` under the sequential kernel and under the parallel kernel
+/// at every sweep thread count, asserting all fingerprints identical
+/// before any rate is recorded.
+fn sweep(
+    name: &'static str,
+    detail: String,
+    cycles: u64,
+    run: impl Fn(KernelMode, u64) -> Measured,
+) -> ParallelRow {
+    let active = run(KernelMode::Active, cycles);
+    let per_threads = SWEEP_THREADS
+        .iter()
+        .map(|&threads| {
+            let parallel = run(KernelMode::Parallel { threads }, cycles);
+            assert_eq!(
+                active.fingerprint, parallel.fingerprint,
+                "{name}: parallel kernel at {threads} threads disagrees on the simulated outcome"
+            );
+            (
+                threads,
+                parallel.fingerprint.cycles as f64 / parallel.seconds,
+            )
+        })
+        .collect();
+    ParallelRow {
+        name,
+        detail,
+        cycles: active.fingerprint.cycles,
+        active_cps: active.fingerprint.cycles as f64 / active.seconds,
+        per_threads,
     }
 }
 
@@ -309,6 +381,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let _ = writeln!(out, "               ({})", r.detail);
     }
 
+    // Parallel-kernel thread sweep: observations, not assertions — the
+    // only hard requirement is bit-identical simulated outcomes, checked
+    // inside `sweep` before any rate is recorded.
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let parallel_rows = vec![
+        sweep(
+            "idle_heavy_16x16",
+            "16x16 mesh, 4-packet burst every 4k cycles".into(),
+            20_000 * scale,
+            idle_heavy,
+        ),
+        sweep(
+            "sea_saturated_32x32",
+            "32x32 mesh (10-bit flits), uniform traffic at 0.2 flits/node/cycle".into(),
+            1_500 * scale,
+            sea_saturated,
+        ),
+    ];
+    let _ = writeln!(
+        out,
+        "\n  parallel kernel thread sweep (host has {host_cpus} CPU(s);\n\
+         speedups are wall-clock observations on this host):"
+    );
+    for r in &parallel_rows {
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>12} cycles, active {:>12.0} c/s",
+            r.name, r.cycles, r.active_cps
+        );
+        for &(threads, cps) in &r.per_threads {
+            let _ = writeln!(
+                out,
+                "    {threads} thread(s): {cps:>12.0} c/s ({:.2}x vs active)",
+                cps / r.active_cps
+            );
+        }
+        let _ = writeln!(out, "               ({})", r.detail);
+    }
+
     // System-level idle fast-forward: same workload, stepped vs jumped.
     let runs = 4 * scale;
     let (mut ff_cycles, mut ff_secs) = (0u64, 0.0f64);
@@ -398,7 +511,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str("}\n");
 
     std::fs::write("BENCH_perf.json", &json)?;
+
+    let mut pjson = String::from("{\n");
+    let _ = writeln!(
+        pjson,
+        "  \"experiment\": \"E20 parallel-kernel thread sweep\","
+    );
+    let _ = writeln!(pjson, "  \"seed\": {SEED},");
+    let _ = writeln!(pjson, "  \"scale\": {scale},");
+    let _ = writeln!(pjson, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(
+        pjson,
+        "  \"note\": \"all kernels asserted bit-identical before any rate; \
+         speedups are wall-clock observations of this host, not assertions\","
+    );
+    let _ = writeln!(pjson, "  \"workloads\": [");
+    for (i, r) in parallel_rows.iter().enumerate() {
+        let _ = writeln!(
+            pjson,
+            "    {{\"name\": \"{}\", \"cycles\": {}, \"active_cycles_per_sec\": {:.0},",
+            r.name, r.cycles, r.active_cps
+        );
+        let _ = writeln!(pjson, "     \"threads\": [");
+        for (j, &(threads, cps)) in r.per_threads.iter().enumerate() {
+            let _ = writeln!(
+                pjson,
+                "       {{\"threads\": {threads}, \"cycles_per_sec\": {cps:.0}, \
+                 \"speedup_vs_active\": {:.3}}}{}",
+                cps / r.active_cps,
+                if j + 1 < r.per_threads.len() { "," } else { "" },
+            );
+        }
+        let _ = writeln!(
+            pjson,
+            "     ]}}{}",
+            if i + 1 < parallel_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(pjson, "  ]");
+    pjson.push_str("}\n");
+    std::fs::write("BENCH_parallel.json", &pjson)?;
+
     print!("{out}");
-    println!("\nMachine-readable summary written to BENCH_perf.json");
+    println!("\nMachine-readable summaries written to BENCH_perf.json and BENCH_parallel.json");
     Ok(())
 }

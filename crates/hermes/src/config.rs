@@ -4,10 +4,11 @@ use crate::arbiter::Arbitration;
 use crate::error::ConfigError;
 use crate::routing::Routing;
 
-/// Which stepping kernel [`Noc::step`](crate::Noc::step) uses. Both
+/// Which stepping kernel [`Noc::step`](crate::Noc::step) uses. All
 /// kernels are cycle-for-cycle identical in every observable outcome
 /// (delivery cycles, statistics, fault counters, random fault decisions);
-/// they differ only in how much work an idle region of the mesh costs.
+/// they differ only in how much work a cycle costs — skipping idle
+/// regions (`Active`) or spreading the scan across cores (`Parallel`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum KernelMode {
     /// Quiescence-aware kernel (the default): routers and endpoints with
@@ -20,6 +21,35 @@ pub enum KernelMode {
     /// visited in all four phases on every cycle. Kept as the reference
     /// for differential testing of the active-set kernel.
     Reference,
+    /// Multi-threaded full-scan kernel: the mesh is sharded row-wise
+    /// across a persistent pool of `threads` workers that execute the
+    /// same two-phase decide/commit cycle as the sequential kernels,
+    /// synchronised by barriers. Bit-identical to `Active` and
+    /// `Reference` in every observable; worthwhile only on meshes large
+    /// enough to amortise the barrier cost (16×16 and up).
+    Parallel {
+        /// Number of worker threads (the calling thread is one of them);
+        /// must be at least 1.
+        threads: usize,
+    },
+}
+
+impl KernelMode {
+    /// A reasonable kernel for a `width`×`height` mesh on this host:
+    /// the sequential active-set kernel for small meshes, the parallel
+    /// kernel (one thread per available core, capped at 8) once the mesh
+    /// is large enough to amortise per-cycle barrier synchronisation.
+    pub fn auto(width: u8, height: u8) -> Self {
+        let routers = usize::from(width) * usize::from(height);
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        if routers >= 256 && cores > 1 {
+            KernelMode::Parallel {
+                threads: cores.min(8).min(usize::from(height).max(1)),
+            }
+        } else {
+            KernelMode::Active
+        }
+    }
 }
 
 /// Parameters of a Hermes NoC instance.
@@ -202,6 +232,9 @@ impl NocConfig {
         if self.stats_window == 0 {
             return Err(ConfigError::ZeroStatsWindow);
         }
+        if let KernelMode::Parallel { threads: 0 } = self.kernel {
+            return Err(ConfigError::ZeroThreads);
+        }
         Ok(())
     }
 
@@ -278,6 +311,16 @@ mod tests {
             NocConfig::mesh(2, 2).with_stats_window(0).validate(),
             Err(ConfigError::ZeroStatsWindow)
         );
+        assert_eq!(
+            NocConfig::mesh(2, 2)
+                .with_kernel_mode(KernelMode::Parallel { threads: 0 })
+                .validate(),
+            Err(ConfigError::ZeroThreads)
+        );
+        assert!(NocConfig::mesh(2, 2)
+            .with_kernel_mode(KernelMode::Parallel { threads: 4 })
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -291,6 +334,25 @@ mod tests {
         assert_eq!(c.kernel, KernelMode::Reference);
         assert_eq!(c.stats_window, 7);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn auto_kernel_is_sequential_on_small_meshes() {
+        assert_eq!(KernelMode::auto(2, 2), KernelMode::Active);
+        assert_eq!(KernelMode::auto(4, 4), KernelMode::Active);
+        // Large meshes pick Parallel only on multi-core hosts; either way
+        // the choice must validate.
+        let big = KernelMode::auto(16, 16);
+        assert!(
+            NocConfig::mesh(16, 16)
+                .with_kernel_mode(big)
+                .validate()
+                .is_ok(),
+            "auto kernel {big:?} must be valid"
+        );
+        if let KernelMode::Parallel { threads } = big {
+            assert!(threads >= 1);
+        }
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub enum ConfigError {
     ZeroFaultThreshold,
     /// The statistics must retain at least one recent packet record.
     ZeroStatsWindow,
+    /// The parallel kernel needs at least one worker thread.
+    ZeroThreads,
 }
 
 impl fmt::Display for ConfigError {
@@ -56,6 +58,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroStatsWindow => {
                 write!(f, "statistics window must retain at least 1 record")
+            }
+            ConfigError::ZeroThreads => {
+                write!(f, "parallel kernel needs at least 1 thread")
             }
         }
     }

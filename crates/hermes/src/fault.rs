@@ -20,14 +20,19 @@
 //!   connections for a cycle window (established connections keep
 //!   forwarding, as in a control-path-only fault).
 //!
-//! All randomness comes from the in-tree SplitMix64 generator seeded by
-//! the plan, so two runs with the same plan and workload are identical,
-//! flit for flit. Outcomes are counted in
-//! [`FaultCounters`](crate::stats::FaultCounters).
+//! All randomness comes from the in-tree counter-based generator
+//! ([`prng::CounterRng`]) seeded by the plan: every decision is a pure
+//! function of `(plan seed, fault site, cycle)`, where the site is the
+//! router (for drops) or directed link (for corruption) involved. Two
+//! runs with the same plan and workload are identical flit for flit,
+//! *regardless of the order routers are stepped in* — which is what lets
+//! the parallel kernel shard the mesh without perturbing fault outcomes.
+//! Outcomes are counted in [`FaultCounters`](crate::stats::FaultCounters).
 
-use prng::Rng64;
+use prng::CounterRng;
 
 use crate::addr::{Port, RouterAddr};
+use crate::stats::LinkId;
 
 /// A half-open cycle interval `[from, until)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +70,7 @@ impl CycleWindow {
 
 /// A directed inter-router link taken down for a window. The link is
 /// identified by its upstream router and output port, matching
-/// [`LinkId`](crate::stats::LinkId).
+/// [`LinkId`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkOutage {
     /// Upstream router of the affected link.
@@ -194,17 +199,41 @@ impl Default for FaultPlan {
 }
 
 /// The runtime state evaluating a [`FaultPlan`] inside the simulator.
+///
+/// Every random decision is a pure function of the plan seed, a *site*
+/// (the router or directed link the fault would hit) and the cycle, so
+/// the injector is shared immutably across shards by the parallel kernel
+/// and the order in which sites are polled is irrelevant. Each site makes
+/// at most one roll of each kind per cycle (a router considers at most
+/// one new packet per cycle for dropping; a link carries at most one flit
+/// per cycle), so `(site, cycle)` uniquely identifies a draw.
 #[derive(Debug, Clone)]
 pub(crate) struct FaultInjector {
     plan: FaultPlan,
-    rng: Rng64,
+    rng: CounterRng,
+}
+
+/// Stream-tag kinds keeping the three decision families decorrelated
+/// even when router and link site ids collide numerically.
+const STREAM_DROP: u64 = 1 << 32;
+const STREAM_CORRUPT: u64 = 2 << 32;
+const STREAM_CORRUPT_BIT: u64 = 3 << 32;
+
+/// Dense per-router site id (coordinates fit in a `u8` each).
+fn router_site(at: RouterAddr) -> u64 {
+    (u64::from(at.x()) << 8) | u64::from(at.y())
+}
+
+/// Dense per-directed-link site id.
+fn link_site(link: LinkId) -> u64 {
+    router_site(link.0) * 8 + link.1.index() as u64
 }
 
 impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Self {
-        // A private substream keeps fault decisions decorrelated from
-        // any traffic generator sharing the same seed.
-        let rng = Rng64::new(plan.seed).fork(prng::hash_str("hermes-fault-injector"));
+        // A private key derivation keeps fault decisions decorrelated
+        // from any traffic generator sharing the same seed.
+        let rng = CounterRng::new(plan.seed ^ prng::hash_str("hermes-fault-injector"));
         Self { plan, rng }
     }
 
@@ -228,24 +257,37 @@ impl FaultInjector {
             .any(|s| s.router == router && s.window.contains(now))
     }
 
-    /// Rolls the per-packet-per-hop drop decision at cycle `now`.
-    pub fn roll_drop(&mut self, now: u64) -> bool {
+    /// Rolls the drop decision for the packet router `at` would grant a
+    /// connection to at cycle `now`.
+    pub fn roll_drop(&self, at: RouterAddr, now: u64) -> bool {
         self.plan.drop_rate > 0.0
             && self.plan.drop_window.is_none_or(|w| w.contains(now))
-            && self.rng.chance(self.plan.drop_rate)
+            && self
+                .rng
+                .chance(STREAM_DROP | router_site(at), now, self.plan.drop_rate)
     }
 
-    /// Rolls the per-transfer corruption decision at cycle `now`.
-    pub fn roll_corrupt(&mut self, now: u64) -> bool {
+    /// Rolls the corruption decision for the flit crossing `link` at
+    /// cycle `now`.
+    pub fn roll_corrupt(&self, link: LinkId, now: u64) -> bool {
         self.plan.corrupt_rate > 0.0
             && self.plan.corrupt_window.is_none_or(|w| w.contains(now))
-            && self.rng.chance(self.plan.corrupt_rate)
+            && self.rng.chance(
+                STREAM_CORRUPT | link_site(link),
+                now,
+                self.plan.corrupt_rate,
+            )
     }
 
     /// Returns `value` with one random bit (within `flit_bits`) flipped;
-    /// the result always differs from the input.
-    pub fn corrupt_value(&mut self, value: u16, flit_bits: u8) -> u16 {
-        let bit = self.rng.below(u64::from(flit_bits.clamp(1, 16))) as u16;
+    /// the result always differs from the input. The bit choice is keyed
+    /// by the same `(link, cycle)` site as the corruption roll.
+    pub fn corrupt_value(&self, link: LinkId, now: u64, value: u16, flit_bits: u8) -> u16 {
+        let bit = self.rng.below(
+            STREAM_CORRUPT_BIT | link_site(link),
+            now,
+            u64::from(flit_bits.clamp(1, 16)),
+        ) as u16;
         value ^ (1 << bit)
     }
 }
@@ -284,24 +326,57 @@ mod tests {
     }
 
     #[test]
-    fn injector_is_deterministic() {
+    fn injector_is_deterministic_and_order_independent() {
         let plan = FaultPlan::new(99)
             .with_corrupt_rate(0.5)
             .with_drop_rate(0.5);
-        let mut a = FaultInjector::new(plan.clone());
-        let mut b = FaultInjector::new(plan);
-        for now in 0..200 {
-            assert_eq!(a.roll_drop(now), b.roll_drop(now));
-            assert_eq!(a.roll_corrupt(now), b.roll_corrupt(now));
-            assert_eq!(a.corrupt_value(0xAB, 8), b.corrupt_value(0xAB, 8));
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        let sites: Vec<RouterAddr> = (0..4)
+            .flat_map(|x| (0..4).map(move |y| RouterAddr::new(x, y)))
+            .collect();
+        // Same plan → identical decisions, queried in any order.
+        for now in 0..50 {
+            for at in &sites {
+                let link = (*at, Port::East);
+                assert_eq!(a.roll_drop(*at, now), b.roll_drop(*at, now));
+                assert_eq!(a.roll_corrupt(link, now), b.roll_corrupt(link, now));
+                assert_eq!(
+                    a.corrupt_value(link, now, 0xAB, 8),
+                    b.corrupt_value(link, now, 0xAB, 8)
+                );
+            }
         }
+        // Polling sites backwards, repeatedly, or with interleaved extra
+        // queries changes nothing: the decision is a pure function of
+        // (site, cycle), not of draw order.
+        for now in (0..50).rev() {
+            for at in sites.iter().rev() {
+                let expect = a.roll_drop(*at, now);
+                let _ = a.roll_corrupt((*at, Port::South), now + 1);
+                assert_eq!(a.roll_drop(*at, now), expect);
+            }
+        }
+        // Distinct sites and cycles give decorrelated streams: with a
+        // 50% rate, 16 sites x 50 cycles should not all agree.
+        let inj = &a;
+        let fired = sites
+            .iter()
+            .flat_map(|&at| (0..50).map(move |now| inj.roll_drop(at, now)))
+            .filter(|&f| f)
+            .count();
+        assert!(
+            (100..700).contains(&fired),
+            "drop rolls look degenerate: {fired}"
+        );
     }
 
     #[test]
     fn corruption_always_changes_the_value_within_the_flit() {
-        let mut inj = FaultInjector::new(FaultPlan::new(3).with_corrupt_rate(1.0));
+        let inj = FaultInjector::new(FaultPlan::new(3).with_corrupt_rate(1.0));
+        let link = (RouterAddr::new(1, 0), Port::West);
         for v in 0..=255u16 {
-            let c = inj.corrupt_value(v, 8);
+            let c = inj.corrupt_value(link, u64::from(v), v, 8);
             assert_ne!(c, v);
             assert!(c <= 0xFF, "corruption left the 8-bit flit domain: {c:#x}");
         }
@@ -324,10 +399,11 @@ mod tests {
 
     #[test]
     fn zero_rates_never_fire() {
-        let mut inj = FaultInjector::new(FaultPlan::new(1));
+        let inj = FaultInjector::new(FaultPlan::new(1));
+        let at = RouterAddr::new(0, 0);
         for now in 0..1000 {
-            assert!(!inj.roll_drop(now));
-            assert!(!inj.roll_corrupt(now));
+            assert!(!inj.roll_drop(at, now));
+            assert!(!inj.roll_corrupt((at, Port::East), now));
         }
     }
 
@@ -338,12 +414,14 @@ mod tests {
             .with_drop_window(CycleWindow::new(10, 20))
             .with_corrupt_rate(1.0)
             .with_corrupt_window(CycleWindow::new(10, 20));
-        let mut inj = FaultInjector::new(plan);
-        assert!(!inj.roll_drop(9));
-        assert!(inj.roll_drop(10));
-        assert!(!inj.roll_drop(20));
-        assert!(!inj.roll_corrupt(9));
-        assert!(inj.roll_corrupt(19));
-        assert!(!inj.roll_corrupt(20));
+        let inj = FaultInjector::new(plan);
+        let at = RouterAddr::new(0, 0);
+        let link = (at, Port::East);
+        assert!(!inj.roll_drop(at, 9));
+        assert!(inj.roll_drop(at, 10));
+        assert!(!inj.roll_drop(at, 20));
+        assert!(!inj.roll_corrupt(link, 9));
+        assert!(inj.roll_corrupt(link, 19));
+        assert!(!inj.roll_corrupt(link, 20));
     }
 }

@@ -1,0 +1,908 @@
+//! The two-phase cycle engine shared by every [`KernelMode`].
+//!
+//! A cycle is four sub-phases, each reading only state the previous
+//! sub-phase left behind:
+//!
+//! 1. **local** — inject, routing/arbitration and drop-sink work that
+//!    touches exactly one router and its endpoint;
+//! 2. **decide** — collect the flit transfers every established
+//!    connection would make, reading neighbour buffer fullness but
+//!    mutating nothing;
+//! 3. **apply-src** — each source router pops the decided flits from its
+//!    own buffers, runs corruption rolls and either delivers locally or
+//!    stages the flit in its shard's outbox;
+//! 4. **apply-dst** — each router drains the staged flits addressed to
+//!    its own input buffers.
+//!
+//! Side effects that cross router ownership — statistics, packet-record
+//! updates, link-health observations, reconfiguration epochs — are
+//! accumulated in per-shard [`ShardDelta`]s and merged serially (in shard
+//! order, which is ascending router order) after the last sub-phase, so
+//! the merged observables are independent of how routers were scheduled
+//! within a sub-phase. Combined with the counter-based fault RNG (keyed
+//! by fault site and cycle, not draw order — see [`crate::fault`]), this
+//! makes the sequential kernels and the sharded parallel kernel
+//! bit-identical.
+//!
+//! The parallel kernel ([`KernelMode::Parallel`]) runs the same four
+//! sub-phases on a persistent [`WorkerPool`] of plain `std::thread`
+//! workers separated by barriers — the conservative synchronous approach
+//! of parallel cycle-level NoC simulators, viable here because every
+//! decision reads only previous-cycle (or same-phase-immutable) state.
+//!
+//! [`KernelMode`]: crate::KernelMode
+//! [`KernelMode::Parallel`]: crate::KernelMode::Parallel
+
+use std::ops::Range;
+use std::ptr::{addr_of, addr_of_mut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::addr::{Port, RouterAddr};
+use crate::config::NocConfig;
+use crate::endpoint::{LocalEndpoint, PacketId, RxEvent};
+use crate::fault::FaultInjector;
+use crate::flit::Flit;
+use crate::noc::{decide_route, DropKind, Epoch, RouteDecision};
+use crate::router::Router;
+use crate::stats::LinkId;
+
+/// Index of `addr` in the row-major router array, or `None` if it lies
+/// outside the mesh.
+pub(crate) fn mesh_index(width: u8, height: u8, addr: RouterAddr) -> Option<usize> {
+    if addr.x() < width && addr.y() < height {
+        Some(usize::from(addr.y()) * usize::from(width) + usize::from(addr.x()))
+    } else {
+        None
+    }
+}
+
+/// The neighbour of `addr` through `port`, or `None` at the mesh border
+/// (and for `Local`, which has no neighbour).
+pub(crate) fn mesh_neighbour(
+    width: u8,
+    height: u8,
+    addr: RouterAddr,
+    port: Port,
+) -> Option<RouterAddr> {
+    let (x, y) = (addr.x(), addr.y());
+    let next = match port {
+        Port::East => RouterAddr::new(x + 1, y),
+        Port::West => RouterAddr::new(x.checked_sub(1)?, y),
+        Port::North => RouterAddr::new(x, y + 1),
+        Port::South => RouterAddr::new(x, y.checked_sub(1)?),
+        Port::Local => return None,
+    };
+    mesh_index(width, height, next).map(|_| next)
+}
+
+/// Routers owned by `shard` of `n_shards`: a contiguous row-major range
+/// covering whole mesh rows, so most neighbour reads stay shard-local.
+/// Shards beyond the row count come out empty.
+pub(crate) fn shard_range(
+    width: usize,
+    height: usize,
+    n_shards: usize,
+    shard: usize,
+) -> Range<usize> {
+    let base = height / n_shards;
+    let extra = height % n_shards;
+    let start_row = shard * base + shard.min(extra);
+    let rows = base + usize::from(shard < extra);
+    (start_row * width)..((start_row + rows) * width)
+}
+
+/// A deferred update to one packet's statistics record, applied at the
+/// merge with the cycle's timestamp. At most one event per packet per
+/// cycle can occur (flits move one hop per cycle), so application order
+/// within a merge is irrelevant.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RecordEvent {
+    /// A flit of the packet entered the network (sets `injected` once).
+    Injected(PacketId),
+    /// The header flit reached the destination IP.
+    Header(PacketId),
+    /// The final flit reached the destination IP.
+    Delivered(PacketId),
+}
+
+/// A deferred link-health observation. Each directed link sees at most
+/// one handshake outcome per cycle (a single input owns each output and
+/// the handshake cadence admits one transfer), so per-link state is
+/// independent of application order; only the order newly-dead links are
+/// *discovered* in matters, and the merge replays decide-phase events
+/// before apply-phase events in shard (= ascending router) order, exactly
+/// like the sequential scan.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum HealthEvent {
+    /// A timed-out (outage-blocked) or garbled hop handshake.
+    Failure {
+        /// The failed link.
+        link: LinkId,
+        /// Upstream router index (for wedged-worm flushing).
+        idx: usize,
+        /// Upstream output port index.
+        out: usize,
+        /// Whether a worm is wedged across the link (outage timeout) or
+        /// still moving (garbled transfer).
+        wedged: bool,
+    },
+    /// A clean hop handshake (resets the link's consecutive-failure run).
+    Success(LinkId),
+}
+
+/// Everything one shard defers to the serial merge: statistics counters,
+/// record/health events and flits staged for other routers' buffers.
+#[derive(Debug, Default)]
+pub(crate) struct ShardDelta {
+    pub flit_hops: u64,
+    pub flits_delivered: u64,
+    pub packets_delivered: u64,
+    pub flits_dropped: u64,
+    pub packets_dropped: u64,
+    pub flits_corrupted: u64,
+    pub router_stall_cycles: u64,
+    pub link_down_blocks: u64,
+    pub unreachable_drops: u64,
+    pub misaddressed_drops: u64,
+    pub rerouted_grants: u64,
+    /// One entry per flit injected by a local IP this cycle.
+    pub local_ingress: Vec<RouterAddr>,
+    /// One entry per flit transferred over a link this cycle.
+    pub link_flits: Vec<LinkId>,
+    pub record_events: Vec<RecordEvent>,
+    /// Health events observed while deciding transfers (outage blocks).
+    pub health_decide: Vec<HealthEvent>,
+    /// Health events observed while applying transfers (garbles/successes).
+    pub health_apply: Vec<HealthEvent>,
+    /// Transfers decided for this shard's routers: `(router, input, output)`.
+    pub transfers: Vec<(usize, usize, usize)>,
+    /// Flits leaving this shard's routers for a neighbour's input buffer:
+    /// `(destination router, input port index, flit)`.
+    pub outbox: Vec<(usize, usize, Flit)>,
+    /// Routers to flag active (they received a flit this cycle).
+    pub woken: Vec<usize>,
+}
+
+impl ShardDelta {
+    /// Resets the delta for the next cycle, keeping allocations.
+    pub fn clear(&mut self) {
+        self.flit_hops = 0;
+        self.flits_delivered = 0;
+        self.packets_delivered = 0;
+        self.flits_dropped = 0;
+        self.packets_dropped = 0;
+        self.flits_corrupted = 0;
+        self.router_stall_cycles = 0;
+        self.link_down_blocks = 0;
+        self.unreachable_drops = 0;
+        self.misaddressed_drops = 0;
+        self.rerouted_grants = 0;
+        self.local_ingress.clear();
+        self.link_flits.clear();
+        self.record_events.clear();
+        self.health_decide.clear();
+        self.health_apply.clear();
+        self.transfers.clear();
+        self.outbox.clear();
+        self.woken.clear();
+    }
+}
+
+/// The per-cycle context shared by every shard: raw views of the router
+/// and endpoint arrays plus the immutable inputs of the cycle.
+///
+/// # Safety contract
+///
+/// The pointers are valid for the duration of one cycle (from publication
+/// until the final barrier) and accessed under the sub-phase discipline:
+/// a shard takes `&mut` only to routers/endpoints/deltas it owns, takes
+/// `&` to foreign routers only in sub-phases where no shard mutates
+/// routers (decide), and reads foreign outboxes only after the apply-src
+/// barrier, through field-granular raw projections.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CycleShared {
+    pub routers: *mut Router,
+    pub endpoints: *mut LocalEndpoint,
+    pub deltas: *mut ShardDelta,
+    pub n_routers: usize,
+    pub n_shards: usize,
+    pub config: *const NocConfig,
+    pub epochs: *const Epoch,
+    pub epochs_len: usize,
+    /// Null when no fault plan is installed.
+    pub injector: *const FaultInjector,
+    pub now: u64,
+    /// Whether the health monitor was pristine at the start of the cycle;
+    /// success observations are skipped while it is (they would be no-ops:
+    /// only links with a prior failure entry are tracked).
+    pub pristine: bool,
+}
+
+// SAFETY: the raw pointers are only dereferenced during an active cycle
+// under the barrier discipline documented on the struct; between cycles
+// the copies held by the worker gate are stale and never touched.
+unsafe impl Send for CycleShared {}
+unsafe impl Sync for CycleShared {}
+
+impl CycleShared {
+    unsafe fn config(&self) -> &NocConfig {
+        &*self.config
+    }
+
+    unsafe fn epochs(&self) -> &[Epoch] {
+        if self.epochs_len == 0 {
+            &[]
+        } else {
+            std::slice::from_raw_parts(self.epochs, self.epochs_len)
+        }
+    }
+
+    unsafe fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    unsafe fn router(&self, idx: usize) -> &Router {
+        debug_assert!(idx < self.n_routers);
+        &*self.routers.add(idx)
+    }
+
+    #[allow(clippy::mut_from_ref)] // raw-view accessor; disjointness is the caller's contract
+    unsafe fn router_mut(&self, idx: usize) -> &mut Router {
+        debug_assert!(idx < self.n_routers);
+        &mut *self.routers.add(idx)
+    }
+
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn endpoint_mut(&self, idx: usize) -> &mut LocalEndpoint {
+        debug_assert!(idx < self.n_routers);
+        &mut *self.endpoints.add(idx)
+    }
+}
+
+/// Sub-phase 1: router-local work — source injection, routing/arbitration
+/// and paced discarding of dropped packets — for every node in `nodes`.
+///
+/// # Safety
+///
+/// The caller must guarantee exclusive access to the routers, endpoints
+/// and delta named by `nodes`/`delta` (disjoint shards, or a single
+/// thread).
+pub(crate) unsafe fn phase_local(
+    sh: &CycleShared,
+    nodes: impl Iterator<Item = usize>,
+    delta: &mut ShardDelta,
+) {
+    let config = sh.config();
+    let epochs = sh.epochs();
+    let injector = sh.injector();
+    let now = sh.now;
+    let cadence = u64::from(config.cycles_per_flit);
+    // From header arrival to header forwarded is `routing_cycles ×
+    // cycles_per_flit` (the paper's latency formula charges R_i flit
+    // periods per router). One cycle is consumed by the grant itself.
+    let decision_delay = u64::from(config.routing_cycles) * cadence - 1;
+    for idx in nodes {
+        let router = sh.router_mut(idx);
+        let endpoint = sh.endpoint_mut(idx);
+        let here = router.addr;
+
+        // --- inject: the source interface pushes its next flit into the
+        // local input buffer at the handshake cadence. ---
+        if now >= endpoint.next_inject_ok {
+            if let Some((id, value)) = endpoint.peek_inject() {
+                let local_in = &mut router.inputs[Port::Local.index()];
+                if !local_in.buffer.is_full() {
+                    let pushed = local_in.buffer.push(Flit::new(value, id, here, now));
+                    debug_assert!(pushed);
+                    endpoint.pop_inject();
+                    endpoint.next_inject_ok = now + cadence;
+                    delta.record_events.push(RecordEvent::Injected(id));
+                    delta.local_ingress.push(here);
+                    delta.flit_hops += 1;
+                }
+            }
+        }
+
+        // --- routing: the control logic runs arbitration and the routing
+        // algorithm for at most one pending header. ---
+        let stalled = injector.is_some_and(|inj| inj.router_stalled(here, now));
+        if stalled {
+            if now >= router.control_busy_until {
+                delta.router_stall_cycles += 1;
+            }
+        } else if now >= router.control_busy_until {
+            let mut granted = None;
+            let mut dropped = None;
+            let mut blocked = false;
+            for in_idx in router.arbiter.scan_order() {
+                let input = &router.inputs[in_idx];
+                if !input.has_pending_header(now) {
+                    continue;
+                }
+                let Some(head) = input.buffer.peek() else {
+                    continue;
+                };
+                let dest = RouterAddr::from_flit(head.value, config.flit_bits);
+                let wid = head.packet;
+                match decide_route(config, epochs, here, Port::from_index(in_idx), dest, now) {
+                    RouteDecision::Forward(out_port, rerouted) => {
+                        debug_assert!(
+                            router.has_port(out_port, config.width, config.height),
+                            "routing picked a port off the mesh edge"
+                        );
+                        let out = out_port.index();
+                        if router.outputs[out].owner.is_none() {
+                            if injector.is_some_and(|inj| inj.roll_drop(here, now)) {
+                                dropped = Some((in_idx, DropKind::Fault, wid));
+                            } else {
+                                granted = Some((in_idx, out, rerouted, wid));
+                            }
+                            break;
+                        }
+                        blocked = true;
+                    }
+                    RouteDecision::Misaddressed => {
+                        dropped = Some((in_idx, DropKind::Misaddressed, wid));
+                        break;
+                    }
+                    RouteDecision::Unreachable => {
+                        dropped = Some((in_idx, DropKind::Unreachable, wid));
+                        break;
+                    }
+                }
+            }
+            if let Some((in_idx, out, rerouted, wid)) = granted {
+                router.inputs[in_idx].conn = Some(out);
+                router.inputs[in_idx].conn_active_at = now + decision_delay;
+                router.inputs[in_idx].cur_packet = Some(wid);
+                router.outputs[out].owner = Some(in_idx);
+                router.control_busy_until = now + decision_delay;
+                router.arbiter.grant(in_idx);
+                router.counters.grants += 1;
+                if rerouted {
+                    delta.rerouted_grants += 1;
+                }
+            } else if let Some((in_idx, kind, wid)) = dropped {
+                // The control logic discards the packet instead of routing
+                // it: it occupies the control for the same charge and
+                // advances the arbiter, but opens no connection.
+                router.inputs[in_idx].cur_packet = Some(wid);
+                router.inputs[in_idx].start_sink(now);
+                router.control_busy_until = now + decision_delay;
+                router.arbiter.grant(in_idx);
+                match kind {
+                    DropKind::Fault => delta.packets_dropped += 1,
+                    DropKind::Unreachable => delta.unreachable_drops += 1,
+                    DropKind::Misaddressed => delta.misaddressed_drops += 1,
+                }
+            } else if blocked {
+                router.counters.blocked_cycles += 1;
+            }
+        }
+
+        // --- sink: input ports discarding a dropped packet consume one
+        // flit per handshake period, so the upstream wormhole keeps
+        // moving and the drop never wedges the path. ---
+        for in_idx in 0..router.inputs.len() {
+            let input = &mut router.inputs[in_idx];
+            if !input.sinking || now < input.sink_ready_at {
+                continue;
+            }
+            let Some(head) = input.buffer.peek() else {
+                continue;
+            };
+            if head.arrived >= now {
+                continue;
+            }
+            let Some(flit) = input.buffer.pop() else {
+                continue;
+            };
+            input.sink_ready_at = now + cadence;
+            input.fwd_count += 1;
+            if input.fwd_count == 2 {
+                input.fwd_expected = Some(usize::from(flit.value) + 2);
+            }
+            if input.fwd_expected == Some(input.fwd_count) {
+                input.close();
+            }
+            delta.flits_dropped += 1;
+        }
+    }
+}
+
+/// Sub-phase 2: collect the flit transfer every established connection of
+/// `nodes` would make this cycle. Mutates nothing but `delta`; reads
+/// neighbour buffer fullness, so it must not run concurrently with any
+/// router mutation.
+///
+/// # Safety
+///
+/// All shards must be between the local and apply-src sub-phases (no
+/// router is mutated anywhere while decide runs).
+pub(crate) unsafe fn phase_decide(
+    sh: &CycleShared,
+    nodes: impl Iterator<Item = usize>,
+    delta: &mut ShardDelta,
+) {
+    let config = sh.config();
+    let injector = sh.injector();
+    let now = sh.now;
+    for idx in nodes {
+        let router = sh.router(idx);
+        for (in_idx, input) in router.inputs.iter().enumerate() {
+            let Some(out) = input.conn else { continue };
+            if now < input.conn_active_at {
+                continue;
+            }
+            if now < router.outputs[out].next_free {
+                continue;
+            }
+            let Some(flit) = input.buffer.peek() else {
+                continue;
+            };
+            if flit.arrived >= now {
+                continue;
+            }
+            let out_port = Port::from_index(out);
+            if injector.is_some_and(|inj| inj.link_down(router.addr, out_port, now)) {
+                delta.link_down_blocks += 1;
+                // A ready transfer blocked by the outage is one failed
+                // hop handshake; each link sees at most one per cycle
+                // (a single input owns each output).
+                delta.health_decide.push(HealthEvent::Failure {
+                    link: (router.addr, out_port),
+                    idx,
+                    out,
+                    wedged: true,
+                });
+                continue;
+            }
+            let has_space = match out_port {
+                Port::Local => true,
+                _ => {
+                    let Some(next) =
+                        mesh_neighbour(config.width, config.height, router.addr, out_port)
+                    else {
+                        continue;
+                    };
+                    let Some(next_idx) = mesh_index(config.width, config.height, next) else {
+                        continue;
+                    };
+                    let Some(in_port) = out_port.opposite() else {
+                        continue;
+                    };
+                    !sh.router(next_idx).inputs[in_port.index()].buffer.is_full()
+                }
+            };
+            if has_space {
+                delta.transfers.push((idx, in_idx, out));
+            }
+        }
+    }
+}
+
+/// Sub-phase 3: apply the decided transfers on their source routers —
+/// pop, corruption roll, local delivery or staging in the outbox.
+///
+/// # Safety
+///
+/// Every `(router, input, output)` in `delta.transfers` must belong to
+/// routers this caller exclusively owns, and all shards must have passed
+/// the decide barrier (no one reads foreign buffers any more).
+pub(crate) unsafe fn phase_apply_src(sh: &CycleShared, delta: &mut ShardDelta) {
+    let config = sh.config();
+    let injector = sh.injector();
+    let now = sh.now;
+    let cadence = u64::from(config.cycles_per_flit);
+    let transfers = std::mem::take(&mut delta.transfers);
+    for &(idx, in_idx, out) in &transfers {
+        let router = sh.router_mut(idx);
+        let here = router.addr;
+        let out_port = Port::from_index(out);
+        let link: LinkId = (here, out_port);
+        // The transfer was decided on a peeked flit this same cycle,
+        // so the pop cannot miss; skipping keeps the phase total even
+        // if that invariant were ever broken.
+        let Some(mut flit) = router.inputs[in_idx].buffer.pop() else {
+            continue;
+        };
+        router.outputs[out].next_free = now + cadence;
+        router.counters.flits_forwarded += 1;
+        delta.flit_hops += 1;
+        delta.link_flits.push(link);
+
+        // Track packet boundaries on the forwarding side.
+        let input = &mut router.inputs[in_idx];
+        input.fwd_count += 1;
+        if input.fwd_count == 2 {
+            input.fwd_expected = Some(usize::from(flit.value) + 2);
+        }
+        let flit_index = input.fwd_count;
+        let close = input.fwd_expected == Some(input.fwd_count);
+        if close {
+            input.close();
+            router.outputs[out].owner = None;
+        }
+
+        // Payload flits (3rd wire flit onward) may be corrupted while
+        // crossing the link; header and size flits are exempt so the
+        // wormhole bookkeeping itself stays sound (see `fault`).
+        let mut garbled = false;
+        if flit_index >= 3 {
+            if let Some(inj) = injector {
+                if inj.roll_corrupt(link, now) {
+                    flit.value = inj.corrupt_value(link, now, flit.value, config.flit_bits);
+                    delta.flits_corrupted += 1;
+                    garbled = true;
+                }
+            }
+        }
+        if garbled {
+            delta.health_apply.push(HealthEvent::Failure {
+                link,
+                idx,
+                out,
+                wedged: false,
+            });
+        } else if !sh.pristine {
+            delta.health_apply.push(HealthEvent::Success(link));
+        }
+
+        flit.arrived = now;
+        match out_port {
+            Port::Local => {
+                delta.flits_delivered += 1;
+                match sh.endpoint_mut(idx).receive(flit) {
+                    RxEvent::HeaderArrived(id) => {
+                        delta.record_events.push(RecordEvent::Header(id));
+                    }
+                    RxEvent::Completed(id) => {
+                        delta.record_events.push(RecordEvent::Delivered(id));
+                        delta.packets_delivered += 1;
+                    }
+                    RxEvent::Progress => {}
+                }
+            }
+            _ => {
+                // Decide already resolved these lookups; a miss here
+                // cannot happen for a transfer it emitted.
+                let Some(next) = mesh_neighbour(config.width, config.height, here, out_port) else {
+                    continue;
+                };
+                let Some(next_idx) = mesh_index(config.width, config.height, next) else {
+                    continue;
+                };
+                let Some(in_port) = out_port.opposite() else {
+                    continue;
+                };
+                delta.outbox.push((next_idx, in_port.index(), flit));
+            }
+        }
+    }
+    delta.transfers = transfers;
+}
+
+/// Sub-phase 4: drain every shard's outbox into the input buffers of the
+/// routers in `range`. Each downstream buffer is fed by exactly one
+/// upstream output, so at most one staged flit targets any buffer.
+///
+/// # Safety
+///
+/// All shards must have passed the apply-src barrier (outboxes are
+/// complete and no shard holds a `&mut` to a whole delta any more); the
+/// caller must exclusively own the routers in `range` and be the only
+/// shard with index `shard`.
+pub(crate) unsafe fn phase_apply_dst(sh: &CycleShared, range: Range<usize>, shard: usize) {
+    // Field-granular raw projections: this shard's `woken` is written
+    // while other shards concurrently read this shard's `outbox` — two
+    // disjoint fields of the same delta, never referenced whole.
+    let woken = &mut *addr_of_mut!((*sh.deltas.add(shard)).woken);
+    for j in 0..sh.n_shards {
+        let outbox = &*addr_of!((*sh.deltas.add(j)).outbox);
+        for &(dst_idx, in_idx, flit) in outbox {
+            if !range.contains(&dst_idx) {
+                continue;
+            }
+            let pushed = sh.router_mut(dst_idx).inputs[in_idx].buffer.push(flit);
+            debug_assert!(pushed, "downstream buffer checked for space");
+            // The flit arrival wakes the downstream node for the next
+            // cycle's active-set walk.
+            woken.push(dst_idx);
+        }
+    }
+}
+
+/// Runs all four sub-phases for `shard`, synchronising on `barrier`
+/// between them. Every participating shard (including the caller) must
+/// call this exactly once per cycle with the same `sh`.
+///
+/// # Safety
+///
+/// `sh` must be a valid [`CycleShared`] for this cycle, `barrier` must
+/// have as many participants as `sh.n_shards`, and each shard index in
+/// `0..n_shards` must be claimed by exactly one concurrent caller.
+pub(crate) unsafe fn run_shard(sh: &CycleShared, shard: usize, barrier: &SpinBarrier) {
+    let config = sh.config();
+    let range = shard_range(
+        usize::from(config.width),
+        usize::from(config.height),
+        sh.n_shards,
+        shard,
+    );
+    {
+        let delta = &mut *sh.deltas.add(shard);
+        phase_local(sh, range.clone(), delta);
+        barrier.wait();
+        phase_decide(sh, range.clone(), delta);
+        barrier.wait();
+        phase_apply_src(sh, delta);
+    }
+    barrier.wait();
+    phase_apply_dst(sh, range, shard);
+    barrier.wait();
+}
+
+/// How long a waiter busy-spins on the barrier before yielding the CPU.
+/// Short enough that single-core hosts degrade to cooperative scheduling
+/// instead of burning a timeslice per sub-phase.
+const SPIN_BUDGET: u32 = 256;
+
+/// A sense-counting barrier that spins briefly and then yields. `wait`
+/// releases everyone once `total` participants have arrived.
+#[derive(Debug)]
+pub(crate) struct SpinBarrier {
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+}
+
+impl SpinBarrier {
+    pub fn new(total: usize) -> Self {
+        Self {
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            total: total.max(1),
+        }
+    }
+
+    pub fn wait(&self) {
+        if self.total == 1 {
+            return;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.arrived.store(0, Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if spins < SPIN_BUDGET {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// What the gate releases the workers into.
+#[derive(Debug, Clone, Copy)]
+enum Command {
+    /// Nothing yet (initial state).
+    Idle,
+    /// Run one cycle over the published shared view.
+    Run(CycleShared),
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Blocks workers between cycles and publishes the next command. Workers
+/// park on a condvar, so an idle pool costs nothing — important both
+/// between cycles and across long idle fast-forward gaps.
+#[derive(Debug)]
+struct Gate {
+    state: Mutex<(u64, Command)>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new((0, Command::Idle)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn release(&self, cmd: Command) {
+        let mut st = self.state.lock().expect("worker gate poisoned");
+        st.0 += 1;
+        st.1 = cmd;
+        self.cv.notify_all();
+    }
+
+    fn await_change(&self, last_seen: u64) -> (u64, Command) {
+        let mut st = self.state.lock().expect("worker gate poisoned");
+        while st.0 == last_seen {
+            st = self.cv.wait(st).expect("worker gate poisoned");
+        }
+        *st
+    }
+}
+
+/// The persistent worker pool of [`KernelMode::Parallel`]: `shards - 1`
+/// plain `std::thread` workers (the stepping thread itself runs shard 0)
+/// released cycle by cycle through the gate and synchronised by the
+/// sub-phase barrier. Dropping the pool shuts the workers down and joins
+/// them.
+///
+/// [`KernelMode::Parallel`]: crate::KernelMode::Parallel
+pub(crate) struct WorkerPool {
+    shards: usize,
+    barrier: Arc<SpinBarrier>,
+    gate: Arc<Gate>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns workers for shards `1..shards`.
+    pub fn new(shards: usize) -> Self {
+        debug_assert!(shards >= 2, "a 1-shard pool has no workers");
+        let barrier = Arc::new(SpinBarrier::new(shards));
+        let gate = Arc::new(Gate::new());
+        let workers = (1..shards)
+            .map(|shard| {
+                let barrier = Arc::clone(&barrier);
+                let gate = Arc::clone(&gate);
+                std::thread::Builder::new()
+                    .name(format!("hermes-shard-{shard}"))
+                    .spawn(move || {
+                        let mut last_seen = 0u64;
+                        loop {
+                            let (gen, cmd) = gate.await_change(last_seen);
+                            last_seen = gen;
+                            match cmd {
+                                // SAFETY: the stepping thread published a
+                                // view valid until the final barrier of
+                                // this cycle, participates as shard 0 and
+                                // assigned this worker a unique shard.
+                                Command::Run(sh) => unsafe { run_shard(&sh, shard, &barrier) },
+                                Command::Shutdown => return,
+                                Command::Idle => {}
+                            }
+                        }
+                    })
+                    .expect("failed to spawn kernel worker thread")
+            })
+            .collect();
+        Self {
+            shards,
+            barrier,
+            gate,
+            workers,
+        }
+    }
+
+    /// Number of shards this pool synchronises (workers + the caller).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Runs one cycle: releases the workers on shards `1..n`, runs shard
+    /// 0 on the calling thread, and returns once every shard has passed
+    /// the final barrier (all mutation quiesced; `sh` may be dropped).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`run_shard`]: `sh` must be valid for this cycle
+    /// and `sh.n_shards` must equal this pool's shard count.
+    pub unsafe fn run_cycle(&self, sh: CycleShared) {
+        debug_assert_eq!(sh.n_shards, self.shards);
+        self.gate.release(Command::Run(sh));
+        run_shard(&sh, 0, &self.barrier);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.gate.release(Command::Shutdown);
+        for handle in self.workers.drain(..) {
+            // A worker that panicked already poisoned the run; don't
+            // double-panic during drop.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("shards", &self.shards)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_are_row_aligned_and_cover_the_mesh() {
+        for (width, height, shards) in [(4, 4, 2), (4, 4, 3), (16, 16, 8), (3, 5, 4), (2, 2, 8)] {
+            let mut covered = Vec::new();
+            for s in 0..shards {
+                let r = shard_range(width, height, shards, s);
+                assert_eq!(r.start % width, 0, "shard {s} does not start on a row");
+                assert_eq!(r.end % width, 0, "shard {s} does not end on a row");
+                covered.extend(r);
+            }
+            assert_eq!(
+                covered,
+                (0..width * height).collect::<Vec<_>>(),
+                "{width}x{height} over {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn spin_barrier_synchronises_threads() {
+        let barrier = Arc::new(SpinBarrier::new(4));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait();
+                    // After the barrier everyone has incremented.
+                    assert_eq!(counter.load(Ordering::SeqCst), 4);
+                })
+            })
+            .collect();
+        counter.fetch_add(1, Ordering::SeqCst);
+        barrier.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        for h in handles {
+            h.join().expect("barrier thread");
+        }
+    }
+
+    #[test]
+    fn single_participant_barrier_never_blocks() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..10 {
+            b.wait();
+        }
+    }
+
+    #[test]
+    fn pool_shuts_down_cleanly_without_running_a_cycle() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.shards(), 4);
+        drop(pool);
+    }
+
+    #[test]
+    fn mesh_helpers_agree_with_geometry() {
+        assert_eq!(mesh_index(2, 2, RouterAddr::new(1, 1)), Some(3));
+        assert_eq!(mesh_index(2, 2, RouterAddr::new(2, 0)), None);
+        assert_eq!(
+            mesh_neighbour(2, 2, RouterAddr::new(0, 0), Port::East),
+            Some(RouterAddr::new(1, 0))
+        );
+        assert_eq!(
+            mesh_neighbour(2, 2, RouterAddr::new(0, 0), Port::West),
+            None
+        );
+        assert_eq!(
+            mesh_neighbour(2, 2, RouterAddr::new(0, 0), Port::Local),
+            None
+        );
+    }
+}

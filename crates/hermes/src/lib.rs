@@ -59,6 +59,7 @@ mod endpoint;
 mod error;
 mod flit;
 mod health;
+mod kernel;
 mod noc;
 mod packet;
 mod router;

@@ -2,11 +2,13 @@
 
 use crate::addr::{Port, RouterAddr};
 use crate::config::{KernelMode, NocConfig};
-use crate::endpoint::{LocalEndpoint, PacketId, RxEvent};
+use crate::endpoint::{LocalEndpoint, PacketId};
 use crate::error::{NocError, RouteError, SendError};
 use crate::fault::{FaultInjector, FaultPlan};
-use crate::flit::Flit;
 use crate::health::{HealthMonitor, LinkHealth};
+use crate::kernel::{
+    self, CycleShared, HealthEvent, RecordEvent, ShardDelta, SpinBarrier, WorkerPool,
+};
 use crate::packet::Packet;
 use crate::router::Router;
 use crate::routing::{RouteTable, Routing};
@@ -17,7 +19,7 @@ use crate::stats::{LinkId, NocStats, PacketRecord};
 /// wave has had time to reach it — `hops(r, origin) × cycles_per_flit`
 /// cycles after the announcement; the origin itself switches immediately.
 #[derive(Debug)]
-struct Epoch {
+pub(crate) struct Epoch {
     announced: u64,
     origin: RouterAddr,
     table: RouteTable,
@@ -32,7 +34,7 @@ fn table_for(epochs: &[Epoch], cycles_per_flit: u32, here: RouterAddr, now: u64)
 }
 
 /// Outcome of one routing decision at a router's control logic.
-enum RouteDecision {
+pub(crate) enum RouteDecision {
     /// Forward through this port; the flag records whether the choice
     /// diverged from minimal XY (a detour grant).
     Forward(Port, bool),
@@ -47,7 +49,7 @@ enum RouteDecision {
 /// Why the control logic decided to discard a packet instead of routing
 /// it; each cause feeds its own counter.
 #[derive(Debug, Clone, Copy)]
-enum DropKind {
+pub(crate) enum DropKind {
     /// Fault injection rolled a drop.
     Fault,
     /// No surviving path to the destination.
@@ -56,7 +58,7 @@ enum DropKind {
     Misaddressed,
 }
 
-fn decide_route(
+pub(crate) fn decide_route(
     config: &NocConfig,
     epochs: &[Epoch],
     here: RouterAddr,
@@ -115,6 +117,13 @@ pub struct Noc {
     /// Scratch list of node indices visited this step (kept across steps
     /// to avoid re-allocating every cycle).
     step_list: Vec<usize>,
+    /// Per-shard merge buffers of the two-phase cycle engine: one for the
+    /// sequential kernels, one per shard for the parallel kernel.
+    /// Allocations persist across cycles.
+    deltas: Vec<ShardDelta>,
+    /// Persistent worker threads of [`KernelMode::Parallel`], created
+    /// lazily on the first parallel step and joined on drop.
+    pool: Option<WorkerPool>,
 }
 
 impl Noc {
@@ -149,6 +158,8 @@ impl Noc {
             epochs: Vec::new(),
             active,
             step_list: Vec::new(),
+            deltas: Vec::new(),
+            pool: None,
         })
     }
 
@@ -232,23 +243,11 @@ impl Noc {
     }
 
     fn index(&self, addr: RouterAddr) -> Option<usize> {
-        if addr.x() < self.config.width && addr.y() < self.config.height {
-            Some(usize::from(addr.y()) * usize::from(self.config.width) + usize::from(addr.x()))
-        } else {
-            None
-        }
+        kernel::mesh_index(self.config.width, self.config.height, addr)
     }
 
     fn neighbour(&self, addr: RouterAddr, port: Port) -> Option<RouterAddr> {
-        let (x, y) = (addr.x(), addr.y());
-        let next = match port {
-            Port::East => RouterAddr::new(x + 1, y),
-            Port::West => RouterAddr::new(x.checked_sub(1)?, y),
-            Port::North => RouterAddr::new(x, y + 1),
-            Port::South => RouterAddr::new(x, y.checked_sub(1)?),
-            Port::Local => return None,
-        };
-        self.index(next).map(|_| next)
+        kernel::mesh_neighbour(self.config.width, self.config.height, addr, port)
     }
 
     /// Submits a packet at the network interface of router `src`. The
@@ -381,35 +380,247 @@ impl Noc {
     }
 
     /// Advances the simulation by one clock cycle.
+    ///
+    /// All three kernels drive the same two-phase engine (see
+    /// [`kernel`](crate::KernelMode)) and produce bit-identical
+    /// observables: random fault decisions are keyed by fault site and
+    /// cycle — never by visit order — and every cross-router side effect
+    /// is merged serially in ascending router order.
     pub fn step(&mut self) {
         self.cycle += 1;
         let now = self.cycle;
-        let mut nodes = std::mem::take(&mut self.step_list);
-        nodes.clear();
         match self.config.kernel {
-            KernelMode::Reference => nodes.extend(0..self.routers.len()),
+            KernelMode::Reference => {
+                let mut nodes = std::mem::take(&mut self.step_list);
+                nodes.clear();
+                nodes.extend(0..self.routers.len());
+                self.step_nodes(now, &nodes);
+                self.step_list = nodes;
+            }
             KernelMode::Active => {
                 self.wake_scheduled_stalls(now);
-                // Ascending index order is load-bearing: the fault
-                // injector's random stream is consumed in visit order, so
-                // the active subset must be walked exactly like the
-                // reference kernel walks the full set.
+                // Any walk order of the active subset would do — the
+                // counter-keyed fault RNG makes decisions independent of
+                // draw order — but ascending keeps cache behaviour and
+                // debugging predictable.
+                let mut nodes = std::mem::take(&mut self.step_list);
+                nodes.clear();
                 nodes.extend((0..self.active.len()).filter(|&i| self.active[i]));
+                self.step_nodes(now, &nodes);
+                for &idx in &nodes {
+                    if self.routers[idx].is_idle() && self.endpoints[idx].outgoing.is_empty() {
+                        self.active[idx] = false;
+                    }
+                }
+                self.step_list = nodes;
             }
+            KernelMode::Parallel { threads } => self.step_parallel(now, threads),
         }
-        self.inject_phase(now, &nodes);
-        self.routing_phase(now, &nodes);
-        self.sink_phase(now, &nodes);
-        self.forward_phase(now, &nodes);
-        if self.config.kernel == KernelMode::Active {
-            for &idx in &nodes {
-                if self.routers[idx].is_idle() && self.endpoints[idx].outgoing.is_empty() {
-                    self.active[idx] = false;
+        self.stats.cycles = self.cycle;
+    }
+
+    /// Runs one cycle of the two-phase engine over `nodes` on the calling
+    /// thread — the sequential kernels are the one-shard special case of
+    /// the same engine the parallel kernel runs.
+    fn step_nodes(&mut self, now: u64, nodes: &[usize]) {
+        self.ensure_shards(1);
+        let n_routers = self.routers.len();
+        let shared = self.cycle_shared(now, 1);
+        // SAFETY: one thread, one shard — this call owns every router,
+        // endpoint and delta for the whole cycle, and the sub-phases run
+        // in engine order.
+        unsafe {
+            let delta = &mut *shared.deltas;
+            kernel::phase_local(&shared, nodes.iter().copied(), delta);
+            kernel::phase_decide(&shared, nodes.iter().copied(), delta);
+            kernel::phase_apply_src(&shared, delta);
+            kernel::phase_apply_dst(&shared, 0..n_routers, 0);
+        }
+        self.merge_cycle(now, Some(nodes));
+    }
+
+    /// Runs one cycle sharded row-wise over `threads` shards. The
+    /// stepping thread runs shard 0; shards `1..n` run on the persistent
+    /// worker pool, created lazily on the first parallel step.
+    fn step_parallel(&mut self, now: u64, threads: usize) {
+        // More shards than rows would only add idle workers: every shard
+        // owns whole mesh rows.
+        let shards = threads.clamp(1, usize::from(self.config.height).max(1));
+        self.ensure_shards(shards);
+        if shards == 1 {
+            let shared = self.cycle_shared(now, 1);
+            let barrier = SpinBarrier::new(1);
+            // SAFETY: a single shard on a single thread; same contract as
+            // the sequential kernels.
+            unsafe { kernel::run_shard(&shared, 0, &barrier) };
+        } else {
+            if self.pool.as_ref().map(|p| p.shards()) != Some(shards) {
+                self.pool = Some(WorkerPool::new(shards));
+            }
+            // Move the pool out so no borrow of `self` is alive while the
+            // workers mutate the mesh through the published raw view.
+            let pool = self.pool.take().expect("pool created above");
+            let shared = self.cycle_shared(now, shards);
+            // SAFETY: `shared` stays valid until `run_cycle` returns (it
+            // blocks past the cycle's final barrier), the pool
+            // synchronises exactly `shards` participants, and each claims
+            // a unique shard index.
+            unsafe { pool.run_cycle(shared) };
+            self.pool = Some(pool);
+        }
+        self.merge_cycle(now, None);
+    }
+
+    /// Grows the per-shard delta pool to at least `n` entries.
+    fn ensure_shards(&mut self, n: usize) {
+        if self.deltas.len() < n {
+            self.deltas.resize_with(n, ShardDelta::default);
+        }
+    }
+
+    /// Publishes the raw per-cycle view the engine phases work through.
+    fn cycle_shared(&mut self, now: u64, n_shards: usize) -> CycleShared {
+        CycleShared {
+            routers: self.routers.as_mut_ptr(),
+            endpoints: self.endpoints.as_mut_ptr(),
+            deltas: self.deltas.as_mut_ptr(),
+            n_routers: self.routers.len(),
+            n_shards,
+            config: &self.config,
+            epochs: self.epochs.as_ptr(),
+            epochs_len: self.epochs.len(),
+            injector: self
+                .injector
+                .as_ref()
+                .map_or(std::ptr::null(), |inj| inj as *const FaultInjector),
+            now,
+            pristine: self.health.is_pristine(),
+        }
+    }
+
+    /// Serially merges every shard's deferred side effects into the
+    /// global observables — statistics counters, packet records, link
+    /// health and reconfiguration epochs — in shard order, which is
+    /// ascending router order, so the result is independent of how the
+    /// phases were scheduled. `nodes` limits the router-counter mirror
+    /// copy to the routers actually stepped (`None` copies all).
+    fn merge_cycle(&mut self, now: u64, nodes: Option<&[usize]>) {
+        // The statistics keep an exact mirror of the per-router hardware
+        // counters; the phases update only the routers' own counters.
+        match nodes {
+            Some(nodes) => {
+                for &idx in nodes {
+                    self.stats.routers[idx] = self.routers[idx].counters;
+                }
+            }
+            None => {
+                for (idx, router) in self.routers.iter().enumerate() {
+                    self.stats.routers[idx] = router.counters;
                 }
             }
         }
-        self.step_list = nodes;
-        self.stats.cycles = self.cycle;
+
+        let mut deltas = std::mem::take(&mut self.deltas);
+
+        // Links crossing the fault threshold this cycle: `(router, out,
+        // wedged)`. Decide-phase observations (outage timeouts) replay
+        // before apply-phase ones (garbled transfers), in ascending
+        // router order — exactly the order the sequential scan discovers
+        // them in.
+        let mut newly_dead: Vec<(usize, usize, bool)> = Vec::new();
+        let decide_events = deltas.iter().flat_map(|d| d.health_decide.iter());
+        let apply_events = deltas.iter().flat_map(|d| d.health_apply.iter());
+        for &ev in decide_events.chain(apply_events) {
+            match ev {
+                HealthEvent::Failure {
+                    link,
+                    idx,
+                    out,
+                    wedged,
+                } => {
+                    if self.health.observe_failure(link, now) {
+                        newly_dead.push((idx, out, wedged));
+                    }
+                }
+                HealthEvent::Success(link) => self.health.observe_success(link),
+            }
+        }
+
+        for delta in &mut deltas {
+            self.stats.flit_hops += delta.flit_hops;
+            self.stats.flits_delivered += delta.flits_delivered;
+            self.stats.packets_delivered += delta.packets_delivered;
+            self.stats.faults.flits_dropped += delta.flits_dropped;
+            self.stats.faults.packets_dropped += delta.packets_dropped;
+            self.stats.faults.flits_corrupted += delta.flits_corrupted;
+            self.stats.faults.router_stall_cycles += delta.router_stall_cycles;
+            self.stats.faults.link_down_blocks += delta.link_down_blocks;
+            self.stats.health.unreachable_drops += delta.unreachable_drops;
+            self.stats.health.misaddressed_drops += delta.misaddressed_drops;
+            self.stats.health.rerouted_grants += delta.rerouted_grants;
+            for &addr in &delta.local_ingress {
+                *self.stats.local_ingress_flits.entry(addr).or_insert(0) += 1;
+            }
+            for &link in &delta.link_flits {
+                *self.stats.link_flits.entry(link).or_insert(0) += 1;
+            }
+            for &ev in &delta.record_events {
+                match ev {
+                    RecordEvent::Injected(id) => {
+                        if let Some(record) = self.stats.record_mut(id) {
+                            if record.injected.is_none() {
+                                record.injected = Some(now);
+                            }
+                        }
+                    }
+                    RecordEvent::Header(id) => {
+                        if let Some(record) = self.stats.record_mut(id) {
+                            record.header_delivered = Some(now);
+                        }
+                    }
+                    RecordEvent::Delivered(id) => {
+                        let mut latency = None;
+                        if let Some(record) = self.stats.record_mut(id) {
+                            record.delivered = Some(now);
+                            latency = Some(now - record.sent);
+                        }
+                        if let Some(latency) = latency {
+                            self.stats.observe_latency(latency);
+                        }
+                    }
+                }
+            }
+            for &idx in &delta.woken {
+                self.active[idx] = true;
+            }
+            delta.clear();
+        }
+        self.deltas = deltas;
+
+        // React to links that crossed the failure threshold this cycle:
+        // flush wormholes wedged on them and announce a fresh detour
+        // table. Diagnosis always runs; the reaction is reserved for
+        // [`Routing::FaultTolerantXy`] so the plain XY modes keep their
+        // documented wedge-on-dead-link behaviour.
+        for (idx, out, wedged) in newly_dead {
+            self.stats.health.links_declared_dead += 1;
+            if self.config.routing != Routing::FaultTolerantXy {
+                continue;
+            }
+            if wedged {
+                self.flush_dead_link(idx, out, now);
+            }
+            self.epochs.push(Epoch {
+                announced: now,
+                origin: self.routers[idx].addr,
+                table: RouteTable::build(
+                    self.config.width,
+                    self.config.height,
+                    self.health.dead_links(),
+                ),
+            });
+            self.stats.health.epochs += 1;
+        }
     }
 
     /// Advances the clock by `cycles` at once without stepping any router
@@ -446,374 +657,6 @@ impl Noc {
             self.step();
         }
         Ok(self.cycle - start)
-    }
-
-    /// Phase A: each source interface pushes its next flit into the local
-    /// input buffer of its router, at the handshake cadence.
-    fn inject_phase(&mut self, now: u64, nodes: &[usize]) {
-        for &idx in nodes {
-            let endpoint = &mut self.endpoints[idx];
-            if now < endpoint.next_inject_ok {
-                continue;
-            }
-            let Some((id, value)) = endpoint.peek_inject() else {
-                continue;
-            };
-            let addr = self.routers[idx].addr;
-            let local_in = &mut self.routers[idx].inputs[Port::Local.index()];
-            if local_in.buffer.is_full() {
-                continue;
-            }
-            let pushed = local_in.buffer.push(Flit::new(value, id, addr, now));
-            debug_assert!(pushed);
-            let endpoint = &mut self.endpoints[idx];
-            endpoint.pop_inject();
-            endpoint.next_inject_ok = now + u64::from(self.config.cycles_per_flit);
-            if let Some(record) = self.stats.record_mut(id) {
-                if record.injected.is_none() {
-                    record.injected = Some(now);
-                }
-            }
-            *self.stats.local_ingress_flits.entry(addr).or_insert(0) += 1;
-            self.stats.flit_hops += 1;
-        }
-    }
-
-    /// Phase B: each router's control logic runs arbitration and the
-    /// routing algorithm for at most one pending header. A granted
-    /// connection becomes active after the routing charge has elapsed.
-    fn routing_phase(&mut self, now: u64, nodes: &[usize]) {
-        // From header arrival to header forwarded is `routing_cycles ×
-        // cycles_per_flit` (the paper's latency formula charges R_i flit
-        // periods per router). One cycle is consumed by the grant itself.
-        let decision_delay =
-            u64::from(self.config.routing_cycles) * u64::from(self.config.cycles_per_flit) - 1;
-        for &idx in nodes {
-            let router = &mut self.routers[idx];
-            if now < router.control_busy_until {
-                continue;
-            }
-            let here = router.addr;
-            if self
-                .injector
-                .as_ref()
-                .is_some_and(|inj| inj.router_stalled(here, now))
-            {
-                self.stats.faults.router_stall_cycles += 1;
-                continue;
-            }
-            let mut granted = None;
-            let mut dropped = None;
-            let mut blocked = false;
-            for in_idx in router.arbiter.scan_order() {
-                let input = &router.inputs[in_idx];
-                if !input.has_pending_header(now) {
-                    continue;
-                }
-                let Some(head) = input.buffer.peek() else {
-                    continue;
-                };
-                let dest = RouterAddr::from_flit(head.value, self.config.flit_bits);
-                let wid = head.packet;
-                match decide_route(
-                    &self.config,
-                    &self.epochs,
-                    here,
-                    Port::from_index(in_idx),
-                    dest,
-                    now,
-                ) {
-                    RouteDecision::Forward(out_port, rerouted) => {
-                        debug_assert!(
-                            router.has_port(out_port, self.config.width, self.config.height),
-                            "routing picked a port off the mesh edge"
-                        );
-                        let out = out_port.index();
-                        if router.outputs[out].owner.is_none() {
-                            if self.injector.as_mut().is_some_and(|inj| inj.roll_drop(now)) {
-                                dropped = Some((in_idx, DropKind::Fault, wid));
-                            } else {
-                                granted = Some((in_idx, out, rerouted, wid));
-                            }
-                            break;
-                        }
-                        blocked = true;
-                    }
-                    RouteDecision::Misaddressed => {
-                        dropped = Some((in_idx, DropKind::Misaddressed, wid));
-                        break;
-                    }
-                    RouteDecision::Unreachable => {
-                        dropped = Some((in_idx, DropKind::Unreachable, wid));
-                        break;
-                    }
-                }
-            }
-            if let Some((in_idx, out, rerouted, wid)) = granted {
-                let router = &mut self.routers[idx];
-                router.inputs[in_idx].conn = Some(out);
-                router.inputs[in_idx].conn_active_at = now + decision_delay;
-                router.inputs[in_idx].cur_packet = Some(wid);
-                router.outputs[out].owner = Some(in_idx);
-                router.control_busy_until = now + decision_delay;
-                router.arbiter.grant(in_idx);
-                router.counters.grants += 1;
-                self.stats.routers[idx].grants += 1;
-                if rerouted {
-                    self.stats.health.rerouted_grants += 1;
-                }
-            } else if let Some((in_idx, kind, wid)) = dropped {
-                // The control logic discards the packet instead of routing
-                // it: it occupies the control for the same charge and
-                // advances the arbiter, but opens no connection.
-                let router = &mut self.routers[idx];
-                router.inputs[in_idx].cur_packet = Some(wid);
-                router.inputs[in_idx].start_sink(now);
-                router.control_busy_until = now + decision_delay;
-                router.arbiter.grant(in_idx);
-                match kind {
-                    DropKind::Fault => self.stats.faults.packets_dropped += 1,
-                    DropKind::Unreachable => self.stats.health.unreachable_drops += 1,
-                    DropKind::Misaddressed => self.stats.health.misaddressed_drops += 1,
-                }
-            } else if blocked {
-                self.routers[idx].counters.blocked_cycles += 1;
-                self.stats.routers[idx].blocked_cycles += 1;
-            }
-        }
-    }
-
-    /// Phase B′: input ports discarding a dropped packet consume one flit
-    /// per handshake period, so the upstream wormhole keeps moving and
-    /// the drop never wedges the path.
-    fn sink_phase(&mut self, now: u64, nodes: &[usize]) {
-        let health = &self.stats.health;
-        if self.injector.is_none()
-            && self.stats.faults.packets_dropped == 0
-            && health.unreachable_drops == 0
-            && health.misaddressed_drops == 0
-            && health.wedged_packets_dropped == 0
-        {
-            return;
-        }
-        let cadence = u64::from(self.config.cycles_per_flit);
-        for &idx in nodes {
-            for in_idx in 0..self.routers[idx].inputs.len() {
-                let input = &mut self.routers[idx].inputs[in_idx];
-                if !input.sinking || now < input.sink_ready_at {
-                    continue;
-                }
-                let Some(head) = input.buffer.peek() else {
-                    continue;
-                };
-                if head.arrived >= now {
-                    continue;
-                }
-                let Some(flit) = input.buffer.pop() else {
-                    continue;
-                };
-                input.sink_ready_at = now + cadence;
-                input.fwd_count += 1;
-                if input.fwd_count == 2 {
-                    input.fwd_expected = Some(usize::from(flit.value) + 2);
-                }
-                if input.fwd_expected == Some(input.fwd_count) {
-                    input.close();
-                }
-                self.stats.faults.flits_dropped += 1;
-            }
-        }
-    }
-
-    /// Phase C: every established connection forwards one flit when the
-    /// handshake cadence allows and the downstream buffer has space.
-    fn forward_phase(&mut self, now: u64, nodes: &[usize]) {
-        // Collect transfers first (immutable scan), then apply them; a
-        // downstream buffer is fed by exactly one upstream output, so the
-        // decisions cannot conflict.
-        let mut transfers: Vec<(usize, usize, usize)> = Vec::new();
-        // Links crossing the fault threshold this cycle: `(router, out,
-        // wedged)`. A link killed by an outage has a worm wedged on it; a
-        // link killed by garbling is still transferring, so its current
-        // worm completes normally and only future decisions avoid it.
-        let mut newly_dead: Vec<(usize, usize, bool)> = Vec::new();
-        let mut outage_blocks = 0u64;
-        for &idx in nodes {
-            let router = &self.routers[idx];
-            for (in_idx, input) in router.inputs.iter().enumerate() {
-                let Some(out) = input.conn else { continue };
-                if now < input.conn_active_at {
-                    continue;
-                }
-                if now < router.outputs[out].next_free {
-                    continue;
-                }
-                let Some(flit) = input.buffer.peek() else {
-                    continue;
-                };
-                if flit.arrived >= now {
-                    continue;
-                }
-                let out_port = Port::from_index(out);
-                if self
-                    .injector
-                    .as_ref()
-                    .is_some_and(|inj| inj.link_down(router.addr, out_port, now))
-                {
-                    outage_blocks += 1;
-                    // A ready transfer blocked by the outage is one failed
-                    // hop handshake; each link sees at most one per cycle
-                    // (a single input owns each output).
-                    if self.health.observe_failure((router.addr, out_port), now) {
-                        newly_dead.push((idx, out, true));
-                    }
-                    continue;
-                }
-                let has_space = match out_port {
-                    Port::Local => true,
-                    _ => {
-                        let Some(next) = self.neighbour(router.addr, out_port) else {
-                            continue;
-                        };
-                        let Some(next_idx) = self.index(next) else {
-                            continue;
-                        };
-                        let Some(in_port) = out_port.opposite() else {
-                            continue;
-                        };
-                        !self.routers[next_idx].inputs[in_port.index()]
-                            .buffer
-                            .is_full()
-                    }
-                };
-                if has_space {
-                    transfers.push((idx, in_idx, out));
-                }
-            }
-        }
-        self.stats.faults.link_down_blocks += outage_blocks;
-
-        let cadence = u64::from(self.config.cycles_per_flit);
-        for (idx, in_idx, out) in transfers {
-            let here = self.routers[idx].addr;
-            let out_port = Port::from_index(out);
-            // The transfer was decided on a peeked flit this same cycle,
-            // so the pop cannot miss; skipping keeps the phase total even
-            // if that invariant were ever broken.
-            let Some(mut flit) = self.routers[idx].inputs[in_idx].buffer.pop() else {
-                continue;
-            };
-            self.routers[idx].outputs[out].next_free = now + cadence;
-            self.routers[idx].counters.flits_forwarded += 1;
-            self.stats.routers[idx].flits_forwarded += 1;
-            self.stats.flit_hops += 1;
-            *self.stats.link_flits.entry((here, out_port)).or_insert(0) += 1;
-
-            // Track packet boundaries on the forwarding side.
-            let input = &mut self.routers[idx].inputs[in_idx];
-            input.fwd_count += 1;
-            if input.fwd_count == 2 {
-                input.fwd_expected = Some(usize::from(flit.value) + 2);
-            }
-            let flit_index = input.fwd_count;
-            let close = input.fwd_expected == Some(input.fwd_count);
-            if close {
-                input.close();
-                self.routers[idx].outputs[out].owner = None;
-            }
-
-            // Payload flits (3rd wire flit onward) may be corrupted while
-            // crossing the link; header and size flits are exempt so the
-            // wormhole bookkeeping itself stays sound (see `fault`).
-            let mut garbled = false;
-            if flit_index >= 3 {
-                if let Some(inj) = self.injector.as_mut() {
-                    if inj.roll_corrupt(now) {
-                        flit.value = inj.corrupt_value(flit.value, self.config.flit_bits);
-                        self.stats.faults.flits_corrupted += 1;
-                        garbled = true;
-                    }
-                }
-            }
-            if garbled {
-                if self.health.observe_failure((here, out_port), now) {
-                    newly_dead.push((idx, out, false));
-                }
-            } else if !self.health.is_pristine() {
-                self.health.observe_success((here, out_port));
-            }
-
-            flit.arrived = now;
-            match out_port {
-                Port::Local => {
-                    self.stats.flits_delivered += 1;
-                    match self.endpoints[idx].receive(flit) {
-                        RxEvent::HeaderArrived(id) => {
-                            if let Some(record) = self.stats.record_mut(id) {
-                                record.header_delivered = Some(now);
-                            }
-                        }
-                        RxEvent::Completed(id) => {
-                            let mut latency = None;
-                            if let Some(record) = self.stats.record_mut(id) {
-                                record.delivered = Some(now);
-                                latency = Some(now - record.sent);
-                            }
-                            if let Some(latency) = latency {
-                                self.stats.observe_latency(latency);
-                            }
-                            self.stats.packets_delivered += 1;
-                        }
-                        RxEvent::Progress => {}
-                    }
-                }
-                _ => {
-                    // Collection already resolved these lookups; a miss
-                    // here cannot happen for a transfer it emitted.
-                    let Some(next) = self.neighbour(here, out_port) else {
-                        continue;
-                    };
-                    let Some(next_idx) = self.index(next) else {
-                        continue;
-                    };
-                    let Some(in_port) = out_port.opposite() else {
-                        continue;
-                    };
-                    let pushed = self.routers[next_idx].inputs[in_port.index()]
-                        .buffer
-                        .push(flit);
-                    debug_assert!(pushed, "downstream buffer checked for space");
-                    // The flit arrival wakes the downstream node for the
-                    // next cycle's active-set walk.
-                    self.active[next_idx] = true;
-                }
-            }
-        }
-
-        // React to links that crossed the failure threshold this cycle:
-        // flush wormholes wedged on them and announce a fresh detour
-        // table. Diagnosis always runs; the reaction is reserved for
-        // [`Routing::FaultTolerantXy`] so the plain XY modes keep their
-        // documented wedge-on-dead-link behaviour.
-        for (idx, out, wedged) in newly_dead {
-            self.stats.health.links_declared_dead += 1;
-            if self.config.routing != Routing::FaultTolerantXy {
-                continue;
-            }
-            if wedged {
-                self.flush_dead_link(idx, out, now);
-            }
-            self.epochs.push(Epoch {
-                announced: now,
-                origin: self.routers[idx].addr,
-                table: RouteTable::build(
-                    self.config.width,
-                    self.config.height,
-                    self.health.dead_links(),
-                ),
-            });
-            self.stats.health.epochs += 1;
-        }
     }
 
     /// Severs the wormhole wedged on a dead link. Upstream of the break

@@ -28,7 +28,7 @@ const LATENCY_BUCKETS: usize = 16_384;
 /// count, sum, min, max and a fixed-bucket histogram. Constant memory,
 /// O(1) updates; quantiles are exact for latencies below
 /// `LATENCY_BUCKETS` cycles and clamp to the observed maximum beyond.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LatencyHistogram {
     count: u64,
     sum: u64,

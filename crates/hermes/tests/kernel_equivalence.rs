@@ -1,9 +1,10 @@
-//! Differential test of the quiescence-aware kernel: for the same seed
-//! and workload, `KernelMode::Active` must be indistinguishable from
-//! `KernelMode::Reference` — identical cycle counts, identical statistics
-//! (including fault and health counters fed by the shared random stream),
-//! identical per-packet records and identical delivered packets — on
-//! healthy, faulted and degraded meshes.
+//! Differential test of the cycle kernels: for the same seed and
+//! workload, `KernelMode::Active` and `KernelMode::Parallel` (at any
+//! thread count) must be indistinguishable from `KernelMode::Reference`
+//! — identical cycle counts, identical statistics (including fault and
+//! health counters fed by the site-keyed random streams), identical
+//! per-packet records and identical delivered packets — on healthy,
+//! faulted and degraded meshes.
 
 use hermes_noc::fault::{CycleWindow, FaultPlan};
 use hermes_noc::stats::NocStats;
@@ -30,70 +31,109 @@ fn snapshot(stats: &NocStats) -> impl PartialEq + std::fmt::Debug {
     )
 }
 
-/// Steps both kernels in lockstep over the same submission schedule and
-/// asserts every observable matches cycle for cycle.
+/// The kernel line-up every differential run covers: the full-mesh
+/// reference walk, the quiescence-aware active set, and the sharded
+/// parallel engine at degenerate, even and oversubscribed thread counts.
+const KERNELS: [KernelMode; 5] = [
+    KernelMode::Reference,
+    KernelMode::Active,
+    KernelMode::Parallel { threads: 1 },
+    KernelMode::Parallel { threads: 2 },
+    KernelMode::Parallel { threads: 8 },
+];
+
+/// Steps all kernels in lockstep over the same submission schedule and
+/// asserts every observable matches the reference cycle for cycle.
 fn assert_kernels_equivalent(
     config: NocConfig,
     plan: Option<FaultPlan>,
     schedule: &[Send],
     run_cycles: u64,
 ) {
-    let mut reference = Noc::new(config.clone().with_kernel_mode(KernelMode::Reference))
-        .expect("valid reference config");
-    let mut active =
-        Noc::new(config.with_kernel_mode(KernelMode::Active)).expect("valid active config");
+    let mut nocs: Vec<Noc> = KERNELS
+        .iter()
+        .map(|&kernel| {
+            Noc::new(config.clone().with_kernel_mode(kernel)).expect("valid kernel config")
+        })
+        .collect();
     if let Some(plan) = plan {
-        reference.set_fault_plan(plan.clone());
-        active.set_fault_plan(plan);
+        for noc in &mut nocs {
+            noc.set_fault_plan(plan.clone());
+        }
     }
     let mut next = 0;
     for cycle in 0..run_cycles {
         while next < schedule.len() && schedule[next].cycle == cycle {
             let s = &schedule[next];
-            let a = reference.send(s.src, Packet::new(s.dest, s.payload.clone()));
-            let b = active.send(s.src, Packet::new(s.dest, s.payload.clone()));
-            assert_eq!(a, b, "send outcome diverged at cycle {cycle}");
+            let outcomes: Vec<_> = nocs
+                .iter_mut()
+                .map(|noc| noc.send(s.src, Packet::new(s.dest, s.payload.clone())))
+                .collect();
+            for (kernel, outcome) in KERNELS.iter().zip(&outcomes) {
+                assert_eq!(
+                    outcome, &outcomes[0],
+                    "send outcome diverged at cycle {cycle} under {kernel:?}"
+                );
+            }
             next += 1;
         }
-        reference.step();
-        active.step();
+        for noc in &mut nocs {
+            noc.step();
+        }
+        let (reference, rest) = nocs.split_first().expect("at least one kernel");
+        for (kernel, noc) in KERNELS[1..].iter().zip(rest) {
+            assert_eq!(
+                snapshot(reference.stats()),
+                snapshot(noc.stats()),
+                "stats diverged at cycle {cycle} under {kernel:?}"
+            );
+            assert_eq!(
+                reference.is_idle(),
+                noc.is_idle(),
+                "idleness diverged at cycle {cycle} under {kernel:?}"
+            );
+            assert_eq!(
+                reference.current_epoch(),
+                noc.current_epoch(),
+                "epochs diverged at cycle {cycle} under {kernel:?}"
+            );
+        }
+    }
+    let (reference, rest) = nocs.split_first_mut().expect("at least one kernel");
+    for (kernel, noc) in KERNELS[1..].iter().zip(rest.iter()) {
+        assert_eq!(reference.cycle(), noc.cycle(), "{kernel:?}");
         assert_eq!(
-            snapshot(reference.stats()),
-            snapshot(active.stats()),
-            "stats diverged at cycle {cycle}"
+            reference.stats().records(),
+            noc.stats().records(),
+            "{kernel:?}"
+        );
+        assert_eq!(reference.dead_links(), noc.dead_links(), "{kernel:?}");
+        assert_eq!(
+            reference.stats().latency_histogram(),
+            noc.stats().latency_histogram(),
+            "latency histogram diverged under {kernel:?}"
         );
         assert_eq!(
-            reference.is_idle(),
-            active.is_idle(),
-            "idleness diverged at cycle {cycle}"
-        );
-        assert_eq!(
-            reference.current_epoch(),
-            active.current_epoch(),
-            "epochs diverged at cycle {cycle}"
+            reference.stats().latency_quantile(0.99),
+            noc.stats().latency_quantile(0.99),
+            "{kernel:?}"
         );
     }
-    assert_eq!(reference.cycle(), active.cycle());
-    assert_eq!(reference.stats().records(), active.stats().records());
-    assert_eq!(reference.dead_links(), active.dead_links());
-    assert_eq!(
-        reference.stats().mean_latency(),
-        active.stats().mean_latency()
-    );
-    assert_eq!(
-        reference.stats().latency_quantile(0.99),
-        active.stats().latency_quantile(0.99)
-    );
     // Delivered packets drain in the same order with the same sources.
     let (w, h) = (reference.config().width, reference.config().height);
     for y in 0..h {
         for x in 0..w {
             let at = RouterAddr::new(x, y);
             loop {
-                let a = reference.try_recv(at);
-                let b = active.try_recv(at);
-                assert_eq!(a, b, "delivered stream diverged at {at}");
-                if a.is_none() {
+                let expect = reference.try_recv(at);
+                for (kernel, noc) in KERNELS[1..].iter().zip(rest.iter_mut()) {
+                    let got = noc.try_recv(at);
+                    assert_eq!(
+                        got, expect,
+                        "delivered stream diverged at {at} ({kernel:?})"
+                    );
+                }
+                if expect.is_none() {
                     break;
                 }
             }
@@ -168,6 +208,51 @@ fn small_stats_window_stays_cycle_identical() {
     let config = NocConfig::mesh(3, 3).with_stats_window(4);
     let sends = schedule(3, 3, 50, 11);
     assert_kernels_equivalent(config, None, &sends, 4_000);
+}
+
+#[test]
+fn parallel_kernel_is_thread_count_invariant() {
+    // The same faulted workload at every thread count must land on the
+    // same cycle count, the same service counters and the same latency
+    // histogram bucket for bucket — the whole point of keying randomness
+    // by site and merging deltas in shard order.
+    let plan = FaultPlan::new(7)
+        .with_drop_rate(0.05)
+        .with_corrupt_rate(0.05);
+    let sends = schedule(4, 4, 80, 7);
+    let mut baseline: Option<(u64, Vec<u8>)> = None;
+    for threads in [1usize, 2, 3, 8] {
+        let config = NocConfig::mesh(4, 4).with_kernel_mode(KernelMode::Parallel { threads });
+        let mut noc = Noc::new(config).expect("valid parallel config");
+        noc.set_fault_plan(plan.clone());
+        let mut next = 0;
+        for cycle in 0..4_000 {
+            while next < sends.len() && sends[next].cycle == cycle {
+                let s = &sends[next];
+                noc.send(s.src, Packet::new(s.dest, s.payload.clone()))
+                    .expect("send");
+                next += 1;
+            }
+            noc.step();
+        }
+        noc.run_until_idle(100_000).expect("drains");
+        let fingerprint = (
+            noc.cycle(),
+            format!(
+                "{:?} {:?}",
+                snapshot(noc.stats()),
+                noc.stats().latency_histogram()
+            )
+            .into_bytes(),
+        );
+        match &baseline {
+            None => baseline = Some(fingerprint),
+            Some(b) => assert_eq!(
+                b, &fingerprint,
+                "observables changed with thread count {threads}"
+            ),
+        }
+    }
 }
 
 #[test]

@@ -510,10 +510,8 @@ impl System {
         }
     }
 
-    /// Runs for exactly `cycles` clock cycles, [fast-forwarding]
+    /// Runs for exactly `cycles` clock cycles, fast-forwarding
     /// timer-bound idle gaps.
-    ///
-    /// [fast-forwarding]: Self::fast_forward_idle_gap
     ///
     /// # Errors
     ///
@@ -924,6 +922,16 @@ impl SystemBuilder {
     /// Sets the network configuration (defaults to the paper's 2×2).
     pub fn noc(mut self, config: NocConfig) -> Self {
         self.noc = Some(config);
+        self
+    }
+
+    /// Overrides the simulation kernel of the network — e.g.
+    /// [`KernelMode::Parallel`](hermes_noc::KernelMode::Parallel) to
+    /// shard big meshes over worker threads. All kernels produce
+    /// bit-identical system behaviour; this is purely a wall-clock knob.
+    pub fn kernel(mut self, kernel: hermes_noc::KernelMode) -> Self {
+        let config = self.noc.unwrap_or_else(NocConfig::multinoc);
+        self.noc = Some(config.with_kernel_mode(kernel));
         self
     }
 

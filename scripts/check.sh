@@ -13,11 +13,15 @@ cargo fmt --all -- --check
 echo "=== cargo clippy (deny warnings) ==="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "=== cargo doc (deny warnings) ==="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
+
 echo "=== cargo test ==="
 # Includes the differential kernel suites: hermes/tests/kernel_equivalence.rs
-# (active-set kernel vs reference full scan, cycle-identical) and
-# multinoc/tests/fast_forward_equivalence.rs (idle fast-forward vs
-# single-stepping).
+# (reference full scan vs active set vs parallel shards at 1/2/8 threads,
+# cycle-identical), multinoc/tests/kernel_invariance.rs (thread-count
+# invariance at system level) and multinoc/tests/fast_forward_equivalence.rs
+# (idle fast-forward vs single-stepping).
 cargo test -q --offline --workspace
 
 echo "=== fault-injection smoke checks (fixed seed) ==="
@@ -26,7 +30,10 @@ cargo run --release -q --offline -p multinoc-bench --bin exp_degradation > /dev/
 echo "exp_fault_sweep and exp_degradation deterministic and green"
 
 echo "=== kernel-performance smoke check (differential, fixed seed) ==="
+# Also sweeps the parallel kernel over 1/2/4/8 worker threads (so the
+# 4-thread differential always runs, even on a single-core runner) and
+# asserts bit-identical simulated outcomes before any rate is recorded.
 EXP_PERF_SMOKE=1 cargo run --release -q --offline -p multinoc-bench --bin exp_perf > /dev/null
-echo "exp_perf kernels agree on all workloads"
+echo "exp_perf kernels (sequential and parallel) agree on all workloads"
 
 echo "all checks passed"
