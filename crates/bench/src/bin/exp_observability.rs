@@ -1,0 +1,379 @@
+//! E21 (extension) — observability: the packet-lifecycle tracer, the
+//! metrics registry and the combined Perfetto exporter, demonstrated
+//! end-to-end and held to the same determinism contract as the
+//! simulation itself.
+//!
+//! Four sections:
+//!
+//! 1. **Determinism** — healthy, faulted and degraded workloads each run
+//!    under the reference, active and parallel kernels; the exported
+//!    Perfetto document, Prometheus exposition and metrics JSON must be
+//!    byte-identical across all of them (the span stream rides the same
+//!    `ShardDelta` merge as the simulation state), and every Perfetto
+//!    document must satisfy the Chrome trace-event schema.
+//! 2. **Overhead** — the same saturated workload with tracing off and
+//!    on; the simulated outcome must be identical and the wall-clock
+//!    cost of the instrumentation is reported, never asserted.
+//! 3. **Heatmap** — per-link utilization consumed *from the metrics
+//!    registry's own JSON exposition* (parsed with the dependency-free
+//!    validator), rendered as a mesh heatmap and dumped to
+//!    `HEATMAP_utilization.txt`.
+//! 4. **System export** — a full MultiNoC boot-and-run traced at both
+//!    layers; the combined document (hermes packet spans + multinoc
+//!    service instants) lands in `TRACE_perfetto.json` (openable in
+//!    ui.perfetto.dev) with the metrics snapshot in
+//!    `METRICS_observability.json` / `.prom`.
+//!
+//! Run with `cargo run --release -p multinoc-bench --bin
+//! exp_observability` (set `EXP_OBS_SMOKE=1` for the fast CI variant).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hermes_noc::fault::{CycleWindow, FaultPlan};
+use hermes_noc::traffic::{Pattern, TrafficGen};
+use hermes_noc::{KernelMode, Noc, NocConfig, Packet, Port, RouterAddr, Routing};
+use multinoc::serial::SerialConfig;
+use multinoc::{NodeId, System};
+use multinoc_bench::json::{parse, validate_trace_event_json, Json};
+use multinoc_bench::table_row;
+use r8::asm::assemble;
+
+/// Seed shared by every workload.
+const SEED: u64 = 0xE21_0B5;
+
+/// Workload scale: 1 for the CI smoke run, 8 for the full measurement.
+fn scale() -> u64 {
+    if std::env::var_os("EXP_OBS_SMOKE").is_some() {
+        1
+    } else {
+        8
+    }
+}
+
+/// Kernels every export is checked across: the acceptance bar is that
+/// observability output never depends on the engine that produced it.
+const KERNELS: [KernelMode; 4] = [
+    KernelMode::Reference,
+    KernelMode::Active,
+    KernelMode::Parallel { threads: 2 },
+    KernelMode::Parallel { threads: 8 },
+];
+
+/// One deterministic workload the determinism section replays per kernel.
+struct Workload {
+    name: &'static str,
+    config: NocConfig,
+    plan: Option<FaultPlan>,
+    packets: usize,
+    spacing: u64,
+    cycles: u64,
+}
+
+fn workloads(scale: u64) -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "healthy",
+            config: NocConfig::mesh(4, 4),
+            plan: None,
+            packets: 40 * scale as usize,
+            spacing: 9,
+            cycles: 2_000 * scale,
+        },
+        Workload {
+            name: "faulted",
+            config: NocConfig::mesh(3, 3),
+            plan: Some(
+                FaultPlan::new(SEED)
+                    .with_drop_rate(0.1)
+                    .with_corrupt_rate(0.1)
+                    .with_router_stall(RouterAddr::new(1, 1), CycleWindow::new(100, 600)),
+            ),
+            packets: 30 * scale as usize,
+            spacing: 17,
+            cycles: 1_500 * scale,
+        },
+        Workload {
+            name: "degraded",
+            config: NocConfig::mesh(3, 3).with_routing(Routing::FaultTolerantXy),
+            plan: Some(FaultPlan::new(SEED ^ 0xDE6).with_link_down(
+                RouterAddr::new(1, 1),
+                Port::East,
+                CycleWindow::open_ended(0),
+            )),
+            packets: 30 * scale as usize,
+            spacing: 23,
+            cycles: 2_000 * scale,
+        },
+    ]
+}
+
+/// Runs one workload under one kernel with tracing on and returns the
+/// three exported artifacts.
+fn run_traced(w: &Workload, kernel: KernelMode) -> (String, String, String) {
+    let mut noc = Noc::new(w.config.clone().with_kernel_mode(kernel)).expect("valid config");
+    noc.enable_packet_trace(2_048);
+    if let Some(plan) = &w.plan {
+        noc.set_fault_plan(plan.clone());
+    }
+    let nodes = u64::from(w.config.width) * u64::from(w.config.height);
+    let mut next = 0u64;
+    for cycle in 0..w.cycles {
+        while next < w.packets as u64 && next * w.spacing == cycle {
+            let s = next % nodes;
+            let d = (next * 7 + 3) % nodes;
+            let src = addr_of(s, w.config.width);
+            let dst = addr_of(d, w.config.width);
+            let _ = noc.send(src, Packet::new(dst, vec![(next % 200) as u16; 3]));
+            next += 1;
+        }
+        noc.step();
+    }
+    let metrics = noc.metrics();
+    (
+        noc.packet_trace().expect("enabled").perfetto_json(),
+        metrics.to_prometheus(),
+        metrics.to_json(),
+    )
+}
+
+fn addr_of(index: u64, width: u8) -> RouterAddr {
+    RouterAddr::new(
+        (index % u64::from(width)) as u8,
+        (index / u64::from(width)) as u8,
+    )
+}
+
+/// Saturated 8×8 run for the overhead section; returns the observables
+/// that must not move when tracing is enabled, plus the wall clock.
+fn overhead_run(traced: bool, cycles: u64) -> ((u64, u64, u64, u64), f64) {
+    let mut noc = Noc::new(NocConfig::mesh(8, 8)).expect("valid mesh");
+    if traced {
+        noc.enable_packet_trace(4_096);
+    }
+    let mut gen = TrafficGen::new(Pattern::Uniform, 0.2, 4, SEED ^ 0x0EE);
+    let start = Instant::now();
+    gen.drive(&mut noc, cycles, 1_000_000).expect("drive");
+    let seconds = start.elapsed().as_secs_f64();
+    let s = noc.stats();
+    (
+        (s.cycles, s.packets_sent, s.packets_delivered, s.flit_hops),
+        seconds,
+    )
+}
+
+/// Pulls every `hermes_link_utilization` sample out of the registry's
+/// JSON exposition — the heatmap deliberately consumes the exported
+/// artifact, not the simulator's internals.
+fn link_utilization_from_json(metrics_json: &str) -> Vec<(RouterAddr, String, f64)> {
+    let doc = parse(metrics_json).expect("registry JSON parses");
+    let families = doc
+        .get("metrics")
+        .and_then(Json::as_arr)
+        .expect("a metrics array");
+    let mut out = Vec::new();
+    for family in families {
+        if family.get("name").and_then(Json::as_str) != Some("hermes_link_utilization") {
+            continue;
+        }
+        for sample in family.get("samples").and_then(Json::as_arr).unwrap_or(&[]) {
+            let link = sample
+                .get("labels")
+                .and_then(|l| l.get("link"))
+                .and_then(Json::as_str)
+                .expect("a link label");
+            let value = sample.get("value").and_then(Json::as_num).expect("a value");
+            // The label is "xy:Port" with single-digit mesh coordinates.
+            let mut chars = link.chars();
+            let x = chars.next().and_then(|c| c.to_digit(10)).expect("x digit") as u8;
+            let y = chars.next().and_then(|c| c.to_digit(10)).expect("y digit") as u8;
+            let port = link.split(':').nth(1).expect("port name").to_string();
+            out.push((RouterAddr::new(x, y), port, value));
+        }
+    }
+    out
+}
+
+/// A full MultiNoC system run traced at both layers under `kernel`:
+/// boots the paper layout, runs a program on P1 that walks the remote
+/// memory IP (write-in-memory, read-from-memory, read-return services
+/// over the NoC), and exports the combined trace plus the metrics
+/// snapshot.
+fn system_run(kernel: KernelMode) -> (String, String, String) {
+    let mut sys = System::builder()
+        .noc(NocConfig::multinoc().with_kernel_mode(kernel))
+        .serial(SerialConfig::from_baud(25.0e6, 115_200.0))
+        .serial_at(RouterAddr::new(0, 0))
+        .processor_at(RouterAddr::new(0, 1))
+        .processor_at(RouterAddr::new(1, 0))
+        .memory_at(RouterAddr::new(1, 1))
+        .build()
+        .expect("paper layout");
+    sys.enable_trace(1_024);
+    sys.enable_packet_trace(1_024);
+    // Eight remote stores then eight remote loads: every iteration is a
+    // full NoC service round trip to the memory IP at 0x0800.
+    let program = assemble(
+        "LIW R2, 0x800\n\
+         LIW R1, 8\n\
+         XOR R0, R0, R0\n\
+         wr: ST R1, R2, R0\n\
+         ADDI R0, 1\n\
+         SUBI R1, 1\n\
+         JMPZD rd\n\
+         JMPD wr\n\
+         rd: LIW R1, 8\n\
+         XOR R0, R0, R0\n\
+         rl: LD R3, R2, R0\n\
+         ADDI R0, 1\n\
+         SUBI R1, 1\n\
+         JMPZD done\n\
+         JMPD rl\n\
+         done: HALT",
+    )
+    .expect("assembles");
+    sys.memory_mut(NodeId(1))
+        .expect("p1 memory")
+        .write_block(0, program.words());
+    sys.activate_directly(NodeId(1)).expect("activates");
+    sys.run_until_halted(10_000_000).expect("halts");
+    let snapshot = sys.metrics_snapshot();
+    (
+        sys.perfetto_json(),
+        snapshot.to_json(),
+        snapshot.to_prometheus(),
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale();
+    println!("E21: observability (seed {SEED:#x}, scale {scale}x)");
+    println!("every export is checked byte-identical across kernels and");
+    println!("validated against the Chrome trace-event schema\n");
+
+    // 1. Determinism of the exported artifacts.
+    table_row!(
+        "workload",
+        "trace events",
+        "trace bytes",
+        "kernels",
+        "verdict"
+    );
+    let mut degraded_metrics_json = String::new();
+    for w in workloads(scale) {
+        let reference = run_traced(&w, KERNELS[0]);
+        for &kernel in &KERNELS[1..] {
+            let got = run_traced(&w, kernel);
+            assert_eq!(
+                reference.0, got.0,
+                "{}: Perfetto diverged ({kernel:?})",
+                w.name
+            );
+            assert_eq!(
+                reference.1, got.1,
+                "{}: Prometheus diverged ({kernel:?})",
+                w.name
+            );
+            assert_eq!(
+                reference.2, got.2,
+                "{}: metrics JSON diverged ({kernel:?})",
+                w.name
+            );
+        }
+        let events = validate_trace_event_json(&reference.0)
+            .unwrap_or_else(|e| panic!("{}: schema violation: {e}", w.name));
+        parse(&reference.2).expect("metrics JSON parses");
+        table_row!(
+            w.name,
+            events,
+            reference.0.len(),
+            KERNELS.len(),
+            "identical"
+        );
+        if w.name == "degraded" {
+            degraded_metrics_json = reference.2;
+        }
+    }
+
+    // 2. Instrumentation overhead: same simulated outcome, reported (not
+    // asserted) wall-clock cost.
+    let cycles = 3_000 * scale;
+    let (off_obs, off_secs) = overhead_run(false, cycles);
+    let (on_obs, on_secs) = overhead_run(true, cycles);
+    assert_eq!(
+        off_obs, on_obs,
+        "enabling the tracer changed the simulated outcome"
+    );
+    println!(
+        "\noverhead: saturated 8x8, {} cycles, {} packets —\n\
+         tracing off {:.0} c/s, on {:.0} c/s ({:+.1}% wall clock);\n\
+         simulated observables identical",
+        off_obs.0,
+        off_obs.1,
+        off_obs.0 as f64 / off_secs,
+        on_obs.0 as f64 / on_secs,
+        100.0 * (on_secs / off_secs - 1.0),
+    );
+
+    // 3. Per-link utilization heatmap, consumed from the registry JSON.
+    let mut links = link_utilization_from_json(&degraded_metrics_json);
+    links.sort_by(|a, b| b.2.total_cmp(&a.2));
+    println!("\nlink-utilization heatmap (degraded 3x3, busiest outgoing");
+    println!("mesh link per router, % of capacity; X marks the dead link):");
+    let mut dump = String::from("link utilization (degraded 3x3 fault-tolerant mesh)\n");
+    for (addr, port, util) in &links {
+        let _ = writeln!(dump, "{addr}:{port} {util:.4}");
+    }
+    for y in (0..3u8).rev() {
+        let mut row = String::from("  ");
+        for x in 0..3u8 {
+            let here = RouterAddr::new(x, y);
+            let peak = links
+                .iter()
+                .filter(|(a, p, _)| *a == here && p != "Local")
+                .map(|(_, _, u)| *u)
+                .fold(0.0f64, f64::max);
+            let marker = if x == 1 && y == 1 { "X" } else { " " };
+            let _ = write!(row, "[{:>3.0}%{marker}] ", peak * 100.0);
+        }
+        println!("{row}");
+    }
+    std::fs::write("HEATMAP_utilization.txt", &dump)?;
+    let hottest = links.first().expect("at least one link");
+    println!(
+        "  hottest link {}:{} at {:.1}% — traffic detours around the dead",
+        hottest.0,
+        hottest.1,
+        hottest.2 * 100.0
+    );
+    println!("  (1,1)->East link, exactly what the fault-tolerant router promises");
+
+    // 4. Combined system export, again identical across kernels.
+    let reference = system_run(KernelMode::Active);
+    let parallel = system_run(KernelMode::Parallel { threads: 2 });
+    assert_eq!(
+        reference, parallel,
+        "system-level exports diverged between kernels"
+    );
+    let events = validate_trace_event_json(&reference.0)?;
+    assert!(
+        reference.0.contains("\"ph\":\"X\"") && reference.0.contains("\"ph\":\"i\""),
+        "the combined export carries both packet spans and service instants"
+    );
+    std::fs::write("TRACE_perfetto.json", &reference.0)?;
+    std::fs::write("METRICS_observability.json", &reference.1)?;
+    std::fs::write("METRICS_observability.prom", &reference.2)?;
+    println!(
+        "\nsystem export: {} trace events ({} bytes) from a full boot-and-run,\n\
+         packet spans and service instants interleaved, byte-identical\n\
+         across kernels",
+        events,
+        reference.0.len()
+    );
+    println!(
+        "\nartifacts: TRACE_perfetto.json (load in ui.perfetto.dev),\n\
+         METRICS_observability.json, METRICS_observability.prom,\n\
+         HEATMAP_utilization.txt"
+    );
+    Ok(())
+}

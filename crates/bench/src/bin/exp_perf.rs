@@ -28,7 +28,8 @@ use std::time::Instant;
 
 use hermes_noc::traffic::{Pattern, TrafficGen};
 use hermes_noc::{
-    CycleWindow, FaultPlan, KernelMode, Noc, NocConfig, Packet, Port, RouterAddr, Routing,
+    CycleWindow, FaultPlan, KernelMode, Noc, NocConfig, Packet, PhaseProfile, Port, RouterAddr,
+    Routing,
 };
 use multinoc::serial::{HostCommand, SerialConfig, SYNC_BYTE};
 use multinoc::{NodeId, System};
@@ -75,6 +76,35 @@ impl Fingerprint {
 struct Measured {
     fingerprint: Fingerprint,
     seconds: f64,
+    /// End-to-end latency `(p50, p95, p99)` in cycles, from the bounded
+    /// histogram; `None` before the first delivery.
+    latency: (Option<u64>, Option<u64>, Option<u64>),
+    /// Kernel phase breakdown; `Some` only when the profiler was on
+    /// (parallel sweep points).
+    phases: Option<PhaseProfile>,
+}
+
+impl Measured {
+    /// Captures everything a workload reports: the differential
+    /// fingerprint, the elapsed wall clock, the latency percentiles and
+    /// (when profiling) the phase breakdown.
+    fn capture(noc: &Noc, start: Instant) -> Self {
+        let hist = noc.stats().latency_histogram();
+        Self {
+            fingerprint: Fingerprint::of(noc),
+            seconds: start.elapsed().as_secs_f64(),
+            latency: (hist.p50(), hist.p95(), hist.p99()),
+            phases: noc.phase_profile(),
+        }
+    }
+}
+
+/// Turns the phase profiler on for parallel kernels, where the
+/// decide/commit/barrier breakdown explains the observed scaling.
+fn profile_if_parallel(noc: &mut Noc, kernel: KernelMode) {
+    if matches!(kernel, KernelMode::Parallel { .. }) {
+        noc.enable_phase_profiler();
+    }
 }
 
 /// Sparse bursts on a 16×16 mesh: a handful of packets every few
@@ -82,6 +112,7 @@ struct Measured {
 /// kernel scans 256 idle routers per cycle for nothing.
 fn idle_heavy(kernel: KernelMode, cycles: u64) -> Measured {
     let mut noc = Noc::new(NocConfig::mesh(16, 16).with_kernel_mode(kernel)).expect("valid mesh");
+    profile_if_parallel(&mut noc, kernel);
     let start = Instant::now();
     for now in 0..cycles {
         if now % 4_000 == 0 {
@@ -100,10 +131,7 @@ fn idle_heavy(kernel: KernelMode, cycles: u64) -> Measured {
         }
         noc.step();
     }
-    Measured {
-        fingerprint: Fingerprint::of(&noc),
-        seconds: start.elapsed().as_secs_f64(),
-    }
+    Measured::capture(&noc, start)
 }
 
 /// Uniform random traffic at a high injection rate on an 8×8 mesh: the
@@ -111,13 +139,11 @@ fn idle_heavy(kernel: KernelMode, cycles: u64) -> Measured {
 /// nothing — the overhead guard.
 fn saturated(kernel: KernelMode, cycles: u64) -> Measured {
     let mut noc = Noc::new(NocConfig::mesh(8, 8).with_kernel_mode(kernel)).expect("valid mesh");
+    profile_if_parallel(&mut noc, kernel);
     let mut gen = TrafficGen::new(Pattern::Uniform, 0.25, 4, SEED);
     let start = Instant::now();
     gen.drive(&mut noc, cycles, 1_000_000).expect("drive");
-    Measured {
-        fingerprint: Fingerprint::of(&noc),
-        seconds: start.elapsed().as_secs_f64(),
-    }
+    Measured::capture(&noc, start)
 }
 
 /// Moderate traffic on an 8×8 fault-tolerant mesh with two permanent
@@ -128,6 +154,7 @@ fn degraded(kernel: KernelMode, cycles: u64) -> Measured {
         .with_kernel_mode(kernel)
         .with_routing(Routing::FaultTolerantXy);
     let mut noc = Noc::new(config).expect("valid mesh");
+    profile_if_parallel(&mut noc, kernel);
     noc.set_fault_plan(
         FaultPlan::new(SEED)
             .with_link_down(
@@ -144,10 +171,7 @@ fn degraded(kernel: KernelMode, cycles: u64) -> Measured {
     let mut gen = TrafficGen::new(Pattern::Uniform, 0.05, 4, SEED ^ 0xD15EA5E);
     let start = Instant::now();
     gen.drive(&mut noc, cycles, 1_000_000).expect("drive");
-    Measured {
-        fingerprint: Fingerprint::of(&noc),
-        seconds: start.elapsed().as_secs_f64(),
-    }
+    Measured::capture(&noc, start)
 }
 
 /// Uniform random traffic on a 32×32 sea-of-processors mesh (10-bit
@@ -159,17 +183,22 @@ fn sea_saturated(kernel: KernelMode, cycles: u64) -> Measured {
         .with_flit_bits(10)
         .with_kernel_mode(kernel);
     let mut noc = Noc::new(config).expect("valid mesh");
+    profile_if_parallel(&mut noc, kernel);
     let mut gen = TrafficGen::new(Pattern::Uniform, 0.2, 4, SEED ^ 0x5EA);
     let start = Instant::now();
     gen.drive(&mut noc, cycles, 1_000_000).expect("drive");
-    Measured {
-        fingerprint: Fingerprint::of(&noc),
-        seconds: start.elapsed().as_secs_f64(),
-    }
+    Measured::capture(&noc, start)
 }
 
 /// Thread counts the parallel sweep covers.
 const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One parallel sweep point: rate plus the profiler's phase breakdown.
+struct SweepPoint {
+    threads: usize,
+    cps: f64,
+    phases: Option<PhaseProfile>,
+}
 
 struct ParallelRow {
     name: &'static str,
@@ -177,8 +206,7 @@ struct ParallelRow {
     cycles: u64,
     /// Sequential active-set kernel, the speedup baseline.
     active_cps: f64,
-    /// `(threads, cycles_per_sec)` for each sweep point.
-    per_threads: Vec<(usize, f64)>,
+    per_threads: Vec<SweepPoint>,
 }
 
 /// Runs `run` under the sequential kernel and under the parallel kernel
@@ -199,10 +227,11 @@ fn sweep(
                 active.fingerprint, parallel.fingerprint,
                 "{name}: parallel kernel at {threads} threads disagrees on the simulated outcome"
             );
-            (
+            SweepPoint {
                 threads,
-                parallel.fingerprint.cycles as f64 / parallel.seconds,
-            )
+                cps: parallel.fingerprint.cycles as f64 / parallel.seconds,
+                phases: parallel.phases,
+            }
         })
         .collect();
     ParallelRow {
@@ -301,6 +330,9 @@ struct Row {
     cycles: u64,
     reference_cps: f64,
     active_cps: f64,
+    /// End-to-end latency `(p50, p95, p99)` in cycles (identical across
+    /// kernels — part of the simulated outcome).
+    latency: (Option<u64>, Option<u64>, Option<u64>),
     rss_kib: Option<u64>,
 }
 
@@ -322,14 +354,29 @@ fn measure(
         reference.fingerprint, active.fingerprint,
         "{name}: kernels disagree on the simulated outcome"
     );
+    assert_eq!(
+        reference.latency, active.latency,
+        "{name}: kernels disagree on the latency percentiles"
+    );
     Row {
         name,
         detail,
         cycles: reference.fingerprint.cycles,
         reference_cps: reference.fingerprint.cycles as f64 / reference.seconds,
         active_cps: active.fingerprint.cycles as f64 / active.seconds,
+        latency: active.latency,
         rss_kib: peak_rss_kib(),
     }
+}
+
+/// Renders an optional cycle count for a table cell.
+fn opt_cycles(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".into(), |c| c.to_string())
+}
+
+/// Renders an optional cycle count as a JSON value.
+fn opt_json(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".into(), |c| c.to_string())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -378,7 +425,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.active_cps,
             r.speedup()
         );
-        let _ = writeln!(out, "               ({})", r.detail);
+        let _ = writeln!(
+            out,
+            "               ({}; latency p50/p95/p99 {}/{}/{} cycles)",
+            r.detail,
+            opt_cycles(r.latency.0),
+            opt_cycles(r.latency.1),
+            opt_cycles(r.latency.2),
+        );
     }
 
     // Parallel-kernel thread sweep: observations, not assertions — the
@@ -412,12 +466,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {:<20} {:>12} cycles, active {:>12.0} c/s",
             r.name, r.cycles, r.active_cps
         );
-        for &(threads, cps) in &r.per_threads {
+        for p in &r.per_threads {
             let _ = writeln!(
                 out,
-                "    {threads} thread(s): {cps:>12.0} c/s ({:.2}x vs active)",
-                cps / r.active_cps
+                "    {} thread(s): {:>12.0} c/s ({:.2}x vs active)",
+                p.threads,
+                p.cps,
+                p.cps / r.active_cps
             );
+            if let Some(ph) = &p.phases {
+                let total = ph.total_nanos().max(1) as f64;
+                let _ = writeln!(
+                    out,
+                    "      phases: local {:.0}% decide {:.0}% apply-src {:.0}% \
+                     apply-dst {:.0}% barrier {:.0}%",
+                    100.0 * ph.local_nanos as f64 / total,
+                    100.0 * ph.decide_nanos as f64 / total,
+                    100.0 * ph.apply_src_nanos as f64 / total,
+                    100.0 * ph.apply_dst_nanos as f64 / total,
+                    100.0 * ph.barrier_nanos as f64 / total,
+                );
+            }
         }
         let _ = writeln!(out, "               ({})", r.detail);
     }
@@ -479,12 +548,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"cycles\": {}, \"reference_cycles_per_sec\": {:.0}, \
-             \"active_cycles_per_sec\": {:.0}, \"speedup\": {:.2}, \"peak_rss_kib\": {}}},",
+             \"active_cycles_per_sec\": {:.0}, \"speedup\": {:.2}, \
+             \"latency_p50\": {}, \"latency_p95\": {}, \"latency_p99\": {}, \
+             \"peak_rss_kib\": {}}},",
             r.name,
             r.cycles,
             r.reference_cps,
             r.active_cps,
             r.speedup(),
+            opt_json(r.latency.0),
+            opt_json(r.latency.1),
+            opt_json(r.latency.2),
             r.rss_kib.map_or("null".into(), |k| k.to_string()),
         );
     }
@@ -533,12 +607,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.name, r.cycles, r.active_cps
         );
         let _ = writeln!(pjson, "     \"threads\": [");
-        for (j, &(threads, cps)) in r.per_threads.iter().enumerate() {
+        for (j, p) in r.per_threads.iter().enumerate() {
+            let phases = p.phases.as_ref().map_or("null".to_string(), |ph| {
+                format!(
+                    "{{\"local_nanos\": {}, \"decide_nanos\": {}, \
+                     \"apply_src_nanos\": {}, \"apply_dst_nanos\": {}, \
+                     \"barrier_nanos\": {}, \"barrier_fraction\": {:.4}}}",
+                    ph.local_nanos,
+                    ph.decide_nanos,
+                    ph.apply_src_nanos,
+                    ph.apply_dst_nanos,
+                    ph.barrier_nanos,
+                    ph.barrier_fraction(),
+                )
+            });
             let _ = writeln!(
                 pjson,
-                "       {{\"threads\": {threads}, \"cycles_per_sec\": {cps:.0}, \
-                 \"speedup_vs_active\": {:.3}}}{}",
-                cps / r.active_cps,
+                "       {{\"threads\": {}, \"cycles_per_sec\": {:.0}, \
+                 \"speedup_vs_active\": {:.3}, \"phases\": {phases}}}{}",
+                p.threads,
+                p.cps,
+                p.cps / r.active_cps,
                 if j + 1 < r.per_threads.len() { "," } else { "" },
             );
         }

@@ -3,10 +3,15 @@
 //! Each `exp_*` binary in `src/bin/` regenerates one evaluation artifact
 //! of the paper (see the experiment index in `DESIGN.md`); the Criterion
 //! benches in `benches/` measure the simulator itself. This library
-//! holds the small shared pieces: a fixed-width table printer and the
-//! saturation workload used by the throughput experiments.
+//! holds the small shared pieces: a fixed-width table printer, the
+//! saturation workload used by the throughput experiments, and a small
+//! JSON parser ([`json`]) used to validate exported artifacts (Chrome
+//! trace-event documents, metrics snapshots) without external
+//! dependencies.
 
 use hermes_noc::{Noc, Packet, RouterAddr};
+
+pub mod json;
 
 /// Prints a row of fixed-width columns (16 characters each, first column
 /// 24) so experiment output lines up like the paper's tables.

@@ -1,0 +1,80 @@
+//! Schema validation for the exported observability artifacts: the
+//! Chrome trace-event documents written by the hermes packet tracer and
+//! the multinoc system exporter must parse as JSON and satisfy the
+//! trace-event format ui.perfetto.dev expects, and the metrics snapshot
+//! must be a well-formed JSON object.
+
+use hermes_noc::fault::{CycleWindow, FaultPlan};
+use hermes_noc::{Noc, NocConfig, Packet, Port, RouterAddr, Routing};
+use multinoc::{System, PROCESSOR_1};
+use multinoc_bench::json::{parse, validate_trace_event_json, Json};
+use r8::asm::assemble;
+
+/// A degraded 3×3 fault-tolerant run with tracing on: detours, drops and
+/// retries all end up in the exported span stream.
+fn degraded_noc() -> Noc {
+    let plan = FaultPlan::new(7).with_drop_rate(0.05).with_link_down(
+        RouterAddr::new(1, 1),
+        Port::East,
+        CycleWindow::open_ended(0),
+    );
+    let config = NocConfig::mesh(3, 3).with_routing(Routing::FaultTolerantXy);
+    let mut noc = Noc::new(config).expect("valid config");
+    noc.enable_packet_trace(512);
+    noc.set_fault_plan(plan);
+    for k in 0..40u16 {
+        let src = RouterAddr::new((k % 3) as u8, ((k / 3) % 3) as u8);
+        let dst = RouterAddr::new(2 - (k % 3) as u8, 2 - ((k / 3) % 3) as u8);
+        let _ = noc.send(src, Packet::new(dst, vec![k; 2 + (k % 4) as usize]));
+    }
+    for _ in 0..4_000 {
+        noc.step();
+    }
+    noc
+}
+
+#[test]
+fn hermes_perfetto_export_matches_the_trace_event_schema() {
+    let noc = degraded_noc();
+    let doc = noc.packet_trace().expect("enabled").perfetto_json();
+    let events = validate_trace_event_json(&doc).expect("schema-valid export");
+    assert!(events > 40, "only {events} events for 40 packets");
+}
+
+#[test]
+fn system_perfetto_export_matches_the_trace_event_schema() {
+    let mut system = System::paper_config().expect("paper system");
+    system.enable_trace(256);
+    system.enable_packet_trace(256);
+    let program = assemble("LIW R1, 1\nHALT").expect("assembles");
+    system
+        .memory_mut(PROCESSOR_1)
+        .expect("processor present")
+        .write_block(0, program.words());
+    system.activate_directly(PROCESSOR_1).expect("activates");
+    system.run_until_halted(100_000).expect("halts");
+    let doc = system.perfetto_json();
+    let events = validate_trace_event_json(&doc).expect("schema-valid export");
+    assert!(events > 0, "activation traffic produces events");
+    // Both layers contribute: packet spans from hermes and service
+    // instants from the multinoc event log.
+    assert!(doc.contains("\"ph\":\"X\""), "packet spans present");
+    assert!(doc.contains("\"ph\":\"i\""), "service instants present");
+}
+
+#[test]
+fn metrics_snapshots_are_well_formed_json() {
+    let noc = degraded_noc();
+    let snapshot = parse(&noc.metrics().to_json()).expect("hermes metrics parse");
+    let metrics = snapshot
+        .get("metrics")
+        .and_then(Json::as_arr)
+        .expect("a \"metrics\" array");
+    assert!(!metrics.is_empty());
+    for metric in metrics {
+        assert!(
+            metric.get("name").and_then(Json::as_str).is_some(),
+            "every metric is named"
+        );
+    }
+}

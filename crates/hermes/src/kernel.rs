@@ -35,18 +35,21 @@
 
 use std::ops::Range;
 use std::ptr::{addr_of, addr_of_mut};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::addr::{Port, RouterAddr};
 use crate::config::NocConfig;
 use crate::endpoint::{LocalEndpoint, PacketId, RxEvent};
 use crate::fault::FaultInjector;
 use crate::flit::Flit;
+use crate::metrics::PhaseProfile;
 use crate::noc::{decide_route, DropKind, Epoch, RouteDecision};
 use crate::router::Router;
 use crate::stats::LinkId;
+use crate::trace::{SpanEvent, SpanKind};
 
 /// Index of `addr` in the row-major router array, or `None` if it lies
 /// outside the mesh.
@@ -156,6 +159,12 @@ pub(crate) struct ShardDelta {
     pub health_decide: Vec<HealthEvent>,
     /// Health events observed while applying transfers (garbles/successes).
     pub health_apply: Vec<HealthEvent>,
+    /// Packet-trace spans recorded in the local sub-phase (inject, route
+    /// decision, drop). Empty unless tracing is enabled.
+    pub trace_local: Vec<(PacketId, SpanEvent)>,
+    /// Packet-trace spans recorded in the apply-src sub-phase (header
+    /// hop, sink, delivery). Empty unless tracing is enabled.
+    pub trace_apply: Vec<(PacketId, SpanEvent)>,
     /// Transfers decided for this shard's routers: `(router, input, output)`.
     pub transfers: Vec<(usize, usize, usize)>,
     /// Flits leaving this shard's routers for a neighbour's input buffer:
@@ -184,6 +193,8 @@ impl ShardDelta {
         self.record_events.clear();
         self.health_decide.clear();
         self.health_apply.clear();
+        self.trace_local.clear();
+        self.trace_apply.clear();
         self.transfers.clear();
         self.outbox.clear();
         self.woken.clear();
@@ -218,6 +229,11 @@ pub(crate) struct CycleShared {
     /// success observations are skipped while it is (they would be no-ops:
     /// only links with a prior failure entry are tracked).
     pub pristine: bool,
+    /// Whether packet-lifecycle tracing is on; when false the trace hooks
+    /// reduce to one predictable branch per site.
+    pub trace_enabled: bool,
+    /// Null unless the kernel phase profiler is enabled.
+    pub profiler: *const PhaseProfiler,
 }
 
 // SAFETY: the raw pointers are only dereferenced during an active cycle
@@ -225,6 +241,11 @@ pub(crate) struct CycleShared {
 // the copies held by the worker gate are stale and never touched.
 unsafe impl Send for CycleShared {}
 unsafe impl Sync for CycleShared {}
+
+/// Clamps a buffer length into the `u8` occupancy field of a span event.
+fn occupancy_of(len: usize) -> u8 {
+    len.min(usize::from(u8::MAX)) as u8
+}
 
 impl CycleShared {
     unsafe fn config(&self) -> &NocConfig {
@@ -241,6 +262,10 @@ impl CycleShared {
 
     unsafe fn injector(&self) -> Option<&FaultInjector> {
         self.injector.as_ref()
+    }
+
+    unsafe fn profiler(&self) -> Option<&PhaseProfiler> {
+        self.profiler.as_ref()
     }
 
     unsafe fn router(&self, idx: usize) -> &Router {
@@ -288,6 +313,20 @@ pub(crate) unsafe fn phase_local(
         let endpoint = sh.endpoint_mut(idx);
         let here = router.addr;
 
+        // --- buffer high-water mark, sampled at the cycle boundary
+        // (before any of this cycle's pushes or pops). A router skipped
+        // by the active-set kernel holds no flits, so the skip cannot
+        // miss a peak and the counter stays kernel-identical. ---
+        let deepest = router
+            .inputs
+            .iter()
+            .map(|p| p.buffer.len())
+            .max()
+            .unwrap_or(0) as u64;
+        if deepest > router.counters.buffer_peak {
+            router.counters.buffer_peak = deepest;
+        }
+
         // --- inject: the source interface pushes its next flit into the
         // local input buffer at the handshake cadence. ---
         if now >= endpoint.next_inject_ok {
@@ -301,6 +340,20 @@ pub(crate) unsafe fn phase_local(
                     delta.record_events.push(RecordEvent::Injected(id));
                     delta.local_ingress.push(here);
                     delta.flit_hops += 1;
+                    if sh.trace_enabled {
+                        // Fires once per flit; the tracer keeps only the
+                        // first occurrence (the header) per packet.
+                        delta.trace_local.push((
+                            id,
+                            SpanEvent {
+                                cycle: now,
+                                kind: SpanKind::Inject,
+                                router: here,
+                                port: Port::Local,
+                                occupancy: occupancy_of(local_in.buffer.len()),
+                            },
+                        ));
+                    }
                 }
             }
         }
@@ -364,6 +417,18 @@ pub(crate) unsafe fn phase_local(
                 if rerouted {
                     delta.rerouted_grants += 1;
                 }
+                if sh.trace_enabled {
+                    delta.trace_local.push((
+                        wid,
+                        SpanEvent {
+                            cycle: now,
+                            kind: SpanKind::Route,
+                            router: here,
+                            port: Port::from_index(out),
+                            occupancy: occupancy_of(router.inputs[in_idx].buffer.len()),
+                        },
+                    ));
+                }
             } else if let Some((in_idx, kind, wid)) = dropped {
                 // The control logic discards the packet instead of routing
                 // it: it occupies the control for the same charge and
@@ -376,6 +441,18 @@ pub(crate) unsafe fn phase_local(
                     DropKind::Fault => delta.packets_dropped += 1,
                     DropKind::Unreachable => delta.unreachable_drops += 1,
                     DropKind::Misaddressed => delta.misaddressed_drops += 1,
+                }
+                if sh.trace_enabled {
+                    delta.trace_local.push((
+                        wid,
+                        SpanEvent {
+                            cycle: now,
+                            kind: SpanKind::Drop,
+                            router: here,
+                            port: Port::from_index(in_idx),
+                            occupancy: occupancy_of(router.inputs[in_idx].buffer.len()),
+                        },
+                    ));
                 }
             } else if blocked {
                 router.counters.blocked_cycles += 1;
@@ -551,16 +628,41 @@ pub(crate) unsafe fn phase_apply_src(sh: &CycleShared, delta: &mut ShardDelta) {
         }
 
         flit.arrived = now;
+        let occupancy = occupancy_of(router.inputs[in_idx].buffer.len());
         match out_port {
             Port::Local => {
                 delta.flits_delivered += 1;
                 match sh.endpoint_mut(idx).receive(flit) {
                     RxEvent::HeaderArrived(id) => {
                         delta.record_events.push(RecordEvent::Header(id));
+                        if sh.trace_enabled {
+                            delta.trace_apply.push((
+                                id,
+                                SpanEvent {
+                                    cycle: now,
+                                    kind: SpanKind::Sink,
+                                    router: here,
+                                    port: Port::Local,
+                                    occupancy,
+                                },
+                            ));
+                        }
                     }
                     RxEvent::Completed(id) => {
                         delta.record_events.push(RecordEvent::Delivered(id));
                         delta.packets_delivered += 1;
+                        if sh.trace_enabled {
+                            delta.trace_apply.push((
+                                id,
+                                SpanEvent {
+                                    cycle: now,
+                                    kind: SpanKind::Delivered,
+                                    router: here,
+                                    port: Port::Local,
+                                    occupancy,
+                                },
+                            ));
+                        }
                     }
                     RxEvent::Progress => {}
                 }
@@ -577,6 +679,18 @@ pub(crate) unsafe fn phase_apply_src(sh: &CycleShared, delta: &mut ShardDelta) {
                 let Some(in_port) = out_port.opposite() else {
                     continue;
                 };
+                if sh.trace_enabled && flit_index == 1 {
+                    delta.trace_apply.push((
+                        flit.packet,
+                        SpanEvent {
+                            cycle: now,
+                            kind: SpanKind::Hop,
+                            router: here,
+                            port: out_port,
+                            occupancy,
+                        },
+                    ));
+                }
                 delta.outbox.push((next_idx, in_port.index(), flit));
             }
         }
@@ -614,6 +728,95 @@ pub(crate) unsafe fn phase_apply_dst(sh: &CycleShared, range: Range<usize>, shar
     }
 }
 
+/// One timed bucket of the kernel phase profiler.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ProfiledPhase {
+    Local,
+    Decide,
+    ApplySrc,
+    ApplyDst,
+    Barrier,
+}
+
+/// Wall-clock nanoseconds accumulated per kernel sub-phase — and per
+/// barrier wait, summed across every shard — plus the number of profiled
+/// cycles. Purely an observer: it reads the monotonic clock and touches
+/// no simulation state, so enabling it cannot change any observable
+/// (fingerprints stay bit-identical; only wall-clock throughput pays the
+/// few `Instant::now` calls per shard per cycle).
+#[derive(Debug, Default)]
+pub(crate) struct PhaseProfiler {
+    local: AtomicU64,
+    decide: AtomicU64,
+    apply_src: AtomicU64,
+    apply_dst: AtomicU64,
+    barrier: AtomicU64,
+    cycles: AtomicU64,
+}
+
+impl PhaseProfiler {
+    fn add(&self, phase: ProfiledPhase, nanos: u64) {
+        let bucket = match phase {
+            ProfiledPhase::Local => &self.local,
+            ProfiledPhase::Decide => &self.decide,
+            ProfiledPhase::ApplySrc => &self.apply_src,
+            ProfiledPhase::ApplyDst => &self.apply_dst,
+            ProfiledPhase::Barrier => &self.barrier,
+        };
+        bucket.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Counts one profiled cycle (called once per `Noc::step`).
+    pub fn bump_cycles(&self) {
+        self.cycles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot (the simulation is quiescent whenever
+    /// this is called, so relaxed loads observe every preceding cycle).
+    pub fn snapshot(&self) -> PhaseProfile {
+        PhaseProfile {
+            cycles: self.cycles.load(Ordering::Relaxed),
+            local_nanos: self.local.load(Ordering::Relaxed),
+            decide_nanos: self.decide.load(Ordering::Relaxed),
+            apply_src_nanos: self.apply_src.load(Ordering::Relaxed),
+            apply_dst_nanos: self.apply_dst.load(Ordering::Relaxed),
+            barrier_nanos: self.barrier.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A stopwatch over the profiler: `mark` charges the time since the last
+/// mark to one bucket. Compiles to nothing when the profiler is off.
+pub(crate) struct Lap<'a> {
+    profiler: Option<&'a PhaseProfiler>,
+    last: Option<Instant>,
+}
+
+impl<'a> Lap<'a> {
+    pub fn start(profiler: Option<&'a PhaseProfiler>) -> Self {
+        Self {
+            profiler,
+            last: profiler.map(|_| Instant::now()),
+        }
+    }
+
+    pub fn mark(&mut self, phase: ProfiledPhase) {
+        if let (Some(profiler), Some(last)) = (self.profiler, self.last.as_mut()) {
+            let now = Instant::now();
+            profiler.add(phase, now.duration_since(*last).as_nanos() as u64);
+            *last = now;
+        }
+    }
+}
+
+impl std::fmt::Debug for Lap<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lap")
+            .field("enabled", &self.profiler.is_some())
+            .finish()
+    }
+}
+
 /// Runs all four sub-phases for `shard`, synchronising on `barrier`
 /// between them. Every participating shard (including the caller) must
 /// call this exactly once per cycle with the same `sh`.
@@ -631,17 +834,26 @@ pub(crate) unsafe fn run_shard(sh: &CycleShared, shard: usize, barrier: &SpinBar
         sh.n_shards,
         shard,
     );
+    let mut lap = Lap::start(sh.profiler());
     {
         let delta = &mut *sh.deltas.add(shard);
         phase_local(sh, range.clone(), delta);
+        lap.mark(ProfiledPhase::Local);
         barrier.wait();
+        lap.mark(ProfiledPhase::Barrier);
         phase_decide(sh, range.clone(), delta);
+        lap.mark(ProfiledPhase::Decide);
         barrier.wait();
+        lap.mark(ProfiledPhase::Barrier);
         phase_apply_src(sh, delta);
+        lap.mark(ProfiledPhase::ApplySrc);
     }
     barrier.wait();
+    lap.mark(ProfiledPhase::Barrier);
     phase_apply_dst(sh, range, shard);
+    lap.mark(ProfiledPhase::ApplyDst);
     barrier.wait();
+    lap.mark(ProfiledPhase::Barrier);
 }
 
 /// How long a waiter busy-spins on the barrier before yielding the CPU.

@@ -67,7 +67,9 @@ mod routing;
 
 pub mod fault;
 pub mod latency;
+pub mod metrics;
 pub mod stats;
+pub mod trace;
 pub mod traffic;
 
 pub use addr::{Port, RouterAddr};
@@ -79,7 +81,9 @@ pub use error::{ConfigError, NocError, RouteError, SendError};
 pub use fault::{CycleWindow, FaultPlan};
 pub use flit::Flit;
 pub use health::LinkHealth;
+pub use metrics::{MetricKind, PhaseProfile, Registry};
 pub use noc::Noc;
 pub use packet::Packet;
 pub use routing::{RouteTable, Routing};
 pub use stats::{FaultCounters, HealthCounters, NocStats, PacketRecord};
+pub use trace::{PacketTrace, PacketTracer, SpanEvent, SpanKind};

@@ -7,12 +7,14 @@ use crate::error::{NocError, RouteError, SendError};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::health::{HealthMonitor, LinkHealth};
 use crate::kernel::{
-    self, CycleShared, HealthEvent, RecordEvent, ShardDelta, SpinBarrier, WorkerPool,
+    self, CycleShared, HealthEvent, PhaseProfiler, RecordEvent, ShardDelta, SpinBarrier, WorkerPool,
 };
+use crate::metrics::{PhaseProfile, Registry};
 use crate::packet::Packet;
 use crate::router::Router;
 use crate::routing::{RouteTable, Routing};
 use crate::stats::{LinkId, NocStats, PacketRecord};
+use crate::trace::PacketTracer;
 
 /// One reconfiguration round: a new detour table announced by the router
 /// that detected a dead link. Router `r` adopts the epoch once the control
@@ -124,6 +126,12 @@ pub struct Noc {
     /// Persistent worker threads of [`KernelMode::Parallel`], created
     /// lazily on the first parallel step and joined on drop.
     pool: Option<WorkerPool>,
+    /// Packet-lifecycle tracer; `None` (the default) makes every trace
+    /// hook a single never-taken branch.
+    tracer: Option<PacketTracer>,
+    /// Kernel phase profiler; boxed so the kernel can hold a stable raw
+    /// pointer to it for the duration of a cycle.
+    profiler: Option<Box<PhaseProfiler>>,
 }
 
 impl Noc {
@@ -160,6 +168,8 @@ impl Noc {
             step_list: Vec::new(),
             deltas: Vec::new(),
             pool: None,
+            tracer: None,
+            profiler: None,
         })
     }
 
@@ -193,6 +203,180 @@ impl Noc {
     /// Accumulated statistics.
     pub fn stats(&self) -> &NocStats {
         &self.stats
+    }
+
+    /// Enables packet-lifecycle tracing, retaining the `window` most
+    /// recent packet traces (see [`PacketTracer`]). Packets submitted
+    /// from now on are traced; tracing is opt-in and costs one predictable
+    /// branch per instrumented site while disabled. The emitted stream is
+    /// bit-identical across every [`KernelMode`] and thread count.
+    pub fn enable_packet_trace(&mut self, window: usize) {
+        self.tracer = Some(PacketTracer::new(window));
+    }
+
+    /// The packet tracer, if tracing is enabled.
+    pub fn packet_trace(&self) -> Option<&PacketTracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Disables tracing and returns the traces collected so far.
+    pub fn take_packet_trace(&mut self) -> Option<PacketTracer> {
+        self.tracer.take()
+    }
+
+    /// Enables the kernel phase profiler: wall-clock time per engine
+    /// sub-phase (and per barrier wait, summed over shards). A pure
+    /// observer — simulation observables are unaffected; idempotent.
+    pub fn enable_phase_profiler(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Box::default());
+        }
+    }
+
+    /// A snapshot of the phase profiler, or `None` if it was never
+    /// enabled.
+    pub fn phase_profile(&self) -> Option<PhaseProfile> {
+        self.profiler.as_deref().map(PhaseProfiler::snapshot)
+    }
+
+    /// A point-in-time metrics snapshot of this network: cycle and packet
+    /// counters, latency percentiles, per-link utilization, per-router
+    /// buffer high-water marks and the fault/health counters. Purely a
+    /// read of already-maintained state, deterministically ordered, and
+    /// bit-identical across kernels.
+    pub fn metrics(&self) -> Registry {
+        let s = &self.stats;
+        let mut reg = Registry::new();
+        reg.gauge_int("hermes_cycles", "Simulated clock cycles", &[], s.cycles);
+        reg.counter(
+            "hermes_packets_sent_total",
+            "Packets submitted via send",
+            &[],
+            s.packets_sent,
+        );
+        reg.counter(
+            "hermes_packets_delivered_total",
+            "Packets fully delivered to destination IPs",
+            &[],
+            s.packets_delivered,
+        );
+        reg.counter(
+            "hermes_flit_hops_total",
+            "Flits that completed a hop (including local ingress/egress)",
+            &[],
+            s.flit_hops,
+        );
+        reg.counter(
+            "hermes_flits_delivered_total",
+            "Flits delivered to destination IPs",
+            &[],
+            s.flits_delivered,
+        );
+        let hist = s.latency_histogram();
+        if let Some(mean) = hist.mean() {
+            reg.gauge(
+                "hermes_latency_mean_cycles",
+                "Mean end-to-end packet latency",
+                &[],
+                mean,
+            );
+        }
+        for (q, v) in [
+            ("0.5", hist.p50()),
+            ("0.95", hist.p95()),
+            ("0.99", hist.p99()),
+        ] {
+            if let Some(v) = v {
+                reg.gauge_int(
+                    "hermes_latency_cycles",
+                    "End-to-end packet latency percentile",
+                    &[("quantile", q)],
+                    v,
+                );
+            }
+        }
+        for (link, &flits) in &s.link_flits {
+            let label = format!("{}:{}", link.0, link.1);
+            reg.counter(
+                "hermes_link_flits_total",
+                "Flits transferred per directed link",
+                &[("link", &label)],
+                flits,
+            );
+            if s.cycles > 0 {
+                let util = flits as f64 * f64::from(self.config.cycles_per_flit) / s.cycles as f64;
+                reg.gauge(
+                    "hermes_link_utilization",
+                    "Link busy fraction (1.0 = a flit every cycles_per_flit)",
+                    &[("link", &label)],
+                    util,
+                );
+            }
+        }
+        for (idx, counters) in s.routers.iter().enumerate() {
+            let addr = RouterAddr::new(
+                (idx % usize::from(self.config.width)) as u8,
+                (idx / usize::from(self.config.width)) as u8,
+            );
+            let label = addr.to_string();
+            reg.gauge_int(
+                "hermes_buffer_peak_flits",
+                "High-water mark of any input buffer of the router",
+                &[("router", &label)],
+                counters.buffer_peak,
+            );
+            reg.counter(
+                "hermes_router_grants_total",
+                "Connections granted by the router's control logic",
+                &[("router", &label)],
+                counters.grants,
+            );
+        }
+        reg.counter(
+            "hermes_fault_flits_corrupted_total",
+            "Flits bit-flipped while crossing a link",
+            &[],
+            s.faults.flits_corrupted,
+        );
+        reg.counter(
+            "hermes_fault_packets_dropped_total",
+            "Packets discarded by fault injection",
+            &[],
+            s.faults.packets_dropped,
+        );
+        reg.counter(
+            "hermes_fault_link_down_blocks_total",
+            "Transfers blocked by a link outage",
+            &[],
+            s.faults.link_down_blocks,
+        );
+        reg.counter(
+            "hermes_epochs_total",
+            "Reconfiguration epochs announced",
+            &[],
+            s.health.epochs,
+        );
+        reg.counter(
+            "hermes_links_declared_dead_total",
+            "Links the online health monitor declared dead",
+            &[],
+            s.health.links_declared_dead,
+        );
+        reg.counter(
+            "hermes_rerouted_grants_total",
+            "Grants that diverged from minimal XY due to a detour table",
+            &[],
+            s.health.rerouted_grants,
+        );
+        if let Some(tracer) = &self.tracer {
+            reg.counter(
+                "hermes_trace_evicted_total",
+                "Packet traces evicted from the bounded trace ring",
+                &[],
+                tracer.evicted_traces(),
+            );
+        }
+        reg
     }
 
     /// Reconfiguration epochs announced so far; `0` means every router
@@ -292,6 +476,9 @@ impl Noc {
             hops: src.hops_to(packet.dest()),
         });
         self.stats.packets_sent += 1;
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.register(id, src, packet.dest(), self.cycle);
+        }
         let endpoint = &mut self.endpoints[src_idx];
         if endpoint.outgoing.is_empty() {
             // The local handshake also takes `cycles_per_flit` per flit; an
@@ -416,6 +603,9 @@ impl Noc {
             }
             KernelMode::Parallel { threads } => self.step_parallel(now, threads),
         }
+        if let Some(profiler) = self.profiler.as_deref() {
+            profiler.bump_cycles();
+        }
         self.stats.cycles = self.cycle;
     }
 
@@ -426,15 +616,20 @@ impl Noc {
         self.ensure_shards(1);
         let n_routers = self.routers.len();
         let shared = self.cycle_shared(now, 1);
+        let mut lap = kernel::Lap::start(self.profiler.as_deref());
         // SAFETY: one thread, one shard — this call owns every router,
         // endpoint and delta for the whole cycle, and the sub-phases run
         // in engine order.
         unsafe {
             let delta = &mut *shared.deltas;
             kernel::phase_local(&shared, nodes.iter().copied(), delta);
+            lap.mark(kernel::ProfiledPhase::Local);
             kernel::phase_decide(&shared, nodes.iter().copied(), delta);
+            lap.mark(kernel::ProfiledPhase::Decide);
             kernel::phase_apply_src(&shared, delta);
+            lap.mark(kernel::ProfiledPhase::ApplySrc);
             kernel::phase_apply_dst(&shared, 0..n_routers, 0);
+            lap.mark(kernel::ProfiledPhase::ApplyDst);
         }
         self.merge_cycle(now, Some(nodes));
     }
@@ -495,6 +690,11 @@ impl Noc {
                 .map_or(std::ptr::null(), |inj| inj as *const FaultInjector),
             now,
             pristine: self.health.is_pristine(),
+            trace_enabled: self.tracer.is_some(),
+            profiler: self
+                .profiler
+                .as_deref()
+                .map_or(std::ptr::null(), |p| p as *const PhaseProfiler),
         }
     }
 
@@ -543,6 +743,18 @@ impl Noc {
                     }
                 }
                 HealthEvent::Success(link) => self.health.observe_success(link),
+            }
+        }
+
+        // Replay the cycle's trace stream: every local-phase span first
+        // (shard order is ascending router order), then every apply-phase
+        // span — exactly the order the one-shard sequential engine appends
+        // them in, so all kernels emit bit-identical traces.
+        if let Some(tracer) = self.tracer.as_mut() {
+            let local = deltas.iter().flat_map(|d| d.trace_local.iter());
+            let apply = deltas.iter().flat_map(|d| d.trace_apply.iter());
+            for &(id, event) in local.chain(apply) {
+                tracer.record(id, event);
             }
         }
 

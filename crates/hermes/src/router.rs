@@ -101,6 +101,9 @@ pub struct RouterCounters {
     pub blocked_cycles: u64,
     /// Flits forwarded through this router (all output ports).
     pub flits_forwarded: u64,
+    /// High-water mark of any single input buffer's occupancy, sampled at
+    /// every cycle boundary — the deepest queueing this router ever saw.
+    pub buffer_peak: u64,
 }
 
 /// A Hermes router.

@@ -104,6 +104,21 @@ impl LatencyHistogram {
         }
         Some(self.max)
     }
+
+    /// Median latency — [`quantile`](Self::quantile)`(0.5)`.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// 95th-percentile latency — [`quantile`](Self::quantile)`(0.95)`.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency — [`quantile`](Self::quantile)`(0.99)`.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
 }
 
 /// Life-cycle record of one packet.
@@ -543,6 +558,21 @@ mod tests {
         assert_eq!(stats.latency_histogram().count(), 1000);
         assert_eq!(stats.latency_quantile(0.0), Some(10));
         assert_eq!(stats.latency_quantile(1.0), Some(1009));
+    }
+
+    #[test]
+    fn percentile_accessors_delegate_to_quantile() {
+        let mut h = LatencyHistogram::default();
+        for i in 1..=100u64 {
+            h.observe(i);
+        }
+        assert_eq!(h.p50(), h.quantile(0.5));
+        assert_eq!(h.p95(), h.quantile(0.95));
+        assert_eq!(h.p99(), h.quantile(0.99));
+        assert_eq!(h.p50(), Some(51));
+        assert_eq!(h.p95(), Some(95));
+        assert_eq!(h.p99(), Some(99));
+        assert_eq!(LatencyHistogram::default().p99(), None);
     }
 
     #[test]

@@ -384,6 +384,168 @@ impl System {
         self.trace.take()
     }
 
+    /// Starts packet-lifecycle tracing in the underlying NoC, retaining
+    /// the `window` most recent packet traces (see
+    /// [`Noc::enable_packet_trace`]).
+    pub fn enable_packet_trace(&mut self, window: usize) {
+        self.noc.enable_packet_trace(window);
+    }
+
+    /// The NoC packet tracer, if packet tracing is enabled.
+    pub fn packet_trace(&self) -> Option<&hermes_noc::PacketTracer> {
+        self.noc.packet_trace()
+    }
+
+    /// Enables the NoC kernel phase profiler (see
+    /// [`Noc::enable_phase_profiler`]).
+    pub fn enable_phase_profiler(&mut self) {
+        self.noc.enable_phase_profiler();
+    }
+
+    /// A snapshot of the kernel phase profiler, if it was enabled.
+    pub fn phase_profile(&self) -> Option<hermes_noc::PhaseProfile> {
+        self.noc.phase_profile()
+    }
+
+    /// A point-in-time metrics snapshot of the whole system: every
+    /// network metric of [`Noc::metrics`] plus the service-level view —
+    /// per-node per-service message counters, reliability-layer work
+    /// (retransmissions, acks, reroute resets), duplicate and corrupt
+    /// drops, and the trace-log pressure counters. Deterministically
+    /// ordered and bit-identical across simulation kernels.
+    pub fn metrics_snapshot(&self) -> hermes_noc::Registry {
+        let mut reg = self.noc.metrics();
+        for node in self.counters.nodes() {
+            let node_label = node.to_string();
+            for code in crate::trace::ALL_CODES {
+                let code_label = format!("{code:?}");
+                let labels = [
+                    ("node", node_label.as_str()),
+                    ("service", code_label.as_str()),
+                ];
+                let sent = self.counters.sent(node, code);
+                if sent > 0 {
+                    reg.counter(
+                        "multinoc_service_sent_total",
+                        "Service messages sent, per node and service code",
+                        &labels,
+                        sent,
+                    );
+                }
+                let received = self.counters.received(node, code);
+                if received > 0 {
+                    reg.counter(
+                        "multinoc_service_received_total",
+                        "Service messages received, per node and service code",
+                        &labels,
+                        received,
+                    );
+                }
+            }
+        }
+        reg.counter(
+            "multinoc_corrupt_dropped_total",
+            "Undecodable service packets dropped at the IPs",
+            &[],
+            self.counters.corrupt_dropped(),
+        );
+        reg.counter(
+            "multinoc_duplicates_dropped_total",
+            "Duplicate sequenced messages suppressed by receivers",
+            &[],
+            self.duplicates_dropped(),
+        );
+        let retries = self.retry_counters();
+        reg.counter(
+            "multinoc_reliable_sent_total",
+            "Acknowledged-class messages first sent by the reliability layer",
+            &[],
+            retries.sent,
+        );
+        reg.counter(
+            "multinoc_retransmissions_total",
+            "Messages retransmitted after an ack timeout",
+            &[],
+            retries.retransmissions,
+        );
+        reg.counter(
+            "multinoc_acked_total",
+            "Messages confirmed by an acknowledgement",
+            &[],
+            retries.acked,
+        );
+        reg.counter(
+            "multinoc_reroute_resets_total",
+            "Retry clocks reset by a reconfiguration epoch",
+            &[],
+            retries.reroute_resets,
+        );
+        if let Some(log) = &self.trace {
+            reg.counter(
+                "multinoc_trace_events_dropped_total",
+                "Service trace events no longer visible in the bounded log",
+                &[],
+                log.dropped(),
+            );
+            reg.counter(
+                "multinoc_trace_events_evicted_total",
+                "Service trace events physically evicted from the log ring",
+                &[],
+                log.evicted_events(),
+            );
+        }
+        reg
+    }
+
+    /// The system's observable history as one Chrome trace-event /
+    /// Perfetto JSON document: the NoC packet-lifecycle spans (if packet
+    /// tracing is enabled) on process 0, and the service-level message
+    /// log (if [`enable_trace`](Self::enable_trace) is on) as instant
+    /// events on process 1, one thread per node. Loadable directly in
+    /// `ui.perfetto.dev` or `chrome://tracing`.
+    pub fn perfetto_json(&self) -> String {
+        use crate::trace::Direction;
+        use hermes_noc::trace::json_escape;
+        let mut events = self
+            .noc
+            .packet_trace()
+            .map(hermes_noc::PacketTracer::perfetto_events)
+            .unwrap_or_default();
+        if let Some(log) = &self.trace {
+            events.push(
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+                 \"args\":{\"name\":\"multinoc services\"}}"
+                    .to_string(),
+            );
+            let mut named: Vec<NodeId> = Vec::new();
+            for e in log.events() {
+                if !named.contains(&e.node) {
+                    named.push(e.node);
+                    events.push(format!(
+                        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                         \"args\":{{\"name\":\"{}\"}}}}",
+                        e.node.0, e.node
+                    ));
+                }
+                let direction = match e.direction {
+                    Direction::Sent => "sent",
+                    Direction::Received => "received",
+                };
+                events.push(format!(
+                    "{{\"name\":\"{:?}\",\"cat\":\"service\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"direction\":\"{direction}\",\
+                     \"peer\":\"{}\",\"summary\":\"{}\"}}}}",
+                    e.code,
+                    e.cycle,
+                    e.node.0,
+                    e.peer,
+                    json_escape(&e.summary)
+                ));
+            }
+        }
+        hermes_noc::trace::perfetto_wrap(&events)
+    }
+
     /// Advances the whole system by one clock cycle.
     ///
     /// # Errors

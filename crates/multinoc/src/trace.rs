@@ -141,39 +141,58 @@ impl ServiceCounters {
 }
 
 /// The opt-in event log (bounded; oldest events drop first).
+///
+/// Uses the same amortized ring discipline as the hermes statistics
+/// window: the buffer is allowed to grow to twice the capacity before the
+/// oldest half is drained in one `memmove`, so a push is amortized O(1)
+/// instead of the O(n) of a front removal per event.
 #[derive(Debug, Default)]
 pub struct TraceLog {
     events: Vec<TraceEvent>,
     capacity: usize,
-    dropped: u64,
+    pushed: u64,
+    evicted: u64,
 }
 
 impl TraceLog {
-    /// A log holding up to `capacity` events.
+    /// A log holding up to `capacity` events (at least one).
     pub fn new(capacity: usize) -> Self {
         Self {
             events: Vec::new(),
-            capacity,
-            dropped: 0,
+            capacity: capacity.max(1),
+            pushed: 0,
+            evicted: 0,
         }
     }
 
     pub(crate) fn push(&mut self, event: TraceEvent) {
-        if self.events.len() >= self.capacity {
-            self.events.remove(0);
-            self.dropped += 1;
-        }
         self.events.push(event);
+        self.pushed += 1;
+        if self.events.len() >= self.capacity.saturating_mul(2) {
+            let excess = self.events.len() - self.capacity;
+            self.events.drain(..excess);
+            self.evicted += excess as u64;
+        }
     }
 
-    /// The recorded events, oldest first.
+    /// The recorded events, oldest first — at most the configured
+    /// capacity, always the most recent ones.
     pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+        let start = self.events.len().saturating_sub(self.capacity);
+        &self.events[start..]
     }
 
-    /// Events dropped because the log was full.
+    /// Events no longer visible because the log was full.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.pushed - self.events().len() as u64
+    }
+
+    /// Events physically evicted from the ring buffer, mirroring
+    /// [`NocStats::evicted_records`](hermes_noc::NocStats::evicted_records).
+    /// Lags [`dropped`](Self::dropped) by up to one capacity's worth
+    /// because eviction is amortized.
+    pub fn evicted_events(&self) -> u64 {
+        self.evicted
     }
 }
 
@@ -215,6 +234,38 @@ mod tests {
         assert_eq!(log.events().len(), 2);
         assert_eq!(log.dropped(), 3);
         assert_eq!(log.events()[0].cycle, 3);
+    }
+
+    #[test]
+    fn eviction_is_amortized_and_counted() {
+        let mut log = TraceLog::new(4);
+        let event = |cycle| TraceEvent {
+            cycle,
+            node: NodeId(0),
+            direction: Direction::Sent,
+            peer: RouterAddr::new(0, 0),
+            code: ServiceCode::Scanf,
+            summary: "scanf".into(),
+        };
+        for i in 0..100u64 {
+            log.push(event(i));
+            assert!(
+                log.events().len() <= 4,
+                "visible window never exceeds capacity"
+            );
+        }
+        assert_eq!(log.events().len(), 4);
+        assert_eq!(
+            log.events().iter().map(|e| e.cycle).collect::<Vec<_>>(),
+            vec![96, 97, 98, 99],
+            "the newest events are the visible ones"
+        );
+        assert_eq!(log.dropped(), 96);
+        assert!(log.evicted_events() > 0);
+        assert!(
+            log.evicted_events() <= log.dropped(),
+            "amortized eviction lags logical drops"
+        );
     }
 
     #[test]

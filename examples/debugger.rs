@@ -5,13 +5,18 @@
 //! A deliberately buggy distributed application: P1 and P2 exchange
 //! values through wait/notify, but a misordered handshake makes both
 //! processors wait at the same time. The debugger single-steps, sets a
-//! watchpoint on the mailbox, and the deadlock analyzer names the cycle.
+//! watchpoint on the mailbox, the `trace` command shows the last packets
+//! that touched the stuck processor, and the deadlock analyzer names the
+//! cycle.
 
-use multinoc::debug::{analyze_deadlock, Debugger, StopReason};
+use multinoc::debug::{analyze_deadlock, packet_trace_dump, Debugger, StopReason};
 use multinoc::{System, PROCESSOR_1, PROCESSOR_2};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut system = System::paper_config()?;
+    // Record packet lifecycles so the `trace` command has data when the
+    // system wedges.
+    system.enable_packet_trace(256);
 
     // The bug: both sides wait before either notifies.
     let p1 = r8c::build(&format!(
@@ -65,6 +70,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let report = analyze_deadlock(&system);
                 print!("{report}");
                 assert!(report.has_deadlock(), "the bug must be detected");
+                println!("\ntrace: last packets that touched {PROCESSOR_1}:");
+                print!("{}", packet_trace_dump(&system, PROCESSOR_1, 3));
                 println!("\nthe wait-for cycle pinpoints the misordered handshake —");
                 println!("exactly the distributed-application error the paper's");
                 println!("future-work simulator was meant to detect.");

@@ -36,4 +36,10 @@ echo "=== kernel-performance smoke check (differential, fixed seed) ==="
 EXP_PERF_SMOKE=1 cargo run --release -q --offline -p multinoc-bench --bin exp_perf > /dev/null
 echo "exp_perf kernels (sequential and parallel) agree on all workloads"
 
+echo "=== observability smoke check (byte-identical exports, fixed seed) ==="
+# Exports (Perfetto trace, Prometheus exposition, metrics JSON) must be
+# byte-identical across kernels and pass the trace-event schema validator.
+EXP_OBS_SMOKE=1 cargo run --release -q --offline -p multinoc-bench --bin exp_observability > /dev/null
+echo "exp_observability exports identical across kernels and schema-valid"
+
 echo "all checks passed"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates every evaluation artifact of the paper (DESIGN.md, E1-E19).
+# Regenerates every evaluation artifact of the paper (DESIGN.md, E1-E21).
 # Usage: scripts/run_experiments.sh [output-directory]
 set -euo pipefail
 
@@ -28,6 +28,7 @@ experiments=(
     exp_fault_sweep
     exp_degradation
     exp_perf
+    exp_observability
 )
 
 cargo build --release -p multinoc-bench --bins
