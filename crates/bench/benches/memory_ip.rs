@@ -4,6 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hermes_noc::RouterAddr;
 use multinoc::memory::{MemoryCore, MemoryIp};
 use multinoc::service::{Message, Service};
+use multinoc::NodeId;
 use std::hint::black_box;
 
 fn bench_word_access(c: &mut Criterion) {
@@ -27,7 +28,7 @@ fn bench_word_access(c: &mut Criterion) {
 
 fn bench_service_handling(c: &mut Criterion) {
     c.bench_function("memory_ip/read_service_64w", |b| {
-        let mut ip = MemoryIp::new(RouterAddr::new(1, 1), 1024);
+        let mut ip = MemoryIp::new(NodeId(3), RouterAddr::new(1, 1), 1024);
         let msg = Message::new(
             RouterAddr::new(0, 0),
             Service::ReadFromMemory {

@@ -145,7 +145,7 @@ fn run_trial(n: u8, dead: &[(RouterAddr, Port)]) -> Result<Outcome, SystemError>
         plan = plan.with_link_down(peer, back, CycleWindow::open_ended(0));
     }
     if !dead.is_empty() {
-        system.set_fault_plan(plan);
+        system.set_fault_plan(plan)?;
     }
     let mut host = Host::new().with_budget(4_000_000);
     host.synchronize(&mut system)?;

@@ -60,7 +60,7 @@ fn run_point(corrupt: f64, drop: f64) -> Result<Outcome, SystemError> {
         FaultPlan::new(SEED)
             .with_corrupt_rate(corrupt)
             .with_drop_rate(drop),
-    );
+    )?;
     let mut host = Host::new().with_budget(2_000_000);
     host.synchronize(&mut system)?;
 

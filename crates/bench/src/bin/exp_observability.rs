@@ -114,7 +114,7 @@ fn run_traced(w: &Workload, kernel: KernelMode) -> (String, String, String) {
     let mut noc = Noc::new(w.config.clone().with_kernel_mode(kernel)).expect("valid config");
     noc.enable_packet_trace(2_048);
     if let Some(plan) = &w.plan {
-        noc.set_fault_plan(plan.clone());
+        noc.set_fault_plan(plan.clone()).expect("valid fault plan");
     }
     let nodes = u64::from(w.config.width) * u64::from(w.config.height);
     let mut next = 0u64;

@@ -167,7 +167,8 @@ fn degraded(kernel: KernelMode, cycles: u64) -> Measured {
                 Port::North,
                 CycleWindow::open_ended(0),
             ),
-    );
+    )
+    .expect("valid fault plan");
     let mut gen = TrafficGen::new(Pattern::Uniform, 0.05, 4, SEED ^ 0xD15EA5E);
     let start = Instant::now();
     gen.drive(&mut noc, cycles, 1_000_000).expect("drive");
@@ -262,7 +263,8 @@ fn multinoc_run(fast_forward: bool) -> (u64, f64) {
     // Mild loss: enough to push the reliability layer through its
     // backoff timers (more idle-gap cycles to jump) without wedging a
     // worm badly enough for the progress watchdog to call DeadLink.
-    sys.set_fault_plan(FaultPlan::new(SEED).with_drop_rate(0.08));
+    sys.set_fault_plan(FaultPlan::new(SEED).with_drop_rate(0.08))
+        .expect("valid fault plan");
     let program = assemble(
         "LIW R1, 40\n\
          loop: SUBI R1, 1\n\

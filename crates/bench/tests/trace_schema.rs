@@ -21,7 +21,7 @@ fn degraded_noc() -> Noc {
     let config = NocConfig::mesh(3, 3).with_routing(Routing::FaultTolerantXy);
     let mut noc = Noc::new(config).expect("valid config");
     noc.enable_packet_trace(512);
-    noc.set_fault_plan(plan);
+    noc.set_fault_plan(plan).expect("valid fault plan");
     for k in 0..40u16 {
         let src = RouterAddr::new((k % 3) as u8, ((k / 3) % 3) as u8);
         let dst = RouterAddr::new(2 - (k % 3) as u8, 2 - ((k / 3) % 3) as u8);

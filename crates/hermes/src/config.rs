@@ -100,6 +100,25 @@ pub struct NocConfig {
     /// (count/sum/min/max and the latency histogram) and evicted, so
     /// memory stays bounded on arbitrarily long runs.
     pub stats_window: usize,
+    /// Consecutive cycles an established connection may sit with a flit
+    /// ready but the downstream buffer full before the worm is flushed as
+    /// deadlocked, on a degraded [`Routing::FaultTolerantXy`] mesh (at
+    /// least one reconfiguration epoch announced). `0` disables recovery.
+    ///
+    /// While every router routes by the same table the turn restriction
+    /// makes deadlock impossible, but during the reconfiguration
+    /// wavefront worms granted under the old table can close a cyclic
+    /// dependency with worms granted under the new one; the timeout
+    /// breaks such transient cycles and the end-to-end layer retries the
+    /// dropped payloads.
+    ///
+    /// A genuine cycle never makes progress, so its counters grow without
+    /// bound and any finite threshold eventually fires; the default is
+    /// therefore sized well above the longest zero-progress stretch heavy
+    /// bursty congestion produces on small meshes (buffer depth 2 showed
+    /// ≈500-cycle starvation under a 64-packet single-cycle burst), so
+    /// merely-congested worms are never flushed.
+    pub deadlock_timeout: u32,
 }
 
 impl NocConfig {
@@ -117,6 +136,7 @@ impl NocConfig {
             fault_threshold: 8,
             kernel: KernelMode::Active,
             stats_window: 4096,
+            deadlock_timeout: 4096,
         }
     }
 
@@ -173,6 +193,14 @@ impl NocConfig {
     /// statistics (builder style).
     pub fn with_stats_window(mut self, window: usize) -> Self {
         self.stats_window = window;
+        self
+    }
+
+    /// Sets the zero-progress window after which a connection on a
+    /// degraded fault-tolerant mesh is flushed as deadlocked; `0`
+    /// disables the recovery (builder style).
+    pub fn with_deadlock_timeout(mut self, cycles: u32) -> Self {
+        self.deadlock_timeout = cycles;
         self
     }
 

@@ -30,6 +30,10 @@ pub(crate) struct OutgoingPacket {
     pub id: PacketId,
     /// Remaining wire flits, front = next to inject.
     pub flits: VecDeque<u16>,
+    /// Whether any flit has entered the network. A packet mid-injection
+    /// when its IP core dies is allowed to finish (a truncated worm would
+    /// wedge healthy links); one that never started is simply discarded.
+    pub started: bool,
 }
 
 /// Reassembly state at a destination.
@@ -95,6 +99,7 @@ impl LocalEndpoint {
         self.outgoing.push_back(OutgoingPacket {
             id,
             flits: packet.to_wire(self.flit_bits).into(),
+            started: false,
         });
     }
 
@@ -114,6 +119,7 @@ impl LocalEndpoint {
     pub fn pop_inject(&mut self) -> Option<(PacketId, u16)> {
         let packet = self.outgoing.front_mut()?;
         let flit = packet.flits.pop_front()?;
+        packet.started = true;
         let id = packet.id;
         if packet.flits.is_empty() {
             self.outgoing.pop_front();

@@ -18,7 +18,15 @@
 //!   until a system-level watchdog notices;
 //! - **router stalls** — a router's control logic grants no new
 //!   connections for a cycle window (established connections keep
-//!   forwarding, as in a control-path-only fault).
+//!   forwarding, as in a control-path-only fault);
+//! - **router death** — a whole router dies at a scheduled cycle:
+//!   every link touching it (its four mesh links in both directions and
+//!   its Local port) stops transferring flits forever. Neighbours see
+//!   the same symptom as a permanent link outage on each adjacent link
+//!   and the online diagnosis escalates the cluster to a dead *router*;
+//! - **endpoint death** — the IP core behind a router dies at a
+//!   scheduled cycle: the router keeps forwarding through traffic, but
+//!   nothing can be injected at or delivered to its Local port.
 //!
 //! All randomness comes from the in-tree counter-based generator
 //! ([`prng::CounterRng`]) seeded by the plan: every decision is a pure
@@ -90,6 +98,86 @@ pub struct RouterStall {
     pub window: CycleWindow,
 }
 
+/// A router that dies — permanently — at a scheduled cycle. Death is
+/// keyed by `(router, cycle)` like every other fault, and it never
+/// heals: reconfiguration epochs are monotone, so a resurrecting router
+/// would have nothing to rejoin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterDown {
+    /// The dying router.
+    pub router: RouterAddr,
+    /// First cycle at which the router is dead.
+    pub cycle: u64,
+}
+
+/// An IP core (endpoint) that dies — permanently — at a scheduled
+/// cycle, while its router keeps forwarding through traffic. Only the
+/// Local link is affected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointDown {
+    /// Router whose attached IP core dies.
+    pub router: RouterAddr,
+    /// First cycle at which the endpoint is dead.
+    pub cycle: u64,
+}
+
+/// A [`FaultPlan`] rejected at installation time: the typed
+/// configuration error returned by [`FaultPlan::validate`] (and hence
+/// by [`Noc::set_fault_plan`](crate::Noc::set_fault_plan)) instead of
+/// letting a corrupt rate or inverted window silently misbehave at
+/// runtime.
+#[derive(Debug, Clone, Copy)]
+pub enum PlanError {
+    /// A probability outside `0.0..=1.0` (or NaN).
+    BadRate {
+        /// Which rate is bad (`"corrupt"` or `"drop"`).
+        kind: &'static str,
+        /// The rejected value.
+        rate: f64,
+    },
+    /// A cycle window whose end precedes its start.
+    InvertedWindow {
+        /// First cycle of the rejected window.
+        from: u64,
+        /// End of the rejected window, before `from`.
+        until: u64,
+    },
+}
+
+impl PartialEq for PlanError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            // Bitwise rate comparison so a NaN-carrying error still
+            // equals itself (derive would make it unequal).
+            (PlanError::BadRate { kind: a, rate: x }, PlanError::BadRate { kind: b, rate: y }) => {
+                a == b && x.to_bits() == y.to_bits()
+            }
+            (
+                PlanError::InvertedWindow { from: a, until: b },
+                PlanError::InvertedWindow { from: c, until: d },
+            ) => a == c && b == d,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for PlanError {}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::BadRate { kind, rate } => {
+                write!(f, "{kind} rate {rate} is not a probability in 0.0..=1.0")
+            }
+            PlanError::InvertedWindow { from, until } => {
+                write!(f, "cycle window [{from}, {until}) ends before it starts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// A reproducible description of the faults to inject into a
 /// [`Noc`](crate::Noc); install it with
 /// [`Noc::set_fault_plan`](crate::Noc::set_fault_plan).
@@ -111,6 +199,10 @@ pub struct FaultPlan {
     pub outages: Vec<LinkOutage>,
     /// Scheduled router control stalls.
     pub stalls: Vec<RouterStall>,
+    /// Scheduled router deaths (permanent).
+    pub router_downs: Vec<RouterDown>,
+    /// Scheduled endpoint (IP core) deaths (permanent).
+    pub endpoint_downs: Vec<EndpointDown>,
 }
 
 impl FaultPlan {
@@ -124,12 +216,15 @@ impl FaultPlan {
             drop_window: None,
             outages: Vec::new(),
             stalls: Vec::new(),
+            router_downs: Vec::new(),
+            endpoint_downs: Vec::new(),
         }
     }
 
     /// Sets the per-transfer payload-flit corruption probability.
+    /// Validated by [`FaultPlan::validate`] when the plan is installed.
     pub fn with_corrupt_rate(mut self, rate: f64) -> Self {
-        self.corrupt_rate = rate.clamp(0.0, 1.0);
+        self.corrupt_rate = rate;
         self
     }
 
@@ -140,9 +235,10 @@ impl FaultPlan {
         self
     }
 
-    /// Sets the per-hop packet drop probability.
+    /// Sets the per-hop packet drop probability. Validated by
+    /// [`FaultPlan::validate`] when the plan is installed.
     pub fn with_drop_rate(mut self, rate: f64) -> Self {
-        self.drop_rate = rate.clamp(0.0, 1.0);
+        self.drop_rate = rate;
         self
     }
 
@@ -169,18 +265,77 @@ impl FaultPlan {
         self
     }
 
+    /// Kills `router` — all its links, both directions, plus its Local
+    /// port — permanently from `cycle` on.
+    pub fn with_router_down(mut self, router: RouterAddr, cycle: u64) -> Self {
+        self.router_downs.push(RouterDown { router, cycle });
+        self
+    }
+
+    /// Kills the IP core behind `router` permanently from `cycle` on;
+    /// the router itself keeps forwarding through traffic.
+    pub fn with_endpoint_down(mut self, router: RouterAddr, cycle: u64) -> Self {
+        self.endpoint_downs.push(EndpointDown { router, cycle });
+        self
+    }
+
     /// Whether the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
         self.corrupt_rate == 0.0
             && self.drop_rate == 0.0
             && self.outages.is_empty()
             && self.stalls.is_empty()
+            && self.router_downs.is_empty()
+            && self.endpoint_downs.is_empty()
     }
 
     /// Whether any scheduled outage never ends (a *dead link*): traffic
     /// routed across it after `window.from` can never make progress.
+    /// Router and endpoint deaths count — they are permanent outages of
+    /// every adjacent link.
     pub fn has_permanent_outage(&self) -> bool {
-        self.outages.iter().any(|o| o.window.is_permanent())
+        self.outages.iter().any(|o| o.window.is_permanent()) || self.has_deaths()
+    }
+
+    /// Whether the plan schedules any router or endpoint death.
+    pub fn has_deaths(&self) -> bool {
+        !self.router_downs.is_empty() || !self.endpoint_downs.is_empty()
+    }
+
+    /// Checks the plan for nonsense that would otherwise misbehave
+    /// silently at runtime: rates outside `0.0..=1.0` (or NaN) and
+    /// cycle windows that end before they start.
+    ///
+    /// # Errors
+    ///
+    /// The first [`PlanError`] found, scanning rates before windows.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        fn check_rate(kind: &'static str, rate: f64) -> Result<(), PlanError> {
+            // NaN fails the range check, so it is rejected here too.
+            if (0.0..=1.0).contains(&rate) {
+                Ok(())
+            } else {
+                Err(PlanError::BadRate { kind, rate })
+            }
+        }
+        fn check_window(w: &CycleWindow) -> Result<(), PlanError> {
+            if w.until < w.from {
+                Err(PlanError::InvertedWindow {
+                    from: w.from,
+                    until: w.until,
+                })
+            } else {
+                Ok(())
+            }
+        }
+        check_rate("corrupt", self.corrupt_rate)?;
+        check_rate("drop", self.drop_rate)?;
+        self.corrupt_window
+            .iter()
+            .chain(self.drop_window.iter())
+            .chain(self.outages.iter().map(|o| &o.window))
+            .chain(self.stalls.iter().map(|s| &s.window))
+            .try_for_each(check_window)
     }
 
     /// Whether the plan schedules any router control stall. A stalled
@@ -229,6 +384,20 @@ fn link_site(link: LinkId) -> u64 {
     router_site(link.0) * 8 + link.1.index() as u64
 }
 
+/// The router on the far side of `port` from `router`, if the port
+/// leads off-board of `router` at all (`Local` does not, and a border
+/// port may point outside the mesh — such links are never queried).
+fn neighbour(router: RouterAddr, port: Port) -> Option<RouterAddr> {
+    let (x, y) = (router.x(), router.y());
+    Some(match port {
+        Port::East => RouterAddr::new(x.checked_add(1)?, y),
+        Port::West => RouterAddr::new(x.checked_sub(1)?, y),
+        Port::North => RouterAddr::new(x, y.checked_add(1)?),
+        Port::South => RouterAddr::new(x, y.checked_sub(1)?),
+        Port::Local => return None,
+    })
+}
+
 impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Self {
         // A private key derivation keeps fault decisions decorrelated
@@ -241,12 +410,54 @@ impl FaultInjector {
         &self.plan
     }
 
-    /// Whether the directed link `(router, port)` is down at `now`.
+    /// Whether the directed link `(router, port)` is down at `now` —
+    /// because of a scheduled outage, because either router touching it
+    /// is dead, or (for the Local port) because the endpoint is dead.
     pub fn link_down(&self, router: RouterAddr, port: Port, now: u64) -> bool {
-        self.plan
+        if self
+            .plan
             .outages
             .iter()
             .any(|o| o.router == router && o.port == port && o.window.contains(now))
+        {
+            return true;
+        }
+        if self.router_down(router, now) {
+            return true;
+        }
+        match port {
+            Port::Local => self.endpoint_down(router, now),
+            p => neighbour(router, p).is_some_and(|n| self.router_down(n, now)),
+        }
+    }
+
+    /// Whether `router` is scheduled dead at `now`.
+    pub fn router_down(&self, router: RouterAddr, now: u64) -> bool {
+        self.plan
+            .router_downs
+            .iter()
+            .any(|d| d.router == router && now >= d.cycle)
+    }
+
+    /// Whether the IP core behind `router` is scheduled dead at `now`
+    /// (router deaths take their endpoint down with them).
+    pub fn endpoint_down(&self, router: RouterAddr, now: u64) -> bool {
+        self.router_down(router, now)
+            || self
+                .plan
+                .endpoint_downs
+                .iter()
+                .any(|d| d.router == router && now >= d.cycle)
+    }
+
+    /// If `link`'s failure at `now` is attributable to a scheduled
+    /// router death, the dead router (for the online diagnosis to
+    /// escalate a link verdict to a router verdict).
+    pub fn dead_router_at(&self, link: LinkId, now: u64) -> Option<RouterAddr> {
+        if self.router_down(link.0, now) {
+            return Some(link.0);
+        }
+        neighbour(link.0, link.1).filter(|&n| self.router_down(n, now))
     }
 
     /// Whether `router`'s control logic is stalled at `now`.
@@ -313,16 +524,143 @@ mod tests {
     fn plan_builders_accumulate() {
         let plan = FaultPlan::new(7)
             .with_corrupt_rate(0.25)
-            .with_drop_rate(2.0)
+            .with_drop_rate(0.5)
             .with_link_down(RouterAddr::new(0, 0), Port::East, CycleWindow::new(0, 10))
-            .with_router_stall(RouterAddr::new(1, 1), CycleWindow::open_ended(50));
+            .with_router_stall(RouterAddr::new(1, 1), CycleWindow::open_ended(50))
+            .with_router_down(RouterAddr::new(1, 0), 100)
+            .with_endpoint_down(RouterAddr::new(0, 1), 200);
         assert_eq!(plan.corrupt_rate, 0.25);
-        assert_eq!(plan.drop_rate, 1.0, "rates clamp to [0, 1]");
+        assert_eq!(plan.drop_rate, 0.5);
         assert_eq!(plan.outages.len(), 1);
         assert_eq!(plan.stalls.len(), 1);
+        assert_eq!(plan.router_downs.len(), 1);
+        assert_eq!(plan.endpoint_downs.len(), 1);
         assert!(!plan.is_empty());
-        assert!(!plan.has_permanent_outage());
+        assert!(plan.has_deaths());
+        assert!(plan.has_permanent_outage(), "deaths are permanent outages");
         assert!(FaultPlan::new(1).is_empty());
+        assert!(!FaultPlan::new(1).has_deaths());
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates() {
+        assert_eq!(FaultPlan::new(0).validate(), Ok(()));
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, -f64::INFINITY] {
+            let e = FaultPlan::new(0)
+                .with_corrupt_rate(bad)
+                .validate()
+                .expect_err("corrupt rate must be rejected");
+            assert!(
+                matches!(
+                    e,
+                    PlanError::BadRate {
+                        kind: "corrupt",
+                        ..
+                    }
+                ),
+                "{e}"
+            );
+            let e = FaultPlan::new(0)
+                .with_drop_rate(bad)
+                .validate()
+                .expect_err("drop rate must be rejected");
+            assert!(matches!(e, PlanError::BadRate { kind: "drop", .. }), "{e}");
+        }
+        // Boundary values are fine.
+        assert_eq!(
+            FaultPlan::new(0)
+                .with_corrupt_rate(0.0)
+                .with_drop_rate(1.0)
+                .validate(),
+            Ok(())
+        );
+        // A NaN-carrying error still equals itself (bitwise comparison).
+        let e = FaultPlan::new(0).with_drop_rate(f64::NAN).validate();
+        assert_eq!(e, e.clone());
+    }
+
+    #[test]
+    fn validation_rejects_inverted_windows() {
+        let at = RouterAddr::new(0, 0);
+        let bad = CycleWindow::new(20, 10);
+        for plan in [
+            FaultPlan::new(0).with_corrupt_window(bad),
+            FaultPlan::new(0).with_drop_window(bad),
+            FaultPlan::new(0).with_link_down(at, Port::East, bad),
+            FaultPlan::new(0).with_router_stall(at, bad),
+        ] {
+            assert_eq!(
+                plan.validate(),
+                Err(PlanError::InvertedWindow {
+                    from: 20,
+                    until: 10
+                })
+            );
+        }
+        // An empty (but not inverted) window is a harmless no-op.
+        assert_eq!(
+            FaultPlan::new(0)
+                .with_drop_window(CycleWindow::new(10, 10))
+                .validate(),
+            Ok(())
+        );
+        assert!(PlanError::InvertedWindow {
+            from: 20,
+            until: 10
+        }
+        .to_string()
+        .contains("ends before"));
+    }
+
+    #[test]
+    fn router_death_takes_down_every_adjacent_link() {
+        let victim = RouterAddr::new(1, 1);
+        let inj = FaultInjector::new(FaultPlan::new(0).with_router_down(victim, 50));
+        // Not dead yet.
+        assert!(!inj.router_down(victim, 49));
+        assert!(!inj.link_down(victim, Port::East, 49));
+        // From cycle 50: all outgoing links, the Local port, and every
+        // inbound link from a neighbour are down.
+        assert!(inj.router_down(victim, 50));
+        for port in Port::ALL {
+            assert!(inj.link_down(victim, port, 50), "outgoing {port}");
+        }
+        assert!(inj.link_down(RouterAddr::new(0, 1), Port::East, 50));
+        assert!(inj.link_down(RouterAddr::new(2, 1), Port::West, 50));
+        assert!(inj.link_down(RouterAddr::new(1, 0), Port::North, 50));
+        assert!(inj.link_down(RouterAddr::new(1, 2), Port::South, 50));
+        // Unrelated links are untouched.
+        assert!(!inj.link_down(RouterAddr::new(0, 0), Port::West, 50));
+        assert!(!inj.link_down(RouterAddr::new(0, 1), Port::North, 50));
+        // Attribution: both directions of an adjacent link blame the
+        // dead router.
+        assert_eq!(inj.dead_router_at((victim, Port::East), 50), Some(victim));
+        assert_eq!(
+            inj.dead_router_at((RouterAddr::new(0, 1), Port::East), 50),
+            Some(victim)
+        );
+        assert_eq!(
+            inj.dead_router_at((RouterAddr::new(0, 0), Port::East), 50),
+            None
+        );
+        assert_eq!(inj.dead_router_at((victim, Port::East), 49), None);
+    }
+
+    #[test]
+    fn endpoint_death_blocks_only_the_local_port() {
+        let victim = RouterAddr::new(1, 0);
+        let inj = FaultInjector::new(FaultPlan::new(0).with_endpoint_down(victim, 10));
+        assert!(!inj.endpoint_down(victim, 9));
+        assert!(inj.endpoint_down(victim, 10));
+        assert!(!inj.router_down(victim, 10), "the router itself survives");
+        assert!(inj.link_down(victim, Port::Local, 10));
+        for port in [Port::East, Port::West, Port::North, Port::South] {
+            assert!(!inj.link_down(victim, port, 10), "through-port {port}");
+        }
+        assert_eq!(inj.dead_router_at((victim, Port::Local), 10), None);
+        // A router death implies its endpoint's death.
+        let inj = FaultInjector::new(FaultPlan::new(0).with_router_down(victim, 10));
+        assert!(inj.endpoint_down(victim, 10));
     }
 
     #[test]

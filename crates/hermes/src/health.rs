@@ -90,6 +90,27 @@ impl HealthMonitor {
         }
     }
 
+    /// Force-declares `link` dead at cycle `now`, bypassing the
+    /// consecutive-failure count. Used when a whole router is diagnosed
+    /// dead: every link touching it is condemned at once rather than
+    /// waiting for each to time out on its own. Returns `true` if the
+    /// link was not already dead.
+    pub fn declare_dead(&mut self, link: LinkId, now: u64) -> bool {
+        let entry = self.entries.entry(link).or_insert(LinkHealth {
+            link,
+            consecutive_failures: 0,
+            failures: 0,
+            successes: 0,
+            dead_since: None,
+        });
+        if entry.dead_since.is_some() {
+            return false;
+        }
+        entry.dead_since = Some(now);
+        self.dead.insert(link);
+        true
+    }
+
     /// Whether `link` has been declared dead.
     pub fn is_dead(&self, link: LinkId) -> bool {
         self.dead.contains(&link)
@@ -147,6 +168,23 @@ mod tests {
         let mut m = HealthMonitor::new(2);
         m.observe_success(link());
         assert!(m.is_pristine());
+    }
+
+    #[test]
+    fn declare_dead_bypasses_the_threshold() {
+        let mut m = HealthMonitor::new(4);
+        assert!(m.declare_dead(link(), 7), "newly declared");
+        assert!(m.is_dead(link()));
+        assert!(!m.declare_dead(link(), 9), "already dead");
+        assert_eq!(
+            m.snapshot()[0].dead_since,
+            Some(7),
+            "first declaration wins"
+        );
+        assert!(
+            !m.observe_failure(link(), 11),
+            "later failures never re-declare"
+        );
     }
 
     #[test]

@@ -150,11 +150,17 @@ pub(crate) struct ShardDelta {
     pub unreachable_drops: u64,
     pub misaddressed_drops: u64,
     pub rerouted_grants: u64,
+    /// Packets discarded from a dead IP core's source queue before any
+    /// of their flits entered the network.
+    pub source_queue_drops: u64,
     /// One entry per flit injected by a local IP this cycle.
     pub local_ingress: Vec<RouterAddr>,
     /// One entry per flit transferred over a link this cycle.
     pub link_flits: Vec<LinkId>,
     pub record_events: Vec<RecordEvent>,
+    /// Health events observed in the local sub-phase (local ingress
+    /// handshakes timing out against a dead router).
+    pub health_local: Vec<HealthEvent>,
     /// Health events observed while deciding transfers (outage blocks).
     pub health_decide: Vec<HealthEvent>,
     /// Health events observed while applying transfers (garbles/successes).
@@ -167,6 +173,9 @@ pub(crate) struct ShardDelta {
     pub trace_apply: Vec<(PacketId, SpanEvent)>,
     /// Transfers decided for this shard's routers: `(router, input, output)`.
     pub transfers: Vec<(usize, usize, usize)>,
+    /// Connections with a flit ready but the downstream buffer full this
+    /// cycle: `(router, input)`. Feeds the deadlock-recovery timeout.
+    pub blocked_conns: Vec<(usize, usize)>,
     /// Flits leaving this shard's routers for a neighbour's input buffer:
     /// `(destination router, input port index, flit)`.
     pub outbox: Vec<(usize, usize, Flit)>,
@@ -188,14 +197,17 @@ impl ShardDelta {
         self.unreachable_drops = 0;
         self.misaddressed_drops = 0;
         self.rerouted_grants = 0;
+        self.source_queue_drops = 0;
         self.local_ingress.clear();
         self.link_flits.clear();
         self.record_events.clear();
+        self.health_local.clear();
         self.health_decide.clear();
         self.health_apply.clear();
         self.trace_local.clear();
         self.trace_apply.clear();
         self.transfers.clear();
+        self.blocked_conns.clear();
         self.outbox.clear();
         self.woken.clear();
     }
@@ -327,10 +339,38 @@ pub(crate) unsafe fn phase_local(
             router.counters.buffer_peak = deepest;
         }
 
+        // --- node death: a dead IP core starts no new packets, so its
+        // not-yet-started queue is discarded (it would otherwise pin the
+        // node active forever). A packet already mid-injection finishes:
+        // truncating it would wedge healthy links downstream with nothing
+        // for diagnosis to condemn. A dead *router* additionally stops
+        // acknowledging the local ingress handshake, so a mid-injection
+        // worm stalls there and each timed-out attempt feeds the health
+        // monitor — that is how a dead router carrying only its own
+        // traffic still gets diagnosed. ---
+        let router_dead = injector.is_some_and(|inj| inj.router_down(here, now));
+        if injector.is_some_and(|inj| inj.endpoint_down(here, now)) {
+            let keep = usize::from(endpoint.outgoing.front().is_some_and(|p| p.started));
+            while endpoint.outgoing.len() > keep {
+                endpoint.outgoing.pop_back();
+                delta.source_queue_drops += 1;
+            }
+        }
+
         // --- inject: the source interface pushes its next flit into the
         // local input buffer at the handshake cadence. ---
         if now >= endpoint.next_inject_ok {
-            if let Some((id, value)) = endpoint.peek_inject() {
+            if router_dead {
+                if endpoint.peek_inject().is_some() {
+                    endpoint.next_inject_ok = now + cadence;
+                    delta.health_local.push(HealthEvent::Failure {
+                        link: (here, Port::Local),
+                        idx,
+                        out: Port::Local.index(),
+                        wedged: true,
+                    });
+                }
+            } else if let Some((id, value)) = endpoint.peek_inject() {
                 let local_in = &mut router.inputs[Port::Local.index()];
                 if !local_in.buffer.is_full() {
                     let pushed = local_in.buffer.push(Flit::new(value, id, here, now));
@@ -359,9 +399,14 @@ pub(crate) unsafe fn phase_local(
         }
 
         // --- routing: the control logic runs arbitration and the routing
-        // algorithm for at most one pending header. ---
-        let stalled = injector.is_some_and(|inj| inj.router_stalled(here, now));
-        if stalled {
+        // algorithm for at most one pending header. A dead router's
+        // control logic grants nothing and counts nothing: upstream
+        // handshakes time out instead, and the health monitor's
+        // escalation eventually purges the node. ---
+        let stalled = !router_dead && injector.is_some_and(|inj| inj.router_stalled(here, now));
+        if router_dead {
+            // no grants, no stall bookkeeping, no sink progress
+        } else if stalled {
             if now >= router.control_busy_until {
                 delta.router_stall_cycles += 1;
             }
@@ -461,8 +506,12 @@ pub(crate) unsafe fn phase_local(
 
         // --- sink: input ports discarding a dropped packet consume one
         // flit per handshake period, so the upstream wormhole keeps
-        // moving and the drop never wedges the path. ---
+        // moving and the drop never wedges the path. A dead router's
+        // sinks freeze with the rest of its control logic. ---
         for in_idx in 0..router.inputs.len() {
+            if router_dead {
+                break;
+            }
             let input = &mut router.inputs[in_idx];
             if !input.sinking || now < input.sink_ready_at {
                 continue;
@@ -555,6 +604,12 @@ pub(crate) unsafe fn phase_decide(
             };
             if has_space {
                 delta.transfers.push((idx, in_idx, out));
+            } else {
+                // A flit is ready but the downstream buffer is full: zero
+                // forward progress this cycle. The serial merge counts
+                // consecutive runs and flushes the worm once they exceed
+                // the deadlock-recovery timeout.
+                delta.blocked_conns.push((idx, in_idx));
             }
         }
     }
@@ -592,6 +647,7 @@ pub(crate) unsafe fn phase_apply_src(sh: &CycleShared, delta: &mut ShardDelta) {
 
         // Track packet boundaries on the forwarding side.
         let input = &mut router.inputs[in_idx];
+        input.blocked_cycles = 0;
         input.fwd_count += 1;
         if input.fwd_count == 2 {
             input.fwd_expected = Some(usize::from(flit.value) + 2);

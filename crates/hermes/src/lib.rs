@@ -78,7 +78,7 @@ pub use buffer::FlitBuffer;
 pub use config::{KernelMode, NocConfig};
 pub use endpoint::PacketId;
 pub use error::{ConfigError, NocError, RouteError, SendError};
-pub use fault::{CycleWindow, FaultPlan};
+pub use fault::{CycleWindow, FaultPlan, PlanError};
 pub use flit::Flit;
 pub use health::LinkHealth;
 pub use metrics::{MetricKind, PhaseProfile, Registry};

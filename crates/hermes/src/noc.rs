@@ -1,10 +1,12 @@
 //! The network simulator: a mesh of routers stepped cycle by cycle.
 
+use std::collections::BTreeSet;
+
 use crate::addr::{Port, RouterAddr};
 use crate::config::{KernelMode, NocConfig};
 use crate::endpoint::{LocalEndpoint, PacketId};
 use crate::error::{NocError, RouteError, SendError};
-use crate::fault::{FaultInjector, FaultPlan};
+use crate::fault::{FaultInjector, FaultPlan, PlanError};
 use crate::health::{HealthMonitor, LinkHealth};
 use crate::kernel::{
     self, CycleShared, HealthEvent, PhaseProfiler, RecordEvent, ShardDelta, SpinBarrier, WorkerPool,
@@ -111,6 +113,13 @@ pub struct Noc {
     injector: Option<FaultInjector>,
     health: HealthMonitor,
     epochs: Vec<Epoch>,
+    /// Routers the health machinery has escalated to dead (every adjacent
+    /// link condemned, state purged). Grows monotonically.
+    dead_routers: BTreeSet<RouterAddr>,
+    /// Routers whose local IP core has been declared dead — a superset of
+    /// `dead_routers` (an IP dies with its router) plus standalone
+    /// endpoint deaths diagnosed through the Local ejection link.
+    dead_endpoints: BTreeSet<RouterAddr>,
     /// Per-node activity flag of the quiescence-aware kernel: `true`
     /// means router `i` or its endpoint may have work this cycle. Nodes
     /// are woken by injection, flit arrival or a scheduled control
@@ -164,6 +173,8 @@ impl Noc {
             injector: None,
             health,
             epochs: Vec::new(),
+            dead_routers: BTreeSet::new(),
+            dead_endpoints: BTreeSet::new(),
             active,
             step_list: Vec::new(),
             deltas: Vec::new(),
@@ -175,8 +186,16 @@ impl Noc {
 
     /// Installs a [`FaultPlan`]; its decisions apply from the next cycle
     /// on. Replacing a plan restarts the injector's random stream.
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] if the plan fails [`FaultPlan::validate`]: a NaN or
+    /// out-of-range probability, or a cycle window that ends before it
+    /// starts.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), PlanError> {
+        plan.validate()?;
         self.injector = Some(FaultInjector::new(plan));
+        Ok(())
     }
 
     /// The installed fault plan, if any.
@@ -363,10 +382,28 @@ impl Noc {
             s.health.links_declared_dead,
         );
         reg.counter(
+            "hermes_routers_declared_dead_total",
+            "Routers escalated to dead by the health machinery",
+            &[],
+            s.health.routers_declared_dead,
+        );
+        reg.counter(
+            "hermes_endpoints_declared_dead_total",
+            "IP cores declared dead by the health machinery",
+            &[],
+            s.health.endpoints_declared_dead,
+        );
+        reg.counter(
             "hermes_rerouted_grants_total",
             "Grants that diverged from minimal XY due to a detour table",
             &[],
             s.health.rerouted_grants,
+        );
+        reg.counter(
+            "hermes_deadlock_recoveries_total",
+            "Connections flushed by the zero-progress deadlock timeout",
+            &[],
+            s.health.deadlock_recoveries,
         );
         if let Some(tracer) = &self.tracer {
             reg.counter(
@@ -401,6 +438,33 @@ impl Noc {
     /// Whether the online monitor has declared `link` dead.
     pub fn is_link_dead(&self, link: LinkId) -> bool {
         self.health.is_dead(link)
+    }
+
+    /// Routers the health machinery has escalated to dead, in address
+    /// order. A router lands here when handshake failures on one of its
+    /// links cross the threshold *and* the diagnosis attributes the run
+    /// to the router itself; every adjacent link is then condemned at
+    /// once and the router's state is purged.
+    pub fn dead_routers(&self) -> Vec<RouterAddr> {
+        self.dead_routers.iter().copied().collect()
+    }
+
+    /// Routers whose local IP core has been declared dead, in address
+    /// order: every dead router (the IP dies with it) plus standalone
+    /// IP-core deaths diagnosed through the Local ejection link.
+    pub fn dead_endpoints(&self) -> Vec<RouterAddr> {
+        self.dead_endpoints.iter().copied().collect()
+    }
+
+    /// Whether `router` has been declared dead.
+    pub fn is_router_dead(&self, router: RouterAddr) -> bool {
+        self.dead_routers.contains(&router)
+    }
+
+    /// Whether the IP core at `router` has been declared dead (on its own
+    /// or together with its router).
+    pub fn is_endpoint_dead(&self, router: RouterAddr) -> bool {
+        self.dead_endpoints.contains(&router)
     }
 
     /// Whether the mesh is running degraded (at least one link declared
@@ -449,6 +513,21 @@ impl Noc {
             .ok_or(SendError::UnknownDestination(packet.dest()))?;
         packet.validate(&self.config)?;
         if self.config.routing == Routing::FaultTolerantXy {
+            // A declared-dead node no longer acks its network interface:
+            // its purge already ran, so accepting a packet here would
+            // park it in the source queue forever. The epoch check below
+            // cannot catch this — the victim's own table view lags the
+            // wavefront by one hop.
+            if self.dead_routers.contains(&src)
+                || self.dead_endpoints.contains(&src)
+                || self.dead_routers.contains(&packet.dest())
+                || self.dead_endpoints.contains(&packet.dest())
+            {
+                return Err(NocError::Route(RouteError::Unreachable {
+                    src,
+                    dest: packet.dest(),
+                }));
+            }
             // The source router's current epoch view knows whether the
             // dead-link set has cut the destination off entirely.
             if let Some(epoch) =
@@ -728,9 +807,10 @@ impl Noc {
         // router order — exactly the order the sequential scan discovers
         // them in.
         let mut newly_dead: Vec<(usize, usize, bool)> = Vec::new();
+        let local_events = deltas.iter().flat_map(|d| d.health_local.iter());
         let decide_events = deltas.iter().flat_map(|d| d.health_decide.iter());
         let apply_events = deltas.iter().flat_map(|d| d.health_apply.iter());
-        for &ev in decide_events.chain(apply_events) {
+        for &ev in local_events.chain(decide_events).chain(apply_events) {
             match ev {
                 HealthEvent::Failure {
                     link,
@@ -758,6 +838,21 @@ impl Noc {
             }
         }
 
+        // Zero-progress bookkeeping for the deadlock-recovery timeout.
+        let recovery_armed = self.config.routing == Routing::FaultTolerantXy
+            && self.config.deadlock_timeout > 0
+            && !self.epochs.is_empty();
+        let mut stuck: Vec<(usize, usize)> = Vec::new();
+        for delta in &deltas {
+            for &(idx, in_idx) in &delta.blocked_conns {
+                let input = &mut self.routers[idx].inputs[in_idx];
+                input.blocked_cycles = input.blocked_cycles.saturating_add(1);
+                if recovery_armed && input.blocked_cycles >= self.config.deadlock_timeout {
+                    stuck.push((idx, in_idx));
+                }
+            }
+        }
+
         for delta in &mut deltas {
             self.stats.flit_hops += delta.flit_hops;
             self.stats.flits_delivered += delta.flits_delivered;
@@ -770,6 +865,7 @@ impl Noc {
             self.stats.health.unreachable_drops += delta.unreachable_drops;
             self.stats.health.misaddressed_drops += delta.misaddressed_drops;
             self.stats.health.rerouted_grants += delta.rerouted_grants;
+            self.stats.health.source_queue_drops += delta.source_queue_drops;
             for &addr in &delta.local_ingress {
                 *self.stats.local_ingress_flits.entry(addr).or_insert(0) += 1;
             }
@@ -811,28 +907,146 @@ impl Noc {
 
         // React to links that crossed the failure threshold this cycle:
         // flush wormholes wedged on them and announce a fresh detour
-        // table. Diagnosis always runs; the reaction is reserved for
-        // [`Routing::FaultTolerantXy`] so the plain XY modes keep their
-        // documented wedge-on-dead-link behaviour.
+        // table. Diagnosis always runs; the routing reaction is reserved
+        // for [`Routing::FaultTolerantXy`] so the plain XY modes keep
+        // their documented wedge-on-dead-link behaviour.
         for (idx, out, wedged) in newly_dead {
             self.stats.health.links_declared_dead += 1;
-            if self.config.routing != Routing::FaultTolerantXy {
+            let fault_tolerant = self.config.routing == Routing::FaultTolerantXy;
+            if fault_tolerant {
+                if wedged {
+                    self.flush_dead_link(idx, out, now);
+                }
+                self.epochs.push(Epoch {
+                    announced: now,
+                    origin: self.routers[idx].addr,
+                    table: RouteTable::build(
+                        self.config.width,
+                        self.config.height,
+                        self.health.dead_links(),
+                    ),
+                });
+                self.stats.health.epochs += 1;
+            }
+            // Node-death attribution: was the failure run caused by a
+            // dead router or IP core rather than a single bad link? The
+            // injector stands in for the watchdog hardware a real node
+            // would carry; the *decision* to declare still came from
+            // observed handshake timeouts crossing the threshold.
+            let link = (self.routers[idx].addr, Port::from_index(out));
+            let (dead_router, dead_endpoint) = match &self.injector {
+                Some(inj) => (
+                    inj.dead_router_at(link, now),
+                    link.1 == Port::Local && inj.endpoint_down(link.0, now),
+                ),
+                None => (None, false),
+            };
+            if let Some(victim) = dead_router {
+                if self.index(victim).is_some() && self.dead_routers.insert(victim) {
+                    self.stats.health.routers_declared_dead += 1;
+                    if self.dead_endpoints.insert(victim) {
+                        self.stats.health.endpoints_declared_dead += 1;
+                    }
+                    if fault_tolerant {
+                        self.escalate_dead_router(victim, now);
+                    }
+                }
+            } else if dead_endpoint && self.dead_endpoints.insert(link.0) {
+                self.stats.health.endpoints_declared_dead += 1;
+            }
+        }
+
+        // Deadlock recovery: a connection that kept a flit ready against a
+        // full downstream buffer for the whole timeout is making no
+        // forward progress; on a degraded fault-tolerant mesh (mixed-epoch
+        // transients are the only way the acyclic turn relation can be
+        // circumvented) flush the worm like any other wedged packet and
+        // let the end-to-end layer retry.
+        for (idx, in_idx) in stuck {
+            let Some(out) = self.routers[idx].inputs[in_idx].conn else {
                 continue;
+            };
+            self.routers[idx].inputs[in_idx].blocked_cycles = 0;
+            self.flush_dead_link(idx, out, now);
+            self.stats.health.deadlock_recoveries += 1;
+        }
+    }
+
+    /// Escalates one diagnosed dead router to a node-level declaration:
+    /// every link touching it — its five outgoing links and the inbound
+    /// links from its neighbours — is condemned at once, worms wedged
+    /// across them are flushed, a detour table excluding the node is
+    /// announced from every surviving neighbour (the origin adopts its
+    /// epoch instantly, so no neighbour ever again grants toward the
+    /// victim), and the victim's buffers, connections and source queue
+    /// are purged: its control logic is gone and nothing else would ever
+    /// drain them.
+    fn escalate_dead_router(&mut self, victim: RouterAddr, now: u64) {
+        let vidx = self
+            .index(victim)
+            .expect("victim was validated against the mesh");
+        // Every adjacent link goes on the flush list even if the health
+        // monitor already declared it — several of the victim's links can
+        // cross the failure threshold in the same replay that triggers
+        // this escalation, and the purge below destroys the victim-side
+        // connection state their own reaction entries would need to walk
+        // the worm downstream. Flushing is idempotent, so condemning the
+        // full set here is safe and the later entries become no-ops.
+        let mut condemned: Vec<(usize, usize)> = Vec::new();
+        for port in Port::ALL {
+            let neighbour = self.neighbour(victim, port);
+            if port == Port::Local || neighbour.is_some() {
+                if self.health.declare_dead((victim, port), now) {
+                    self.stats.health.links_declared_dead += 1;
+                }
+                condemned.push((vidx, port.index()));
             }
-            if wedged {
-                self.flush_dead_link(idx, out, now);
+            if let Some(n) = neighbour {
+                let inbound = port
+                    .opposite()
+                    .expect("a port with a neighbour is not Local");
+                let nidx = self.index(n).expect("neighbour lies on the mesh");
+                if self.health.declare_dead((n, inbound), now) {
+                    self.stats.health.links_declared_dead += 1;
+                }
+                condemned.push((nidx, inbound.index()));
             }
+        }
+        for &(idx, out) in &condemned {
+            self.flush_dead_link(idx, out, now);
+        }
+        let table = RouteTable::build(
+            self.config.width,
+            self.config.height,
+            self.health.dead_links(),
+        );
+        for port in Port::ALL {
+            let Some(origin) = self.neighbour(victim, port) else {
+                continue;
+            };
             self.epochs.push(Epoch {
                 announced: now,
-                origin: self.routers[idx].addr,
-                table: RouteTable::build(
-                    self.config.width,
-                    self.config.height,
-                    self.health.dead_links(),
-                ),
+                origin,
+                table: table.clone(),
             });
             self.stats.health.epochs += 1;
         }
+        let router = &mut self.routers[vidx];
+        let mut flushed = 0u64;
+        for input in router.inputs.iter_mut() {
+            while input.buffer.pop().is_some() {
+                flushed += 1;
+            }
+            input.close();
+        }
+        for output in router.outputs.iter_mut() {
+            output.owner = None;
+        }
+        self.stats.health.wedged_flits_flushed += flushed;
+        let endpoint = &mut self.endpoints[vidx];
+        self.stats.health.source_queue_drops += endpoint.outgoing.len() as u64;
+        endpoint.outgoing.clear();
+        endpoint.abort_rx();
     }
 
     /// Advances the clock by `cycles` at once without stepping any router
@@ -1096,7 +1310,8 @@ mod tests {
     fn dropped_packet_unwinds_and_network_goes_idle() {
         use crate::fault::FaultPlan;
         let mut noc = noc_2x2();
-        noc.set_fault_plan(FaultPlan::new(1).with_drop_rate(1.0));
+        noc.set_fault_plan(FaultPlan::new(1).with_drop_rate(1.0))
+            .unwrap();
         noc.send(
             RouterAddr::new(0, 0),
             Packet::new(RouterAddr::new(1, 1), vec![5; 6]),
@@ -1118,7 +1333,8 @@ mod tests {
     fn corruption_mangles_payload_but_still_delivers() {
         use crate::fault::FaultPlan;
         let mut noc = noc_2x2();
-        noc.set_fault_plan(FaultPlan::new(2).with_corrupt_rate(1.0));
+        noc.set_fault_plan(FaultPlan::new(2).with_corrupt_rate(1.0))
+            .unwrap();
         let src = RouterAddr::new(0, 0);
         let dst = RouterAddr::new(1, 1);
         noc.send(src, Packet::new(dst, vec![0; 8])).unwrap();
@@ -1148,7 +1364,8 @@ mod tests {
             src,
             Port::East,
             CycleWindow::new(0, 200),
-        ));
+        ))
+        .unwrap();
         let id = noc.send(src, Packet::new(dst, vec![1, 2])).unwrap();
         noc.run_until_idle(10_000).unwrap();
         let record = noc.stats().record(id).unwrap();
@@ -1169,7 +1386,8 @@ mod tests {
             RouterAddr::new(0, 0),
             Port::East,
             CycleWindow::open_ended(0),
-        ));
+        ))
+        .unwrap();
         assert!(noc.fault_plan().unwrap().has_permanent_outage());
         noc.send(
             RouterAddr::new(0, 0),
@@ -1190,7 +1408,8 @@ mod tests {
         let src = RouterAddr::new(0, 0);
         let dst = RouterAddr::new(1, 0);
         let mut noc = noc_2x2();
-        noc.set_fault_plan(FaultPlan::new(5).with_router_stall(src, CycleWindow::new(0, 100)));
+        noc.set_fault_plan(FaultPlan::new(5).with_router_stall(src, CycleWindow::new(0, 100)))
+            .unwrap();
         let id = noc.send(src, Packet::new(dst, vec![7])).unwrap();
         noc.run_until_idle(10_000).unwrap();
         let record = noc.stats().record(id).unwrap();
@@ -1210,7 +1429,8 @@ mod tests {
                 FaultPlan::new(42)
                     .with_drop_rate(0.2)
                     .with_corrupt_rate(0.1),
-            );
+            )
+            .unwrap();
             for k in 0..20u16 {
                 let src = RouterAddr::new((k % 3) as u8, (k / 7) as u8);
                 let dst = RouterAddr::new(2 - (k % 3) as u8, 2 - (k / 7) as u8);
@@ -1240,7 +1460,8 @@ mod tests {
             RouterAddr::new(0, 0),
             Port::East,
             CycleWindow::open_ended(0),
-        ));
+        ))
+        .unwrap();
         let src = RouterAddr::new(0, 0);
         let dst = RouterAddr::new(1, 0);
         // The first packet wedges on the dying link; diagnosis flushes it
@@ -1274,7 +1495,8 @@ mod tests {
             FaultPlan::new(4)
                 .with_link_down(corner, Port::East, CycleWindow::open_ended(0))
                 .with_link_down(corner, Port::North, CycleWindow::open_ended(0)),
-        );
+        )
+        .unwrap();
         // Two probes kill the corner's two links one after the other.
         noc.send(corner, Packet::new(RouterAddr::new(1, 1), vec![1]))
             .unwrap();
@@ -1313,7 +1535,8 @@ mod tests {
                 RouterAddr::new(1, 1),
                 Port::East,
                 CycleWindow::open_ended(0),
-            ));
+            ))
+            .unwrap();
             for k in 0..30u16 {
                 let src = RouterAddr::new((k % 3) as u8, ((k / 3) % 3) as u8);
                 let dst = RouterAddr::new(2 - (k % 3) as u8, 2 - ((k / 3) % 3) as u8);
@@ -1331,6 +1554,129 @@ mod tests {
         assert_eq!(run(), run());
         assert!(health.links_declared_dead >= 1);
         assert!(delivered >= 29, "at most the wedged worm is lost");
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_rejected_before_installation() {
+        use crate::fault::{FaultPlan, PlanError};
+        let mut noc = noc_2x2();
+        assert_eq!(
+            noc.set_fault_plan(FaultPlan::new(1).with_drop_rate(1.5)),
+            Err(PlanError::BadRate {
+                kind: "drop",
+                rate: 1.5
+            })
+        );
+        assert!(noc.fault_plan().is_none(), "a rejected plan is not kept");
+    }
+
+    #[test]
+    fn router_death_is_diagnosed_escalated_and_detoured() {
+        use crate::fault::FaultPlan;
+        let mut noc = noc_ft(3, 3);
+        let victim = RouterAddr::new(1, 1);
+        noc.set_fault_plan(FaultPlan::new(6).with_router_down(victim, 0))
+            .unwrap();
+        let src = RouterAddr::new(0, 1);
+        let dst = RouterAddr::new(2, 1);
+        // The probe worm wedges on the link into the dead router; the
+        // health monitor counts the timed-out handshakes, declares the
+        // link, attributes the run to the router and escalates.
+        noc.send(src, Packet::new(dst, vec![9; 4])).unwrap();
+        noc.run_until_idle(50_000)
+            .expect("the wedged probe is flushed, not stuck");
+        assert_eq!(noc.dead_routers(), vec![victim]);
+        assert!(noc.is_router_dead(victim));
+        assert!(noc.is_endpoint_dead(victim), "the IP dies with its router");
+        assert_eq!(noc.stats().health.routers_declared_dead, 1);
+        assert_eq!(noc.stats().health.endpoints_declared_dead, 1);
+        assert!(
+            noc.stats().health.links_declared_dead > 1,
+            "escalation condemns every adjacent link at once"
+        );
+        // Sending *to* the dead node is now a typed partition error.
+        assert!(matches!(
+            noc.send(src, Packet::new(victim, vec![1])),
+            Err(NocError::Route(RouteError::Unreachable { .. }))
+        ));
+        // Traffic that used to cross the victim detours and delivers.
+        let id = noc.send(src, Packet::new(dst, vec![1, 2, 3])).unwrap();
+        noc.run_until_idle(50_000).unwrap();
+        assert!(noc.stats().record(id).unwrap().is_delivered());
+        assert!(noc.stats().health.rerouted_grants > 0);
+    }
+
+    #[test]
+    fn dead_router_with_only_its_own_traffic_self_diagnoses() {
+        use crate::fault::FaultPlan;
+        let mut noc = noc_ft(3, 3);
+        let victim = RouterAddr::new(0, 0);
+        noc.set_fault_plan(FaultPlan::new(8).with_router_down(victim, 20))
+            .unwrap();
+        // A long packet is still mid-injection when the router dies; the
+        // local ingress handshake times out, which is the only signal the
+        // health machinery gets.
+        noc.send(victim, Packet::new(RouterAddr::new(2, 2), vec![7; 30]))
+            .unwrap();
+        noc.run_until_idle(50_000)
+            .expect("self-diagnosis purges the victim and the network drains");
+        assert_eq!(noc.dead_routers(), vec![victim]);
+        assert_eq!(noc.stats().packets_delivered, 0);
+        assert!(
+            noc.stats().health.source_queue_drops > 0,
+            "the rest of the source queue is discarded at the purge"
+        );
+    }
+
+    #[test]
+    fn dead_endpoint_drops_unstarted_sends_quietly() {
+        use crate::fault::FaultPlan;
+        let mut noc = noc_ft(2, 2);
+        let victim = RouterAddr::new(0, 0);
+        noc.set_fault_plan(FaultPlan::new(9).with_endpoint_down(victim, 0))
+            .unwrap();
+        noc.send(victim, Packet::new(RouterAddr::new(1, 1), vec![1]))
+            .unwrap();
+        noc.run_until_idle(1_000).expect("nothing ever injects");
+        assert_eq!(noc.stats().health.source_queue_drops, 1);
+        assert_eq!(noc.stats().packets_delivered, 0);
+        assert!(
+            noc.dead_endpoints().is_empty(),
+            "no handshake ever failed, so nothing was diagnosed"
+        );
+    }
+
+    #[test]
+    fn endpoint_death_blocks_ejection_but_keeps_the_router_routing() {
+        use crate::fault::FaultPlan;
+        let mut noc = noc_ft(2, 2);
+        let victim = RouterAddr::new(1, 0);
+        noc.set_fault_plan(FaultPlan::new(10).with_endpoint_down(victim, 0))
+            .unwrap();
+        let src = RouterAddr::new(0, 0);
+        // The probe reaches the victim's router but the Local ejection
+        // handshake never acks; the worm wedges, is diagnosed and flushed.
+        noc.send(src, Packet::new(victim, vec![5; 3])).unwrap();
+        noc.run_until_idle(50_000)
+            .expect("the wedged probe is flushed, not stuck");
+        assert_eq!(noc.dead_endpoints(), vec![victim]);
+        assert!(
+            noc.dead_routers().is_empty(),
+            "only the IP core died; the router still forwards"
+        );
+        assert_eq!(noc.stats().health.endpoints_declared_dead, 1);
+        assert_eq!(noc.stats().health.routers_declared_dead, 0);
+        // Sending to the dead IP is a typed error; transit through its
+        // router still works.
+        assert!(matches!(
+            noc.send(src, Packet::new(victim, vec![6])),
+            Err(NocError::Route(RouteError::Unreachable { .. }))
+        ));
+        let id = noc
+            .send(src, Packet::new(RouterAddr::new(1, 1), vec![7]))
+            .unwrap();
+        noc.run_until_idle(50_000).unwrap();
+        assert!(noc.stats().record(id).unwrap().is_delivered());
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub(crate) struct InputPort {
     /// recorded at grant time so a wedged wormhole can be identified and
     /// flushed when a link dies mid-packet.
     pub cur_packet: Option<crate::endpoint::PacketId>,
+    /// Consecutive cycles this connection had a flit ready but the
+    /// downstream buffer full; feeds the deadlock-recovery timeout on
+    /// degraded fault-tolerant meshes.
+    pub blocked_cycles: u32,
 }
 
 impl InputPort {
@@ -45,6 +49,7 @@ impl InputPort {
             sinking: false,
             sink_ready_at: 0,
             cur_packet: None,
+            blocked_cycles: 0,
         }
     }
 
@@ -69,6 +74,7 @@ impl InputPort {
         self.fwd_expected = None;
         self.sinking = false;
         self.cur_packet = None;
+        self.blocked_cycles = 0;
     }
 }
 

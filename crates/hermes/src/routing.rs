@@ -639,6 +639,73 @@ mod tests {
         assert!(table.reachable(RouterAddr::new(0, 0), RouterAddr::new(1, 1)));
     }
 
+    /// The dead-link set a router escalation condemns: every outgoing
+    /// channel of the victim (including its local ejection port) plus
+    /// every inbound channel from its mesh neighbours.
+    fn router_death_links(w: u8, h: u8, victim: RouterAddr) -> BTreeSet<LinkId> {
+        let mut dead = BTreeSet::new();
+        dead.insert((victim, Port::Local));
+        let neighbour = |dir| match dir {
+            Port::East if victim.x() + 1 < w => Some(RouterAddr::new(victim.x() + 1, victim.y())),
+            Port::West if victim.x() > 0 => Some(RouterAddr::new(victim.x() - 1, victim.y())),
+            Port::North if victim.y() + 1 < h => Some(RouterAddr::new(victim.x(), victim.y() + 1)),
+            Port::South if victim.y() > 0 => Some(RouterAddr::new(victim.x(), victim.y() - 1)),
+            _ => None,
+        };
+        for dir in [Port::East, Port::West, Port::North, Port::South] {
+            if let Some(peer) = neighbour(dir) {
+                dead.insert((victim, dir));
+                dead.insert((peer, dir.opposite().unwrap()));
+            }
+        }
+        dead
+    }
+
+    #[test]
+    fn every_single_router_failure_routes_around_the_victim() {
+        // Exhaustively kill each router on every mesh up to 4x4 with the
+        // exact link set a dead-router escalation condemns. A 2D mesh
+        // minus one node stays connected, so the rebuilt table must keep
+        // every healthy pair mutually reachable (walked hop by hop, not
+        // just claimed), report the victim unreachable in both
+        // directions, and keep the allowed-turn relation acyclic —
+        // deadlock freedom survives any single router death.
+        for (w, h) in [(2u8, 2u8), (2, 3), (3, 3), (3, 4), (4, 4)] {
+            for vy in 0..h {
+                for vx in 0..w {
+                    let victim = RouterAddr::new(vx, vy);
+                    let table = RouteTable::build(w, h, &router_death_links(w, h, victim));
+                    for s in 0..usize::from(w) * usize::from(h) {
+                        let src =
+                            RouterAddr::new((s % usize::from(w)) as u8, (s / usize::from(w)) as u8);
+                        if src == victim {
+                            continue;
+                        }
+                        assert!(
+                            !table.reachable(src, victim) && !table.reachable(victim, src),
+                            "{w}x{h}: dead {victim} still reachable from {src}"
+                        );
+                        for d in 0..usize::from(w) * usize::from(h) {
+                            let dest = RouterAddr::new(
+                                (d % usize::from(w)) as u8,
+                                (d / usize::from(w)) as u8,
+                            );
+                            if dest == victim {
+                                continue;
+                            }
+                            let hops = walk(&table, src, dest).unwrap_or_else(|| {
+                                panic!("{w}x{h}: dead {victim} partitions {src} -> {dest}")
+                            });
+                            assert!(hops >= src.hops_to(dest));
+                            assert_eq!(table.route_hops(src, dest), Some(hops));
+                        }
+                    }
+                    assert_turns_acyclic(&table);
+                }
+            }
+        }
+    }
+
     #[test]
     fn turn_relation_is_acyclic_for_arbitrary_dead_sets() {
         // Exhaustively kill every single physical link on a 3x3 and check

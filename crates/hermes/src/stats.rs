@@ -223,6 +223,21 @@ pub struct HealthCounters {
     /// Packets discarded because their header named an address outside
     /// the mesh (only possible with a corrupted header).
     pub misaddressed_drops: u64,
+    /// Routers escalated to dead: every link touching them condemned at
+    /// once after one adjacent link crossed the failure threshold.
+    pub routers_declared_dead: u64,
+    /// IP cores (local endpoints) declared dead, either with their router
+    /// or on their own when the Local ejection link crossed the threshold.
+    pub endpoints_declared_dead: u64,
+    /// Packets discarded from a dead IP core's source queue before any of
+    /// their flits entered the network.
+    pub source_queue_drops: u64,
+    /// Connections flushed by the deadlock-recovery timeout: zero forward
+    /// progress for [`deadlock_timeout`] consecutive cycles on a degraded
+    /// fault-tolerant mesh (a transient mixed-epoch dependency cycle).
+    ///
+    /// [`deadlock_timeout`]: crate::NocConfig::deadlock_timeout
+    pub deadlock_recoveries: u64,
 }
 
 /// Aggregate statistics of a [`Noc`](crate::Noc) run.

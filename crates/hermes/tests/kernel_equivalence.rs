@@ -58,7 +58,7 @@ fn assert_kernels_equivalent(
         .collect();
     if let Some(plan) = plan {
         for noc in &mut nocs {
-            noc.set_fault_plan(plan.clone());
+            noc.set_fault_plan(plan.clone()).expect("valid fault plan");
         }
     }
     let mut next = 0;
@@ -108,6 +108,12 @@ fn assert_kernels_equivalent(
             "{kernel:?}"
         );
         assert_eq!(reference.dead_links(), noc.dead_links(), "{kernel:?}");
+        assert_eq!(reference.dead_routers(), noc.dead_routers(), "{kernel:?}");
+        assert_eq!(
+            reference.dead_endpoints(),
+            noc.dead_endpoints(),
+            "{kernel:?}"
+        );
         assert_eq!(
             reference.stats().latency_histogram(),
             noc.stats().latency_histogram(),
@@ -203,6 +209,21 @@ fn degraded_workload_is_cycle_identical() {
 }
 
 #[test]
+fn router_killed_mid_flight_is_cycle_identical() {
+    // A router dies while worms are crossing it: the timed-out handshake
+    // counting, the escalation that condemns every adjacent link, the
+    // victim purge and the per-neighbour epoch announcements must all
+    // land on the same cycles under every kernel. An IP-core death rides
+    // along to cover the endpoint-death path too.
+    let plan = FaultPlan::new(4242)
+        .with_router_down(RouterAddr::new(1, 1), 120)
+        .with_endpoint_down(RouterAddr::new(2, 0), 300);
+    let config = NocConfig::mesh(3, 3).with_routing(Routing::FaultTolerantXy);
+    let sends = schedule(3, 3, 60, 19);
+    assert_kernels_equivalent(config, Some(plan), &sends, 8_000);
+}
+
+#[test]
 fn small_stats_window_stays_cycle_identical() {
     // Eviction must not influence simulation behaviour in either kernel.
     let config = NocConfig::mesh(3, 3).with_stats_window(4);
@@ -224,7 +245,7 @@ fn parallel_kernel_is_thread_count_invariant() {
     for threads in [1usize, 2, 3, 8] {
         let config = NocConfig::mesh(4, 4).with_kernel_mode(KernelMode::Parallel { threads });
         let mut noc = Noc::new(config).expect("valid parallel config");
-        noc.set_fault_plan(plan.clone());
+        noc.set_fault_plan(plan.clone()).expect("valid fault plan");
         let mut next = 0;
         for cycle in 0..4_000 {
             while next < sends.len() && sends[next].cycle == cycle {

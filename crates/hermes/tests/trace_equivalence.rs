@@ -60,7 +60,7 @@ fn run_traced(
     let mut noc = Noc::new(config.with_kernel_mode(kernel)).expect("valid config");
     noc.enable_packet_trace(1024);
     if let Some(plan) = plan {
-        noc.set_fault_plan(plan.clone());
+        noc.set_fault_plan(plan.clone()).expect("valid fault plan");
     }
     let mut next = 0;
     for cycle in 0..run_cycles {
@@ -143,6 +143,20 @@ fn degraded_trace_and_metrics_are_byte_identical() {
 }
 
 #[test]
+fn node_death_trace_and_metrics_are_byte_identical() {
+    // A router killed mid-workload plus a standalone IP-core death: the
+    // escalation-driven flushes, purges and epoch announcements feed the
+    // trace stream and the dead-router/endpoint counters, and every
+    // kernel must export them byte for byte.
+    let plan = FaultPlan::new(4242)
+        .with_router_down(RouterAddr::new(1, 1), 120)
+        .with_endpoint_down(RouterAddr::new(2, 0), 300);
+    let config = NocConfig::mesh(3, 3).with_routing(Routing::FaultTolerantXy);
+    let sends = schedule(3, 3, 60, 19);
+    assert_exports_identical(config, Some(plan), &sends, 8_000);
+}
+
+#[test]
 fn trace_ring_stays_bounded_under_load() {
     let mut noc = Noc::new(NocConfig::mesh(2, 2)).expect("valid config");
     noc.enable_packet_trace(8);
@@ -219,7 +233,7 @@ proptest! {
         let config = NocConfig::mesh(3, 3).with_routing(Routing::FaultTolerantXy);
         let mut noc = Noc::new(config).unwrap();
         noc.enable_packet_trace(256);
-        noc.set_fault_plan(plan);
+        noc.set_fault_plan(plan).unwrap();
         for k in 0..30u16 {
             let src = RouterAddr::new((k % 3) as u8, ((k / 3) % 3) as u8);
             let dst = RouterAddr::new(2 - (k % 3) as u8, 2 - ((k / 3) % 3) as u8);

@@ -211,6 +211,11 @@ pub struct DeadlockReport {
     /// for telling a software deadlock from network degradation (a
     /// blocked processor may simply be on the far side of a reroute).
     pub dead_links: Vec<(hermes_noc::RouterAddr, hermes_noc::Port)>,
+    /// Routers the online diagnosis has declared dead entirely.
+    pub dead_routers: Vec<hermes_noc::RouterAddr>,
+    /// Nodes the system has declared dead (their IP no longer steps); a
+    /// processor "waiting" on one of these is starved, not deadlocked.
+    pub dead_nodes: Vec<NodeId>,
 }
 
 impl DeadlockReport {
@@ -244,6 +249,14 @@ impl std::fmt::Display for DeadlockReport {
                 .collect();
             writeln!(f, "network degraded, dead links: {}", links.join(", "))?;
         }
+        if !self.dead_routers.is_empty() {
+            let routers: Vec<String> = self.dead_routers.iter().map(|a| a.to_string()).collect();
+            writeln!(f, "dead routers: {}", routers.join(", "))?;
+        }
+        if !self.dead_nodes.is_empty() {
+            let nodes: Vec<String> = self.dead_nodes.iter().map(|n| n.to_string()).collect();
+            writeln!(f, "dead nodes: {}", nodes.join(", "))?;
+        }
         Ok(())
     }
 }
@@ -276,6 +289,8 @@ pub fn packet_trace_dump(system: &System, node: NodeId, last: usize) -> String {
 pub fn analyze_deadlock(system: &System) -> DeadlockReport {
     let mut report = DeadlockReport {
         dead_links: system.dead_links(),
+        dead_routers: system.noc().dead_routers(),
+        dead_nodes: system.dead_nodes().to_vec(),
         ..DeadlockReport::default()
     };
     let processors = system.processors();

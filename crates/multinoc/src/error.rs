@@ -80,6 +80,20 @@ pub enum SystemError {
         /// Cycles without a single flit moving, with flits in flight.
         stalled_for: u64,
     },
+    /// The destination node's router was declared dead by the network's
+    /// online diagnosis and no live replica serves in its place. Like
+    /// [`Unreachable`](SystemError::Unreachable) this is definitive, but
+    /// carries the *node-level* diagnosis: the IP core itself is gone,
+    /// not just the paths to it.
+    NodeDown {
+        /// The dead node.
+        node: NodeId,
+        /// The router it was attached to.
+        router: RouterAddr,
+    },
+    /// The injected fault plan failed validation (see
+    /// [`hermes_noc::PlanError`]).
+    FaultPlan(hermes_noc::PlanError),
 }
 
 impl fmt::Display for SystemError {
@@ -132,6 +146,10 @@ impl fmt::Display for SystemError {
                 f,
                 "dead link: flits in flight made no progress for {stalled_for} cycles"
             ),
+            SystemError::NodeDown { node, router } => {
+                write!(f, "{node} at router {router} is dead with no live replica")
+            }
+            SystemError::FaultPlan(e) => write!(f, "invalid fault plan: {e}"),
         }
     }
 }
@@ -140,6 +158,7 @@ impl Error for SystemError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SystemError::Noc(e) => Some(e),
+            SystemError::FaultPlan(e) => Some(e),
             _ => None,
         }
     }
@@ -148,6 +167,12 @@ impl Error for SystemError {
 impl From<NocError> for SystemError {
     fn from(e: NocError) -> Self {
         SystemError::Noc(e)
+    }
+}
+
+impl From<hermes_noc::PlanError> for SystemError {
+    fn from(e: hermes_noc::PlanError) -> Self {
+        SystemError::FaultPlan(e)
     }
 }
 
@@ -164,6 +189,26 @@ mod tests {
         assert_eq!(e.to_string(), "node 9 is not a processor");
         assert!(e.source().is_none());
         let e: SystemError = NocError::NotIdle { budget: 5 }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn node_down_and_plan_errors_display() {
+        let e = SystemError::NodeDown {
+            node: NodeId(3),
+            router: hermes_noc::RouterAddr::new(1, 1),
+        };
+        assert_eq!(
+            e.to_string(),
+            "node 3 at router 11 is dead with no live replica"
+        );
+        assert!(e.source().is_none());
+        let e: SystemError = hermes_noc::PlanError::BadRate {
+            kind: "drop",
+            rate: -1.0,
+        }
+        .into();
+        assert!(e.to_string().starts_with("invalid fault plan"));
         assert!(e.source().is_some());
     }
 

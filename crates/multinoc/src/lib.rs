@@ -53,6 +53,7 @@
 pub mod addrmap;
 pub mod apps;
 pub mod debug;
+pub mod directory;
 pub mod host;
 pub mod memory;
 pub mod net;

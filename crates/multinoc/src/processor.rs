@@ -27,6 +27,7 @@ use hermes_noc::RouterAddr;
 use r8::core::{Bus, BusResponse, Cpu, StepOutcome};
 
 use crate::addrmap::{AddressMap, Target};
+use crate::directory::ServiceDirectory;
 use crate::error::SystemError;
 use crate::memory::MemoryCore;
 use crate::net::NetPort;
@@ -44,8 +45,16 @@ enum NetPending {
     /// its sequence number (retransmitted on timeout).
     RemoteRead(PendingRequest),
     /// A remote read completed with this value; the core collects it on
-    /// its retry.
-    RemoteReadDone(u16),
+    /// its retry. Carries the router that answered so a
+    /// `ReplicaInvalidate` naming it can discard the value before the
+    /// core consumes it (the read then re-issues against the promoted
+    /// replica).
+    RemoteReadDone {
+        /// The value read.
+        value: u16,
+        /// The router that served it.
+        from: RouterAddr,
+    },
     /// A `Scanf` was sent; waiting for the `ScanfReturn`.
     Scanf(PendingRequest),
     /// The scanf answer arrived.
@@ -141,6 +150,8 @@ pub struct ProcessorIp {
     local: MemoryCore,
     map: AddressMap,
     table: NodeTable,
+    /// Which node currently serves each logical node (replica failover).
+    directory: ServiceDirectory,
     /// Router of the serial IP, where printf/scanf go; `None` makes
     /// printf a no-op and scanf return 0 (headless systems).
     io_router: Option<RouterAddr>,
@@ -178,6 +189,7 @@ impl ProcessorIp {
             local: MemoryCore::new(local_words),
             map,
             table,
+            directory: ServiceDirectory::new(),
             io_router,
             active: false,
             fault: None,
@@ -238,6 +250,23 @@ impl ProcessorIp {
         self.addr = addr;
         self.table = table;
         self.io_router = io_router;
+    }
+
+    /// Installs this IP's view of the service directory (pushed by the
+    /// system whenever a replica group changes hands).
+    pub(crate) fn set_directory(&mut self, directory: ServiceDirectory) {
+        self.directory = directory;
+    }
+
+    /// Retargets everything this IP has in flight towards `old` — the
+    /// reliable write/notify queue and a pending remote read — at `new`,
+    /// with retry clocks restarted from `now`. Called by the system when
+    /// a service this IP talks to fails over to a replica.
+    pub(crate) fn redirect(&mut self, old: RouterAddr, new: RouterAddr, now: u64) {
+        self.reliable.redirect_dest(old, new, now);
+        if let NetPending::RemoteRead(req) = &mut self.pending {
+            req.redirect(old, new, now);
+        }
     }
 
     /// Whether the host has activated this processor.
@@ -327,7 +356,7 @@ impl ProcessorIp {
             }
             // A completed read or scanf is collected by the core on its
             // next retry: work right now.
-            NetPending::RemoteReadDone(_) | NetPending::ScanfDone(_) => return Some(now),
+            NetPending::RemoteReadDone { .. } | NetPending::ScanfDone(_) => return Some(now),
             NetPending::Idle => {}
         }
         deadline
@@ -411,7 +440,10 @@ impl ProcessorIp {
                     if let NetPending::RemoteRead(req) = &self.pending {
                         if req.matches(msg.src, msg.seq) {
                             let value = data.first().copied().unwrap_or(0);
-                            self.pending = NetPending::RemoteReadDone(value);
+                            self.pending = NetPending::RemoteReadDone {
+                                value,
+                                from: msg.src,
+                            };
                         }
                     }
                 }
@@ -436,9 +468,24 @@ impl ProcessorIp {
                 Service::Ack => {
                     self.reliable.on_ack(net, msg.src, msg.seq, now)?;
                 }
+                Service::ReplicaInvalidate { stale } => {
+                    // A failover promoted a new replica. A read answer
+                    // still parked from the dead primary is discarded so
+                    // the stalled load re-issues against the survivor.
+                    if matches!(self.pending, NetPending::RemoteReadDone { from, .. } if from == stale)
+                    {
+                        self.pending = NetPending::Idle;
+                    }
+                }
                 Service::Printf { .. } | Service::Scanf => {
                     return Err(SystemError::Protocol(format!(
                         "processor {} received a host-bound service",
+                        self.node
+                    )));
+                }
+                Service::ReplicateWrite { .. } => {
+                    return Err(SystemError::Protocol(format!(
+                        "processor {} received a memory-bound replication service",
                         self.node
                     )));
                 }
@@ -484,6 +531,7 @@ impl ProcessorIp {
             local: &mut self.local,
             map: &self.map,
             table: &self.table,
+            directory: &self.directory,
             io_router: self.io_router,
             pending: &mut self.pending,
             wait: &mut self.wait,
@@ -527,6 +575,7 @@ struct CtrlBus<'a, 'n> {
     local: &'a mut MemoryCore,
     map: &'a AddressMap,
     table: &'a NodeTable,
+    directory: &'a ServiceDirectory,
     io_router: Option<RouterAddr>,
     pending: &'a mut NetPending,
     wait: &'a mut WaitState,
@@ -575,7 +624,10 @@ impl Bus for CtrlBus<'_, '_> {
             Target::Local { offset } => BusResponse::Data(self.local.read(offset)),
             Target::Remote { node, offset } => match *self.pending {
                 NetPending::Idle => {
-                    let Some(dest) = self.table.router_of(node) else {
+                    // The directory maps the logical node to whichever
+                    // replica currently serves it (identity for
+                    // unreplicated nodes).
+                    let Some(dest) = self.table.router_of(self.directory.serving(node)) else {
                         return BusResponse::Data(0);
                     };
                     let req = self.start_request(
@@ -588,7 +640,7 @@ impl Bus for CtrlBus<'_, '_> {
                     *self.pending = NetPending::RemoteRead(req);
                     BusResponse::Wait
                 }
-                NetPending::RemoteReadDone(value) => {
+                NetPending::RemoteReadDone { value, .. } => {
                     *self.pending = NetPending::Idle;
                     BusResponse::Data(value)
                 }
@@ -623,7 +675,7 @@ impl Bus for CtrlBus<'_, '_> {
                 BusResponse::Data(0)
             }
             Target::Remote { node, offset } => {
-                if let Some(dest) = self.table.router_of(node) {
+                if let Some(dest) = self.table.router_of(self.directory.serving(node)) {
                     self.send_reliable(
                         dest,
                         Service::WriteInMemory {

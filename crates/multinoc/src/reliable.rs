@@ -408,6 +408,49 @@ impl ReliableSender {
         true
     }
 
+    /// Retargets all reliability state aimed at `old` to `new`: the
+    /// destination queue (in-flight message, backlog and the sequence
+    /// counter keep going against the new address) has its retry clock
+    /// restarted from `now`, exactly as after a reconfiguration epoch —
+    /// the backoff accumulated against the dead destination says nothing
+    /// about the replacement. Used when a service fails over to a
+    /// replica on another node: the replica's duplicate suppression
+    /// already knows this sender's sequence numbers from replication, so
+    /// continuing the counter is what makes retransmitted writes
+    /// recognizable as duplicates across the failover.
+    pub fn redirect_dest(&mut self, old: RouterAddr, new: RouterAddr, now: u64) {
+        // A pre-existing (necessarily idle) queue towards the new address
+        // would shadow the retargeted one in `queue_idx`; drop it. The
+        // retargeted queue's counter is the one the replica knows.
+        if let Some(i) = self
+            .queues
+            .iter()
+            .position(|q| q.dest == new && q.inflight.is_none() && q.backlog.is_empty())
+        {
+            self.queues.remove(i);
+        }
+        for q in &mut self.queues {
+            if q.dest != old {
+                continue;
+            }
+            q.dest = new;
+            if let Some(inf) = q.inflight.as_mut() {
+                inf.sent_at = now;
+                inf.attempt = 1;
+                self.counters.reroute_resets += 1;
+            }
+        }
+    }
+
+    /// Drops all reliability state towards `dest`, abandoning anything
+    /// in flight or queued. Used when the destination is declared dead
+    /// with no replacement (e.g. a replica backup dies while the primary
+    /// is healthy): retrying against it forever would end in a spurious
+    /// [`SystemError::DeliveryFailed`].
+    pub fn forget_dest(&mut self, dest: RouterAddr) {
+        self.queues.retain(|q| q.dest != dest);
+    }
+
     /// Like [`poll_request`](Self::poll_request), but without a retry
     /// budget: the request keeps retransmitting at the widest backoff
     /// forever. For requests answered by the *host* (`Scanf`), where a
@@ -469,6 +512,18 @@ impl PendingRequest {
     /// Whether a response carrying `seq` from `src` answers this request.
     pub fn matches(&self, src: RouterAddr, seq: u16) -> bool {
         self.dest == src && self.seq == seq
+    }
+
+    /// Retargets the request to `new` if it was aimed at `old`,
+    /// restarting its retry clock; the next poll retransmits it to the
+    /// replacement and only its response is accepted from then on.
+    pub fn redirect(&mut self, old: RouterAddr, new: RouterAddr, now: u64) {
+        if self.dest != old {
+            return;
+        }
+        self.dest = new;
+        self.sent_at = now;
+        self.attempt = 1;
     }
 }
 
@@ -553,6 +608,72 @@ mod tests {
         assert_eq!(p.timeout_for(3), 800);
         assert_eq!(p.timeout_for(6), 6_400);
         assert_eq!(p.timeout_for(19), 6_400, "backoff is bounded");
+    }
+
+    #[test]
+    fn redirect_dest_retargets_queue_and_continues_the_counter() {
+        let mut noc = mesh();
+        let mut s = ReliableSender::new(NodeId(1));
+        let here = RouterAddr::new(0, 0);
+        let old = RouterAddr::new(1, 1);
+        let new = RouterAddr::new(1, 0);
+        let mut net = NetPort::new(&mut noc, here);
+        let seq1 = s
+            .send(&mut net, old, Service::ActivateProcessor, 0)
+            .unwrap();
+        assert_eq!(seq1, 1);
+        // An idle pre-existing queue towards the new address must not
+        // shadow the retargeted one.
+        s.alloc_seq(new);
+        let resets_before = s.counters().reroute_resets;
+        s.redirect_dest(old, new, 50);
+        assert!(
+            s.counters().reroute_resets > resets_before,
+            "the in-flight retry clock restarted"
+        );
+        // The sequence counter continues against the new destination —
+        // the replica knows our numbers from the replication stream.
+        assert_eq!(s.alloc_seq(new), 2);
+        assert!(!s.is_idle(), "the in-flight message survived the redirect");
+        // Acks from the new destination complete it.
+        s.on_ack(&mut net, new, seq1, 60).unwrap();
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn forget_dest_abandons_in_flight_traffic() {
+        let mut noc = mesh();
+        let mut s = ReliableSender::new(NodeId(1));
+        let here = RouterAddr::new(0, 0);
+        let dead = RouterAddr::new(1, 1);
+        let mut net = NetPort::new(&mut noc, here);
+        s.send(&mut net, dead, Service::ActivateProcessor, 0)
+            .unwrap();
+        assert!(!s.is_idle());
+        s.forget_dest(dead);
+        assert!(s.is_idle(), "nothing left to retry against a dead node");
+        assert_eq!(s.next_deadline(), None);
+    }
+
+    #[test]
+    fn pending_request_redirect_rebinds_the_implicit_ack() {
+        let req = PendingRequest::new(
+            RouterAddr::new(1, 1),
+            7,
+            Service::ReadFromMemory { addr: 0, count: 1 },
+            0,
+        );
+        let mut moved = req.clone();
+        moved.redirect(RouterAddr::new(1, 1), RouterAddr::new(1, 0), 10);
+        assert!(
+            !moved.matches(RouterAddr::new(1, 1), 7),
+            "a stale reply from the dead router no longer matches"
+        );
+        assert!(moved.matches(RouterAddr::new(1, 0), 7));
+        // A request aimed elsewhere is untouched.
+        let mut other = req.clone();
+        other.redirect(RouterAddr::new(0, 1), RouterAddr::new(1, 0), 10);
+        assert!(other.matches(RouterAddr::new(1, 1), 7));
     }
 
     #[test]
@@ -717,7 +838,8 @@ mod tests {
             RouterAddr::new(0, 0),
             Port::East,
             CycleWindow::open_ended(0),
-        ));
+        ))
+        .unwrap();
         let here = RouterAddr::new(0, 0);
         let dest = RouterAddr::new(1, 0);
         let mut sender = ReliableSender::new(NodeId(0)).with_policy(RetryPolicy {
@@ -771,7 +893,8 @@ mod tests {
             FaultPlan::new(4)
                 .with_link_down(corner, Port::East, CycleWindow::open_ended(0))
                 .with_link_down(corner, Port::North, CycleWindow::open_ended(0)),
-        );
+        )
+        .unwrap();
         // Two probes kill the corner's links; the corner is then cut off.
         noc.send(corner, Packet::new(RouterAddr::new(1, 1), vec![1]))
             .unwrap();

@@ -13,6 +13,7 @@
 
 use hermes_noc::RouterAddr;
 
+use crate::directory::ServiceDirectory;
 use crate::error::SystemError;
 use crate::net::NetPort;
 use crate::node::{NodeId, NodeTable};
@@ -25,6 +26,9 @@ use crate::service::Service;
 pub struct SerialIp {
     addr: RouterAddr,
     table: NodeTable,
+    /// Which replica currently serves each logical node; host commands
+    /// addressed to a failed-over memory are transparently redirected.
+    directory: ServiceDirectory,
     synced: bool,
     rx: FrameBuffer,
     /// Retransmitting sender for host writes and activations.
@@ -48,6 +52,7 @@ impl SerialIp {
         Self {
             addr,
             table,
+            directory: ServiceDirectory::new(),
             synced: false,
             rx: FrameBuffer::new(),
             reliable: ReliableSender::new(NodeId(0)),
@@ -71,6 +76,20 @@ impl SerialIp {
     pub(crate) fn reconfigure(&mut self, addr: RouterAddr, table: NodeTable) {
         self.addr = addr;
         self.table = table;
+    }
+
+    /// Updates this IP's view of which replica serves each logical node.
+    pub(crate) fn set_directory(&mut self, directory: ServiceDirectory) {
+        self.directory = directory;
+    }
+
+    /// Retargets in-flight reliable traffic from a dead router to the
+    /// replica that took over its service.
+    pub(crate) fn redirect(&mut self, old: RouterAddr, new: RouterAddr, now: u64) {
+        self.reliable.redirect_dest(old, new, now);
+        for req in &mut self.pending_reads {
+            req.redirect(old, new, now);
+        }
     }
 
     /// Whether this IP has no reliable traffic in flight or queued.
@@ -133,6 +152,10 @@ impl SerialIp {
                 Service::Ack => {
                     self.reliable.on_ack(net, msg.src, msg.seq, now)?;
                 }
+                // A failover invalidation broadcast: the serial IP holds
+                // no parked read values (ReadReturns stream straight to
+                // the host), so there is nothing to discard.
+                Service::ReplicaInvalidate { .. } => {}
                 other => {
                     return Err(SystemError::Protocol(format!(
                         "serial IP cannot handle service `{other}`"
@@ -203,7 +226,7 @@ impl SerialIp {
 
     fn target(&self, node: u8) -> Result<RouterAddr, SystemError> {
         self.table
-            .router_of(NodeId(node))
+            .router_of(self.directory.serving(NodeId(node)))
             .ok_or(SystemError::BadNode {
                 node: NodeId(node),
                 expected: "a node of this system",

@@ -58,6 +58,15 @@ pub enum ServiceCode {
     /// Acknowledge a sequenced message (reliability extension; not one
     /// of the paper's nine services).
     Ack = 10,
+    /// Primary → backup write-through replication of an accepted
+    /// `WriteInMemory` (replicated-memory extension; carries the
+    /// *originating* writer so the backup's duplicate suppression keeps
+    /// working across a failover).
+    ReplicateWrite = 11,
+    /// Broadcast by a just-promoted backup: any value obtained from the
+    /// named (now dead) router should be discarded and re-fetched from
+    /// the new serving replica.
+    ReplicaInvalidate = 12,
 }
 
 impl ServiceCode {
@@ -73,6 +82,8 @@ impl ServiceCode {
             8 => ServiceCode::Notify,
             9 => ServiceCode::Wait,
             10 => ServiceCode::Ack,
+            11 => ServiceCode::ReplicateWrite,
+            12 => ServiceCode::ReplicaInvalidate,
             _ => return None,
         })
     }
@@ -129,6 +140,28 @@ pub enum Service {
     /// Acknowledge the sequenced message whose sequence number this
     /// message carries in [`Message::seq`].
     Ack,
+    /// Write-through replication of an accepted write, primary → backup.
+    /// The originating writer rides along so the backup registers the
+    /// write under the *client's* identity too: after a failover the
+    /// client's retransmission of the same write is then recognised as a
+    /// duplicate instead of being applied twice.
+    ReplicateWrite {
+        /// Router of the client whose write is being replicated.
+        origin: RouterAddr,
+        /// The client's sequence number for that write (0 if it was
+        /// unsequenced).
+        origin_seq: u16,
+        /// First word address.
+        addr: u16,
+        /// The words written.
+        data: Vec<u16>,
+    },
+    /// A promoted backup telling clients that values fetched from the
+    /// dead router `stale` are no longer authoritative.
+    ReplicaInvalidate {
+        /// Router of the demoted (dead) primary.
+        stale: RouterAddr,
+    },
 }
 
 impl Service {
@@ -145,6 +178,8 @@ impl Service {
             Service::Notify { .. } => ServiceCode::Notify,
             Service::Wait { .. } => ServiceCode::Wait,
             Service::Ack => ServiceCode::Ack,
+            Service::ReplicateWrite { .. } => ServiceCode::ReplicateWrite,
+            Service::ReplicaInvalidate { .. } => ServiceCode::ReplicaInvalidate,
         }
     }
 }
@@ -168,6 +203,18 @@ impl fmt::Display for Service {
             Service::Notify { from } => write!(f, "notify from node {from}"),
             Service::Wait { from } => write!(f, "wait for node {from}"),
             Service::Ack => write!(f, "ack"),
+            Service::ReplicateWrite {
+                origin, addr, data, ..
+            } => {
+                write!(
+                    f,
+                    "replicate write from {origin} [{addr:#06x}; {}]",
+                    data.len()
+                )
+            }
+            Service::ReplicaInvalidate { stale } => {
+                write!(f, "invalidate replica of {stale}")
+            }
         }
     }
 }
@@ -317,6 +364,22 @@ impl Message {
             Service::ScanfReturn { value } => word(*value),
             Service::Notify { from } | Service::Wait { from } => word(*from),
             Service::Ack => {}
+            Service::ReplicateWrite {
+                origin,
+                origin_seq,
+                addr,
+                data,
+            } => {
+                payload.push(origin.to_flit(flit_bits));
+                pack_u16(*origin_seq, flit_bits, &mut payload);
+                pack_u16(*addr, flit_bits, &mut payload);
+                for &d in data {
+                    pack_u16(d, flit_bits, &mut payload);
+                }
+            }
+            Service::ReplicaInvalidate { stale } => {
+                payload.push(stale.to_flit(flit_bits));
+            }
         }
         let (c0, c1) = checksum(&payload, flit_bits);
         payload.push(c0);
@@ -386,6 +449,27 @@ impl Message {
                 from: read_word(&mut pos)?,
             },
             ServiceCode::Ack => Service::Ack,
+            ServiceCode::ReplicateWrite => {
+                if pos >= flits.len() {
+                    return Err(ServiceError::Truncated);
+                }
+                let origin = RouterAddr::from_flit(flits[pos], flit_bits);
+                pos += 1;
+                Service::ReplicateWrite {
+                    origin,
+                    origin_seq: read_word(&mut pos)?,
+                    addr: read_word(&mut pos)?,
+                    data: read_rest(&mut pos)?,
+                }
+            }
+            ServiceCode::ReplicaInvalidate => {
+                if pos >= flits.len() {
+                    return Err(ServiceError::Truncated);
+                }
+                Service::ReplicaInvalidate {
+                    stale: RouterAddr::from_flit(flits[pos], flit_bits),
+                }
+            }
         };
         Ok(Self { src, seq, service })
     }
@@ -444,6 +528,25 @@ mod tests {
         round_trip(Service::ScanfReturn { value: 0xBEEF });
         round_trip(Service::Notify { from: 2 });
         round_trip(Service::Wait { from: 1 });
+    }
+
+    #[test]
+    fn replication_services_round_trip() {
+        round_trip(Service::ReplicateWrite {
+            origin: RouterAddr::new(2, 1),
+            origin_seq: 0x1234,
+            addr: 0x3FF,
+            data: vec![0xABCD, 7],
+        });
+        round_trip(Service::ReplicateWrite {
+            origin: RouterAddr::new(0, 0),
+            origin_seq: 1,
+            addr: 0,
+            data: vec![],
+        });
+        round_trip(Service::ReplicaInvalidate {
+            stale: RouterAddr::new(1, 2),
+        });
     }
 
     #[test]

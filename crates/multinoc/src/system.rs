@@ -1,10 +1,13 @@
 //! The integrated MultiNoC system: Hermes NoC + IP cores + serial link,
 //! co-simulated cycle by cycle.
 
+use std::collections::BTreeSet;
+
 use hermes_noc::{FaultPlan, Noc, NocConfig, NocStats, Port, RouterAddr};
 use r8::core::Cpu;
 
 use crate::addrmap::AddressMap;
+use crate::directory::ServiceDirectory;
 use crate::error::SystemError;
 use crate::memory::{MemoryCore, MemoryIp};
 use crate::net::NetPort;
@@ -49,6 +52,20 @@ enum Ip {
     Vacant,
 }
 
+/// One recorded service failover: the cycle the survivor took over and
+/// who handed off to whom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverRecord {
+    /// Cycle at which the survivor was promoted.
+    pub cycle: u64,
+    /// The logical node clients keep addressing.
+    pub logical: NodeId,
+    /// The member that died.
+    pub from: NodeId,
+    /// The member now serving.
+    pub to: NodeId,
+}
+
 /// The whole MultiNoC system. Build one with [`System::paper_config`]
 /// (the exact 2×2 system of the paper) or [`System::builder`] (arbitrary
 /// meshes and IP mixes, "using the natural scalability of NoCs").
@@ -68,6 +85,15 @@ pub struct System {
     /// Armed by [`set_fault_plan`](Self::set_fault_plan) or
     /// [`enable_watchdog`](Self::enable_watchdog); off by default.
     watchdog: Option<Watchdog>,
+    /// Which node currently serves each logical node (replica groups).
+    directory: ServiceDirectory,
+    /// Nodes whose router or IP core the diagnosis declared dead, in
+    /// detection order.
+    dead_nodes: Vec<NodeId>,
+    /// Dead routers already reacted to (death handling runs once each).
+    processed_dead: BTreeSet<RouterAddr>,
+    /// Every completed failover, in promotion order.
+    failover_log: Vec<FailoverRecord>,
 }
 
 impl System {
@@ -252,6 +278,9 @@ impl System {
             node,
             expected: "a node of this system",
         })?;
+        if self.dead_nodes.contains(&node) {
+            return Err(SystemError::NodeDown { node, router: addr });
+        }
         self.processor_mut(node)?; // kind check
         let msg = crate::service::Message::new(addr, crate::service::Service::ActivateProcessor);
         let flit_bits = self.noc.config().flit_bits;
@@ -268,9 +297,15 @@ impl System {
     /// [watchdog](Self::enable_watchdog): a faulty network can hang in
     /// ways a healthy one cannot, and hangs should become typed errors,
     /// not exhausted budgets.
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.noc.set_fault_plan(plan);
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::FaultPlan`] if the plan fails validation (e.g. a
+    /// fault site outside the mesh).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), SystemError> {
+        self.noc.set_fault_plan(plan)?;
         self.enable_watchdog();
+        Ok(())
     }
 
     /// The active fault plan, if any.
@@ -295,23 +330,32 @@ impl System {
     }
 
     /// Whether every IP's reliability layer is quiet: no unacknowledged
-    /// messages, queued retransmissions or outstanding requests.
+    /// messages, queued retransmissions or outstanding requests. Dead
+    /// nodes are exempt — whatever they owed died with them.
     pub fn net_quiet(&self) -> bool {
-        self.ips.iter().all(|ip| match ip {
-            Ip::Processor(p) => p.net_quiet(),
-            Ip::Serial(s) => s.net_quiet(),
-            _ => true,
+        self.ips.iter().enumerate().all(|(i, ip)| {
+            if self.dead_nodes.contains(&NodeId(i as u8)) {
+                return true;
+            }
+            match ip {
+                Ip::Processor(p) => p.net_quiet(),
+                Ip::Serial(s) => s.net_quiet(),
+                Ip::Memory(m) => m.net_quiet(),
+                Ip::Vacant => true,
+            }
         })
     }
 
-    /// Aggregate reliability-layer work across every IP.
+    /// Aggregate reliability-layer work across every IP (the memory IPs'
+    /// replication streams included).
     pub fn retry_counters(&self) -> RetryCounters {
         let mut total = RetryCounters::default();
         for ip in &self.ips {
             let c = match ip {
                 Ip::Processor(p) => p.retry_counters(),
                 Ip::Serial(s) => s.retry_counters(),
-                _ => continue,
+                Ip::Memory(m) => m.replication_counters(),
+                Ip::Vacant => continue,
             };
             total.sent += c.sent;
             total.retransmissions += c.retransmissions;
@@ -346,14 +390,59 @@ impl System {
             .iter()
             .map(|(addr, port)| format!("{addr}:{port:?}"))
             .collect();
-        format!(
+        let mut report = format!(
             "degraded: dead links [{}], {} epochs, {} rerouted grants, \
              {} wedged packets flushed",
             links.join(", "),
             h.epochs,
             h.rerouted_grants,
             h.wedged_packets_dropped
-        )
+        );
+        let dead_routers = self.noc.dead_routers();
+        if !dead_routers.is_empty() {
+            let routers: Vec<String> = dead_routers.iter().map(ToString::to_string).collect();
+            report.push_str(&format!(", dead routers [{}]", routers.join(", ")));
+        }
+        if !self.dead_nodes.is_empty() {
+            let nodes: Vec<String> = self.dead_nodes.iter().map(ToString::to_string).collect();
+            report.push_str(&format!(", dead nodes [{}]", nodes.join(", ")));
+        }
+        for f in &self.failover_log {
+            report.push_str(&format!(
+                ", {} failed over {} -> {} at cycle {}",
+                f.logical, f.from, f.to, f.cycle
+            ));
+        }
+        report
+    }
+
+    /// Nodes whose router or IP core the online diagnosis has declared
+    /// dead, in detection order.
+    pub fn dead_nodes(&self) -> &[NodeId] {
+        &self.dead_nodes
+    }
+
+    /// The service directory: which node currently serves each logical
+    /// node.
+    pub fn directory(&self) -> &ServiceDirectory {
+        &self.directory
+    }
+
+    /// Every completed service failover, in promotion order.
+    pub fn failover_report(&self) -> &[FailoverRecord] {
+        &self.failover_log
+    }
+
+    /// Fresh writes the serving primaries have forwarded to their
+    /// backups, summed over every memory IP.
+    pub fn replication_writes(&self) -> u64 {
+        self.ips
+            .iter()
+            .map(|ip| match ip {
+                Ip::Memory(m) => m.replication_writes(),
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Duplicate sequenced messages suppressed by receivers, summed over
@@ -455,6 +544,24 @@ impl System {
             &[],
             self.duplicates_dropped(),
         );
+        reg.counter(
+            "multinoc_node_deaths_total",
+            "Nodes declared dead by the online diagnosis",
+            &[],
+            self.dead_nodes.len() as u64,
+        );
+        reg.counter(
+            "multinoc_failovers_total",
+            "Replicated services promoted to their surviving member",
+            &[],
+            self.failover_log.len() as u64,
+        );
+        reg.counter(
+            "multinoc_replication_writes_total",
+            "Fresh writes forwarded by serving primaries to their backups",
+            &[],
+            self.replication_writes(),
+        );
         let retries = self.retry_counters();
         reg.counter(
             "multinoc_reliable_sent_total",
@@ -543,6 +650,16 @@ impl System {
                 ));
             }
         }
+        // Failovers as short spans on the services process, one per
+        // promotion, on the logical node's track.
+        for f in &self.failover_log {
+            events.push(format!(
+                "{{\"name\":\"failover {} -> {}\",\"cat\":\"failover\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":1,\"pid\":1,\"tid\":{},\"args\":{{\"logical\":\"{}\",\
+                 \"from\":\"{}\",\"to\":\"{}\"}}}}",
+                f.from, f.to, f.cycle, f.logical.0, f.logical, f.from, f.to
+            ));
+        }
         hermes_noc::trace::perfetto_wrap(&events)
     }
 
@@ -554,12 +671,20 @@ impl System {
     pub fn step(&mut self) -> Result<(), SystemError> {
         self.noc.step();
         let now = self.noc.cycle();
+        self.react_to_deaths(now)?;
         self.link.step(now);
         for idx in 0..self.ips.len() {
             let node = NodeId(idx as u8);
             let Some(addr) = self.table.router_of(node) else {
                 continue; // vacated slot
             };
+            // A dead node's IP no longer executes; whatever the network
+            // still delivers to its router is discarded, as a powered-off
+            // core would.
+            if self.dead_nodes.contains(&node) {
+                while self.noc.try_recv(addr).is_some() {}
+                continue;
+            }
             // A core that cannot execute (inactive, halted, faulted) with
             // a quiet reliability layer and nothing delivered at its
             // router has nothing to do: book the cycle and move on.
@@ -576,26 +701,158 @@ impl System {
                 log: self.trace.as_mut(),
             };
             let mut net = NetPort::observed(&mut self.noc, addr, observer);
-            match &mut self.ips[idx] {
-                Ip::Processor(p) => p.step(now, &mut net)?,
-                Ip::Serial(s) => s.step(now, &mut self.link, &mut net)?,
-                Ip::Memory(m) => {
-                    while let Some(msg) = net.recv()? {
-                        if let Some((dest, reply, seq)) = m.handle(&msg) {
-                            net.send_seq(dest, reply, seq)?;
-                        }
-                    }
-                }
+            let stepped = match &mut self.ips[idx] {
+                Ip::Processor(p) => p.step(now, &mut net),
+                Ip::Serial(s) => s.step(now, &mut self.link, &mut net),
+                Ip::Memory(m) => m.step(now, &mut net),
                 Ip::Vacant => {
                     // Drop anything that still arrives here.
                     while net.recv()?.is_some() {}
+                    Ok(())
                 }
-            }
+            };
+            stepped.map_err(|e| self.promote_node_down(e))?;
         }
         // Drain stray deliveries at routers whose IP was removed.
         for i in 0..self.vacated_routers.len() {
             let addr = self.vacated_routers[i];
             while self.noc.try_recv(addr).is_some() {}
+        }
+        Ok(())
+    }
+
+    /// Upgrades a transport-level partition error to the node-level
+    /// diagnosis when the unreachable destination is in fact a node the
+    /// health machinery has declared dead: the caller learns the core is
+    /// gone, not merely that paths to it are cut.
+    fn promote_node_down(&self, e: SystemError) -> SystemError {
+        if let SystemError::Unreachable { dest, .. } = e {
+            if let Some(node) = self.table.node_of(dest) {
+                if self.dead_nodes.contains(&node) {
+                    return SystemError::NodeDown { node, router: dest };
+                }
+            }
+        }
+        e
+    }
+
+    /// Reacts — once per dead router — to node deaths declared by the
+    /// network's online diagnosis this cycle: records the dead node,
+    /// fails replicated services over to their surviving member, rewires
+    /// every client's in-flight traffic at the survivor, and releases
+    /// acks a primary was withholding on a dead backup. Deterministic:
+    /// dead routers are visited in address order and every decision is a
+    /// pure function of the (kernel-invariant) diagnosis state.
+    fn react_to_deaths(&mut self, now: u64) -> Result<(), SystemError> {
+        // Cheap early-out for the healthy path.
+        if self.noc.fault_plan().is_none() {
+            return Ok(());
+        }
+        let mut newly_dead: Vec<RouterAddr> = self
+            .noc
+            .dead_endpoints()
+            .into_iter()
+            .filter(|r| !self.processed_dead.contains(r))
+            .collect();
+        newly_dead.sort_unstable();
+        for router in newly_dead {
+            self.processed_dead.insert(router);
+            let Some(node) = self.table.node_of(router) else {
+                continue; // a router without an IP died; routing handles it
+            };
+            self.dead_nodes.push(node);
+            self.handle_node_death(node, router, now)?;
+        }
+        Ok(())
+    }
+
+    /// Fails over or degrades the replica group `node` belonged to, if
+    /// any.
+    fn handle_node_death(
+        &mut self,
+        node: NodeId,
+        router: RouterAddr,
+        now: u64,
+    ) -> Result<(), SystemError> {
+        let Some(group) = self.directory.group_of(node).copied() else {
+            return Ok(()); // unreplicated node: requests surface NodeDown
+        };
+        if group.serving != node {
+            // The standby member died: the serving primary degrades to an
+            // unreplicated memory and releases the acks it was
+            // withholding on replication to the dead backup.
+            let serving = group.serving;
+            if let Some(serving_router) = self.table.router_of(serving) {
+                let observer = crate::net::Observer {
+                    node: serving,
+                    now,
+                    counters: &mut self.counters,
+                    log: self.trace.as_mut(),
+                };
+                let mut net = NetPort::observed(&mut self.noc, serving_router, observer);
+                if let Some(Ip::Memory(m)) = self.ips.get_mut(serving.index()) {
+                    m.drop_replica(router, &mut net)?;
+                }
+            }
+            return Ok(());
+        }
+        // The serving member died. Promote the survivor if it is alive.
+        let survivor = if group.primary == node {
+            group.backup
+        } else {
+            group.primary
+        };
+        if self.dead_nodes.contains(&survivor) {
+            return Ok(()); // both members gone: requests surface NodeDown
+        }
+        let Some(survivor_router) = self.table.router_of(survivor) else {
+            return Ok(());
+        };
+        self.directory.fail_over(node, now);
+        self.failover_log.push(FailoverRecord {
+            cycle: now,
+            logical: group.primary,
+            from: node,
+            to: survivor,
+        });
+        // The survivor stops replicating to the dead member and tells
+        // every client to discard read values still parked from it.
+        let clients: Vec<RouterAddr> = self
+            .ips
+            .iter()
+            .enumerate()
+            .filter(|(i, ip)| {
+                matches!(ip, Ip::Processor(_) | Ip::Serial(_))
+                    && !self.dead_nodes.contains(&NodeId(*i as u8))
+            })
+            .filter_map(|(i, _)| self.table.router_of(NodeId(i as u8)))
+            .collect();
+        let observer = crate::net::Observer {
+            node: survivor,
+            now,
+            counters: &mut self.counters,
+            log: self.trace.as_mut(),
+        };
+        let mut net = NetPort::observed(&mut self.noc, survivor_router, observer);
+        if let Some(Ip::Memory(m)) = self.ips.get_mut(survivor.index()) {
+            m.promote(router, &clients, &mut net)?;
+        }
+        // Re-resolve the service at every client: updated directory plus
+        // a rewire of everything already in flight towards the dead
+        // member, so unacknowledged writes and the pending read retry
+        // against the survivor (and are deduplicated there).
+        for ip in &mut self.ips {
+            match ip {
+                Ip::Processor(p) => {
+                    p.set_directory(self.directory.clone());
+                    p.redirect(router, survivor_router, now);
+                }
+                Ip::Serial(s) => {
+                    s.set_directory(self.directory.clone());
+                    s.redirect(router, survivor_router, now);
+                }
+                _ => {}
+            }
         }
         Ok(())
     }
@@ -639,7 +896,13 @@ impl System {
                         note(d);
                     }
                 }
-                Ip::Memory(_) | Ip::Vacant => {} // purely reactive
+                Ip::Memory(m) => {
+                    // Reactive but for the replication stream's timers.
+                    if let Some(d) = m.next_deadline() {
+                        note(d);
+                    }
+                }
+                Ip::Vacant => {}
             }
         }
         // The step that observes cycle `d` begins by advancing the NoC
@@ -865,8 +1128,14 @@ impl System {
                 continue;
             };
             match &mut self.ips[idx] {
-                Ip::Processor(p) => p.reconfigure(addr, self.table.clone(), io_router),
-                Ip::Serial(s) => s.reconfigure(addr, self.table.clone()),
+                Ip::Processor(p) => {
+                    p.reconfigure(addr, self.table.clone(), io_router);
+                    p.set_directory(self.directory.clone());
+                }
+                Ip::Serial(s) => {
+                    s.reconfigure(addr, self.table.clone());
+                    s.set_directory(self.directory.clone());
+                }
                 Ip::Memory(m) => m.set_router(addr),
                 Ip::Vacant => {}
             }
@@ -973,7 +1242,7 @@ impl System {
             .next()
             .and_then(|n| self.table.router_of(n));
         let ip = match kind {
-            NodeKind::Memory => Ip::Memory(MemoryIp::new(addr, crate::MEMORY_WORDS)),
+            NodeKind::Memory => Ip::Memory(MemoryIp::new(node, addr, crate::MEMORY_WORDS)),
             NodeKind::Processor => {
                 // The new processor sees every other memory-owning node,
                 // processors first, in node order (builder convention).
@@ -1078,6 +1347,9 @@ pub struct SystemBuilder {
     serial: SerialConfig,
     clock_hz: Option<f64>,
     nodes: Vec<(RouterAddr, NodeKind)>,
+    /// `(primary, backup)` router pairs added by
+    /// [`replicated_memory_at`](Self::replicated_memory_at).
+    replicas: Vec<(RouterAddr, RouterAddr)>,
 }
 
 impl SystemBuilder {
@@ -1128,6 +1400,20 @@ impl SystemBuilder {
         self
     }
 
+    /// Adds a *replicated* remote memory: the serving primary at
+    /// `primary` plus a write-through backup at `backup` (distinct
+    /// routers, so one router death cannot take both). Processors see a
+    /// single memory window, addressed at the primary's node id; the
+    /// backup holds no window of its own. If the network's online
+    /// diagnosis later declares the serving member's node dead, the
+    /// system promotes the survivor and clients fail over transparently.
+    pub fn replicated_memory_at(mut self, primary: RouterAddr, backup: RouterAddr) -> Self {
+        self.nodes.push((primary, NodeKind::Memory));
+        self.nodes.push((backup, NodeKind::Memory));
+        self.replicas.push((primary, backup));
+        self
+    }
+
     /// Builds the system.
     ///
     /// # Errors
@@ -1170,20 +1456,52 @@ impl SystemBuilder {
             .next()
             .and_then(|n| table.router_of(n));
 
+        // Resolve replica pairs to node ids and validate them.
+        let mut directory = ServiceDirectory::new();
+        let mut backup_nodes: Vec<NodeId> = Vec::new();
+        for &(primary, backup) in &self.replicas {
+            if primary == backup {
+                return Err(SystemError::BadLayout(format!(
+                    "replica pair at {primary} needs two distinct routers"
+                )));
+            }
+            let (Some(p), Some(b)) = (table.node_of(primary), table.node_of(backup)) else {
+                return Err(SystemError::BadLayout(format!(
+                    "replica pair {primary}/{backup} lost its nodes"
+                )));
+            };
+            directory.register(p, b);
+            backup_nodes.push(b);
+        }
+
         // Windows seen by each processor: other processors first, then
-        // memory IPs, in node order (matches the paper's map).
+        // memory IPs, in node order (matches the paper's map). Replica
+        // backups are invisible — clients address the logical primary
+        // and the directory decides who serves it.
         let mut ips = Vec::with_capacity(self.nodes.len());
         for (i, &(addr, kind)) in self.nodes.iter().enumerate() {
             let node = NodeId(i as u8);
             let ip = match kind {
                 NodeKind::Serial => Ip::Serial(SerialIp::new(addr, table.clone())),
-                NodeKind::Memory => Ip::Memory(MemoryIp::new(addr, crate::MEMORY_WORDS)),
+                NodeKind::Memory => {
+                    let mut m = MemoryIp::new(node, addr, crate::MEMORY_WORDS);
+                    if let Some(g) = directory.group_of(node) {
+                        if g.primary == node {
+                            m.set_replica(table.router_of(g.backup));
+                        }
+                    }
+                    Ip::Memory(m)
+                }
                 NodeKind::Processor => {
                     let mut windows: Vec<NodeId> = table
                         .nodes_of_kind(NodeKind::Processor)
                         .filter(|&n| n != node)
                         .collect();
-                    windows.extend(table.nodes_of_kind(NodeKind::Memory));
+                    windows.extend(
+                        table
+                            .nodes_of_kind(NodeKind::Memory)
+                            .filter(|n| !backup_nodes.contains(n)),
+                    );
                     if (windows.len() + 1) * usize::from(crate::MEMORY_WORDS)
                         > usize::from(crate::NOTIFY_ADDR)
                     {
@@ -1206,7 +1524,7 @@ impl SystemBuilder {
             ips.push(ip);
         }
 
-        Ok(System {
+        let mut system = System {
             noc,
             ips,
             table,
@@ -1216,7 +1534,14 @@ impl SystemBuilder {
             trace: None,
             vacated_routers: Vec::new(),
             watchdog: None,
-        })
+            directory,
+            dead_nodes: Vec::new(),
+            processed_dead: BTreeSet::new(),
+            failover_log: Vec::new(),
+        };
+        // Every client starts with the (identity) directory view.
+        system.refresh_tables();
+        Ok(system)
     }
 }
 
@@ -1497,7 +1822,8 @@ mod tests {
             RouterAddr::new(0, 1),
             Port::East,
             CycleWindow::open_ended(0),
-        ));
+        ))
+        .unwrap();
         sys.activate_directly(PROCESSOR_1).unwrap();
         sys.run_until_halted(2_000_000)
             .expect("the workload completes despite the dead link");
@@ -1532,7 +1858,7 @@ mod tests {
             .build()
             .unwrap();
         // Any fault plan arms the watchdog; inject nothing.
-        sys.set_fault_plan(FaultPlan::new(1));
+        sys.set_fault_plan(FaultPlan::new(1)).unwrap();
         let program = assemble("LIW R1, 1\nHALT").unwrap();
         sys.memory_mut(PROCESSOR_1)
             .unwrap()
@@ -1553,5 +1879,214 @@ mod tests {
             Err(SystemError::Cpu { node, .. }) => assert_eq!(node, PROCESSOR_1),
             other => panic!("expected a cpu fault, got {other:?}"),
         }
+    }
+
+    /// A 3×3 fault-tolerant mesh: serial at (0,0), one processor at
+    /// (0,1), and a replicated memory — primary at (1,1), write-through
+    /// backup at (2,2). Nodes 0..=3 in that order.
+    fn replicated_system() -> System {
+        use hermes_noc::Routing;
+        let mut config = NocConfig::mesh(3, 3);
+        config.routing = Routing::FaultTolerantXy;
+        System::builder()
+            .noc(config)
+            .serial_at(RouterAddr::new(0, 0))
+            .processor_at(RouterAddr::new(0, 1))
+            .replicated_memory_at(RouterAddr::new(1, 1), RouterAddr::new(2, 2))
+            .build()
+            .unwrap()
+    }
+
+    const REPLICA_PRIMARY: NodeId = NodeId(2);
+    const REPLICA_BACKUP: NodeId = NodeId(3);
+
+    #[test]
+    fn replicated_build_hides_the_backup_window() {
+        let sys = replicated_system();
+        let map = sys.address_map(PROCESSOR_1).unwrap();
+        assert!(map.window_base(REPLICA_PRIMARY).is_some());
+        assert!(
+            map.window_base(REPLICA_BACKUP).is_none(),
+            "clients address the logical primary only"
+        );
+        assert_eq!(sys.directory().serving(REPLICA_PRIMARY), REPLICA_PRIMARY);
+        assert!(sys.failover_report().is_empty());
+        // A replica pair needs two distinct routers.
+        assert!(System::builder()
+            .noc(NocConfig::mesh(3, 3))
+            .replicated_memory_at(RouterAddr::new(1, 1), RouterAddr::new(1, 1))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn replicated_write_reaches_the_backup() {
+        let mut sys = replicated_system();
+        let base = sys
+            .address_map(PROCESSOR_1)
+            .unwrap()
+            .window_base(REPLICA_PRIMARY)
+            .unwrap();
+        let program = assemble(&format!(
+            "LIW R1, {base}\n\
+             LIW R2, 4242\n\
+             XOR R0, R0, R0\n\
+             ST R2, R1, R0\n\
+             HALT"
+        ))
+        .unwrap();
+        sys.memory_mut(PROCESSOR_1)
+            .unwrap()
+            .write_block(0, program.words());
+        sys.activate_directly(PROCESSOR_1).unwrap();
+        sys.run_until_halted(1_000_000).unwrap();
+        assert_eq!(sys.memory(REPLICA_PRIMARY).unwrap().read(0), 4242);
+        assert_eq!(
+            sys.memory(REPLICA_BACKUP).unwrap().read(0),
+            4242,
+            "the write-through replica converged"
+        );
+        assert!(sys.replication_writes() >= 1);
+        assert!(sys.failover_report().is_empty(), "nothing died");
+    }
+
+    #[test]
+    fn primary_router_death_fails_over_to_the_backup() {
+        let mut sys = replicated_system();
+        let base = sys
+            .address_map(PROCESSOR_1)
+            .unwrap()
+            .window_base(REPLICA_PRIMARY)
+            .unwrap();
+        // Write 555 before the primary dies, spin long enough for the
+        // death (cycle 2500) and the failover to land, then read the
+        // word back through the same window and store it locally; a
+        // second write exercises the post-failover write path.
+        let program = assemble(&format!(
+            "LIW R1, {base}\n\
+             LIW R2, 555\n\
+             XOR R0, R0, R0\n\
+             ST R2, R1, R0\n\
+             LIW R5, 4000\n\
+             loop: SUBI R5, 1\n\
+             JMPZD go\n\
+             JMPD loop\n\
+             go: LD R3, R1, R0\n\
+             LIW R4, 0x20\n\
+             ST R3, R4, R0\n\
+             LIW R6, 666\n\
+             ADDI R1, 1\n\
+             ST R6, R1, R0\n\
+             HALT"
+        ))
+        .unwrap();
+        sys.memory_mut(PROCESSOR_1)
+            .unwrap()
+            .write_block(0, program.words());
+        let primary_router = RouterAddr::new(1, 1);
+        sys.set_fault_plan(FaultPlan::new(21).with_router_down(primary_router, 2500))
+            .unwrap();
+        sys.activate_directly(PROCESSOR_1).unwrap();
+        sys.run_until_halted(4_000_000)
+            .expect("the workload completes on the surviving replica");
+        // The pre-death write was replicated and read back post-failover.
+        assert_eq!(sys.memory(PROCESSOR_1).unwrap().read(0x20), 555);
+        // The post-failover write landed on the survivor.
+        assert_eq!(sys.memory(REPLICA_BACKUP).unwrap().read(1), 666);
+        assert_eq!(sys.dead_nodes(), &[REPLICA_PRIMARY]);
+        let log = sys.failover_report();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].logical, REPLICA_PRIMARY);
+        assert_eq!(log[0].from, REPLICA_PRIMARY);
+        assert_eq!(log[0].to, REPLICA_BACKUP);
+        assert_eq!(sys.directory().serving(REPLICA_PRIMARY), REPLICA_BACKUP);
+        let report = sys.degradation_report();
+        assert!(report.contains("dead routers"), "report: {report}");
+        assert!(report.contains("failed over"), "report: {report}");
+        let metrics = sys.metrics_snapshot();
+        assert_eq!(metrics.get("multinoc_failovers_total", &[]), Some(1.0));
+        assert_eq!(metrics.get("multinoc_node_deaths_total", &[]), Some(1.0));
+    }
+
+    #[test]
+    fn failover_mid_read_is_answered_exactly_once() {
+        // Regression: the primary dies with the client's read in flight.
+        // The pending request must be retargeted to the survivor and the
+        // core must see exactly one reply — not zero (hang) and not a
+        // stale one from the dead router.
+        let mut sys = replicated_system();
+        let base = sys
+            .address_map(PROCESSOR_1)
+            .unwrap()
+            .window_base(REPLICA_PRIMARY)
+            .unwrap();
+        // Pre-seed both members directly so the value is replicated
+        // regardless of death timing.
+        sys.memory_mut(REPLICA_PRIMARY).unwrap().write(0, 777);
+        sys.memory_mut(REPLICA_BACKUP).unwrap().write(0, 777);
+        let program = assemble(&format!(
+            "LIW R1, {base}\n\
+             XOR R0, R0, R0\n\
+             LD R3, R1, R0\n\
+             LIW R4, 0x20\n\
+             ST R3, R4, R0\n\
+             HALT"
+        ))
+        .unwrap();
+        sys.memory_mut(PROCESSOR_1)
+            .unwrap()
+            .write_block(0, program.words());
+        // The primary's router is dead from cycle 0: the very first read
+        // is swallowed and must be recovered via retry + failover.
+        sys.set_fault_plan(FaultPlan::new(22).with_router_down(RouterAddr::new(1, 1), 0))
+            .unwrap();
+        sys.activate_directly(PROCESSOR_1).unwrap();
+        sys.run_until_halted(4_000_000)
+            .expect("the read fails over to the survivor");
+        assert_eq!(sys.memory(PROCESSOR_1).unwrap().read(0x20), 777);
+        assert_eq!(sys.directory().serving(REPLICA_PRIMARY), REPLICA_BACKUP);
+    }
+
+    #[test]
+    fn unreplicated_node_death_is_a_typed_error() {
+        // A plain (unreplicated) memory dies: clients must get the typed
+        // NodeDown error instead of hanging or a bare Unreachable.
+        use hermes_noc::Routing;
+        let mut config = NocConfig::mesh(3, 3);
+        config.routing = Routing::FaultTolerantXy;
+        let mut sys = System::builder()
+            .noc(config)
+            .serial_at(RouterAddr::new(0, 0))
+            .processor_at(RouterAddr::new(0, 1))
+            .memory_at(RouterAddr::new(1, 1))
+            .build()
+            .unwrap();
+        let memory = NodeId(2);
+        let base = sys
+            .address_map(PROCESSOR_1)
+            .unwrap()
+            .window_base(memory)
+            .unwrap();
+        let program = assemble(&format!(
+            "LIW R1, {base}\n\
+             XOR R0, R0, R0\n\
+             LD R3, R1, R0\n\
+             HALT"
+        ))
+        .unwrap();
+        sys.memory_mut(PROCESSOR_1)
+            .unwrap()
+            .write_block(0, program.words());
+        sys.set_fault_plan(FaultPlan::new(23).with_router_down(RouterAddr::new(1, 1), 0))
+            .unwrap();
+        sys.activate_directly(PROCESSOR_1).unwrap();
+        match sys.run_until_halted(4_000_000) {
+            Err(SystemError::NodeDown { node, router }) => {
+                assert_eq!(node, memory);
+                assert_eq!(router, RouterAddr::new(1, 1));
+            }
+            other => panic!("expected NodeDown, got {other:?}"),
+        }
+        assert_eq!(sys.dead_nodes(), &[memory]);
     }
 }

@@ -57,10 +57,10 @@ impl fmt::Display for TraceEvent {
 }
 
 /// All service codes (the paper's nine plus the reliability [`Ack`]
-/// extension), for iteration.
+/// and replication extensions), for iteration.
 ///
 /// [`Ack`]: ServiceCode::Ack
-pub const ALL_CODES: [ServiceCode; 10] = [
+pub const ALL_CODES: [ServiceCode; 12] = [
     ServiceCode::ReadFromMemory,
     ServiceCode::ReadReturn,
     ServiceCode::WriteInMemory,
@@ -71,6 +71,8 @@ pub const ALL_CODES: [ServiceCode; 10] = [
     ServiceCode::Notify,
     ServiceCode::Wait,
     ServiceCode::Ack,
+    ServiceCode::ReplicateWrite,
+    ServiceCode::ReplicaInvalidate,
 ];
 
 fn code_index(code: ServiceCode) -> usize {
@@ -81,8 +83,8 @@ fn code_index(code: ServiceCode) -> usize {
 /// packets the reliability layer rejected (checksum failures, garbage).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServiceCounters {
-    sent: BTreeMap<NodeId, [u64; 10]>,
-    received: BTreeMap<NodeId, [u64; 10]>,
+    sent: BTreeMap<NodeId, [u64; 12]>,
+    received: BTreeMap<NodeId, [u64; 12]>,
     corrupt_dropped: u64,
 }
 
@@ -92,7 +94,7 @@ impl ServiceCounters {
             Direction::Sent => &mut self.sent,
             Direction::Received => &mut self.received,
         };
-        table.entry(node).or_insert([0; 10])[code_index(code)] += 1;
+        table.entry(node).or_insert([0; 12])[code_index(code)] += 1;
     }
 
     pub(crate) fn count_corrupt_drop(&mut self) {

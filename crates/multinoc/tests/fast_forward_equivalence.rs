@@ -84,7 +84,7 @@ fn build(plan: Option<FaultPlan>) -> System {
         .build()
         .expect("paper layout");
     if let Some(plan) = plan {
-        sys.set_fault_plan(plan);
+        sys.set_fault_plan(plan).expect("valid fault plan");
     }
     sys
 }

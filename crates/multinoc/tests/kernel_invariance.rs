@@ -25,7 +25,7 @@ fn build(kernel: KernelMode, plan: Option<FaultPlan>) -> System {
         .build()
         .expect("paper layout");
     if let Some(plan) = plan {
-        sys.set_fault_plan(plan);
+        sys.set_fault_plan(plan).expect("valid fault plan");
     }
     sys
 }
@@ -123,6 +123,85 @@ fn every_kernel_produces_the_same_system_run() {
                 baseline = Some(fp);
             }
             Some(b) => assert_eq!(b, &fp, "observables diverged under {kernel:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_kernel_produces_the_same_failover() {
+    // A replicated memory loses its serving primary mid-run: the death
+    // diagnosis, the failover cycle, the survivor's contents and every
+    // counter must be bit-identical whichever kernel the NoC runs on.
+    let kernels = [
+        KernelMode::Reference,
+        KernelMode::Active,
+        KernelMode::Parallel { threads: 1 },
+        KernelMode::Parallel { threads: 2 },
+        KernelMode::Parallel { threads: 4 },
+    ];
+    const PRIMARY: NodeId = NodeId(2);
+    const BACKUP: NodeId = NodeId(3);
+    let mut baseline = None;
+    for kernel in kernels {
+        let mut config = NocConfig::mesh(3, 3);
+        config.routing = Routing::FaultTolerantXy;
+        let mut sys = System::builder()
+            .noc(config)
+            .kernel(kernel)
+            .serial_at(RouterAddr::new(0, 0))
+            .processor_at(RouterAddr::new(0, 1))
+            .replicated_memory_at(RouterAddr::new(1, 1), RouterAddr::new(2, 2))
+            .build()
+            .expect("replicated layout");
+        sys.set_fault_plan(FaultPlan::new(0xDEAD).with_router_down(RouterAddr::new(1, 1), 2500))
+            .expect("valid fault plan");
+        let base = sys
+            .address_map(P1)
+            .expect("map")
+            .window_base(PRIMARY)
+            .expect("window");
+        let program = assemble(&format!(
+            "LIW R1, {base}\n\
+             LIW R2, 555\n\
+             XOR R0, R0, R0\n\
+             ST R2, R1, R0\n\
+             LIW R5, 4000\n\
+             loop: SUBI R5, 1\n\
+             JMPZD go\n\
+             JMPD loop\n\
+             go: LD R3, R1, R0\n\
+             LIW R4, 0x20\n\
+             ST R3, R4, R0\n\
+             LIW R6, 666\n\
+             ADDI R1, 1\n\
+             ST R6, R1, R0\n\
+             HALT"
+        ))
+        .expect("assembles");
+        sys.memory_mut(P1)
+            .expect("p1 memory")
+            .write_block(0, program.words());
+        sys.activate_directly(P1).expect("activate p1");
+        let elapsed = sys.run_until_halted(4_000_000).expect("run halts");
+        assert_eq!(sys.memory(P1).expect("p1").read(0x20), 555, "{kernel:?}");
+        assert_eq!(
+            sys.memory(BACKUP).expect("backup").read(1),
+            666,
+            "{kernel:?}"
+        );
+        assert_eq!(sys.dead_nodes(), &[PRIMARY], "{kernel:?}");
+        let fp = (
+            fingerprint(&sys, elapsed),
+            format!("{:?}", sys.failover_report()),
+            sys.replication_writes(),
+            sys.metrics_snapshot().to_prometheus(),
+        );
+        match &baseline {
+            None => {
+                assert_eq!(sys.failover_report().len(), 1);
+                baseline = Some(fp);
+            }
+            Some(b) => assert_eq!(b, &fp, "failover observables diverged under {kernel:?}"),
         }
     }
 }

@@ -42,4 +42,11 @@ echo "=== observability smoke check (byte-identical exports, fixed seed) ==="
 EXP_OBS_SMOKE=1 cargo run --release -q --offline -p multinoc-bench --bin exp_observability > /dev/null
 echo "exp_observability exports identical across kernels and schema-valid"
 
+echo "=== chaos smoke check (node death + failover, fixed seed) ==="
+# Randomized (but seeded) router/IP-core deaths against replicated
+# memory: pre-death writes must survive, post-failover writes must land
+# exactly once, and every kernel must produce the identical run.
+EXP_CHAOS_SMOKE=1 cargo run --release -q --offline -p multinoc-bench --bin exp_chaos > /dev/null
+echo "exp_chaos survived every node death with exactly-once semantics"
+
 echo "all checks passed"

@@ -168,11 +168,13 @@ fn run_3x3_workload_with_dead_edge(edge: (RouterAddr, Port)) {
     };
     // set_fault_plan arms the watchdog: a false Deadlock/DeadLink during
     // the reroute would fail the run with a typed error.
-    system.set_fault_plan(
-        FaultPlan::new(0x3A3A)
-            .with_link_down(addr, port, CycleWindow::open_ended(0))
-            .with_link_down(peer, back, CycleWindow::open_ended(0)),
-    );
+    system
+        .set_fault_plan(
+            FaultPlan::new(0x3A3A)
+                .with_link_down(addr, port, CycleWindow::open_ended(0))
+                .with_link_down(peer, back, CycleWindow::open_ended(0)),
+        )
+        .unwrap();
 
     let window = system
         .address_map(processor)
@@ -233,19 +235,21 @@ fn compiled_app_survives_a_dead_link() {
         .unwrap();
     let processor = NodeId(1);
     let memory = NodeId(2);
-    system.set_fault_plan(
-        FaultPlan::new(0xC0DE)
-            .with_link_down(
-                RouterAddr::new(0, 0),
-                Port::East,
-                CycleWindow::open_ended(0),
-            )
-            .with_link_down(
-                RouterAddr::new(1, 0),
-                Port::West,
-                CycleWindow::open_ended(0),
-            ),
-    );
+    system
+        .set_fault_plan(
+            FaultPlan::new(0xC0DE)
+                .with_link_down(
+                    RouterAddr::new(0, 0),
+                    Port::East,
+                    CycleWindow::open_ended(0),
+                )
+                .with_link_down(
+                    RouterAddr::new(1, 0),
+                    Port::West,
+                    CycleWindow::open_ended(0),
+                ),
+        )
+        .unwrap();
     let window = system
         .address_map(processor)
         .unwrap()

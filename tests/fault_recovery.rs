@@ -83,7 +83,8 @@ fn lost_notify_is_recovered_by_retransmission() {
         FaultPlan::new(7)
             .with_drop_rate(1.0)
             .with_drop_window(CycleWindow::new(now, now + 1500)),
-    );
+    )
+    .unwrap();
     sys.run_until_halted(200_000).unwrap();
     // P1 saw the flag and copied it, despite the outage...
     assert_eq!(sys.memory(PROCESSOR_1).unwrap().read(0x81), 0xBEEF);
@@ -113,7 +114,8 @@ fn corrupted_read_return_is_detected_and_retried() {
         FaultPlan::new(11)
             .with_corrupt_rate(1.0)
             .with_corrupt_window(CycleWindow::new(now, now + 2500)),
-    );
+    )
+    .unwrap();
     let read_back = host.read_memory(&mut sys, REMOTE_MEMORY, 0x40, 8).unwrap();
     assert_eq!(read_back, data);
     assert!(
@@ -162,7 +164,8 @@ fn dead_link_is_reported_as_typed_error() {
         RouterAddr::new(0, 1),
         Port::South,
         CycleWindow::open_ended(0),
-    ));
+    ))
+    .unwrap();
     let program = assemble(&format!(
         "LIW R1, 0x42\nLIW R2, {:#x}\nXOR R0, R0, R0\nST R1, R2, R0\nHALT",
         multinoc::IO_ADDR,
@@ -192,7 +195,8 @@ fn exhausted_retries_surface_as_delivery_failed() {
         RouterAddr::new(0, 0),
         Port::East,
         CycleWindow::open_ended(0),
-    ));
+    ))
+    .unwrap();
     let mut host = Host::new();
     host.synchronize(&mut sys).unwrap();
     match host.write_memory(&mut sys, REMOTE_MEMORY, 0x10, &[1, 2, 3]) {
