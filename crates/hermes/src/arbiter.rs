@@ -54,6 +54,28 @@ impl Arbiter {
         debug_assert!(port < self.ports);
         self.last_winner = port;
     }
+
+    /// Serializes the rotating priority pointer (policy and port count
+    /// come from the configuration).
+    pub(crate) fn snapshot_write(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u8(self.last_winner as u8);
+    }
+
+    /// Restores the priority pointer into an arbiter freshly built from
+    /// the configuration.
+    pub(crate) fn snapshot_read(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        let winner = usize::from(r.take_u8()?);
+        if winner >= self.ports {
+            return Err(crate::snapshot::SnapshotError::Malformed(
+                "arbiter priority pointer out of range",
+            ));
+        }
+        self.last_winner = winner;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

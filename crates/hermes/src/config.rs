@@ -266,6 +266,87 @@ impl NocConfig {
         Ok(())
     }
 
+    /// Serializes every configuration field for embedding in a snapshot.
+    pub(crate) fn snapshot_write(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u8(self.width);
+        w.put_u8(self.height);
+        w.put_u8(self.flit_bits);
+        w.put_usize(self.buffer_depth);
+        w.put_u32(self.routing_cycles);
+        w.put_u32(self.cycles_per_flit);
+        w.put_u8(match self.routing {
+            Routing::Xy => 0,
+            Routing::Yx => 1,
+            Routing::FaultTolerantXy => 2,
+        });
+        w.put_u8(match self.arbitration {
+            Arbitration::RoundRobin => 0,
+            Arbitration::FixedPriority => 1,
+        });
+        w.put_u32(self.fault_threshold);
+        match self.kernel {
+            KernelMode::Active => w.put_u8(0),
+            KernelMode::Reference => w.put_u8(1),
+            KernelMode::Parallel { threads } => {
+                w.put_u8(2);
+                w.put_usize(threads);
+            }
+        }
+        w.put_usize(self.stats_window);
+        w.put_u32(self.deadlock_timeout);
+    }
+
+    /// Decodes a configuration previously written by
+    /// [`snapshot_write`](Self::snapshot_write). The caller still runs
+    /// [`validate`](Self::validate) afterwards.
+    pub(crate) fn snapshot_read(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let width = r.take_u8()?;
+        let height = r.take_u8()?;
+        let flit_bits = r.take_u8()?;
+        let buffer_depth = r.take_usize()?;
+        let routing_cycles = r.take_u32()?;
+        let cycles_per_flit = r.take_u32()?;
+        let routing = match r.take_u8()? {
+            0 => Routing::Xy,
+            1 => Routing::Yx,
+            2 => Routing::FaultTolerantXy,
+            _ => return Err(SnapshotError::Malformed("routing tag")),
+        };
+        let arbitration = match r.take_u8()? {
+            0 => Arbitration::RoundRobin,
+            1 => Arbitration::FixedPriority,
+            _ => return Err(SnapshotError::Malformed("arbitration tag")),
+        };
+        let fault_threshold = r.take_u32()?;
+        let kernel = match r.take_u8()? {
+            0 => KernelMode::Active,
+            1 => KernelMode::Reference,
+            2 => KernelMode::Parallel {
+                threads: r.take_usize()?,
+            },
+            _ => return Err(SnapshotError::Malformed("kernel tag")),
+        };
+        let stats_window = r.take_usize()?;
+        let deadlock_timeout = r.take_u32()?;
+        Ok(Self {
+            width,
+            height,
+            flit_bits,
+            buffer_depth,
+            routing_cycles,
+            cycles_per_flit,
+            routing,
+            arbitration,
+            fault_threshold,
+            kernel,
+            stats_window,
+            deadlock_timeout,
+        })
+    }
+
     /// Theoretical peak throughput of one router channel in bits per
     /// second at clock frequency `clock_hz`: one flit every
     /// `cycles_per_flit` cycles on each of up to five simultaneous

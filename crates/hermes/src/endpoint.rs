@@ -200,6 +200,125 @@ impl LocalEndpoint {
     pub fn is_idle(&self) -> bool {
         self.outgoing.is_empty() && matches!(self.rx, RxState::Header)
     }
+
+    /// Serializes the injection queue, reassembly state machine and
+    /// delivered-packet queue (`flit_bits` comes from the configuration).
+    pub fn snapshot_write(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_usize(self.outgoing.len());
+        for packet in &self.outgoing {
+            w.put_u64(packet.id.as_u64());
+            w.put_usize(packet.flits.len());
+            for &flit in &packet.flits {
+                w.put_u16(flit);
+            }
+            w.put_bool(packet.started);
+        }
+        w.put_u64(self.next_inject_ok);
+        match &self.rx {
+            RxState::Header => w.put_u8(0),
+            RxState::Size { id, src, dest } => {
+                w.put_u8(1);
+                w.put_u64(id.as_u64());
+                w.put_addr(*src);
+                w.put_addr(*dest);
+            }
+            RxState::Payload {
+                id,
+                src,
+                dest,
+                remaining,
+                payload,
+            } => {
+                w.put_u8(2);
+                w.put_u64(id.as_u64());
+                w.put_addr(*src);
+                w.put_addr(*dest);
+                w.put_usize(*remaining);
+                w.put_usize(payload.len());
+                for &flit in payload {
+                    w.put_u16(flit);
+                }
+            }
+        }
+        w.put_usize(self.delivered.len());
+        for (id, src, packet) in &self.delivered {
+            w.put_u64(id.as_u64());
+            w.put_addr(*src);
+            w.put_addr(packet.dest());
+            w.put_usize(packet.payload().len());
+            for &word in packet.payload() {
+                w.put_u16(word);
+            }
+        }
+    }
+
+    /// Restores state into an endpoint freshly built from the
+    /// configuration.
+    pub fn snapshot_read(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let outgoing_count = r.take_len(11)?;
+        self.outgoing.clear();
+        for _ in 0..outgoing_count {
+            let id = PacketId(r.take_u64()?);
+            let flit_count = r.take_len(2)?;
+            let mut flits = VecDeque::with_capacity(flit_count);
+            for _ in 0..flit_count {
+                flits.push_back(r.take_u16()?);
+            }
+            let started = r.take_bool()?;
+            self.outgoing
+                .push_back(OutgoingPacket { id, flits, started });
+        }
+        self.next_inject_ok = r.take_u64()?;
+        self.rx = match r.take_u8()? {
+            0 => RxState::Header,
+            1 => RxState::Size {
+                id: PacketId(r.take_u64()?),
+                src: r.take_addr()?,
+                dest: r.take_addr()?,
+            },
+            2 => {
+                let id = PacketId(r.take_u64()?);
+                let src = r.take_addr()?;
+                let dest = r.take_addr()?;
+                let remaining = r.take_usize()?;
+                if remaining == 0 || remaining > usize::from(u16::MAX) {
+                    return Err(SnapshotError::Malformed("payload flits remaining"));
+                }
+                let payload_len = r.take_len(2)?;
+                let mut payload = Vec::with_capacity(payload_len + remaining);
+                for _ in 0..payload_len {
+                    payload.push(r.take_u16()?);
+                }
+                RxState::Payload {
+                    id,
+                    src,
+                    dest,
+                    remaining,
+                    payload,
+                }
+            }
+            _ => return Err(SnapshotError::Malformed("rx state tag")),
+        };
+        let delivered_count = r.take_len(13)?;
+        self.delivered.clear();
+        for _ in 0..delivered_count {
+            let id = PacketId(r.take_u64()?);
+            let src = r.take_addr()?;
+            let dest = r.take_addr()?;
+            let payload_len = r.take_len(2)?;
+            let mut payload = Vec::with_capacity(payload_len);
+            for _ in 0..payload_len {
+                payload.push(r.take_u16()?);
+            }
+            self.delivered
+                .push_back((id, src, Packet::new(dest, payload)));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -68,6 +68,7 @@ mod routing;
 pub mod fault;
 pub mod latency;
 pub mod metrics;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 pub mod traffic;
@@ -85,5 +86,6 @@ pub use metrics::{MetricKind, PhaseProfile, Registry};
 pub use noc::Noc;
 pub use packet::Packet;
 pub use routing::{RouteTable, Routing};
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::{FaultCounters, HealthCounters, NocStats, PacketRecord};
 pub use trace::{PacketTrace, PacketTracer, SpanEvent, SpanKind};

@@ -15,6 +15,7 @@ use crate::metrics::{PhaseProfile, Registry};
 use crate::packet::Packet;
 use crate::router::Router;
 use crate::routing::{RouteTable, Routing};
+use crate::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::stats::{LinkId, NocStats, PacketRecord};
 use crate::trace::PacketTracer;
 
@@ -1140,6 +1141,195 @@ impl Noc {
             cur_out = Port::from_index(o);
         }
     }
+
+    /// Serializes the complete network state — configuration, clock,
+    /// every router and endpoint, statistics, health monitor, epochs,
+    /// dead sets, activity flags, fault plan and tracer — into a sealed
+    /// [`snapshot`](crate::snapshot) container of kind
+    /// [`KIND_NOC`](crate::snapshot::KIND_NOC).
+    ///
+    /// Transient kernel scratch (step list, shard merge buffers, worker
+    /// pool) and the wall-clock phase profiler's accumulated timings are
+    /// deliberately excluded: they carry no simulation state, and the
+    /// profiler measures host time, which is not deterministic. Only the
+    /// profiler's *enabled* flag is preserved.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        self.snapshot_write(&mut w);
+        w.finish(snapshot::KIND_NOC)
+    }
+
+    /// Rebuilds a network from a container produced by
+    /// [`save_state`](Self::save_state). Stepping the restored network is
+    /// bit-identical to stepping the original from the same point.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: a damaged container (truncated, bad magic,
+    /// checksum or kind), an unsupported version, a mesh-shape mismatch,
+    /// or malformed field encodings. No partial state escapes a failed
+    /// restore.
+    pub fn restore_state(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, snapshot::KIND_NOC)?;
+        let noc = Self::snapshot_read(&mut r, None)?;
+        r.finish()?;
+        Ok(noc)
+    }
+
+    /// Like [`restore_state`](Self::restore_state) but overrides the
+    /// snapshot's execution kernel. Observables are kernel-invariant, so
+    /// a snapshot taken under one kernel may be resumed under any other —
+    /// e.g. checkpoint under `Parallel { threads: 8 }`, restore under
+    /// `Reference` — without perturbing the simulation.
+    ///
+    /// # Errors
+    ///
+    /// As [`restore_state`](Self::restore_state); additionally rejects an
+    /// invalid override (e.g. `Parallel { threads: 0 }`).
+    pub fn restore_state_with_kernel(
+        bytes: &[u8],
+        kernel: KernelMode,
+    ) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, snapshot::KIND_NOC)?;
+        let noc = Self::snapshot_read(&mut r, Some(kernel))?;
+        r.finish()?;
+        Ok(noc)
+    }
+
+    /// Writes the raw payload fields (no container framing) so a larger
+    /// snapshot — the full-system checkpoint — can embed the network
+    /// state inline.
+    pub(crate) fn snapshot_write(&self, w: &mut SnapshotWriter) {
+        self.config.snapshot_write(w);
+        // Explicit router count: lets the decoder distinguish "payload
+        // from a different mesh shape" from generic corruption.
+        w.put_usize(self.routers.len());
+        w.put_u64(self.cycle);
+        w.put_u64(self.next_id);
+        for router in &self.routers {
+            router.snapshot_write(w);
+        }
+        for endpoint in &self.endpoints {
+            endpoint.snapshot_write(w);
+        }
+        self.stats.snapshot_write(w);
+        self.health.snapshot_write(w);
+        w.put_usize(self.epochs.len());
+        for epoch in &self.epochs {
+            w.put_u64(epoch.announced);
+            w.put_addr(epoch.origin);
+            let dead = epoch.table.dead_links();
+            w.put_usize(dead.len());
+            for link in dead {
+                w.put_link(*link);
+            }
+        }
+        w.put_usize(self.dead_routers.len());
+        for addr in &self.dead_routers {
+            w.put_addr(*addr);
+        }
+        w.put_usize(self.dead_endpoints.len());
+        for addr in &self.dead_endpoints {
+            w.put_addr(*addr);
+        }
+        for flag in &self.active {
+            w.put_bool(*flag);
+        }
+        w.put_bool(self.injector.is_some());
+        if let Some(injector) = &self.injector {
+            injector.plan().snapshot_write(w);
+        }
+        w.put_bool(self.tracer.is_some());
+        if let Some(tracer) = &self.tracer {
+            tracer.snapshot_write(w);
+        }
+        w.put_bool(self.profiler.is_some());
+    }
+
+    /// Decodes a payload written by
+    /// [`snapshot_write`](Self::snapshot_write), optionally overriding
+    /// the execution kernel before the configuration is re-validated.
+    pub(crate) fn snapshot_read(
+        r: &mut SnapshotReader<'_>,
+        kernel: Option<KernelMode>,
+    ) -> Result<Self, SnapshotError> {
+        let mut config = NocConfig::snapshot_read(r)?;
+        if let Some(kernel) = kernel {
+            config.kernel = kernel;
+        }
+        config
+            .validate()
+            .map_err(|_| SnapshotError::Malformed("configuration fails validation"))?;
+        let routers = r.take_usize()?;
+        if routers != config.router_count() {
+            return Err(SnapshotError::MeshMismatch {
+                width: config.width,
+                height: config.height,
+                routers,
+            });
+        }
+        let (width, height) = (config.width, config.height);
+        let mut noc = Self::new(config)
+            .map_err(|_| SnapshotError::Malformed("validated configuration failed to build"))?;
+        noc.cycle = r.take_u64()?;
+        noc.next_id = r.take_u64()?;
+        for router in &mut noc.routers {
+            router.snapshot_read(r)?;
+        }
+        for endpoint in &mut noc.endpoints {
+            endpoint.snapshot_read(r)?;
+        }
+        noc.stats =
+            NocStats::snapshot_read(r, noc.routers.len(), noc.config.stats_window, width, height)?;
+        noc.health.snapshot_read(r, width, height)?;
+        let epoch_count = r.take_len(19)?;
+        let mut epochs = Vec::with_capacity(epoch_count);
+        for _ in 0..epoch_count {
+            let announced = r.take_u64()?;
+            let origin = r.take_addr_in(width, height)?;
+            let dead_count = r.take_len(2)?;
+            let mut dead = BTreeSet::new();
+            for _ in 0..dead_count {
+                if !dead.insert(r.take_link_in(width, height)?) {
+                    return Err(SnapshotError::Malformed("duplicate epoch dead link"));
+                }
+            }
+            epochs.push(Epoch {
+                announced,
+                origin,
+                table: RouteTable::build(width, height, &dead),
+            });
+        }
+        noc.epochs = epochs;
+        let dead_router_count = r.take_len(2)?;
+        for _ in 0..dead_router_count {
+            if !noc.dead_routers.insert(r.take_addr_in(width, height)?) {
+                return Err(SnapshotError::Malformed("duplicate dead router"));
+            }
+        }
+        let dead_endpoint_count = r.take_len(2)?;
+        for _ in 0..dead_endpoint_count {
+            if !noc.dead_endpoints.insert(r.take_addr_in(width, height)?) {
+                return Err(SnapshotError::Malformed("duplicate dead endpoint"));
+            }
+        }
+        for flag in &mut noc.active {
+            *flag = r.take_bool()?;
+        }
+        if r.take_bool()? {
+            let plan = FaultPlan::snapshot_read(r)?;
+            plan.validate()
+                .map_err(|_| SnapshotError::Malformed("fault plan fails validation"))?;
+            noc.injector = Some(FaultInjector::new(plan));
+        }
+        if r.take_bool()? {
+            noc.tracer = Some(PacketTracer::snapshot_read(r)?);
+        }
+        if r.take_bool()? {
+            noc.enable_phase_profiler();
+        }
+        Ok(noc)
+    }
 }
 
 #[cfg(test)]
@@ -1691,4 +1881,166 @@ mod tests {
         assert_eq!(noc.stats().link_flits[&(dst, Port::Local)], 4);
         assert_eq!(noc.stats().flits_delivered, 4);
     }
+
+    /// Everything a run can externally observe, rendered as one string so
+    /// resumed-vs-uninterrupted comparisons are a single equality.
+    fn fingerprint(noc: &mut Noc) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("cycle={}\n", noc.cycle()));
+        let stats = noc.stats();
+        out.push_str(&format!(
+            "counters={} {} {} {} {}\n",
+            stats.cycles,
+            stats.packets_sent,
+            stats.packets_delivered,
+            stats.flit_hops,
+            stats.flits_delivered
+        ));
+        out.push_str(&format!(
+            "faults={:?}\nhealth={:?}\nrouters={:?}\n",
+            stats.faults, stats.health, stats.routers
+        ));
+        let mut links: Vec<_> = stats.link_flits.iter().collect();
+        links.sort();
+        out.push_str(&format!("link_flits={links:?}\n"));
+        let mut ingress: Vec<_> = stats.local_ingress_flits.iter().collect();
+        ingress.sort();
+        out.push_str(&format!("local_ingress={ingress:?}\n"));
+        out.push_str(&format!("records={:?}\n", stats.records()));
+        out.push_str(&noc.metrics().to_json());
+        out.push_str(&format!("\ndead_links={:?}\n", noc.dead_links()));
+        out.push_str(&format!("dead_routers={:?}\n", noc.dead_routers()));
+        out.push_str(&format!("epoch={}\n", noc.current_epoch()));
+        if let Some(tracer) = noc.packet_trace() {
+            out.push_str(&tracer.perfetto_json());
+        }
+        for y in 0..noc.config().height {
+            for x in 0..noc.config().width {
+                let here = RouterAddr::new(x, y);
+                while let Some((from, packet)) = noc.try_recv(here) {
+                    out.push_str(&format!("recv {here} <- {from}: {:?}\n", packet.payload()));
+                }
+            }
+        }
+        out
+    }
+
+    /// A faulted, degraded, traced 3×3 workload paused mid-flight: the
+    /// worst case a checkpoint has to capture.
+    fn mid_flight_noc() -> Noc {
+        use crate::fault::{CycleWindow, FaultPlan};
+        let mut config = NocConfig::mesh(3, 3);
+        config.routing = Routing::FaultTolerantXy;
+        let mut noc = Noc::new(config).unwrap();
+        noc.enable_packet_trace(64);
+        noc.set_fault_plan(
+            FaultPlan::new(77)
+                .with_corrupt_rate(0.02)
+                .with_drop_rate(0.01)
+                .with_link_down(
+                    RouterAddr::new(0, 0),
+                    Port::East,
+                    CycleWindow::open_ended(10),
+                ),
+        )
+        .unwrap();
+        for i in 0..8u8 {
+            let src = RouterAddr::new(i % 3, i / 3);
+            let dst = RouterAddr::new(2 - i % 3, 2 - i / 3);
+            noc.send(src, Packet::new(dst, vec![u16::from(i), u16::from(i) * 3]))
+                .unwrap();
+        }
+        noc.run(40);
+        // Keep traffic in flight across the checkpoint boundary.
+        noc.send(
+            RouterAddr::new(1, 1),
+            Packet::new(RouterAddr::new(0, 2), vec![200]),
+        )
+        .unwrap();
+        noc
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_bit_identically() {
+        let mut original = mid_flight_noc();
+        let bytes = original.save_state();
+        let mut restored = Noc::restore_state(&bytes).expect("restore");
+        assert_eq!(restored.cycle(), original.cycle());
+        // Drive both forward identically: more traffic, then drain.
+        for noc in [&mut original, &mut restored] {
+            noc.send(
+                RouterAddr::new(2, 2),
+                Packet::new(RouterAddr::new(0, 0), vec![7, 8, 9]),
+            )
+            .unwrap();
+            noc.run_until_idle(100_000).unwrap();
+        }
+        assert_eq!(fingerprint(&mut original), fingerprint(&mut restored));
+    }
+
+    #[test]
+    fn snapshot_restore_is_stable_across_double_round_trip() {
+        let noc = mid_flight_noc();
+        let once = noc.save_state();
+        let twice = Noc::restore_state(&once).unwrap().save_state();
+        assert_eq!(once, twice, "save(restore(s)) must be byte-identical");
+    }
+
+    #[test]
+    fn snapshot_kernel_override_preserves_observables() {
+        let mut reference = mid_flight_noc();
+        let bytes = reference.save_state();
+        let mut parallel =
+            Noc::restore_state_with_kernel(&bytes, KernelMode::Parallel { threads: 8 })
+                .expect("restore under the parallel kernel");
+        assert_eq!(
+            parallel.config().kernel,
+            KernelMode::Parallel { threads: 8 }
+        );
+        reference.run_until_idle(100_000).unwrap();
+        parallel.run_until_idle(100_000).unwrap();
+        // The fingerprint embeds the config-independent observables only
+        // via stats/records/metrics/trace, which are kernel-invariant.
+        assert_eq!(fingerprint(&mut reference), fingerprint(&mut parallel));
+    }
+
+    #[test]
+    fn snapshot_rejects_mesh_shape_mismatch() {
+        use crate::snapshot::{fletcher64, HEADER_LEN};
+        let noc = mid_flight_noc();
+        let mut bytes = noc.save_state();
+        // The config's width is the first payload byte; grow the claimed
+        // mesh and re-seal the checksum so only the shape check can trip.
+        assert_eq!(bytes[HEADER_LEN], 3, "payload starts with the width");
+        bytes[HEADER_LEN] = 4;
+        let body = bytes.len() - 8;
+        let sum = fletcher64(&bytes[..body]);
+        bytes[body..].copy_from_slice(&sum.to_le_bytes());
+        match Noc::restore_state(&bytes) {
+            Err(SnapshotError::MeshMismatch {
+                width: 4,
+                height: 3,
+                routers: 9,
+            }) => {}
+            other => panic!("expected MeshMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_truncation_and_bit_flips_without_panicking() {
+        let noc = mid_flight_noc();
+        let bytes = noc.save_state();
+        for cut in [0, 1, 8, 16, 17, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Noc::restore_state(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail cleanly"
+            );
+        }
+        let mut flipped = bytes.clone();
+        flipped[HEADER_LEN_PROBE] ^= 0x40;
+        assert!(Noc::restore_state(&flipped).is_err());
+    }
+
+    /// A mid-payload offset used by the bit-flip test.
+    const HEADER_LEN_PROBE: usize = 64;
 }

@@ -6,6 +6,55 @@ use crate::addr::{Port, RouterAddr};
 use crate::arbiter::Arbiter;
 use crate::buffer::FlitBuffer;
 use crate::config::NocConfig;
+use crate::endpoint::PacketId;
+use crate::flit::Flit;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+
+/// Serializes a flit FIFO head-to-tail (capacity comes from the
+/// configuration).
+fn write_flit_buffer(buffer: &FlitBuffer, w: &mut SnapshotWriter) {
+    let mut flits = buffer.clone();
+    w.put_usize(buffer.len());
+    while let Some(flit) = flits.pop() {
+        w.put_u16(flit.value);
+        w.put_u64(flit.packet.as_u64());
+        w.put_addr(flit.src);
+        w.put_u64(flit.arrived);
+    }
+}
+
+/// Rebuilds a flit FIFO of capacity `depth` from its serialized form.
+fn read_flit_buffer(r: &mut SnapshotReader<'_>, depth: usize) -> Result<FlitBuffer, SnapshotError> {
+    let len = r.take_len(20)?;
+    if len > depth {
+        return Err(SnapshotError::Malformed("flit buffer over capacity"));
+    }
+    let mut buffer = FlitBuffer::new(depth);
+    for _ in 0..len {
+        let value = r.take_u16()?;
+        let packet = PacketId(r.take_u64()?);
+        let src = r.take_addr()?;
+        let arrived = r.take_u64()?;
+        let pushed = buffer.push(Flit::new(value, packet, src, arrived));
+        debug_assert!(pushed, "len was checked against capacity");
+    }
+    Ok(buffer)
+}
+
+/// Decodes an optional `u64` into an optional `usize`.
+fn opt_usize(value: Option<u64>) -> Result<Option<usize>, SnapshotError> {
+    value
+        .map(|v| usize::try_from(v).map_err(|_| SnapshotError::Malformed("count overflows usize")))
+        .transpose()
+}
+
+/// Decodes an optional crossbar port index, validating the range.
+fn take_opt_port_index(r: &mut SnapshotReader<'_>) -> Result<Option<usize>, SnapshotError> {
+    match opt_usize(r.take_opt_u64()?)? {
+        Some(index) if index >= 5 => Err(SnapshotError::Malformed("crossbar port index")),
+        other => Ok(other),
+    }
+}
 
 /// One buffered input port and its wormhole connection state.
 #[derive(Debug)]
@@ -75,6 +124,33 @@ impl InputPort {
         self.sinking = false;
         self.cur_packet = None;
         self.blocked_cycles = 0;
+    }
+
+    /// Serializes the buffered flits and wormhole connection state.
+    pub fn snapshot_write(&self, w: &mut SnapshotWriter) {
+        write_flit_buffer(&self.buffer, w);
+        w.put_opt_u64(self.conn.map(|c| c as u64));
+        w.put_u64(self.conn_active_at);
+        w.put_usize(self.fwd_count);
+        w.put_opt_u64(self.fwd_expected.map(|c| c as u64));
+        w.put_bool(self.sinking);
+        w.put_u64(self.sink_ready_at);
+        w.put_opt_u64(self.cur_packet.map(PacketId::as_u64));
+        w.put_u32(self.blocked_cycles);
+    }
+
+    /// Restores state into a port freshly built from the configuration.
+    pub fn snapshot_read(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.buffer = read_flit_buffer(r, self.buffer.capacity())?;
+        self.conn = take_opt_port_index(r)?;
+        self.conn_active_at = r.take_u64()?;
+        self.fwd_count = r.take_usize()?;
+        self.fwd_expected = opt_usize(r.take_opt_u64()?)?;
+        self.sinking = r.take_bool()?;
+        self.sink_ready_at = r.take_u64()?;
+        self.cur_packet = r.take_opt_u64()?.map(PacketId);
+        self.blocked_cycles = r.take_u32()?;
+        Ok(())
     }
 }
 
@@ -154,6 +230,42 @@ impl Router {
         self.inputs
             .iter()
             .all(|input| input.buffer.is_empty() && input.conn.is_none() && !input.sinking)
+    }
+
+    /// Serializes every port, the arbiter pointer, the control-logic
+    /// busy horizon and the counters (the address is positional).
+    pub fn snapshot_write(&self, w: &mut SnapshotWriter) {
+        for input in &self.inputs {
+            input.snapshot_write(w);
+        }
+        for output in &self.outputs {
+            w.put_opt_u64(output.owner.map(|o| o as u64));
+            w.put_u64(output.next_free);
+        }
+        self.arbiter.snapshot_write(w);
+        w.put_u64(self.control_busy_until);
+        w.put_u64(self.counters.grants);
+        w.put_u64(self.counters.blocked_cycles);
+        w.put_u64(self.counters.flits_forwarded);
+        w.put_u64(self.counters.buffer_peak);
+    }
+
+    /// Restores state into a router freshly built from the configuration.
+    pub fn snapshot_read(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        for input in &mut self.inputs {
+            input.snapshot_read(r)?;
+        }
+        for output in &mut self.outputs {
+            output.owner = take_opt_port_index(r)?;
+            output.next_free = r.take_u64()?;
+        }
+        self.arbiter.snapshot_read(r)?;
+        self.control_busy_until = r.take_u64()?;
+        self.counters.grants = r.take_u64()?;
+        self.counters.blocked_cycles = r.take_u64()?;
+        self.counters.flits_forwarded = r.take_u64()?;
+        self.counters.buffer_peak = r.take_u64()?;
+        Ok(())
     }
 }
 

@@ -105,6 +105,50 @@ impl LatencyHistogram {
         Some(self.max)
     }
 
+    /// Serializes the streaming aggregate. The bucket vector is written
+    /// only when allocated (a single bool distinguishes the two states),
+    /// so snapshots of short runs stay small.
+    pub(crate) fn snapshot_write(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_u64(self.min);
+        w.put_u64(self.max);
+        w.put_bool(!self.buckets.is_empty());
+        for &bucket in &self.buckets {
+            w.put_u32(bucket);
+        }
+        w.put_u64(self.overflow);
+    }
+
+    /// Decodes an aggregate written by
+    /// [`snapshot_write`](Self::snapshot_write).
+    pub(crate) fn snapshot_read(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let count = r.take_u64()?;
+        let sum = r.take_u64()?;
+        let min = r.take_u64()?;
+        let max = r.take_u64()?;
+        let buckets = if r.take_bool()? {
+            let mut buckets = vec![0u32; LATENCY_BUCKETS];
+            for bucket in &mut buckets {
+                *bucket = r.take_u32()?;
+            }
+            buckets
+        } else {
+            Vec::new()
+        };
+        let overflow = r.take_u64()?;
+        Ok(Self {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+            overflow,
+        })
+    }
+
     /// Median latency — [`quantile`](Self::quantile)`(0.5)`.
     pub fn p50(&self) -> Option<u64> {
         self.quantile(0.5)
@@ -413,6 +457,152 @@ impl NocStats {
         }
         let max = self.link_flits.values().copied().max().unwrap_or(0);
         max as f64 * f64::from(flit_bits) * clock_hz / self.cycles as f64
+    }
+
+    /// Serializes all counters, the record ring and the latency
+    /// aggregate. Hash-map backed tallies are written in key order so the
+    /// byte stream is deterministic.
+    pub(crate) fn snapshot_write(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u64(self.cycles);
+        w.put_u64(self.packets_sent);
+        w.put_u64(self.packets_delivered);
+        w.put_u64(self.flit_hops);
+        w.put_u64(self.flits_delivered);
+        w.put_usize(self.records.len());
+        for record in &self.records {
+            w.put_u64(record.id.0);
+            w.put_addr(record.src);
+            w.put_addr(record.dest);
+            w.put_u64(record.sent);
+            w.put_opt_u64(record.injected);
+            w.put_opt_u64(record.header_delivered);
+            w.put_opt_u64(record.delivered);
+            w.put_usize(record.wire_flits);
+            w.put_u32(record.hops);
+        }
+        w.put_u64(self.base_id);
+        w.put_u64(self.evicted);
+        self.latency.snapshot_write(w);
+        let mut links: Vec<(&LinkId, &u64)> = self.link_flits.iter().collect();
+        links.sort_unstable_by_key(|(link, _)| **link);
+        w.put_usize(links.len());
+        for (link, flits) in links {
+            w.put_link(*link);
+            w.put_u64(*flits);
+        }
+        let mut ingress: Vec<(&RouterAddr, &u64)> = self.local_ingress_flits.iter().collect();
+        ingress.sort_unstable_by_key(|(addr, _)| **addr);
+        w.put_usize(ingress.len());
+        for (addr, flits) in ingress {
+            w.put_addr(*addr);
+            w.put_u64(*flits);
+        }
+        for counters in &self.routers {
+            w.put_u64(counters.grants);
+            w.put_u64(counters.blocked_cycles);
+            w.put_u64(counters.flits_forwarded);
+            w.put_u64(counters.buffer_peak);
+        }
+        w.put_u64(self.faults.flits_corrupted);
+        w.put_u64(self.faults.packets_dropped);
+        w.put_u64(self.faults.flits_dropped);
+        w.put_u64(self.faults.link_down_blocks);
+        w.put_u64(self.faults.router_stall_cycles);
+        w.put_u64(self.health.links_declared_dead);
+        w.put_u64(self.health.epochs);
+        w.put_u64(self.health.wedged_packets_dropped);
+        w.put_u64(self.health.wedged_flits_flushed);
+        w.put_u64(self.health.rerouted_grants);
+        w.put_u64(self.health.unreachable_drops);
+        w.put_u64(self.health.misaddressed_drops);
+        w.put_u64(self.health.routers_declared_dead);
+        w.put_u64(self.health.endpoints_declared_dead);
+        w.put_u64(self.health.source_queue_drops);
+        w.put_u64(self.health.deadlock_recoveries);
+    }
+
+    /// Decodes statistics written by
+    /// [`snapshot_write`](Self::snapshot_write) for a mesh of
+    /// `router_count` routers with the configured record `window`.
+    pub(crate) fn snapshot_read(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+        router_count: usize,
+        window: usize,
+        width: u8,
+        height: u8,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let mut stats = Self::new(router_count, window);
+        stats.cycles = r.take_u64()?;
+        stats.packets_sent = r.take_u64()?;
+        stats.packets_delivered = r.take_u64()?;
+        stats.flit_hops = r.take_u64()?;
+        stats.flits_delivered = r.take_u64()?;
+        let record_count = r.take_len(40)?;
+        if record_count > stats.window.saturating_mul(2) {
+            return Err(SnapshotError::Malformed("record ring over window"));
+        }
+        stats.records = Vec::with_capacity(record_count);
+        for _ in 0..record_count {
+            stats.records.push(PacketRecord {
+                id: PacketId(r.take_u64()?),
+                src: r.take_addr_in(width, height)?,
+                dest: r.take_addr()?,
+                sent: r.take_u64()?,
+                injected: r.take_opt_u64()?,
+                header_delivered: r.take_opt_u64()?,
+                delivered: r.take_opt_u64()?,
+                wire_flits: r.take_usize()?,
+                hops: r.take_u32()?,
+            });
+        }
+        stats.base_id = r.take_u64()?;
+        stats.evicted = r.take_u64()?;
+        for (offset, record) in stats.records.iter().enumerate() {
+            if record.id.0 != stats.base_id.wrapping_add(offset as u64) {
+                return Err(SnapshotError::Malformed("record ids not sequential"));
+            }
+        }
+        stats.latency = LatencyHistogram::snapshot_read(r)?;
+        let link_count = r.take_len(11)?;
+        for _ in 0..link_count {
+            let link = r.take_link_in(width, height)?;
+            let flits = r.take_u64()?;
+            if stats.link_flits.insert(link, flits).is_some() {
+                return Err(SnapshotError::Malformed("duplicate link tally"));
+            }
+        }
+        let ingress_count = r.take_len(10)?;
+        for _ in 0..ingress_count {
+            let addr = r.take_addr_in(width, height)?;
+            let flits = r.take_u64()?;
+            if stats.local_ingress_flits.insert(addr, flits).is_some() {
+                return Err(SnapshotError::Malformed("duplicate ingress tally"));
+            }
+        }
+        for counters in &mut stats.routers {
+            counters.grants = r.take_u64()?;
+            counters.blocked_cycles = r.take_u64()?;
+            counters.flits_forwarded = r.take_u64()?;
+            counters.buffer_peak = r.take_u64()?;
+        }
+        stats.faults.flits_corrupted = r.take_u64()?;
+        stats.faults.packets_dropped = r.take_u64()?;
+        stats.faults.flits_dropped = r.take_u64()?;
+        stats.faults.link_down_blocks = r.take_u64()?;
+        stats.faults.router_stall_cycles = r.take_u64()?;
+        stats.health.links_declared_dead = r.take_u64()?;
+        stats.health.epochs = r.take_u64()?;
+        stats.health.wedged_packets_dropped = r.take_u64()?;
+        stats.health.wedged_flits_flushed = r.take_u64()?;
+        stats.health.rerouted_grants = r.take_u64()?;
+        stats.health.unreachable_drops = r.take_u64()?;
+        stats.health.misaddressed_drops = r.take_u64()?;
+        stats.health.routers_declared_dead = r.take_u64()?;
+        stats.health.endpoints_declared_dead = r.take_u64()?;
+        stats.health.source_queue_drops = r.take_u64()?;
+        stats.health.deadlock_recoveries = r.take_u64()?;
+        Ok(stats)
     }
 
     /// A multi-line human-readable summary of the run.

@@ -10,6 +10,8 @@
 //! second range; that is a typo for `address - 1024` (offsets must grow
 //! with the address), which is what this implementation does.
 
+use hermes_noc::{SnapshotError, SnapshotReader, SnapshotWriter};
+
 use crate::node::NodeId;
 use crate::{IO_ADDR, NOTIFY_ADDR, WAIT_ADDR};
 
@@ -110,6 +112,41 @@ impl AddressMap {
             .iter()
             .position(|&n| n == node)
             .map(|i| (i as u16 + 1) * self.window_words)
+    }
+
+    /// Snapshot codec: window size plus the ordered window list.
+    pub(crate) fn snapshot_write(&self, w: &mut SnapshotWriter) {
+        w.put_u16(self.window_words);
+        w.put_usize(self.windows.len());
+        for node in &self.windows {
+            w.put_u8(node.0);
+        }
+    }
+
+    /// Decodes a map written by
+    /// [`snapshot_write`](Self::snapshot_write), re-checking the
+    /// invariants [`new`](Self::new) asserts so corrupt input yields a
+    /// typed error instead of a panic.
+    pub(crate) fn snapshot_read(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let window_words = r.take_u16()?;
+        let len = r.take_len(1)?;
+        let mut windows = Vec::with_capacity(len);
+        for _ in 0..len {
+            windows.push(NodeId(r.take_u8()?));
+        }
+        if window_words == 0 {
+            return Err(SnapshotError::Malformed("address window size is 0"));
+        }
+        let top = u64::from(window_words) * (windows.len() as u64 + 1);
+        if top > u64::from(NOTIFY_ADDR) {
+            return Err(SnapshotError::Malformed(
+                "address windows overlap command addresses",
+            ));
+        }
+        Ok(Self {
+            window_words,
+            windows,
+        })
     }
 
     /// Appends a window onto `node` after the existing ones (dynamic

@@ -94,6 +94,9 @@ pub enum SystemError {
     /// The injected fault plan failed validation (see
     /// [`hermes_noc::PlanError`]).
     FaultPlan(hermes_noc::PlanError),
+    /// An automatic checkpoint could not be written (see
+    /// [`System::enable_auto_checkpoint`](crate::System::enable_auto_checkpoint)).
+    Snapshot(String),
 }
 
 impl fmt::Display for SystemError {
@@ -150,6 +153,7 @@ impl fmt::Display for SystemError {
                 write!(f, "{node} at router {router} is dead with no live replica")
             }
             SystemError::FaultPlan(e) => write!(f, "invalid fault plan: {e}"),
+            SystemError::Snapshot(msg) => write!(f, "checkpoint failed: {msg}"),
         }
     }
 }

@@ -8,7 +8,7 @@
 //! paper's two interfaces: the processor port (which has priority) and
 //! the NoC port, with the `busyNoC*` mutual-exclusion flags.
 
-use hermes_noc::RouterAddr;
+use hermes_noc::{RouterAddr, SnapshotError, SnapshotReader, SnapshotWriter};
 
 use crate::error::SystemError;
 use crate::net::NetPort;
@@ -87,6 +87,33 @@ impl MemoryCore {
         for (i, &value) in data.iter().enumerate() {
             self.write(addr.wrapping_add(i as u16), value);
         }
+    }
+
+    /// Snapshot codec: capacity followed by every word (the four-bank
+    /// nibble split is recomputed on restore; a word round-trips the
+    /// banks exactly).
+    pub(crate) fn snapshot_write(&self, w: &mut SnapshotWriter) {
+        w.put_u16(self.words);
+        for addr in 0..self.words {
+            w.put_u16(self.read(addr));
+        }
+    }
+
+    /// Decodes a memory written by
+    /// [`snapshot_write`](Self::snapshot_write).
+    pub(crate) fn snapshot_read(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let words = r.take_u16()?;
+        if words == 0 {
+            return Err(SnapshotError::Malformed("memory capacity is 0"));
+        }
+        if usize::from(words) * 2 > r.remaining() {
+            return Err(SnapshotError::Malformed("memory contents exceed payload"));
+        }
+        let mut core = Self::new(words);
+        for addr in 0..words {
+            core.write(addr, r.take_u16()?);
+        }
+        Ok(core)
     }
 }
 
@@ -388,6 +415,69 @@ impl MemoryIp {
     /// queued towards the backup and no client ack withheld.
     pub fn net_quiet(&self) -> bool {
         self.reliable.is_idle() && self.pending_acks.is_empty()
+    }
+
+    /// Snapshot codec: storage, duplicate suppression, replication role
+    /// and the withheld-ack ledger. Node id and router come from the
+    /// system's node table and are not written.
+    pub(crate) fn snapshot_write(&self, w: &mut SnapshotWriter) {
+        self.core.snapshot_write(w);
+        self.dedup.snapshot_write(w);
+        match self.replica {
+            None => w.put_u8(0),
+            Some(addr) => {
+                w.put_u8(1);
+                w.put_addr(addr);
+            }
+        }
+        self.reliable.snapshot_write(w);
+        w.put_usize(self.pending_acks.len());
+        for p in &self.pending_acks {
+            w.put_addr(p.client);
+            w.put_u16(p.client_seq);
+            w.put_u16(p.backup_seq);
+        }
+        w.put_u64(self.replication_writes);
+    }
+
+    /// Decodes a memory IP written by
+    /// [`snapshot_write`](Self::snapshot_write) for the slot `node` on
+    /// router `addr`.
+    pub(crate) fn snapshot_read(
+        r: &mut SnapshotReader<'_>,
+        node: NodeId,
+        addr: RouterAddr,
+        width: u8,
+        height: u8,
+    ) -> Result<Self, SnapshotError> {
+        let core = MemoryCore::snapshot_read(r)?;
+        let dedup = DedupReceiver::snapshot_read(r, width, height)?;
+        let replica = match r.take_u8()? {
+            0 => None,
+            1 => Some(r.take_addr_in(width, height)?),
+            _ => return Err(SnapshotError::Malformed("replica tag")),
+        };
+        let reliable = ReliableSender::snapshot_read(r, node, width, height)?;
+        let acks = r.take_len(6)?;
+        let mut pending_acks = Vec::with_capacity(acks);
+        for _ in 0..acks {
+            pending_acks.push(PendingAck {
+                client: r.take_addr_in(width, height)?,
+                client_seq: r.take_u16()?,
+                backup_seq: r.take_u16()?,
+            });
+        }
+        let replication_writes = r.take_u64()?;
+        Ok(Self {
+            core,
+            node,
+            addr,
+            dedup,
+            replica,
+            reliable,
+            pending_acks,
+            replication_writes,
+        })
     }
 }
 

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use hermes_noc::{SnapshotError, SnapshotReader, SnapshotWriter};
+
 /// Logical number of an IP core in the MultiNoC system, as used by the
 /// host protocol ("read from P1 local memory" = node 1) and by the
 /// wait/notify commands ("the number of the processor").
@@ -134,6 +136,55 @@ impl NodeTable {
         if let Some(entry) = self.entries.get_mut(node.index()) {
             *entry = None;
         }
+    }
+
+    /// Snapshot codec: slot count, then per slot a vacancy tag and, if
+    /// occupied, the router address and kind tag.
+    pub(crate) fn snapshot_write(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.entries.len());
+        for entry in &self.entries {
+            match entry {
+                None => w.put_u8(0),
+                Some((addr, kind)) => {
+                    w.put_u8(1);
+                    w.put_addr(*addr);
+                    w.put_u8(match kind {
+                        NodeKind::Processor => 0,
+                        NodeKind::Memory => 1,
+                        NodeKind::Serial => 2,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Decodes a table written by
+    /// [`snapshot_write`](Self::snapshot_write), preserving vacancies and
+    /// validating router addresses against the mesh shape.
+    pub(crate) fn snapshot_read(
+        r: &mut SnapshotReader<'_>,
+        width: u8,
+        height: u8,
+    ) -> Result<Self, SnapshotError> {
+        let len = r.take_len(1)?;
+        let mut entries = Vec::with_capacity(len);
+        for _ in 0..len {
+            entries.push(match r.take_u8()? {
+                0 => None,
+                1 => {
+                    let addr = r.take_addr_in(width, height)?;
+                    let kind = match r.take_u8()? {
+                        0 => NodeKind::Processor,
+                        1 => NodeKind::Memory,
+                        2 => NodeKind::Serial,
+                        _ => return Err(SnapshotError::Malformed("node kind tag")),
+                    };
+                    Some((addr, kind))
+                }
+                _ => return Err(SnapshotError::Malformed("node slot tag")),
+            });
+        }
+        Ok(Self { entries })
     }
 }
 

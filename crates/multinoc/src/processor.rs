@@ -23,8 +23,8 @@
 
 use std::collections::HashMap;
 
-use hermes_noc::RouterAddr;
-use r8::core::{Bus, BusResponse, Cpu, StepOutcome};
+use hermes_noc::{RouterAddr, SnapshotError, SnapshotReader, SnapshotWriter};
+use r8::core::{Bus, BusResponse, Cpu, CpuImage, CpuState, Flags, Pending, StepOutcome};
 
 use crate::addrmap::{AddressMap, Target};
 use crate::directory::ServiceDirectory;
@@ -565,6 +565,250 @@ impl ProcessorIp {
         }
         Ok(())
     }
+
+    /// Snapshot codec: the complete per-processor state — core image,
+    /// local memory, address map, control-logic and reliability state.
+    /// The system-level context (node number, router, node table,
+    /// directory, I/O router) is not written here; the system restores
+    /// it from its own snapshot and passes it to
+    /// [`snapshot_read`](Self::snapshot_read).
+    pub(crate) fn snapshot_write(&self, w: &mut SnapshotWriter) {
+        put_cpu_image(w, &self.cpu.image());
+        self.local.snapshot_write(w);
+        self.map.snapshot_write(w);
+        w.put_bool(self.active);
+        match &self.fault {
+            None => w.put_u8(0),
+            Some(msg) => {
+                w.put_u8(1);
+                w.put_str(msg);
+            }
+        }
+        w.put_u64(self.next_ready);
+        w.put_u32(self.stalled_cycles);
+        match &self.pending {
+            NetPending::Idle => w.put_u8(0),
+            NetPending::RemoteRead(req) => {
+                w.put_u8(1);
+                req.snapshot_write(w);
+            }
+            NetPending::RemoteReadDone { value, from } => {
+                w.put_u8(2);
+                w.put_u16(*value);
+                w.put_addr(*from);
+            }
+            NetPending::Scanf(req) => {
+                w.put_u8(3);
+                req.snapshot_write(w);
+            }
+            NetPending::ScanfDone(value) => {
+                w.put_u8(4);
+                w.put_u16(*value);
+            }
+        }
+        match self.wait {
+            WaitState::None => w.put_u8(0),
+            WaitState::Internal(n) => {
+                w.put_u8(1);
+                w.put_u16(n);
+            }
+            WaitState::External(n) => {
+                w.put_u8(2);
+                w.put_u16(n);
+            }
+        }
+        // HashMap iteration order is nondeterministic; write sorted so
+        // identical states produce identical bytes.
+        let mut notifies: Vec<(u16, u32)> = self.notifies.iter().map(|(&k, &v)| (k, v)).collect();
+        notifies.sort_unstable();
+        w.put_usize(notifies.len());
+        for (from, count) in notifies {
+            w.put_u16(from);
+            w.put_u32(count);
+        }
+        w.put_u64(self.utilization.running);
+        w.put_u64(self.utilization.blocked);
+        w.put_u64(self.utilization.halted);
+        w.put_u64(self.utilization.idle);
+        self.reliable.snapshot_write(w);
+        self.dedup.snapshot_write(w);
+    }
+
+    /// Decodes a processor written by
+    /// [`snapshot_write`](Self::snapshot_write). The system-level view
+    /// (`node`, `addr`, `table`, `directory`, `io_router`) comes from
+    /// the enclosing system snapshot.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn snapshot_read(
+        r: &mut SnapshotReader<'_>,
+        node: NodeId,
+        addr: RouterAddr,
+        table: NodeTable,
+        directory: ServiceDirectory,
+        io_router: Option<RouterAddr>,
+        width: u8,
+        height: u8,
+    ) -> Result<Self, SnapshotError> {
+        let image = take_cpu_image(r)?;
+        let cpu = Cpu::from_image(image)
+            .map_err(|_| SnapshotError::Malformed("decoded instruction slot"))?;
+        let local = MemoryCore::snapshot_read(r)?;
+        let map = AddressMap::snapshot_read(r)?;
+        let active = r.take_bool()?;
+        let fault = match r.take_u8()? {
+            0 => None,
+            1 => Some(r.take_str()?),
+            _ => return Err(SnapshotError::Malformed("fault tag")),
+        };
+        let next_ready = r.take_u64()?;
+        let stalled_cycles = r.take_u32()?;
+        let pending = match r.take_u8()? {
+            0 => NetPending::Idle,
+            1 => NetPending::RemoteRead(PendingRequest::snapshot_read(r, width, height)?),
+            2 => NetPending::RemoteReadDone {
+                value: r.take_u16()?,
+                from: r.take_addr_in(width, height)?,
+            },
+            3 => NetPending::Scanf(PendingRequest::snapshot_read(r, width, height)?),
+            4 => NetPending::ScanfDone(r.take_u16()?),
+            _ => return Err(SnapshotError::Malformed("processor pending tag")),
+        };
+        let wait = match r.take_u8()? {
+            0 => WaitState::None,
+            1 => WaitState::Internal(r.take_u16()?),
+            2 => WaitState::External(r.take_u16()?),
+            _ => return Err(SnapshotError::Malformed("wait state tag")),
+        };
+        let count = r.take_len(6)?;
+        let mut notifies = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let from = r.take_u16()?;
+            let pending_notifies = r.take_u32()?;
+            if notifies.insert(from, pending_notifies).is_some() {
+                return Err(SnapshotError::Malformed("duplicate notify entry"));
+            }
+        }
+        let utilization = UtilizationCounters {
+            running: r.take_u64()?,
+            blocked: r.take_u64()?,
+            halted: r.take_u64()?,
+            idle: r.take_u64()?,
+        };
+        let reliable = ReliableSender::snapshot_read(r, node, width, height)?;
+        let dedup = DedupReceiver::snapshot_read(r, width, height)?;
+        Ok(Self {
+            node,
+            addr,
+            cpu,
+            local,
+            map,
+            table,
+            directory,
+            io_router,
+            active,
+            fault,
+            next_ready,
+            stalled_cycles,
+            pending,
+            wait,
+            notifies,
+            utilization,
+            reliable,
+            dedup,
+        })
+    }
+}
+
+/// Writes an R8 core image: registers, control state and the in-flight
+/// instruction of the two-phase stepping model.
+fn put_cpu_image(w: &mut SnapshotWriter, image: &CpuImage) {
+    for reg in image.regs {
+        w.put_u16(reg);
+    }
+    w.put_u16(image.pc);
+    w.put_u16(image.sp);
+    w.put_bool(image.flags.n);
+    w.put_bool(image.flags.z);
+    w.put_bool(image.flags.c);
+    w.put_bool(image.flags.v);
+    w.put_u8(match image.state {
+        CpuState::Running => 0,
+        CpuState::Halted => 1,
+    });
+    w.put_u64(image.cycles);
+    w.put_u64(image.retired);
+    match image.pending {
+        Pending::Fetch => w.put_u8(0),
+        Pending::Read { addr } => {
+            w.put_u8(1);
+            w.put_u16(addr);
+        }
+        Pending::Write { addr, value } => {
+            w.put_u8(2);
+            w.put_u16(addr);
+            w.put_u16(value);
+        }
+    }
+    match image.decoded {
+        None => w.put_u8(0),
+        Some(word) => {
+            w.put_u8(1);
+            w.put_u16(word);
+        }
+    }
+    w.put_u32(image.inflight_cycles);
+}
+
+/// Decodes an R8 core image written by [`put_cpu_image`].
+fn take_cpu_image(r: &mut SnapshotReader<'_>) -> Result<CpuImage, SnapshotError> {
+    let mut regs = [0u16; 16];
+    for reg in &mut regs {
+        *reg = r.take_u16()?;
+    }
+    let pc = r.take_u16()?;
+    let sp = r.take_u16()?;
+    let flags = Flags {
+        n: r.take_bool()?,
+        z: r.take_bool()?,
+        c: r.take_bool()?,
+        v: r.take_bool()?,
+    };
+    let state = match r.take_u8()? {
+        0 => CpuState::Running,
+        1 => CpuState::Halted,
+        _ => return Err(SnapshotError::Malformed("cpu state tag")),
+    };
+    let cycles = r.take_u64()?;
+    let retired = r.take_u64()?;
+    let pending = match r.take_u8()? {
+        0 => Pending::Fetch,
+        1 => Pending::Read {
+            addr: r.take_u16()?,
+        },
+        2 => Pending::Write {
+            addr: r.take_u16()?,
+            value: r.take_u16()?,
+        },
+        _ => return Err(SnapshotError::Malformed("cpu pending tag")),
+    };
+    let decoded = match r.take_u8()? {
+        0 => None,
+        1 => Some(r.take_u16()?),
+        _ => return Err(SnapshotError::Malformed("decoded slot tag")),
+    };
+    let inflight_cycles = r.take_u32()?;
+    Ok(CpuImage {
+        regs,
+        pc,
+        sp,
+        flags,
+        state,
+        cycles,
+        retired,
+        pending,
+        decoded,
+        inflight_cycles,
+    })
 }
 
 /// The bus the control logic presents to the R8 core: decodes the NUMA
@@ -846,6 +1090,52 @@ mod tests {
                 data: vec![4242]
             }
         );
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_mid_flight_state() {
+        let mut noc = Noc::new(NocConfig::mesh(2, 2)).unwrap();
+        let mut ip = processor(1, RouterAddr::new(0, 1), vec![NodeId(2), NodeId(3)]);
+        // A remote read stalls the core mid-instruction: rich state to
+        // round-trip (pending request, stall counter, CPU wait).
+        let program = assemble("LIW R1, 1024\nLD R2, R1, R0\nHALT").unwrap();
+        ip.local_mut().write_block(0, program.words());
+        ip.active = true;
+        ip.notifies.insert(3, 2);
+        for _ in 0..20 {
+            noc.step();
+            let now = noc.cycle();
+            let mut net = NetPort::new(&mut noc, RouterAddr::new(0, 1));
+            ip.step(now, &mut net).unwrap();
+        }
+        assert_eq!(ip.status(), ProcessorStatus::Blocked);
+
+        let mut w = SnapshotWriter::new();
+        ip.snapshot_write(&mut w);
+        let bytes = w.finish(hermes_noc::snapshot::KIND_SYSTEM);
+
+        let mut r = SnapshotReader::open(&bytes, hermes_noc::snapshot::KIND_SYSTEM).unwrap();
+        let restored = ProcessorIp::snapshot_read(
+            &mut r,
+            ip.node,
+            ip.addr,
+            ip.table.clone(),
+            ip.directory.clone(),
+            ip.io_router,
+            2,
+            2,
+        )
+        .unwrap();
+        r.finish().unwrap();
+
+        // Re-encoding the restored processor must reproduce the exact
+        // bytes: every field survived.
+        let mut w2 = SnapshotWriter::new();
+        restored.snapshot_write(&mut w2);
+        let again = w2.finish(hermes_noc::snapshot::KIND_SYSTEM);
+        assert_eq!(bytes, again);
+        assert_eq!(restored.status(), ProcessorStatus::Blocked);
+        assert_eq!(restored.cpu().pc(), ip.cpu().pc());
     }
 
     #[test]

@@ -31,7 +31,7 @@
 
 use std::fmt;
 
-use hermes_noc::{Packet, RouterAddr};
+use hermes_noc::{Packet, RouterAddr, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Service codes, numbered in the order the paper lists them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,7 +70,7 @@ pub enum ServiceCode {
 }
 
 impl ServiceCode {
-    fn from_flit(flit: u16) -> Option<Self> {
+    pub(crate) fn from_flit(flit: u16) -> Option<Self> {
         Some(match flit {
             1 => ServiceCode::ReadFromMemory,
             2 => ServiceCode::ReadReturn,
@@ -181,6 +181,109 @@ impl Service {
             Service::ReplicateWrite { .. } => ServiceCode::ReplicateWrite,
             Service::ReplicaInvalidate { .. } => ServiceCode::ReplicaInvalidate,
         }
+    }
+}
+
+/// Snapshot helper: length-prefixed `u16` word block.
+pub(crate) fn put_words(w: &mut SnapshotWriter, words: &[u16]) {
+    w.put_usize(words.len());
+    for &word in words {
+        w.put_u16(word);
+    }
+}
+
+/// Snapshot helper: reads a word block written by [`put_words`].
+pub(crate) fn take_words(r: &mut SnapshotReader<'_>) -> Result<Vec<u16>, SnapshotError> {
+    let len = r.take_len(2)?;
+    let mut words = Vec::with_capacity(len);
+    for _ in 0..len {
+        words.push(r.take_u16()?);
+    }
+    Ok(words)
+}
+
+impl Service {
+    /// Snapshot codec: tag byte (the service code) followed by the
+    /// variant's fields. Distinct from the wire format, which packs
+    /// fields into flit-width chunks and appends check flits.
+    pub(crate) fn snapshot_write(&self, w: &mut SnapshotWriter) {
+        w.put_u8(self.code() as u8);
+        match self {
+            Service::ReadFromMemory { addr, count } => {
+                w.put_u16(*addr);
+                w.put_u16(*count);
+            }
+            Service::ReadReturn { addr, data } | Service::WriteInMemory { addr, data } => {
+                w.put_u16(*addr);
+                put_words(w, data);
+            }
+            Service::ActivateProcessor | Service::Scanf | Service::Ack => {}
+            Service::Printf { data } => put_words(w, data),
+            Service::ScanfReturn { value } => w.put_u16(*value),
+            Service::Notify { from } | Service::Wait { from } => w.put_u16(*from),
+            Service::ReplicateWrite {
+                origin,
+                origin_seq,
+                addr,
+                data,
+            } => {
+                w.put_addr(*origin);
+                w.put_u16(*origin_seq);
+                w.put_u16(*addr);
+                put_words(w, data);
+            }
+            Service::ReplicaInvalidate { stale } => w.put_addr(*stale),
+        }
+    }
+
+    /// Decodes a service written by [`snapshot_write`](Self::snapshot_write),
+    /// validating embedded router addresses against the mesh shape.
+    pub(crate) fn snapshot_read(
+        r: &mut SnapshotReader<'_>,
+        width: u8,
+        height: u8,
+    ) -> Result<Self, SnapshotError> {
+        let tag = r.take_u8()?;
+        let code = ServiceCode::from_flit(u16::from(tag))
+            .ok_or(SnapshotError::Malformed("service code tag"))?;
+        Ok(match code {
+            ServiceCode::ReadFromMemory => Service::ReadFromMemory {
+                addr: r.take_u16()?,
+                count: r.take_u16()?,
+            },
+            ServiceCode::ReadReturn => Service::ReadReturn {
+                addr: r.take_u16()?,
+                data: take_words(r)?,
+            },
+            ServiceCode::WriteInMemory => Service::WriteInMemory {
+                addr: r.take_u16()?,
+                data: take_words(r)?,
+            },
+            ServiceCode::ActivateProcessor => Service::ActivateProcessor,
+            ServiceCode::Printf => Service::Printf {
+                data: take_words(r)?,
+            },
+            ServiceCode::Scanf => Service::Scanf,
+            ServiceCode::ScanfReturn => Service::ScanfReturn {
+                value: r.take_u16()?,
+            },
+            ServiceCode::Notify => Service::Notify {
+                from: r.take_u16()?,
+            },
+            ServiceCode::Wait => Service::Wait {
+                from: r.take_u16()?,
+            },
+            ServiceCode::Ack => Service::Ack,
+            ServiceCode::ReplicateWrite => Service::ReplicateWrite {
+                origin: r.take_addr_in(width, height)?,
+                origin_seq: r.take_u16()?,
+                addr: r.take_u16()?,
+                data: take_words(r)?,
+            },
+            ServiceCode::ReplicaInvalidate => Service::ReplicaInvalidate {
+                stale: r.take_addr_in(width, height)?,
+            },
+        })
     }
 }
 
@@ -671,6 +774,52 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips_every_service() {
+        let services = vec![
+            Service::ReadFromMemory {
+                addr: 0x20,
+                count: 4,
+            },
+            Service::ReadReturn {
+                addr: 0x20,
+                data: vec![1, 0xFFFF, 42],
+            },
+            Service::WriteInMemory {
+                addr: 0x3FF,
+                data: vec![0xABCD],
+            },
+            Service::ActivateProcessor,
+            Service::Printf {
+                data: vec![72, 105],
+            },
+            Service::Scanf,
+            Service::ScanfReturn { value: 0xBEEF },
+            Service::Notify { from: 2 },
+            Service::Wait { from: 1 },
+            Service::Ack,
+            Service::ReplicateWrite {
+                origin: RouterAddr::new(1, 0),
+                origin_seq: 7,
+                addr: 0x10,
+                data: vec![9, 8],
+            },
+            Service::ReplicaInvalidate {
+                stale: RouterAddr::new(0, 1),
+            },
+        ];
+        let mut w = SnapshotWriter::new();
+        for s in &services {
+            s.snapshot_write(&mut w);
+        }
+        let bytes = w.finish(hermes_noc::snapshot::KIND_SYSTEM);
+        let mut r = SnapshotReader::open(&bytes, hermes_noc::snapshot::KIND_SYSTEM).unwrap();
+        for s in &services {
+            assert_eq!(&Service::snapshot_read(&mut r, 2, 2).unwrap(), s);
+        }
+        r.finish().unwrap();
     }
 
     #[test]

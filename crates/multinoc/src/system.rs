@@ -2,8 +2,12 @@
 //! co-simulated cycle by cycle.
 
 use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 
-use hermes_noc::{FaultPlan, Noc, NocConfig, NocStats, Port, RouterAddr};
+use hermes_noc::{
+    snapshot, FaultPlan, KernelMode, Noc, NocConfig, NocStats, Port, RouterAddr, SnapshotError,
+    SnapshotReader, SnapshotWriter,
+};
 use r8::core::Cpu;
 
 use crate::addrmap::AddressMap;
@@ -39,6 +43,24 @@ struct Watchdog {
     /// Reconfiguration epoch at the last check; a bump is progress (the
     /// diagnosis just flushed a wedge and rerouted, not a hang).
     last_epoch: u64,
+}
+
+/// Opt-in automatic checkpointing: the full system snapshot is written
+/// to one file every `every` cycles and when a fault-class event is
+/// detected (a watchdog verdict, a node death). Each write goes to a
+/// temporary file that is atomically renamed over the target, so a
+/// crash mid-write never corrupts the last good checkpoint. Runtime
+/// configuration — deliberately not part of the snapshot itself.
+#[derive(Debug)]
+struct AutoCheckpoint {
+    /// The checkpoint file, overwritten in place on every write.
+    path: PathBuf,
+    /// Cycles between periodic checkpoints.
+    every: u64,
+    /// Cycle of the last checkpoint written.
+    last: u64,
+    /// Checkpoints written since the policy was enabled.
+    written: u64,
 }
 
 /// One IP core instance. `Vacant` marks a node removed by dynamic
@@ -94,6 +116,9 @@ pub struct System {
     processed_dead: BTreeSet<RouterAddr>,
     /// Every completed failover, in promotion order.
     failover_log: Vec<FailoverRecord>,
+    /// Armed by [`enable_auto_checkpoint`](Self::enable_auto_checkpoint);
+    /// off by default and never serialized.
+    auto_checkpoint: Option<AutoCheckpoint>,
 }
 
 impl System {
@@ -718,6 +743,7 @@ impl System {
             let addr = self.vacated_routers[i];
             while self.noc.try_recv(addr).is_some() {}
         }
+        self.auto_checkpoint_due()?;
         Ok(())
     }
 
@@ -755,6 +781,7 @@ impl System {
             .filter(|r| !self.processed_dead.contains(r))
             .collect();
         newly_dead.sort_unstable();
+        let any_deaths = !newly_dead.is_empty();
         for router in newly_dead {
             self.processed_dead.insert(router);
             let Some(node) = self.table.node_of(router) else {
@@ -762,6 +789,11 @@ impl System {
             };
             self.dead_nodes.push(node);
             self.handle_node_death(node, router, now)?;
+        }
+        // A node death is exactly the moment a recovery point matters:
+        // snapshot the just-failed-over state.
+        if any_deaths {
+            self.auto_checkpoint_now()?;
         }
         Ok(())
     }
@@ -1085,7 +1117,7 @@ impl System {
             if self.all_halted() && self.noc.is_idle() && self.link.is_idle() && self.net_quiet() {
                 return Ok(self.cycle() - start);
             }
-            self.watchdog_check()?;
+            self.watchdog_verdict()?;
             if self.cycle() - start >= budget {
                 return Err(SystemError::BudgetExhausted {
                     budget,
@@ -1322,7 +1354,7 @@ impl System {
             if self.is_idle() {
                 return Ok(self.cycle() - start);
             }
-            self.watchdog_check()?;
+            self.watchdog_verdict()?;
             if self.cycle() - start >= budget {
                 return Err(SystemError::BudgetExhausted {
                     budget,
@@ -1331,6 +1363,333 @@ impl System {
             }
             self.fast_forward_idle_gap(budget - (self.cycle() - start));
             self.step()?;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deterministic checkpoint/restore: the full system state as one
+    // versioned, checksummed binary container, embedding the NoC's own
+    // sealed snapshot. A restored system replays bit-identically to the
+    // uninterrupted run on any simulation kernel.
+    // ------------------------------------------------------------------
+
+    /// Captures the complete system state — the network (flit buffers,
+    /// in-flight worms, arbiters, health monitors, fault-plan progress,
+    /// RNG counters, statistics), every IP core (CPU images, memories,
+    /// reliability layers), the serial link, service counters, trace
+    /// log, watchdog and failover bookkeeping — as one self-describing
+    /// binary snapshot. The auto-checkpoint policy itself is runtime
+    /// configuration and is deliberately not captured.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        // The NoC snapshot keeps its own sealed container (version,
+        // checksum, mesh-shape validation) and is embedded as an opaque
+        // blob.
+        w.put_bytes(&self.noc.save_state());
+        w.put_f64(self.clock_hz);
+        self.link.snapshot_write(&mut w);
+        self.table.snapshot_write(&mut w);
+        self.directory.snapshot_write(&mut w);
+        w.put_usize(self.ips.len());
+        for ip in &self.ips {
+            match ip {
+                Ip::Vacant => w.put_u8(0),
+                Ip::Processor(p) => {
+                    w.put_u8(1);
+                    p.snapshot_write(&mut w);
+                }
+                Ip::Memory(m) => {
+                    w.put_u8(2);
+                    m.snapshot_write(&mut w);
+                }
+                Ip::Serial(s) => {
+                    w.put_u8(3);
+                    s.snapshot_write(&mut w);
+                }
+            }
+        }
+        self.counters.snapshot_write(&mut w);
+        match &self.trace {
+            None => w.put_u8(0),
+            Some(log) => {
+                w.put_u8(1);
+                log.snapshot_write(&mut w);
+            }
+        }
+        w.put_usize(self.vacated_routers.len());
+        for &addr in &self.vacated_routers {
+            w.put_addr(addr);
+        }
+        // The watchdog's progress windows are written verbatim: a
+        // restored run re-arming them from current values could fire a
+        // false DeadLink the uninterrupted run never saw.
+        match &self.watchdog {
+            None => w.put_u8(0),
+            Some(wd) => {
+                w.put_u8(1);
+                w.put_u64(wd.window);
+                w.put_u64(wd.last_hops);
+                w.put_u64(wd.last_change);
+                w.put_u64(wd.last_epoch);
+            }
+        }
+        w.put_usize(self.dead_nodes.len());
+        for n in &self.dead_nodes {
+            w.put_u8(n.0);
+        }
+        w.put_usize(self.processed_dead.len());
+        for &addr in &self.processed_dead {
+            w.put_addr(addr);
+        }
+        w.put_usize(self.failover_log.len());
+        for f in &self.failover_log {
+            w.put_u64(f.cycle);
+            w.put_u8(f.logical.0);
+            w.put_u8(f.from.0);
+            w.put_u8(f.to.0);
+        }
+        w.finish(snapshot::KIND_SYSTEM)
+    }
+
+    /// Writes [`checkpoint`](Self::checkpoint) to `path` atomically:
+    /// the bytes go to a temporary file in the same directory which is
+    /// then renamed over the target, so a crash mid-write leaves the
+    /// previous checkpoint intact.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on any filesystem failure.
+    pub fn checkpoint_to_file(&self, path: &Path) -> Result<(), SnapshotError> {
+        snapshot::write_atomic(path, &self.checkpoint())
+    }
+
+    /// Reconstructs a system from [`checkpoint`](Self::checkpoint)
+    /// bytes. The resumed system replays bit-identically to the
+    /// uninterrupted original.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`SnapshotError`] on truncated, corrupt, wrong-version
+    /// or internally inconsistent input — never a panic.
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        Self::restore_inner(bytes, None)
+    }
+
+    /// [`restore`](Self::restore) with the network's simulation kernel
+    /// overridden — checkpoints are kernel-portable, so a snapshot
+    /// taken under `Parallel { workers: 8 }` restores under
+    /// `Reference` (and vice versa) with identical behaviour.
+    ///
+    /// # Errors
+    ///
+    /// As [`restore`](Self::restore).
+    pub fn restore_with_kernel(bytes: &[u8], kernel: KernelMode) -> Result<Self, SnapshotError> {
+        Self::restore_inner(bytes, Some(kernel))
+    }
+
+    /// Reads and [`restore`](Self::restore)s a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the file cannot be read, else as
+    /// [`restore`](Self::restore).
+    pub fn restore_from_file(path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Self::restore(&bytes)
+    }
+
+    fn restore_inner(bytes: &[u8], kernel: Option<KernelMode>) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, snapshot::KIND_SYSTEM)?;
+        let noc_blob = r.take_bytes()?;
+        let noc = match kernel {
+            None => Noc::restore_state(&noc_blob)?,
+            Some(k) => Noc::restore_state_with_kernel(&noc_blob, k)?,
+        };
+        let (width, height) = (noc.config().width, noc.config().height);
+        let clock_hz = r.take_f64()?;
+        if !clock_hz.is_finite() || clock_hz <= 0.0 {
+            return Err(SnapshotError::Malformed("clock frequency"));
+        }
+        let link = SerialLink::snapshot_read(&mut r)?;
+        let table = NodeTable::snapshot_read(&mut r, width, height)?;
+        let directory = ServiceDirectory::snapshot_read(&mut r)?;
+        let io_router = table
+            .nodes_of_kind(NodeKind::Serial)
+            .next()
+            .and_then(|n| table.router_of(n));
+        let count = r.take_len(1)?;
+        if count != table.len() {
+            return Err(SnapshotError::Malformed(
+                "IP count does not match node table",
+            ));
+        }
+        let mut ips = Vec::with_capacity(count);
+        for idx in 0..count {
+            let node = NodeId(idx as u8);
+            let tag = r.take_u8()?;
+            let slot = table.router_of(node);
+            let ip = match (tag, slot, table.kind_of(node)) {
+                (0, None, _) => Ip::Vacant,
+                (1, Some(addr), Some(NodeKind::Processor)) => {
+                    Ip::Processor(Box::new(ProcessorIp::snapshot_read(
+                        &mut r,
+                        node,
+                        addr,
+                        table.clone(),
+                        directory.clone(),
+                        io_router,
+                        width,
+                        height,
+                    )?))
+                }
+                (2, Some(addr), Some(NodeKind::Memory)) => {
+                    Ip::Memory(MemoryIp::snapshot_read(&mut r, node, addr, width, height)?)
+                }
+                (3, Some(addr), Some(NodeKind::Serial)) => Ip::Serial(SerialIp::snapshot_read(
+                    &mut r,
+                    addr,
+                    table.clone(),
+                    directory.clone(),
+                    width,
+                    height,
+                )?),
+                (0..=3, _, _) => {
+                    return Err(SnapshotError::Malformed(
+                        "IP kind does not match node table",
+                    ))
+                }
+                _ => return Err(SnapshotError::Malformed("IP kind tag")),
+            };
+            ips.push(ip);
+        }
+        let counters = ServiceCounters::snapshot_read(&mut r)?;
+        let trace = match r.take_u8()? {
+            0 => None,
+            1 => Some(TraceLog::snapshot_read(&mut r)?),
+            _ => return Err(SnapshotError::Malformed("trace presence tag")),
+        };
+        let count = r.take_len(2)?;
+        let mut vacated_routers = Vec::with_capacity(count);
+        for _ in 0..count {
+            vacated_routers.push(r.take_addr_in(width, height)?);
+        }
+        let watchdog = match r.take_u8()? {
+            0 => None,
+            1 => Some(Watchdog {
+                window: r.take_u64()?,
+                last_hops: r.take_u64()?,
+                last_change: r.take_u64()?,
+                last_epoch: r.take_u64()?,
+            }),
+            _ => return Err(SnapshotError::Malformed("watchdog presence tag")),
+        };
+        let count = r.take_len(1)?;
+        let mut dead_nodes = Vec::with_capacity(count);
+        for _ in 0..count {
+            let n = NodeId(r.take_u8()?);
+            if n.index() >= table.len() {
+                return Err(SnapshotError::Malformed("dead node outside the table"));
+            }
+            dead_nodes.push(n);
+        }
+        let count = r.take_len(2)?;
+        let mut processed_dead = BTreeSet::new();
+        for _ in 0..count {
+            processed_dead.insert(r.take_addr_in(width, height)?);
+        }
+        let count = r.take_len(11)?;
+        let mut failover_log = Vec::with_capacity(count);
+        for _ in 0..count {
+            failover_log.push(FailoverRecord {
+                cycle: r.take_u64()?,
+                logical: NodeId(r.take_u8()?),
+                from: NodeId(r.take_u8()?),
+                to: NodeId(r.take_u8()?),
+            });
+        }
+        r.finish()?;
+        Ok(System {
+            noc,
+            ips,
+            table,
+            link,
+            clock_hz,
+            counters,
+            trace,
+            vacated_routers,
+            watchdog,
+            directory,
+            dead_nodes,
+            processed_dead,
+            failover_log,
+            auto_checkpoint: None,
+        })
+    }
+
+    /// Arms the automatic checkpoint policy: the full system snapshot
+    /// is written to `path` every `every_cycles` cycles and whenever a
+    /// fault-class event is detected (a watchdog Deadlock/DeadLink
+    /// verdict, a node death). Writes are atomic — a crash mid-write
+    /// never corrupts the last good checkpoint. Off by default; not
+    /// part of the checkpoint itself, so a restored system must opt in
+    /// again.
+    pub fn enable_auto_checkpoint(&mut self, path: impl Into<PathBuf>, every_cycles: u64) {
+        self.auto_checkpoint = Some(AutoCheckpoint {
+            path: path.into(),
+            every: every_cycles.max(1),
+            last: self.cycle(),
+            written: 0,
+        });
+    }
+
+    /// Disarms the automatic checkpoint policy.
+    pub fn disable_auto_checkpoint(&mut self) {
+        self.auto_checkpoint = None;
+    }
+
+    /// Checkpoints written by the automatic policy since it was armed.
+    pub fn auto_checkpoints_written(&self) -> u64 {
+        self.auto_checkpoint.as_ref().map_or(0, |a| a.written)
+    }
+
+    /// Periodic auto-checkpoint hook: writes when the interval elapsed.
+    fn auto_checkpoint_due(&mut self) -> Result<(), SystemError> {
+        let Some(ac) = &self.auto_checkpoint else {
+            return Ok(());
+        };
+        if self.noc.cycle().saturating_sub(ac.last) < ac.every {
+            return Ok(());
+        }
+        self.auto_checkpoint_now()
+    }
+
+    /// Writes an auto-checkpoint immediately, if the policy is armed.
+    fn auto_checkpoint_now(&mut self) -> Result<(), SystemError> {
+        let Some(ac) = &self.auto_checkpoint else {
+            return Ok(());
+        };
+        let path = ac.path.clone();
+        self.checkpoint_to_file(&path)
+            .map_err(|e| SystemError::Snapshot(e.to_string()))?;
+        let now = self.noc.cycle();
+        if let Some(ac) = &mut self.auto_checkpoint {
+            ac.last = now;
+            ac.written += 1;
+        }
+        Ok(())
+    }
+
+    /// [`watchdog_check`](Self::watchdog_check), snapshotting the
+    /// moment of failure (best-effort) before surfacing a verdict.
+    fn watchdog_verdict(&mut self) -> Result<(), SystemError> {
+        match self.watchdog_check() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // The verdict is the error to surface; a failed
+                // checkpoint write must not mask it.
+                let _ = self.auto_checkpoint_now();
+                Err(e)
+            }
         }
     }
 }
@@ -1360,7 +1719,7 @@ impl SystemBuilder {
     }
 
     /// Overrides the simulation kernel of the network — e.g.
-    /// [`KernelMode::Parallel`](hermes_noc::KernelMode::Parallel) to
+    /// [`KernelMode::Parallel`] to
     /// shard big meshes over worker threads. All kernels produce
     /// bit-identical system behaviour; this is purely a wall-clock knob.
     pub fn kernel(mut self, kernel: hermes_noc::KernelMode) -> Self {
@@ -1538,6 +1897,7 @@ impl SystemBuilder {
             dead_nodes: Vec::new(),
             processed_dead: BTreeSet::new(),
             failover_log: Vec::new(),
+            auto_checkpoint: None,
         };
         // Every client starts with the (identity) directory view.
         system.refresh_tables();

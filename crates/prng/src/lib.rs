@@ -174,6 +174,15 @@ impl CounterRng {
         Self { key: mix64(seed) }
     }
 
+    /// The mixed key identifying this stream family. Two `CounterRng`s
+    /// with equal keys produce identical draws forever, so a checkpoint
+    /// that records the *seed* used to build one fully captures its
+    /// state — there is no cursor to save. Exposed so restore paths can
+    /// assert stream identity after rebuilding a generator.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
     /// The raw 64-bit value of draw `counter` on substream `stream`.
     #[inline]
     pub fn draw(&self, stream: u64, counter: u64) -> u64 {
@@ -369,6 +378,17 @@ mod tests {
             assert!((0.0..1.0).contains(&u));
             assert!(rng.below(3, c, 10) < 10);
         }
+    }
+
+    #[test]
+    fn counter_rng_key_identifies_the_stream_family() {
+        let a = CounterRng::new(42);
+        let b = CounterRng::new(42);
+        assert_eq!(a.key(), b.key());
+        for c in 0..64 {
+            assert_eq!(a.draw(0, c), b.draw(0, c));
+        }
+        assert_ne!(a.key(), CounterRng::new(43).key());
     }
 
     #[test]

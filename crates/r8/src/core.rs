@@ -176,14 +176,55 @@ pub enum StepOutcome {
 }
 
 /// Pending memory operation being retried across wait states.
+///
+/// Public so a [`CpuImage`] can carry the in-flight microarchitectural
+/// state across a checkpoint/restore boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Pending {
+pub enum Pending {
     /// Instruction fetch at PC.
     Fetch,
     /// Data read for the decoded instruction.
-    Read { addr: u16 },
+    Read {
+        /// Address being read.
+        addr: u16,
+    },
     /// Data write for the decoded instruction.
-    Write { addr: u16, value: u16 },
+    Write {
+        /// Address being written.
+        addr: u16,
+        /// Value being written.
+        value: u16,
+    },
+}
+
+/// A plain-data image of the complete core state — architectural
+/// registers plus the in-flight microarchitectural state (pending memory
+/// operation, decoded-instruction slot, accumulated wait-state cycles) —
+/// so a core stalled mid-instruction can be checkpointed and resumed
+/// bit-exactly. Produced by [`Cpu::image`], consumed by
+/// [`Cpu::from_image`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuImage {
+    /// The 16 general-purpose registers.
+    pub regs: [u16; 16],
+    /// Program counter.
+    pub pc: u16,
+    /// Stack pointer.
+    pub sp: u16,
+    /// Status flags.
+    pub flags: Flags,
+    /// Execution state.
+    pub state: CpuState,
+    /// Clock cycles consumed, including wait states.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Memory operation awaiting a non-Wait bus answer.
+    pub pending: Pending,
+    /// Encoded form of the decoded-instruction slot, if occupied.
+    pub decoded: Option<u16>,
+    /// Cycles accumulated for the in-flight instruction.
+    pub inflight_cycles: u32,
 }
 
 /// The R8 core: 16 registers, PC, SP, flags and a cycle counter. The
@@ -394,6 +435,45 @@ impl Cpu {
             self.step(bus)?;
         }
         Ok(())
+    }
+
+    /// Captures the complete core state as plain data.
+    pub fn image(&self) -> CpuImage {
+        CpuImage {
+            regs: self.regs,
+            pc: self.pc,
+            sp: self.sp,
+            flags: self.flags,
+            state: self.state,
+            cycles: self.cycles,
+            retired: self.retired,
+            pending: self.pending,
+            decoded: self.decoded.map(Instr::encode),
+            inflight_cycles: self.inflight_cycles,
+        }
+    }
+
+    /// Rebuilds a core from an [`image`](Self::image); stepping the
+    /// result is indistinguishable from stepping the original.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] if the image's decoded-instruction slot holds a
+    /// word that is not a valid instruction.
+    pub fn from_image(image: CpuImage) -> Result<Self, DecodeError> {
+        let decoded = image.decoded.map(Instr::decode).transpose()?;
+        Ok(Self {
+            regs: image.regs,
+            pc: image.pc,
+            sp: image.sp,
+            flags: image.flags,
+            state: image.state,
+            cycles: image.cycles,
+            retired: image.retired,
+            pending: image.pending,
+            decoded,
+            inflight_cycles: image.inflight_cycles,
+        })
     }
 
     fn r(&self, reg: Reg) -> u16 {
@@ -881,6 +961,51 @@ mod tests {
         assert_eq!(cpu.pc(), 0);
         assert_eq!(cpu.reg(1), 0);
         assert_eq!(cpu.cycles(), 0);
+    }
+
+    #[test]
+    fn image_round_trips_a_core_stalled_mid_instruction() {
+        /// A bus that stalls every data access once, so the core can be
+        /// caught between decode and retire.
+        #[derive(Debug)]
+        struct OneStallBus {
+            ram: RamBus,
+            armed: bool,
+        }
+        impl Bus for OneStallBus {
+            fn read(&mut self, addr: u16) -> BusResponse {
+                if self.armed && addr >= 0x80 {
+                    self.armed = false;
+                    return BusResponse::Wait;
+                }
+                self.ram.read(addr)
+            }
+            fn write(&mut self, addr: u16, value: u16) -> BusResponse {
+                self.ram.write(addr, value)
+            }
+        }
+        let program =
+            assemble("LIW R1, 0x80\nXOR R0, R0, R0\nLD R3, R1, R0\nADDI R3, 5\nHALT").unwrap();
+        let mut ram = RamBus::new(256);
+        ram.load(0, program.words());
+        ram.load(0x80, &[37]);
+        let mut bus = OneStallBus { ram, armed: true };
+        let mut cpu = Cpu::new();
+        // Step until the load stalls: the core now has a decoded
+        // instruction and a pending data read in flight.
+        while cpu.step(&mut bus).unwrap() != StepOutcome::Stalled {}
+        let image = cpu.image();
+        assert!(matches!(image.pending, Pending::Read { addr: 0x80 }));
+        assert!(image.decoded.is_some());
+        let mut restored = Cpu::from_image(image).expect("image decodes");
+        cpu.run(&mut bus, 1_000).unwrap();
+        let mut bus2 = OneStallBus {
+            ram: bus.ram.clone(),
+            armed: false,
+        };
+        restored.run(&mut bus2, 1_000).unwrap();
+        assert_eq!(restored.image(), cpu.image());
+        assert_eq!(restored.reg(3), 42);
     }
 
     #[test]

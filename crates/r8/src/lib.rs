@@ -57,6 +57,6 @@ pub mod objfile;
 
 mod program;
 
-pub use crate::core::{Bus, BusResponse, Cpu, CpuState};
+pub use crate::core::{Bus, BusResponse, Cpu, CpuImage, CpuState, Pending};
 pub use crate::isa::{Cond, DecodeError, Instr, Reg};
 pub use program::Program;

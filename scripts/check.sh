@@ -49,4 +49,11 @@ echo "=== chaos smoke check (node death + failover, fixed seed) ==="
 EXP_CHAOS_SMOKE=1 cargo run --release -q --offline -p multinoc-bench --bin exp_chaos > /dev/null
 echo "exp_chaos survived every node death with exactly-once semantics"
 
+echo "=== crash-recovery smoke check (checkpoint, hard kill, fresh-process restore) ==="
+# A faulted + degraded run is checkpointed mid-flight, the process image
+# discarded, and a fresh process must resume bit-identically to the run
+# that was never interrupted — including cross-kernel restores.
+EXP_RECOVERY_SMOKE=1 cargo run --release -q --offline -p multinoc-bench --bin exp_recovery > /dev/null
+echo "exp_recovery resumed bit-identically from a hard kill"
+
 echo "all checks passed"

@@ -29,6 +29,8 @@ experiments=(
     exp_degradation
     exp_perf
     exp_observability
+    exp_chaos
+    exp_recovery
 )
 
 cargo build --release -p multinoc-bench --bins
