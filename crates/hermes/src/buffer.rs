@@ -7,6 +7,43 @@
 
 use crate::flit::Flit;
 
+/// Slots small enough to live inline in the router's input port instead
+/// of behind a heap pointer. The paper's prototype depth is 2, so the
+/// hot path — every buffer access of every active router every cycle —
+/// never chases a `Vec` allocation.
+const INLINE_CAPACITY: usize = 2;
+
+/// Backing storage of a [`FlitBuffer`]: the paper-default depth stays
+/// inline in the port struct, anything else falls back to the heap.
+#[derive(Debug, Clone)]
+enum Slots {
+    Inline([Option<Flit>; INLINE_CAPACITY]),
+    Heap(Vec<Option<Flit>>),
+}
+
+impl Slots {
+    fn get(&self, i: usize) -> &Option<Flit> {
+        match self {
+            Slots::Inline(slots) => &slots[i],
+            Slots::Heap(slots) => &slots[i],
+        }
+    }
+
+    fn get_mut(&mut self, i: usize) -> &mut Option<Flit> {
+        match self {
+            Slots::Inline(slots) => &mut slots[i],
+            Slots::Heap(slots) => &mut slots[i],
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            Slots::Inline(_) => INLINE_CAPACITY,
+            Slots::Heap(slots) => slots.len(),
+        }
+    }
+}
+
 /// Fixed-capacity circular FIFO of flits, as attached to every router
 /// input port (the `B` boxes of Fig. 2 in the paper).
 ///
@@ -18,7 +55,7 @@ use crate::flit::Flit;
 /// ```
 #[derive(Debug, Clone)]
 pub struct FlitBuffer {
-    slots: Vec<Option<Flit>>,
+    slots: Slots,
     head: usize,
     len: usize,
 }
@@ -32,8 +69,13 @@ impl FlitBuffer {
     /// validation rejects that before any buffer is built.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "flit buffer capacity must be at least 1");
+        let slots = if capacity == INLINE_CAPACITY {
+            Slots::Inline([None; INLINE_CAPACITY])
+        } else {
+            Slots::Heap(vec![None; capacity])
+        };
         Self {
-            slots: vec![None; capacity],
+            slots,
             head: 0,
             len: 0,
         }
@@ -41,7 +83,7 @@ impl FlitBuffer {
 
     /// Maximum number of flits the buffer can hold.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.slots.capacity()
     }
 
     /// Number of flits currently buffered.
@@ -71,7 +113,7 @@ impl FlitBuffer {
             return false;
         }
         let tail = (self.head + self.len) % self.capacity();
-        self.slots[tail] = Some(flit);
+        *self.slots.get_mut(tail) = Some(flit);
         self.len += 1;
         true
     }
@@ -81,7 +123,7 @@ impl FlitBuffer {
         if self.is_empty() {
             None
         } else {
-            self.slots[self.head].as_ref()
+            self.slots.get(self.head).as_ref()
         }
     }
 
@@ -90,7 +132,7 @@ impl FlitBuffer {
         if self.is_empty() {
             return None;
         }
-        let flit = self.slots[self.head].take();
+        let flit = self.slots.get_mut(self.head).take();
         self.head = (self.head + 1) % self.capacity();
         self.len -= 1;
         flit

@@ -36,13 +36,16 @@ pub enum KernelMode {
 
 impl KernelMode {
     /// A reasonable kernel for a `width`×`height` mesh on this host:
-    /// the sequential active-set kernel for small meshes, the parallel
-    /// kernel (one thread per available core, capped at 8) once the mesh
-    /// is large enough to amortise per-cycle barrier synchronisation.
+    /// the sequential active-set kernel unless the mesh is saturated-scale
+    /// (1024 routers, a 32×32 mesh) *and* the host has at least two cores.
+    /// The crossover is set from BENCH_parallel.json: below it even the
+    /// batched-window parallel kernel cannot amortise its synchronisation
+    /// against `Active`'s idle-skipping, so picking `Parallel` there would
+    /// silently select the slower kernel.
     pub fn auto(width: u8, height: u8) -> Self {
         let routers = usize::from(width) * usize::from(height);
         let cores = std::thread::available_parallelism().map_or(1, usize::from);
-        if routers >= 256 && cores > 1 {
+        if routers >= 1024 && cores >= 2 {
             KernelMode::Parallel {
                 threads: cores.min(8).min(usize::from(height).max(1)),
             }
@@ -119,6 +122,16 @@ pub struct NocConfig {
     /// ≈500-cycle starvation under a 64-packet single-cycle burst), so
     /// merely-congested worms are never flushed.
     pub deadlock_timeout: u32,
+    /// Cycles the parallel kernel batches per barrier round inside
+    /// [`Noc::run`](crate::Noc::run)/[`run_until_idle`](crate::Noc::run_until_idle):
+    /// `0` lets the engine pick (currently 16), `1` forces per-cycle
+    /// synchronisation, larger values trade merge latency for fewer
+    /// barrier/gate round-trips. Whatever the value, windows collapse to
+    /// one cycle whenever a fault plan is installed or a reconfiguration
+    /// epoch exists (the per-cycle feedback paths those enable), and
+    /// [`Noc::step`](crate::Noc::step) always runs exactly one cycle —
+    /// observables are bit-identical for every window size.
+    pub batch_window: u32,
 }
 
 impl NocConfig {
@@ -137,6 +150,7 @@ impl NocConfig {
             kernel: KernelMode::Active,
             stats_window: 4096,
             deadlock_timeout: 4096,
+            batch_window: 0,
         }
     }
 
@@ -201,6 +215,14 @@ impl NocConfig {
     /// disables the recovery (builder style).
     pub fn with_deadlock_timeout(mut self, cycles: u32) -> Self {
         self.deadlock_timeout = cycles;
+        self
+    }
+
+    /// Sets the parallel kernel's batched-window size in cycles; `0`
+    /// (the default) lets the engine pick (builder style). See
+    /// [`batch_window`](Self::batch_window).
+    pub fn with_batch_window(mut self, cycles: u32) -> Self {
+        self.batch_window = cycles;
         self
     }
 
@@ -294,6 +316,7 @@ impl NocConfig {
         }
         w.put_usize(self.stats_window);
         w.put_u32(self.deadlock_timeout);
+        w.put_u32(self.batch_window);
     }
 
     /// Decodes a configuration previously written by
@@ -331,6 +354,7 @@ impl NocConfig {
         };
         let stats_window = r.take_usize()?;
         let deadlock_timeout = r.take_u32()?;
+        let batch_window = r.take_u32()?;
         Ok(Self {
             width,
             height,
@@ -344,6 +368,7 @@ impl NocConfig {
             kernel,
             stats_window,
             deadlock_timeout,
+            batch_window,
         })
     }
 
@@ -449,19 +474,36 @@ mod tests {
     fn auto_kernel_is_sequential_on_small_meshes() {
         assert_eq!(KernelMode::auto(2, 2), KernelMode::Active);
         assert_eq!(KernelMode::auto(4, 4), KernelMode::Active);
-        // Large meshes pick Parallel only on multi-core hosts; either way
-        // the choice must validate.
-        let big = KernelMode::auto(16, 16);
+        // Regression for the mis-gated crossover: BENCH_parallel showed
+        // Parallel strictly slower than Active up to 16×16, so auto must
+        // stay sequential there regardless of core count.
+        assert_eq!(KernelMode::auto(16, 16), KernelMode::Active);
+        // Saturated-scale meshes pick Parallel only on multi-core hosts;
+        // either way the choice must validate.
+        let big = KernelMode::auto(32, 32);
         assert!(
-            NocConfig::mesh(16, 16)
+            NocConfig::mesh(32, 32)
+                .with_flit_bits(10)
                 .with_kernel_mode(big)
                 .validate()
                 .is_ok(),
             "auto kernel {big:?} must be valid"
         );
         if let KernelMode::Parallel { threads } = big {
-            assert!(threads >= 1);
+            assert!(threads >= 2, "parallel with <2 threads is never a win");
         }
+        if std::thread::available_parallelism().map_or(1, usize::from) < 2 {
+            assert_eq!(big, KernelMode::Active, "single-core hosts never shard");
+        }
+    }
+
+    #[test]
+    fn batch_window_round_trips_and_defaults_to_auto() {
+        let c = NocConfig::mesh(4, 4);
+        assert_eq!(c.batch_window, 0, "0 = engine-chosen window");
+        let c = c.with_batch_window(16);
+        assert_eq!(c.batch_window, 16);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

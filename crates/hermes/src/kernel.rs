@@ -1,6 +1,6 @@
-//! The two-phase cycle engine shared by every [`KernelMode`].
+//! The batched-window cycle engine shared by every [`KernelMode`].
 //!
-//! A cycle is four sub-phases, each reading only state the previous
+//! A cycle is three sub-phases, each reading only state the previous
 //! sub-phase left behind:
 //!
 //! 1. **local** — inject, routing/arbitration and drop-sink work that
@@ -8,33 +8,50 @@
 //! 2. **decide** — collect the flit transfers every established
 //!    connection would make, reading neighbour buffer fullness but
 //!    mutating nothing;
-//! 3. **apply-src** — each source router pops the decided flits from its
-//!    own buffers, runs corruption rolls and either delivers locally or
-//!    stages the flit in its shard's outbox;
-//! 4. **apply-dst** — each router drains the staged flits addressed to
-//!    its own input buffers.
+//! 3. **apply** — each source router pops the decided flits from its own
+//!    buffers, runs corruption rolls and delivers: locally to its
+//!    endpoint, directly into a same-shard neighbour's buffer (staged in
+//!    `inbox_local` so every pop of the cycle precedes every push), or
+//!    into the shard's `outbox` for a foreign-shard neighbour.
 //!
+//! Cross-shard flits are *mailbox-deferred*: the destination shard drains
+//! every foreign outbox at the start of its next cycle, before any state
+//! of that cycle is read. Because a flit that arrives in cycle `c` is not
+//! routable before `c + 1` (`Flit::arrived` gates the header scan) and
+//! nothing reads the destination buffer between the end of `c` and the
+//! start of `c + 1`, draining at the next cycle's start is observably
+//! identical to the sequential push at the end of `c`.
+//!
+//! **Windows.** The parallel kernel batches `W` cycles per dispatch: one
+//! gate release, `3W` barriers and one serial merge instead of per-cycle
+//! dispatch and merge. This is sound whenever every merge-time feedback
+//! path into the phases is quiet — link-health failures, epoch
+//! announcements, deadlock recovery and scheduled stalls all require an
+//! installed fault plan or a non-empty epoch list, so
+//! [`Noc`](crate::Noc) collapses the window to 1 whenever either exists.
 //! Side effects that cross router ownership — statistics, packet-record
-//! updates, link-health observations, reconfiguration epochs — are
-//! accumulated in per-shard [`ShardDelta`]s and merged serially (in shard
-//! order, which is ascending router order) after the last sub-phase, so
-//! the merged observables are independent of how routers were scheduled
-//! within a sub-phase. Combined with the counter-based fault RNG (keyed
-//! by fault site and cycle, not draw order — see [`crate::fault`]), this
-//! makes the sequential kernels and the sharded parallel kernel
-//! bit-identical.
+//! updates (cycle-tagged), link-health observations, traces — are
+//! accumulated in per-shard [`ShardDelta`]s across the whole window and
+//! merged serially (in shard order, which is ascending router order; and
+//! in cycle order for the cycle-tagged streams) after the final barrier,
+//! so the merged observables are independent of how routers were
+//! scheduled. Combined with the counter-based fault RNG (keyed by fault
+//! site and cycle, not draw order — see [`crate::fault`]), this makes
+//! the sequential kernels and the sharded parallel kernel bit-identical
+//! for every window size and thread count.
 //!
-//! The parallel kernel ([`KernelMode::Parallel`]) runs the same four
-//! sub-phases on a persistent [`WorkerPool`] of plain `std::thread`
-//! workers separated by barriers — the conservative synchronous approach
-//! of parallel cycle-level NoC simulators, viable here because every
-//! decision reads only previous-cycle (or same-phase-immutable) state.
+//! **Active-set sharding.** Each shard walks only the routers whose
+//! activity flag is set, exactly like [`KernelMode::Active`], and
+//! retires a node once its router and source queue are quiescent. Flags
+//! are only ever written by their owning shard (retire and same-shard
+//! wake in apply, foreign wake while draining its own mailbox), so the
+//! flag array needs no synchronisation beyond the existing barriers.
 //!
 //! [`KernelMode`]: crate::KernelMode
-//! [`KernelMode::Parallel`]: crate::KernelMode::Parallel
+//! [`KernelMode::Active`]: crate::KernelMode::Active
 
 use std::ops::Range;
-use std::ptr::{addr_of, addr_of_mut};
+use std::ptr::addr_of;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -97,9 +114,10 @@ pub(crate) fn shard_range(
 }
 
 /// A deferred update to one packet's statistics record, applied at the
-/// merge with the cycle's timestamp. At most one event per packet per
-/// cycle can occur (flits move one hop per cycle), so application order
-/// within a merge is irrelevant.
+/// merge with the cycle it was observed in (events are stored
+/// cycle-tagged so a whole window can merge at once). At most one event
+/// per packet per cycle can occur (flits move one hop per cycle), so
+/// application order within a cycle is irrelevant.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum RecordEvent {
     /// A flit of the packet entered the network (sets `injected` once).
@@ -116,7 +134,9 @@ pub(crate) enum RecordEvent {
 /// independent of application order; only the order newly-dead links are
 /// *discovered* in matters, and the merge replays decide-phase events
 /// before apply-phase events in shard (= ascending router) order, exactly
-/// like the sequential scan.
+/// like the sequential scan. Failures require an installed fault plan,
+/// which collapses the window to one cycle, so they never straddle a
+/// window; successes are pure streak resets and commute.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum HealthEvent {
     /// A timed-out (outage-blocked) or garbled hop handshake.
@@ -136,7 +156,11 @@ pub(crate) enum HealthEvent {
 }
 
 /// Everything one shard defers to the serial merge: statistics counters,
-/// record/health events and flits staged for other routers' buffers.
+/// record/health events and flits staged for other shards' routers. With
+/// a window larger than one cycle the delta accumulates the whole window
+/// before merging; streams whose application is cycle-sensitive
+/// (`record_events`, the trace spans via `SpanEvent::cycle`) carry their
+/// cycle explicitly.
 #[derive(Debug, Default)]
 pub(crate) struct ShardDelta {
     pub flit_hops: u64,
@@ -153,11 +177,13 @@ pub(crate) struct ShardDelta {
     /// Packets discarded from a dead IP core's source queue before any
     /// of their flits entered the network.
     pub source_queue_drops: u64,
-    /// One entry per flit injected by a local IP this cycle.
+    /// One entry per flit injected by a local IP this window.
     pub local_ingress: Vec<RouterAddr>,
-    /// One entry per flit transferred over a link this cycle.
+    /// One entry per flit transferred over a link this window.
     pub link_flits: Vec<LinkId>,
-    pub record_events: Vec<RecordEvent>,
+    /// Record events tagged with the cycle they occurred in, in
+    /// ascending cycle order (cycles are walked in order).
+    pub record_events: Vec<(u64, RecordEvent)>,
     /// Health events observed in the local sub-phase (local ingress
     /// handshakes timing out against a dead router).
     pub health_local: Vec<HealthEvent>,
@@ -166,25 +192,43 @@ pub(crate) struct ShardDelta {
     /// Health events observed while applying transfers (garbles/successes).
     pub health_apply: Vec<HealthEvent>,
     /// Packet-trace spans recorded in the local sub-phase (inject, route
-    /// decision, drop). Empty unless tracing is enabled.
+    /// decision, drop). Empty unless tracing is enabled; each span
+    /// carries its cycle, so the merge can interleave shards per cycle.
     pub trace_local: Vec<(PacketId, SpanEvent)>,
-    /// Packet-trace spans recorded in the apply-src sub-phase (header
-    /// hop, sink, delivery). Empty unless tracing is enabled.
+    /// Packet-trace spans recorded in the apply sub-phase (header hop,
+    /// sink, delivery). Empty unless tracing is enabled.
     pub trace_apply: Vec<(PacketId, SpanEvent)>,
-    /// Transfers decided for this shard's routers: `(router, input, output)`.
+    /// Transfers decided for this shard's routers this cycle:
+    /// `(router, input, output)`. Consumed and cleared every cycle.
     pub transfers: Vec<(usize, usize, usize)>,
     /// Connections with a flit ready but the downstream buffer full this
-    /// cycle: `(router, input)`. Feeds the deadlock-recovery timeout.
+    /// cycle: `(router, input)`. Consumed every cycle into the routers'
+    /// own `blocked_cycles` counters.
     pub blocked_conns: Vec<(usize, usize)>,
-    /// Flits leaving this shard's routers for a neighbour's input buffer:
-    /// `(destination router, input port index, flit)`.
+    /// Connections whose zero-progress run crossed the deadlock-recovery
+    /// timeout; flushed at the merge. Only populated while recovery is
+    /// armed, which requires a non-empty epoch list and therefore a
+    /// one-cycle window.
+    pub stuck: Vec<(usize, usize)>,
+    /// Flits leaving this shard's routers for a foreign shard's input
+    /// buffers: `(destination router, input port index, flit)`. Drained
+    /// by the destination shard at the start of its next cycle and
+    /// cleared by the owner in its next apply sub-phase.
     pub outbox: Vec<(usize, usize, Flit)>,
-    /// Routers to flag active (they received a flit this cycle).
-    pub woken: Vec<usize>,
+    /// Flits moving between this shard's own routers this cycle, staged
+    /// so every pop of the apply sub-phase precedes every push.
+    pub inbox_local: Vec<(usize, usize, Flit)>,
+    /// Scratch: the active-set walk of the current cycle (kept across
+    /// cycles to avoid re-allocating).
+    pub walk: Vec<usize>,
+    /// Last cycle of the window in which this shard's walk was
+    /// non-empty; 0 if it never was. Lets `run_until_idle` rewind the
+    /// idle tail of a window to the exact sequential stopping cycle.
+    pub last_busy: u64,
 }
 
 impl ShardDelta {
-    /// Resets the delta for the next cycle, keeping allocations.
+    /// Resets the delta for the next window, keeping allocations.
     pub fn clear(&mut self) {
         self.flit_hops = 0;
         self.flits_delivered = 0;
@@ -208,27 +252,34 @@ impl ShardDelta {
         self.trace_apply.clear();
         self.transfers.clear();
         self.blocked_conns.clear();
+        self.stuck.clear();
         self.outbox.clear();
-        self.woken.clear();
+        self.inbox_local.clear();
+        self.walk.clear();
+        self.last_busy = 0;
     }
 }
 
-/// The per-cycle context shared by every shard: raw views of the router
-/// and endpoint arrays plus the immutable inputs of the cycle.
+/// The per-window context shared by every shard: raw views of the router
+/// and endpoint arrays plus the immutable inputs of the window.
 ///
 /// # Safety contract
 ///
-/// The pointers are valid for the duration of one cycle (from publication
-/// until the final barrier) and accessed under the sub-phase discipline:
-/// a shard takes `&mut` only to routers/endpoints/deltas it owns, takes
-/// `&` to foreign routers only in sub-phases where no shard mutates
-/// routers (decide), and reads foreign outboxes only after the apply-src
-/// barrier, through field-granular raw projections.
+/// The pointers are valid for the duration of one window (from
+/// publication until the final barrier) and accessed under the sub-phase
+/// discipline: a shard takes `&mut` only to routers/endpoints/deltas it
+/// owns, takes `&` to foreign routers only in sub-phases where no shard
+/// mutates routers (decide), reads foreign outboxes only in the
+/// mailbox-drain slot (two barriers away from both the owner's writes
+/// and its clear), and writes activity flags only for nodes it owns.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct CycleShared {
     pub routers: *mut Router,
     pub endpoints: *mut LocalEndpoint,
     pub deltas: *mut ShardDelta,
+    /// Per-node activity flags; each shard reads and writes only the
+    /// slice covering its own router range.
+    pub active: *mut bool,
     pub n_routers: usize,
     pub n_shards: usize,
     pub config: *const NocConfig,
@@ -236,10 +287,20 @@ pub(crate) struct CycleShared {
     pub epochs_len: usize,
     /// Null when no fault plan is installed.
     pub injector: *const FaultInjector,
+    /// First cycle of the window.
     pub now: u64,
-    /// Whether the health monitor was pristine at the start of the cycle;
-    /// success observations are skipped while it is (they would be no-ops:
-    /// only links with a prior failure entry are tracked).
+    /// Number of cycles in this window (≥ 1). Anything that feeds merge
+    /// output back into the phases forces a window of 1.
+    pub window: u32,
+    /// Whether the deadlock-recovery timeout is armed this window
+    /// (fault-tolerant routing, a positive timeout and at least one
+    /// epoch — which also forces `window == 1`).
+    pub recovery_armed: bool,
+    /// Whether the health monitor was pristine at the start of the
+    /// window; success observations are skipped while it is (they would
+    /// be no-ops: only links with a prior failure entry are tracked).
+    /// Failures cannot occur without a fault plan, and a fault plan
+    /// forces a one-cycle window, so the flag cannot go stale mid-window.
     pub pristine: bool,
     /// Whether packet-lifecycle tracing is on; when false the trace hooks
     /// reduce to one predictable branch per site.
@@ -248,8 +309,8 @@ pub(crate) struct CycleShared {
     pub profiler: *const PhaseProfiler,
 }
 
-// SAFETY: the raw pointers are only dereferenced during an active cycle
-// under the barrier discipline documented on the struct; between cycles
+// SAFETY: the raw pointers are only dereferenced during an active window
+// under the barrier discipline documented on the struct; between windows
 // the copies held by the worker gate are stale and never touched.
 unsafe impl Send for CycleShared {}
 unsafe impl Sync for CycleShared {}
@@ -291,6 +352,11 @@ impl CycleShared {
         &mut *self.routers.add(idx)
     }
 
+    unsafe fn endpoint(&self, idx: usize) -> &LocalEndpoint {
+        debug_assert!(idx < self.n_routers);
+        &*self.endpoints.add(idx)
+    }
+
     #[allow(clippy::mut_from_ref)]
     unsafe fn endpoint_mut(&self, idx: usize) -> &mut LocalEndpoint {
         debug_assert!(idx < self.n_routers);
@@ -308,13 +374,13 @@ impl CycleShared {
 /// thread).
 pub(crate) unsafe fn phase_local(
     sh: &CycleShared,
+    now: u64,
     nodes: impl Iterator<Item = usize>,
     delta: &mut ShardDelta,
 ) {
     let config = sh.config();
     let epochs = sh.epochs();
     let injector = sh.injector();
-    let now = sh.now;
     let cadence = u64::from(config.cycles_per_flit);
     // From header arrival to header forwarded is `routing_cycles ×
     // cycles_per_flit` (the paper's latency formula charges R_i flit
@@ -327,7 +393,7 @@ pub(crate) unsafe fn phase_local(
 
         // --- buffer high-water mark, sampled at the cycle boundary
         // (before any of this cycle's pushes or pops). A router skipped
-        // by the active-set kernel holds no flits, so the skip cannot
+        // by the active-set walk holds no flits, so the skip cannot
         // miss a peak and the counter stays kernel-identical. ---
         let deepest = router
             .inputs
@@ -377,7 +443,7 @@ pub(crate) unsafe fn phase_local(
                     debug_assert!(pushed);
                     endpoint.pop_inject();
                     endpoint.next_inject_ok = now + cadence;
-                    delta.record_events.push(RecordEvent::Injected(id));
+                    delta.record_events.push((now, RecordEvent::Injected(id)));
                     delta.local_ingress.push(here);
                     delta.flit_hops += 1;
                     if sh.trace_enabled {
@@ -545,16 +611,16 @@ pub(crate) unsafe fn phase_local(
 ///
 /// # Safety
 ///
-/// All shards must be between the local and apply-src sub-phases (no
-/// router is mutated anywhere while decide runs).
+/// All shards must be between the local and apply barriers of the same
+/// cycle (no router is mutated anywhere while decide runs).
 pub(crate) unsafe fn phase_decide(
     sh: &CycleShared,
+    now: u64,
     nodes: impl Iterator<Item = usize>,
     delta: &mut ShardDelta,
 ) {
     let config = sh.config();
     let injector = sh.injector();
-    let now = sh.now;
     for idx in nodes {
         let router = sh.router(idx);
         for (in_idx, input) in router.inputs.iter().enumerate() {
@@ -606,9 +672,9 @@ pub(crate) unsafe fn phase_decide(
                 delta.transfers.push((idx, in_idx, out));
             } else {
                 // A flit is ready but the downstream buffer is full: zero
-                // forward progress this cycle. The serial merge counts
-                // consecutive runs and flushes the worm once they exceed
-                // the deadlock-recovery timeout.
+                // forward progress this cycle. The apply sub-phase counts
+                // consecutive runs; the merge flushes the worm once they
+                // exceed the deadlock-recovery timeout.
                 delta.blocked_conns.push((idx, in_idx));
             }
         }
@@ -616,18 +682,48 @@ pub(crate) unsafe fn phase_decide(
 }
 
 /// Sub-phase 3: apply the decided transfers on their source routers —
-/// pop, corruption roll, local delivery or staging in the outbox.
+/// pop, corruption roll, then local delivery, a staged same-shard push
+/// or the foreign-shard outbox. Also folds the cycle's zero-progress
+/// bookkeeping into the routers' own counters and finally lands every
+/// staged same-shard flit (so all pops of the cycle precede all pushes,
+/// exactly like the sequential engine).
 ///
 /// # Safety
 ///
-/// Every `(router, input, output)` in `delta.transfers` must belong to
-/// routers this caller exclusively owns, and all shards must have passed
-/// the decide barrier (no one reads foreign buffers any more).
-pub(crate) unsafe fn phase_apply_src(sh: &CycleShared, delta: &mut ShardDelta) {
+/// Every router index in `delta.transfers`/`delta.blocked_conns` and
+/// every staged destination in `delta.inbox_local` must lie in `range`,
+/// the caller must exclusively own the routers in `range`, and all
+/// shards must have passed the decide barrier (no one reads foreign
+/// buffers any more this cycle).
+pub(crate) unsafe fn phase_apply_src(
+    sh: &CycleShared,
+    now: u64,
+    range: Range<usize>,
+    delta: &mut ShardDelta,
+) {
     let config = sh.config();
     let injector = sh.injector();
-    let now = sh.now;
     let cadence = u64::from(config.cycles_per_flit);
+
+    // Zero-progress bookkeeping lives on the input ports themselves, so
+    // it must fold in cycle by cycle (the reset below races it only in
+    // the trivial sense that a connection is either blocked or
+    // transferring in a given cycle, never both).
+    let mut blocked = std::mem::take(&mut delta.blocked_conns);
+    for &(idx, in_idx) in &blocked {
+        let input = &mut sh.router_mut(idx).inputs[in_idx];
+        input.blocked_cycles = input.blocked_cycles.saturating_add(1);
+        if sh.recovery_armed && input.blocked_cycles >= config.deadlock_timeout {
+            delta.stuck.push((idx, in_idx));
+        }
+    }
+    blocked.clear();
+    delta.blocked_conns = blocked;
+
+    // The previous cycle's outbox has been drained by every destination
+    // shard (two barriers ago); reclaim it for this cycle's staging.
+    delta.outbox.clear();
+
     let transfers = std::mem::take(&mut delta.transfers);
     for &(idx, in_idx, out) in &transfers {
         let router = sh.router_mut(idx);
@@ -690,7 +786,7 @@ pub(crate) unsafe fn phase_apply_src(sh: &CycleShared, delta: &mut ShardDelta) {
                 delta.flits_delivered += 1;
                 match sh.endpoint_mut(idx).receive(flit) {
                     RxEvent::HeaderArrived(id) => {
-                        delta.record_events.push(RecordEvent::Header(id));
+                        delta.record_events.push((now, RecordEvent::Header(id)));
                         if sh.trace_enabled {
                             delta.trace_apply.push((
                                 id,
@@ -705,7 +801,7 @@ pub(crate) unsafe fn phase_apply_src(sh: &CycleShared, delta: &mut ShardDelta) {
                         }
                     }
                     RxEvent::Completed(id) => {
-                        delta.record_events.push(RecordEvent::Delivered(id));
+                        delta.record_events.push((now, RecordEvent::Delivered(id)));
                         delta.packets_delivered += 1;
                         if sh.trace_enabled {
                             delta.trace_apply.push((
@@ -747,29 +843,57 @@ pub(crate) unsafe fn phase_apply_src(sh: &CycleShared, delta: &mut ShardDelta) {
                         },
                     ));
                 }
-                delta.outbox.push((next_idx, in_port.index(), flit));
+                if range.contains(&next_idx) {
+                    delta.inbox_local.push((next_idx, in_port.index(), flit));
+                } else {
+                    delta.outbox.push((next_idx, in_port.index(), flit));
+                }
             }
         }
     }
+    let mut transfers = transfers;
+    transfers.clear();
     delta.transfers = transfers;
+
+    // Land the same-shard flits: every pop above is done, so pushing now
+    // reproduces the sequential pops-then-pushes order exactly. The
+    // arrival also wakes the destination for the next cycle's walk —
+    // flags are only ever written by the shard owning the node.
+    let mut inbox = std::mem::take(&mut delta.inbox_local);
+    for &(dst_idx, in_idx, flit) in &inbox {
+        debug_assert!(range.contains(&dst_idx));
+        let pushed = sh.router_mut(dst_idx).inputs[in_idx].buffer.push(flit);
+        debug_assert!(pushed, "downstream buffer checked for space");
+        *sh.active.add(dst_idx) = true;
+    }
+    inbox.clear();
+    delta.inbox_local = inbox;
 }
 
-/// Sub-phase 4: drain every shard's outbox into the input buffers of the
-/// routers in `range`. Each downstream buffer is fed by exactly one
-/// upstream output, so at most one staged flit targets any buffer.
+/// Drains every *foreign* shard's outbox into the input buffers of the
+/// routers in `range`, waking each destination node. Runs at the start
+/// of a shard's cycle (and once after the window's last cycle), so a
+/// flit sent in cycle `c` is visible from cycle `c + 1` on — exactly
+/// when the sequential engine first lets it be observed. Each downstream
+/// buffer is fed by exactly one upstream output, so at most one staged
+/// flit targets any buffer per cycle.
 ///
 /// # Safety
 ///
-/// All shards must have passed the apply-src barrier (outboxes are
-/// complete and no shard holds a `&mut` to a whole delta any more); the
-/// caller must exclusively own the routers in `range` and be the only
-/// shard with index `shard`.
-pub(crate) unsafe fn phase_apply_dst(sh: &CycleShared, range: Range<usize>, shard: usize) {
-    // Field-granular raw projections: this shard's `woken` is written
-    // while other shards concurrently read this shard's `outbox` — two
-    // disjoint fields of the same delta, never referenced whole.
-    let woken = &mut *addr_of_mut!((*sh.deltas.add(shard)).woken);
+/// All shards must have passed the apply barrier of the previous cycle
+/// (outboxes are complete, and their owners will not clear them until
+/// two barriers from now); the caller must exclusively own the routers
+/// in `range` and be the only shard with index `shard`.
+pub(crate) unsafe fn drain_mailboxes(sh: &CycleShared, range: &Range<usize>, shard: usize) {
     for j in 0..sh.n_shards {
+        if j == shard {
+            // Own transfers were staged in `inbox_local`, never the
+            // outbox; skipping also keeps this loop free of references
+            // into the delta this shard holds `&mut`.
+            continue;
+        }
+        // Field-granular raw projection: only the foreign delta's
+        // `outbox` is ever referenced, never the delta as a whole.
         let outbox = &*addr_of!((*sh.deltas.add(j)).outbox);
         for &(dst_idx, in_idx, flit) in outbox {
             if !range.contains(&dst_idx) {
@@ -777,14 +901,14 @@ pub(crate) unsafe fn phase_apply_dst(sh: &CycleShared, range: Range<usize>, shar
             }
             let pushed = sh.router_mut(dst_idx).inputs[in_idx].buffer.push(flit);
             debug_assert!(pushed, "downstream buffer checked for space");
-            // The flit arrival wakes the downstream node for the next
-            // cycle's active-set walk.
-            woken.push(dst_idx);
+            *sh.active.add(dst_idx) = true;
         }
     }
 }
 
-/// One timed bucket of the kernel phase profiler.
+/// One timed bucket of the kernel phase profiler. `ApplyDst` now times
+/// the mailbox drains (the windowed engine's replacement for the old
+/// apply-dst sub-phase).
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum ProfiledPhase {
     Local,
@@ -822,9 +946,9 @@ impl PhaseProfiler {
         bucket.fetch_add(nanos, Ordering::Relaxed);
     }
 
-    /// Counts one profiled cycle (called once per `Noc::step`).
-    pub fn bump_cycles(&self) {
-        self.cycles.fetch_add(1, Ordering::Relaxed);
+    /// Counts `n` profiled cycles (one step, or one whole window).
+    pub fn bump_cycles(&self, n: u64) {
+        self.cycles.fetch_add(n, Ordering::Relaxed);
     }
 
     /// A consistent-enough snapshot (the simulation is quiescent whenever
@@ -873,13 +997,18 @@ impl std::fmt::Debug for Lap<'_> {
     }
 }
 
-/// Runs all four sub-phases for `shard`, synchronising on `barrier`
-/// between them. Every participating shard (including the caller) must
-/// call this exactly once per cycle with the same `sh`.
+/// Runs `sh.window` cycles of the fused three-barrier engine for
+/// `shard`: each cycle drains the shard's mailbox (from the second cycle
+/// on), walks the shard's active nodes through local → decide → apply,
+/// and retires nodes that went quiescent; a final drain after the last
+/// cycle lands the window's trailing cross-shard flits so the merged
+/// state matches the sequential engine's end-of-cycle state exactly.
+/// Every participating shard (including the caller) must call this
+/// exactly once per window with the same `sh`.
 ///
 /// # Safety
 ///
-/// `sh` must be a valid [`CycleShared`] for this cycle, `barrier` must
+/// `sh` must be a valid [`CycleShared`] for this window, `barrier` must
 /// have as many participants as `sh.n_shards`, and each shard index in
 /// `0..n_shards` must be claimed by exactly one concurrent caller.
 pub(crate) unsafe fn run_shard(sh: &CycleShared, shard: usize, barrier: &SpinBarrier) {
@@ -890,40 +1019,77 @@ pub(crate) unsafe fn run_shard(sh: &CycleShared, shard: usize, barrier: &SpinBar
         sh.n_shards,
         shard,
     );
+    debug_assert!(sh.window >= 1, "a window is at least one cycle");
     let mut lap = Lap::start(sh.profiler());
-    {
-        let delta = &mut *sh.deltas.add(shard);
-        phase_local(sh, range.clone(), delta);
+    let delta = &mut *sh.deltas.add(shard);
+    for step in 0..u64::from(sh.window) {
+        let now = sh.now + step;
+        if step > 0 {
+            // Cross-shard flits sent in the previous cycle land before
+            // anything of this cycle reads the buffers.
+            drain_mailboxes(sh, &range, shard);
+            lap.mark(ProfiledPhase::ApplyDst);
+        }
+        let mut walk = std::mem::take(&mut delta.walk);
+        walk.clear();
+        walk.extend(range.clone().filter(|&idx| *sh.active.add(idx)));
+        if !walk.is_empty() {
+            delta.last_busy = now;
+        }
+        phase_local(sh, now, walk.iter().copied(), delta);
         lap.mark(ProfiledPhase::Local);
         barrier.wait();
         lap.mark(ProfiledPhase::Barrier);
-        phase_decide(sh, range.clone(), delta);
+        phase_decide(sh, now, walk.iter().copied(), delta);
         lap.mark(ProfiledPhase::Decide);
         barrier.wait();
         lap.mark(ProfiledPhase::Barrier);
-        phase_apply_src(sh, delta);
+        phase_apply_src(sh, now, range.clone(), delta);
+        // Retire nodes that went quiescent this cycle, exactly like the
+        // sequential active-set kernel. A node retired here that a
+        // foreign shard just sent a flit to is re-woken by the next
+        // drain, before anyone observes the flags.
+        for &idx in &walk {
+            if sh.router(idx).is_idle() && sh.endpoint(idx).outgoing.is_empty() {
+                *sh.active.add(idx) = false;
+            }
+        }
         lap.mark(ProfiledPhase::ApplySrc);
+        delta.walk = walk;
+        barrier.wait();
+        lap.mark(ProfiledPhase::Barrier);
     }
-    barrier.wait();
-    lap.mark(ProfiledPhase::Barrier);
-    phase_apply_dst(sh, range, shard);
+    // Land the last cycle's cross-shard flits before the merge reads or
+    // snapshots any router state.
+    drain_mailboxes(sh, &range, shard);
     lap.mark(ProfiledPhase::ApplyDst);
     barrier.wait();
     lap.mark(ProfiledPhase::Barrier);
 }
 
 /// How long a waiter busy-spins on the barrier before yielding the CPU.
-/// Short enough that single-core hosts degrade to cooperative scheduling
-/// instead of burning a timeslice per sub-phase.
 const SPIN_BUDGET: u32 = 256;
 
-/// A sense-counting barrier that spins briefly and then yields. `wait`
-/// releases everyone once `total` participants have arrived.
+/// How many `yield_now` rounds follow the spin budget before the waiter
+/// parks on the barrier's condvar. Short enough that an oversubscribed
+/// or single-CPU host stops burning timeslices; long enough that a
+/// healthy rendezvous never pays a syscall.
+const YIELD_BUDGET: u32 = 64;
+
+/// A sense-counting barrier that spins briefly, yields briefly, and then
+/// blocks. `wait` releases everyone once `total` participants have
+/// arrived.
 #[derive(Debug)]
 pub(crate) struct SpinBarrier {
     arrived: AtomicUsize,
     generation: AtomicUsize,
     total: usize,
+    /// Waiters parked (or about to park) on the condvar; the releaser
+    /// only takes the lock when this is non-zero, so the fast path stays
+    /// lock-free.
+    sleepers: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
 }
 
 impl SpinBarrier {
@@ -932,6 +1098,9 @@ impl SpinBarrier {
             arrived: AtomicUsize::new(0),
             generation: AtomicUsize::new(0),
             total: total.max(1),
+            sleepers: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
         }
     }
 
@@ -942,19 +1111,44 @@ impl SpinBarrier {
         let gen = self.generation.load(Ordering::Acquire);
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
             self.arrived.store(0, Ordering::Release);
-            self.generation
-                .store(gen.wrapping_add(1), Ordering::Release);
+            // SeqCst orders this store against the sleeper-count load
+            // below and the sleeper's own (count-increment, generation
+            // re-check) pair: either we observe the sleeper and notify,
+            // or the sleeper's re-check under the lock observes the new
+            // generation and never blocks.
+            self.generation.store(gen.wrapping_add(1), Ordering::SeqCst);
+            if self.sleepers.load(Ordering::SeqCst) > 0 {
+                drop(self.lock.lock().expect("barrier lock poisoned"));
+                self.cv.notify_all();
+            }
         } else {
             let mut spins = 0u32;
             while self.generation.load(Ordering::Acquire) == gen {
                 if spins < SPIN_BUDGET {
-                    spins += 1;
                     std::hint::spin_loop();
-                } else {
+                } else if spins < SPIN_BUDGET + YIELD_BUDGET {
                     std::thread::yield_now();
+                } else {
+                    self.sleep(gen);
+                    return;
                 }
+                spins += 1;
             }
         }
+    }
+
+    /// Blocks until the generation moves past `gen`. Both budgets are
+    /// exhausted: the host is oversubscribed (or single-CPU), so a
+    /// syscall beats burning the timeslice the releaser needs.
+    #[cold]
+    fn sleep(&self, gen: usize) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.lock.lock().expect("barrier lock poisoned");
+        while self.generation.load(Ordering::SeqCst) == gen {
+            guard = self.cv.wait(guard).expect("barrier lock poisoned");
+        }
+        drop(guard);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -963,15 +1157,15 @@ impl SpinBarrier {
 enum Command {
     /// Nothing yet (initial state).
     Idle,
-    /// Run one cycle over the published shared view.
+    /// Run one window over the published shared view.
     Run(CycleShared),
     /// Exit the worker loop.
     Shutdown,
 }
 
-/// Blocks workers between cycles and publishes the next command. Workers
-/// park on a condvar, so an idle pool costs nothing — important both
-/// between cycles and across long idle fast-forward gaps.
+/// Blocks workers between windows and publishes the next command.
+/// Workers park on a condvar, so an idle pool costs nothing — important
+/// both between windows and across long idle fast-forward gaps.
 #[derive(Debug)]
 struct Gate {
     state: Mutex<(u64, Command)>,
@@ -1004,8 +1198,8 @@ impl Gate {
 
 /// The persistent worker pool of [`KernelMode::Parallel`]: `shards - 1`
 /// plain `std::thread` workers (the stepping thread itself runs shard 0)
-/// released cycle by cycle through the gate and synchronised by the
-/// sub-phase barrier. Dropping the pool shuts the workers down and joins
+/// released window by window through the gate and synchronised by the
+/// in-window barrier. Dropping the pool shuts the workers down and joins
 /// them.
 ///
 /// [`KernelMode::Parallel`]: crate::KernelMode::Parallel
@@ -1036,7 +1230,7 @@ impl WorkerPool {
                             match cmd {
                                 // SAFETY: the stepping thread published a
                                 // view valid until the final barrier of
-                                // this cycle, participates as shard 0 and
+                                // this window, participates as shard 0 and
                                 // assigned this worker a unique shard.
                                 Command::Run(sh) => unsafe { run_shard(&sh, shard, &barrier) },
                                 Command::Shutdown => return,
@@ -1060,15 +1254,16 @@ impl WorkerPool {
         self.shards
     }
 
-    /// Runs one cycle: releases the workers on shards `1..n`, runs shard
-    /// 0 on the calling thread, and returns once every shard has passed
-    /// the final barrier (all mutation quiesced; `sh` may be dropped).
+    /// Runs one window of `sh.window` cycles: releases the workers on
+    /// shards `1..n`, runs shard 0 on the calling thread, and returns
+    /// once every shard has passed the final barrier (all mutation
+    /// quiesced; `sh` may be dropped).
     ///
     /// # Safety
     ///
-    /// Same contract as [`run_shard`]: `sh` must be valid for this cycle
-    /// and `sh.n_shards` must equal this pool's shard count.
-    pub unsafe fn run_cycle(&self, sh: CycleShared) {
+    /// Same contract as [`run_shard`]: `sh` must be valid for this
+    /// window and `sh.n_shards` must equal this pool's shard count.
+    pub unsafe fn run_window(&self, sh: CycleShared) {
         debug_assert_eq!(sh.n_shards, self.shards);
         self.gate.release(Command::Run(sh));
         run_shard(&sh, 0, &self.barrier);
@@ -1138,6 +1333,23 @@ mod tests {
         assert_eq!(counter.load(Ordering::SeqCst), 4);
         for h in handles {
             h.join().expect("barrier thread");
+        }
+    }
+
+    #[test]
+    fn spin_barrier_parks_and_is_woken_after_the_yield_budget() {
+        // The waiter exhausts its spin and yield budgets long before the
+        // releaser arrives, so it must park on the condvar and still be
+        // released — on a loaded host this used to busy-yield forever.
+        let barrier = Arc::new(SpinBarrier::new(2));
+        for _ in 0..3 {
+            let waiter = {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || barrier.wait())
+            };
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            barrier.wait();
+            waiter.join().expect("parked waiter must be woken");
         }
     }
 

@@ -615,8 +615,16 @@ impl Noc {
         // With no node flagged active there can be no queued, buffered or
         // in-reassembly traffic anywhere (every flit lives in some active
         // node, and a truncated reassembly is aborted when its worm is
-        // flushed), so the scan can be skipped.
-        if self.config.kernel == KernelMode::Active && !self.active.iter().any(|&a| a) {
+        // flushed), so the scan can be skipped. The flags are a
+        // conservative superset of the busy set for both active-set
+        // kernels, so "all clear" proves idleness; a stale superset (e.g.
+        // after restoring a snapshot taken under the reference kernel)
+        // merely falls through to the full scan.
+        if matches!(
+            self.config.kernel,
+            KernelMode::Active | KernelMode::Parallel { .. }
+        ) && !self.active.iter().any(|&a| a)
+        {
             return true;
         }
         self.endpoints.iter().all(LocalEndpoint::is_idle)
@@ -681,49 +689,78 @@ impl Noc {
                 }
                 self.step_list = nodes;
             }
-            KernelMode::Parallel { threads } => self.step_parallel(now, threads),
+            KernelMode::Parallel { threads } => {
+                self.step_parallel_window(now, threads, 1);
+            }
         }
         if let Some(profiler) = self.profiler.as_deref() {
-            profiler.bump_cycles();
+            profiler.bump_cycles(1);
         }
         self.stats.cycles = self.cycle;
     }
 
-    /// Runs one cycle of the two-phase engine over `nodes` on the calling
-    /// thread — the sequential kernels are the one-shard special case of
-    /// the same engine the parallel kernel runs.
+    /// The number of cycles the parallel kernel may batch per barrier
+    /// round. Any path that feeds merge output back into the phases —
+    /// fault injection (health failures, scheduled stalls) or a non-empty
+    /// epoch list (route reconfiguration, armed deadlock recovery) —
+    /// collapses the window to one cycle so the feedback stays
+    /// cycle-exact; otherwise the configured `batch_window` applies
+    /// (0 = the engine default of 16).
+    fn window_size(&self) -> u32 {
+        if self.injector.is_some() || !self.epochs.is_empty() {
+            1
+        } else if self.config.batch_window == 0 {
+            16
+        } else {
+            self.config.batch_window
+        }
+    }
+
+    /// Runs one cycle of the fused engine over `nodes` on the calling
+    /// thread — the sequential kernels are the one-shard, one-cycle
+    /// special case of the same engine the parallel kernel runs.
     fn step_nodes(&mut self, now: u64, nodes: &[usize]) {
         self.ensure_shards(1);
         let n_routers = self.routers.len();
-        let shared = self.cycle_shared(now, 1);
+        let shared = self.cycle_shared(now, 1, 1);
         let mut lap = kernel::Lap::start(self.profiler.as_deref());
         // SAFETY: one thread, one shard — this call owns every router,
         // endpoint and delta for the whole cycle, and the sub-phases run
-        // in engine order.
+        // in engine order. With a single shard covering every router no
+        // transfer is cross-shard, so no mailbox drain is needed.
         unsafe {
             let delta = &mut *shared.deltas;
-            kernel::phase_local(&shared, nodes.iter().copied(), delta);
+            kernel::phase_local(&shared, now, nodes.iter().copied(), delta);
             lap.mark(kernel::ProfiledPhase::Local);
-            kernel::phase_decide(&shared, nodes.iter().copied(), delta);
+            kernel::phase_decide(&shared, now, nodes.iter().copied(), delta);
             lap.mark(kernel::ProfiledPhase::Decide);
-            kernel::phase_apply_src(&shared, delta);
+            kernel::phase_apply_src(&shared, now, 0..n_routers, delta);
             lap.mark(kernel::ProfiledPhase::ApplySrc);
-            kernel::phase_apply_dst(&shared, 0..n_routers, 0);
-            lap.mark(kernel::ProfiledPhase::ApplyDst);
         }
-        self.merge_cycle(now, Some(nodes));
+        self.merge_window(now, now, Some(nodes));
     }
 
-    /// Runs one cycle sharded row-wise over `threads` shards. The
-    /// stepping thread runs shard 0; shards `1..n` run on the persistent
-    /// worker pool, created lazily on the first parallel step.
-    fn step_parallel(&mut self, now: u64, threads: usize) {
+    /// Runs the `window` cycles starting at `base`, sharded row-wise over
+    /// `threads` shards. The stepping thread runs shard 0; shards `1..n`
+    /// run on the persistent worker pool, created lazily on the first
+    /// parallel step. Returns the last cycle in which any shard walked a
+    /// node (0 if none did), for the idle-tail rewind of
+    /// [`run_until_idle`](Self::run_until_idle).
+    fn step_parallel_window(&mut self, base: u64, threads: usize, window: u32) -> u64 {
+        // A scheduled control stall must wake its router even with
+        // nothing buffered, or the active-set walk skips the stall
+        // bookkeeping. Stalls require an installed plan, which also
+        // forces a one-cycle window.
+        if self.injector.is_some() {
+            debug_assert_eq!(window, 1, "an installed fault plan forces 1-cycle windows");
+            self.wake_scheduled_stalls(base);
+        }
         // More shards than rows would only add idle workers: every shard
         // owns whole mesh rows.
         let shards = threads.clamp(1, usize::from(self.config.height).max(1));
         self.ensure_shards(shards);
         if shards == 1 {
-            let shared = self.cycle_shared(now, 1);
+            let shared = self.cycle_shared(base, 1, window);
             let barrier = SpinBarrier::new(1);
             // SAFETY: a single shard on a single thread; same contract as
             // the sequential kernels.
@@ -735,15 +772,15 @@ impl Noc {
             // Move the pool out so no borrow of `self` is alive while the
             // workers mutate the mesh through the published raw view.
             let pool = self.pool.take().expect("pool created above");
-            let shared = self.cycle_shared(now, shards);
-            // SAFETY: `shared` stays valid until `run_cycle` returns (it
-            // blocks past the cycle's final barrier), the pool
+            let shared = self.cycle_shared(base, shards, window);
+            // SAFETY: `shared` stays valid until `run_window` returns (it
+            // blocks past the window's final barrier), the pool
             // synchronises exactly `shards` participants, and each claims
             // a unique shard index.
-            unsafe { pool.run_cycle(shared) };
+            unsafe { pool.run_window(shared) };
             self.pool = Some(pool);
         }
-        self.merge_cycle(now, None);
+        self.merge_window(base, base + u64::from(window) - 1, None)
     }
 
     /// Grows the per-shard delta pool to at least `n` entries.
@@ -753,12 +790,13 @@ impl Noc {
         }
     }
 
-    /// Publishes the raw per-cycle view the engine phases work through.
-    fn cycle_shared(&mut self, now: u64, n_shards: usize) -> CycleShared {
+    /// Publishes the raw per-window view the engine phases work through.
+    fn cycle_shared(&mut self, now: u64, n_shards: usize, window: u32) -> CycleShared {
         CycleShared {
             routers: self.routers.as_mut_ptr(),
             endpoints: self.endpoints.as_mut_ptr(),
             deltas: self.deltas.as_mut_ptr(),
+            active: self.active.as_mut_ptr(),
             n_routers: self.routers.len(),
             n_shards,
             config: &self.config,
@@ -769,6 +807,10 @@ impl Noc {
                 .as_ref()
                 .map_or(std::ptr::null(), |inj| inj as *const FaultInjector),
             now,
+            window,
+            recovery_armed: self.config.routing == Routing::FaultTolerantXy
+                && self.config.deadlock_timeout > 0
+                && !self.epochs.is_empty(),
             pristine: self.health.is_pristine(),
             trace_enabled: self.tracer.is_some(),
             profiler: self
@@ -778,13 +820,21 @@ impl Noc {
         }
     }
 
-    /// Serially merges every shard's deferred side effects into the
-    /// global observables — statistics counters, packet records, link
-    /// health and reconfiguration epochs — in shard order, which is
-    /// ascending router order, so the result is independent of how the
-    /// phases were scheduled. `nodes` limits the router-counter mirror
-    /// copy to the routers actually stepped (`None` copies all).
-    fn merge_cycle(&mut self, now: u64, nodes: Option<&[usize]>) {
+    /// Serially merges every shard's deferred side effects for the
+    /// window `start..=end` into the global observables — statistics
+    /// counters, packet records, link health and reconfiguration epochs —
+    /// in shard order, which is ascending router order, so the result is
+    /// independent of how the phases were scheduled. Cycle-tagged streams
+    /// (packet records, trace spans) are additionally interleaved in
+    /// cycle order, reproducing the per-cycle sequential merge exactly.
+    /// Merge-time feedback into the phases (health failures, epochs,
+    /// deadlock recovery) can only occur when the window is one cycle, so
+    /// applying it at `end` is always cycle-exact. `nodes` limits the
+    /// router-counter mirror copy to the routers actually stepped
+    /// (`None` copies all). Returns the last cycle in which any shard
+    /// walked a node (0 if none did).
+    fn merge_window(&mut self, start: u64, end: u64, nodes: Option<&[usize]>) -> u64 {
+        let now = end;
         // The statistics keep an exact mirror of the per-router hardware
         // counters; the phases update only the routers' own counters.
         match nodes {
@@ -827,34 +877,55 @@ impl Noc {
             }
         }
 
-        // Replay the cycle's trace stream: every local-phase span first
-        // (shard order is ascending router order), then every apply-phase
-        // span — exactly the order the one-shard sequential engine appends
-        // them in, so all kernels emit bit-identical traces.
+        // Replay the window's trace stream cycle by cycle: within each
+        // cycle every local-phase span first (shard order is ascending
+        // router order), then every apply-phase span — exactly the order
+        // the one-shard sequential engine appends them in, so all kernels
+        // emit bit-identical traces for every window size. Each delta's
+        // spans are already cycle-ascending, so one cursor per delta and
+        // stream suffices.
         if let Some(tracer) = self.tracer.as_mut() {
-            let local = deltas.iter().flat_map(|d| d.trace_local.iter());
-            let apply = deltas.iter().flat_map(|d| d.trace_apply.iter());
-            for &(id, event) in local.chain(apply) {
-                tracer.record(id, event);
-            }
-        }
-
-        // Zero-progress bookkeeping for the deadlock-recovery timeout.
-        let recovery_armed = self.config.routing == Routing::FaultTolerantXy
-            && self.config.deadlock_timeout > 0
-            && !self.epochs.is_empty();
-        let mut stuck: Vec<(usize, usize)> = Vec::new();
-        for delta in &deltas {
-            for &(idx, in_idx) in &delta.blocked_conns {
-                let input = &mut self.routers[idx].inputs[in_idx];
-                input.blocked_cycles = input.blocked_cycles.saturating_add(1);
-                if recovery_armed && input.blocked_cycles >= self.config.deadlock_timeout {
-                    stuck.push((idx, in_idx));
+            let mut local_pos = vec![0usize; deltas.len()];
+            let mut apply_pos = vec![0usize; deltas.len()];
+            for cycle in start..=end {
+                for (d, delta) in deltas.iter().enumerate() {
+                    let spans = &delta.trace_local;
+                    while let Some(&(id, event)) = spans.get(local_pos[d]) {
+                        if event.cycle != cycle {
+                            break;
+                        }
+                        tracer.record(id, event);
+                        local_pos[d] += 1;
+                    }
+                }
+                for (d, delta) in deltas.iter().enumerate() {
+                    let spans = &delta.trace_apply;
+                    while let Some(&(id, event)) = spans.get(apply_pos[d]) {
+                        if event.cycle != cycle {
+                            break;
+                        }
+                        tracer.record(id, event);
+                        apply_pos[d] += 1;
+                    }
                 }
             }
+            debug_assert!(deltas
+                .iter()
+                .enumerate()
+                .all(|(d, delta)| local_pos[d] == delta.trace_local.len()
+                    && apply_pos[d] == delta.trace_apply.len()));
         }
 
-        for delta in &mut deltas {
+        // Zero-progress runs that crossed the deadlock-recovery timeout
+        // this cycle (the per-cycle bookkeeping itself now lives in the
+        // apply sub-phase; recovery is armed only with a non-empty epoch
+        // list, which forces a one-cycle window).
+        let stuck: Vec<(usize, usize)> = deltas
+            .iter()
+            .flat_map(|d| d.stuck.iter().copied())
+            .collect();
+
+        for delta in &deltas {
             self.stats.flit_hops += delta.flit_hops;
             self.stats.flits_delivered += delta.flits_delivered;
             self.stats.packets_delivered += delta.packets_delivered;
@@ -873,35 +944,57 @@ impl Noc {
             for &link in &delta.link_flits {
                 *self.stats.link_flits.entry(link).or_insert(0) += 1;
             }
-            for &ev in &delta.record_events {
-                match ev {
-                    RecordEvent::Injected(id) => {
-                        if let Some(record) = self.stats.record_mut(id) {
-                            if record.injected.is_none() {
-                                record.injected = Some(now);
+        }
+
+        // Apply the window's record events cycle by cycle (each delta's
+        // events are cycle-ascending, so one cursor per delta suffices),
+        // stamping every event with its own cycle — bit-identical to a
+        // per-cycle merge, including the order latency observations reach
+        // the histogram.
+        let mut record_pos = vec![0usize; deltas.len()];
+        for cycle in start..=end {
+            for (d, delta) in deltas.iter().enumerate() {
+                let events = &delta.record_events;
+                while let Some(&(at, ev)) = events.get(record_pos[d]) {
+                    if at != cycle {
+                        break;
+                    }
+                    record_pos[d] += 1;
+                    match ev {
+                        RecordEvent::Injected(id) => {
+                            if let Some(record) = self.stats.record_mut(id) {
+                                if record.injected.is_none() {
+                                    record.injected = Some(at);
+                                }
                             }
                         }
-                    }
-                    RecordEvent::Header(id) => {
-                        if let Some(record) = self.stats.record_mut(id) {
-                            record.header_delivered = Some(now);
+                        RecordEvent::Header(id) => {
+                            if let Some(record) = self.stats.record_mut(id) {
+                                record.header_delivered = Some(at);
+                            }
                         }
-                    }
-                    RecordEvent::Delivered(id) => {
-                        let mut latency = None;
-                        if let Some(record) = self.stats.record_mut(id) {
-                            record.delivered = Some(now);
-                            latency = Some(now - record.sent);
-                        }
-                        if let Some(latency) = latency {
-                            self.stats.observe_latency(latency);
+                        RecordEvent::Delivered(id) => {
+                            let mut latency = None;
+                            if let Some(record) = self.stats.record_mut(id) {
+                                record.delivered = Some(at);
+                                latency = Some(at - record.sent);
+                            }
+                            if let Some(latency) = latency {
+                                self.stats.observe_latency(latency);
+                            }
                         }
                     }
                 }
             }
-            for &idx in &delta.woken {
-                self.active[idx] = true;
-            }
+        }
+        debug_assert!(deltas
+            .iter()
+            .enumerate()
+            .all(|(d, delta)| record_pos[d] == delta.record_events.len()));
+
+        let mut last_busy = 0u64;
+        for delta in &mut deltas {
+            last_busy = last_busy.max(delta.last_busy);
             delta.clear();
         }
         self.deltas = deltas;
@@ -971,6 +1064,8 @@ impl Noc {
             self.flush_dead_link(idx, out, now);
             self.stats.health.deadlock_recoveries += 1;
         }
+
+        last_busy
     }
 
     /// Escalates one diagnosed dead router to a node-level declaration:
@@ -1063,13 +1158,41 @@ impl Noc {
     }
 
     /// Runs for exactly `cycles` clock cycles.
+    ///
+    /// Under the parallel kernel the cycles are batched into windows of
+    /// [`NocConfig::batch_window`](crate::NocConfig) cycles per barrier
+    /// round (the final window is clamped so the run ends exactly at
+    /// `cycles`); the other kernels step cycle by cycle. Either way the
+    /// call returns at a fully merged cycle boundary with bit-identical
+    /// observables.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.step();
+        if let KernelMode::Parallel { threads } = self.config.kernel {
+            let mut remaining = cycles;
+            while remaining > 0 {
+                let w = u64::from(self.window_size()).min(remaining) as u32;
+                let base = self.cycle + 1;
+                self.cycle += u64::from(w);
+                remaining -= u64::from(w);
+                self.step_parallel_window(base, threads, w);
+                if let Some(profiler) = self.profiler.as_deref() {
+                    profiler.bump_cycles(u64::from(w));
+                }
+                self.stats.cycles = self.cycle;
+            }
+        } else {
+            for _ in 0..cycles {
+                self.step();
+            }
         }
     }
 
     /// Runs until the network is idle.
+    ///
+    /// Under the parallel kernel the drain proceeds in batched windows;
+    /// trailing cycles of a window in which every shard's walk was empty
+    /// mutate nothing, so the clock is rewound to the last busy cycle and
+    /// the count of cycles actually spent matches the sequential kernels
+    /// exactly.
     ///
     /// # Errors
     ///
@@ -1077,6 +1200,27 @@ impl Noc {
     /// cycles.
     pub fn run_until_idle(&mut self, budget: u64) -> Result<u64, NocError> {
         let start = self.cycle;
+        if let KernelMode::Parallel { threads } = self.config.kernel {
+            while !self.is_idle() {
+                let spent = self.cycle - start;
+                if spent >= budget {
+                    return Err(NocError::NotIdle { budget });
+                }
+                let w = u64::from(self.window_size()).min(budget - spent) as u32;
+                let base = self.cycle + 1;
+                let last_busy = self.step_parallel_window(base, threads, w);
+                // Not idle on entry ⇒ some walk was non-empty, so
+                // `last_busy >= base`; it equals the window end whenever
+                // traffic is still in flight.
+                debug_assert!(last_busy >= base);
+                self.cycle = last_busy;
+                if let Some(profiler) = self.profiler.as_deref() {
+                    profiler.bump_cycles(last_busy - base + 1);
+                }
+                self.stats.cycles = self.cycle;
+            }
+            return Ok(self.cycle - start);
+        }
         while !self.is_idle() {
             if self.cycle - start >= budget {
                 return Err(NocError::NotIdle { budget });
@@ -1153,6 +1297,14 @@ impl Noc {
     /// deliberately excluded: they carry no simulation state, and the
     /// profiler measures host time, which is not deterministic. Only the
     /// profiler's *enabled* flag is preserved.
+    ///
+    /// Because this method borrows the network, it can only run between
+    /// public stepping calls — and every such call (including a batched
+    /// [`run`](Self::run) under the parallel kernel, whose final window
+    /// is clamped to the requested cycle count) returns at a fully merged
+    /// cycle boundary. A mid-window state is unobservable here, so every
+    /// snapshot is exact and restoring it under any kernel or window
+    /// size resumes bit-identically.
     pub fn save_state(&self) -> Vec<u8> {
         let mut w = SnapshotWriter::new();
         self.snapshot_write(&mut w);

@@ -39,8 +39,10 @@ use crate::stats::LinkId;
 /// Magic bytes opening every snapshot container.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"MNSP";
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 added the configuration's
+/// `batch_window` field (the batched-window parallel engine); version-1
+/// containers predate it and are rejected rather than guessed at.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Payload kind: a bare [`Noc`](crate::Noc) network snapshot.
 pub const KIND_NOC: u8 = 1;

@@ -154,6 +154,40 @@ impl TrafficGen {
         let _ = noc.run_until_idle(drain_budget);
         Ok(())
     }
+
+    /// Like [`drive`](Self::drive), but submits `batch` cycles' worth of
+    /// traffic at each batch boundary and advances the network `batch`
+    /// cycles at a time — the driving style that lets the parallel
+    /// kernel amortise its barriers over multi-cycle windows. The
+    /// offered load is the same; only the backlog guard is sampled at
+    /// batch boundaries instead of every cycle, so the generated
+    /// schedule differs from per-cycle driving but — because every
+    /// boundary is a fully merged, kernel-invariant network state — is
+    /// identical across kernels and thread counts for a given `batch`.
+    ///
+    /// # Errors
+    ///
+    /// As [`drive`](Self::drive).
+    pub fn drive_batched(
+        &mut self,
+        noc: &mut Noc,
+        cycles: u64,
+        batch: u64,
+        drain_budget: u64,
+    ) -> Result<(), NocError> {
+        let batch = batch.max(1);
+        let mut remaining = cycles;
+        while remaining > 0 {
+            let b = batch.min(remaining);
+            for _ in 0..b {
+                self.pump(noc)?;
+            }
+            noc.run(b);
+            remaining -= b;
+        }
+        let _ = noc.run_until_idle(drain_budget);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

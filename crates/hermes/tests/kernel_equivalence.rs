@@ -6,9 +6,12 @@
 //! per-packet records and identical delivered packets — on healthy,
 //! faulted and degraded meshes.
 
+use std::fmt::Write as _;
+
 use hermes_noc::fault::{CycleWindow, FaultPlan};
 use hermes_noc::stats::NocStats;
 use hermes_noc::{KernelMode, Noc, NocConfig, Packet, Port, RouterAddr, Routing};
+use proptest::prelude::*;
 
 /// One scheduled submission: at `cycle`, send `packet` from `src`.
 struct Send {
@@ -145,6 +148,68 @@ fn assert_kernels_equivalent(
             }
         }
     }
+}
+
+/// Drives `noc` through the sends of `schedule` falling in cycles
+/// `[noc.cycle(), upto)` using batched `run` calls — the batched-window
+/// engine's native driving style — recording each send outcome into
+/// `fp`, and leaves the clock at exactly `upto`.
+fn drive_chunked(noc: &mut Noc, schedule: &[Send], upto: u64, fp: &mut String) {
+    for s in schedule {
+        if s.cycle < noc.cycle() || s.cycle >= upto {
+            continue;
+        }
+        noc.run(s.cycle - noc.cycle());
+        let outcome = noc.send(s.src, Packet::new(s.dest, s.payload.clone()));
+        write!(fp, "send@{}:{outcome:?};", s.cycle).expect("write to string");
+    }
+    noc.run(upto - noc.cycle());
+}
+
+/// Every observable after a drained run, folded into one comparable
+/// string: final cycle, statistics, per-packet records, the latency
+/// histogram, the diagnosed-dead sets and the full delivered stream.
+fn drained_fingerprint(noc: &mut Noc, fp: &mut String) {
+    noc.run_until_idle(100_000).expect("network drains");
+    write!(
+        fp,
+        "cycle:{} stats:{:?} records:{:?} hist:{:?} dead:{:?}/{:?}/{:?}",
+        noc.cycle(),
+        snapshot(noc.stats()),
+        noc.stats().records(),
+        noc.stats().latency_histogram(),
+        noc.dead_links(),
+        noc.dead_routers(),
+        noc.dead_endpoints(),
+    )
+    .expect("write to string");
+    let (w, h) = (noc.config().width, noc.config().height);
+    for y in 0..h {
+        for x in 0..w {
+            let at = RouterAddr::new(x, y);
+            while let Some((from, packet)) = noc.try_recv(at) {
+                write!(fp, " {from}->{at}:{:?}", packet.payload()).expect("write to string");
+            }
+        }
+    }
+}
+
+/// Builds a network, drives the whole schedule in batched chunks and
+/// returns the drained fingerprint.
+fn chunked_fingerprint(
+    config: NocConfig,
+    plan: Option<&FaultPlan>,
+    schedule: &[Send],
+    run_cycles: u64,
+) -> String {
+    let mut noc = Noc::new(config).expect("valid config");
+    if let Some(plan) = plan {
+        noc.set_fault_plan(plan.clone()).expect("valid fault plan");
+    }
+    let mut fp = String::new();
+    drive_chunked(&mut noc, schedule, run_cycles, &mut fp);
+    drained_fingerprint(&mut noc, &mut fp);
+    fp
 }
 
 /// A deterministic all-to-all-ish schedule over a `w`×`h` mesh.
@@ -311,4 +376,140 @@ fn long_run_stats_stay_within_the_configured_window() {
     let (from, packet) = noc.try_recv(dst).expect("delivered");
     assert_eq!(from, src, "true source survives record eviction");
     assert_eq!(packet.payload(), &[7]);
+}
+
+/// The four differential schedules — healthy, faulted, degraded and
+/// router-killed — as `(config, plan, sends, cycles)` tuples for the
+/// batched-window sweeps.
+fn sweep_schedules() -> Vec<(NocConfig, Option<FaultPlan>, Vec<Send>, u64)> {
+    let faulted = FaultPlan::new(1234)
+        .with_drop_rate(0.1)
+        .with_corrupt_rate(0.15)
+        .with_link_down(RouterAddr::new(1, 0), Port::East, CycleWindow::new(50, 400))
+        .with_router_stall(RouterAddr::new(2, 1), CycleWindow::new(100, 700));
+    let degraded = FaultPlan::new(99).with_link_down(
+        RouterAddr::new(1, 1),
+        Port::East,
+        CycleWindow::open_ended(0),
+    );
+    let node_down = FaultPlan::new(4242)
+        .with_router_down(RouterAddr::new(1, 1), 120)
+        .with_endpoint_down(RouterAddr::new(2, 0), 300);
+    let ft = NocConfig::mesh(3, 3).with_routing(Routing::FaultTolerantXy);
+    vec![
+        (NocConfig::mesh(4, 4), None, schedule(4, 4, 40, 9), 2_000),
+        (
+            NocConfig::mesh(3, 3),
+            Some(faulted),
+            schedule(3, 3, 60, 17),
+            2_000,
+        ),
+        (ft.clone(), Some(degraded), schedule(3, 3, 60, 23), 2_500),
+        (ft, Some(node_down), schedule(3, 3, 60, 19), 2_500),
+    ]
+}
+
+#[test]
+fn batched_windows_are_bit_identical_across_window_and_thread_sweeps() {
+    // Every window size × thread count must reproduce the per-cycle
+    // reference fingerprint exactly, on every schedule class. On the
+    // faulted schedules the engine collapses to one-cycle windows
+    // internally; the sweep proves that collapse — and the batched path
+    // on the healthy schedule — is observationally invisible.
+    for (config, plan, sends, cycles) in sweep_schedules() {
+        let baseline = chunked_fingerprint(config.clone(), plan.as_ref(), &sends, cycles);
+        for window in [1u32, 2, 5, 16] {
+            for kernel in [
+                KernelMode::Active,
+                KernelMode::Parallel { threads: 1 },
+                KernelMode::Parallel { threads: 2 },
+                KernelMode::Parallel { threads: 8 },
+            ] {
+                let fp = chunked_fingerprint(
+                    config
+                        .clone()
+                        .with_kernel_mode(kernel)
+                        .with_batch_window(window),
+                    plan.as_ref(),
+                    &sends,
+                    cycles,
+                );
+                assert_eq!(
+                    fp, baseline,
+                    "observables diverged under {kernel:?} with batch window {window}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn checkpoint_at_a_run_boundary_resumes_bit_identically() {
+    // `save_state` can only run between public calls, and every public
+    // call returns at a fully merged window boundary — even when the
+    // split lands mid-way through what a full window would have covered
+    // (1_003 is not a multiple of 16: the engine clamps the final window
+    // to end exactly there). The resumed halves must reproduce the
+    // uninterrupted fingerprint under the same kernel and under a
+    // different one.
+    let sends = schedule(4, 4, 40, 9);
+    let config = NocConfig::mesh(4, 4)
+        .with_kernel_mode(KernelMode::Parallel { threads: 2 })
+        .with_batch_window(16);
+    let total = 2_000;
+    let split = 1_003;
+    let uninterrupted = chunked_fingerprint(config.clone(), None, &sends, total);
+
+    let mut first = Noc::new(config).expect("valid config");
+    let mut fp = String::new();
+    drive_chunked(&mut first, &sends, split, &mut fp);
+    let bytes = first.save_state();
+
+    for kernel in [
+        KernelMode::Parallel { threads: 2 },
+        KernelMode::Reference,
+        KernelMode::Parallel { threads: 8 },
+    ] {
+        let mut resumed =
+            Noc::restore_state_with_kernel(&bytes, kernel).expect("snapshot restores");
+        let mut resumed_fp = fp.clone();
+        drive_chunked(&mut resumed, &sends, total, &mut resumed_fp);
+        drained_fingerprint(&mut resumed, &mut resumed_fp);
+        assert_eq!(
+            resumed_fp, uninterrupted,
+            "resume under {kernel:?} diverged from the uninterrupted run"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Mid-batch restore is *exact*: whatever cycle a `run` call splits
+    /// the workload at — including cycles that sit strictly inside the
+    /// window a longer run would have batched — the snapshot taken there
+    /// captures a fully merged state, and resuming from it is
+    /// bit-identical to never having stopped.
+    #[test]
+    fn restore_at_any_run_split_is_bit_exact(
+        split in 0u64..1_200,
+        threads in 1usize..5,
+        window in 1u32..24,
+    ) {
+        let sends = schedule(4, 4, 30, 13);
+        let config = NocConfig::mesh(4, 4)
+            .with_kernel_mode(KernelMode::Parallel { threads })
+            .with_batch_window(window);
+        let total = 1_200;
+        let uninterrupted = chunked_fingerprint(config.clone(), None, &sends, total);
+
+        let mut first = Noc::new(config).expect("valid config");
+        let mut fp = String::new();
+        drive_chunked(&mut first, &sends, split, &mut fp);
+        let bytes = first.save_state();
+        let mut resumed = Noc::restore_state(&bytes).expect("snapshot restores");
+        drive_chunked(&mut resumed, &sends, total, &mut fp);
+        drained_fingerprint(&mut resumed, &mut fp);
+        prop_assert_eq!(fp, uninterrupted);
+    }
 }

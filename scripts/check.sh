@@ -19,9 +19,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 echo "=== cargo test ==="
 # Includes the differential kernel suites: hermes/tests/kernel_equivalence.rs
 # (reference full scan vs active set vs parallel shards at 1/2/8 threads,
-# cycle-identical), multinoc/tests/kernel_invariance.rs (thread-count
-# invariance at system level) and multinoc/tests/fast_forward_equivalence.rs
-# (idle fast-forward vs single-stepping).
+# cycle-identical, plus the batch-window sweep — every window size in
+# {1,2,5,16} × every thread count bit-identical on healthy, faulted,
+# degraded and router-killed schedules, with checkpoint/restore at
+# arbitrary run split points), multinoc/tests/kernel_invariance.rs
+# (thread-count and batch-window invariance at system level) and
+# multinoc/tests/fast_forward_equivalence.rs (idle fast-forward vs
+# single-stepping).
 cargo test -q --offline --workspace
 
 echo "=== fault-injection smoke checks (fixed seed) ==="
@@ -30,9 +34,12 @@ cargo run --release -q --offline -p multinoc-bench --bin exp_degradation > /dev/
 echo "exp_fault_sweep and exp_degradation deterministic and green"
 
 echo "=== kernel-performance smoke check (differential, fixed seed) ==="
-# Also sweeps the parallel kernel over 1/2/4/8 worker threads (so the
-# 4-thread differential always runs, even on a single-core runner) and
+# Sweeps the parallel kernel over powers-of-two thread counts clamped to
+# the host's parallelism (plus one flagged oversubscribed point) and
 # asserts bit-identical simulated outcomes before any rate is recorded.
+# On hosts with at least 2 CPUs it additionally asserts the saturated
+# 32x32 batched-window run at threads=2 is not slower than threads=1
+# (EXP_PERF_NO_SPEEDUP_CHECK=1 disables that gate on pathological hosts).
 EXP_PERF_SMOKE=1 cargo run --release -q --offline -p multinoc-bench --bin exp_perf > /dev/null
 echo "exp_perf kernels (sequential and parallel) agree on all workloads"
 
