@@ -21,7 +21,9 @@
 
 use std::fmt::Write as _;
 
-use hermes_noc::{CycleWindow, FaultPlan, NocConfig, Port, RouteTable, RouterAddr, Routing};
+use hermes_noc::{
+    CycleWindow, FaultPlan, NocConfig, Port, RouteTable, RouterAddr, Routing, Topology,
+};
 use multinoc::{host::Host, NodeId, System, SystemError};
 
 /// Seed shared by every configuration of the sweep.
@@ -74,7 +76,13 @@ fn edges(n: u8) -> Vec<(RouterAddr, Port)> {
 /// Whether killing `dead` still leaves every router pair connected.
 fn connected(n: u8, dead: &[(RouterAddr, Port)]) -> bool {
     let dead: std::collections::BTreeSet<_> = dead.iter().copied().collect();
-    let table = RouteTable::build(n, n, &dead);
+    let table = RouteTable::build(
+        &Topology::Mesh {
+            width: n,
+            height: n,
+        },
+        &dead,
+    );
     for a in 0..n * n {
         for b in 0..n * n {
             let src = RouterAddr::new(a % n, a / n);

@@ -32,7 +32,9 @@ use std::time::Instant;
 
 use hermes_noc::fault::{CycleWindow, FaultPlan};
 use hermes_noc::traffic::{Pattern, TrafficGen};
-use hermes_noc::{KernelMode, Noc, NocConfig, Packet, Port, RouterAddr, Routing};
+use hermes_noc::{
+    D2dChannel, KernelMode, Noc, NocConfig, Packet, Port, RouterAddr, Routing, Topology,
+};
 use multinoc::serial::SerialConfig;
 use multinoc::{NodeId, System};
 use multinoc_bench::json::{parse, validate_trace_event_json, Json};
@@ -105,6 +107,22 @@ fn workloads(scale: u64) -> Vec<Workload> {
             spacing: 23,
             cycles: 2_000 * scale,
         },
+        Workload {
+            name: "torus",
+            config: NocConfig::torus(4, 4),
+            plan: None,
+            packets: 40 * scale as usize,
+            spacing: 11,
+            cycles: 2_000 * scale,
+        },
+        Workload {
+            name: "chiplet",
+            config: NocConfig::chiplet(2, 2, D2dChannel::OffChipSerial),
+            plan: None,
+            packets: 40 * scale as usize,
+            spacing: 11,
+            cycles: 2_000 * scale,
+        },
     ]
 }
 
@@ -116,14 +134,14 @@ fn run_traced(w: &Workload, kernel: KernelMode) -> (String, String, String) {
     if let Some(plan) = &w.plan {
         noc.set_fault_plan(plan.clone()).expect("valid fault plan");
     }
-    let nodes = u64::from(w.config.width) * u64::from(w.config.height);
+    let nodes = u64::from(w.config.width()) * u64::from(w.config.height());
     let mut next = 0u64;
     for cycle in 0..w.cycles {
         while next < w.packets as u64 && next * w.spacing == cycle {
             let s = next % nodes;
             let d = (next * 7 + 3) % nodes;
-            let src = addr_of(s, w.config.width);
-            let dst = addr_of(d, w.config.width);
+            let src = addr_of(s, w.config.width());
+            let dst = addr_of(d, w.config.width());
             let _ = noc.send(src, Packet::new(dst, vec![(next % 200) as u16; 3]));
             next += 1;
         }
@@ -164,8 +182,14 @@ fn overhead_run(traced: bool, cycles: u64) -> ((u64, u64, u64, u64), f64) {
 
 /// Pulls every `hermes_link_utilization` sample out of the registry's
 /// JSON exposition — the heatmap deliberately consumes the exported
-/// artifact, not the simulator's internals.
-fn link_utilization_from_json(metrics_json: &str) -> Vec<(RouterAddr, String, f64)> {
+/// artifact, not the simulator's internals. Labels are decoded through
+/// `Topology::parse_link_label`, so the one code path handles the mesh
+/// `"xy:Port"` form, the torus `":wrap"` suffix and the hierarchical
+/// chiplet `"c<cx><cy>.<lx><ly>:Port[:d2d]"` form alike.
+fn link_utilization_from_json(
+    metrics_json: &str,
+    topology: &Topology,
+) -> Vec<(RouterAddr, Port, f64)> {
     let doc = parse(metrics_json).expect("registry JSON parses");
     let families = doc
         .get("metrics")
@@ -177,18 +201,16 @@ fn link_utilization_from_json(metrics_json: &str) -> Vec<(RouterAddr, String, f6
             continue;
         }
         for sample in family.get("samples").and_then(Json::as_arr).unwrap_or(&[]) {
-            let link = sample
+            let label = sample
                 .get("labels")
                 .and_then(|l| l.get("link"))
                 .and_then(Json::as_str)
                 .expect("a link label");
             let value = sample.get("value").and_then(Json::as_num).expect("a value");
-            // The label is "xy:Port" with single-digit mesh coordinates.
-            let mut chars = link.chars();
-            let x = chars.next().and_then(|c| c.to_digit(10)).expect("x digit") as u8;
-            let y = chars.next().and_then(|c| c.to_digit(10)).expect("y digit") as u8;
-            let port = link.split(':').nth(1).expect("port name").to_string();
-            out.push((RouterAddr::new(x, y), port, value));
+            let (addr, port) = topology
+                .parse_link_label(label)
+                .unwrap_or_else(|| panic!("exported label {label} names no {topology} link"));
+            out.push((addr, port, value));
         }
     }
     out
@@ -259,7 +281,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "kernels",
         "verdict"
     );
-    let mut degraded_metrics_json = String::new();
+    let mut metrics_by_name: std::collections::BTreeMap<&'static str, (Topology, String)> =
+        std::collections::BTreeMap::new();
     for w in workloads(scale) {
         let reference = run_traced(&w, KERNELS[0]);
         for &kernel in &KERNELS[1..] {
@@ -290,9 +313,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             KERNELS.len(),
             "identical"
         );
-        if w.name == "degraded" {
-            degraded_metrics_json = reference.2;
-        }
+        metrics_by_name.insert(w.name, (w.config.topology, reference.2));
     }
 
     // 2. Instrumentation overhead: same simulated outcome, reported (not
@@ -316,7 +337,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Per-link utilization heatmap, consumed from the registry JSON.
-    let mut links = link_utilization_from_json(&degraded_metrics_json);
+    let (degraded_topology, degraded_metrics_json) = metrics_by_name
+        .get("degraded")
+        .expect("degraded workload ran");
+    let mut links = link_utilization_from_json(degraded_metrics_json, degraded_topology);
     links.sort_by(|a, b| b.2.total_cmp(&a.2));
     println!("\nlink-utilization heatmap (degraded 3x3, busiest outgoing");
     println!("mesh link per router, % of capacity; X marks the dead link):");
@@ -330,7 +354,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let here = RouterAddr::new(x, y);
             let peak = links
                 .iter()
-                .filter(|(a, p, _)| *a == here && p != "Local")
+                .filter(|(a, p, _)| *a == here && *p != Port::Local)
                 .map(|(_, _, u)| *u)
                 .fold(0.0f64, f64::max);
             let marker = if x == 1 && y == 1 { "X" } else { " " };
@@ -338,7 +362,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("{row}");
     }
-    std::fs::write("HEATMAP_utilization.txt", &dump)?;
     let hottest = links.first().expect("at least one link");
     println!(
         "  hottest link {}:{} at {:.1}% — traffic detours around the dead",
@@ -347,6 +370,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hottest.2 * 100.0
     );
     println!("  (1,1)->East link, exactly what the fault-tolerant router promises");
+
+    // 3b. Topology-labelled heatmaps: the same exporter path decodes
+    // the torus ":wrap" and hierarchical chiplet ":d2d" names, and the
+    // dump echoes the labels verbatim so downstream tooling sees them.
+    for name in ["torus", "chiplet"] {
+        let (topology, metrics_json) = metrics_by_name.get(name).expect("workload ran");
+        let mut links = link_utilization_from_json(metrics_json, topology);
+        links.sort_by(|a, b| b.2.total_cmp(&a.2));
+        let _ = writeln!(dump, "\nlink utilization ({topology})");
+        for (addr, port, util) in &links {
+            let _ = writeln!(dump, "{} {util:.4}", topology.link_label((*addr, *port)));
+        }
+        let special =
+            |a: RouterAddr, p: Port| topology.is_wraparound(a, p) || topology.is_off_chip(a, p);
+        let hottest_special = links
+            .iter()
+            .find(|(a, p, _)| special(*a, *p))
+            .expect("uniform traffic crosses wrap/off-chip links");
+        println!(
+            "  {name}: hottest {} link {} at {:.1}% of capacity",
+            if topology.is_off_chip(hottest_special.0, hottest_special.1) {
+                "off-chip"
+            } else {
+                "wraparound"
+            },
+            topology.link_label((hottest_special.0, hottest_special.1)),
+            hottest_special.2 * 100.0
+        );
+    }
+    std::fs::write("HEATMAP_utilization.txt", &dump)?;
 
     // 4. Combined system export, again identical across kernels.
     let reference = system_run(KernelMode::Active);

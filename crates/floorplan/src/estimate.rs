@@ -21,6 +21,8 @@
 //! rounds to 98%) and 4 × 445 + 2 × 850 + 90 + 90 = 3660 LUTs (77.8%,
 //! reported as 78%), matching §3.
 
+use hermes_noc::{Port, RouterAddr, Topology};
+
 use crate::device::Device;
 
 /// What a block is, deciding its placement affinities (the rationale list
@@ -120,45 +122,62 @@ pub struct Net {
     pub weight: u32,
 }
 
+/// Router components and link nets for an arbitrary NoC topology: the
+/// adjacency comes from [`Topology::neighbour`] instead of hand-coded
+/// index pairs, so a torus or a chiplet grid floorplans through the
+/// same code as the paper's mesh. Components are x-major (`router00`,
+/// `router01`, `router10`, ...; index `x · height + y`); nets list
+/// every East-facing channel first, then every North-facing one —
+/// torus wraparound and chiplet-boundary links included.
+pub fn noc_netlist(topology: &Topology, weight: u32) -> (Vec<Component>, Vec<Net>) {
+    let index = |addr: RouterAddr| {
+        usize::from(addr.x()) * usize::from(topology.height()) + usize::from(addr.y())
+    };
+    let mut components = Vec::with_capacity(topology.router_count());
+    for x in 0..topology.width() {
+        for y in 0..topology.height() {
+            components.push(Component::router(format!("router{x}{y}")));
+        }
+    }
+    let mut nets = Vec::new();
+    for port in [Port::East, Port::North] {
+        for x in 0..topology.width() {
+            for y in 0..topology.height() {
+                let addr = RouterAddr::new(x, y);
+                if let Some(peer) = topology.neighbour(addr, port) {
+                    nets.push(Net {
+                        a: index(addr),
+                        b: index(peer),
+                        weight,
+                    });
+                }
+            }
+        }
+    }
+    (components, nets)
+}
+
 /// The MultiNoC system as a placeable netlist: components in a fixed
 /// order (4 routers, serial, 2 processors, memory) and the nets of
 /// Fig. 1 — the 2×2 mesh links plus each IP's local port.
 pub fn multinoc_components() -> (Vec<Component>, Vec<Net>) {
-    let components = vec![
-        Component::router("router00"),
-        Component::router("router01"),
-        Component::router("router10"),
-        Component::router("router11"),
+    let mesh = 20; // 2 x (8-bit data + 2 handshake) signals, roughly
+    let local = 20;
+    let (mut components, mut nets) = noc_netlist(
+        &Topology::Mesh {
+            width: 2,
+            height: 2,
+        },
+        mesh,
+    );
+    // Router indices: 00=0, 01=1, 10=2, 11=3.
+    components.extend([
         Component::serial("serial"),
         Component::processor("processor1"),
         Component::processor("processor2"),
         Component::memory("memory"),
-    ];
-    // Router indices: 00=0, 01=1, 10=2, 11=3.
-    // Mesh links (x-dimension pairs, then y-dimension pairs).
-    let mesh = 20; // 2 x (8-bit data + 2 handshake) signals, roughly
-    let local = 20;
-    let nets = vec![
-        Net {
-            a: 0,
-            b: 2,
-            weight: mesh,
-        }, // 00 - 10
-        Net {
-            a: 1,
-            b: 3,
-            weight: mesh,
-        }, // 01 - 11
-        Net {
-            a: 0,
-            b: 1,
-            weight: mesh,
-        }, // 00 - 01
-        Net {
-            a: 2,
-            b: 3,
-            weight: mesh,
-        }, // 10 - 11
+    ]);
+    nets.extend([
         Net {
             a: 0,
             b: 4,
@@ -179,7 +198,7 @@ pub fn multinoc_components() -> (Vec<Component>, Vec<Net>) {
             b: 7,
             weight: local,
         }, // memory at 11
-    ];
+    ]);
     (components, nets)
 }
 
@@ -286,6 +305,69 @@ mod tests {
         for net in &nets {
             assert!(net.a < components.len() && net.b < components.len());
             assert_ne!(net.a, net.b);
+        }
+    }
+
+    #[test]
+    fn derived_netlist_matches_the_hand_coded_paper_form() {
+        // The Fig. 1 netlist used to be spelled out index pair by index
+        // pair; deriving it from the topology must reproduce it exactly
+        // — names, order and adjacency.
+        let (components, nets) = multinoc_components();
+        let names: Vec<&str> = components.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "router00",
+                "router01",
+                "router10",
+                "router11",
+                "serial",
+                "processor1",
+                "processor2",
+                "memory"
+            ]
+        );
+        let pairs: Vec<(usize, usize)> = nets.iter().map(|n| (n.a, n.b)).collect();
+        assert_eq!(
+            pairs,
+            [
+                (0, 2),
+                (1, 3),
+                (0, 1),
+                (2, 3),
+                (0, 4),
+                (1, 5),
+                (2, 6),
+                (3, 7)
+            ]
+        );
+    }
+
+    #[test]
+    fn netlist_generalizes_beyond_the_mesh() {
+        // A torus has wraparound channels the mesh lacks; a chiplet grid
+        // floorplans its full router count through the same derivation.
+        let torus = Topology::Torus {
+            width: 3,
+            height: 3,
+        };
+        let (components, nets) = noc_netlist(&torus, 20);
+        assert_eq!(components.len(), 9);
+        // Every router has an East and a North channel on a torus.
+        assert_eq!(nets.len(), 18);
+        let chiplet = Topology::ChipletMesh {
+            k_chip: 2,
+            k_node: 2,
+            d2d: hermes_noc::D2dChannel::OffChipParallel,
+        };
+        let (components, nets) = noc_netlist(&chiplet, 20);
+        assert_eq!(components.len(), 16);
+        // Same channel count as the 4x4 mesh: the boundary crossings are
+        // off-chip but they are still floorplanned nets.
+        assert_eq!(nets.len(), 24);
+        for net in nets {
+            assert!(net.a < components.len() && net.b < components.len());
         }
     }
 

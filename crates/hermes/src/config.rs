@@ -3,6 +3,7 @@
 use crate::arbiter::Arbitration;
 use crate::error::ConfigError;
 use crate::routing::Routing;
+use crate::topology::{D2dChannel, Topology};
 
 /// Which stepping kernel [`Noc::step`](crate::Noc::step) uses. All
 /// kernels are cycle-for-cycle identical in every observable outcome
@@ -72,10 +73,9 @@ impl KernelMode {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NocConfig {
-    /// Mesh columns (X dimension).
-    pub width: u8,
-    /// Mesh rows (Y dimension).
-    pub height: u8,
+    /// Shape of the router network: the paper's flat mesh, a wraparound
+    /// torus, or a chiplet mesh-of-meshes with off-chip d2d channels.
+    pub topology: Topology,
     /// Flit width in bits; even, in `4..=16`. The paper uses 8.
     pub flit_bits: u8,
     /// Input buffer depth in flits; the paper uses 2 to fit the FPGA.
@@ -137,9 +137,37 @@ pub struct NocConfig {
 impl NocConfig {
     /// Paper-default configuration for a `width`×`height` mesh.
     pub fn mesh(width: u8, height: u8) -> Self {
+        Self::with_topology(Topology::Mesh { width, height })
+    }
+
+    /// Paper-default configuration for a `width`×`height` torus (both
+    /// dimensions must be at least 3 to validate).
+    pub fn torus(width: u8, height: u8) -> Self {
+        Self::with_topology(Topology::Torus { width, height })
+    }
+
+    /// Paper-default configuration for a `k_chip`×`k_chip` package of
+    /// `k_node`×`k_node` chiplets joined by `d2d` off-chip channels. The
+    /// flit width is sized up automatically so the global grid stays
+    /// addressable.
+    pub fn chiplet(k_chip: u8, k_node: u8, d2d: D2dChannel) -> Self {
+        let config = Self::with_topology(Topology::ChipletMesh {
+            k_chip,
+            k_node,
+            d2d,
+        });
+        let side = u16::from(k_chip) * u16::from(k_node);
+        let mut bits = config.flit_bits;
+        while bits < 16 && side > (1u16 << (bits / 2)) {
+            bits += 2;
+        }
+        config.with_flit_bits(bits)
+    }
+
+    /// Paper-default configuration over an explicit [`Topology`].
+    pub fn with_topology(topology: Topology) -> Self {
         Self {
-            width,
-            height,
+            topology,
             flit_bits: 8,
             buffer_depth: 2,
             routing_cycles: 7,
@@ -226,9 +254,19 @@ impl NocConfig {
         self
     }
 
-    /// Number of routers in the mesh.
+    /// Global grid columns (X dimension) of the topology.
+    pub fn width(&self) -> u8 {
+        self.topology.width()
+    }
+
+    /// Global grid rows (Y dimension) of the topology.
+    pub fn height(&self) -> u8 {
+        self.topology.height()
+    }
+
+    /// Number of routers in the network.
     pub fn router_count(&self) -> usize {
-        usize::from(self.width) * usize::from(self.height)
+        self.topology.router_count()
     }
 
     /// Bit mask selecting the valid bits of a flit.
@@ -255,7 +293,23 @@ impl NocConfig {
     ///
     /// Returns a [`ConfigError`] describing the first violated constraint.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.width == 0 || self.height == 0 {
+        let (width, height) = match self.topology {
+            Topology::Mesh { width, height } => (u16::from(width), u16::from(height)),
+            Topology::Torus { width, height } => {
+                if width != 0 && height != 0 && (width < 3 || height < 3) {
+                    return Err(ConfigError::TorusTooSmall { width, height });
+                }
+                (u16::from(width), u16::from(height))
+            }
+            Topology::ChipletMesh { k_chip, k_node, .. } => {
+                let side = u16::from(k_chip) * u16::from(k_node);
+                if side > u16::from(u8::MAX) {
+                    return Err(ConfigError::ChipletTooLarge { k_chip, k_node });
+                }
+                (side, side)
+            }
+        };
+        if width == 0 || height == 0 {
             return Err(ConfigError::EmptyMesh);
         }
         if !(4..=16).contains(&self.flit_bits) || !self.flit_bits.is_multiple_of(2) {
@@ -263,10 +317,10 @@ impl NocConfig {
         }
         let half = self.flit_bits / 2;
         let max_dim = 1u16 << half;
-        if u16::from(self.width) > max_dim || u16::from(self.height) > max_dim {
+        if width > max_dim || height > max_dim {
             return Err(ConfigError::MeshTooLarge {
-                width: self.width,
-                height: self.height,
+                width: width.min(255) as u8,
+                height: height.min(255) as u8,
                 flit_bits: self.flit_bits,
             });
         }
@@ -289,9 +343,11 @@ impl NocConfig {
     }
 
     /// Serializes every configuration field for embedding in a snapshot.
+    /// The topology (tag + per-variant parameters) leads the stream;
+    /// version-2 snapshots predate it and open with the two mesh
+    /// dimensions instead (see [`snapshot_read`](Self::snapshot_read)).
     pub(crate) fn snapshot_write(&self, w: &mut crate::snapshot::SnapshotWriter) {
-        w.put_u8(self.width);
-        w.put_u8(self.height);
+        self.topology.snapshot_write(w);
         w.put_u8(self.flit_bits);
         w.put_usize(self.buffer_depth);
         w.put_u32(self.routing_cycles);
@@ -321,13 +377,24 @@ impl NocConfig {
 
     /// Decodes a configuration previously written by
     /// [`snapshot_write`](Self::snapshot_write). The caller still runs
-    /// [`validate`](Self::validate) afterwards.
+    /// [`validate`](Self::validate) afterwards. `version` is the
+    /// container format version: version-2 payloads predate the topology
+    /// abstraction and open with bare `width, height` bytes, which decode
+    /// as [`Topology::Mesh`] (the only shape that existed then); current
+    /// payloads open with a topology tag.
     pub(crate) fn snapshot_read(
         r: &mut crate::snapshot::SnapshotReader<'_>,
+        version: u32,
     ) -> Result<Self, crate::snapshot::SnapshotError> {
         use crate::snapshot::SnapshotError;
-        let width = r.take_u8()?;
-        let height = r.take_u8()?;
+        let topology = if version <= 2 {
+            Topology::Mesh {
+                width: r.take_u8()?,
+                height: r.take_u8()?,
+            }
+        } else {
+            Topology::snapshot_read(r)?
+        };
         let flit_bits = r.take_u8()?;
         let buffer_depth = r.take_usize()?;
         let routing_cycles = r.take_u32()?;
@@ -356,8 +423,7 @@ impl NocConfig {
         let deadlock_timeout = r.take_u32()?;
         let batch_window = r.take_u32()?;
         Ok(Self {
-            width,
-            height,
+            topology,
             flit_bits,
             buffer_depth,
             routing_cycles,
@@ -396,7 +462,14 @@ mod tests {
     #[test]
     fn defaults_match_paper() {
         let c = NocConfig::default();
-        assert_eq!((c.width, c.height), (2, 2));
+        assert_eq!(
+            c.topology,
+            Topology::Mesh {
+                width: 2,
+                height: 2
+            }
+        );
+        assert_eq!((c.width(), c.height()), (2, 2));
         assert_eq!(c.flit_bits, 8);
         assert_eq!(c.buffer_depth, 2);
         assert_eq!(c.routing_cycles, 7);
@@ -453,6 +526,43 @@ mod tests {
         );
         assert!(NocConfig::mesh(2, 2)
             .with_kernel_mode(KernelMode::Parallel { threads: 4 })
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validation_covers_torus_and_chiplet_shapes() {
+        assert_eq!(
+            NocConfig::torus(2, 4).validate(),
+            Err(ConfigError::TorusTooSmall {
+                width: 2,
+                height: 4
+            })
+        );
+        assert_eq!(
+            NocConfig::torus(0, 4).validate(),
+            Err(ConfigError::EmptyMesh)
+        );
+        assert!(NocConfig::torus(3, 3).validate().is_ok());
+        assert!(NocConfig::torus(4, 4).validate().is_ok());
+        assert_eq!(
+            NocConfig::chiplet(16, 16, D2dChannel::OffChipSerial).validate(),
+            Err(ConfigError::ChipletTooLarge {
+                k_chip: 16,
+                k_node: 16
+            })
+        );
+        assert_eq!(
+            NocConfig::chiplet(0, 4, D2dChannel::OffChipSerial).validate(),
+            Err(ConfigError::EmptyMesh)
+        );
+        // chiplet() sizes the flit width so the global grid is addressable:
+        // 4 chips × 8 routers = a 32-wide grid needs 10-bit flits.
+        let big = NocConfig::chiplet(4, 8, D2dChannel::OffChipParallel);
+        assert_eq!(big.flit_bits, 10);
+        assert_eq!(big.router_count(), 1024);
+        assert!(big.validate().is_ok());
+        assert!(NocConfig::chiplet(2, 2, D2dChannel::OffChipSerial)
             .validate()
             .is_ok());
     }

@@ -32,6 +32,22 @@ pub enum ConfigError {
     ZeroStatsWindow,
     /// The parallel kernel needs at least one worker thread.
     ZeroThreads,
+    /// Torus dimensions must both be at least 3: a 1-wide ring wraps a
+    /// router onto itself and a 2-wide ring doubles the existing edge.
+    TorusTooSmall {
+        /// Requested torus width (columns).
+        width: u8,
+        /// Requested torus height (rows).
+        height: u8,
+    },
+    /// A chiplet mesh's global side `k_chip · k_node` must fit in one
+    /// coordinate byte.
+    ChipletTooLarge {
+        /// Chiplets per package side.
+        k_chip: u8,
+        /// Routers per chiplet side.
+        k_node: u8,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -61,6 +77,18 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroThreads => {
                 write!(f, "parallel kernel needs at least 1 thread")
+            }
+            ConfigError::TorusTooSmall { width, height } => {
+                write!(
+                    f,
+                    "a {width}x{height} torus is degenerate; both dimensions must be at least 3"
+                )
+            }
+            ConfigError::ChipletTooLarge { k_chip, k_node } => {
+                write!(
+                    f,
+                    "a {k_chip}x{k_chip} package of {k_node}x{k_node} chiplets exceeds the addressable grid"
+                )
             }
         }
     }

@@ -65,41 +65,15 @@ use crate::flit::Flit;
 use crate::metrics::PhaseProfile;
 use crate::noc::{decide_route, DropKind, Epoch, RouteDecision};
 use crate::router::Router;
+use crate::routing::RouteTable;
 use crate::stats::LinkId;
 use crate::trace::{SpanEvent, SpanKind};
 
-/// Index of `addr` in the row-major router array, or `None` if it lies
-/// outside the mesh.
-pub(crate) fn mesh_index(width: u8, height: u8, addr: RouterAddr) -> Option<usize> {
-    if addr.x() < width && addr.y() < height {
-        Some(usize::from(addr.y()) * usize::from(width) + usize::from(addr.x()))
-    } else {
-        None
-    }
-}
-
-/// The neighbour of `addr` through `port`, or `None` at the mesh border
-/// (and for `Local`, which has no neighbour).
-pub(crate) fn mesh_neighbour(
-    width: u8,
-    height: u8,
-    addr: RouterAddr,
-    port: Port,
-) -> Option<RouterAddr> {
-    let (x, y) = (addr.x(), addr.y());
-    let next = match port {
-        Port::East => RouterAddr::new(x + 1, y),
-        Port::West => RouterAddr::new(x.checked_sub(1)?, y),
-        Port::North => RouterAddr::new(x, y + 1),
-        Port::South => RouterAddr::new(x, y.checked_sub(1)?),
-        Port::Local => return None,
-    };
-    mesh_index(width, height, next).map(|_| next)
-}
-
 /// Routers owned by `shard` of `n_shards`: a contiguous row-major range
-/// covering whole mesh rows, so most neighbour reads stay shard-local.
-/// Shards beyond the row count come out empty.
+/// covering whole grid rows, so most neighbour reads stay shard-local
+/// (torus wraparound and chiplet-boundary links ride the same cross-shard
+/// outboxes as any other remote neighbour). Shards beyond the row count
+/// come out empty.
 pub(crate) fn shard_range(
     width: usize,
     height: usize,
@@ -283,6 +257,10 @@ pub(crate) struct CycleShared {
     pub n_routers: usize,
     pub n_shards: usize,
     pub config: *const NocConfig,
+    /// Null unless the topology routes by a precomputed healthy table
+    /// (the torus — see [`Topology::requires_route_table`]
+    /// (crate::Topology::requires_route_table)).
+    pub base_table: *const RouteTable,
     pub epochs: *const Epoch,
     pub epochs_len: usize,
     /// Null when no fault plan is installed.
@@ -323,6 +301,10 @@ fn occupancy_of(len: usize) -> u8 {
 impl CycleShared {
     unsafe fn config(&self) -> &NocConfig {
         &*self.config
+    }
+
+    unsafe fn base_table(&self) -> Option<&RouteTable> {
+        self.base_table.as_ref()
     }
 
     unsafe fn epochs(&self) -> &[Epoch] {
@@ -379,6 +361,7 @@ pub(crate) unsafe fn phase_local(
     delta: &mut ShardDelta,
 ) {
     let config = sh.config();
+    let base_table = sh.base_table();
     let epochs = sh.epochs();
     let injector = sh.injector();
     let cadence = u64::from(config.cycles_per_flit);
@@ -490,11 +473,19 @@ pub(crate) unsafe fn phase_local(
                 };
                 let dest = RouterAddr::from_flit(head.value, config.flit_bits);
                 let wid = head.packet;
-                match decide_route(config, epochs, here, Port::from_index(in_idx), dest, now) {
+                match decide_route(
+                    config,
+                    base_table,
+                    epochs,
+                    here,
+                    Port::from_index(in_idx),
+                    dest,
+                    now,
+                ) {
                     RouteDecision::Forward(out_port, rerouted) => {
                         debug_assert!(
-                            router.has_port(out_port, config.width, config.height),
-                            "routing picked a port off the mesh edge"
+                            router.has_port(out_port, &config.topology),
+                            "routing picked a port off the grid edge"
                         );
                         let out = out_port.index();
                         if router.outputs[out].owner.is_none() {
@@ -654,14 +645,10 @@ pub(crate) unsafe fn phase_decide(
             let has_space = match out_port {
                 Port::Local => true,
                 _ => {
-                    let Some(next) =
-                        mesh_neighbour(config.width, config.height, router.addr, out_port)
-                    else {
+                    let Some(next) = config.topology.neighbour(router.addr, out_port) else {
                         continue;
                     };
-                    let Some(next_idx) = mesh_index(config.width, config.height, next) else {
-                        continue;
-                    };
+                    let next_idx = config.topology.index(next);
                     let Some(in_port) = out_port.opposite() else {
                         continue;
                     };
@@ -736,7 +723,11 @@ pub(crate) unsafe fn phase_apply_src(
         let Some(mut flit) = router.inputs[in_idx].buffer.pop() else {
             continue;
         };
-        router.outputs[out].next_free = now + cadence;
+        // Off-chip links (chiplet boundaries) pace slower than the on-chip
+        // handshake; on-chip links keep the multiplier at 1 so the mesh is
+        // byte-identical to the pre-topology kernel.
+        router.outputs[out].next_free =
+            now + cadence * u64::from(config.topology.link_cadence_mult(here, out_port));
         router.counters.flits_forwarded += 1;
         delta.flit_hops += 1;
         delta.link_flits.push(link);
@@ -779,7 +770,11 @@ pub(crate) unsafe fn phase_apply_src(
             delta.health_apply.push(HealthEvent::Success(link));
         }
 
-        flit.arrived = now;
+        // On-chip hops land this cycle (readable next cycle, as before);
+        // off-chip hops stamp a future arrival, and the `arrived < now`
+        // gates keep the flit untouchable until the channel delay elapses
+        // — sound under any batch window.
+        flit.arrived = now + config.topology.link_latency(here, out_port);
         let occupancy = occupancy_of(router.inputs[in_idx].buffer.len());
         match out_port {
             Port::Local => {
@@ -822,12 +817,10 @@ pub(crate) unsafe fn phase_apply_src(
             _ => {
                 // Decide already resolved these lookups; a miss here
                 // cannot happen for a transfer it emitted.
-                let Some(next) = mesh_neighbour(config.width, config.height, here, out_port) else {
+                let Some(next) = config.topology.neighbour(here, out_port) else {
                     continue;
                 };
-                let Some(next_idx) = mesh_index(config.width, config.height, next) else {
-                    continue;
-                };
+                let next_idx = config.topology.index(next);
                 let Some(in_port) = out_port.opposite() else {
                     continue;
                 };
@@ -1014,8 +1007,8 @@ impl std::fmt::Debug for Lap<'_> {
 pub(crate) unsafe fn run_shard(sh: &CycleShared, shard: usize, barrier: &SpinBarrier) {
     let config = sh.config();
     let range = shard_range(
-        usize::from(config.width),
-        usize::from(config.height),
+        usize::from(config.width()),
+        usize::from(config.height()),
         sh.n_shards,
         shard,
     );
@@ -1369,20 +1362,18 @@ mod tests {
     }
 
     #[test]
-    fn mesh_helpers_agree_with_geometry() {
-        assert_eq!(mesh_index(2, 2, RouterAddr::new(1, 1)), Some(3));
-        assert_eq!(mesh_index(2, 2, RouterAddr::new(2, 0)), None);
+    fn topology_helpers_agree_with_geometry() {
+        let topo = crate::topology::Topology::Mesh {
+            width: 2,
+            height: 2,
+        };
+        assert_eq!(topo.index(RouterAddr::new(1, 1)), 3);
+        assert!(!topo.contains(RouterAddr::new(2, 0)));
         assert_eq!(
-            mesh_neighbour(2, 2, RouterAddr::new(0, 0), Port::East),
+            topo.neighbour(RouterAddr::new(0, 0), Port::East),
             Some(RouterAddr::new(1, 0))
         );
-        assert_eq!(
-            mesh_neighbour(2, 2, RouterAddr::new(0, 0), Port::West),
-            None
-        );
-        assert_eq!(
-            mesh_neighbour(2, 2, RouterAddr::new(0, 0), Port::Local),
-            None
-        );
+        assert_eq!(topo.neighbour(RouterAddr::new(0, 0), Port::West), None);
+        assert_eq!(topo.neighbour(RouterAddr::new(0, 0), Port::Local), None);
     }
 }

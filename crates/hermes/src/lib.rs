@@ -64,6 +64,7 @@ mod noc;
 mod packet;
 mod router;
 mod routing;
+mod topology;
 
 pub mod fault;
 pub mod latency;
@@ -88,4 +89,5 @@ pub use packet::Packet;
 pub use routing::{RouteTable, Routing};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::{FaultCounters, HealthCounters, NocStats, PacketRecord};
+pub use topology::{D2dChannel, Topology};
 pub use trace::{PacketTrace, PacketTracer, SpanEvent, SpanKind};

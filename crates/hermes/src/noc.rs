@@ -65,19 +65,32 @@ pub(crate) enum DropKind {
 
 pub(crate) fn decide_route(
     config: &NocConfig,
+    base_table: Option<&RouteTable>,
     epochs: &[Epoch],
     here: RouterAddr,
     in_port: Port,
     dest: RouterAddr,
     now: u64,
 ) -> RouteDecision {
-    if dest.x() >= config.width || dest.y() >= config.height {
+    if !config.topology.contains(dest) {
         return RouteDecision::Misaddressed;
     }
-    let minimal = config
-        .routing
-        .route(here, dest, config.width, config.height)
-        .expect("router and destination addresses were validated");
+    // The healthy choice: the minimal algorithm where it is deadlock-free,
+    // the precomputed up*/down* table on topologies whose cycles would
+    // otherwise deadlock a wormhole (the torus).
+    let minimal = match base_table {
+        Some(table) => match table
+            .next_hop(here, in_port, dest)
+            .expect("router and destination addresses were validated")
+        {
+            Some(port) => port,
+            None => return RouteDecision::Unreachable,
+        },
+        None => config
+            .routing
+            .route(here, dest, &config.topology)
+            .expect("router and destination addresses were validated"),
+    };
     if config.routing == Routing::FaultTolerantXy {
         if let Some(epoch) = table_for(epochs, config.cycles_per_flit, here, now) {
             return match epoch
@@ -106,6 +119,11 @@ pub(crate) fn decide_route(
 #[derive(Debug)]
 pub struct Noc {
     config: NocConfig,
+    /// Healthy routing table for topologies that route by table instead
+    /// of by algorithm (see [`Topology::requires_route_table`]
+    /// (crate::Topology::requires_route_table)); `None` for the mesh
+    /// family, whose minimal XY needs no precomputation.
+    base_table: Option<Box<RouteTable>>,
     routers: Vec<Router>,
     endpoints: Vec<LocalEndpoint>,
     cycle: u64,
@@ -155,17 +173,22 @@ impl Noc {
         config.validate()?;
         let mut routers = Vec::with_capacity(config.router_count());
         let mut endpoints = Vec::with_capacity(config.router_count());
-        for y in 0..config.height {
-            for x in 0..config.width {
+        for y in 0..config.height() {
+            for x in 0..config.width() {
                 routers.push(Router::new(RouterAddr::new(x, y), &config));
                 endpoints.push(LocalEndpoint::new(config.flit_bits));
             }
         }
+        let base_table = config
+            .topology
+            .requires_route_table()
+            .then(|| Box::new(RouteTable::build(&config.topology, &BTreeSet::new())));
         let stats = NocStats::new(routers.len(), config.stats_window);
         let health = HealthMonitor::new(config.fault_threshold);
         let active = vec![false; routers.len()];
         Ok(Self {
             config,
+            base_table,
             routers,
             endpoints,
             cycle: 0,
@@ -316,7 +339,7 @@ impl Noc {
             }
         }
         for (link, &flits) in &s.link_flits {
-            let label = format!("{}:{}", link.0, link.1);
+            let label = self.config.topology.link_label(*link);
             reg.counter(
                 "hermes_link_flits_total",
                 "Flits transferred per directed link",
@@ -334,10 +357,7 @@ impl Noc {
             }
         }
         for (idx, counters) in s.routers.iter().enumerate() {
-            let addr = RouterAddr::new(
-                (idx % usize::from(self.config.width)) as u8,
-                (idx / usize::from(self.config.width)) as u8,
-            );
+            let addr = self.config.topology.addr_of(idx);
             let label = addr.to_string();
             reg.gauge_int(
                 "hermes_buffer_peak_flits",
@@ -480,7 +500,7 @@ impl Noc {
     /// is not yet evidence of deadlock.
     pub fn reconfiguration_settled(&self) -> bool {
         self.epochs.last().is_none_or(|e| {
-            let radius = u64::from(self.config.width) + u64::from(self.config.height);
+            let radius = u64::from(self.config.width()) + u64::from(self.config.height());
             self.cycle >= e.announced + radius * u64::from(self.config.cycles_per_flit)
         })
     }
@@ -492,11 +512,14 @@ impl Noc {
     }
 
     fn index(&self, addr: RouterAddr) -> Option<usize> {
-        kernel::mesh_index(self.config.width, self.config.height, addr)
+        self.config
+            .topology
+            .contains(addr)
+            .then(|| self.config.topology.index(addr))
     }
 
     fn neighbour(&self, addr: RouterAddr, port: Port) -> Option<RouterAddr> {
-        kernel::mesh_neighbour(self.config.width, self.config.height, addr, port)
+        self.config.topology.neighbour(addr, port)
     }
 
     /// Submits a packet at the network interface of router `src`. The
@@ -756,8 +779,8 @@ impl Noc {
             self.wake_scheduled_stalls(base);
         }
         // More shards than rows would only add idle workers: every shard
-        // owns whole mesh rows.
-        let shards = threads.clamp(1, usize::from(self.config.height).max(1));
+        // owns whole grid rows.
+        let shards = threads.clamp(1, usize::from(self.config.height()).max(1));
         self.ensure_shards(shards);
         if shards == 1 {
             let shared = self.cycle_shared(base, 1, window);
@@ -800,6 +823,10 @@ impl Noc {
             n_routers: self.routers.len(),
             n_shards,
             config: &self.config,
+            base_table: self
+                .base_table
+                .as_deref()
+                .map_or(std::ptr::null(), |t| t as *const RouteTable),
             epochs: self.epochs.as_ptr(),
             epochs_len: self.epochs.len(),
             injector: self
@@ -1014,11 +1041,7 @@ impl Noc {
                 self.epochs.push(Epoch {
                     announced: now,
                     origin: self.routers[idx].addr,
-                    table: RouteTable::build(
-                        self.config.width,
-                        self.config.height,
-                        self.health.dead_links(),
-                    ),
+                    table: RouteTable::build(&self.config.topology, self.health.dead_links()),
                 });
                 self.stats.health.epochs += 1;
             }
@@ -1111,11 +1134,7 @@ impl Noc {
         for &(idx, out) in &condemned {
             self.flush_dead_link(idx, out, now);
         }
-        let table = RouteTable::build(
-            self.config.width,
-            self.config.height,
-            self.health.dead_links(),
-        );
+        let table = RouteTable::build(&self.config.topology, self.health.dead_links());
         for port in Port::ALL {
             let Some(origin) = self.neighbour(victim, port) else {
                 continue;
@@ -1405,7 +1424,8 @@ impl Noc {
         r: &mut SnapshotReader<'_>,
         kernel: Option<KernelMode>,
     ) -> Result<Self, SnapshotError> {
-        let mut config = NocConfig::snapshot_read(r)?;
+        let version = r.version();
+        let mut config = NocConfig::snapshot_read(r, version)?;
         if let Some(kernel) = kernel {
             config.kernel = kernel;
         }
@@ -1415,12 +1435,13 @@ impl Noc {
         let routers = r.take_usize()?;
         if routers != config.router_count() {
             return Err(SnapshotError::MeshMismatch {
-                width: config.width,
-                height: config.height,
+                width: config.width(),
+                height: config.height(),
                 routers,
             });
         }
-        let (width, height) = (config.width, config.height);
+        let (width, height) = (config.width(), config.height());
+        let topology = config.topology;
         let mut noc = Self::new(config)
             .map_err(|_| SnapshotError::Malformed("validated configuration failed to build"))?;
         noc.cycle = r.take_u64()?;
@@ -1449,7 +1470,7 @@ impl Noc {
             epochs.push(Epoch {
                 announced,
                 origin,
-                table: RouteTable::build(width, height, &dead),
+                table: RouteTable::build(&topology, &dead),
             });
         }
         noc.epochs = epochs;
@@ -2066,8 +2087,8 @@ mod tests {
         if let Some(tracer) = noc.packet_trace() {
             out.push_str(&tracer.perfetto_json());
         }
-        for y in 0..noc.config().height {
-            for x in 0..noc.config().width {
+        for y in 0..noc.config().height() {
+            for x in 0..noc.config().width() {
                 let here = RouterAddr::new(x, y);
                 while let Some((from, packet)) = noc.try_recv(here) {
                     out.push_str(&format!("recv {here} <- {from}: {:?}\n", packet.payload()));
@@ -2161,10 +2182,12 @@ mod tests {
         use crate::snapshot::{fletcher64, HEADER_LEN};
         let noc = mid_flight_noc();
         let mut bytes = noc.save_state();
-        // The config's width is the first payload byte; grow the claimed
-        // mesh and re-seal the checksum so only the shape check can trip.
-        assert_eq!(bytes[HEADER_LEN], 3, "payload starts with the width");
-        bytes[HEADER_LEN] = 4;
+        // The payload opens with the topology tag, then the mesh width;
+        // grow the claimed mesh and re-seal the checksum so only the
+        // shape check can trip.
+        assert_eq!(bytes[HEADER_LEN], 0, "payload starts with the Mesh tag");
+        assert_eq!(bytes[HEADER_LEN + 1], 3, "the width follows the tag");
+        bytes[HEADER_LEN + 1] = 4;
         let body = bytes.len() - 8;
         let sum = fletcher64(&bytes[..body]);
         bytes[body..].copy_from_slice(&sum.to_le_bytes());
@@ -2175,6 +2198,82 @@ mod tests {
                 routers: 9,
             }) => {}
             other => panic!("expected MeshMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_snapshot_without_topology_tag_restores_as_mesh() {
+        use crate::snapshot::{fletcher64, HEADER_LEN};
+        use crate::topology::Topology;
+        let original = mid_flight_noc();
+        let mut bytes = original.save_state();
+        // Surgery back to the version-2 layout: drop the leading topology
+        // tag (v2 payloads open directly with width,height), rewrite the
+        // container version and payload length, and re-seal the checksum.
+        assert_eq!(bytes[HEADER_LEN], 0, "payload starts with the Mesh tag");
+        bytes.remove(HEADER_LEN);
+        bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+        let len = u64::from_le_bytes(bytes[9..17].try_into().unwrap()) - 1;
+        bytes[9..17].copy_from_slice(&len.to_le_bytes());
+        let body = bytes.len() - 8;
+        let sum = fletcher64(&bytes[..body]);
+        bytes[body..].copy_from_slice(&sum.to_le_bytes());
+        let mut restored =
+            Noc::restore_state(&bytes).expect("a pre-topology snapshot decodes as a mesh");
+        assert_eq!(
+            restored.config().topology,
+            Topology::Mesh {
+                width: 3,
+                height: 3
+            }
+        );
+        assert_eq!(restored.cycle(), original.cycle());
+        // And it resumes: the restored network still drains to idle.
+        restored.run_until_idle(100_000).unwrap();
+    }
+
+    #[test]
+    fn v1_snapshot_is_rejected_with_a_typed_error() {
+        use crate::snapshot::fletcher64;
+        let noc = mid_flight_noc();
+        let mut bytes = noc.save_state();
+        // A version below MIN_SNAPSHOT_VERSION must be a typed rejection,
+        // never a garbage decode.
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let body = bytes.len() - 8;
+        let sum = fletcher64(&bytes[..body]);
+        bytes[body..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            Noc::restore_state(&bytes).err(),
+            Some(SnapshotError::UnsupportedVersion(1))
+        );
+    }
+
+    #[test]
+    fn torus_and_chiplet_snapshots_round_trip() {
+        for config in [
+            NocConfig::torus(3, 3),
+            NocConfig::chiplet(2, 2, crate::topology::D2dChannel::OffChipSerial),
+        ] {
+            let topology = config.topology;
+            let mut noc = Noc::new(config).unwrap();
+            noc.send(
+                RouterAddr::new(0, 0),
+                Packet::new(RouterAddr::new(2, 2), vec![1, 2, 3]),
+            )
+            .unwrap();
+            noc.run(12);
+            let bytes = noc.save_state();
+            let mut restored = Noc::restore_state(&bytes).expect("restore");
+            assert_eq!(restored.config().topology, topology);
+            for n in [&mut noc, &mut restored] {
+                n.run_until_idle(100_000).unwrap();
+            }
+            assert_eq!(
+                fingerprint(&mut noc),
+                fingerprint(&mut restored),
+                "{topology}"
+            );
         }
     }
 

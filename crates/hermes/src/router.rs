@@ -213,16 +213,11 @@ impl Router {
         }
     }
 
-    /// Whether a port exists on this router within a `width`×`height`
-    /// mesh (border routers lack the ports that would leave the mesh).
-    pub fn has_port(&self, port: Port, width: u8, height: u8) -> bool {
-        match port {
-            Port::East => self.addr.x() + 1 < width,
-            Port::West => self.addr.x() > 0,
-            Port::North => self.addr.y() + 1 < height,
-            Port::South => self.addr.y() > 0,
-            Port::Local => true,
-        }
+    /// Whether a port exists on this router in the given topology (mesh
+    /// borders lack the ports that would leave the grid; torus routers
+    /// have all five).
+    pub fn has_port(&self, port: Port, topology: &crate::topology::Topology) -> bool {
+        topology.has_port(self.addr, port)
     }
 
     /// All buffers empty, no connection open and no packet mid-discard.
@@ -276,15 +271,25 @@ mod tests {
     #[test]
     fn border_router_port_presence() {
         let config = NocConfig::mesh(2, 2);
+        let topo = config.topology;
         let r = Router::new(RouterAddr::new(0, 0), &config);
-        assert!(r.has_port(Port::East, 2, 2));
-        assert!(!r.has_port(Port::West, 2, 2));
-        assert!(r.has_port(Port::North, 2, 2));
-        assert!(!r.has_port(Port::South, 2, 2));
-        assert!(r.has_port(Port::Local, 2, 2));
+        assert!(r.has_port(Port::East, &topo));
+        assert!(!r.has_port(Port::West, &topo));
+        assert!(r.has_port(Port::North, &topo));
+        assert!(!r.has_port(Port::South, &topo));
+        assert!(r.has_port(Port::Local, &topo));
         let r = Router::new(RouterAddr::new(1, 1), &config);
-        assert!(!r.has_port(Port::East, 2, 2));
-        assert!(r.has_port(Port::West, 2, 2));
+        assert!(!r.has_port(Port::East, &topo));
+        assert!(r.has_port(Port::West, &topo));
+        // On a torus the same corner router has every port.
+        let wrap = crate::topology::Topology::Torus {
+            width: 3,
+            height: 3,
+        };
+        let r = Router::new(RouterAddr::new(0, 0), &NocConfig::torus(3, 3));
+        for port in Port::ALL {
+            assert!(r.has_port(port, &wrap));
+        }
     }
 
     #[test]

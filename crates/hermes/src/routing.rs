@@ -34,6 +34,7 @@ use std::collections::VecDeque;
 use crate::addr::{Port, RouterAddr};
 use crate::error::RouteError;
 use crate::stats::LinkId;
+use crate::topology::Topology;
 
 /// Deterministic routing algorithm run by each router's control logic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -53,29 +54,39 @@ pub enum Routing {
 
 impl Routing {
     /// The output port a packet for `dest` takes at router `here`, on a
-    /// healthy `width`×`height` mesh. Returns [`Port::Local`] when the
-    /// packet has arrived. [`Routing::FaultTolerantXy`] routes like XY
-    /// here; its detours live in [`RouteTable`] and apply only once links
-    /// have died.
+    /// healthy grid topology. Returns [`Port::Local`] when the packet has
+    /// arrived. [`Routing::FaultTolerantXy`] routes like XY here; its
+    /// detours live in [`RouteTable`] and apply only once links have
+    /// died.
+    ///
+    /// On [`Topology::Mesh`] this is the paper's algorithm; on
+    /// [`Topology::ChipletMesh`] the chiplets abut into one aligned
+    /// global grid, so global XY *is* the hierarchical chip-local-XY +
+    /// inter-chip-XY route and inherits XY's turn-model deadlock freedom.
+    /// A [`Topology::Torus`] never routes through this function — its
+    /// healthy routing is the up\*/down\* [`RouteTable`] (see
+    /// [`Topology::requires_route_table`]) because XY with wraparound
+    /// choice can close cyclic channel dependencies; called on a torus
+    /// anyway, this returns the wrap-free mesh-XY step, which is valid
+    /// but never uses the wraparound links.
     ///
     /// # Errors
     ///
     /// [`RouteError::OutOfMesh`] if `here` or `dest` lies outside the
-    /// mesh — an out-of-mesh destination must surface as a typed error,
+    /// grid — an out-of-mesh destination must surface as a typed error,
     /// not be silently "delivered" to whichever router decoded it.
     pub fn route(
         self,
         here: RouterAddr,
         dest: RouterAddr,
-        width: u8,
-        height: u8,
+        topology: &Topology,
     ) -> Result<Port, RouteError> {
         for addr in [here, dest] {
-            if addr.x() >= width || addr.y() >= height {
+            if !topology.contains(addr) {
                 return Err(RouteError::OutOfMesh {
                     addr,
-                    width,
-                    height,
+                    width: topology.width(),
+                    height: topology.height(),
                 });
             }
         }
@@ -117,8 +128,7 @@ const DIRS: [Port; 4] = [Port::East, Port::West, Port::North, Port::South];
 /// or `None` when the dead links cut the destination off.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouteTable {
-    width: u8,
-    height: u8,
+    topology: Topology,
     dead: BTreeSet<LinkId>,
     /// Router key: `(bfs_level << 16) | router_index`; up = smaller key.
     keys: Vec<u32>,
@@ -130,9 +140,16 @@ pub struct RouteTable {
 }
 
 impl RouteTable {
-    /// Builds the detour table for a `width`×`height` mesh with the given
-    /// directed dead links. Dead `Local` links make the attached IP
-    /// unreachable for ejection.
+    /// Builds the detour table for a topology with the given directed
+    /// dead links. Dead `Local` links make the attached IP unreachable
+    /// for ejection.
+    ///
+    /// The up\*/down\* construction only needs the topology's neighbour
+    /// relation, so it works unchanged on the mesh, the wraparound torus
+    /// (where it doubles as the *healthy* routing function) and the
+    /// chiplet grid — and its deadlock-freedom argument (a cycle would
+    /// need a forbidden down → up turn in the total key order) holds for
+    /// any of them, with any dead-link set.
     ///
     /// A dead inter-router channel kills the whole edge for routing (the
     /// reverse channel is not used either, even if it still works): the
@@ -140,18 +157,17 @@ impl RouteTable {
     /// and an asymmetric hole — one direction usable, the other not —
     /// could otherwise leave a connected pair of routers with no
     /// valid-turn path between them.
-    pub fn build(width: u8, height: u8, dead: &BTreeSet<LinkId>) -> Self {
-        let n = usize::from(width) * usize::from(height);
+    pub fn build(topology: &Topology, dead: &BTreeSet<LinkId>) -> Self {
+        let n = topology.router_count();
         let mut table = Self {
-            width,
-            height,
+            topology: *topology,
             dead: dead.clone(),
             keys: vec![0; n],
             next: vec![None; n * n * 5],
             inj_dist: vec![None; n * n],
         };
         for &(addr, dir) in dead {
-            if addr.x() >= width || addr.y() >= height {
+            if !topology.contains(addr) {
                 continue;
             }
             let Some(opp) = dir.opposite() else { continue };
@@ -167,27 +183,17 @@ impl RouteTable {
     }
 
     fn idx(&self, addr: RouterAddr) -> usize {
-        usize::from(addr.y()) * usize::from(self.width) + usize::from(addr.x())
+        self.topology.index(addr)
     }
 
     fn addr(&self, idx: usize) -> RouterAddr {
-        RouterAddr::new(
-            (idx % usize::from(self.width)) as u8,
-            (idx / usize::from(self.width)) as u8,
-        )
+        self.topology.addr_of(idx)
     }
 
     fn neighbour(&self, idx: usize, dir: Port) -> Option<usize> {
-        let a = self.addr(idx);
-        let (x, y) = (a.x(), a.y());
-        let next = match dir {
-            Port::East => (x + 1 < self.width).then(|| RouterAddr::new(x + 1, y))?,
-            Port::West => RouterAddr::new(x.checked_sub(1)?, y),
-            Port::North => (y + 1 < self.height).then(|| RouterAddr::new(x, y + 1))?,
-            Port::South => RouterAddr::new(x, y.checked_sub(1)?),
-            Port::Local => return None,
-        };
-        Some(self.idx(next))
+        self.topology
+            .neighbour(self.addr(idx), dir)
+            .map(|a| self.idx(a))
     }
 
     /// Whether the directed inter-router channel out of `idx` through
@@ -327,14 +333,19 @@ impl RouteTable {
         }
     }
 
-    /// Mesh width the table was built for.
-    pub fn width(&self) -> u8 {
-        self.width
+    /// Topology the table was built for.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
-    /// Mesh height the table was built for.
+    /// Grid width the table was built for.
+    pub fn width(&self) -> u8 {
+        self.topology.width()
+    }
+
+    /// Grid height the table was built for.
     pub fn height(&self) -> u8 {
-        self.height
+        self.topology.height()
     }
 
     /// The dead-link set the table detours around.
@@ -358,11 +369,11 @@ impl RouteTable {
         dest: RouterAddr,
     ) -> Result<Option<Port>, RouteError> {
         for addr in [here, dest] {
-            if addr.x() >= self.width || addr.y() >= self.height {
+            if !self.topology.contains(addr) {
                 return Err(RouteError::OutOfMesh {
                     addr,
-                    width: self.width,
-                    height: self.height,
+                    width: self.width(),
+                    height: self.height(),
                 });
             }
         }
@@ -378,10 +389,7 @@ impl RouteTable {
     /// Link hops of the table's path from injection at `src` to ejection
     /// at `dest` (0 for self-addressed), or `None` when unreachable.
     pub fn route_hops(&self, src: RouterAddr, dest: RouterAddr) -> Option<u32> {
-        if src.x() >= self.width || src.y() >= self.height {
-            return None;
-        }
-        if dest.x() >= self.width || dest.y() >= self.height {
+        if !self.topology.contains(src) || !self.topology.contains(dest) {
             return None;
         }
         let n = self.keys.len();
@@ -423,10 +431,18 @@ impl RouteTable {
 mod tests {
     use super::*;
 
+    fn mesh(width: u8, height: u8) -> Topology {
+        Topology::Mesh { width, height }
+    }
+
+    fn torus(width: u8, height: u8) -> Topology {
+        Topology::Torus { width, height }
+    }
+
     #[test]
     fn xy_goes_x_first() {
         let here = RouterAddr::new(1, 1);
-        let route = |dest| Routing::Xy.route(here, dest, 4, 4).unwrap();
+        let route = |dest| Routing::Xy.route(here, dest, &mesh(4, 4)).unwrap();
         assert_eq!(route(RouterAddr::new(3, 3)), Port::East);
         assert_eq!(route(RouterAddr::new(0, 3)), Port::West);
         assert_eq!(route(RouterAddr::new(1, 3)), Port::North);
@@ -438,11 +454,11 @@ mod tests {
     fn yx_goes_y_first() {
         let here = RouterAddr::new(1, 1);
         assert_eq!(
-            Routing::Yx.route(here, RouterAddr::new(3, 3), 4, 4),
+            Routing::Yx.route(here, RouterAddr::new(3, 3), &mesh(4, 4)),
             Ok(Port::North)
         );
         assert_eq!(
-            Routing::Yx.route(here, RouterAddr::new(3, 1), 4, 4),
+            Routing::Yx.route(here, RouterAddr::new(3, 1), &mesh(4, 4)),
             Ok(Port::East)
         );
     }
@@ -455,7 +471,7 @@ mod tests {
         let bad = RouterAddr::new(5, 1);
         for routing in [Routing::Xy, Routing::Yx, Routing::FaultTolerantXy] {
             assert_eq!(
-                routing.route(here, bad, 2, 2),
+                routing.route(here, bad, &mesh(2, 2)),
                 Err(RouteError::OutOfMesh {
                     addr: bad,
                     width: 2,
@@ -463,7 +479,7 @@ mod tests {
                 })
             );
             assert_eq!(
-                routing.route(bad, here, 2, 2),
+                routing.route(bad, here, &mesh(2, 2)),
                 Err(RouteError::OutOfMesh {
                     addr: bad,
                     width: 2,
@@ -482,8 +498,8 @@ mod tests {
                         let here = RouterAddr::new(sx, sy);
                         let dest = RouterAddr::new(dx, dy);
                         assert_eq!(
-                            Routing::FaultTolerantXy.route(here, dest, 4, 3),
-                            Routing::Xy.route(here, dest, 4, 3),
+                            Routing::FaultTolerantXy.route(here, dest, &mesh(4, 3)),
+                            Routing::Xy.route(here, dest, &mesh(4, 3)),
                         );
                     }
                 }
@@ -504,7 +520,7 @@ mod tests {
                             let mut here = RouterAddr::new(sx, sy);
                             let mut hops = 0;
                             loop {
-                                match routing.route(here, dest, 4, 4).unwrap() {
+                                match routing.route(here, dest, &mesh(4, 4)).unwrap() {
                                     Port::Local => break,
                                     Port::East => here = RouterAddr::new(here.x() + 1, here.y()),
                                     Port::West => here = RouterAddr::new(here.x() - 1, here.y()),
@@ -532,13 +548,10 @@ mod tests {
                 Port::Local => return Some(hops),
                 dir => {
                     arrived = dir.opposite().unwrap();
-                    here = match dir {
-                        Port::East => RouterAddr::new(here.x() + 1, here.y()),
-                        Port::West => RouterAddr::new(here.x() - 1, here.y()),
-                        Port::North => RouterAddr::new(here.x(), here.y() + 1),
-                        Port::South => RouterAddr::new(here.x(), here.y() - 1),
-                        Port::Local => unreachable!(),
-                    };
+                    here = table
+                        .topology()
+                        .neighbour(here, dir)
+                        .expect("table only routes over existing links");
                     hops += 1;
                     assert!(hops <= 64, "table walk did not terminate");
                 }
@@ -548,7 +561,7 @@ mod tests {
 
     #[test]
     fn healthy_table_is_minimal_everywhere() {
-        let table = RouteTable::build(4, 4, &BTreeSet::new());
+        let table = RouteTable::build(&mesh(4, 4), &BTreeSet::new());
         for s in 0..16usize {
             for d in 0..16usize {
                 let src = RouterAddr::new((s % 4) as u8, (s / 4) as u8);
@@ -566,7 +579,7 @@ mod tests {
         let mut dead = BTreeSet::new();
         dead.insert((RouterAddr::new(1, 1), Port::East));
         dead.insert((RouterAddr::new(2, 1), Port::West));
-        let table = RouteTable::build(3, 3, &dead);
+        let table = RouteTable::build(&mesh(3, 3), &dead);
         for s in 0..9usize {
             for d in 0..9usize {
                 let src = RouterAddr::new((s % 3) as u8, (s / 3) as u8);
@@ -591,7 +604,7 @@ mod tests {
         // pair must remain mutually reachable via the detour.
         let mut dead = BTreeSet::new();
         dead.insert((RouterAddr::new(0, 0), Port::East));
-        let table = RouteTable::build(2, 2, &dead);
+        let table = RouteTable::build(&mesh(2, 2), &dead);
         assert!(
             table
                 .dead_links()
@@ -619,7 +632,7 @@ mod tests {
         ] {
             dead.insert((r, p));
         }
-        let table = RouteTable::build(2, 2, &dead);
+        let table = RouteTable::build(&mesh(2, 2), &dead);
         assert!(!table.reachable(RouterAddr::new(0, 0), RouterAddr::new(1, 1)));
         assert!(!table.reachable(RouterAddr::new(1, 1), RouterAddr::new(0, 0)));
         assert!(table.reachable(RouterAddr::new(1, 0), RouterAddr::new(0, 1)));
@@ -634,7 +647,7 @@ mod tests {
     fn dead_local_link_blocks_ejection_only() {
         let mut dead = BTreeSet::new();
         dead.insert((RouterAddr::new(1, 0), Port::Local));
-        let table = RouteTable::build(2, 2, &dead);
+        let table = RouteTable::build(&mesh(2, 2), &dead);
         assert!(!table.reachable(RouterAddr::new(0, 0), RouterAddr::new(1, 0)));
         assert!(table.reachable(RouterAddr::new(0, 0), RouterAddr::new(1, 1)));
     }
@@ -674,7 +687,7 @@ mod tests {
             for vy in 0..h {
                 for vx in 0..w {
                     let victim = RouterAddr::new(vx, vy);
-                    let table = RouteTable::build(w, h, &router_death_links(w, h, victim));
+                    let table = RouteTable::build(&mesh(w, h), &router_death_links(w, h, victim));
                     for s in 0..usize::from(w) * usize::from(h) {
                         let src =
                             RouterAddr::new((s % usize::from(w)) as u8, (s / usize::from(w)) as u8);
@@ -710,7 +723,7 @@ mod tests {
     fn turn_relation_is_acyclic_for_arbitrary_dead_sets() {
         // Exhaustively kill every single physical link on a 3x3 and check
         // the allowed-turn relation never closes a cycle.
-        let healthy = RouteTable::build(3, 3, &BTreeSet::new());
+        let healthy = RouteTable::build(&mesh(3, 3), &BTreeSet::new());
         let mut cases: Vec<BTreeSet<LinkId>> = vec![BTreeSet::new()];
         for v in 0..9usize {
             let addr = RouterAddr::new((v % 3) as u8, (v / 3) as u8);
@@ -726,8 +739,79 @@ mod tests {
             }
         }
         for dead in cases {
-            let table = RouteTable::build(3, 3, &dead);
+            let table = RouteTable::build(&mesh(3, 3), &dead);
             assert_turns_acyclic(&table);
+        }
+    }
+
+    #[test]
+    fn torus_table_reaches_all_pairs_and_uses_wraparound() {
+        let t = torus(4, 4);
+        let table = RouteTable::build(&t, &BTreeSet::new());
+        assert_turns_acyclic(&table);
+        for s in 0..16usize {
+            for d in 0..16usize {
+                let src = t.addr_of(s);
+                let dest = t.addr_of(d);
+                let hops = walk(&table, src, dest).expect("healthy torus is connected");
+                assert_eq!(table.route_hops(src, dest), Some(hops));
+            }
+        }
+        // At least one border pair must ride a wraparound link: without
+        // wrap, (0,0) -> (3,0) costs 3 hops; the ring makes it 1.
+        let wrapped = (0..4u8).any(|y| {
+            table
+                .route_hops(RouterAddr::new(0, y), RouterAddr::new(3, y))
+                .is_some_and(|h| h < 3)
+        });
+        assert!(wrapped, "no route used the wraparound links");
+    }
+
+    #[test]
+    fn torus_table_survives_any_single_edge_death() {
+        let t = torus(3, 3);
+        let healthy = RouteTable::build(&t, &BTreeSet::new());
+        for v in 0..9usize {
+            let addr = t.addr_of(v);
+            for dir in [Port::East, Port::North] {
+                let peer = healthy.addr(healthy.neighbour(v, dir).unwrap());
+                let mut dead = BTreeSet::new();
+                dead.insert((addr, dir));
+                dead.insert((peer, dir.opposite().unwrap()));
+                let table = RouteTable::build(&t, &dead);
+                assert_turns_acyclic(&table);
+                for s in 0..9usize {
+                    for d in 0..9usize {
+                        walk(&table, t.addr_of(s), t.addr_of(d))
+                            .expect("one dead edge cannot partition a torus");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chiplet_table_matches_equally_sized_mesh_connectivity() {
+        // The chiplet package abuts into one aligned global grid, so the
+        // up*/down* table must produce exactly the mesh table's hop
+        // counts (the channel *model* differs, not the connectivity).
+        let chip = Topology::ChipletMesh {
+            k_chip: 2,
+            k_node: 2,
+            d2d: crate::topology::D2dChannel::OffChipSerial,
+        };
+        let chip_table = RouteTable::build(&chip, &BTreeSet::new());
+        let mesh_table = RouteTable::build(&mesh(4, 4), &BTreeSet::new());
+        assert_turns_acyclic(&chip_table);
+        for s in 0..16usize {
+            for d in 0..16usize {
+                let src = chip.addr_of(s);
+                let dest = chip.addr_of(d);
+                assert_eq!(
+                    chip_table.route_hops(src, dest),
+                    mesh_table.route_hops(src, dest)
+                );
+            }
         }
     }
 

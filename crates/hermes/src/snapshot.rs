@@ -23,8 +23,8 @@
 //!
 //! Versioning policy: the format version is bumped whenever the payload
 //! layout changes; decoders accept exactly the versions they know how to
-//! parse (currently only [`SNAPSHOT_VERSION`]) and reject everything else
-//! with [`SnapshotError::UnsupportedVersion`]. Snapshots are portable
+//! parse ([`MIN_SNAPSHOT_VERSION`]..=[`SNAPSHOT_VERSION`]) and reject
+//! everything else with [`SnapshotError::UnsupportedVersion`]. Snapshots are portable
 //! across kernel modes by construction — the determinism contract makes
 //! `Reference`, `Active` and `Parallel` kernels produce bit-identical
 //! observable state, so a snapshot taken under one kernel restores under
@@ -39,10 +39,17 @@ use crate::stats::LinkId;
 /// Magic bytes opening every snapshot container.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"MNSP";
 
-/// Current snapshot format version. Version 2 added the configuration's
-/// `batch_window` field (the batched-window parallel engine); version-1
+/// Current snapshot format version. Version 3 leads the embedded
+/// configuration with a topology tag (mesh / torus / chiplet mesh);
+/// version 2 predates the topology abstraction — its payloads open with
+/// bare mesh dimensions and are still decodable (as `Topology::Mesh`,
+/// the only shape that existed then). Version 2
+/// itself added the configuration's `batch_window` field; version-1
 /// containers predate it and are rejected rather than guessed at.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+/// Oldest snapshot format version the reader still decodes.
+pub const MIN_SNAPSHOT_VERSION: u32 = 2;
 
 /// Payload kind: a bare [`Noc`](crate::Noc) network snapshot.
 pub const KIND_NOC: u8 = 1;
@@ -272,6 +279,7 @@ impl SnapshotWriter {
 pub struct SnapshotReader<'a> {
     buf: &'a [u8],
     pos: usize,
+    version: u32,
 }
 
 impl<'a> SnapshotReader<'a> {
@@ -290,7 +298,7 @@ impl<'a> SnapshotReader<'a> {
             return Err(SnapshotError::BadMagic);
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-        if version != SNAPSHOT_VERSION {
+        if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let kind = bytes[8];
@@ -318,7 +326,15 @@ impl<'a> SnapshotReader<'a> {
         Ok(Self {
             buf: &bytes[HEADER_LEN..body_end],
             pos: 0,
+            version,
         })
+    }
+
+    /// Container format version this payload was written under (within
+    /// [`MIN_SNAPSHOT_VERSION`]..=[`SNAPSHOT_VERSION`]); decoders branch
+    /// on it to parse historic layouts.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Payload bytes not yet consumed.

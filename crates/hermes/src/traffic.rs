@@ -111,7 +111,7 @@ impl TrafficGen {
     /// Propagates [`NocError`] from `send` (cannot occur for in-mesh
     /// patterns and legal payload sizes).
     pub fn pump(&mut self, noc: &mut Noc) -> Result<u64, NocError> {
-        let (width, height) = (noc.config().width, noc.config().height);
+        let (width, height) = (noc.config().width(), noc.config().height());
         let wire_flits = (self.payload_flits + 2) as f64;
         let p_packet = (self.injection_rate / wire_flits).min(1.0);
         let mut sent = 0;

@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 
 use hermes_noc::fault::{CycleWindow, FaultPlan};
 use hermes_noc::stats::NocStats;
-use hermes_noc::{KernelMode, Noc, NocConfig, Packet, Port, RouterAddr, Routing};
+use hermes_noc::{D2dChannel, KernelMode, Noc, NocConfig, Packet, Port, RouterAddr, Routing};
 use proptest::prelude::*;
 
 /// One scheduled submission: at `cycle`, send `packet` from `src`.
@@ -129,7 +129,7 @@ fn assert_kernels_equivalent(
         );
     }
     // Delivered packets drain in the same order with the same sources.
-    let (w, h) = (reference.config().width, reference.config().height);
+    let (w, h) = (reference.config().width(), reference.config().height());
     for y in 0..h {
         for x in 0..w {
             let at = RouterAddr::new(x, y);
@@ -183,7 +183,7 @@ fn drained_fingerprint(noc: &mut Noc, fp: &mut String) {
         noc.dead_endpoints(),
     )
     .expect("write to string");
-    let (w, h) = (noc.config().width, noc.config().height);
+    let (w, h) = (noc.config().width(), noc.config().height());
     for y in 0..h {
         for x in 0..w {
             let at = RouterAddr::new(x, y);
@@ -441,6 +441,71 @@ fn batched_windows_are_bit_identical_across_window_and_thread_sweeps() {
             }
         }
     }
+}
+
+#[test]
+fn topology_sweep_is_bit_identical_across_kernels_windows_and_threads() {
+    // The torus (table-routed, wraparound links) and the chiplet
+    // mesh-of-meshes (multi-cycle off-chip channels) must be exactly as
+    // kernel-, window- and thread-invariant as the paper mesh: every
+    // kernel × batch window reproduces the reference fingerprint bit for
+    // bit, including with the slow serial d2d channel whose future-cycle
+    // arrivals cross batch-window boundaries.
+    for config in [
+        NocConfig::torus(4, 3),
+        NocConfig::chiplet(2, 2, D2dChannel::OffChipSerial),
+        NocConfig::chiplet(2, 2, D2dChannel::OffChipParallel),
+    ] {
+        let sends = schedule(config.width(), config.height(), 40, 9);
+        let baseline = chunked_fingerprint(config.clone(), None, &sends, 2_000);
+        for window in [1u32, 16] {
+            for kernel in [
+                KernelMode::Reference,
+                KernelMode::Active,
+                KernelMode::Parallel { threads: 1 },
+                KernelMode::Parallel { threads: 2 },
+                KernelMode::Parallel { threads: 8 },
+            ] {
+                let fp = chunked_fingerprint(
+                    config
+                        .clone()
+                        .with_kernel_mode(kernel)
+                        .with_batch_window(window),
+                    None,
+                    &sends,
+                    2_000,
+                );
+                assert_eq!(
+                    fp, baseline,
+                    "{} diverged under {kernel:?} with batch window {window}",
+                    config.topology
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn off_chip_serial_channel_is_slower_than_parallel() {
+    // The channel model must actually separate the two d2d variants: the
+    // same cross-chiplet packet takes longer over the serialized off-chip
+    // link than over the parallel one, and both take longer than a purely
+    // on-chip hop sequence of the same length on a plain mesh.
+    let latency_of = |config: NocConfig| {
+        let mut noc = Noc::new(config).expect("valid config");
+        let src = RouterAddr::new(0, 0);
+        let dst = RouterAddr::new(3, 0); // crosses the chiplet boundary at x=1|2
+        let id = noc.send(src, Packet::new(dst, vec![7; 4])).expect("send");
+        noc.run_until_idle(100_000).expect("drains");
+        noc.stats().record(id).expect("recorded").latency()
+    };
+    let mesh = latency_of(NocConfig::mesh(4, 4));
+    let parallel = latency_of(NocConfig::chiplet(2, 2, D2dChannel::OffChipParallel));
+    let serial = latency_of(NocConfig::chiplet(2, 2, D2dChannel::OffChipSerial));
+    assert!(
+        mesh < parallel && parallel < serial,
+        "expected mesh ({mesh}) < off-chip-parallel ({parallel}) < off-chip-serial ({serial})"
+    );
 }
 
 #[test]

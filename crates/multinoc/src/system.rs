@@ -1176,10 +1176,11 @@ impl System {
 
     fn require_free_router(&self, addr: RouterAddr) -> Result<(), SystemError> {
         let config = self.noc.config();
-        if addr.x() >= config.width || addr.y() >= config.height {
+        if !config.topology.contains(addr) {
             return Err(SystemError::BadLayout(format!(
-                "router {addr} is outside the {}x{} mesh",
-                config.width, config.height
+                "router {addr} is outside the {}x{} grid",
+                config.width(),
+                config.height()
             )));
         }
         if self.table.node_of(addr).is_some() {
@@ -1505,7 +1506,7 @@ impl System {
             None => Noc::restore_state(&noc_blob)?,
             Some(k) => Noc::restore_state_with_kernel(&noc_blob, k)?,
         };
-        let (width, height) = (noc.config().width, noc.config().height);
+        let (width, height) = (noc.config().width(), noc.config().height());
         let clock_hz = r.take_f64()?;
         if !clock_hz.is_finite() || clock_hz <= 0.0 {
             return Err(SnapshotError::Malformed("clock frequency"));
@@ -1796,10 +1797,11 @@ impl SystemBuilder {
         let noc_config = self.noc.unwrap_or_else(NocConfig::multinoc);
         let noc = Noc::new(noc_config.clone())?;
         for (addr, _) in &self.nodes {
-            if addr.x() >= noc_config.width || addr.y() >= noc_config.height {
+            if !noc_config.topology.contains(*addr) {
                 return Err(SystemError::BadLayout(format!(
-                    "router {addr} is outside the {}x{} mesh",
-                    noc_config.width, noc_config.height
+                    "router {addr} is outside the {}x{} grid",
+                    noc_config.width(),
+                    noc_config.height()
                 )));
             }
         }

@@ -253,6 +253,60 @@ fn batch_window_never_changes_a_system_run() {
 }
 
 #[test]
+fn topology_never_changes_kernel_invariance() {
+    // The same program-driven workload on a torus and on a chiplet
+    // mesh-of-meshes (both under fault-tolerant routing and a lossy
+    // link): every kernel × thread count × batch window must reproduce
+    // the per-topology baseline exactly, just like on the paper mesh.
+    use hermes_noc::D2dChannel;
+    let plan = || FaultPlan::new(0xFA57).with_drop_rate(0.1);
+    for base in [
+        NocConfig::torus(3, 3),
+        NocConfig::chiplet(2, 2, D2dChannel::OffChipSerial),
+    ] {
+        let mut baseline = None;
+        for (kernel, window) in [
+            (KernelMode::Reference, 0u32),
+            (KernelMode::Active, 0),
+            (KernelMode::Parallel { threads: 1 }, 1),
+            (KernelMode::Parallel { threads: 2 }, 16),
+            (KernelMode::Parallel { threads: 8 }, 16),
+        ] {
+            let mut config = base.clone();
+            config.routing = Routing::FaultTolerantXy;
+            let mut sys = System::builder()
+                .noc(config)
+                .kernel(kernel)
+                .batch_window(window)
+                .serial_at(RouterAddr::new(0, 0))
+                .processor_at(RouterAddr::new(0, 1))
+                .processor_at(RouterAddr::new(1, 0))
+                .memory_at(RouterAddr::new(1, 1))
+                .build()
+                .expect("the paper layout fits every topology");
+            sys.set_fault_plan(plan()).expect("valid fault plan");
+            load_workload(&mut sys);
+            let elapsed = sys.run_until_halted(4_000_000).expect("run halts");
+            assert_eq!(
+                sys.memory(P2).expect("p2").read(0x40),
+                0x5A5A,
+                "{} {kernel:?}",
+                base.topology
+            );
+            let fp = fingerprint(&sys, elapsed);
+            match &baseline {
+                None => baseline = Some(fp),
+                Some(b) => assert_eq!(
+                    b, &fp,
+                    "{} diverged under {kernel:?} with batch window {window}",
+                    base.topology
+                ),
+            }
+        }
+    }
+}
+
+#[test]
 fn auto_kernel_builds_and_runs() {
     // `KernelMode::auto` picks by mesh size and host parallelism; on the
     // paper's 2×2 it must stay sequential, and whatever it picks must run.

@@ -136,15 +136,16 @@ fn checksum_guards_the_payload() {
 #[test]
 fn mesh_shape_mismatch_is_rejected() {
     // The embedded NoC blob sits behind the outer header and an 8-byte
-    // length prefix; its own first payload byte is the mesh width. Grow
-    // the claimed width, reseal the inner container, reseal the outer:
-    // both checksums pass, and only the decoder's shape check is left
-    // to catch the lie.
+    // length prefix; its own payload opens with the topology tag and
+    // then the mesh width. Grow the claimed width, reseal the inner
+    // container, reseal the outer: both checksums pass, and only the
+    // decoder's shape check is left to catch the lie.
     let mut bytes = base_checkpoint().to_vec();
     let inner_start = HEADER_LEN + 8;
     let inner_len = u64::from_le_bytes(bytes[HEADER_LEN..inner_start].try_into().unwrap()) as usize;
     let inner_end = inner_start + inner_len;
-    bytes[inner_start + HEADER_LEN] = 4;
+    assert_eq!(bytes[inner_start + HEADER_LEN], 0, "mesh topology tag");
+    bytes[inner_start + HEADER_LEN + 1] = 4;
     let inner_body = inner_end - 8;
     let inner_sum = fletcher64(&bytes[inner_start..inner_body]);
     bytes[inner_body..inner_end].copy_from_slice(&inner_sum.to_le_bytes());

@@ -49,6 +49,14 @@ echo "=== observability smoke check (byte-identical exports, fixed seed) ==="
 EXP_OBS_SMOKE=1 cargo run --release -q --offline -p multinoc-bench --bin exp_observability > /dev/null
 echo "exp_observability exports identical across kernels and schema-valid"
 
+echo "=== topology smoke check (mesh vs torus vs chiplet, fixed seed) ==="
+# Matched-router-count sweep across the three topologies, serialized vs
+# parallel off-chip d2d channel separation, and a 1024-router chiplet
+# system on which the sequential and 8-thread parallel kernels must
+# agree on every counter.
+EXP_TOPOLOGY_SMOKE=1 cargo run --release -q --offline -p multinoc-bench --bin exp_topology > /dev/null
+echo "exp_topology deterministic, d2d channels separated, 1024 routers green"
+
 echo "=== chaos smoke check (node death + failover, fixed seed) ==="
 # Randomized (but seeded) router/IP-core deaths against replicated
 # memory: pre-death writes must survive, post-failover writes must land

@@ -4,7 +4,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use hermes_noc::{CycleWindow, FaultPlan, NocConfig, Port, RouteTable, RouterAddr, Routing};
+use hermes_noc::{
+    CycleWindow, D2dChannel, FaultPlan, NocConfig, Port, RouteTable, RouterAddr, Routing, Topology,
+};
 use multinoc::{host::Host, NodeId, System, SystemError};
 use proptest::prelude::*;
 
@@ -28,30 +30,28 @@ fn mesh_edges(width: u8, height: u8) -> Vec<(RouterAddr, Port)> {
 /// Follows the table's next-hop decisions from injection at `src` to
 /// ejection at `dest`, returning the link hops taken. Panics if the
 /// walk fails to terminate within `bound` hops.
-fn walk(table: &RouteTable, src: RouterAddr, dest: RouterAddr, bound: u32) -> u32 {
+fn walk(
+    topology: &Topology,
+    table: &RouteTable,
+    src: RouterAddr,
+    dest: RouterAddr,
+    bound: u32,
+) -> u32 {
     let mut at = src;
     let mut arrived = Port::Local;
     let mut hops = 0;
     loop {
         let port = table
             .next_hop(at, arrived, dest)
-            .expect("in-mesh addresses")
+            .expect("in-grid addresses")
             .expect("reachable destination");
         if port == Port::Local {
             assert_eq!(at, dest, "ejected at the wrong router");
             return hops;
         }
-        let (dx, dy): (i16, i16) = match port {
-            Port::East => (1, 0),
-            Port::West => (-1, 0),
-            Port::North => (0, 1),
-            Port::South => (0, -1),
-            Port::Local => unreachable!(),
-        };
-        at = RouterAddr::new(
-            u8::try_from(i16::from(at.x()) + dx).unwrap(),
-            u8::try_from(i16::from(at.y()) + dy).unwrap(),
-        );
+        at = topology
+            .neighbour(at, port)
+            .expect("the table only grants existing ports");
         arrived = port.opposite().expect("non-local port");
         hops += 1;
         assert!(
@@ -59,6 +59,22 @@ fn walk(table: &RouteTable, src: RouterAddr, dest: RouterAddr, bound: u32) -> u3
             "path {src} -> {dest} exceeded {bound} hops without ejecting"
         );
     }
+}
+
+/// Every undirected edge of a topology, named by its East/North-facing
+/// channel — on a torus this includes the wraparound edges, on a chiplet
+/// grid the off-chip boundary edges.
+fn topology_edges(topology: &Topology) -> Vec<(RouterAddr, Port)> {
+    let mut edges = Vec::new();
+    for idx in 0..topology.router_count() {
+        let addr = topology.addr_of(idx);
+        for port in [Port::East, Port::North] {
+            if topology.neighbour(addr, port).is_some() {
+                edges.push((addr, port));
+            }
+        }
+    }
+    edges
 }
 
 /// 3-colour DFS: the allowed-turn relation over live channels must be
@@ -105,10 +121,11 @@ proptest! {
         height in 2u8..=4,
         edge_pick in 0usize..24,
     ) {
+        let topology = Topology::Mesh { width, height };
         let edges = mesh_edges(width, height);
         let dead_edge = edges[edge_pick % edges.len()];
         let dead: BTreeSet<_> = [dead_edge].into_iter().collect();
-        let table = RouteTable::build(width, height, &dead);
+        let table = RouteTable::build(&topology, &dead);
         assert_turns_acyclic(&table);
         // Generous but finite: a single dead edge never forces a path
         // longer than visiting every router once.
@@ -123,13 +140,53 @@ proptest! {
                             table.reachable(src, dst),
                             "a single dead edge never partitions these meshes"
                         );
-                        let hops = walk(&table, src, dst, bound);
+                        let hops = walk(&topology, &table, src, dst, bound);
                         prop_assert_eq!(hops, table.route_hops(src, dst).unwrap());
                         let minimal = u32::from(src.x().abs_diff(dst.x()))
                             + u32::from(src.y().abs_diff(dst.y()));
                         prop_assert!(hops >= minimal);
                         prop_assert!(hops <= bound);
                     }
+                }
+            }
+        }
+    }
+
+    /// Torus and chiplet tables stay sound too: the allowed-turn relation
+    /// is acyclic (wormhole deadlock freedom) and every src/dst pair stays
+    /// reachable, both on the healthy topology and with any single dead
+    /// edge — including the torus wraparound edges and the chiplet
+    /// off-chip boundary edges.
+    #[test]
+    fn torus_and_chiplet_tables_stay_sound(
+        pick in 0usize..2,
+        edge_pick in 0usize..64,
+    ) {
+        let topology = match pick {
+            0 => Topology::Torus { width: 4, height: 3 },
+            _ => Topology::ChipletMesh {
+                k_chip: 2,
+                k_node: 2,
+                d2d: D2dChannel::OffChipParallel,
+            },
+        };
+        let edges = topology_edges(&topology);
+        let single_dead: BTreeSet<_> =
+            [edges[edge_pick % edges.len()]].into_iter().collect();
+        for dead in [BTreeSet::new(), single_dead] {
+            let table = RouteTable::build(&topology, &dead);
+            assert_turns_acyclic(&table);
+            let routers = u32::try_from(topology.router_count()).unwrap();
+            for s in 0..topology.router_count() {
+                for d in 0..topology.router_count() {
+                    let src = topology.addr_of(s);
+                    let dst = topology.addr_of(d);
+                    prop_assert!(
+                        table.reachable(src, dst),
+                        "one dead edge must not partition {topology} ({dead:?})"
+                    );
+                    let hops = walk(&topology, &table, src, dst, routers);
+                    prop_assert_eq!(hops, table.route_hops(src, dst).unwrap());
                 }
             }
         }
