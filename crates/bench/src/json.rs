@@ -363,6 +363,10 @@ pub fn validate_trace_event_json(text: &str) -> Result<usize, JsonError> {
             "B" | "E" => {
                 require_num(event, "ts", index)?;
             }
+            "s" | "t" | "f" => {
+                require_num(event, "ts", index)?;
+                require_num(event, "id", index)?;
+            }
             other => {
                 return Err(schema_err(format!(
                     "traceEvents[{index}] unknown phase \"{other}\""
@@ -371,6 +375,118 @@ pub fn validate_trace_event_json(text: &str) -> Result<usize, JsonError> {
         }
     }
     Ok(events.len())
+}
+
+/// Validates a telemetry time-series JSON document as produced by the
+/// `hermes` telemetry exporter: a top-level object with a `time_series`
+/// object carrying numeric `interval`/`cycles_per_flit`/`frames_total`,
+/// a `frames` array (each frame an object with numeric
+/// `index`/`start`/`end` counters, a `links` array of
+/// `{link, flits, utilization_permille}` objects, a `routers` array of
+/// `{router, grants, buffered}` objects and a `latency` object), plus
+/// `hotspots` and `alerts` arrays. Returns the number of frames.
+///
+/// # Errors
+///
+/// [`JsonError`] naming the first schema violation (offset 0) or the
+/// byte offset of a syntax failure.
+pub fn validate_time_series_json(text: &str) -> Result<usize, JsonError> {
+    let doc = parse(text)?;
+    let schema_err = |message: String| JsonError { message, offset: 0 };
+    let ts = doc
+        .get("time_series")
+        .filter(|v| v.is_obj())
+        .ok_or_else(|| schema_err("missing \"time_series\" object".into()))?;
+    for field in [
+        "interval",
+        "cycles_per_flit",
+        "frames_total",
+        "frames_evicted",
+    ] {
+        if ts.get(field).and_then(Json::as_num).is_none() {
+            return Err(schema_err(format!("time_series lacks numeric \"{field}\"")));
+        }
+    }
+    let frames = ts
+        .get("frames")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| schema_err("missing \"frames\" array".into()))?;
+    for (index, frame) in frames.iter().enumerate() {
+        for field in [
+            "index",
+            "start",
+            "end",
+            "flit_hops",
+            "flits_delivered",
+            "packets_sent",
+            "packets_delivered",
+        ] {
+            if frame.get(field).and_then(Json::as_num).is_none() {
+                return Err(schema_err(format!(
+                    "frames[{index}] lacks numeric \"{field}\""
+                )));
+            }
+        }
+        let links = frame
+            .get("links")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| schema_err(format!("frames[{index}] lacks a \"links\" array")))?;
+        for (li, link) in links.iter().enumerate() {
+            if link.get("link").and_then(Json::as_str).is_none()
+                || link.get("flits").and_then(Json::as_num).is_none()
+                || link
+                    .get("utilization_permille")
+                    .and_then(Json::as_num)
+                    .is_none()
+            {
+                return Err(schema_err(format!("frames[{index}].links[{li}] malformed")));
+            }
+        }
+        let routers = frame
+            .get("routers")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| schema_err(format!("frames[{index}] lacks a \"routers\" array")))?;
+        for (ri, router) in routers.iter().enumerate() {
+            if router.get("router").and_then(Json::as_str).is_none()
+                || router.get("grants").and_then(Json::as_num).is_none()
+                || router.get("buffered").and_then(Json::as_num).is_none()
+            {
+                return Err(schema_err(format!(
+                    "frames[{index}].routers[{ri}] malformed"
+                )));
+            }
+        }
+        let latency = frame
+            .get("latency")
+            .filter(|v| v.is_obj())
+            .ok_or_else(|| schema_err(format!("frames[{index}] lacks a \"latency\" object")))?;
+        for field in ["packets", "sum_cycles", "overflow"] {
+            if latency.get(field).and_then(Json::as_num).is_none() {
+                return Err(schema_err(format!(
+                    "frames[{index}].latency lacks numeric \"{field}\""
+                )));
+            }
+        }
+        if latency.get("buckets").and_then(Json::as_arr).is_none() {
+            return Err(schema_err(format!(
+                "frames[{index}].latency lacks a \"buckets\" array"
+            )));
+        }
+    }
+    for (name, label_field) in [("hotspots", "link"), ("alerts", "link")] {
+        let entries = ts
+            .get(name)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| schema_err(format!("missing \"{name}\" array")))?;
+        for (index, entry) in entries.iter().enumerate() {
+            if entry.get(label_field).and_then(Json::as_str).is_none()
+                || entry.get("ewma_permille").and_then(Json::as_num).is_none()
+            {
+                return Err(schema_err(format!("{name}[{index}] malformed")));
+            }
+        }
+    }
+    Ok(frames.len())
 }
 
 #[cfg(test)]

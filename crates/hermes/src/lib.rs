@@ -71,6 +71,7 @@ pub mod latency;
 pub mod metrics;
 pub mod snapshot;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 pub mod traffic;
 
@@ -89,5 +90,8 @@ pub use packet::Packet;
 pub use routing::{RouteTable, Routing};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::{FaultCounters, HealthCounters, NocStats, PacketRecord};
+pub use telemetry::{
+    CongestionEvent, CongestionKind, LatencyDelta, Telemetry, TelemetryConfig, TelemetryFrame,
+};
 pub use topology::{D2dChannel, Topology};
 pub use trace::{PacketTrace, PacketTracer, SpanEvent, SpanKind};

@@ -17,6 +17,7 @@ use crate::router::Router;
 use crate::routing::{RouteTable, Routing};
 use crate::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::stats::{LinkId, NocStats, PacketRecord};
+use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::trace::PacketTracer;
 
 /// One reconfiguration round: a new detour table announced by the router
@@ -160,6 +161,10 @@ pub struct Noc {
     /// Kernel phase profiler; boxed so the kernel can hold a stable raw
     /// pointer to it for the duration of a cycle.
     profiler: Option<Box<PhaseProfiler>>,
+    /// Interval telemetry sampler; `None` (the default) makes the
+    /// boundary hook a single never-taken branch. Boxed to keep the
+    /// common no-telemetry `Noc` small.
+    telemetry: Option<Box<Telemetry>>,
 }
 
 impl Noc {
@@ -205,6 +210,7 @@ impl Noc {
             pool: None,
             tracer: None,
             profiler: None,
+            telemetry: None,
         })
     }
 
@@ -280,6 +286,83 @@ impl Noc {
     /// enabled.
     pub fn phase_profile(&self) -> Option<PhaseProfile> {
         self.profiler.as_deref().map(PhaseProfiler::snapshot)
+    }
+
+    /// Enables interval telemetry: every
+    /// [`sample_interval`](TelemetryConfig::sample_interval) cycles a
+    /// [`TelemetryFrame`](crate::TelemetryFrame) of per-link, per-router
+    /// and latency deltas is cut into a bounded ring, and the congestion
+    /// analytics advance. Sampling happens only at fully merged cycle
+    /// boundaries (the parallel kernel clamps batch windows to them), so
+    /// the stream is bit-identical across kernels, thread counts and
+    /// window sizes. Replacing an existing sampler restarts the stream
+    /// with fresh baselines.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry = Some(Box::new(Telemetry::new(config, &self.stats)));
+    }
+
+    /// The telemetry sampler, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// The retained telemetry as a time-series JSON document (frames,
+    /// hotspots, congestion alerts; timestamps in cycles), or `None` if
+    /// telemetry is disabled. Byte-identical across kernels.
+    pub fn telemetry_json(&self) -> Option<String> {
+        self.telemetry
+            .as_deref()
+            .map(|t| t.export_json(&self.config.topology, self.config.cycles_per_flit))
+    }
+
+    /// The retained telemetry as Prometheus text exposition with
+    /// cycle-valued timestamps, or `None` if telemetry is disabled.
+    /// Byte-identical across kernels.
+    pub fn telemetry_prometheus(&self) -> Option<String> {
+        self.telemetry
+            .as_deref()
+            .map(|t| t.export_prometheus(&self.config.topology, self.config.cycles_per_flit))
+    }
+
+    /// Cuts a telemetry frame if the clock sits exactly on a sample
+    /// boundary. Called after every public stepping path has fully merged
+    /// the cycle (and after idle jumps have positioned the clock), so the
+    /// observed state — stats deltas and buffer occupancy — is identical
+    /// under every kernel.
+    fn telemetry_tick(&mut self) {
+        let Some(telemetry) = self.telemetry.as_deref() else {
+            return;
+        };
+        let interval = telemetry.sample_interval();
+        if self.cycle == 0 || !self.cycle.is_multiple_of(interval) {
+            return;
+        }
+        let occupancy: Vec<(u32, u64)> = self
+            .routers
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, router)| {
+                let buffered = router.buffered_flits();
+                (buffered > 0).then_some((idx as u32, buffered))
+            })
+            .collect();
+        let end = self.cycle;
+        let cycles_per_flit = self.config.cycles_per_flit;
+        if let Some(telemetry) = self.telemetry.as_deref_mut() {
+            telemetry.sample(end, &self.stats, occupancy, cycles_per_flit);
+        }
+    }
+
+    /// Clamps a parallel batch window starting at `base` so it never
+    /// straddles a telemetry sample boundary: the window may *end* on the
+    /// boundary (the merge then ticks the sampler) but never cross it.
+    fn clamp_window_to_telemetry(&self, base: u64, window: u32) -> u32 {
+        let Some(telemetry) = self.telemetry.as_deref() else {
+            return window;
+        };
+        let interval = telemetry.sample_interval();
+        let next_boundary = base.div_ceil(interval).saturating_mul(interval);
+        u64::from(window).min(next_boundary - base + 1) as u32
     }
 
     /// A point-in-time metrics snapshot of this network: cycle and packet
@@ -432,6 +515,38 @@ impl Noc {
                 "Packet traces evicted from the bounded trace ring",
                 &[],
                 tracer.evicted_traces(),
+            );
+        }
+        if let Some(telemetry) = self.telemetry.as_deref() {
+            reg.counter(
+                "hermes_telemetry_frames_total",
+                "Telemetry frames sampled",
+                &[],
+                telemetry.frames_total(),
+            );
+            reg.counter(
+                "hermes_telemetry_frames_evicted_total",
+                "Telemetry frames evicted from the bounded ring",
+                &[],
+                telemetry.frames_evicted(),
+            );
+            reg.counter(
+                "hermes_congestion_alerts_raised_total",
+                "Sustained-congestion alerts raised",
+                &[],
+                telemetry.alerts_raised(),
+            );
+            reg.counter(
+                "hermes_congestion_alerts_cleared_total",
+                "Sustained-congestion alerts cleared",
+                &[],
+                telemetry.alerts_cleared(),
+            );
+            reg.gauge_int(
+                "hermes_congestion_links_alerted",
+                "Links with a currently raised congestion alert",
+                &[],
+                telemetry.links_alerted(),
             );
         }
         reg
@@ -720,6 +835,7 @@ impl Noc {
             profiler.bump_cycles(1);
         }
         self.stats.cycles = self.cycle;
+        self.telemetry_tick();
     }
 
     /// The number of cycles the parallel kernel may batch per barrier
@@ -1172,8 +1288,21 @@ impl Noc {
     /// [`FaultPlan::has_router_stalls`](crate::fault::FaultPlan::has_router_stalls).
     pub fn advance_idle(&mut self, cycles: u64) {
         debug_assert!(self.is_idle(), "advance_idle requires an idle network");
-        self.cycle += cycles;
-        self.stats.cycles = self.cycle;
+        let target = self.cycle + cycles;
+        // The jump must leave the same telemetry stream a stepped run
+        // would: one (all-zero-delta) frame per crossed sample boundary,
+        // with the congestion EWMAs decaying frame by frame.
+        if let Some(interval) = self.telemetry.as_deref().map(Telemetry::sample_interval) {
+            let mut boundary = (self.cycle / interval + 1) * interval;
+            while boundary <= target {
+                self.cycle = boundary;
+                self.stats.cycles = boundary;
+                self.telemetry_tick();
+                boundary += interval;
+            }
+        }
+        self.cycle = target;
+        self.stats.cycles = target;
     }
 
     /// Runs for exactly `cycles` clock cycles.
@@ -1188,8 +1317,9 @@ impl Noc {
         if let KernelMode::Parallel { threads } = self.config.kernel {
             let mut remaining = cycles;
             while remaining > 0 {
-                let w = u64::from(self.window_size()).min(remaining) as u32;
                 let base = self.cycle + 1;
+                let w = u64::from(self.window_size()).min(remaining) as u32;
+                let w = self.clamp_window_to_telemetry(base, w);
                 self.cycle += u64::from(w);
                 remaining -= u64::from(w);
                 self.step_parallel_window(base, threads, w);
@@ -1197,6 +1327,7 @@ impl Noc {
                     profiler.bump_cycles(u64::from(w));
                 }
                 self.stats.cycles = self.cycle;
+                self.telemetry_tick();
             }
         } else {
             for _ in 0..cycles {
@@ -1225,8 +1356,9 @@ impl Noc {
                 if spent >= budget {
                     return Err(NocError::NotIdle { budget });
                 }
-                let w = u64::from(self.window_size()).min(budget - spent) as u32;
                 let base = self.cycle + 1;
+                let w = u64::from(self.window_size()).min(budget - spent) as u32;
+                let w = self.clamp_window_to_telemetry(base, w);
                 let last_busy = self.step_parallel_window(base, threads, w);
                 // Not idle on entry ⇒ some walk was non-empty, so
                 // `last_busy >= base`; it equals the window end whenever
@@ -1237,6 +1369,10 @@ impl Noc {
                     profiler.bump_cycles(last_busy - base + 1);
                 }
                 self.stats.cycles = self.cycle;
+                // After the idle-tail rewind the clock sits exactly where
+                // the sequential kernels stopped; the tick fires only if
+                // that is a sample boundary, keeping the streams aligned.
+                self.telemetry_tick();
             }
             return Ok(self.cycle - start);
         }
@@ -1415,6 +1551,10 @@ impl Noc {
             tracer.snapshot_write(w);
         }
         w.put_bool(self.profiler.is_some());
+        w.put_bool(self.telemetry.is_some());
+        if let Some(telemetry) = self.telemetry.as_deref() {
+            telemetry.snapshot_write(w);
+        }
     }
 
     /// Decodes a payload written by
@@ -1500,6 +1640,14 @@ impl Noc {
         }
         if r.take_bool()? {
             noc.enable_phase_profiler();
+        }
+        if r.version() >= 4 && r.take_bool()? {
+            noc.telemetry = Some(Box::new(Telemetry::snapshot_read(
+                r,
+                noc.routers.len(),
+                width,
+                height,
+            )?));
         }
         Ok(noc)
     }
@@ -2212,8 +2360,12 @@ mod tests {
         // container version and payload length, and re-seal the checksum.
         assert_eq!(bytes[HEADER_LEN], 0, "payload starts with the Mesh tag");
         bytes.remove(HEADER_LEN);
+        // v4 payloads end with the telemetry-presence flag; v2 payloads
+        // end before it.
+        let flag = bytes.remove(bytes.len() - 9);
+        assert_eq!(flag, 0, "no telemetry sampler in the test network");
         bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
-        let len = u64::from_le_bytes(bytes[9..17].try_into().unwrap()) - 1;
+        let len = u64::from_le_bytes(bytes[9..17].try_into().unwrap()) - 2;
         bytes[9..17].copy_from_slice(&len.to_le_bytes());
         let body = bytes.len() - 8;
         let sum = fletcher64(&bytes[..body]);

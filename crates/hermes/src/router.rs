@@ -220,6 +220,12 @@ impl Router {
         topology.has_port(self.addr, port)
     }
 
+    /// Flits currently sitting in this router's input buffers (telemetry
+    /// occupancy reading at sample boundaries).
+    pub fn buffered_flits(&self) -> u64 {
+        self.inputs.iter().map(|p| p.buffer.len() as u64).sum()
+    }
+
     /// All buffers empty, no connection open and no packet mid-discard.
     pub fn is_idle(&self) -> bool {
         self.inputs

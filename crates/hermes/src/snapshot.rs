@@ -39,14 +39,17 @@ use crate::stats::LinkId;
 /// Magic bytes opening every snapshot container.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"MNSP";
 
-/// Current snapshot format version. Version 3 leads the embedded
-/// configuration with a topology tag (mesh / torus / chiplet mesh);
-/// version 2 predates the topology abstraction — its payloads open with
-/// bare mesh dimensions and are still decodable (as `Topology::Mesh`,
-/// the only shape that existed then). Version 2
+/// Current snapshot format version. Version 4 appends the optional
+/// telemetry sampler to network payloads and the optional service-span
+/// log to system payloads; version-3 payloads (which end before those
+/// sections) still decode with both features disabled. Version 3 leads
+/// the embedded configuration with a topology tag (mesh / torus /
+/// chiplet mesh); version 2 predates the topology abstraction — its
+/// payloads open with bare mesh dimensions and are still decodable (as
+/// `Topology::Mesh`, the only shape that existed then). Version 2
 /// itself added the configuration's `batch_window` field; version-1
 /// containers predate it and are rejected rather than guessed at.
-pub const SNAPSHOT_VERSION: u32 = 3;
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Oldest snapshot format version the reader still decodes.
 pub const MIN_SNAPSHOT_VERSION: u32 = 2;

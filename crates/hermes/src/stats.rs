@@ -22,7 +22,7 @@ pub use crate::router::RouterCounters;
 /// histogram bucket (quantiles are exact for them); anything larger is
 /// counted in a single overflow bucket represented by the observed
 /// maximum.
-const LATENCY_BUCKETS: usize = 16_384;
+pub(crate) const LATENCY_BUCKETS: usize = 16_384;
 
 /// Streaming aggregate of end-to-end latencies of delivered packets:
 /// count, sum, min, max and a fixed-bucket histogram. Constant memory,
@@ -80,6 +80,17 @@ impl LatencyHistogram {
     /// Largest observed latency, or `None` if nothing was observed.
     pub fn max(&self) -> Option<u64> {
         (self.count > 0).then_some(self.max)
+    }
+
+    /// Observations beyond the histogram range (telemetry deltas).
+    pub(crate) fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The raw one-cycle-wide buckets; empty until the first in-range
+    /// observation (telemetry deltas).
+    pub(crate) fn buckets(&self) -> &[u32] {
+        &self.buckets
     }
 
     /// Mean latency, or `None` if nothing was observed.
@@ -789,6 +800,76 @@ mod tests {
         assert_eq!(h.quantile(1.0), Some(1_000_000));
         assert_eq!(h.max(), Some(1_000_000));
         assert_eq!(h.count(), 2);
+    }
+
+    /// Pinned audit of the quantile semantics the telemetry exporters
+    /// and run reports depend on: nearest-rank on `(count-1) * q`
+    /// (rounded), exact inside the one-cycle bucket range, clamped to
+    /// the observed maximum beyond it. These exact values are a
+    /// regression contract — a change here silently re-defines every
+    /// reported p50/p95/p99.
+    #[test]
+    fn quantile_semantics_are_pinned() {
+        // Single observation: every quantile is that observation.
+        let mut h = LatencyHistogram::default();
+        h.observe(42);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), Some(42));
+        }
+
+        // 1..=100, one each: nearest-rank round((count-1)*q).
+        let mut h = LatencyHistogram::default();
+        for i in 1..=100u64 {
+            h.observe(i);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(51), "rank round(99*0.5) = 50");
+        assert_eq!(h.quantile(0.95), Some(95), "rank round(99*0.95) = 94");
+        assert_eq!(h.quantile(0.99), Some(99), "rank round(99*0.99) = 98");
+        assert_eq!(h.quantile(1.0), Some(100));
+        // Out-of-range q clamps rather than extrapolating.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+
+        // Heavy ties: 5 observations of 10, 3 of 20.
+        let mut h = LatencyHistogram::default();
+        for _ in 0..5 {
+            h.observe(10);
+        }
+        for _ in 0..3 {
+            h.observe(20);
+        }
+        assert_eq!(
+            h.quantile(0.5),
+            Some(10),
+            "rank round(7*0.5) = 4 -> tie run"
+        );
+        assert_eq!(h.quantile(0.95), Some(20));
+
+        // Bucket-range edges: the last exact one-cycle bucket is
+        // LATENCY_BUCKETS - 1; one past it lands in overflow and the
+        // quantile clamps to the observed maximum.
+        let edge = (LATENCY_BUCKETS - 1) as u64;
+        let mut h = LatencyHistogram::default();
+        h.observe(edge);
+        assert_eq!(h.quantile(1.0), Some(edge), "edge bucket stays exact");
+        assert_eq!(h.overflow(), 0);
+        let mut h = LatencyHistogram::default();
+        h.observe(edge + 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.quantile(0.0), Some(edge + 1), "overflow clamps to max");
+
+        // All observations in overflow: every quantile is the maximum —
+        // the documented (lossy) behavior beyond the histogram range.
+        let mut h = LatencyHistogram::default();
+        h.observe(20_000);
+        h.observe(30_000);
+        h.observe(40_000);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Some(40_000));
+        }
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.min(), Some(20_000), "min still tracks exactly");
     }
 
     #[test]

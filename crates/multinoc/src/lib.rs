@@ -62,6 +62,7 @@ pub mod reliable;
 pub mod serial;
 pub mod serial_ip;
 pub mod service;
+pub mod span;
 pub mod system;
 pub mod trace;
 

@@ -6,20 +6,30 @@ use hermes_noc::{Noc, RouterAddr};
 use crate::error::SystemError;
 use crate::node::NodeId;
 use crate::service::{Message, Service};
+use crate::span::SpanLog;
 use crate::trace::{summarize, Direction, ServiceCounters, TraceEvent, TraceLog};
 
 /// Observation hooks the [`System`](crate::System) attaches so every
-/// service message is counted (and, when enabled, logged).
+/// service message is counted (and, when enabled, logged and linked into
+/// its causal service span).
 #[derive(Debug)]
 pub(crate) struct Observer<'a> {
     pub node: NodeId,
     pub now: u64,
     pub counters: &'a mut ServiceCounters,
     pub log: Option<&'a mut TraceLog>,
+    pub spans: Option<&'a mut SpanLog>,
 }
 
 impl Observer<'_> {
-    fn record(&mut self, direction: Direction, peer: RouterAddr, service: &Service) {
+    fn record(
+        &mut self,
+        direction: Direction,
+        peer: RouterAddr,
+        service: &Service,
+        seq: u16,
+        packet: Option<u64>,
+    ) {
         self.counters.count(self.node, direction, service.code());
         if let Some(log) = self.log.as_deref_mut() {
             log.push(TraceEvent {
@@ -30,6 +40,16 @@ impl Observer<'_> {
                 code: service.code(),
                 summary: summarize(service),
             });
+        }
+        if let Some(spans) = self.spans.as_deref_mut() {
+            match direction {
+                Direction::Sent => {
+                    spans.on_sent(self.now, self.node, peer, seq, service.code(), packet)
+                }
+                Direction::Received => {
+                    spans.on_received(self.now, self.node, peer, seq, service.code())
+                }
+            }
         }
     }
 }
@@ -117,9 +137,9 @@ impl<'a> NetPort<'a> {
         let packet = Message::new(self.here, service.clone())
             .with_seq(seq)
             .to_packet(dest, flit_bits);
-        self.noc.send(self.here, packet)?;
+        let id = self.noc.send(self.here, packet)?;
         if let Some(observer) = self.observer.as_mut() {
-            observer.record(Direction::Sent, dest, &service);
+            observer.record(Direction::Sent, dest, &service, seq, Some(id.as_u64()));
         }
         Ok(())
     }
@@ -144,7 +164,13 @@ impl<'a> NetPort<'a> {
                 Some((_, packet)) => match Message::from_packet(&packet, flit_bits) {
                     Ok(message) => {
                         if let Some(observer) = self.observer.as_mut() {
-                            observer.record(Direction::Received, message.src, &message.service);
+                            observer.record(
+                                Direction::Received,
+                                message.src,
+                                &message.service,
+                                message.seq,
+                                None,
+                            );
                         }
                         return Ok(Some(message));
                     }

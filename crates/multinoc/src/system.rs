@@ -20,6 +20,7 @@ use crate::processor::{BlockReason, ProcessorIp, ProcessorStatus};
 use crate::reliable::RetryCounters;
 use crate::serial::{SerialConfig, SerialLink};
 use crate::serial_ip::SerialIp;
+use crate::span::SpanLog;
 use crate::trace::{ServiceCounters, TraceLog};
 
 /// Cycles without a single flit hop (with flits in flight) before the
@@ -102,6 +103,9 @@ pub struct System {
     clock_hz: f64,
     counters: ServiceCounters,
     trace: Option<TraceLog>,
+    /// Causal service-span log (request → packets → retransmissions →
+    /// redirects → delivery); opt-in, like the trace log.
+    spans: Option<SpanLog>,
     /// Routers whose IP was removed; stray deliveries there are dropped.
     vacated_routers: Vec<RouterAddr>,
     /// Armed by [`set_fault_plan`](Self::set_fault_plan) or
@@ -498,6 +502,49 @@ impl System {
         self.trace.take()
     }
 
+    /// Starts causal service-span recording into a bounded ring of
+    /// `capacity` spans: every sequenced request is tracked from first
+    /// transmission through retransmissions and failover redirects to
+    /// its completing response, and rendered as one connected flow in
+    /// [`perfetto_json`](Self::perfetto_json). Bit-identical across
+    /// kernels, thread counts and batch windows.
+    pub fn enable_service_spans(&mut self, capacity: usize) {
+        self.spans = Some(SpanLog::new(capacity));
+    }
+
+    /// The service-span log, if span recording is enabled.
+    pub fn service_spans(&self) -> Option<&SpanLog> {
+        self.spans.as_ref()
+    }
+
+    /// Stops span recording and returns the log.
+    pub fn take_service_spans(&mut self) -> Option<SpanLog> {
+        self.spans.take()
+    }
+
+    /// Enables interval telemetry in the underlying NoC (see
+    /// [`Noc::enable_telemetry`]).
+    pub fn enable_telemetry(&mut self, config: hermes_noc::TelemetryConfig) {
+        self.noc.enable_telemetry(config);
+    }
+
+    /// The NoC telemetry sampler, if telemetry is enabled.
+    pub fn telemetry(&self) -> Option<&hermes_noc::Telemetry> {
+        self.noc.telemetry()
+    }
+
+    /// The NoC time-series JSON export, if telemetry is enabled (see
+    /// [`Noc::telemetry_json`]).
+    pub fn telemetry_json(&self) -> Option<String> {
+        self.noc.telemetry_json()
+    }
+
+    /// The NoC time-series Prometheus export, if telemetry is enabled
+    /// (see [`Noc::telemetry_prometheus`]).
+    pub fn telemetry_prometheus(&self) -> Option<String> {
+        self.noc.telemetry_prometheus()
+    }
+
     /// Starts packet-lifecycle tracing in the underlying NoC, retaining
     /// the `window` most recent packet traces (see
     /// [`Noc::enable_packet_trace`]).
@@ -626,6 +673,38 @@ impl System {
                 log.evicted_events(),
             );
         }
+        if let Some(spans) = &self.spans {
+            reg.counter(
+                "multinoc_spans_total",
+                "Causal service spans opened",
+                &[],
+                spans.spans_total(),
+            );
+            reg.counter(
+                "multinoc_spans_completed_total",
+                "Service spans that reached their completing response",
+                &[],
+                spans.completed(),
+            );
+            reg.counter(
+                "multinoc_spans_evicted_total",
+                "Service spans evicted from the bounded ring",
+                &[],
+                spans.evicted(),
+            );
+            reg.counter(
+                "multinoc_span_retransmissions_total",
+                "Packets sent beyond each span's first transmission",
+                &[],
+                spans.retransmissions(),
+            );
+            reg.counter(
+                "multinoc_span_redirects_total",
+                "Failover redirects applied to open spans",
+                &[],
+                spans.redirects(),
+            );
+        }
         reg
     }
 
@@ -685,6 +764,68 @@ impl System {
                 f.from, f.to, f.cycle, f.logical.0, f.logical, f.from, f.to
             ));
         }
+        // Causal service spans on process 2, one thread per issuing
+        // node, each request one "X" slice. Flow events (`s`/`t`/`f`)
+        // share the span id and step through every transmission on the
+        // packet-trace process, so a request renders as one connected
+        // track: span → packet(s) → retransmissions → completion.
+        if let Some(spans) = &self.spans {
+            events.push(
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+                 \"args\":{\"name\":\"multinoc spans\"}}"
+                    .to_string(),
+            );
+            let mut named: Vec<NodeId> = Vec::new();
+            for s in spans.spans() {
+                if !named.contains(&s.node) {
+                    named.push(s.node);
+                    events.push(format!(
+                        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":{},\
+                         \"args\":{{\"name\":\"{}\"}}}}",
+                        s.node.0, s.node
+                    ));
+                }
+                let last = s
+                    .completed
+                    .or_else(|| s.transmissions.last().map(|t| t.cycle))
+                    .unwrap_or(s.started);
+                let dur = (last - s.started).max(1);
+                events.push(format!(
+                    "{{\"name\":\"{:?} -> {} seq {}\",\"cat\":\"span\",\"ph\":\"X\",\
+                     \"ts\":{},\"dur\":{dur},\"pid\":2,\"tid\":{},\"args\":{{\"span\":{},\
+                     \"transmissions\":{},\"redirects\":{},\"completed\":{}}}}}",
+                    s.code,
+                    s.dest,
+                    s.seq,
+                    s.started,
+                    s.node.0,
+                    s.id,
+                    s.transmissions.len(),
+                    s.redirects.len(),
+                    s.completed.is_some()
+                ));
+                events.push(format!(
+                    "{{\"name\":\"span\",\"cat\":\"span\",\"ph\":\"s\",\"id\":{},\
+                     \"ts\":{},\"pid\":2,\"tid\":{}}}",
+                    s.id, s.started, s.node.0
+                ));
+                for t in &s.transmissions {
+                    let Some(packet) = t.packet else { continue };
+                    events.push(format!(
+                        "{{\"name\":\"span\",\"cat\":\"span\",\"ph\":\"t\",\"id\":{},\
+                         \"ts\":{},\"pid\":0,\"tid\":{packet}}}",
+                        s.id, t.cycle
+                    ));
+                }
+                if let Some(done) = s.completed {
+                    events.push(format!(
+                        "{{\"name\":\"span\",\"cat\":\"span\",\"ph\":\"f\",\"bp\":\"e\",\
+                         \"id\":{},\"ts\":{done},\"pid\":2,\"tid\":{}}}",
+                        s.id, s.node.0
+                    ));
+                }
+            }
+        }
         hermes_noc::trace::perfetto_wrap(&events)
     }
 
@@ -724,6 +865,7 @@ impl System {
                 now,
                 counters: &mut self.counters,
                 log: self.trace.as_mut(),
+                spans: self.spans.as_mut(),
             };
             let mut net = NetPort::observed(&mut self.noc, addr, observer);
             let stepped = match &mut self.ips[idx] {
@@ -820,6 +962,7 @@ impl System {
                     now,
                     counters: &mut self.counters,
                     log: self.trace.as_mut(),
+                    spans: self.spans.as_mut(),
                 };
                 let mut net = NetPort::observed(&mut self.noc, serving_router, observer);
                 if let Some(Ip::Memory(m)) = self.ips.get_mut(serving.index()) {
@@ -864,6 +1007,7 @@ impl System {
             now,
             counters: &mut self.counters,
             log: self.trace.as_mut(),
+            spans: self.spans.as_mut(),
         };
         let mut net = NetPort::observed(&mut self.noc, survivor_router, observer);
         if let Some(Ip::Memory(m)) = self.ips.get_mut(survivor.index()) {
@@ -885,6 +1029,11 @@ impl System {
                 }
                 _ => {}
             }
+        }
+        // Open spans addressed to the dead router follow their traffic
+        // to the survivor, recording the failover on the causal track.
+        if let Some(spans) = self.spans.as_mut() {
+            spans.redirect(router, survivor_router, now);
         }
         Ok(())
     }
@@ -1449,6 +1598,10 @@ impl System {
             w.put_u8(f.from.0);
             w.put_u8(f.to.0);
         }
+        w.put_bool(self.spans.is_some());
+        if let Some(spans) = &self.spans {
+            spans.snapshot_write(&mut w);
+        }
         w.finish(snapshot::KIND_SYSTEM)
     }
 
@@ -1608,6 +1761,11 @@ impl System {
                 to: NodeId(r.take_u8()?),
             });
         }
+        let spans = if r.version() >= 4 && r.take_bool()? {
+            Some(SpanLog::snapshot_read(&mut r)?)
+        } else {
+            None
+        };
         r.finish()?;
         Ok(System {
             noc,
@@ -1617,6 +1775,7 @@ impl System {
             clock_hz,
             counters,
             trace,
+            spans,
             vacated_routers,
             watchdog,
             directory,
@@ -1904,6 +2063,7 @@ impl SystemBuilder {
             clock_hz: self.clock_hz.unwrap_or(25.0e6),
             counters: ServiceCounters::default(),
             trace: None,
+            spans: None,
             vacated_routers: Vec::new(),
             watchdog: None,
             directory,

@@ -44,10 +44,17 @@ EXP_PERF_SMOKE=1 cargo run --release -q --offline -p multinoc-bench --bin exp_pe
 echo "exp_perf kernels (sequential and parallel) agree on all workloads"
 
 echo "=== observability smoke check (byte-identical exports, fixed seed) ==="
-# Exports (Perfetto trace, Prometheus exposition, metrics JSON) must be
-# byte-identical across kernels and pass the trace-event schema validator.
+# Exports (Perfetto trace with span flow arrows, Prometheus exposition,
+# metrics JSON, the E25 time-series JSON/Prometheus pair and the run
+# report) must be byte-identical across kernels and batch windows and
+# pass the trace-event and time-series schema validators.
 EXP_OBS_SMOKE=1 cargo run --release -q --offline -p multinoc-bench --bin exp_observability > /dev/null
 echo "exp_observability exports identical across kernels and schema-valid"
+
+echo "=== benchmark baseline comparison (warn-only) ==="
+# Diffs regenerated BENCH_*.json files against the baselines committed
+# at HEAD; informational only — wall-clock rates vary by host.
+scripts/bench_compare.sh
 
 echo "=== topology smoke check (mesh vs torus vs chiplet, fixed seed) ==="
 # Matched-router-count sweep across the three topologies, serialized vs
